@@ -1,0 +1,101 @@
+// Extension experiment A3 — dictionary-less operation. The paper assumes
+// `unique` declarations exist (§4); the oldest systems it targets predate
+// even those. We strip every unique declaration from the running example
+// and let the pipeline mine keys from the extension (deps/key_miner.h,
+// join-guided choice among alternatives), then compare the inferred K with
+// the dictionary's K and check how much of the elicitation survives.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "workload/paper_example.h"
+
+int main() {
+  auto with_dictionary = dbre::workload::BuildPaperDatabase();
+  if (!with_dictionary.ok()) {
+    std::fprintf(stderr, "database build failed\n");
+    return 1;
+  }
+
+  // Strip the unique declarations: rebuild each relation without them.
+  dbre::Database stripped;
+  for (const std::string& relation : with_dictionary->RelationNames()) {
+    const dbre::Table& table = **with_dictionary->GetTable(relation);
+    dbre::RelationSchema schema(relation);
+    for (const dbre::Attribute& attribute : table.schema().attributes()) {
+      // Keep explicit not-null declarations only (key-implied ones vanish
+      // with the keys).
+      if (!schema.AddAttribute(attribute.name, attribute.type,
+                               attribute.not_null)
+               .ok()) {
+        std::fprintf(stderr, "schema rebuild failed\n");
+        return 1;
+      }
+    }
+    dbre::Table copy(std::move(schema));
+    for (const dbre::ValueVector& row : table.rows()) {
+      copy.InsertUnchecked(row);
+    }
+    if (!stripped.AddTable(std::move(copy)).ok()) {
+      std::fprintf(stderr, "table rebuild failed\n");
+      return 1;
+    }
+  }
+
+  auto oracle = dbre::workload::PaperOracle();
+  dbre::PipelineOptions options;
+  options.infer_missing_keys = true;
+  auto report = dbre::RunPipeline(stripped,
+                                  dbre::workload::PaperJoinSet(),
+                                  oracle.get(), options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("A3 — key inference on the undeclared paper schema\n\n");
+  std::printf("%-12s %-22s %-22s %s\n", "relation", "dictionary key",
+              "inferred key", "agree?");
+  auto dictionary_keys = with_dictionary->KeySet();
+  int agreements = 0, total = 0;
+  for (const dbre::QualifiedAttributes& declared : dictionary_keys) {
+    std::string inferred = "(none)";
+    bool agree = false;
+    for (const dbre::QualifiedAttributes& mined : report->key_set) {
+      if (mined.relation == declared.relation) {
+        inferred = mined.attributes.ToString();
+        agree = mined.attributes == declared.attributes;
+      }
+    }
+    std::printf("%-12s %-22s %-22s %s\n", declared.relation.c_str(),
+                declared.attributes.ToString().c_str(), inferred.c_str(),
+                agree ? "yes" : "NO");
+    ++total;
+    if (agree) ++agreements;
+  }
+  std::printf("\n%d/%d inferred keys match the dictionary.\n", agreements,
+              total);
+  std::printf(
+      "Disagreements are honest overfitting: the extension genuinely\n"
+      "satisfies additional unique combinations (e.g. Assignment's sample\n"
+      "is unique on smaller sets than {emp, dep, proj}); extension-only\n"
+      "inference is a heuristic, the dictionary stays authoritative.\n\n");
+
+  // How much of the elicitation survives without any declarations?
+  std::printf("Elicited with inferred keys:\n");
+  std::printf("  INDs: %zu   FDs: %zu   hidden objects: %zu   RICs: %zu\n",
+              report->ind.inds.size(), report->rhs.fds.size(),
+              report->rhs.hidden.size(), report->restruct.rics.size());
+  bool fd_found = false;
+  for (const dbre::FunctionalDependency& fd : report->rhs.fds) {
+    if (fd.ToString() == "Assignment: {proj} -> {project-name}") {
+      fd_found = true;
+    }
+  }
+  std::printf("  proj -> project-name rediscovered: %s\n",
+              fd_found ? "yes" : "no");
+  return 0;
+}

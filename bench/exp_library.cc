@@ -1,0 +1,117 @@
+// Experiment E11 — the second worked scenario (municipal library),
+// exercising the expert-decision branches the HR example does not: forcing
+// a dirty inclusion (§6.1 (vi)), enforcing a corrupted FD (§6.2.2 (ii)),
+// cyclic INDs, and discriminator analysis. Exits non-zero on deviation.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "deps/ind_closure.h"
+#include "sql/selection_analysis.h"
+#include "workload/library_example.h"
+
+namespace {
+
+int g_failures = 0;
+
+void Check(const std::string& what, bool ok) {
+  std::printf("  [E11] %-62s %s\n", what.c_str(), ok ? "PASS" : "FAIL");
+  if (!ok) ++g_failures;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Second scenario: the municipal library (dirty data paths)\n\n");
+  auto database = dbre::workload::BuildLibraryDatabase();
+  if (!database.ok()) {
+    std::fprintf(stderr, "database build failed\n");
+    return 1;
+  }
+  auto oracle = dbre::workload::LibraryOracle();
+  dbre::RecordingOracle recording(oracle.get());
+  auto report = dbre::RunPipeline(*database,
+                                  dbre::workload::LibraryJoinSet(),
+                                  &recording);
+  if (!report.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  // The dirty FK: 155 / 200 / 150 → NEI, forced.
+  for (const dbre::JoinOutcome& outcome : report->ind.outcomes) {
+    if (outcome.join.left_relation == "Loans" &&
+        outcome.join.right_relation == "Members") {
+      std::printf("  [E11] Loans-Members counts %zu/%zu/%zu (NEI)\n",
+                  outcome.counts.n_left, outcome.counts.n_right,
+                  outcome.counts.n_join);
+      Check("orphaned FK handled as forced inclusion (case vi)",
+            outcome.kind == dbre::JoinOutcomeKind::kNeiForced);
+    }
+  }
+
+  // Enforced FD.
+  bool fd_ok = report->rhs.fds.size() == 1 &&
+               report->rhs.fds[0].ToString() ==
+                   "Books: {branch} -> {branch_city}";
+  Check("corrupted branch->branch_city enforced into F (case ii)", fd_ok);
+
+  // Cyclic INDs between Members and Cardholders.
+  auto cycles = dbre::FindCyclicSides(report->ind.inds);
+  Check("Members/Cardholders id domains form a cyclic IND pair",
+        cycles.size() == 1 && cycles[0].sides.size() == 2);
+
+  // Restructured Branch relation with clean first-wins extension.
+  bool branch_ok = report->restruct.database.HasRelation("Branch");
+  if (branch_ok) {
+    const dbre::Table& branch =
+        **report->restruct.database.GetTable("Branch");
+    branch_ok = branch.num_rows() == 8 &&
+                branch.VerifyUniqueConstraints().ok();
+  }
+  Check("Branch(branch*, branch_city) materialized with 8 clean tuples",
+        branch_ok);
+
+  // RIC census: 5, of which exactly the forced one is violated by the
+  // extension.
+  size_t violated = 0;
+  for (const dbre::InclusionDependency& ric : report->restruct.rics) {
+    auto holds = Satisfies(report->restruct.database, ric);
+    if (holds.ok() && !*holds) ++violated;
+  }
+  std::printf("  [E11] RICs: %zu, violated by the (dirty) extension: %zu\n",
+              report->restruct.rics.size(), violated);
+  Check("5 RICs; only the forced Loans-Members RIC is violated",
+        report->restruct.rics.size() == 5 && violated == 1);
+
+  // Discriminator.
+  dbre::sql::SelectionAnalysisOptions selection;
+  selection.catalog = &*database;
+  auto discriminators = dbre::sql::AnalyzeSelections(
+      dbre::workload::LibraryProgramSources(), selection);
+  bool discriminator_ok = discriminators.ok() &&
+                          discriminators->size() == 1 &&
+                          (*discriminators)[0].attribute == "status";
+  Check("Members.status surfaces as the discriminator candidate",
+        discriminator_ok);
+
+  // Cycle merging.
+  dbre::PipelineOptions merge_options;
+  merge_options.translate.merge_isa_cycles = true;
+  auto merged = dbre::RunPipeline(*database,
+                                  dbre::workload::LibraryJoinSet(),
+                                  oracle.get(), merge_options);
+  Check("is-a cycle merges into one Cardholders entity",
+        merged.ok() && merged->eer.isa_links().empty() &&
+            merged->eer.HasEntity("Cardholders") &&
+            !merged->eer.HasEntity("Members"));
+
+  std::printf("\nExpert session: %zu interactions\n",
+              recording.InteractionCount());
+  std::printf("%s\n", g_failures == 0 ? "Scenario reproduced."
+                                      : "DEVIATIONS DETECTED.");
+  return g_failures == 0 ? 0 : 1;
+}

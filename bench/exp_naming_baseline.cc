@@ -1,0 +1,76 @@
+// Experiment A5 — why the paper drops the naming assumption.
+//
+// Related methods (the paper's ref [5]) presume "consistent naming of key
+// attributes" and read foreign keys off the names. This experiment pits
+// that heuristic against query-guided IND-Discovery on the same synthetic
+// databases, twice: with aligned names, and with obfuscated link columns
+// (ground truth and programs unchanged — programs reference whatever
+// column names exist).
+#include <algorithm>
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "deps/name_matcher.h"
+#include "workload/generator.h"
+#include "workload/metrics.h"
+
+namespace {
+
+dbre::workload::PrecisionRecall Score(
+    const std::vector<dbre::InclusionDependency>& recovered,
+    const std::vector<dbre::InclusionDependency>& truth) {
+  return dbre::workload::CompareInds(recovered, truth);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "A5 — query-guided vs name-based IND discovery\n"
+      "                         guided-prec guided-rec  name-prec  "
+      "name-rec  name-proposals\n");
+  for (bool obfuscate : {false, true}) {
+    dbre::workload::SyntheticSpec spec;
+    spec.num_entities = 8;
+    spec.num_merged = 4;
+    spec.rows_per_entity = 300;
+    spec.seed = 4;
+    spec.obfuscate_names = obfuscate;
+    auto generated = dbre::workload::GenerateSynthetic(spec);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "generation failed\n");
+      return 1;
+    }
+
+    dbre::DefaultOracle oracle;
+    auto report = dbre::RunPipeline(generated->database,
+                                    generated->queries, &oracle);
+    if (!report.ok()) {
+      std::fprintf(stderr, "pipeline failed\n");
+      return 1;
+    }
+    auto guided = Score(report->ind.inds, generated->true_inds);
+
+    dbre::NameMatchOptions options;
+    options.key_targets_only = false;  // merged links reference non-keys
+    dbre::NameMatchStats stats;
+    auto by_name =
+        dbre::DiscoverIndsByNaming(generated->database, options, &stats);
+    if (!by_name.ok()) {
+      std::fprintf(stderr, "name matching failed\n");
+      return 1;
+    }
+    auto name_score = Score(*by_name, generated->true_inds);
+
+    std::printf("%-24s %11.3f %10.3f %10.3f %9.3f %15zu\n",
+                obfuscate ? "obfuscated link names" : "aligned link names",
+                guided.Precision(), guided.Recall(), name_score.Precision(),
+                name_score.Recall(), stats.pairs_proposed);
+  }
+  std::printf(
+      "\nReading: query-guided elicitation is invariant to naming — the\n"
+      "programs always spell out the navigation. The naming heuristic's\n"
+      "recall collapses the moment conventions break, which is exactly\n"
+      "the paper's argument for not assuming them.\n");
+  return 0;
+}

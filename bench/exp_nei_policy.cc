@@ -1,0 +1,78 @@
+// Ablation A2: the NEI decision policy. The paper delegates non-empty
+// intersections to the expert; unattended runs need a policy. We sweep the
+// ThresholdOracle's conceptualize/force thresholds on a corrupted database
+// and report what each policy elicits and how it scores.
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "workload/generator.h"
+#include "workload/metrics.h"
+
+int main() {
+  dbre::workload::SyntheticSpec spec;
+  spec.num_entities = 8;
+  spec.num_merged = 4;
+  spec.rows_per_entity = 400;
+  spec.orphan_rate = 0.1;  // every link becomes an NEI
+  spec.seed = 13;
+  auto generated = dbre::workload::GenerateSynthetic(spec);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "generation failed\n");
+    return 1;
+  }
+
+  std::printf("A2 — NEI policy sweep on a 10%%-orphaned extension\n");
+  std::printf(
+      "policy                         INDs  forced  conceptualized  "
+      "ignored  IND-recall  IND-precision\n");
+
+  struct Policy {
+    const char* name;
+    double conceptualize;
+    double force;
+  };
+  const Policy policies[] = {
+      {"ignore-all (paper vii)", 2.0, 2.0},
+      {"force >= 0.9 overlap", 2.0, 0.9},
+      {"force >= 0.5 overlap", 2.0, 0.5},
+      {"force >= 0.1 overlap", 2.0, 0.1},
+      {"conceptualize >= 0.8", 0.8, 2.0},
+      {"conceptualize >= 0.5", 0.5, 2.0},
+  };
+  for (const Policy& policy : policies) {
+    dbre::ThresholdOracle::Options options;
+    options.nei_conceptualize_ratio = policy.conceptualize;
+    options.nei_force_ratio = policy.force;
+    options.accept_hidden_objects = true;
+    dbre::ThresholdOracle oracle(options);
+    auto report =
+        dbre::RunPipeline(generated->database, generated->queries, &oracle);
+    if (!report.ok()) {
+      std::fprintf(stderr, "pipeline failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    size_t forced = 0, conceptualized = 0, ignored = 0;
+    for (const dbre::JoinOutcome& outcome : report->ind.outcomes) {
+      switch (outcome.kind) {
+        case dbre::JoinOutcomeKind::kNeiForced: ++forced; break;
+        case dbre::JoinOutcomeKind::kNeiConceptualized:
+          ++conceptualized;
+          break;
+        case dbre::JoinOutcomeKind::kNeiIgnored: ++ignored; break;
+        default: break;
+      }
+    }
+    dbre::workload::PrecisionRecall pr = dbre::workload::CompareInds(
+        report->ind.inds, generated->true_inds);
+    std::printf("%-30s %4zu  %6zu  %14zu  %7zu  %10.3f  %13.3f\n",
+                policy.name, report->ind.inds.size(), forced,
+                conceptualized, ignored, pr.Recall(), pr.Precision());
+  }
+  std::printf(
+      "\nReading: forcing recovers the dirty links as the paper's cases "
+      "(v)/(vi);\nconceptualizing instead materializes intersection "
+      "relations (case (iv)),\nwhich count as extra (unplanted) INDs — "
+      "precision reflects that modeling\nchoice rather than an error.\n");
+  return 0;
+}

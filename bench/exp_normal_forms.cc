@@ -1,0 +1,101 @@
+// Experiment E10: the normal-form annotations of section 5 (Person 2NF,
+// HEmployee 3NF, Department 2NF, Assignment 1NF), re-derived two ways:
+//   (a) from the design-level FDs the paper states, and
+//   (b) from FDs mined out of the actual extension (sanity check that the
+//       engineered data carries the same dependencies).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "deps/fd_miner.h"
+#include "deps/normal_forms.h"
+#include "workload/paper_example.h"
+
+namespace {
+
+int g_failures = 0;
+
+void Report(const std::string& relation, dbre::NormalForm declared,
+            dbre::NormalForm mined, const std::string& paper_says,
+            bool ok) {
+  std::printf("  %-12s declared-FDs: %-4s  mined-FDs: %-4s  paper: %-4s  %s\n",
+              relation.c_str(), dbre::NormalFormName(declared),
+              dbre::NormalFormName(mined), paper_says.c_str(),
+              ok ? "PASS" : "FAIL");
+  if (!ok) ++g_failures;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E10 — normal forms of the legacy schema (section 5):\n\n");
+  auto database = dbre::workload::BuildPaperDatabase();
+  if (!database.ok()) {
+    std::fprintf(stderr, "database build failed\n");
+    return 1;
+  }
+
+  struct Row {
+    const char* relation;
+    std::vector<dbre::FunctionalDependency> declared;
+    const char* paper;
+    // Expected classification from the declared FDs. Paper annotations are
+    // lower bounds (its "3NF" for HEmployee is in fact BCNF).
+    dbre::NormalForm expected;
+  };
+
+  using dbre::AttributeSet;
+  using dbre::FunctionalDependency;
+  std::vector<Row> rows;
+  rows.push_back(
+      {"Person",
+       {FunctionalDependency("Person", AttributeSet{"id"},
+                             AttributeSet{"name", "street", "number",
+                                          "zip-code", "state"}),
+        FunctionalDependency("Person", AttributeSet{"zip-code"},
+                             AttributeSet{"state"})},
+       "2NF", dbre::NormalForm::k2NF});
+  rows.push_back({"HEmployee",
+                  {FunctionalDependency("HEmployee",
+                                        AttributeSet{"date", "no"},
+                                        AttributeSet{"salary"})},
+                  "3NF", dbre::NormalForm::kBCNF});
+  rows.push_back(
+      {"Department",
+       {FunctionalDependency("Department", AttributeSet{"dep"},
+                             AttributeSet{"emp", "skill", "location",
+                                          "proj"}),
+        FunctionalDependency("Department", AttributeSet{"emp"},
+                             AttributeSet{"proj", "skill"})},
+       "2NF", dbre::NormalForm::k2NF});
+  rows.push_back(
+      {"Assignment",
+       {FunctionalDependency("Assignment", AttributeSet{"dep", "emp", "proj"},
+                             AttributeSet{"date", "project-name"}),
+        FunctionalDependency("Assignment", AttributeSet{"proj"},
+                             AttributeSet{"project-name"})},
+       "1NF", dbre::NormalForm::k1NF});
+
+  for (const Row& row : rows) {
+    const dbre::Table& table = **database->GetTable(row.relation);
+    AttributeSet all = table.schema().AttributeNames();
+    dbre::NormalForm declared = dbre::ClassifyNormalForm(all, row.declared);
+
+    // Mine FDs from the extension. NULL-as-value mining can surface extra
+    // accidental dependencies in Department's NULL groups; the declared
+    // classification is the authoritative one, mining is the cross-check.
+    dbre::FdMinerOptions options;
+    options.max_lhs_size = 2;
+    auto mined = dbre::MineFds(table, options);
+    dbre::NormalForm mined_nf =
+        mined.ok() ? dbre::ClassifyNormalForm(all, *mined)
+                   : dbre::NormalForm::k1NF;
+    Report(row.relation, declared, mined_nf, row.paper,
+           declared == row.expected);
+  }
+
+  std::printf("\n%s\n", g_failures == 0
+                            ? "Normal-form annotations reproduced."
+                            : "DEVIATIONS DETECTED.");
+  return g_failures == 0 ? 0 : 1;
+}

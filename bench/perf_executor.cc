@@ -1,0 +1,110 @@
+// Extension perf — SQL executor throughput: the count-distinct operator of
+// §6.1 evaluated through SQL versus through the algebra layer directly,
+// plus join and subquery evaluation costs.
+#include <map>
+#include <memory>
+#include <random>
+
+#include <benchmark/benchmark.h>
+
+#include "relational/algebra.h"
+#include "sql/executor.h"
+
+namespace {
+
+const dbre::Database& CachedDatabase(size_t rows) {
+  static std::map<size_t, std::unique_ptr<dbre::Database>> cache;
+  auto it = cache.find(rows);
+  if (it == cache.end()) {
+    auto db = std::make_unique<dbre::Database>();
+    dbre::RelationSchema orders("Orders");
+    if (!orders.AddAttribute("ord", dbre::DataType::kInt64).ok() ||
+        !orders.AddAttribute("cust", dbre::DataType::kInt64).ok() ||
+        !orders.DeclareUnique({"ord"}).ok()) {
+      std::abort();
+    }
+    dbre::RelationSchema customers("Customers");
+    if (!customers.AddAttribute("id", dbre::DataType::kInt64).ok() ||
+        !customers.DeclareUnique({"id"}).ok()) {
+      std::abort();
+    }
+    if (!db->CreateRelation(std::move(orders)).ok() ||
+        !db->CreateRelation(std::move(customers)).ok()) {
+      std::abort();
+    }
+    std::mt19937_64 rng(23);
+    dbre::Table* orders_table = *db->GetMutableTable("Orders");
+    for (size_t i = 0; i < rows; ++i) {
+      if (!orders_table
+               ->Insert({dbre::Value::Int(static_cast<int64_t>(i)),
+                         dbre::Value::Int(
+                             static_cast<int64_t>(rng() % (rows / 10 + 1)))})
+               .ok()) {
+        std::abort();
+      }
+    }
+    dbre::Table* customers_table = *db->GetMutableTable("Customers");
+    for (size_t i = 0; i <= rows / 10; ++i) {
+      if (!customers_table
+               ->Insert({dbre::Value::Int(static_cast<int64_t>(i))})
+               .ok()) {
+        std::abort();
+      }
+    }
+    it = cache.emplace(rows, std::move(db)).first;
+  }
+  return *it->second;
+}
+
+void BM_CountDistinctViaSql(benchmark::State& state) {
+  const dbre::Database& db =
+      CachedDatabase(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto count = dbre::sql::CountDistinct(db, "Orders", {"cust"});
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CountDistinctViaSql)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CountDistinctViaAlgebra(benchmark::State& state) {
+  const dbre::Database& db =
+      CachedDatabase(static_cast<size_t>(state.range(0)));
+  const dbre::Table& orders = **db.GetTable("Orders");
+  for (auto _ : state) {
+    auto count = orders.DistinctCount(dbre::AttributeSet{"cust"});
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CountDistinctViaAlgebra)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ExecutorInSubquery(benchmark::State& state) {
+  const dbre::Database& db =
+      CachedDatabase(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto rows = dbre::sql::ExecuteQuery(
+        db,
+        "SELECT COUNT(*) FROM Orders WHERE cust IN "
+        "(SELECT id FROM Customers)");
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_ExecutorInSubquery)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// P3 — targeted FD elicitation (RHS-Discovery checks only the candidates
+// the inclusion dependencies point at) versus unguided levelwise FD mining
+// (the Mannila–Räihä-style baseline, the paper's ref [12]) over the same
+// relation.
+#include <map>
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "core/rhs_discovery.h"
+#include "deps/fd_miner.h"
+#include "workload/generator.h"
+
+namespace {
+
+using dbre::workload::GenerateSynthetic;
+using dbre::workload::SyntheticDatabase;
+using dbre::workload::SyntheticSpec;
+
+// A database whose merged entities all land in wide host relations.
+const SyntheticDatabase& CachedDatabase(size_t payload) {
+  static std::map<size_t, std::unique_ptr<SyntheticDatabase>> cache;
+  auto it = cache.find(payload);
+  if (it == cache.end()) {
+    SyntheticSpec spec;
+    spec.num_entities = 4;
+    spec.num_merged = 2;
+    spec.payload_per_entity = payload;  // widens every relation
+    spec.rows_per_entity = 3000;
+    spec.emit_program_sources = false;
+    auto generated = GenerateSynthetic(spec);
+    if (!generated.ok()) std::abort();
+    it = cache.emplace(payload, std::make_unique<SyntheticDatabase>(
+                                    std::move(generated).value()))
+             .first;
+  }
+  return *it->second;
+}
+
+void BM_TargetedRhsDiscovery(benchmark::State& state) {
+  const SyntheticDatabase& db =
+      CachedDatabase(static_cast<size_t>(state.range(0)));
+  // Candidates as LHS-Discovery would produce them: the planted
+  // identifiers.
+  dbre::DefaultOracle oracle;
+  size_t checks = 0, fds = 0;
+  for (auto _ : state) {
+    auto result = dbre::DiscoverRhs(db.database, db.true_identifiers, {},
+                                    &oracle);
+    if (!result.ok()) state.SkipWithError("rhs discovery failed");
+    checks = result->fd_checks;
+    fds = result->fds.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["fd_checks"] = static_cast<double>(checks);
+  state.counters["fds_found"] = static_cast<double>(fds);
+}
+BENCHMARK(BM_TargetedRhsDiscovery)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LevelwiseFdMining(benchmark::State& state) {
+  const SyntheticDatabase& db =
+      CachedDatabase(static_cast<size_t>(state.range(0)));
+  // Mine the widest relation (a merged-entity host).
+  const dbre::Table* widest = nullptr;
+  for (const std::string& name : db.database.RelationNames()) {
+    const dbre::Table* table = *db.database.GetTable(name);
+    if (widest == nullptr ||
+        table->schema().arity() > widest->schema().arity()) {
+      widest = table;
+    }
+  }
+  dbre::FdMinerOptions options;
+  options.max_lhs_size = 2;
+  size_t checks = 0, fds = 0;
+  for (auto _ : state) {
+    dbre::FdMinerStats stats;
+    auto result = dbre::MineFds(*widest, options, &stats);
+    if (!result.ok()) state.SkipWithError("mining failed");
+    checks = stats.candidates_checked;
+    fds = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["fd_checks"] = static_cast<double>(checks);
+  state.counters["fds_found"] = static_cast<double>(fds);
+}
+BENCHMARK(BM_LevelwiseFdMining)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// P1 — IND-Discovery scaling: cost of eliciting inclusion dependencies as
+// the extension grows and as the query workload grows. The dominant cost
+// is the three count-distinct valuations per equi-join, each linear in the
+// table size.
+#include <map>
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "core/ind_discovery.h"
+#include "workload/generator.h"
+
+namespace {
+
+using dbre::workload::GenerateSynthetic;
+using dbre::workload::SyntheticDatabase;
+using dbre::workload::SyntheticSpec;
+
+const SyntheticDatabase& CachedDatabase(size_t entities, size_t rows) {
+  static std::map<std::pair<size_t, size_t>,
+                  std::unique_ptr<SyntheticDatabase>>
+      cache;
+  auto key = std::make_pair(entities, rows);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    SyntheticSpec spec;
+    spec.num_entities = entities;
+    spec.num_merged = entities / 2;
+    spec.rows_per_entity = rows;
+    spec.emit_program_sources = false;
+    auto generated = GenerateSynthetic(spec);
+    if (!generated.ok()) std::abort();
+    it = cache.emplace(key, std::make_unique<SyntheticDatabase>(
+                                std::move(generated).value()))
+             .first;
+  }
+  return *it->second;
+}
+
+// Scaling with extension size, fixed workload.
+void BM_IndDiscoveryByRows(benchmark::State& state) {
+  const SyntheticDatabase& db =
+      CachedDatabase(6, static_cast<size_t>(state.range(0)));
+  dbre::DefaultOracle oracle;
+  // Clean data + conservative oracle: DiscoverInds never conceptualizes,
+  // so one working copy outside the timed loop suffices.
+  dbre::Database working = db.database.Clone();
+  size_t inds = 0;
+  for (auto _ : state) {
+    auto result = dbre::DiscoverInds(&working, db.queries, &oracle);
+    if (!result.ok()) state.SkipWithError("discovery failed");
+    inds = result->inds.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["inds"] = static_cast<double>(inds);
+  state.counters["joins"] = static_cast<double>(db.queries.size());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_IndDiscoveryByRows)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Arg(16000)
+    ->Arg(64000)
+    ->Unit(benchmark::kMillisecond);
+
+// Scaling with workload size (schema width drives |Q|), fixed rows.
+void BM_IndDiscoveryByJoins(benchmark::State& state) {
+  const SyntheticDatabase& db =
+      CachedDatabase(static_cast<size_t>(state.range(0)), 2000);
+  dbre::DefaultOracle oracle;
+  dbre::Database working = db.database.Clone();
+  for (auto _ : state) {
+    auto result = dbre::DiscoverInds(&working, db.queries, &oracle);
+    if (!result.ok()) state.SkipWithError("discovery failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["joins"] = static_cast<double>(db.queries.size());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(db.queries.size()));
+}
+BENCHMARK(BM_IndDiscoveryByJoins)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

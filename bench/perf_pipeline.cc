@@ -1,0 +1,66 @@
+// P5 — end-to-end pipeline cost and its per-phase breakdown as the
+// database grows.
+#include <map>
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline.h"
+#include "workload/generator.h"
+
+namespace {
+
+using dbre::workload::GenerateSynthetic;
+using dbre::workload::SyntheticDatabase;
+using dbre::workload::SyntheticSpec;
+
+const SyntheticDatabase& CachedDatabase(size_t rows) {
+  static std::map<size_t, std::unique_ptr<SyntheticDatabase>> cache;
+  auto it = cache.find(rows);
+  if (it == cache.end()) {
+    SyntheticSpec spec;
+    spec.num_entities = 6;
+    spec.num_merged = 3;
+    spec.rows_per_entity = rows;
+    spec.emit_program_sources = false;
+    auto generated = GenerateSynthetic(spec);
+    if (!generated.ok()) std::abort();
+    it = cache.emplace(rows, std::make_unique<SyntheticDatabase>(
+                                 std::move(generated).value()))
+             .first;
+  }
+  return *it->second;
+}
+
+void BM_FullPipeline(benchmark::State& state) {
+  const SyntheticDatabase& db =
+      CachedDatabase(static_cast<size_t>(state.range(0)));
+  dbre::ThresholdOracle::Options options;
+  options.accept_hidden_objects = true;
+  dbre::ThresholdOracle oracle(options);
+  dbre::PhaseTimings timings;
+  for (auto _ : state) {
+    auto report = dbre::RunPipeline(db.database, db.queries, &oracle);
+    if (!report.ok()) state.SkipWithError("pipeline failed");
+    timings = report->timings;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["ind_us"] = static_cast<double>(timings.ind_discovery_us);
+  state.counters["lhs_us"] = static_cast<double>(timings.lhs_discovery_us);
+  state.counters["rhs_us"] = static_cast<double>(timings.rhs_discovery_us);
+  state.counters["restruct_us"] = static_cast<double>(timings.restruct_us);
+  state.counters["translate_us"] =
+      static_cast<double>(timings.translate_us);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0) * 6);
+}
+BENCHMARK(BM_FullPipeline)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Arg(8000)
+    ->Arg(32000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// P6 — front-end throughput: scanning application programs for embedded
+// SQL and extracting the equi-join set Q.
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "sql/scanner.h"
+
+namespace {
+
+// Builds a corpus of `programs` host-language files, each containing a few
+// embedded statements exercising different join idioms.
+std::vector<std::pair<std::string, std::string>> MakeCorpus(
+    size_t programs) {
+  std::vector<std::pair<std::string, std::string>> corpus;
+  for (size_t i = 0; i < programs; ++i) {
+    std::string t1 = "T" + std::to_string(i % 20);
+    std::string t2 = "T" + std::to_string((i + 1) % 20);
+    std::string source =
+        "/* program " + std::to_string(i) + " */\n"
+        "void f(void) {\n"
+        "  EXEC SQL SELECT a.k FROM " + t1 + " a, " + t2 +
+        " b WHERE a.ref = b.id AND a.flag = 1;\n"
+        "}\n"
+        "void g(void) {\n"
+        "  EXEC SQL SELECT k FROM " + t1 +
+        " WHERE ref IN (SELECT id FROM " + t2 + ");\n"
+        "}\n"
+        "static const char *q = \"SELECT id FROM " + t1 +
+        " INTERSECT SELECT ref FROM " + t2 + "\";\n";
+    corpus.emplace_back("prog" + std::to_string(i) + ".pc",
+                        std::move(source));
+  }
+  return corpus;
+}
+
+void BM_ScanAndExtract(benchmark::State& state) {
+  auto corpus = MakeCorpus(static_cast<size_t>(state.range(0)));
+  size_t bytes = 0;
+  for (const auto& [name, text] : corpus) bytes += text.size();
+  size_t joins = 0;
+  for (auto _ : state) {
+    dbre::sql::ExtractionStats stats;
+    auto result = dbre::sql::BuildQueryJoinSetFromSources(corpus, {},
+                                                          &stats);
+    if (!result.ok()) state.SkipWithError("extraction failed");
+    joins = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["joins"] = static_cast<double>(joins);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * bytes));
+}
+BENCHMARK(BM_ScanAndExtract)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScanOnly(benchmark::State& state) {
+  auto corpus = MakeCorpus(static_cast<size_t>(state.range(0)));
+  size_t bytes = 0;
+  for (const auto& [name, text] : corpus) bytes += text.size();
+  for (auto _ : state) {
+    size_t statements = 0;
+    for (const auto& [name, text] : corpus) {
+      statements += dbre::sql::ScanProgramText(text).size();
+    }
+    benchmark::DoNotOptimize(statements);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * bytes));
+}
+BENCHMARK(BM_ScanOnly)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,19 @@
+-- Legacy order-management dictionary: only unique / not-null survive.
+CREATE TABLE Customers (
+  id INT PRIMARY KEY,
+  name VARCHAR(30),
+  city VARCHAR(30)
+);
+CREATE TABLE Orders (
+  ord INT PRIMARY KEY,
+  cust INT,
+  prod INT,
+  prod_name VARCHAR(30),
+  qty INT,
+  status CHAR(10)
+);
+CREATE TABLE Shipments (
+  ship INT PRIMARY KEY,
+  prod INT,
+  carrier VARCHAR(20) NOT NULL
+);

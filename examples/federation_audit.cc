@@ -1,0 +1,78 @@
+// Federation audit: before merging a legacy database into a federation,
+// measure how much of its conceptual schema the DBRE method can recover
+// automatically, and how that degrades when the application-program corpus
+// is incomplete (query coverage) or the extension is dirty (orphaned
+// references).
+//
+// The generator plants a known conceptual design; the audit reports
+// precision/recall of the recovered INDs and FDs for a grid of conditions.
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "workload/generator.h"
+#include "workload/metrics.h"
+
+namespace {
+
+struct Condition {
+  double coverage;
+  double orphan_rate;
+};
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "coverage  orphans   IND precision  IND recall  FD recall  "
+      "oracle-questions\n");
+  const Condition conditions[] = {
+      {1.00, 0.00}, {0.75, 0.00}, {0.50, 0.00}, {0.25, 0.00},
+      {1.00, 0.05}, {1.00, 0.15}, {0.75, 0.10},
+  };
+  for (const Condition& condition : conditions) {
+    dbre::workload::SyntheticSpec spec;
+    spec.num_entities = 8;
+    spec.num_merged = 4;
+    spec.rows_per_entity = 400;
+    spec.query_coverage = condition.coverage;
+    spec.orphan_rate = condition.orphan_rate;
+    spec.seed = 2026;
+    auto generated = dbre::workload::GenerateSynthetic(spec);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "generation failed: %s\n",
+                   generated.status().ToString().c_str());
+      return 1;
+    }
+
+    // A lenient threshold oracle: force dirty inclusions when at least
+    // half of the smaller side survives, accept hidden objects.
+    dbre::ThresholdOracle::Options options;
+    options.nei_conceptualize_ratio = 2.0;  // never conceptualize
+    options.nei_force_ratio = 0.5;
+    options.accept_hidden_objects = true;
+    dbre::ThresholdOracle threshold(options);
+    dbre::RecordingOracle oracle(&threshold);
+
+    auto report = dbre::RunPipeline(generated->database, generated->queries,
+                                    &oracle);
+    if (!report.ok()) {
+      std::fprintf(stderr, "pipeline failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    dbre::workload::PrecisionRecall ind_pr = dbre::workload::CompareInds(
+        report->ind.inds, generated->true_inds);
+    dbre::workload::PrecisionRecall fd_pr =
+        dbre::workload::CompareFds(report->rhs.fds, generated->true_fds);
+    std::printf("%7.2f  %7.2f  %13.3f  %10.3f  %9.3f  %17zu\n",
+                condition.coverage, condition.orphan_rate,
+                ind_pr.Precision(), ind_pr.Recall(), fd_pr.Recall(),
+                oracle.InteractionCount());
+  }
+  std::printf(
+      "\nReading: recall tracks query coverage (the method only sees links "
+      "the\nprograms navigate); orphans turn clean inclusions into NEIs "
+      "that cost\noracle questions but are recovered by the forcing "
+      "policy.\n");
+  return 0;
+}

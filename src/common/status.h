@@ -1,0 +1,148 @@
+// Error-handling primitives for the dbre library.
+//
+// The library does not use exceptions (per the project style rules). Fallible
+// operations return a `Status`, or a `Result<T>` when they also produce a
+// value. Both are cheap to move and carry a code plus a human-readable
+// message.
+#ifndef DBRE_COMMON_STATUS_H_
+#define DBRE_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dbre {
+
+// Machine-inspectable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // named relation/attribute/file does not exist
+  kAlreadyExists,     // duplicate relation/attribute/constraint
+  kFailedPrecondition,// operation not valid for the current object state
+  kOutOfRange,        // index past the end
+  kParseError,        // SQL / CSV text could not be parsed
+  kIoError,           // filesystem failure
+  kInternal,          // invariant violation inside the library
+};
+
+// Returns a stable lowercase name for `code` ("ok", "invalid_argument", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Default-constructed `Status` is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience constructors mirroring absl::*Error.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status ParseError(std::string message);
+Status IoError(std::string message);
+Status InternalError(std::string message);
+
+// A value of type T or an error Status. Accessing the value of a non-OK
+// Result aborts the program (the caller must check `ok()` first).
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : data_(std::move(value)) {}
+  Result(Status status) : data_(std::move(status)) {
+    if (std::get<Status>(data_).ok()) {
+      // A Result constructed from a Status must carry an error.
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) return kOkStatus;
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) std::abort();
+  }
+
+  std::variant<T, Status> data_;
+};
+
+}  // namespace dbre
+
+// Evaluates `expr` (a Status) and returns it from the enclosing function if
+// it is not OK.
+#define DBRE_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::dbre::Status _dbre_status = (expr);           \
+    if (!_dbre_status.ok()) return _dbre_status;    \
+  } while (false)
+
+// Evaluates `rexpr` (a Result<T>), returns its Status on error, otherwise
+// move-assigns the value into `lhs`.
+#define DBRE_ASSIGN_OR_RETURN(lhs, rexpr)           \
+  DBRE_ASSIGN_OR_RETURN_IMPL_(                      \
+      DBRE_STATUS_CONCAT_(_dbre_result, __LINE__), lhs, rexpr)
+
+#define DBRE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define DBRE_STATUS_CONCAT_(a, b) DBRE_STATUS_CONCAT_IMPL_(a, b)
+#define DBRE_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // DBRE_COMMON_STATUS_H_

@@ -1,0 +1,37 @@
+// Small string helpers shared across the dbre library.
+#ifndef DBRE_COMMON_STRING_UTIL_H_
+#define DBRE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dbre {
+
+// Splits `text` on `delimiter`; an empty input yields a single empty piece.
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+// Splits and trims ASCII whitespace from every piece, dropping empty pieces.
+std::vector<std::string> SplitAndTrim(std::string_view text, char delimiter);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view text);
+
+// Joins `pieces` with `separator`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+// ASCII lowercase / uppercase copies.
+std::string ToLower(std::string_view text);
+std::string ToUpper(std::string_view text);
+
+// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// True if `text` starts with / ends with the given affix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+}  // namespace dbre
+
+#endif  // DBRE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,75 @@
+// IND-Discovery (§6.1): eliciting inclusion dependencies from the
+// equi-join workload Q and the database extension.
+//
+// For each equi-join R_k[A_k] ⋈ R_l[A_l] the algorithm queries the three
+// distinct counts N_k, N_l, N_kl and classifies:
+//   (i)   N_kl = 0            → data-integrity anomaly, nothing elicited;
+//   (ii)  N_kl = N_k ≤ N_l    → R_k[A_k] ≪ R_l[A_l];
+//   (iii) N_kl = N_l ≤ N_k    → R_l[A_l] ≪ R_k[A_k] (both (ii) and (iii)
+//         fire when the value sets coincide);
+//   (iv)–(vii) otherwise (non-empty intersection, NEI): the expert decides —
+//         conceptualize the intersection as a new relation R_p(A_p) (its
+//         extension is materialized so the two INDs R_p ≪ R_k, R_p ≪ R_l
+//         hold by construction), force one direction, or ignore.
+//
+// New relations are added to `database` (set S); their names come from the
+// oracle or default to "<left>_<right>_<attrs>". Every per-join outcome is
+// reported for diagnostics and benchmarking.
+#ifndef DBRE_CORE_IND_DISCOVERY_H_
+#define DBRE_CORE_IND_DISCOVERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/oracle.h"
+#include "deps/ind.h"
+#include "relational/algebra.h"
+#include "relational/database.h"
+#include "relational/equi_join.h"
+
+namespace dbre {
+
+enum class JoinOutcomeKind {
+  kEmptyIntersection,   // (i)
+  kLeftIncluded,        // (ii)
+  kRightIncluded,       // (iii)
+  kBothIncluded,        // (ii)+(iii): equal value sets
+  kNeiConceptualized,   // (iv)
+  kNeiForced,           // (v)/(vi)
+  kNeiIgnored,          // (vii)
+  kError,               // join references unknown relation/attribute
+};
+
+const char* JoinOutcomeKindName(JoinOutcomeKind kind);
+
+struct JoinOutcome {
+  EquiJoin join;
+  JoinCounts counts;
+  JoinOutcomeKind kind = JoinOutcomeKind::kError;
+  std::string detail;  // new relation name / error message
+};
+
+struct IndDiscoveryResult {
+  std::vector<InclusionDependency> inds;   // the set IND
+  std::vector<std::string> new_relations;  // names of S's members
+  std::vector<JoinOutcome> outcomes;       // one per input join
+  size_t extension_queries = 0;            // count-distinct evaluations
+};
+
+struct IndDiscoveryOptions {
+  // Skip joins whose relations/attributes are missing from the catalog
+  // (recorded as kError outcomes) instead of failing the run.
+  bool skip_invalid_joins = true;
+};
+
+// Runs IND-Discovery. `database` gains the conceptualized relations of S
+// (with materialized intersection extensions and their attribute set
+// declared unique). `oracle` must outlive the call.
+Result<IndDiscoveryResult> DiscoverInds(
+    Database* database, const std::vector<EquiJoin>& joins,
+    ExpertOracle* oracle, const IndDiscoveryOptions& options = {});
+
+}  // namespace dbre
+
+#endif  // DBRE_CORE_IND_DISCOVERY_H_

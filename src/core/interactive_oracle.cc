@@ -1,0 +1,97 @@
+#include "core/interactive_oracle.h"
+
+#include <cstdio>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace dbre {
+
+std::string InteractiveOracle::ReadLine() {
+  std::string line;
+  if (!std::getline(*in_, line)) return "";
+  return std::string(TrimWhitespace(line));
+}
+
+bool InteractiveOracle::AskYesNo(const std::string& question,
+                                 bool fallback) {
+  *out_ << question << " [y/n] " << std::flush;
+  std::string answer = ToLower(ReadLine());
+  if (answer == "y" || answer == "yes") return true;
+  if (answer == "n" || answer == "no") return false;
+  *out_ << "(using default: " << (fallback ? "yes" : "no") << ")\n";
+  return fallback;
+}
+
+NeiDecision InteractiveOracle::DecideNonEmptyIntersection(
+    const EquiJoin& join, const JoinCounts& counts) {
+  *out_ << "\nNon-empty intersection on " << join.ToString() << "\n"
+        << "  ||left||  = " << counts.n_left << "\n"
+        << "  ||right|| = " << counts.n_right << "\n"
+        << "  ||join||  = " << counts.n_join << "\n"
+        << "Choose: [c]onceptualize as a new relation, force [l]eft << "
+           "right,\n        force [r]ight << left, or [i]gnore: "
+        << std::flush;
+  std::string answer = ToLower(ReadLine());
+  if (answer == "c" || answer == "conceptualize") {
+    *out_ << "Name for the new relation (empty = derive): " << std::flush;
+    std::string name = ReadLine();
+    return NeiDecision{NeiAction::kConceptualize, name};
+  }
+  if (answer == "l" || answer == "left") {
+    return NeiDecision{NeiAction::kForceLeftInRight, ""};
+  }
+  if (answer == "r" || answer == "right") {
+    return NeiDecision{NeiAction::kForceRightInLeft, ""};
+  }
+  if (answer != "i" && answer != "ignore" && !answer.empty()) {
+    *out_ << "(unrecognized, ignoring the intersection)\n";
+  }
+  return NeiDecision{NeiAction::kIgnore, ""};
+}
+
+bool InteractiveOracle::EnforceFailedFd(const FunctionalDependency& fd) {
+  return AskYesNo("\nThe extension violates " + fd.ToString() +
+                      ". Enforce it anyway (data-integrity problem)?",
+                  /*fallback=*/false);
+}
+
+bool InteractiveOracle::EnforceFailedFd(const FunctionalDependency& fd,
+                                        double g3_error) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f%%", g3_error * 100.0);
+  return AskYesNo("\nThe extension violates " + fd.ToString() + " (" +
+                      buffer +
+                      " of tuples contradict it). Enforce it anyway?",
+                  /*fallback=*/false);
+}
+
+bool InteractiveOracle::ValidateFd(const FunctionalDependency& fd) {
+  return AskYesNo("\nElicited " + fd.ToString() +
+                      ". Is it meaningful in the application domain "
+                      "(not a mere integrity constraint)?",
+                  /*fallback=*/true);
+}
+
+bool InteractiveOracle::ConceptualizeHiddenObject(
+    const QualifiedAttributes& candidate) {
+  return AskYesNo("\nNo dependent attributes for " + candidate.ToString() +
+                      ". Conceptualize it as a hidden object?",
+                  /*fallback=*/false);
+}
+
+std::string InteractiveOracle::NameRelationForFd(
+    const FunctionalDependency& fd) {
+  *out_ << "\nName for the relation split off by " << fd.ToString()
+        << " (empty = derive): " << std::flush;
+  return ReadLine();
+}
+
+std::string InteractiveOracle::NameHiddenObjectRelation(
+    const QualifiedAttributes& source) {
+  *out_ << "\nName for the relation materializing hidden object "
+        << source.ToString() << " (empty = derive): " << std::flush;
+  return ReadLine();
+}
+
+}  // namespace dbre

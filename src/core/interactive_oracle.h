@@ -1,0 +1,48 @@
+// A stream-based interactive expert — the paper's actual user experience.
+//
+// Each decision point prints the question and its context (the join, the
+// three valuations, the failed FD, ...) to the output stream and reads the
+// answer from the input stream. Line-oriented so it works on a terminal
+// and is testable with stringstreams. Unparseable/EOF input falls back to
+// the conservative default answer.
+#ifndef DBRE_CORE_INTERACTIVE_ORACLE_H_
+#define DBRE_CORE_INTERACTIVE_ORACLE_H_
+
+#include <istream>
+#include <ostream>
+
+#include "core/oracle.h"
+
+namespace dbre {
+
+class InteractiveOracle : public ExpertOracle {
+ public:
+  // Neither stream is owned; both must outlive the oracle.
+  InteractiveOracle(std::istream* in, std::ostream* out)
+      : in_(in), out_(out) {}
+
+  NeiDecision DecideNonEmptyIntersection(const EquiJoin& join,
+                                         const JoinCounts& counts) override;
+  bool EnforceFailedFd(const FunctionalDependency& fd) override;
+  bool EnforceFailedFd(const FunctionalDependency& fd,
+                       double g3_error) override;
+  bool ValidateFd(const FunctionalDependency& fd) override;
+  bool ConceptualizeHiddenObject(
+      const QualifiedAttributes& candidate) override;
+  std::string NameRelationForFd(const FunctionalDependency& fd) override;
+  std::string NameHiddenObjectRelation(
+      const QualifiedAttributes& source) override;
+
+ private:
+  // Reads one trimmed line; empty on EOF.
+  std::string ReadLine();
+  // y/n question; `fallback` on EOF or unrecognized input.
+  bool AskYesNo(const std::string& question, bool fallback);
+
+  std::istream* in_;
+  std::ostream* out_;
+};
+
+}  // namespace dbre
+
+#endif  // DBRE_CORE_INTERACTIVE_ORACLE_H_

@@ -1,0 +1,49 @@
+#include "core/lhs_discovery.h"
+
+#include <algorithm>
+
+namespace dbre {
+namespace {
+
+void InsertUnique(std::vector<QualifiedAttributes>* out,
+                  QualifiedAttributes qa) {
+  if (std::find(out->begin(), out->end(), qa) == out->end()) {
+    out->push_back(std::move(qa));
+  }
+}
+
+}  // namespace
+
+LhsDiscoveryResult DiscoverLhs(const Database& database,
+                               const std::vector<std::string>& s_relations,
+                               const std::vector<InclusionDependency>& inds) {
+  LhsDiscoveryResult result;
+  auto in_s = [&](const std::string& relation) {
+    return std::find(s_relations.begin(), s_relations.end(), relation) !=
+           s_relations.end();
+  };
+
+  for (const InclusionDependency& ind : inds) {
+    QualifiedAttributes lhs_side{ind.lhs_relation, ind.LhsAttributeSet()};
+    QualifiedAttributes rhs_side{ind.rhs_relation, ind.RhsAttributeSet()};
+    bool lhs_is_key =
+        database.IsDeclaredKey(lhs_side.relation, lhs_side.attributes);
+    bool rhs_is_key =
+        database.IsDeclaredKey(rhs_side.relation, rhs_side.attributes);
+
+    if (in_s(ind.lhs_relation)) {
+      // (i): the expert already conceptualized a subset of these values;
+      // the containing attributes must be conceptualized too.
+      if (!rhs_is_key) InsertUnique(&result.hidden, std::move(rhs_side));
+      continue;
+    }
+    // (ii)/(iii): non-key sides are candidate object identifiers.
+    if (!lhs_is_key) InsertUnique(&result.lhs, std::move(lhs_side));
+    if (!rhs_is_key) InsertUnique(&result.lhs, std::move(rhs_side));
+  }
+  std::sort(result.lhs.begin(), result.lhs.end());
+  std::sort(result.hidden.begin(), result.hidden.end());
+  return result;
+}
+
+}  // namespace dbre

@@ -1,0 +1,38 @@
+// LHS-Discovery (§6.2.1): candidate left-hand sides of relevant FDs.
+//
+// Scans IND for non-key attributes:
+//   * if the IND's left relation belongs to S (a conceptualized
+//     intersection — by construction S relations appear only on the left),
+//     and the right-hand side is not a key, the right-hand side is a hidden
+//     object candidate → H (case (i));
+//   * otherwise every non-key side of the IND becomes a candidate FD
+//     left-hand side → LHS (cases (ii) and (iii)).
+//
+// "Key" means an exact match with a unique declaration in the dictionary.
+#ifndef DBRE_CORE_LHS_DISCOVERY_H_
+#define DBRE_CORE_LHS_DISCOVERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "deps/ind.h"
+#include "relational/attribute_set.h"
+#include "relational/database.h"
+
+namespace dbre {
+
+struct LhsDiscoveryResult {
+  std::vector<QualifiedAttributes> lhs;     // LHS, sorted, duplicate-free
+  std::vector<QualifiedAttributes> hidden;  // H, sorted, duplicate-free
+};
+
+// Runs LHS-Discovery. `s_relations` lists the relations conceptualized by
+// IND-Discovery (the set S).
+LhsDiscoveryResult DiscoverLhs(const Database& database,
+                               const std::vector<std::string>& s_relations,
+                               const std::vector<InclusionDependency>& inds);
+
+}  // namespace dbre
+
+#endif  // DBRE_CORE_LHS_DISCOVERY_H_

@@ -1,0 +1,94 @@
+#include "core/navigation_graph.h"
+
+#include <fstream>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace dbre {
+namespace {
+
+std::string Quote(const std::string& text) {
+  std::string out = "\"";
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> NavigationGraphToDot(
+    const Database& database, const IndDiscoveryResult& discovery,
+    const NavigationGraphOptions& options) {
+  std::string out = "digraph " + options.graph_name + " {\n";
+  out += "  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+
+  // Nodes: every relation touched by Q or by an IND, plus conceptualized
+  // relations highlighted.
+  std::set<std::string> relations;
+  for (const JoinOutcome& outcome : discovery.outcomes) {
+    relations.insert(outcome.join.left_relation);
+    relations.insert(outcome.join.right_relation);
+  }
+  for (const InclusionDependency& ind : discovery.inds) {
+    relations.insert(ind.lhs_relation);
+    relations.insert(ind.rhs_relation);
+  }
+  std::set<std::string> conceptualized(discovery.new_relations.begin(),
+                                       discovery.new_relations.end());
+  for (const std::string& relation : relations) {
+    out += "  " + Quote(relation);
+    if (conceptualized.contains(relation)) {
+      out += " [style=filled, fillcolor=lightyellow]";
+    } else if (!database.HasRelation(relation)) {
+      out += " [style=dashed]";  // vanished relation (should not happen)
+    }
+    out += ";\n";
+  }
+
+  // IND edges.
+  for (const InclusionDependency& ind : discovery.inds) {
+    bool satisfied = true;
+    if (options.mark_unsatisfied) {
+      auto holds = Satisfies(database, ind);
+      satisfied = holds.ok() && *holds;
+    }
+    out += "  " + Quote(ind.lhs_relation) + " -> " +
+           Quote(ind.rhs_relation) + " [label=" +
+           Quote(Join(ind.lhs_attributes, ",") + " << " +
+                 Join(ind.rhs_attributes, ",")) +
+           (satisfied ? "" : ", style=dashed, color=red") + "];\n";
+  }
+
+  // Joins that elicited nothing: dotted gray (the navigation exists but
+  // the data supports no dependency).
+  for (const JoinOutcome& outcome : discovery.outcomes) {
+    if (outcome.kind == JoinOutcomeKind::kEmptyIntersection ||
+        outcome.kind == JoinOutcomeKind::kNeiIgnored) {
+      out += "  " + Quote(outcome.join.left_relation) + " -> " +
+             Quote(outcome.join.right_relation) +
+             " [dir=none, style=dotted, color=gray, label=" +
+             Quote(Join(outcome.join.left_attributes, ",")) + "];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+Status WriteNavigationGraph(const Database& database,
+                            const IndDiscoveryResult& discovery,
+                            const std::string& path,
+                            const NavigationGraphOptions& options) {
+  DBRE_ASSIGN_OR_RETURN(std::string dot,
+                        NavigationGraphToDot(database, discovery, options));
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return IoError("cannot open " + path + " for writing");
+  out << dot;
+  if (!out) return IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace dbre

@@ -1,0 +1,44 @@
+// The logical-navigation map: relations as nodes, elicited knowledge as
+// edges, rendered as Graphviz DOT.
+//
+// The paper's thesis is that "understanding the logical navigation in a
+// relational schema" is the key to eliciting its semantics. This view
+// draws that navigation directly — before any restructuring — so an
+// analyst can eyeball what the programs touch: solid arrows for elicited
+// INDs (lhs → rhs, labeled with the attributes; dashed when the extension
+// does not actually satisfy them, i.e. expert-forced), dotted gray edges
+// for equi-joins in Q that elicited nothing (empty intersections / ignored
+// NEIs).
+#ifndef DBRE_CORE_NAVIGATION_GRAPH_H_
+#define DBRE_CORE_NAVIGATION_GRAPH_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/ind_discovery.h"
+#include "relational/database.h"
+
+namespace dbre {
+
+struct NavigationGraphOptions {
+  std::string graph_name = "navigation";
+  // Re-check each IND against `database` to mark forced ones dashed.
+  bool mark_unsatisfied = true;
+};
+
+// Renders the navigation map for `discovery` (the IND-Discovery result,
+// whose outcomes carry Q and the per-join classifications) over
+// `database`.
+Result<std::string> NavigationGraphToDot(
+    const Database& database, const IndDiscoveryResult& discovery,
+    const NavigationGraphOptions& options = {});
+
+// Writes the DOT rendering to `path`.
+Status WriteNavigationGraph(const Database& database,
+                            const IndDiscoveryResult& discovery,
+                            const std::string& path,
+                            const NavigationGraphOptions& options = {});
+
+}  // namespace dbre
+
+#endif  // DBRE_CORE_NAVIGATION_GRAPH_H_

@@ -1,0 +1,227 @@
+#include "core/oracle.h"
+
+#include <algorithm>
+
+namespace dbre {
+
+NeiDecision ExpertOracle::DecideNonEmptyIntersection(
+    const EquiJoin& join, const JoinCounts& counts) {
+  (void)join;
+  (void)counts;
+  return NeiDecision{NeiAction::kIgnore, ""};
+}
+
+bool ExpertOracle::EnforceFailedFd(const FunctionalDependency& fd) {
+  (void)fd;
+  return false;
+}
+
+bool ExpertOracle::EnforceFailedFd(const FunctionalDependency& fd,
+                                   double g3_error) {
+  (void)g3_error;
+  return EnforceFailedFd(fd);
+}
+
+bool ExpertOracle::ValidateFd(const FunctionalDependency& fd) {
+  (void)fd;
+  return true;
+}
+
+bool ExpertOracle::ConceptualizeHiddenObject(
+    const QualifiedAttributes& candidate) {
+  (void)candidate;
+  return false;
+}
+
+std::string ExpertOracle::NameRelationForFd(const FunctionalDependency& fd) {
+  (void)fd;
+  return "";
+}
+
+std::string ExpertOracle::NameHiddenObjectRelation(
+    const QualifiedAttributes& source) {
+  (void)source;
+  return "";
+}
+
+NeiDecision ScriptedOracle::DecideNonEmptyIntersection(
+    const EquiJoin& join, const JoinCounts& counts) {
+  auto it = nei_.find(join.ToString());
+  if (it != nei_.end()) return it->second;
+  // Also try the flipped rendering so scripts need not match the
+  // canonicalized operand order.
+  it = nei_.find(join.Flipped().ToString());
+  if (it != nei_.end()) {
+    NeiDecision decision = it->second;
+    // Directions are relative to the script's rendering; flip them back.
+    if (decision.action == NeiAction::kForceLeftInRight) {
+      decision.action = NeiAction::kForceRightInLeft;
+    } else if (decision.action == NeiAction::kForceRightInLeft) {
+      decision.action = NeiAction::kForceLeftInRight;
+    }
+    return decision;
+  }
+  ExpertOracle* delegate = fallback_ != nullptr
+                               ? fallback_
+                               : static_cast<ExpertOracle*>(&default_oracle_);
+  return delegate->DecideNonEmptyIntersection(join, counts);
+}
+
+bool ScriptedOracle::EnforceFailedFd(const FunctionalDependency& fd) {
+  auto it = enforce_.find(fd.ToString());
+  if (it != enforce_.end()) return it->second;
+  ExpertOracle* delegate = fallback_ != nullptr
+                               ? fallback_
+                               : static_cast<ExpertOracle*>(&default_oracle_);
+  return delegate->EnforceFailedFd(fd);
+}
+
+bool ScriptedOracle::ValidateFd(const FunctionalDependency& fd) {
+  auto it = validate_.find(fd.ToString());
+  if (it != validate_.end()) return it->second;
+  ExpertOracle* delegate = fallback_ != nullptr
+                               ? fallback_
+                               : static_cast<ExpertOracle*>(&default_oracle_);
+  return delegate->ValidateFd(fd);
+}
+
+bool ScriptedOracle::ConceptualizeHiddenObject(
+    const QualifiedAttributes& candidate) {
+  auto it = hidden_.find(candidate.ToString());
+  if (it != hidden_.end()) return it->second;
+  ExpertOracle* delegate = fallback_ != nullptr
+                               ? fallback_
+                               : static_cast<ExpertOracle*>(&default_oracle_);
+  return delegate->ConceptualizeHiddenObject(candidate);
+}
+
+std::string ScriptedOracle::NameRelationForFd(const FunctionalDependency& fd) {
+  auto it = fd_names_.find(fd.ToString());
+  if (it != fd_names_.end()) return it->second;
+  ExpertOracle* delegate = fallback_ != nullptr
+                               ? fallback_
+                               : static_cast<ExpertOracle*>(&default_oracle_);
+  return delegate->NameRelationForFd(fd);
+}
+
+std::string ScriptedOracle::NameHiddenObjectRelation(
+    const QualifiedAttributes& source) {
+  auto it = hidden_names_.find(source.ToString());
+  if (it != hidden_names_.end()) return it->second;
+  ExpertOracle* delegate = fallback_ != nullptr
+                               ? fallback_
+                               : static_cast<ExpertOracle*>(&default_oracle_);
+  return delegate->NameHiddenObjectRelation(source);
+}
+
+NeiDecision ThresholdOracle::DecideNonEmptyIntersection(
+    const EquiJoin& join, const JoinCounts& counts) {
+  (void)join;
+  size_t smaller = std::min(counts.n_left, counts.n_right);
+  if (smaller == 0) return NeiDecision{NeiAction::kIgnore, ""};
+  double ratio = static_cast<double>(counts.n_join) /
+                 static_cast<double>(smaller);
+  if (ratio >= options_.nei_conceptualize_ratio) {
+    return NeiDecision{NeiAction::kConceptualize, ""};
+  }
+  if (ratio >= options_.nei_force_ratio) {
+    // Assert the inclusion of the smaller side into the larger one.
+    return counts.n_left <= counts.n_right
+               ? NeiDecision{NeiAction::kForceLeftInRight, ""}
+               : NeiDecision{NeiAction::kForceRightInLeft, ""};
+  }
+  return NeiDecision{NeiAction::kIgnore, ""};
+}
+
+bool ThresholdOracle::EnforceFailedFd(const FunctionalDependency& fd,
+                                      double g3_error) {
+  (void)fd;
+  return g3_error <= options_.enforce_fd_max_error && g3_error > 0.0;
+}
+
+bool ThresholdOracle::ValidateFd(const FunctionalDependency& fd) {
+  (void)fd;
+  return options_.validate_fds;
+}
+
+bool ThresholdOracle::ConceptualizeHiddenObject(
+    const QualifiedAttributes& candidate) {
+  (void)candidate;
+  return options_.accept_hidden_objects;
+}
+
+namespace {
+
+const char* NeiActionName(NeiAction action) {
+  switch (action) {
+    case NeiAction::kConceptualize:
+      return "conceptualize";
+    case NeiAction::kForceLeftInRight:
+      return "force_left_in_right";
+    case NeiAction::kForceRightInLeft:
+      return "force_right_in_left";
+    case NeiAction::kIgnore:
+      return "ignore";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+NeiDecision RecordingOracle::DecideNonEmptyIntersection(
+    const EquiJoin& join, const JoinCounts& counts) {
+  NeiDecision decision = wrapped_->DecideNonEmptyIntersection(join, counts);
+  std::string answer = NeiActionName(decision.action);
+  if (!decision.relation_name.empty()) answer += ":" + decision.relation_name;
+  interactions_.push_back({"nei", join.ToString(), std::move(answer)});
+  return decision;
+}
+
+bool RecordingOracle::EnforceFailedFd(const FunctionalDependency& fd) {
+  bool answer = wrapped_->EnforceFailedFd(fd);
+  interactions_.push_back(
+      {"enforce_fd", fd.ToString(), answer ? "yes" : "no"});
+  return answer;
+}
+
+bool RecordingOracle::EnforceFailedFd(const FunctionalDependency& fd,
+                                      double g3_error) {
+  bool answer = wrapped_->EnforceFailedFd(fd, g3_error);
+  interactions_.push_back({"enforce_fd",
+                           fd.ToString() + " (g3=" +
+                               std::to_string(g3_error) + ")",
+                           answer ? "yes" : "no"});
+  return answer;
+}
+
+bool RecordingOracle::ValidateFd(const FunctionalDependency& fd) {
+  bool answer = wrapped_->ValidateFd(fd);
+  interactions_.push_back(
+      {"validate_fd", fd.ToString(), answer ? "yes" : "no"});
+  return answer;
+}
+
+bool RecordingOracle::ConceptualizeHiddenObject(
+    const QualifiedAttributes& candidate) {
+  bool answer = wrapped_->ConceptualizeHiddenObject(candidate);
+  interactions_.push_back(
+      {"hidden_object", candidate.ToString(), answer ? "yes" : "no"});
+  return answer;
+}
+
+std::string RecordingOracle::NameRelationForFd(
+    const FunctionalDependency& fd) {
+  std::string answer = wrapped_->NameRelationForFd(fd);
+  interactions_.push_back({"name_fd_relation", fd.ToString(), answer});
+  return answer;
+}
+
+std::string RecordingOracle::NameHiddenObjectRelation(
+    const QualifiedAttributes& source) {
+  std::string answer = wrapped_->NameHiddenObjectRelation(source);
+  interactions_.push_back(
+      {"name_hidden_relation", source.ToString(), answer});
+  return answer;
+}
+
+}  // namespace dbre

@@ -1,0 +1,212 @@
+// The expert user, modeled as an oracle.
+//
+// The method is interactive: "an expert user has to validate the
+// presumptions on the elicited dependencies". Every interaction point in
+// the paper's algorithms maps to one virtual call here:
+//   * §6.1 (iv)-(vii): resolve a non-empty intersection (NEI) — create a
+//     new relation, force one of the two inclusion directions, or ignore;
+//   * §6.2.2 (ii): enforce an FD the extension refutes;
+//   * §6.2.2 (iii): validate an FD before it enters F;
+//   * §6.2.2 (iv): conceptualize a hidden object with no dependent
+//     attributes;
+//   * §7: choose application-domain names for the relations Restruct
+//     materializes.
+//
+// Implementations: DefaultOracle (conservative non-interactive defaults),
+// ScriptedOracle (keyed answers — reproduces the paper's session),
+// ThresholdOracle (data-driven NEI policy, ablation A2), RecordingOracle
+// (decorator logging every exchange).
+#ifndef DBRE_CORE_ORACLE_H_
+#define DBRE_CORE_ORACLE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "deps/fd.h"
+#include "relational/algebra.h"
+#include "relational/attribute_set.h"
+#include "relational/equi_join.h"
+
+namespace dbre {
+
+// What to do with a non-empty intersection (§6.1 cases (iv)-(vii)).
+enum class NeiAction {
+  kConceptualize,      // (iv) add a new relation capturing the intersection
+  kForceLeftInRight,   // (vi) assert R_k[A_k] << R_l[A_l] despite the data
+  kForceRightInLeft,   // (v)  assert R_l[A_l] << R_k[A_k] despite the data
+  kIgnore,             // (vii) elicit nothing
+};
+
+struct NeiDecision {
+  NeiAction action = NeiAction::kIgnore;
+  // Name of the new relation when action == kConceptualize; empty means
+  // "let the algorithm derive one".
+  std::string relation_name;
+};
+
+class ExpertOracle {
+ public:
+  virtual ~ExpertOracle() = default;
+
+  // §6.1: the join's intersection is non-empty but matches neither side.
+  virtual NeiDecision DecideNonEmptyIntersection(const EquiJoin& join,
+                                                 const JoinCounts& counts);
+
+  // §6.2.2 (ii): `fd` does not hold in the extension; enforce it anyway?
+  virtual bool EnforceFailedFd(const FunctionalDependency& fd);
+
+  // Same question with the violation quantified: `g3_error` is the minimum
+  // fraction of tuples that must be removed for `fd` to hold (see
+  // FunctionalDependencyError). Near-zero error usually means a few
+  // mispunched tuples rather than a wrong presumption. The default
+  // delegates to the error-blind overload.
+  virtual bool EnforceFailedFd(const FunctionalDependency& fd,
+                               double g3_error);
+
+  // §6.2.2 (iii): `fd` holds in the extension; confirm it is meaningful in
+  // the application domain (not a mere integrity constraint)?
+  virtual bool ValidateFd(const FunctionalDependency& fd);
+
+  // §6.2.2 (iv): no dependent attribute was found for `candidate`;
+  // conceptualize it as a hidden object?
+  virtual bool ConceptualizeHiddenObject(const QualifiedAttributes& candidate);
+
+  // §7: name for the relation created from FD `fd` (e.g. Manager for
+  // Department: emp -> skill, proj). Empty = derive automatically.
+  virtual std::string NameRelationForFd(const FunctionalDependency& fd);
+
+  // §7: name for the relation materializing hidden object `source`
+  // (e.g. Employee for HEmployee.{no}). Empty = derive automatically.
+  virtual std::string NameHiddenObjectRelation(
+      const QualifiedAttributes& source);
+};
+
+// Non-interactive defaults: ignore NEIs, never enforce failed FDs, accept
+// discovered FDs, decline hidden objects, auto-derive names. Running the
+// pipeline with this oracle keeps exactly the knowledge the extension
+// supports.
+class DefaultOracle : public ExpertOracle {};
+
+// Answers looked up by the textual form of the question; unanswered
+// questions fall back to a configurable delegate (DefaultOracle if none).
+//
+// Keys: EquiJoin::ToString() for NEIs, FunctionalDependency::ToString() for
+// FD questions, QualifiedAttributes::ToString() for hidden objects and
+// naming.
+class ScriptedOracle : public ExpertOracle {
+ public:
+  ScriptedOracle() = default;
+  explicit ScriptedOracle(ExpertOracle* fallback) : fallback_(fallback) {}
+
+  void ScriptNei(const std::string& join_key, NeiDecision decision) {
+    nei_[join_key] = std::move(decision);
+  }
+  void ScriptEnforceFd(const std::string& fd_key, bool enforce) {
+    enforce_[fd_key] = enforce;
+  }
+  void ScriptValidateFd(const std::string& fd_key, bool valid) {
+    validate_[fd_key] = valid;
+  }
+  void ScriptHiddenObject(const std::string& candidate_key, bool accept) {
+    hidden_[candidate_key] = accept;
+  }
+  void ScriptFdRelationName(const std::string& fd_key, std::string name) {
+    fd_names_[fd_key] = std::move(name);
+  }
+  void ScriptHiddenRelationName(const std::string& candidate_key,
+                                std::string name) {
+    hidden_names_[candidate_key] = std::move(name);
+  }
+
+  using ExpertOracle::EnforceFailedFd;
+  NeiDecision DecideNonEmptyIntersection(const EquiJoin& join,
+                                         const JoinCounts& counts) override;
+  bool EnforceFailedFd(const FunctionalDependency& fd) override;
+  bool ValidateFd(const FunctionalDependency& fd) override;
+  bool ConceptualizeHiddenObject(
+      const QualifiedAttributes& candidate) override;
+  std::string NameRelationForFd(const FunctionalDependency& fd) override;
+  std::string NameHiddenObjectRelation(
+      const QualifiedAttributes& source) override;
+
+ private:
+  ExpertOracle* fallback_ = nullptr;  // not owned; may be null
+  DefaultOracle default_oracle_;
+  std::map<std::string, NeiDecision> nei_;
+  std::map<std::string, bool> enforce_;
+  std::map<std::string, bool> validate_;
+  std::map<std::string, bool> hidden_;
+  std::map<std::string, std::string> fd_names_;
+  std::map<std::string, std::string> hidden_names_;
+};
+
+// Data-driven policy for unattended runs (ablation A2):
+//   * NEI: conceptualize iff N_kl / min(N_k, N_l) >= nei_conceptualize_ratio;
+//     otherwise force the inclusion of the smaller side iff the ratio is at
+//     least nei_force_ratio; otherwise ignore.
+//   * hidden objects / FD validation: fixed booleans.
+class ThresholdOracle : public ExpertOracle {
+ public:
+  struct Options {
+    double nei_conceptualize_ratio = 0.8;
+    double nei_force_ratio = 2.0;  // > 1 disables forcing by default
+    bool accept_hidden_objects = true;
+    bool validate_fds = true;
+    // Enforce a failed FD iff its g3 error is at most this (0 = never
+    // enforce; 0.01 tolerates 1% corrupted tuples).
+    double enforce_fd_max_error = 0.0;
+  };
+
+  ThresholdOracle() = default;
+  explicit ThresholdOracle(Options options) : options_(options) {}
+
+  using ExpertOracle::EnforceFailedFd;
+  NeiDecision DecideNonEmptyIntersection(const EquiJoin& join,
+                                         const JoinCounts& counts) override;
+  bool EnforceFailedFd(const FunctionalDependency& fd,
+                       double g3_error) override;
+  bool ValidateFd(const FunctionalDependency& fd) override;
+  bool ConceptualizeHiddenObject(
+      const QualifiedAttributes& candidate) override;
+
+ private:
+  Options options_;
+};
+
+// Decorator that records every question/answer exchange.
+class RecordingOracle : public ExpertOracle {
+ public:
+  struct Interaction {
+    std::string kind;      // "nei", "enforce_fd", "validate_fd", ...
+    std::string question;  // textual form of the subject
+    std::string answer;    // textual form of the decision
+  };
+
+  explicit RecordingOracle(ExpertOracle* wrapped) : wrapped_(wrapped) {}
+
+  const std::vector<Interaction>& interactions() const {
+    return interactions_;
+  }
+  size_t InteractionCount() const { return interactions_.size(); }
+
+  NeiDecision DecideNonEmptyIntersection(const EquiJoin& join,
+                                         const JoinCounts& counts) override;
+  bool EnforceFailedFd(const FunctionalDependency& fd) override;
+  bool EnforceFailedFd(const FunctionalDependency& fd,
+                       double g3_error) override;
+  bool ValidateFd(const FunctionalDependency& fd) override;
+  bool ConceptualizeHiddenObject(
+      const QualifiedAttributes& candidate) override;
+  std::string NameRelationForFd(const FunctionalDependency& fd) override;
+  std::string NameHiddenObjectRelation(
+      const QualifiedAttributes& source) override;
+
+ private:
+  ExpertOracle* wrapped_;  // not owned
+  std::vector<Interaction> interactions_;
+};
+
+}  // namespace dbre
+
+#endif  // DBRE_CORE_ORACLE_H_

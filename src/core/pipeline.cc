@@ -1,0 +1,148 @@
+#include "core/pipeline.h"
+
+#include <chrono>
+#include <tuple>
+
+#include "deps/ind_closure.h"
+#include "deps/key_miner.h"
+
+namespace dbre {
+namespace {
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string PipelineReport::Summary() const {
+  std::string out;
+  out += "== K (keys from the dictionary) ==\n";
+  for (const QualifiedAttributes& k : key_set) out += "  " + k.ToString() + "\n";
+  out += "== N (not-null attributes) ==\n";
+  for (const QualifiedAttributes& n : not_null_set) {
+    out += "  " + n.ToString() + "\n";
+  }
+  out += "== Q (equi-joins from application programs) ==\n";
+  for (const EquiJoin& join : joins) out += "  " + join.ToString() + "\n";
+  out += "== IND (inclusion dependencies) ==\n";
+  for (const InclusionDependency& ind : this->ind.inds) {
+    out += "  " + ind.ToString() + "\n";
+  }
+  out += "== S (conceptualized relations) ==\n";
+  for (const std::string& relation : ind.new_relations) {
+    out += "  " + relation + "\n";
+  }
+  out += "== LHS (candidate FD left-hand sides) ==\n";
+  for (const QualifiedAttributes& qa : lhs.lhs) {
+    out += "  " + qa.ToString() + "\n";
+  }
+  out += "== F (elicited functional dependencies) ==\n";
+  for (const FunctionalDependency& fd : rhs.fds) {
+    out += "  " + fd.ToString() + "\n";
+  }
+  out += "== H (hidden objects) ==\n";
+  for (const QualifiedAttributes& qa : rhs.hidden) {
+    out += "  " + qa.ToString() + "\n";
+  }
+  out += "== Restructured schema ==\n";
+  out += restruct.database.DescribeSchema();
+  out += "== RIC (referential integrity constraints) ==\n";
+  for (const InclusionDependency& ric : restruct.rics) {
+    out += "  " + ric.ToString() + "\n";
+  }
+  out += "== EER schema ==\n";
+  out += eer.ToText();
+  return out;
+}
+
+Result<PipelineReport> RunPipeline(const Database& database,
+                                   const std::vector<EquiJoin>& joins,
+                                   ExpertOracle* oracle,
+                                   const PipelineOptions& options) {
+  if (oracle == nullptr) return InvalidArgumentError("oracle is null");
+
+  PipelineReport report;
+  report.key_set = database.KeySet();
+  report.not_null_set = database.NotNullSet();
+  report.joins = CanonicalJoinSet(joins);
+
+  // IND-Discovery works on a clone: conceptualized relations join R as S.
+  Database working = database.Clone();
+
+  if (options.infer_missing_keys) {
+    KeyMinerOptions miner_options;
+    miner_options.max_key_size = options.inferred_key_max_size;
+    for (const std::string& relation : working.RelationNames()) {
+      DBRE_ASSIGN_OR_RETURN(Table * table,
+                            working.GetMutableTable(relation));
+      if (!table->schema().unique_constraints().empty()) continue;
+      DBRE_ASSIGN_OR_RETURN(std::vector<AttributeSet> keys,
+                            MineCandidateKeys(*table, miner_options));
+      if (keys.empty()) continue;
+      // Several minimal unique sets may exist; prefer the one the
+      // programmers navigate on (its attributes appear in Q's joins over
+      // this relation), then the smallest, then lexicographic order.
+      AttributeSet joined;
+      for (const EquiJoin& join : report.joins) {
+        if (join.left_relation == relation) {
+          joined = joined.Union(join.LeftAttributeSet());
+        }
+        if (join.right_relation == relation) {
+          joined = joined.Union(join.RightAttributeSet());
+        }
+      }
+      const AttributeSet* best = &keys.front();
+      auto score = [&](const AttributeSet& key) {
+        return std::make_tuple(key.Intersects(joined) ? 0 : 1, key.size(),
+                               key.ToString());
+      };
+      for (const AttributeSet& key : keys) {
+        if (score(key) < score(*best)) best = &key;
+      }
+      DBRE_RETURN_IF_ERROR(table->mutable_schema().DeclareUnique(*best));
+    }
+    // K and N now reflect the inferred declarations.
+    report.key_set = working.KeySet();
+    report.not_null_set = working.NotNullSet();
+  }
+
+  int64_t t0 = NowUs();
+  DBRE_ASSIGN_OR_RETURN(
+      report.ind, DiscoverInds(&working, report.joins, oracle, options.ind));
+  int64_t t1 = NowUs();
+  report.timings.ind_discovery_us = t1 - t0;
+
+  if (options.close_inds) {
+    report.ind.inds = TransitiveClosure(std::move(report.ind.inds));
+  }
+
+  report.lhs = DiscoverLhs(working, report.ind.new_relations,
+                           report.ind.inds);
+  int64_t t2 = NowUs();
+  report.timings.lhs_discovery_us = t2 - t1;
+
+  DBRE_ASSIGN_OR_RETURN(
+      report.rhs, DiscoverRhs(working, report.lhs.lhs, report.lhs.hidden,
+                              oracle, options.rhs));
+  int64_t t3 = NowUs();
+  report.timings.rhs_discovery_us = t3 - t2;
+
+  DBRE_ASSIGN_OR_RETURN(
+      report.restruct, Restruct(working, report.rhs.fds, report.rhs.hidden,
+                                report.ind.inds, oracle));
+  int64_t t4 = NowUs();
+  report.timings.restruct_us = t4 - t3;
+
+  if (options.run_translate) {
+    DBRE_ASSIGN_OR_RETURN(report.eer,
+                          Translate(report.restruct, options.translate));
+  }
+  report.timings.translate_us = NowUs() - t4;
+  report.working_database = std::move(working);
+  return report;
+}
+
+}  // namespace dbre

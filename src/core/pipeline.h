@@ -1,0 +1,97 @@
+// The complete DBRE method, end to end.
+//
+// Orchestrates the paper's phases over a database-in-operation:
+//   (R, E, ∅) + K + N + Q
+//     → IND-Discovery → LHS-Discovery → RHS-Discovery
+//     → Restruct → Translate → EER schema.
+// Q may be given directly (already-extracted equi-joins) or produced from
+// application-program sources via the sql scanner (see sql/scanner.h).
+//
+// The pipeline mutates its own clone of the database (IND-Discovery can add
+// conceptualized relations) and reports every intermediate artifact plus
+// per-phase wall-clock timings, so examples, tests and the benchmark
+// harness all consume the same structure.
+#ifndef DBRE_CORE_PIPELINE_H_
+#define DBRE_CORE_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/ind_discovery.h"
+#include "core/lhs_discovery.h"
+#include "core/oracle.h"
+#include "core/restruct.h"
+#include "core/translate.h"
+#include "eer/model.h"
+#include "core/rhs_discovery.h"
+#include "relational/database.h"
+#include "relational/equi_join.h"
+
+namespace dbre {
+
+struct PipelineOptions {
+  IndDiscoveryOptions ind;
+  RhsDiscoveryOptions rhs;
+  TranslateOptions translate;
+  bool run_translate = true;  // Restruct output alone is sometimes enough
+  // Dictionary-less mode: when a relation declares no unique constraint at
+  // all, mine minimal unique column sets from the extension (see
+  // deps/key_miner.h) and declare the first as its key before running the
+  // method. Useful for systems so old that even `unique` is missing.
+  bool infer_missing_keys = false;
+  size_t inferred_key_max_size = 3;
+  // Saturate the elicited IND set under transitivity (deps/ind_closure.h)
+  // before LHS-Discovery. Derived INDs can surface identifier candidates
+  // that no single query witnesses directly (e.g. programs join A-B and
+  // B-C but never A-C).
+  bool close_inds = false;
+};
+
+struct PhaseTimings {
+  int64_t ind_discovery_us = 0;
+  int64_t lhs_discovery_us = 0;
+  int64_t rhs_discovery_us = 0;
+  int64_t restruct_us = 0;
+  int64_t translate_us = 0;
+
+  int64_t TotalUs() const {
+    return ind_discovery_us + lhs_discovery_us + rhs_discovery_us +
+           restruct_us + translate_us;
+  }
+};
+
+struct PipelineReport {
+  // The inputs as computed from the dictionary (§4).
+  std::vector<QualifiedAttributes> key_set;       // K
+  std::vector<QualifiedAttributes> not_null_set;  // N
+  std::vector<EquiJoin> joins;                    // Q (canonicalized)
+
+  IndDiscoveryResult ind;
+  LhsDiscoveryResult lhs;
+  RhsDiscoveryResult rhs;
+  RestructResult restruct;
+  eer::EerSchema eer;
+
+  // The working catalog after IND-Discovery (R plus the conceptualized S
+  // relations, extensions included) — what the elicitation actually ran
+  // against. Feed it to NavigationGraphToDot (core/navigation_graph.h).
+  Database working_database;
+
+  PhaseTimings timings;
+
+  // Multi-line human-readable summary of every phase's artifacts.
+  std::string Summary() const;
+};
+
+// Runs the full method. `database` is the database in operation (left
+// untouched — the pipeline works on a clone). `joins` is Q.
+Result<PipelineReport> RunPipeline(const Database& database,
+                                   const std::vector<EquiJoin>& joins,
+                                   ExpertOracle* oracle,
+                                   const PipelineOptions& options = {});
+
+}  // namespace dbre
+
+#endif  // DBRE_CORE_PIPELINE_H_

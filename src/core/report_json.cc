@@ -1,0 +1,349 @@
+#include "core/report_json.h"
+
+#include <fstream>
+
+namespace dbre {
+namespace {
+
+// Minimal JSON writer with an indentation-aware builder.
+class JsonWriter {
+ public:
+  explicit JsonWriter(bool pretty) : pretty_(pretty) {}
+
+  std::string Take() { return std::move(out_); }
+
+  void BeginObject() { Open('{'); }
+  void EndObject() { Close('}'); }
+  void BeginArray() { Open('['); }
+  void EndArray() { Close(']'); }
+
+  void Key(const std::string& name) {
+    Separate();
+    out_ += Quote(name);
+    out_ += pretty_ ? ": " : ":";
+    pending_value_ = true;
+  }
+
+  void String(const std::string& value) {
+    Separate();
+    out_ += Quote(value);
+  }
+  void Number(int64_t value) {
+    Separate();
+    out_ += std::to_string(value);
+  }
+  void Double(double value) {
+    Separate();
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    out_ += buffer;
+  }
+  void Bool(bool value) {
+    Separate();
+    out_ += value ? "true" : "false";
+  }
+
+  // Convenience: array of strings.
+  void StringArray(const std::vector<std::string>& values) {
+    BeginArray();
+    for (const std::string& value : values) String(value);
+    EndArray();
+  }
+
+ private:
+  static std::string Quote(const std::string& text) {
+    std::string out = "\"";
+    for (char c : text) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+            out += buffer;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += "\"";
+    return out;
+  }
+
+  void Open(char bracket) {
+    Separate();
+    out_ += bracket;
+    needs_comma_.push_back(false);
+    ++depth_;
+  }
+
+  void Close(char bracket) {
+    --depth_;
+    needs_comma_.pop_back();
+    if (pretty_) {
+      out_ += '\n';
+      out_.append(static_cast<size_t>(depth_) * 2, ' ');
+    }
+    out_ += bracket;
+    if (!needs_comma_.empty()) needs_comma_.back() = true;
+  }
+
+  // Emits a comma/newline before a new value or key as needed.
+  void Separate() {
+    if (pending_value_) {
+      // Directly after a key: no comma, no newline.
+      pending_value_ = false;
+      return;
+    }
+    if (needs_comma_.empty()) return;
+    if (needs_comma_.back()) out_ += ',';
+    if (pretty_) {
+      out_ += '\n';
+      out_.append(static_cast<size_t>(depth_) * 2, ' ');
+    }
+    needs_comma_.back() = true;
+  }
+
+  std::string out_;
+  bool pretty_;
+  bool pending_value_ = false;
+  int depth_ = 0;
+  std::vector<bool> needs_comma_;
+};
+
+void WriteQualified(JsonWriter& json, const QualifiedAttributes& qa) {
+  json.BeginObject();
+  json.Key("relation");
+  json.String(qa.relation);
+  json.Key("attributes");
+  json.StringArray(qa.attributes.names());
+  json.EndObject();
+}
+
+void WriteQualifiedArray(JsonWriter& json,
+                         const std::vector<QualifiedAttributes>& items) {
+  json.BeginArray();
+  for (const QualifiedAttributes& item : items) WriteQualified(json, item);
+  json.EndArray();
+}
+
+void WriteSide(JsonWriter& json, const std::string& relation,
+               const std::vector<std::string>& attributes) {
+  json.BeginObject();
+  json.Key("relation");
+  json.String(relation);
+  json.Key("attributes");
+  json.StringArray(attributes);
+  json.EndObject();
+}
+
+void WriteJoin(JsonWriter& json, const EquiJoin& join) {
+  json.BeginObject();
+  json.Key("left");
+  WriteSide(json, join.left_relation, join.left_attributes);
+  json.Key("right");
+  WriteSide(json, join.right_relation, join.right_attributes);
+  json.EndObject();
+}
+
+void WriteInd(JsonWriter& json, const InclusionDependency& ind) {
+  json.BeginObject();
+  json.Key("lhs");
+  WriteSide(json, ind.lhs_relation, ind.lhs_attributes);
+  json.Key("rhs");
+  WriteSide(json, ind.rhs_relation, ind.rhs_attributes);
+  json.EndObject();
+}
+
+void WriteIndArray(JsonWriter& json,
+                   const std::vector<InclusionDependency>& inds) {
+  json.BeginArray();
+  for (const InclusionDependency& ind : inds) WriteInd(json, ind);
+  json.EndArray();
+}
+
+}  // namespace
+
+std::string ReportToJson(const PipelineReport& report,
+                         const JsonOptions& options) {
+  JsonWriter json(options.pretty);
+  json.BeginObject();
+
+  json.Key("keys");
+  WriteQualifiedArray(json, report.key_set);
+  json.Key("not_null");
+  WriteQualifiedArray(json, report.not_null_set);
+
+  json.Key("queries");
+  json.BeginArray();
+  for (const EquiJoin& join : report.joins) WriteJoin(json, join);
+  json.EndArray();
+
+  json.Key("inds");
+  WriteIndArray(json, report.ind.inds);
+  json.Key("new_relations");
+  json.StringArray(report.ind.new_relations);
+
+  json.Key("join_outcomes");
+  json.BeginArray();
+  for (const JoinOutcome& outcome : report.ind.outcomes) {
+    json.BeginObject();
+    json.Key("join");
+    WriteJoin(json, outcome.join);
+    json.Key("counts");
+    json.BeginObject();
+    json.Key("left");
+    json.Number(static_cast<int64_t>(outcome.counts.n_left));
+    json.Key("right");
+    json.Number(static_cast<int64_t>(outcome.counts.n_right));
+    json.Key("join");
+    json.Number(static_cast<int64_t>(outcome.counts.n_join));
+    json.EndObject();
+    json.Key("kind");
+    json.String(JoinOutcomeKindName(outcome.kind));
+    if (!outcome.detail.empty()) {
+      json.Key("detail");
+      json.String(outcome.detail);
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.Key("lhs_candidates");
+  WriteQualifiedArray(json, report.lhs.lhs);
+  json.Key("hidden_objects");
+  WriteQualifiedArray(json, report.rhs.hidden);
+
+  json.Key("fds");
+  json.BeginArray();
+  for (const FunctionalDependency& fd : report.rhs.fds) {
+    json.BeginObject();
+    json.Key("relation");
+    json.String(fd.relation);
+    json.Key("lhs");
+    json.StringArray(fd.lhs.names());
+    json.Key("rhs");
+    json.StringArray(fd.rhs.names());
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.Key("restructured_schema");
+  json.BeginArray();
+  for (const std::string& relation :
+       report.restruct.database.RelationNames()) {
+    const Table& table = **report.restruct.database.GetTable(relation);
+    json.BeginObject();
+    json.Key("name");
+    json.String(relation);
+    json.Key("attributes");
+    json.StringArray(table.schema().AttributeNames().names());
+    json.Key("key");
+    auto key = table.schema().PrimaryKey();
+    json.StringArray(key.has_value() ? key->names()
+                                     : std::vector<std::string>{});
+    json.Key("not_null");
+    json.StringArray(table.schema().NotNullAttributes().names());
+    json.Key("tuples");
+    json.Number(static_cast<int64_t>(table.num_rows()));
+    auto provenance = report.restruct.provenance.find(relation);
+    if (provenance != report.restruct.provenance.end()) {
+      json.Key("provenance");
+      json.String(provenance->second);
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.Key("rics");
+  WriteIndArray(json, report.restruct.rics);
+
+  json.Key("eer");
+  json.BeginObject();
+  json.Key("entities");
+  json.BeginArray();
+  for (const eer::EntityType& entity : report.eer.entities()) {
+    json.BeginObject();
+    json.Key("name");
+    json.String(entity.name);
+    json.Key("attributes");
+    json.StringArray(entity.attributes.names());
+    json.Key("identifier");
+    json.StringArray(entity.identifier.names());
+    json.Key("weak");
+    json.Bool(entity.weak);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("relationships");
+  json.BeginArray();
+  for (const eer::RelationshipType& relationship :
+       report.eer.relationships()) {
+    json.BeginObject();
+    json.Key("name");
+    json.String(relationship.name);
+    json.Key("roles");
+    json.BeginArray();
+    for (const eer::Role& role : relationship.roles) {
+      json.BeginObject();
+      json.Key("entity");
+      json.String(role.entity);
+      json.Key("cardinality");
+      json.String(eer::CardinalityName(role.cardinality));
+      json.Key("role");
+      json.String(role.role_name);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Key("attributes");
+    json.StringArray(relationship.attributes.names());
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("isa");
+  json.BeginArray();
+  for (const eer::IsALink& link : report.eer.isa_links()) {
+    json.BeginObject();
+    json.Key("subtype");
+    json.String(link.subtype);
+    json.Key("supertype");
+    json.String(link.supertype);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  json.Key("timings_us");
+  json.BeginObject();
+  json.Key("ind_discovery");
+  json.Number(report.timings.ind_discovery_us);
+  json.Key("lhs_discovery");
+  json.Number(report.timings.lhs_discovery_us);
+  json.Key("rhs_discovery");
+  json.Number(report.timings.rhs_discovery_us);
+  json.Key("restruct");
+  json.Number(report.timings.restruct_us);
+  json.Key("translate");
+  json.Number(report.timings.translate_us);
+  json.EndObject();
+
+  json.EndObject();
+  std::string out = json.Take();
+  if (options.pretty) out += '\n';
+  return out;
+}
+
+Status WriteReportJson(const PipelineReport& report, const std::string& path,
+                       const JsonOptions& options) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return IoError("cannot open " + path + " for writing");
+  out << ReportToJson(report, options);
+  if (!out) return IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace dbre

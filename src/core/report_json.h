@@ -1,0 +1,47 @@
+// JSON export of a PipelineReport, for downstream tooling (schema
+// visualizers, migration planners, CI checks on re-runs).
+//
+// The emitter is self-contained (no third-party JSON dependency) and
+// produces a stable, documented layout:
+//
+// {
+//   "keys":      [{"relation": "...", "attributes": ["..."]}],
+//   "not_null":  [{"relation": "...", "attributes": ["..."]}],
+//   "queries":   [{"left": {...}, "right": {...}}],
+//   "inds":      [{"lhs": {...}, "rhs": {...}}],
+//   "new_relations": ["..."],
+//   "join_outcomes": [{"join": {...}, "counts": {...}, "kind": "..."}],
+//   "lhs_candidates": [...], "hidden_objects": [...],
+//   "fds":       [{"relation": "...", "lhs": [...], "rhs": [...]}],
+//   "restructured_schema": [{"name": ..., "attributes": [...],
+//                            "key": [...], "not_null": [...],
+//                            "tuples": N, "provenance": "..."}],
+//   "rics":      [...],
+//   "eer": {"entities": [...], "relationships": [...], "isa": [...]},
+//   "timings_us": {...}
+// }
+#ifndef DBRE_CORE_REPORT_JSON_H_
+#define DBRE_CORE_REPORT_JSON_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/pipeline.h"
+
+namespace dbre {
+
+struct JsonOptions {
+  bool pretty = true;  // newlines + two-space indentation
+};
+
+// Serializes `report` to JSON.
+std::string ReportToJson(const PipelineReport& report,
+                         const JsonOptions& options = {});
+
+// Writes the JSON to `path`.
+Status WriteReportJson(const PipelineReport& report, const std::string& path,
+                       const JsonOptions& options = {});
+
+}  // namespace dbre
+
+#endif  // DBRE_CORE_REPORT_JSON_H_

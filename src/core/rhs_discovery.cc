@@ -1,0 +1,138 @@
+#include "core/rhs_discovery.h"
+
+#include <algorithm>
+
+#include "relational/algebra.h"
+
+namespace dbre {
+
+Result<RhsDiscoveryResult> DiscoverRhs(
+    const Database& database, const std::vector<QualifiedAttributes>& lhs,
+    const std::vector<QualifiedAttributes>& hidden, ExpertOracle* oracle,
+    const RhsDiscoveryOptions& options) {
+  if (oracle == nullptr) return InvalidArgumentError("oracle is null");
+
+  RhsDiscoveryResult result;
+  result.hidden = hidden;
+
+  // LHS ∪ H, deduplicated, in deterministic order.
+  std::vector<QualifiedAttributes> candidates = lhs;
+  for (const QualifiedAttributes& h : hidden) {
+    if (std::find(candidates.begin(), candidates.end(), h) ==
+        candidates.end()) {
+      candidates.push_back(h);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  // The not-null set N as qualified singletons, for the A ⊆ N test.
+  auto attribute_not_null = [&](const std::string& relation,
+                                const std::string& attribute) {
+    auto table = database.GetTable(relation);
+    if (!table.ok()) return false;
+    return (*table.value()).schema().NotNullAttributes().Contains(attribute);
+  };
+
+  auto in_hidden = [&](const QualifiedAttributes& qa) {
+    return std::find(result.hidden.begin(), result.hidden.end(), qa) !=
+           result.hidden.end();
+  };
+
+  for (const QualifiedAttributes& candidate : candidates) {
+    DBRE_ASSIGN_OR_RETURN(const Table* table,
+                          database.GetTable(candidate.relation));
+    const RelationSchema& schema = table->schema();
+    const AttributeSet& a = candidate.attributes;
+
+    RhsCandidateOutcome outcome;
+    outcome.candidate = candidate;
+
+    // T = X_i − A − K_i.
+    AttributeSet t = schema.AttributeNames().Minus(a);
+    size_t before = t.size();
+    if (options.prune_key_attributes) {
+      if (auto key = schema.PrimaryKey(); key.has_value()) {
+        t = t.Minus(*key);
+      }
+    }
+    // If A is not entirely not-null, remove the not-null attributes.
+    bool a_not_null = std::all_of(
+        a.begin(), a.end(), [&](const std::string& attribute) {
+          return attribute_not_null(candidate.relation, attribute);
+        });
+    if (options.prune_not_null_attributes && !a_not_null) {
+      t = t.Minus(schema.NotNullAttributes());
+    }
+    result.pruned_attributes += before - t.size();
+    outcome.tested = t;
+
+    // B accumulates the dependent attributes.
+    AttributeSet b;
+    for (const std::string& attribute : t) {
+      ++result.fd_checks;
+      DBRE_ASSIGN_OR_RETURN(
+          bool holds,
+          FunctionalDependencyHolds(*table, a,
+                                    AttributeSet::Single(attribute)));
+      if (holds) {
+        b.Insert(attribute);
+      } else {
+        // (ii) — the expert may enforce despite the extension; the g3
+        // error tells them how much data contradicts the presumption.
+        FunctionalDependency attempted(candidate.relation, a,
+                                       AttributeSet::Single(attribute));
+        DBRE_ASSIGN_OR_RETURN(
+            double g3_error,
+            FunctionalDependencyError(*table, a,
+                                      AttributeSet::Single(attribute)));
+        if (oracle->EnforceFailedFd(attempted, g3_error)) {
+          b.Insert(attribute);
+        }
+      }
+    }
+    outcome.dependents = b;
+
+    if (!b.empty()) {
+      FunctionalDependency fd(candidate.relation, a, b);
+      if (oracle->ValidateFd(fd)) {
+        // (iii): conceptualized through the FD.
+        result.fds.push_back(std::move(fd));
+        auto it =
+            std::find(result.hidden.begin(), result.hidden.end(), candidate);
+        if (it != result.hidden.end()) result.hidden.erase(it);
+        outcome.disposition =
+            RhsCandidateOutcome::Disposition::kFdElicited;
+        result.outcomes.push_back(std::move(outcome));
+        continue;
+      }
+      outcome.disposition = RhsCandidateOutcome::Disposition::kFdRejected;
+      // Fall through to the hidden-object question: the identifier may
+      // still denote an object even though its FD was rejected.
+    }
+
+    if (in_hidden(candidate)) {
+      if (outcome.disposition !=
+          RhsCandidateOutcome::Disposition::kFdRejected) {
+        outcome.disposition =
+            RhsCandidateOutcome::Disposition::kHiddenConfirmed;
+      }
+      result.outcomes.push_back(std::move(outcome));
+      continue;
+    }
+    // (iv)/(v): empty dependent set — hidden object or dropped.
+    if (oracle->ConceptualizeHiddenObject(candidate)) {
+      result.hidden.push_back(candidate);
+      outcome.disposition = RhsCandidateOutcome::Disposition::kHiddenElicited;
+    } else if (outcome.disposition !=
+               RhsCandidateOutcome::Disposition::kFdRejected) {
+      outcome.disposition = RhsCandidateOutcome::Disposition::kDropped;
+    }
+    result.outcomes.push_back(std::move(outcome));
+  }
+
+  std::sort(result.fds.begin(), result.fds.end());
+  std::sort(result.hidden.begin(), result.hidden.end());
+  return result;
+}
+
+}  // namespace dbre

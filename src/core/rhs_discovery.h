@@ -1,0 +1,68 @@
+// RHS-Discovery (§6.2.2): finding the dependent attributes of each
+// candidate identifier.
+//
+// For each element R_i.A of LHS ∪ H:
+//   1. prune the candidate right-hand side:  T = X_i − A − K_i, and when A
+//      is not entirely not-null, also remove the not-null attributes (a
+//      tuple may have a NULL A but must have values for not-null
+//      attributes, so those attributes cannot functionally depend on A
+//      without contradicting the data — and keeping them would pull the
+//      schema past 3NF needs);
+//   2. for each b ∈ T test A → b against the extension; on failure the
+//      expert may still enforce it (corrupted extensions);
+//   3. a non-empty dependent set B, once validated by the expert, yields
+//      R_i: A → B ∈ F (and removes R_i.A from H — it is now conceptualized
+//      through the FD); an empty B makes R_i.A a hidden-object candidate
+//      the expert may add to H.
+//
+// The pruning steps can be disabled individually for the A1 ablation.
+#ifndef DBRE_CORE_RHS_DISCOVERY_H_
+#define DBRE_CORE_RHS_DISCOVERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/oracle.h"
+#include "deps/fd.h"
+#include "relational/attribute_set.h"
+#include "relational/database.h"
+
+namespace dbre {
+
+struct RhsDiscoveryOptions {
+  bool prune_key_attributes = true;      // remove K_i from T
+  bool prune_not_null_attributes = true; // remove N ∩ X_i when A ⊄ N
+};
+
+struct RhsCandidateOutcome {
+  QualifiedAttributes candidate;
+  AttributeSet tested;        // the pruned T
+  AttributeSet dependents;    // the B that held (or was enforced)
+  enum class Disposition {
+    kFdElicited,        // (iii) non-empty B accepted into F
+    kFdRejected,        // non-empty B but the expert refused validation
+    kHiddenConfirmed,   // already in H, stays there (empty B)
+    kHiddenElicited,    // (iv) empty B, expert conceptualized
+    kDropped,           // (v) empty B, expert declined
+  } disposition = Disposition::kDropped;
+};
+
+struct RhsDiscoveryResult {
+  std::vector<FunctionalDependency> fds;    // F
+  std::vector<QualifiedAttributes> hidden;  // updated H
+  std::vector<RhsCandidateOutcome> outcomes;
+  size_t fd_checks = 0;          // extension FD evaluations (ablation A1)
+  size_t pruned_attributes = 0;  // candidates removed before checking
+};
+
+// Runs RHS-Discovery over LHS ∪ H. `hidden` is the H produced by
+// LHS-Discovery; the returned `hidden` is the updated H.
+Result<RhsDiscoveryResult> DiscoverRhs(
+    const Database& database, const std::vector<QualifiedAttributes>& lhs,
+    const std::vector<QualifiedAttributes>& hidden, ExpertOracle* oracle,
+    const RhsDiscoveryOptions& options = {});
+
+}  // namespace dbre
+
+#endif  // DBRE_CORE_RHS_DISCOVERY_H_

@@ -1,0 +1,187 @@
+#include "core/translate.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+#include "eer/transform.h"
+
+namespace dbre {
+namespace {
+
+// RICs grouped by their left-hand relation.
+using RicsByRelation =
+    std::map<std::string, std::vector<const InclusionDependency*>>;
+
+// True if the key is partitioned by ≥2 disjoint RIC left-hand sides
+// covering it entirely; fills `parts` with the partitioning RICs.
+bool KeyPartitionedByRics(
+    const AttributeSet& key,
+    const std::vector<const InclusionDependency*>& rics,
+    std::vector<const InclusionDependency*>* parts) {
+  parts->clear();
+  AttributeSet covered;
+  for (const InclusionDependency* ric : rics) {
+    AttributeSet side = ric->LhsAttributeSet();
+    if (!key.ContainsAll(side)) continue;   // not a key part
+    if (covered.Intersects(side)) continue; // overlap — not a partition
+    covered = covered.Union(side);
+    parts->push_back(ric);
+  }
+  return parts->size() >= 2 && covered == key;
+}
+
+std::string RelationshipName(const std::string& relation,
+                             const AttributeSet& attributes,
+                             bool include_attributes) {
+  if (!include_attributes || attributes.empty()) return relation;
+  return relation + "_" + Join(attributes.names(), "_");
+}
+
+// Uniquifies `base` against the relationship names already in `schema`.
+std::string UniqueRelationshipName(const eer::EerSchema& schema,
+                                   std::string base) {
+  auto taken = [&](const std::string& name) {
+    return std::any_of(
+        schema.relationships().begin(), schema.relationships().end(),
+        [&](const eer::RelationshipType& r) { return r.name == name; });
+  };
+  std::string name = base;
+  int suffix = 2;
+  while (taken(name)) name = base + "_" + std::to_string(suffix++);
+  return name;
+}
+
+}  // namespace
+
+Result<eer::EerSchema> Translate(const RestructResult& restructured,
+                                 const TranslateOptions& options) {
+  const Database& database = restructured.database;
+  eer::EerSchema schema;
+
+  RicsByRelation by_relation;
+  for (const InclusionDependency& ric : restructured.rics) {
+    by_relation[ric.lhs_relation].push_back(&ric);
+  }
+
+  // Decide which relations become relationship-types (key partitioned by
+  // RIC left-hand sides).
+  std::map<std::string, std::vector<const InclusionDependency*>>
+      relationship_parts;
+  for (const std::string& relation : database.RelationNames()) {
+    DBRE_ASSIGN_OR_RETURN(const Table* table, database.GetTable(relation));
+    auto key = table->schema().PrimaryKey();
+    if (!key.has_value()) continue;
+    auto it = by_relation.find(relation);
+    if (it == by_relation.end()) continue;
+    std::vector<const InclusionDependency*> parts;
+    if (KeyPartitionedByRics(*key, it->second, &parts)) {
+      relationship_parts[relation] = std::move(parts);
+    }
+  }
+
+  // Map every non-relationship relation to an entity type.
+  for (const std::string& relation : database.RelationNames()) {
+    if (relationship_parts.contains(relation)) continue;
+    DBRE_ASSIGN_OR_RETURN(const Table* table, database.GetTable(relation));
+    eer::EntityType entity;
+    entity.name = relation;
+    entity.attributes = table->schema().AttributeNames();
+    if (auto key = table->schema().PrimaryKey(); key.has_value()) {
+      entity.identifier = *key;
+    }
+    DBRE_RETURN_IF_ERROR(schema.AddEntity(std::move(entity)));
+  }
+
+  // Relationship relations become n-ary relationship types.
+  for (const auto& [relation, parts] : relationship_parts) {
+    DBRE_ASSIGN_OR_RETURN(const Table* table, database.GetTable(relation));
+    eer::RelationshipType relationship;
+    relationship.name = relation;
+    AttributeSet key = table->schema().PrimaryKey().value();
+    relationship.attributes = table->schema().AttributeNames().Minus(key);
+    for (const InclusionDependency* ric : parts) {
+      eer::Role role;
+      role.entity = ric->rhs_relation;
+      role.cardinality = eer::Cardinality::kMany;
+      role.role_name = Join(ric->lhs_attributes, "_");
+      relationship.roles.push_back(std::move(role));
+    }
+    // Extra RICs on non-key attributes of a relationship relation add
+    // single-cardinality roles.
+    for (const InclusionDependency* ric : by_relation[relation]) {
+      if (std::find(parts.begin(), parts.end(), ric) != parts.end()) {
+        continue;
+      }
+      AttributeSet side = ric->LhsAttributeSet();
+      if (side.Intersects(key)) continue;  // partial key overlap: skip
+      eer::Role role;
+      role.entity = ric->rhs_relation;
+      role.cardinality = eer::Cardinality::kOne;
+      role.role_name = Join(ric->lhs_attributes, "_");
+      relationship.roles.push_back(std::move(role));
+      // The referencing attributes live in the relationship, not as
+      // relationship attributes.
+      relationship.attributes = relationship.attributes.Minus(side);
+    }
+    DBRE_RETURN_IF_ERROR(schema.AddRelationship(std::move(relationship)));
+  }
+
+  // Remaining RICs of entity relations: is-a, weak entity, or binary
+  // relationship.
+  for (const InclusionDependency& ric : restructured.rics) {
+    if (relationship_parts.contains(ric.lhs_relation)) continue;
+    if (!schema.HasEntity(ric.rhs_relation)) {
+      // Target was folded into a relationship type; no EER construct.
+      continue;
+    }
+    DBRE_ASSIGN_OR_RETURN(const Table* table,
+                          database.GetTable(ric.lhs_relation));
+    AttributeSet side = ric.LhsAttributeSet();
+    auto key = table->schema().PrimaryKey();
+
+    if (key.has_value() && side == *key) {
+      // (a) is-a link.
+      DBRE_RETURN_IF_ERROR(
+          schema.AddIsA(eer::IsALink{ric.lhs_relation, ric.rhs_relation}));
+      continue;
+    }
+    if (key.has_value() && key->ContainsAll(side)) {
+      // (b) proper key part → weak entity owned by the target.
+      DBRE_ASSIGN_OR_RETURN(eer::EntityType * entity,
+                            schema.GetMutableEntity(ric.lhs_relation));
+      entity->weak = true;
+      eer::RelationshipType identifying;
+      identifying.name = UniqueRelationshipName(
+          schema,
+          RelationshipName(ric.lhs_relation + "_of_" + ric.rhs_relation,
+                           side, options.include_attributes_in_names));
+      identifying.roles.push_back(eer::Role{
+          ric.rhs_relation, eer::Cardinality::kOne, "owner"});
+      identifying.roles.push_back(eer::Role{
+          ric.lhs_relation, eer::Cardinality::kMany, "dependent"});
+      DBRE_RETURN_IF_ERROR(schema.AddRelationship(std::move(identifying)));
+      continue;
+    }
+    // (c) non-key left-hand side → binary relationship, many-to-one.
+    eer::RelationshipType binary;
+    binary.name = UniqueRelationshipName(
+        schema, RelationshipName(ric.lhs_relation, side,
+                                 options.include_attributes_in_names));
+    binary.roles.push_back(
+        eer::Role{ric.lhs_relation, eer::Cardinality::kMany, "referencing"});
+    binary.roles.push_back(
+        eer::Role{ric.rhs_relation, eer::Cardinality::kOne, "referenced"});
+    DBRE_RETURN_IF_ERROR(schema.AddRelationship(std::move(binary)));
+  }
+
+  if (options.merge_isa_cycles) {
+    DBRE_ASSIGN_OR_RETURN(eer::MergeReport merge_report,
+                          eer::MergeIsACycles(&schema));
+    (void)merge_report;
+  }
+  DBRE_RETURN_IF_ERROR(schema.Validate());
+  return schema;
+}
+
+}  // namespace dbre

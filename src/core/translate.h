@@ -1,0 +1,50 @@
+// Translate (§7): mapping the restructured 3NF relational schema onto EER
+// structures.
+//
+// Every relation first maps to an object-type. Then the referential
+// integrity constraints drive the classification, fleshing out the paper's
+// sketch:
+//   * Relationship relations: if the key of R_l is partitioned by the
+//     left-hand sides of R_l's RICs (≥ 2 disjoint parts covering the key),
+//     R_l becomes an n-ary many-to-many relationship-type among the
+//     referenced entities; its non-key attributes become relationship
+//     attributes (Assignment in Figure 1). RICs from R_l on non-key
+//     attributes add extra roles with cardinality 1.
+//   * is-a: a RIC whose left-hand side is exactly the key of R_l makes
+//     R_l a subtype of R_k (Manager is-a Employee; Ass-Dept is-a both
+//     Other-Dept and Department).
+//   * Weak entities: a RIC whose left-hand side is a proper subset of
+//     R_l's key makes R_l a weak entity owned by R_k, linked through an
+//     identifying one-to-many relationship (HEmployee under Employee).
+//   * Binary relationship-types: a RIC on a non-key left-hand side links
+//     R_l (many) to R_k (one) through a binary relationship (Department —
+//     Manager).
+#ifndef DBRE_CORE_TRANSLATE_H_
+#define DBRE_CORE_TRANSLATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/restruct.h"
+#include "eer/model.h"
+
+namespace dbre {
+
+struct TranslateOptions {
+  // Prefix used when naming generated relationship types; the default
+  // yields e.g. "Department_emp" for the Department—Manager link.
+  bool include_attributes_in_names = true;
+  // Collapse is-a cycles (from cyclic key-based INDs) into single entities
+  // — the case the paper's sketch leaves open. See eer/transform.h.
+  bool merge_isa_cycles = false;
+};
+
+// Translates a restructured schema into an EER schema. `restructured`
+// provides the catalog (relations + keys) and the RIC set.
+Result<eer::EerSchema> Translate(const RestructResult& restructured,
+                                 const TranslateOptions& options = {});
+
+}  // namespace dbre
+
+#endif  // DBRE_CORE_TRANSLATE_H_

@@ -1,0 +1,33 @@
+// Armstrong relations: witness extensions for FD sets.
+//
+// An Armstrong relation for an FD set F satisfies exactly the dependencies
+// implied by F — every implied FD holds, every non-implied FD is violated
+// by some tuple pair. Construction: one "agreement tuple" per closed
+// attribute set in a generator family (the closures of all LHS-relevant
+// subsets), each agreeing with the base tuple exactly on that closed set.
+//
+// Used by the test suite to feed the miners data with a *provably* known
+// dependency structure: mining an Armstrong relation must return a cover
+// of F and nothing more.
+#ifndef DBRE_DEPS_ARMSTRONG_H_
+#define DBRE_DEPS_ARMSTRONG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "deps/fd.h"
+#include "relational/table.h"
+
+namespace dbre {
+
+// Builds an Armstrong relation over `universe` for `fds` (all attributes
+// int64-typed). The relation name is `name`. Practical for |universe| ≤ 16
+// (the generator family enumerates attribute subsets).
+Result<Table> BuildArmstrongRelation(
+    const std::string& name, const AttributeSet& universe,
+    const std::vector<FunctionalDependency>& fds);
+
+}  // namespace dbre
+
+#endif  // DBRE_DEPS_ARMSTRONG_H_

@@ -1,0 +1,154 @@
+#include "deps/fd.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace dbre {
+
+std::string FunctionalDependency::ToString() const {
+  std::string out;
+  if (!relation.empty()) out = relation + ": ";
+  out += lhs.ToString() + " -> " + rhs.ToString();
+  return out;
+}
+
+bool operator<(const FunctionalDependency& a, const FunctionalDependency& b) {
+  return std::tie(a.relation, a.lhs, a.rhs) <
+         std::tie(b.relation, b.lhs, b.rhs);
+}
+
+std::ostream& operator<<(std::ostream& os, const FunctionalDependency& fd) {
+  return os << fd.ToString();
+}
+
+AttributeSet AttributeClosure(const AttributeSet& attributes,
+                              const std::vector<FunctionalDependency>& fds) {
+  AttributeSet closure = attributes;
+  bool changed = true;
+  std::vector<bool> applied(fds.size(), false);
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < fds.size(); ++i) {
+      if (applied[i]) continue;
+      if (closure.ContainsAll(fds[i].lhs)) {
+        applied[i] = true;
+        if (!closure.ContainsAll(fds[i].rhs)) {
+          closure = closure.Union(fds[i].rhs);
+          changed = true;
+        }
+      }
+    }
+  }
+  return closure;
+}
+
+bool Implies(const std::vector<FunctionalDependency>& fds,
+             const AttributeSet& lhs, const AttributeSet& rhs) {
+  return AttributeClosure(lhs, fds).ContainsAll(rhs);
+}
+
+bool IsSuperkey(const AttributeSet& attributes,
+                const AttributeSet& all_attributes,
+                const std::vector<FunctionalDependency>& fds) {
+  return AttributeClosure(attributes, fds).ContainsAll(all_attributes);
+}
+
+namespace {
+
+// Shrinks a known superkey to a minimal one by greedily removing attributes.
+AttributeSet MinimizeSuperkey(AttributeSet superkey,
+                              const AttributeSet& all_attributes,
+                              const std::vector<FunctionalDependency>& fds) {
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    for (const std::string& name : superkey.names()) {
+      AttributeSet candidate = superkey;
+      candidate.Remove(name);
+      if (!candidate.empty() &&
+          IsSuperkey(candidate, all_attributes, fds)) {
+        superkey = std::move(candidate);
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  return superkey;
+}
+
+}  // namespace
+
+std::vector<AttributeSet> CandidateKeys(
+    const AttributeSet& all_attributes,
+    const std::vector<FunctionalDependency>& fds) {
+  // Lucchesi–Osborn style: start with one minimal key, then for every key K
+  // found and every FD X → Y, (K - Y) ∪ X is a superkey that may minimize
+  // to a new key.
+  std::vector<AttributeSet> keys;
+  if (all_attributes.empty()) return keys;
+  keys.push_back(MinimizeSuperkey(all_attributes, all_attributes, fds));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    for (const FunctionalDependency& fd : fds) {
+      AttributeSet candidate = keys[i].Minus(fd.rhs).Union(fd.lhs);
+      if (!IsSuperkey(candidate, all_attributes, fds)) continue;
+      AttributeSet minimized =
+          MinimizeSuperkey(std::move(candidate), all_attributes, fds);
+      if (std::find(keys.begin(), keys.end(), minimized) == keys.end()) {
+        keys.push_back(std::move(minimized));
+      }
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::vector<FunctionalDependency> MinimalCover(
+    const std::string& relation, std::vector<FunctionalDependency> fds) {
+  // 1. Singleton right-hand sides.
+  std::vector<FunctionalDependency> cover;
+  for (FunctionalDependency& fd : fds) {
+    for (const std::string& attribute : fd.rhs) {
+      if (fd.lhs.Contains(attribute)) continue;  // drop trivial parts
+      cover.emplace_back(relation, fd.lhs,
+                         AttributeSet::Single(attribute));
+    }
+  }
+  std::sort(cover.begin(), cover.end());
+  cover.erase(std::unique(cover.begin(), cover.end()), cover.end());
+
+  // 2. Remove extraneous LHS attributes.
+  for (FunctionalDependency& fd : cover) {
+    bool shrunk = true;
+    while (shrunk && fd.lhs.size() > 1) {
+      shrunk = false;
+      for (const std::string& name : fd.lhs.names()) {
+        AttributeSet reduced = fd.lhs;
+        reduced.Remove(name);
+        if (Implies(cover, reduced, fd.rhs)) {
+          fd.lhs = std::move(reduced);
+          shrunk = true;
+          break;
+        }
+      }
+    }
+  }
+  std::sort(cover.begin(), cover.end());
+  cover.erase(std::unique(cover.begin(), cover.end()), cover.end());
+
+  // 3. Remove redundant FDs.
+  for (size_t i = 0; i < cover.size();) {
+    std::vector<FunctionalDependency> without;
+    without.reserve(cover.size() - 1);
+    for (size_t j = 0; j < cover.size(); ++j) {
+      if (j != i) without.push_back(cover[j]);
+    }
+    if (Implies(without, cover[i].lhs, cover[i].rhs)) {
+      cover.erase(cover.begin() + i);
+    } else {
+      ++i;
+    }
+  }
+  return cover;
+}
+
+}  // namespace dbre

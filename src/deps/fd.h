@@ -1,0 +1,78 @@
+// Functional dependencies and classical FD reasoning.
+//
+// Provides the FD type (R: X → Y), Armstrong-closure computation, candidate
+// key search, and minimal cover — the textbook machinery both the DBRE
+// method and the normal-form classifier build on. All reasoning functions
+// operate on FDs of a single relation; the `relation` field is carried for
+// display and for grouping FD sets that span a schema.
+#ifndef DBRE_DEPS_FD_H_
+#define DBRE_DEPS_FD_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/attribute_set.h"
+
+namespace dbre {
+
+struct FunctionalDependency {
+  std::string relation;
+  AttributeSet lhs;
+  AttributeSet rhs;
+
+  FunctionalDependency() = default;
+  FunctionalDependency(std::string relation_name, AttributeSet left,
+                       AttributeSet right)
+      : relation(std::move(relation_name)),
+        lhs(std::move(left)),
+        rhs(std::move(right)) {}
+
+  // Trivial if rhs ⊆ lhs.
+  bool IsTrivial() const { return lhs.ContainsAll(rhs); }
+
+  // "R: {a} -> {b, c}".
+  std::string ToString() const;
+
+  friend bool operator==(const FunctionalDependency& a,
+                         const FunctionalDependency& b) {
+    return a.relation == b.relation && a.lhs == b.lhs && a.rhs == b.rhs;
+  }
+  friend bool operator<(const FunctionalDependency& a,
+                        const FunctionalDependency& b);
+};
+
+std::ostream& operator<<(std::ostream& os, const FunctionalDependency& fd);
+
+// Closure of `attributes` under `fds` (relation fields are ignored; pass
+// FDs of one relation).
+AttributeSet AttributeClosure(const AttributeSet& attributes,
+                              const std::vector<FunctionalDependency>& fds);
+
+// True if X → Y is implied by `fds` (Y ⊆ closure(X)).
+bool Implies(const std::vector<FunctionalDependency>& fds,
+             const AttributeSet& lhs, const AttributeSet& rhs);
+
+// True if `attributes` is a superkey of a relation with attribute set
+// `all_attributes` under `fds`.
+bool IsSuperkey(const AttributeSet& attributes,
+                const AttributeSet& all_attributes,
+                const std::vector<FunctionalDependency>& fds);
+
+// All candidate keys of a relation with attribute set `all_attributes`
+// under `fds`, sorted. Exponential in the worst case; intended for the
+// modest arities of reverse-engineering workloads.
+std::vector<AttributeSet> CandidateKeys(
+    const AttributeSet& all_attributes,
+    const std::vector<FunctionalDependency>& fds);
+
+// A minimal (canonical) cover of `fds`: singleton right-hand sides, no
+// extraneous LHS attributes, no redundant FDs. `relation` is stamped on the
+// results.
+std::vector<FunctionalDependency> MinimalCover(
+    const std::string& relation, std::vector<FunctionalDependency> fds);
+
+}  // namespace dbre
+
+#endif  // DBRE_DEPS_FD_H_

@@ -1,0 +1,73 @@
+#include "deps/ind.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/string_util.h"
+#include "relational/algebra.h"
+
+namespace dbre {
+
+InclusionDependency InclusionDependency::Single(std::string lhs_rel,
+                                                std::string lhs_attr,
+                                                std::string rhs_rel,
+                                                std::string rhs_attr) {
+  return InclusionDependency(std::move(lhs_rel), {std::move(lhs_attr)},
+                             std::move(rhs_rel), {std::move(rhs_attr)});
+}
+
+Status InclusionDependency::Validate() const {
+  if (lhs_relation.empty() || rhs_relation.empty()) {
+    return InvalidArgumentError("IND with empty relation name");
+  }
+  if (lhs_attributes.empty()) {
+    return InvalidArgumentError("IND with no attributes: " + ToString());
+  }
+  if (lhs_attributes.size() != rhs_attributes.size()) {
+    return InvalidArgumentError("IND attribute lists differ in size: " +
+                                ToString());
+  }
+  for (size_t i = 0; i < lhs_attributes.size(); ++i) {
+    if (lhs_attributes[i].empty() || rhs_attributes[i].empty()) {
+      return InvalidArgumentError("IND with empty attribute name: " +
+                                  ToString());
+    }
+  }
+  return Status::Ok();
+}
+
+std::string InclusionDependency::ToString() const {
+  return lhs_relation + "[" + Join(lhs_attributes, ", ") + "] << " +
+         rhs_relation + "[" + Join(rhs_attributes, ", ") + "]";
+}
+
+bool operator<(const InclusionDependency& a, const InclusionDependency& b) {
+  return std::tie(a.lhs_relation, a.lhs_attributes, a.rhs_relation,
+                  a.rhs_attributes) <
+         std::tie(b.lhs_relation, b.lhs_attributes, b.rhs_relation,
+                  b.rhs_attributes);
+}
+
+std::ostream& operator<<(std::ostream& os, const InclusionDependency& ind) {
+  return os << ind.ToString();
+}
+
+Result<bool> Satisfies(const Database& database,
+                       const InclusionDependency& ind) {
+  DBRE_RETURN_IF_ERROR(ind.Validate());
+  return InclusionHolds(database, ind.lhs_relation, ind.lhs_attributes,
+                        ind.rhs_relation, ind.rhs_attributes);
+}
+
+bool IsKeyBased(const Database& database, const InclusionDependency& ind) {
+  return database.IsDeclaredKey(ind.rhs_relation, ind.RhsAttributeSet());
+}
+
+std::vector<InclusionDependency> SortedUnique(
+    std::vector<InclusionDependency> inds) {
+  std::sort(inds.begin(), inds.end());
+  inds.erase(std::unique(inds.begin(), inds.end()), inds.end());
+  return inds;
+}
+
+}  // namespace dbre

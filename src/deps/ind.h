@@ -1,0 +1,79 @@
+// Inclusion dependencies R_i[Y] ≪ R_j[Z].
+//
+// Like EquiJoin, attribute lists are ordered and positional (Y[i] must be
+// drawn from Z[i]'s values). An IND whose right-hand side is a declared key
+// is a referential integrity constraint (RIC).
+#ifndef DBRE_DEPS_IND_H_
+#define DBRE_DEPS_IND_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/attribute_set.h"
+#include "relational/database.h"
+
+namespace dbre {
+
+struct InclusionDependency {
+  std::string lhs_relation;
+  std::vector<std::string> lhs_attributes;
+  std::string rhs_relation;
+  std::vector<std::string> rhs_attributes;
+
+  InclusionDependency() = default;
+  InclusionDependency(std::string lhs_rel,
+                      std::vector<std::string> lhs_attrs,
+                      std::string rhs_rel,
+                      std::vector<std::string> rhs_attrs)
+      : lhs_relation(std::move(lhs_rel)),
+        lhs_attributes(std::move(lhs_attrs)),
+        rhs_relation(std::move(rhs_rel)),
+        rhs_attributes(std::move(rhs_attrs)) {}
+
+  // Single-attribute convenience form.
+  static InclusionDependency Single(std::string lhs_rel,
+                                    std::string lhs_attr,
+                                    std::string rhs_rel,
+                                    std::string rhs_attr);
+
+  size_t arity() const { return lhs_attributes.size(); }
+
+  AttributeSet LhsAttributeSet() const { return AttributeSet(lhs_attributes); }
+  AttributeSet RhsAttributeSet() const { return AttributeSet(rhs_attributes); }
+
+  // Shape validation (non-empty relations, equal arity, non-empty names).
+  Status Validate() const;
+
+  // "R[a, b] << S[x, y]".
+  std::string ToString() const;
+
+  friend bool operator==(const InclusionDependency& a,
+                         const InclusionDependency& b) {
+    return a.lhs_relation == b.lhs_relation &&
+           a.lhs_attributes == b.lhs_attributes &&
+           a.rhs_relation == b.rhs_relation &&
+           a.rhs_attributes == b.rhs_attributes;
+  }
+  friend bool operator<(const InclusionDependency& a,
+                        const InclusionDependency& b);
+};
+
+std::ostream& operator<<(std::ostream& os, const InclusionDependency& ind);
+
+// Whether `ind` is satisfied by `database`'s extension.
+Result<bool> Satisfies(const Database& database,
+                       const InclusionDependency& ind);
+
+// Whether the right-hand side of `ind` is a declared key of its relation
+// (making the IND key-based, i.e. a referential integrity constraint).
+bool IsKeyBased(const Database& database, const InclusionDependency& ind);
+
+// Sorted + deduplicated copy.
+std::vector<InclusionDependency> SortedUnique(
+    std::vector<InclusionDependency> inds);
+
+}  // namespace dbre
+
+#endif  // DBRE_DEPS_IND_H_

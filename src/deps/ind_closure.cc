@@ -1,0 +1,151 @@
+#include "deps/ind_closure.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace dbre {
+namespace {
+
+using Side = std::pair<std::string, std::vector<std::string>>;
+
+Side LhsSide(const InclusionDependency& ind) {
+  return {ind.lhs_relation, ind.lhs_attributes};
+}
+Side RhsSide(const InclusionDependency& ind) {
+  return {ind.rhs_relation, ind.rhs_attributes};
+}
+
+}  // namespace
+
+std::vector<InclusionDependency> TransitiveClosure(
+    std::vector<InclusionDependency> inds,
+    const IndClosureOptions& options) {
+  std::set<InclusionDependency> closed(inds.begin(), inds.end());
+
+  if (options.project) {
+    // Projection first, so transitivity also runs over the projections.
+    std::vector<InclusionDependency> projections;
+    for (const InclusionDependency& ind : closed) {
+      size_t k = ind.arity();
+      if (k < 2) continue;
+      if (options.unary_projections_only) {
+        for (size_t i = 0; i < k; ++i) {
+          projections.push_back(InclusionDependency::Single(
+              ind.lhs_relation, ind.lhs_attributes[i], ind.rhs_relation,
+              ind.rhs_attributes[i]));
+        }
+      } else if (k <= 16) {
+        for (uint32_t mask = 1; mask < (1u << k); ++mask) {
+          InclusionDependency projected;
+          projected.lhs_relation = ind.lhs_relation;
+          projected.rhs_relation = ind.rhs_relation;
+          for (size_t i = 0; i < k; ++i) {
+            if (mask & (1u << i)) {
+              projected.lhs_attributes.push_back(ind.lhs_attributes[i]);
+              projected.rhs_attributes.push_back(ind.rhs_attributes[i]);
+            }
+          }
+          projections.push_back(std::move(projected));
+        }
+      }
+    }
+    closed.insert(projections.begin(), projections.end());
+  }
+
+  // Saturate under transitivity: index INDs by their left side.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::multimap<Side, const InclusionDependency*> by_lhs;
+    for (const InclusionDependency& ind : closed) {
+      by_lhs.emplace(LhsSide(ind), &ind);
+    }
+    std::vector<InclusionDependency> derived;
+    for (const InclusionDependency& first : closed) {
+      auto [begin, end] = by_lhs.equal_range(RhsSide(first));
+      for (auto it = begin; it != end; ++it) {
+        const InclusionDependency& second = *it->second;
+        InclusionDependency chained(first.lhs_relation,
+                                    first.lhs_attributes,
+                                    second.rhs_relation,
+                                    second.rhs_attributes);
+        if (LhsSide(chained) == RhsSide(chained)) continue;  // trivial
+        if (!closed.contains(chained)) derived.push_back(std::move(chained));
+      }
+    }
+    for (InclusionDependency& ind : derived) {
+      if (options.max_derived != 0 && closed.size() >= options.max_derived) {
+        break;
+      }
+      if (closed.insert(std::move(ind)).second) changed = true;
+    }
+    if (options.max_derived != 0 && closed.size() >= options.max_derived) {
+      break;
+    }
+  }
+  return std::vector<InclusionDependency>(closed.begin(), closed.end());
+}
+
+std::vector<IndCycle> FindCyclicSides(
+    const std::vector<InclusionDependency>& inds) {
+  // Collect nodes and edges.
+  std::set<Side> nodes;
+  std::map<Side, std::vector<Side>> edges;
+  for (const InclusionDependency& ind : inds) {
+    Side lhs = LhsSide(ind), rhs = RhsSide(ind);
+    nodes.insert(lhs);
+    nodes.insert(rhs);
+    edges[lhs].push_back(rhs);
+  }
+  // Iterative Tarjan SCC.
+  std::map<Side, int> index, lowlink;
+  std::map<Side, bool> on_stack;
+  std::vector<Side> stack;
+  int counter = 0;
+  std::vector<IndCycle> cycles;
+
+  // Recursive lambda (depth bounded by the number of sides, which is
+  // small for elicited sets).
+  std::function<void(const Side&)> visit = [&](const Side& node) {
+    index[node] = lowlink[node] = counter++;
+    stack.push_back(node);
+    on_stack[node] = true;
+    auto it = edges.find(node);
+    if (it != edges.end()) {
+      for (const Side& next : it->second) {
+        if (!index.contains(next)) {
+          visit(next);
+          lowlink[node] = std::min(lowlink[node], lowlink[next]);
+        } else if (on_stack[next]) {
+          lowlink[node] = std::min(lowlink[node], index[next]);
+        }
+      }
+    }
+    if (lowlink[node] == index[node]) {
+      IndCycle cycle;
+      while (true) {
+        Side top = stack.back();
+        stack.pop_back();
+        on_stack[top] = false;
+        cycle.sides.push_back(top);
+        if (top == node) break;
+      }
+      if (cycle.sides.size() >= 2) {
+        std::sort(cycle.sides.begin(), cycle.sides.end());
+        cycles.push_back(std::move(cycle));
+      }
+    }
+  };
+  for (const Side& node : nodes) {
+    if (!index.contains(node)) visit(node);
+  }
+  std::sort(cycles.begin(), cycles.end(),
+            [](const IndCycle& a, const IndCycle& b) {
+              return a.sides < b.sides;
+            });
+  return cycles;
+}
+
+}  // namespace dbre

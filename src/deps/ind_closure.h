@@ -1,0 +1,55 @@
+// Reasoning over inclusion dependency sets.
+//
+// The sound and complete axiomatization of INDs (Casanova–Fagin–
+// Papadimitriou) has three rules; two matter for finite elicited sets:
+//   * transitivity:  R[X] ≪ S[Y], S[Y] ≪ T[Z]  ⊢  R[X] ≪ T[Z]
+//     (positional: the middle sides must match attribute-for-attribute);
+//   * projection/permutation: R[x1..xk] ≪ S[y1..yk] implies the IND over
+//     any subsequence of the positions.
+// TransitiveClosure saturates a set under transitivity (projection is
+// opt-in — it can blow up k-ary INDs into 2^k smaller ones).
+//
+// FindCyclicSides detects cyclically included sides (R[X] ≪ ... ≪ R[X]),
+// which by finite-extension reasoning have *equal* value sets — the
+// situation whose EER treatment the paper leaves open (see
+// eer/transform.h).
+#ifndef DBRE_DEPS_IND_CLOSURE_H_
+#define DBRE_DEPS_IND_CLOSURE_H_
+
+#include <vector>
+
+#include "deps/ind.h"
+
+namespace dbre {
+
+struct IndClosureOptions {
+  // Also close under projection onto every non-empty position subsequence
+  // (unary projections only when `unary_projections_only`).
+  bool project = false;
+  bool unary_projections_only = true;
+  // Saturation guard; 0 = unlimited.
+  size_t max_derived = 10000;
+};
+
+// Saturates `inds` under transitivity (and optionally projection).
+// Derived INDs are marked only by their presence; the result is sorted and
+// duplicate-free and always contains the input.
+std::vector<InclusionDependency> TransitiveClosure(
+    std::vector<InclusionDependency> inds,
+    const IndClosureOptions& options = {});
+
+// One equivalence class of cyclically included sides.
+struct IndCycle {
+  // The sides (relation + ordered attributes) with provably equal value
+  // sets, sorted.
+  std::vector<std::pair<std::string, std::vector<std::string>>> sides;
+};
+
+// Finds all nontrivial cycles in the "is included in" digraph over IND
+// sides (strongly connected components of size ≥ 2).
+std::vector<IndCycle> FindCyclicSides(
+    const std::vector<InclusionDependency>& inds);
+
+}  // namespace dbre
+
+#endif  // DBRE_DEPS_IND_CLOSURE_H_

@@ -1,0 +1,66 @@
+// Exhaustive discovery of unary inclusion dependencies from data.
+//
+// This is the unguided baseline against which the paper's query-guided
+// IND-Discovery is measured (experiment P2): test r_i[a] ⊆ r_j[b] for every
+// ordered pair of type-compatible attributes across the schema. The guided
+// method instead touches only the attribute pairs referenced by equi-joins
+// in the application programs.
+#ifndef DBRE_DEPS_IND_MINER_H_
+#define DBRE_DEPS_IND_MINER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "deps/ind.h"
+#include "relational/database.h"
+
+namespace dbre {
+
+struct IndMinerOptions {
+  // Only report INDs whose right-hand side is a declared key (referential
+  // candidates). The full search still evaluates every pair.
+  bool key_targets_only = false;
+  // Skip trivial self-INDs R[a] << R[a] (always on; kept for clarity).
+  // Minimum distinct LHS values for a pair to be considered; filters
+  // accidental inclusions of near-empty columns.
+  size_t min_lhs_distinct = 1;
+};
+
+struct IndMinerStats {
+  size_t pairs_considered = 0;  // type-compatible ordered pairs
+  size_t pairs_checked = 0;     // set-inclusion evaluations performed
+  size_t discovered = 0;
+};
+
+// Mines all satisfied unary INDs of `database`. Projections are
+// materialized once per attribute; each ordered pair costs a subset probe.
+Result<std::vector<InclusionDependency>> MineUnaryInds(
+    const Database& database, const IndMinerOptions& options = {},
+    IndMinerStats* stats = nullptr);
+
+// Levelwise n-ary IND mining (MIND-style): level-k candidates are built by
+// joining satisfied (k−1)-ary INDs between the same relation pair that
+// share a prefix, requiring every unary projection to be satisfied
+// (downward closure), then verified against the extension. Attribute
+// positions within an IND are kept in ascending LHS-attribute order, one
+// attribute used at most once per side.
+struct NaryIndMinerOptions {
+  size_t max_arity = 2;
+  IndMinerOptions unary;  // options for the level-1 seed
+};
+
+struct NaryIndMinerStats {
+  IndMinerStats unary;
+  size_t candidates_generated = 0;  // arity ≥ 2
+  size_t candidates_checked = 0;    // extension verifications (arity ≥ 2)
+  size_t discovered = 0;            // total satisfied INDs, all arities
+};
+
+Result<std::vector<InclusionDependency>> MineNaryInds(
+    const Database& database, const NaryIndMinerOptions& options = {},
+    NaryIndMinerStats* stats = nullptr);
+
+}  // namespace dbre
+
+#endif  // DBRE_DEPS_IND_MINER_H_

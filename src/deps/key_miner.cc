@@ -1,0 +1,111 @@
+#include "deps/key_miner.h"
+
+#include <algorithm>
+
+#include "relational/value.h"
+
+namespace dbre {
+namespace {
+
+// Distinct-count-based uniqueness honouring SQL NULL semantics: unique iff
+// no two NULL-free projections coincide.
+Result<bool> CombinationIsUnique(const Table& table,
+                                 const std::vector<size_t>& indexes) {
+  ValueVectorSet seen;
+  seen.reserve(table.num_rows());
+  for (const ValueVector& row : table.rows()) {
+    ValueVector projected = Table::ProjectRow(row, indexes);
+    bool has_null = std::any_of(projected.begin(), projected.end(),
+                                [](const Value& v) { return v.is_null(); });
+    if (has_null) continue;
+    if (!seen.insert(std::move(projected)).second) return false;
+  }
+  return true;
+}
+
+bool ColumnHasNull(const Table& table, size_t column) {
+  for (const ValueVector& row : table.rows()) {
+    if (row[column].is_null()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::vector<AttributeSet>> MineCandidateKeys(
+    const Table& table, const KeyMinerOptions& options,
+    KeyMinerStats* stats) {
+  KeyMinerStats local_stats;
+  KeyMinerStats* s = stats != nullptr ? stats : &local_stats;
+  *s = KeyMinerStats{};
+
+  const RelationSchema& schema = table.schema();
+  // Candidate columns (optionally NULL-free only), with their indexes.
+  std::vector<std::pair<std::string, size_t>> columns;
+  for (size_t c = 0; c < schema.arity(); ++c) {
+    if (options.require_not_null && ColumnHasNull(table, c)) continue;
+    columns.emplace_back(schema.attributes()[c].name, c);
+  }
+  std::sort(columns.begin(), columns.end());
+
+  std::vector<AttributeSet> keys;
+  auto is_superset_of_key = [&](const AttributeSet& candidate) {
+    return std::any_of(keys.begin(), keys.end(),
+                       [&](const AttributeSet& key) {
+                         return candidate.ContainsAll(key);
+                       });
+  };
+
+  // Levelwise over combinations in prefix order.
+  struct Node {
+    AttributeSet attributes;
+    std::vector<size_t> indexes;  // sorted by attribute name
+    size_t last;                  // index into `columns` of the max element
+  };
+  std::vector<Node> level;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    Node node;
+    node.attributes = AttributeSet::Single(columns[i].first);
+    node.indexes = {columns[i].second};
+    node.last = i;
+    ++s->combinations_checked;
+    DBRE_ASSIGN_OR_RETURN(bool unique,
+                          CombinationIsUnique(table, node.indexes));
+    if (unique) {
+      keys.push_back(node.attributes);
+    } else {
+      level.push_back(std::move(node));
+    }
+  }
+
+  for (size_t depth = 2; depth <= options.max_key_size && !level.empty();
+       ++depth) {
+    std::vector<Node> next;
+    for (const Node& node : level) {
+      for (size_t i = node.last + 1; i < columns.size(); ++i) {
+        Node extended;
+        extended.attributes = node.attributes;
+        extended.attributes.Insert(columns[i].first);
+        if (is_superset_of_key(extended.attributes)) continue;
+        extended.indexes = node.indexes;
+        extended.indexes.push_back(columns[i].second);
+        extended.last = i;
+        ++s->combinations_checked;
+        DBRE_ASSIGN_OR_RETURN(bool unique,
+                              CombinationIsUnique(table, extended.indexes));
+        if (unique) {
+          keys.push_back(extended.attributes);
+        } else if (depth < options.max_key_size) {
+          next.push_back(std::move(extended));
+        }
+      }
+    }
+    level = std::move(next);
+  }
+
+  std::sort(keys.begin(), keys.end());
+  s->discovered = keys.size();
+  return keys;
+}
+
+}  // namespace dbre

@@ -1,0 +1,46 @@
+// Discovery of minimal unique column combinations (candidate keys) from
+// the extension.
+//
+// The method's §4 assumptions lean on `unique` declarations in the data
+// dictionary, but the oldest systems the paper targets predate even those.
+// This miner recovers the key set K directly from the data: a levelwise
+// search over column combinations, verified with stripped partitions
+// (a combination X is unique iff π_X has no class of size ≥ 2), pruned by
+// minimality (supersets of a discovered unique set are skipped).
+//
+// NULL handling follows SQL UNIQUE: rows with a NULL in the combination do
+// not violate uniqueness (they are excluded from the check).
+#ifndef DBRE_DEPS_KEY_MINER_H_
+#define DBRE_DEPS_KEY_MINER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/attribute_set.h"
+#include "relational/table.h"
+
+namespace dbre {
+
+struct KeyMinerOptions {
+  // Maximum combination size to explore.
+  size_t max_key_size = 3;
+  // Exclude attributes that contain NULLs from key candidates entirely
+  // (legacy keys are not-null in practice; also avoids vacuously-unique
+  // mostly-NULL columns).
+  bool require_not_null = true;
+};
+
+struct KeyMinerStats {
+  size_t combinations_checked = 0;
+  size_t discovered = 0;
+};
+
+// All minimal unique column sets of `table` up to the size cap, sorted.
+Result<std::vector<AttributeSet>> MineCandidateKeys(
+    const Table& table, const KeyMinerOptions& options = {},
+    KeyMinerStats* stats = nullptr);
+
+}  // namespace dbre
+
+#endif  // DBRE_DEPS_KEY_MINER_H_

@@ -1,0 +1,88 @@
+#include "deps/name_matcher.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "relational/algebra.h"
+
+namespace dbre {
+
+std::string NameStem(const std::string& attribute,
+                     const NameMatchOptions& options) {
+  std::string lower = ToLower(attribute);
+  const std::string* best = nullptr;
+  for (const std::string& suffix : options.suffixes) {
+    if (EndsWith(lower, suffix) && lower.size() > suffix.size()) {
+      if (best == nullptr || suffix.size() > best->size()) best = &suffix;
+    }
+  }
+  if (best != nullptr) lower.resize(lower.size() - best->size());
+  return lower;
+}
+
+Result<std::vector<InclusionDependency>> DiscoverIndsByNaming(
+    const Database& database, const NameMatchOptions& options,
+    NameMatchStats* stats) {
+  NameMatchStats local_stats;
+  NameMatchStats* s = stats != nullptr ? stats : &local_stats;
+  *s = NameMatchStats{};
+
+  // Collect reference targets: single-attribute keys (or, without the
+  // restriction, every attribute).
+  struct Target {
+    std::string relation;
+    std::string attribute;
+    std::string stem;
+    DataType type;
+  };
+  std::vector<Target> targets;
+  for (const std::string& relation : database.RelationNames()) {
+    DBRE_ASSIGN_OR_RETURN(const Table* table, database.GetTable(relation));
+    for (const Attribute& attribute : table->schema().attributes()) {
+      if (options.key_targets_only &&
+          !table->schema().IsKey(AttributeSet::Single(attribute.name))) {
+        continue;
+      }
+      targets.push_back(Target{relation, attribute.name,
+                               NameStem(attribute.name, options),
+                               attribute.type});
+    }
+  }
+
+  std::vector<InclusionDependency> discovered;
+  for (const std::string& relation : database.RelationNames()) {
+    DBRE_ASSIGN_OR_RETURN(const Table* table, database.GetTable(relation));
+    for (const Attribute& attribute : table->schema().attributes()) {
+      // Referencing side: non-key attributes.
+      if (table->schema().IsKey(AttributeSet::Single(attribute.name))) {
+        continue;
+      }
+      std::string stem = NameStem(attribute.name, options);
+      for (const Target& target : targets) {
+        if (target.relation == relation &&
+            target.attribute == attribute.name) {
+          continue;
+        }
+        if (target.type != attribute.type) continue;
+        bool name_match = ToLower(attribute.name) ==
+                              ToLower(target.attribute) ||
+                          (!stem.empty() && stem == target.stem);
+        if (!name_match) continue;
+        ++s->pairs_proposed;
+        InclusionDependency candidate = InclusionDependency::Single(
+            relation, attribute.name, target.relation, target.attribute);
+        if (options.verify_against_extension) {
+          ++s->pairs_verified;
+          DBRE_ASSIGN_OR_RETURN(bool holds, Satisfies(database, candidate));
+          if (!holds) continue;
+        }
+        discovered.push_back(std::move(candidate));
+      }
+    }
+  }
+  discovered = SortedUnique(std::move(discovered));
+  s->discovered = discovered.size();
+  return discovered;
+}
+
+}  // namespace dbre

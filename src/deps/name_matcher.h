@@ -1,0 +1,57 @@
+// Name-based foreign-key discovery — the related-work baseline.
+//
+// Earlier relational DBRE methods (e.g. Chiang–Barron–Storey, the paper's
+// ref [5]) rely on "consistent naming of key attributes": an attribute is
+// presumed to reference a key it shares a name (or name stem) with, and
+// the presumption is then checked against the extension. The paper
+// explicitly drops that assumption ("without any restriction on the naming
+// of attributes") in favour of query analysis.
+//
+// This module implements the naming heuristic so the two philosophies can
+// be compared (experiment A5): for every (non-key attribute, key) pair
+// whose names match — exactly, or up to a common stem after stripping
+// suffixes like _id/_ref/_no/_code — propose the IND and keep it only if
+// the extension satisfies it.
+#ifndef DBRE_DEPS_NAME_MATCHER_H_
+#define DBRE_DEPS_NAME_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "deps/ind.h"
+#include "relational/database.h"
+
+namespace dbre {
+
+struct NameMatchOptions {
+  // Suffixes stripped before stem comparison (lowercased).
+  std::vector<std::string> suffixes = {"_id", "_ref", "_no", "_code",
+                                       "_key"};
+  // Only propose pairs whose referenced side is a declared single-attribute
+  // key (the heuristic's usual form).
+  bool key_targets_only = true;
+  // Verify proposals against the extension; unverified mode returns every
+  // name match (for measuring the heuristic's raw false-positive rate).
+  bool verify_against_extension = true;
+};
+
+struct NameMatchStats {
+  size_t pairs_proposed = 0;   // name matches found
+  size_t pairs_verified = 0;   // extension checks performed
+  size_t discovered = 0;
+};
+
+// Runs the heuristic over the whole catalog.
+Result<std::vector<InclusionDependency>> DiscoverIndsByNaming(
+    const Database& database, const NameMatchOptions& options = {},
+    NameMatchStats* stats = nullptr);
+
+// Exposed for tests: the stem of an attribute name under `options`
+// (lowercased, longest matching suffix stripped).
+std::string NameStem(const std::string& attribute,
+                     const NameMatchOptions& options);
+
+}  // namespace dbre
+
+#endif  // DBRE_DEPS_NAME_MATCHER_H_

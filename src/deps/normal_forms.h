@@ -1,0 +1,49 @@
+// Normal-form classification of a relation given the FDs that hold in it.
+//
+// The paper annotates its running example with per-relation normal forms
+// (Person 2NF, HEmployee 3NF, Department 2NF, Assignment 1NF); this module
+// reproduces those judgements (experiment E10) and supports verifying that
+// Restruct's output schema is in 3NF.
+#ifndef DBRE_DEPS_NORMAL_FORMS_H_
+#define DBRE_DEPS_NORMAL_FORMS_H_
+
+#include <string>
+#include <vector>
+
+#include "deps/fd.h"
+#include "relational/attribute_set.h"
+
+namespace dbre {
+
+enum class NormalForm {
+  k1NF,   // flat relation (always true for our model)
+  k2NF,   // no partial dependency of a non-prime attribute on a key part
+  k3NF,   // every FD X → a has X superkey or a prime
+  kBCNF,  // every nontrivial FD has a superkey LHS
+};
+
+const char* NormalFormName(NormalForm nf);
+
+// Classifies a relation with attribute set `all_attributes` whose holding
+// FDs are `fds` (the relation's candidate keys are derived from `fds`, so
+// include key dependencies in `fds`). Returns the *highest* normal form of
+// {1NF, 2NF, 3NF, BCNF} that holds.
+NormalForm ClassifyNormalForm(const AttributeSet& all_attributes,
+                              const std::vector<FunctionalDependency>& fds);
+
+// Individual predicates (1NF is implicit — relations are flat by
+// construction).
+bool IsIn2NF(const AttributeSet& all_attributes,
+             const std::vector<FunctionalDependency>& fds);
+bool IsIn3NF(const AttributeSet& all_attributes,
+             const std::vector<FunctionalDependency>& fds);
+bool IsInBCNF(const AttributeSet& all_attributes,
+              const std::vector<FunctionalDependency>& fds);
+
+// Attributes appearing in at least one candidate key.
+AttributeSet PrimeAttributes(const AttributeSet& all_attributes,
+                             const std::vector<FunctionalDependency>& fds);
+
+}  // namespace dbre
+
+#endif  // DBRE_DEPS_NORMAL_FORMS_H_

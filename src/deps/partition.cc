@@ -1,0 +1,99 @@
+#include "deps/partition.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dbre {
+
+StrippedPartition::StrippedPartition(
+    std::vector<std::vector<size_t>> classes, size_t num_rows)
+    : classes_(std::move(classes)), num_rows_(num_rows) {
+  // Normalize: strip singletons, sort members and classes for determinism.
+  classes_.erase(
+      std::remove_if(classes_.begin(), classes_.end(),
+                     [](const std::vector<size_t>& c) { return c.size() < 2; }),
+      classes_.end());
+  for (std::vector<size_t>& c : classes_) std::sort(c.begin(), c.end());
+  std::sort(classes_.begin(), classes_.end());
+}
+
+Result<StrippedPartition> StrippedPartition::ForColumn(const Table& table,
+                                                       size_t column) {
+  if (column >= table.schema().arity()) {
+    return OutOfRangeError("column index out of range");
+  }
+  std::unordered_map<Value, std::vector<size_t>, ValueHash> groups;
+  groups.reserve(table.num_rows());
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    groups[table.row(i)[column]].push_back(i);
+  }
+  std::vector<std::vector<size_t>> classes;
+  classes.reserve(groups.size());
+  for (auto& [value, members] : groups) {
+    if (members.size() >= 2) classes.push_back(std::move(members));
+  }
+  return StrippedPartition(std::move(classes), table.num_rows());
+}
+
+Result<StrippedPartition> StrippedPartition::ForAttributes(
+    const Table& table, const AttributeSet& attributes) {
+  DBRE_ASSIGN_OR_RETURN(std::vector<size_t> indexes,
+                        table.ProjectionIndexes(attributes));
+  std::unordered_map<ValueVector, std::vector<size_t>, ValueVectorHash>
+      groups;
+  groups.reserve(table.num_rows());
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    groups[Table::ProjectRow(table.row(i), indexes)].push_back(i);
+  }
+  std::vector<std::vector<size_t>> classes;
+  classes.reserve(groups.size());
+  for (auto& [key, members] : groups) {
+    if (members.size() >= 2) classes.push_back(std::move(members));
+  }
+  return StrippedPartition(std::move(classes), table.num_rows());
+}
+
+StrippedPartition StrippedPartition::Intersect(
+    const StrippedPartition& other) const {
+  // Standard stripped-partition product (Huhtala et al.): label rows by
+  // their class in `this`, then split each labelled group by `other`.
+  constexpr size_t kUnlabelled = static_cast<size_t>(-1);
+  std::vector<size_t> label(num_rows_, kUnlabelled);
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    for (size_t row : classes_[c]) label[row] = c;
+  }
+  // For each class of `other`, bucket its labelled members by label.
+  std::vector<std::vector<size_t>> product;
+  std::unordered_map<size_t, std::vector<size_t>> buckets;
+  for (const std::vector<size_t>& other_class : other.classes_) {
+    buckets.clear();
+    for (size_t row : other_class) {
+      if (label[row] != kUnlabelled) buckets[label[row]].push_back(row);
+    }
+    for (auto& [lab, members] : buckets) {
+      if (members.size() >= 2) product.push_back(std::move(members));
+    }
+  }
+  return StrippedPartition(std::move(product), num_rows_);
+}
+
+size_t StrippedPartition::CoveredRows() const {
+  size_t covered = 0;
+  for (const std::vector<size_t>& c : classes_) covered += c.size();
+  return covered;
+}
+
+size_t StrippedPartition::NumClassesWithSingletons() const {
+  return classes_.size() + (num_rows_ - CoveredRows());
+}
+
+size_t StrippedPartition::Error() const {
+  return CoveredRows() - classes_.size();
+}
+
+bool StrippedPartition::Refines(const StrippedPartition& other) const {
+  StrippedPartition product = Intersect(other);
+  return product.NumClassesWithSingletons() == NumClassesWithSingletons();
+}
+
+}  // namespace dbre

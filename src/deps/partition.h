@@ -1,0 +1,71 @@
+// Stripped partitions (TANE-style) for fast FD verification.
+//
+// The partition of a table under an attribute set X groups row indexes by
+// their X-projection; a *stripped* partition drops singleton classes. An FD
+// X → A holds iff refining π_X by A does not split any class, which can be
+// tested by comparing |π_X| with |π_{X∪A}| (class counts including
+// singletons). Partitions compose by intersection, so level-wise miners can
+// derive π_{XY} from π_X and π_Y without re-reading the table.
+//
+// NULLs: two NULLs are placed in the same class (NULL-as-value semantics).
+// This differs from FunctionalDependencyHolds in algebra.h, which skips
+// NULL-LHS tuples; the miners use partitions and document this choice.
+#ifndef DBRE_DEPS_PARTITION_H_
+#define DBRE_DEPS_PARTITION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "relational/attribute_set.h"
+#include "relational/table.h"
+
+namespace dbre {
+
+class StrippedPartition {
+ public:
+  StrippedPartition() = default;
+  StrippedPartition(std::vector<std::vector<size_t>> classes,
+                    size_t num_rows);
+
+  // Partition of `table` under the single attribute at `column`.
+  static Result<StrippedPartition> ForColumn(const Table& table,
+                                             size_t column);
+
+  // Partition of `table` under `attributes` (computed directly).
+  static Result<StrippedPartition> ForAttributes(
+      const Table& table, const AttributeSet& attributes);
+
+  // Product partition π_X ∩ π_Y = π_{XY}. Both operands must cover the
+  // same table (same num_rows).
+  StrippedPartition Intersect(const StrippedPartition& other) const;
+
+  // Non-singleton classes.
+  const std::vector<std::vector<size_t>>& classes() const { return classes_; }
+
+  size_t num_rows() const { return num_rows_; }
+
+  // Number of rows covered by non-singleton classes.
+  size_t CoveredRows() const;
+
+  // Total class count including implicit singletons:
+  // |π| = classes + (num_rows - covered rows).
+  size_t NumClassesWithSingletons() const;
+
+  // TANE error measure e(π) = covered rows − stripped class count; X → A
+  // holds iff e(π_X) == e(π_{X∪A}).
+  size_t Error() const;
+
+  // True if refining this partition by `other` (i.e. moving to the product)
+  // does not split any class — equivalently, every class of `this` lies
+  // within a class of `this ∩ other`, meaning the FD (this's attributes) →
+  // (other's attributes) holds.
+  bool Refines(const StrippedPartition& other) const;
+
+ private:
+  std::vector<std::vector<size_t>> classes_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace dbre
+
+#endif  // DBRE_DEPS_PARTITION_H_

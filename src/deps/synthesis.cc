@@ -1,0 +1,202 @@
+#include "deps/synthesis.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace dbre {
+
+std::string DecomposedRelation::ToString() const {
+  std::string out = name + attributes.ToString();
+  if (!key.empty()) out += " key=" + key.ToString();
+  return out;
+}
+
+std::vector<DecomposedRelation> Synthesize3NF(
+    const std::string& base_name, const AttributeSet& universe,
+    const std::vector<FunctionalDependency>& fds) {
+  std::vector<FunctionalDependency> cover = MinimalCover("", fds);
+
+  // Group the cover by left-hand side.
+  std::map<AttributeSet, AttributeSet> groups;  // lhs → union of rhs
+  for (const FunctionalDependency& fd : cover) {
+    groups[fd.lhs] = groups[fd.lhs].Union(fd.rhs);
+  }
+
+  std::vector<DecomposedRelation> relations;
+  size_t counter = 1;
+  for (const auto& [lhs, rhs] : groups) {
+    DecomposedRelation relation;
+    relation.name = base_name + "_" + std::to_string(counter++);
+    relation.attributes = lhs.Union(rhs);
+    relation.key = lhs;
+    relations.push_back(std::move(relation));
+  }
+
+  // Ensure some component contains a candidate key of the universe
+  // (lossless-join guarantee); this also homes attributes that appear in
+  // no FD, since they belong to every candidate key.
+  std::vector<AttributeSet> keys = CandidateKeys(universe, cover);
+  bool key_covered = false;
+  for (const DecomposedRelation& relation : relations) {
+    for (const AttributeSet& key : keys) {
+      if (relation.attributes.ContainsAll(key)) {
+        key_covered = true;
+        break;
+      }
+    }
+    if (key_covered) break;
+  }
+  if (!key_covered && !keys.empty()) {
+    DecomposedRelation relation;
+    relation.name = base_name + "_key";
+    relation.attributes = keys.front();
+    relation.key = keys.front();
+    relations.push_back(std::move(relation));
+  }
+
+  // Drop components subsumed by another (keep the subsuming one's key).
+  std::vector<DecomposedRelation> kept;
+  for (size_t i = 0; i < relations.size(); ++i) {
+    bool subsumed = false;
+    for (size_t j = 0; j < relations.size() && !subsumed; ++j) {
+      if (i == j) continue;
+      if (relations[j].attributes.ContainsAll(relations[i].attributes) &&
+          (relations[i].attributes != relations[j].attributes || j < i)) {
+        subsumed = true;
+      }
+    }
+    if (!subsumed) kept.push_back(relations[i]);
+  }
+  return kept;
+}
+
+bool IsLosslessJoin(const AttributeSet& universe,
+                    const std::vector<AttributeSet>& components,
+                    const std::vector<FunctionalDependency>& fds) {
+  if (components.empty()) return false;
+  const std::vector<std::string>& columns = universe.names();
+  const size_t n_cols = columns.size();
+  const size_t n_rows = components.size();
+
+  // Chase tableau: cell value 0 = distinguished; otherwise a unique
+  // nondistinguished symbol.
+  std::vector<std::vector<int>> tableau(n_rows, std::vector<int>(n_cols));
+  int next_symbol = 1;
+  for (size_t r = 0; r < n_rows; ++r) {
+    for (size_t c = 0; c < n_cols; ++c) {
+      tableau[r][c] =
+          components[r].Contains(columns[c]) ? 0 : next_symbol++;
+    }
+  }
+  auto column_index = [&](const std::string& name) -> size_t {
+    return static_cast<size_t>(
+        std::lower_bound(columns.begin(), columns.end(), name) -
+        columns.begin());
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionalDependency& fd : fds) {
+      // Group rows by their LHS symbols.
+      std::vector<size_t> lhs_cols, rhs_cols;
+      bool applicable = true;
+      for (const std::string& a : fd.lhs) {
+        if (!universe.Contains(a)) {
+          applicable = false;
+          break;
+        }
+        lhs_cols.push_back(column_index(a));
+      }
+      if (!applicable) continue;
+      for (const std::string& a : fd.rhs) {
+        if (universe.Contains(a)) rhs_cols.push_back(column_index(a));
+      }
+      std::map<std::vector<int>, std::vector<size_t>> buckets;
+      for (size_t r = 0; r < n_rows; ++r) {
+        std::vector<int> key;
+        for (size_t c : lhs_cols) key.push_back(tableau[r][c]);
+        buckets[std::move(key)].push_back(r);
+      }
+      for (const auto& [key, rows] : buckets) {
+        if (rows.size() < 2) continue;
+        for (size_t c : rhs_cols) {
+          // Equate: distinguished wins, else the minimum symbol.
+          int target = tableau[rows[0]][c];
+          for (size_t r : rows) target = std::min(target, tableau[r][c]);
+          for (size_t r : rows) {
+            if (tableau[r][c] != target) {
+              tableau[r][c] = target;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+  for (size_t r = 0; r < n_rows; ++r) {
+    bool all_distinguished = std::all_of(
+        tableau[r].begin(), tableau[r].end(), [](int v) { return v == 0; });
+    if (all_distinguished) return true;
+  }
+  return false;
+}
+
+std::vector<FunctionalDependency> ProjectFds(
+    const AttributeSet& component,
+    const std::vector<FunctionalDependency>& fds) {
+  std::vector<FunctionalDependency> projected;
+  const std::vector<std::string>& names = component.names();
+  const size_t k = names.size();
+  if (k == 0 || k > 20) return projected;
+  for (const std::string& dependent : names) {
+    // Minimal X ⊆ component − {a} with a ∈ closure(X): enumerate subsets
+    // by increasing popcount, skipping supersets of found minimal sets.
+    std::vector<uint32_t> minimal_masks;
+    std::vector<uint32_t> masks((1u << k) - 1);
+    std::iota(masks.begin(), masks.end(), 1u);
+    std::sort(masks.begin(), masks.end(), [](uint32_t a, uint32_t b) {
+      int pa = __builtin_popcount(a), pb = __builtin_popcount(b);
+      return pa != pb ? pa < pb : a < b;
+    });
+    size_t dependent_bit = static_cast<size_t>(
+        std::lower_bound(names.begin(), names.end(), dependent) -
+        names.begin());
+    for (uint32_t mask : masks) {
+      if (mask & (1u << dependent_bit)) continue;
+      bool superset = std::any_of(
+          minimal_masks.begin(), minimal_masks.end(),
+          [&](uint32_t m) { return (mask & m) == m; });
+      if (superset) continue;
+      AttributeSet lhs;
+      for (size_t i = 0; i < k; ++i) {
+        if (mask & (1u << i)) lhs.Insert(names[i]);
+      }
+      if (Implies(fds, lhs, AttributeSet::Single(dependent))) {
+        minimal_masks.push_back(mask);
+        projected.emplace_back("", std::move(lhs),
+                               AttributeSet::Single(dependent));
+      }
+    }
+  }
+  std::sort(projected.begin(), projected.end());
+  return projected;
+}
+
+bool PreservesDependencies(const std::vector<AttributeSet>& components,
+                           const std::vector<FunctionalDependency>& fds) {
+  std::vector<FunctionalDependency> unioned;
+  for (const AttributeSet& component : components) {
+    std::vector<FunctionalDependency> projected = ProjectFds(component, fds);
+    unioned.insert(unioned.end(), projected.begin(), projected.end());
+  }
+  for (const FunctionalDependency& fd : fds) {
+    if (!Implies(unioned, fd.lhs, fd.rhs)) return false;
+  }
+  return true;
+}
+
+}  // namespace dbre

@@ -1,0 +1,60 @@
+// Classical normalization: Bernstein 3NF synthesis and decomposition
+// quality tests (lossless join via the chase, dependency preservation).
+//
+// The paper's Restruct reaches 3NF by splitting along the *elicited* FDs;
+// this module provides the textbook yardstick to compare against: given
+// the same dependencies, what would pure synthesis produce, and is any
+// proposed decomposition lossless and dependency-preserving?
+#ifndef DBRE_DEPS_SYNTHESIS_H_
+#define DBRE_DEPS_SYNTHESIS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "deps/fd.h"
+#include "relational/attribute_set.h"
+
+namespace dbre {
+
+// One relation of a decomposition: its attributes and the key chosen for
+// it (for synthesis output; arbitrary decompositions may leave it empty).
+struct DecomposedRelation {
+  std::string name;
+  AttributeSet attributes;
+  AttributeSet key;
+
+  std::string ToString() const;
+};
+
+// Bernstein-style 3NF synthesis: minimal cover → group FDs by left-hand
+// side → one relation per group (LHS as key) → add a key relation if no
+// group contains a candidate key of the universe → drop subsumed
+// relations. The result is dependency-preserving and (with the key
+// relation) lossless.
+std::vector<DecomposedRelation> Synthesize3NF(
+    const std::string& base_name, const AttributeSet& universe,
+    const std::vector<FunctionalDependency>& fds);
+
+// Lossless-join test via the chase over the given FDs: returns true iff
+// the natural join of the projections always reconstructs the original
+// relation. Exact for any number of components.
+bool IsLosslessJoin(const AttributeSet& universe,
+                    const std::vector<AttributeSet>& components,
+                    const std::vector<FunctionalDependency>& fds);
+
+// Dependency preservation: every FD of `fds` must be derivable from the
+// union of the FD projections onto the components.
+bool PreservesDependencies(const std::vector<AttributeSet>& components,
+                           const std::vector<FunctionalDependency>& fds);
+
+// Projection of an FD set onto an attribute subset: all X → a with
+// X ∪ {a} ⊆ component implied by `fds`, X minimal. Exponential in
+// principle; fine at reverse-engineering arities.
+std::vector<FunctionalDependency> ProjectFds(
+    const AttributeSet& component,
+    const std::vector<FunctionalDependency>& fds);
+
+}  // namespace dbre
+
+#endif  // DBRE_DEPS_SYNTHESIS_H_

@@ -1,0 +1,72 @@
+#include "eer/dot_export.h"
+
+#include <fstream>
+
+namespace dbre::eer {
+namespace {
+
+// DOT identifiers with punctuation need quoting; escape embedded quotes.
+std::string Quote(const std::string& text) {
+  std::string out = "\"";
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+std::string EntityLabel(const EntityType& entity, bool show_attributes) {
+  if (!show_attributes || entity.attributes.empty()) return entity.name;
+  std::string label = entity.name + "\\n";
+  bool first = true;
+  for (const std::string& attribute : entity.attributes) {
+    if (!first) label += ", ";
+    first = false;
+    label += attribute;
+    if (entity.identifier.Contains(attribute)) label += "*";
+  }
+  return label;
+}
+
+}  // namespace
+
+std::string ToDot(const EerSchema& schema, const DotOptions& options) {
+  std::string out = "graph " + options.graph_name + " {\n";
+  out += "  rankdir=TB;\n";
+  out += "  node [fontsize=10];\n";
+
+  for (const EntityType& entity : schema.entities()) {
+    out += "  " + Quote(entity.name) + " [shape=box";
+    if (entity.weak) out += ", peripheries=2";
+    out += ", label=" + Quote(EntityLabel(entity, options.show_attributes));
+    out += "];\n";
+  }
+  for (const RelationshipType& relationship : schema.relationships()) {
+    std::string node = "rel_" + relationship.name;
+    out += "  " + Quote(node) + " [shape=diamond, label=" +
+           Quote(relationship.name) + "];\n";
+    for (const Role& role : relationship.roles) {
+      out += "  " + Quote(node) + " -- " + Quote(role.entity) +
+             " [label=" + Quote(CardinalityName(role.cardinality)) + "];\n";
+    }
+  }
+  for (const IsALink& link : schema.isa_links()) {
+    // Double-pointed arrowhead, as in Figure 1.
+    out += "  " + Quote(link.subtype) + " -- " + Quote(link.supertype) +
+           " [dir=forward, arrowhead=\"veevee\", label=\"is-a\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+Status WriteDotFile(const EerSchema& schema, const std::string& path,
+                    const DotOptions& options) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return IoError("cannot open " + path + " for writing");
+  out << ToDot(schema, options);
+  if (!out) return IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace dbre::eer

@@ -1,0 +1,29 @@
+// Graphviz DOT export of an EER schema, in the visual vocabulary of the
+// paper's Figure 1: rectangles for entity types, double-bordered rectangles
+// for weak entity types, diamonds for relationship types, and double-headed
+// arrows for is-a links.
+#ifndef DBRE_EER_DOT_EXPORT_H_
+#define DBRE_EER_DOT_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "eer/model.h"
+
+namespace dbre::eer {
+
+struct DotOptions {
+  bool show_attributes = true;  // list attributes inside entity nodes
+  std::string graph_name = "eer";
+};
+
+// Renders `schema` as a DOT graph.
+std::string ToDot(const EerSchema& schema, const DotOptions& options = {});
+
+// Writes the DOT rendering to `path`.
+Status WriteDotFile(const EerSchema& schema, const std::string& path,
+                    const DotOptions& options = {});
+
+}  // namespace dbre::eer
+
+#endif  // DBRE_EER_DOT_EXPORT_H_

@@ -1,0 +1,161 @@
+#include "eer/model.h"
+
+#include <algorithm>
+
+namespace dbre::eer {
+
+const char* CardinalityName(Cardinality cardinality) {
+  switch (cardinality) {
+    case Cardinality::kOne:
+      return "1";
+    case Cardinality::kMany:
+      return "N";
+  }
+  return "?";
+}
+
+std::string EntityType::ToString() const {
+  std::string out = weak ? "weak entity " : "entity ";
+  out += name + " " + attributes.ToString();
+  if (!identifier.empty()) out += " id=" + identifier.ToString();
+  return out;
+}
+
+bool RelationshipType::IsManyToMany() const {
+  size_t many = 0;
+  for (const Role& role : roles) {
+    if (role.cardinality == Cardinality::kMany) ++many;
+  }
+  return many >= 2;
+}
+
+std::string RelationshipType::ToString() const {
+  std::string out = "relationship " + name + "(";
+  for (size_t i = 0; i < roles.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += roles[i].entity;
+    out += ":";
+    out += CardinalityName(roles[i].cardinality);
+  }
+  out += ")";
+  if (!attributes.empty()) out += " " + attributes.ToString();
+  return out;
+}
+
+Status EerSchema::AddEntity(EntityType entity) {
+  if (entity.name.empty()) {
+    return InvalidArgumentError("entity name must not be empty");
+  }
+  if (HasEntity(entity.name)) {
+    return AlreadyExistsError("entity already exists: " + entity.name);
+  }
+  entities_.push_back(std::move(entity));
+  return Status::Ok();
+}
+
+Status EerSchema::AddRelationship(RelationshipType relationship) {
+  if (relationship.name.empty()) {
+    return InvalidArgumentError("relationship name must not be empty");
+  }
+  if (relationship.roles.size() < 2) {
+    return InvalidArgumentError("relationship " + relationship.name +
+                                " needs at least two roles");
+  }
+  bool duplicate = std::any_of(
+      relationships_.begin(), relationships_.end(),
+      [&](const RelationshipType& r) { return r.name == relationship.name; });
+  if (duplicate) {
+    return AlreadyExistsError("relationship already exists: " +
+                              relationship.name);
+  }
+  for (Role& role : relationship.roles) {
+    if (role.role_name.empty()) role.role_name = role.entity;
+  }
+  relationships_.push_back(std::move(relationship));
+  return Status::Ok();
+}
+
+Status EerSchema::AddIsA(IsALink link) {
+  if (link.subtype == link.supertype) {
+    return InvalidArgumentError("is-a link from " + link.subtype +
+                                " to itself");
+  }
+  if (std::find(isa_links_.begin(), isa_links_.end(), link) !=
+      isa_links_.end()) {
+    return AlreadyExistsError("duplicate is-a link: " + link.ToString());
+  }
+  isa_links_.push_back(std::move(link));
+  return Status::Ok();
+}
+
+bool EerSchema::HasEntity(std::string_view name) const {
+  return std::any_of(entities_.begin(), entities_.end(),
+                     [&](const EntityType& e) { return e.name == name; });
+}
+
+Result<const EntityType*> EerSchema::GetEntity(std::string_view name) const {
+  for (const EntityType& entity : entities_) {
+    if (entity.name == name) return &entity;
+  }
+  return NotFoundError("no entity " + std::string(name));
+}
+
+Result<EntityType*> EerSchema::GetMutableEntity(std::string_view name) {
+  for (EntityType& entity : entities_) {
+    if (entity.name == name) return &entity;
+  }
+  return NotFoundError("no entity " + std::string(name));
+}
+
+Status EerSchema::Validate() const {
+  for (const RelationshipType& relationship : relationships_) {
+    for (const Role& role : relationship.roles) {
+      if (!HasEntity(role.entity)) {
+        return FailedPreconditionError("relationship " + relationship.name +
+                                       " references missing entity " +
+                                       role.entity);
+      }
+    }
+  }
+  for (const IsALink& link : isa_links_) {
+    if (!HasEntity(link.subtype) || !HasEntity(link.supertype)) {
+      return FailedPreconditionError("is-a link references missing entity: " +
+                                     link.ToString());
+    }
+  }
+  for (const EntityType& entity : entities_) {
+    if (!entity.weak) continue;
+    bool participates = std::any_of(
+        relationships_.begin(), relationships_.end(),
+        [&](const RelationshipType& relationship) {
+          return std::any_of(relationship.roles.begin(),
+                             relationship.roles.end(), [&](const Role& role) {
+                               return role.entity == entity.name;
+                             });
+        });
+    if (!participates) {
+      return FailedPreconditionError("weak entity " + entity.name +
+                                     " participates in no relationship");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string EerSchema::ToText() const {
+  std::string out;
+  for (const EntityType& entity : entities_) {
+    out += entity.ToString();
+    out += '\n';
+  }
+  for (const RelationshipType& relationship : relationships_) {
+    out += relationship.ToString();
+    out += '\n';
+  }
+  for (const IsALink& link : isa_links_) {
+    out += link.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dbre::eer

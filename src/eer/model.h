@@ -1,0 +1,98 @@
+// Extended Entity-Relationship model — the target of the Translate step.
+//
+// The paper's target (§7) is "the ER model extended to the Specialization/
+// Generalization of object-types": entity types (possibly weak),
+// relationship types with named roles and cardinalities, and is-a links.
+// Figure 1 of the paper is an instance of this model; DOT and text
+// exporters render it.
+#ifndef DBRE_EER_MODEL_H_
+#define DBRE_EER_MODEL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/attribute_set.h"
+
+namespace dbre::eer {
+
+// Cardinality of one role of a relationship type.
+enum class Cardinality {
+  kOne,   // each instance participates at most once
+  kMany,  // unbounded participation
+};
+
+const char* CardinalityName(Cardinality cardinality);
+
+struct EntityType {
+  std::string name;
+  AttributeSet attributes;   // includes identifier attributes
+  AttributeSet identifier;   // may be empty for weak entities identified
+                             // through their owner
+  bool weak = false;
+
+  std::string ToString() const;
+};
+
+// One participant (role) of a relationship type.
+struct Role {
+  std::string entity;        // EntityType::name
+  Cardinality cardinality = Cardinality::kMany;
+  std::string role_name;     // optional label, defaults to entity name
+};
+
+struct RelationshipType {
+  std::string name;
+  std::vector<Role> roles;
+  AttributeSet attributes;   // relationship's own attributes
+
+  bool IsManyToMany() const;
+  std::string ToString() const;
+};
+
+// Specialization: `subtype` is-a `supertype`.
+struct IsALink {
+  std::string subtype;
+  std::string supertype;
+
+  std::string ToString() const { return subtype + " is-a " + supertype; }
+  friend bool operator==(const IsALink& a, const IsALink& b) {
+    return a.subtype == b.subtype && a.supertype == b.supertype;
+  }
+};
+
+class EerSchema {
+ public:
+  Status AddEntity(EntityType entity);
+  Status AddRelationship(RelationshipType relationship);
+  Status AddIsA(IsALink link);
+
+  bool HasEntity(std::string_view name) const;
+  Result<const EntityType*> GetEntity(std::string_view name) const;
+  Result<EntityType*> GetMutableEntity(std::string_view name);
+
+  const std::vector<EntityType>& entities() const { return entities_; }
+  const std::vector<RelationshipType>& relationships() const {
+    return relationships_;
+  }
+  const std::vector<IsALink>& isa_links() const { return isa_links_; }
+
+  // Structural sanity: every relationship role and is-a endpoint names an
+  // existing entity; weak entities participate in at least one
+  // relationship.
+  Status Validate() const;
+
+  // Multi-line human-readable listing.
+  std::string ToText() const;
+
+ private:
+  std::vector<EntityType> entities_;
+  std::vector<RelationshipType> relationships_;
+  std::vector<IsALink> isa_links_;
+};
+
+}  // namespace dbre::eer
+
+#endif  // DBRE_EER_MODEL_H_

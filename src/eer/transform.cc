@@ -1,0 +1,147 @@
+#include "eer/transform.h"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+namespace dbre::eer {
+namespace {
+
+// Tarjan's strongly-connected components over the is-a digraph
+// (subtype → supertype).
+struct SccFinder {
+  const std::vector<std::string>& nodes;
+  const std::map<std::string, std::vector<std::string>>& edges;
+
+  std::map<std::string, int> index;
+  std::map<std::string, int> lowlink;
+  std::map<std::string, bool> on_stack;
+  std::vector<std::string> stack;
+  int counter = 0;
+  std::vector<std::vector<std::string>> components;
+
+  void Run() {
+    for (const std::string& node : nodes) {
+      if (!index.contains(node)) Visit(node);
+    }
+  }
+
+  void Visit(const std::string& node) {
+    index[node] = lowlink[node] = counter++;
+    stack.push_back(node);
+    on_stack[node] = true;
+    auto it = edges.find(node);
+    if (it != edges.end()) {
+      for (const std::string& next : it->second) {
+        if (!index.contains(next)) {
+          Visit(next);
+          lowlink[node] = std::min(lowlink[node], lowlink[next]);
+        } else if (on_stack[next]) {
+          lowlink[node] = std::min(lowlink[node], index[next]);
+        }
+      }
+    }
+    if (lowlink[node] == index[node]) {
+      std::vector<std::string> component;
+      while (true) {
+        std::string top = stack.back();
+        stack.pop_back();
+        on_stack[top] = false;
+        component.push_back(top);
+        if (top == node) break;
+      }
+      if (component.size() >= 2) components.push_back(std::move(component));
+    }
+  }
+};
+
+}  // namespace
+
+Result<MergeReport> MergeIsACycles(EerSchema* schema) {
+  if (schema == nullptr) return InvalidArgumentError("schema is null");
+  MergeReport report;
+
+  // Build the is-a digraph over entity names.
+  std::vector<std::string> nodes;
+  for (const EntityType& entity : schema->entities()) {
+    nodes.push_back(entity.name);
+  }
+  std::map<std::string, std::vector<std::string>> edges;
+  for (const IsALink& link : schema->isa_links()) {
+    edges[link.subtype].push_back(link.supertype);
+  }
+  SccFinder finder{nodes, edges, {}, {}, {}, {}, 0, {}};
+  finder.Run();
+  if (finder.components.empty()) return report;
+
+  // Representative per merged entity.
+  std::map<std::string, std::string> representative;
+  for (std::vector<std::string>& component : finder.components) {
+    std::sort(component.begin(), component.end());
+    const std::string& keep = component.front();
+    for (size_t i = 1; i < component.size(); ++i) {
+      representative[component[i]] = keep;
+      report.absorbed[component[i]] = keep;
+    }
+    ++report.cycles_merged;
+  }
+  auto resolve = [&](const std::string& name) -> const std::string& {
+    auto it = representative.find(name);
+    return it == representative.end() ? name : it->second;
+  };
+
+  // Rebuild the schema with merged entities.
+  EerSchema merged;
+  for (const EntityType& entity : schema->entities()) {
+    if (representative.contains(entity.name)) continue;  // absorbed
+    EntityType copy = entity;
+    // Union in the attributes of absorbed members.
+    for (const auto& [absorbed_name, keep] : representative) {
+      if (keep != entity.name) continue;
+      DBRE_ASSIGN_OR_RETURN(const EntityType* absorbed,
+                            schema->GetEntity(absorbed_name));
+      copy.attributes = copy.attributes.Union(absorbed->attributes);
+      copy.weak = copy.weak || absorbed->weak;
+    }
+    DBRE_RETURN_IF_ERROR(merged.AddEntity(std::move(copy)));
+  }
+  for (const RelationshipType& relationship : schema->relationships()) {
+    RelationshipType copy = relationship;
+    for (Role& role : copy.roles) role.entity = resolve(role.entity);
+    DBRE_RETURN_IF_ERROR(merged.AddRelationship(std::move(copy)));
+  }
+  for (const IsALink& link : schema->isa_links()) {
+    IsALink resolved{resolve(link.subtype), resolve(link.supertype)};
+    if (resolved.subtype == resolved.supertype) continue;  // intra-cycle
+    Status status = merged.AddIsA(resolved);
+    if (!status.ok() && status.code() != StatusCode::kAlreadyExists) {
+      return status;
+    }
+  }
+  *schema = std::move(merged);
+  return report;
+}
+
+Result<SpecializationReport> AddDiscriminatorSubtypes(
+    EerSchema* schema, const std::vector<SpecializationHint>& hints) {
+  if (schema == nullptr) return InvalidArgumentError("schema is null");
+  SpecializationReport report;
+  for (const SpecializationHint& hint : hints) {
+    if (!schema->HasEntity(hint.entity)) continue;
+    for (const std::string& constant : hint.constants) {
+      std::string name = hint.entity + "_" + constant;
+      if (schema->HasEntity(name)) continue;
+      EntityType subtype;
+      subtype.name = name;
+      DBRE_RETURN_IF_ERROR(schema->AddEntity(std::move(subtype)));
+      Status link = schema->AddIsA(IsALink{name, hint.entity});
+      if (!link.ok() && link.code() != StatusCode::kAlreadyExists) {
+        return link;
+      }
+      ++report.subtypes_added;
+    }
+  }
+  return report;
+}
+
+}  // namespace dbre::eer

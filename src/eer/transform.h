@@ -1,0 +1,56 @@
+// Schema transformations on EER schemas.
+//
+// The paper's Translate sketch explicitly leaves out "the treatment of
+// cyclic inclusion dependencies". Cyclic key-based INDs (two relations
+// whose key value sets coincide) produce is-a cycles — A is-a B and
+// B is-a A — which mean the object types are the *same* application-domain
+// object split across relations. MergeIsACycles collapses every such
+// strongly connected component into one entity: the representative keeps
+// its identifier, gains the union of the attributes, absorbs the others'
+// relationship roles and outgoing is-a links.
+#ifndef DBRE_EER_TRANSFORM_H_
+#define DBRE_EER_TRANSFORM_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "eer/model.h"
+
+namespace dbre::eer {
+
+struct MergeReport {
+  size_t cycles_merged = 0;
+  // merged entity name → surviving representative name.
+  std::map<std::string, std::string> absorbed;
+};
+
+// Collapses is-a cycles in place. The representative of each cycle is the
+// lexicographically smallest entity name. Idempotent.
+Result<MergeReport> MergeIsACycles(EerSchema* schema);
+
+// A value-based specialization hint: `entity`.`attribute` partitions the
+// instances by the given constants (produced by the selection analysis of
+// sql/selection_analysis.h, re-keyed to EER entity names).
+struct SpecializationHint {
+  std::string entity;
+  std::string attribute;
+  std::vector<std::string> constants;
+};
+
+struct SpecializationReport {
+  size_t subtypes_added = 0;
+};
+
+// Adds a subtype entity "<Entity>_<constant>" with an is-a link to the
+// parent for every constant of every hint whose entity exists. Subtypes
+// carry no attributes of their own (they specialize by value); the
+// discriminating attribute stays on the parent. Hints naming unknown
+// entities are skipped; existing same-named entities are left alone.
+Result<SpecializationReport> AddDiscriminatorSubtypes(
+    EerSchema* schema, const std::vector<SpecializationHint>& hints);
+
+}  // namespace dbre::eer
+
+#endif  // DBRE_EER_TRANSFORM_H_

@@ -1,0 +1,156 @@
+#include "relational/algebra.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dbre {
+namespace {
+
+bool HasNull(const ValueVector& row) {
+  return std::any_of(row.begin(), row.end(),
+                     [](const Value& v) { return v.is_null(); });
+}
+
+}  // namespace
+
+Result<std::vector<size_t>> OrderedProjectionIndexes(
+    const Table& table, const std::vector<std::string>& attributes) {
+  if (attributes.empty()) {
+    return InvalidArgumentError("projection on empty attribute list");
+  }
+  std::vector<size_t> indexes;
+  indexes.reserve(attributes.size());
+  for (const std::string& name : attributes) {
+    DBRE_ASSIGN_OR_RETURN(size_t index, table.schema().AttributeIndex(name));
+    indexes.push_back(index);
+  }
+  return indexes;
+}
+
+Result<ValueVectorSet> OrderedDistinctProjection(
+    const Table& table, const std::vector<std::string>& attributes) {
+  DBRE_ASSIGN_OR_RETURN(std::vector<size_t> indexes,
+                        OrderedProjectionIndexes(table, attributes));
+  ValueVectorSet distinct;
+  distinct.reserve(table.num_rows());
+  for (const ValueVector& row : table.rows()) {
+    ValueVector projected = Table::ProjectRow(row, indexes);
+    if (HasNull(projected)) continue;
+    distinct.insert(std::move(projected));
+  }
+  return distinct;
+}
+
+Result<JoinCounts> ComputeJoinCounts(const Database& database,
+                                     const EquiJoin& join) {
+  DBRE_RETURN_IF_ERROR(join.Validate());
+  DBRE_ASSIGN_OR_RETURN(const Table* left,
+                        database.GetTable(join.left_relation));
+  DBRE_ASSIGN_OR_RETURN(const Table* right,
+                        database.GetTable(join.right_relation));
+  DBRE_ASSIGN_OR_RETURN(
+      ValueVectorSet left_values,
+      OrderedDistinctProjection(*left, join.left_attributes));
+  DBRE_ASSIGN_OR_RETURN(
+      ValueVectorSet right_values,
+      OrderedDistinctProjection(*right, join.right_attributes));
+
+  JoinCounts counts;
+  counts.n_left = left_values.size();
+  counts.n_right = right_values.size();
+  // Probe the smaller set into the larger one.
+  const ValueVectorSet& probe =
+      left_values.size() <= right_values.size() ? left_values : right_values;
+  const ValueVectorSet& build =
+      left_values.size() <= right_values.size() ? right_values : left_values;
+  for (const ValueVector& row : probe) {
+    if (build.contains(row)) ++counts.n_join;
+  }
+  return counts;
+}
+
+Result<bool> InclusionHolds(const Database& database,
+                            const std::string& lhs_relation,
+                            const std::vector<std::string>& lhs_attributes,
+                            const std::string& rhs_relation,
+                            const std::vector<std::string>& rhs_attributes) {
+  if (lhs_attributes.size() != rhs_attributes.size()) {
+    return InvalidArgumentError(
+        "inclusion test with mismatched attribute arity");
+  }
+  DBRE_ASSIGN_OR_RETURN(const Table* lhs, database.GetTable(lhs_relation));
+  DBRE_ASSIGN_OR_RETURN(const Table* rhs, database.GetTable(rhs_relation));
+  DBRE_ASSIGN_OR_RETURN(ValueVectorSet rhs_values,
+                        OrderedDistinctProjection(*rhs, rhs_attributes));
+  DBRE_ASSIGN_OR_RETURN(std::vector<size_t> lhs_indexes,
+                        OrderedProjectionIndexes(*lhs, lhs_attributes));
+  for (const ValueVector& row : lhs->rows()) {
+    ValueVector projected = Table::ProjectRow(row, lhs_indexes);
+    if (HasNull(projected)) continue;
+    if (!rhs_values.contains(projected)) return false;
+  }
+  return true;
+}
+
+Result<size_t> IntersectionSize(const Database& database,
+                                const EquiJoin& join) {
+  DBRE_ASSIGN_OR_RETURN(JoinCounts counts, ComputeJoinCounts(database, join));
+  return counts.n_join;
+}
+
+Result<double> FunctionalDependencyError(const Table& table,
+                                         const AttributeSet& lhs,
+                                         const AttributeSet& rhs) {
+  if (lhs.empty() || rhs.empty()) {
+    return InvalidArgumentError("FD error with empty side");
+  }
+  DBRE_ASSIGN_OR_RETURN(std::vector<size_t> lhs_indexes,
+                        table.ProjectionIndexes(lhs));
+  DBRE_ASSIGN_OR_RETURN(std::vector<size_t> rhs_indexes,
+                        table.ProjectionIndexes(rhs));
+  // group key → (rhs value → count)
+  std::unordered_map<ValueVector,
+                     std::unordered_map<ValueVector, size_t,
+                                        ValueVectorHash>,
+                     ValueVectorHash>
+      groups;
+  size_t total = 0;
+  for (const ValueVector& row : table.rows()) {
+    ValueVector key = Table::ProjectRow(row, lhs_indexes);
+    if (HasNull(key)) continue;
+    ++total;
+    ++groups[std::move(key)][Table::ProjectRow(row, rhs_indexes)];
+  }
+  if (total == 0) return 0.0;
+  size_t kept = 0;
+  for (const auto& [key, counts] : groups) {
+    size_t best = 0;
+    for (const auto& [value, count] : counts) best = std::max(best, count);
+    kept += best;
+  }
+  return static_cast<double>(total - kept) / static_cast<double>(total);
+}
+
+Result<bool> FunctionalDependencyHolds(const Table& table,
+                                       const AttributeSet& lhs,
+                                       const AttributeSet& rhs) {
+  if (lhs.empty() || rhs.empty()) {
+    return InvalidArgumentError("FD check with empty side");
+  }
+  DBRE_ASSIGN_OR_RETURN(std::vector<size_t> lhs_indexes,
+                        table.ProjectionIndexes(lhs));
+  DBRE_ASSIGN_OR_RETURN(std::vector<size_t> rhs_indexes,
+                        table.ProjectionIndexes(rhs));
+  std::unordered_map<ValueVector, ValueVector, ValueVectorHash> witness;
+  witness.reserve(table.num_rows());
+  for (const ValueVector& row : table.rows()) {
+    ValueVector key = Table::ProjectRow(row, lhs_indexes);
+    if (HasNull(key)) continue;
+    ValueVector dependent = Table::ProjectRow(row, rhs_indexes);
+    auto [it, inserted] = witness.try_emplace(std::move(key), dependent);
+    if (!inserted && it->second != dependent) return false;
+  }
+  return true;
+}
+
+}  // namespace dbre

@@ -1,0 +1,104 @@
+#include "relational/attribute_set.h"
+
+#include <algorithm>
+
+namespace dbre {
+
+AttributeSet::AttributeSet(std::initializer_list<std::string> names)
+    : names_(names) {
+  Normalize();
+}
+
+AttributeSet::AttributeSet(std::vector<std::string> names)
+    : names_(std::move(names)) {
+  Normalize();
+}
+
+AttributeSet AttributeSet::Single(std::string name) {
+  AttributeSet set;
+  set.names_.push_back(std::move(name));
+  return set;
+}
+
+void AttributeSet::Normalize() {
+  std::sort(names_.begin(), names_.end());
+  names_.erase(std::unique(names_.begin(), names_.end()), names_.end());
+}
+
+bool AttributeSet::Contains(std::string_view name) const {
+  return std::binary_search(names_.begin(), names_.end(), name);
+}
+
+bool AttributeSet::ContainsAll(const AttributeSet& other) const {
+  return std::includes(names_.begin(), names_.end(), other.names_.begin(),
+                       other.names_.end());
+}
+
+bool AttributeSet::Intersects(const AttributeSet& other) const {
+  auto it_a = names_.begin();
+  auto it_b = other.names_.begin();
+  while (it_a != names_.end() && it_b != other.names_.end()) {
+    if (*it_a == *it_b) return true;
+    if (*it_a < *it_b) {
+      ++it_a;
+    } else {
+      ++it_b;
+    }
+  }
+  return false;
+}
+
+void AttributeSet::Insert(std::string name) {
+  auto it = std::lower_bound(names_.begin(), names_.end(), name);
+  if (it == names_.end() || *it != name) names_.insert(it, std::move(name));
+}
+
+void AttributeSet::Remove(std::string_view name) {
+  auto it = std::lower_bound(names_.begin(), names_.end(), name);
+  if (it != names_.end() && *it == name) names_.erase(it);
+}
+
+AttributeSet AttributeSet::Union(const AttributeSet& other) const {
+  AttributeSet out;
+  std::set_union(names_.begin(), names_.end(), other.names_.begin(),
+                 other.names_.end(), std::back_inserter(out.names_));
+  return out;
+}
+
+AttributeSet AttributeSet::Minus(const AttributeSet& other) const {
+  AttributeSet out;
+  std::set_difference(names_.begin(), names_.end(), other.names_.begin(),
+                      other.names_.end(), std::back_inserter(out.names_));
+  return out;
+}
+
+AttributeSet AttributeSet::Intersect(const AttributeSet& other) const {
+  AttributeSet out;
+  std::set_intersection(names_.begin(), names_.end(), other.names_.begin(),
+                        other.names_.end(), std::back_inserter(out.names_));
+  return out;
+}
+
+std::string AttributeSet::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += names_[i];
+  }
+  out += "}";
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const AttributeSet& set) {
+  return os << set.ToString();
+}
+
+std::string QualifiedAttributes::ToString() const {
+  return relation + "." + attributes.ToString();
+}
+
+std::ostream& operator<<(std::ostream& os, const QualifiedAttributes& qa) {
+  return os << qa.ToString();
+}
+
+}  // namespace dbre

@@ -1,0 +1,91 @@
+// AttributeSet: an ordered set of attribute names within one relation.
+//
+// The paper manipulates sets of attributes constantly (X, Y, XY, X - Y, ...).
+// This class provides those operations with deterministic iteration order so
+// that algorithm outputs are reproducible and printable.
+#ifndef DBRE_RELATIONAL_ATTRIBUTE_SET_H_
+#define DBRE_RELATIONAL_ATTRIBUTE_SET_H_
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dbre {
+
+class AttributeSet {
+ public:
+  AttributeSet() = default;
+  AttributeSet(std::initializer_list<std::string> names);
+  explicit AttributeSet(std::vector<std::string> names);
+
+  // Singleton set {name}.
+  static AttributeSet Single(std::string name);
+
+  bool empty() const { return names_.empty(); }
+  size_t size() const { return names_.size(); }
+
+  // Sorted, duplicate-free.
+  const std::vector<std::string>& names() const { return names_; }
+
+  auto begin() const { return names_.begin(); }
+  auto end() const { return names_.end(); }
+
+  bool Contains(std::string_view name) const;
+  bool ContainsAll(const AttributeSet& other) const;  // other ⊆ this
+  bool Intersects(const AttributeSet& other) const;
+
+  void Insert(std::string name);
+  void Remove(std::string_view name);
+
+  // Set algebra; none of these mutate the operands.
+  AttributeSet Union(const AttributeSet& other) const;
+  AttributeSet Minus(const AttributeSet& other) const;
+  AttributeSet Intersect(const AttributeSet& other) const;
+
+  // Renders as "{a, b, c}".
+  std::string ToString() const;
+
+  friend bool operator==(const AttributeSet& a, const AttributeSet& b) {
+    return a.names_ == b.names_;
+  }
+  friend bool operator!=(const AttributeSet& a, const AttributeSet& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const AttributeSet& a, const AttributeSet& b) {
+    return a.names_ < b.names_;
+  }
+
+ private:
+  void Normalize();
+
+  std::vector<std::string> names_;
+};
+
+std::ostream& operator<<(std::ostream& os, const AttributeSet& set);
+
+// An attribute set qualified by its relation, e.g. "HEmployee.{no}". This is
+// the element type of the paper's sets K, N (singletons), LHS and H.
+struct QualifiedAttributes {
+  std::string relation;
+  AttributeSet attributes;
+
+  std::string ToString() const;
+
+  friend bool operator==(const QualifiedAttributes& a,
+                         const QualifiedAttributes& b) {
+    return a.relation == b.relation && a.attributes == b.attributes;
+  }
+  friend bool operator<(const QualifiedAttributes& a,
+                        const QualifiedAttributes& b) {
+    if (a.relation != b.relation) return a.relation < b.relation;
+    return a.attributes < b.attributes;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const QualifiedAttributes& qa);
+
+}  // namespace dbre
+
+#endif  // DBRE_RELATIONAL_ATTRIBUTE_SET_H_

@@ -1,0 +1,229 @@
+#include "relational/csv.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "common/string_util.h"
+
+namespace dbre {
+namespace {
+
+// One parsed CSV field: its text and whether it was quoted (quoted empty
+// string is "" rather than NULL).
+struct CsvField {
+  std::string text;
+  bool quoted = false;
+};
+
+// Parses one CSV record starting at `*pos`; advances `*pos` past the record
+// terminator. Handles quoted fields with embedded commas/newlines.
+Result<std::vector<CsvField>> ParseRecord(std::string_view text,
+                                          size_t* pos) {
+  std::vector<CsvField> fields;
+  CsvField current;
+  bool in_quotes = false;
+  bool saw_any = false;
+  size_t i = *pos;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          current.text += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.text += c;
+      }
+      continue;
+    }
+    if (c == '"' && current.text.empty() && !current.quoted) {
+      in_quotes = true;
+      current.quoted = true;
+      saw_any = true;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(current));
+      current = CsvField{};
+      saw_any = true;
+      continue;
+    }
+    if (c == '\n' || c == '\r') {
+      // Consume \r\n or lone terminator.
+      if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
+      ++i;
+      break;
+    }
+    current.text += c;
+    saw_any = true;
+  }
+  if (in_quotes) {
+    return ParseError("unterminated quoted CSV field");
+  }
+  *pos = i;
+  if (!saw_any && fields.empty() && current.text.empty() &&
+      !current.quoted) {
+    return std::vector<CsvField>{};  // blank line
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+bool NeedsQuoting(std::string_view text) {
+  return text.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+std::string QuoteField(std::string_view text) {
+  if (!NeedsQuoting(text)) return std::string(text);
+  std::string out = "\"";
+  for (char c : text) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<size_t> LoadCsvText(std::string_view csv_text, Table* table) {
+  if (table == nullptr) return InvalidArgumentError("table is null");
+  const RelationSchema& schema = table->schema();
+  size_t pos = 0;
+  DBRE_ASSIGN_OR_RETURN(std::vector<CsvField> header,
+                        ParseRecord(csv_text, &pos));
+  if (header.empty()) return ParseError("CSV input has no header");
+  if (header.size() != schema.arity()) {
+    return ParseError("CSV header has " + std::to_string(header.size()) +
+                      " columns, schema " + schema.name() + " has " +
+                      std::to_string(schema.arity()));
+  }
+  std::vector<size_t> column_to_attribute(header.size());
+  std::vector<bool> used(schema.arity(), false);
+  for (size_t i = 0; i < header.size(); ++i) {
+    std::string name(TrimWhitespace(header[i].text));
+    DBRE_ASSIGN_OR_RETURN(size_t index, schema.AttributeIndex(name));
+    if (used[index]) {
+      return ParseError("duplicate CSV header column: " + name);
+    }
+    used[index] = true;
+    column_to_attribute[i] = index;
+  }
+
+  size_t loaded = 0;
+  size_t line = 1;
+  while (pos < csv_text.size()) {
+    ++line;
+    DBRE_ASSIGN_OR_RETURN(std::vector<CsvField> record,
+                          ParseRecord(csv_text, &pos));
+    if (record.empty()) continue;  // blank line
+    if (record.size() != header.size()) {
+      return ParseError("CSV record at line " + std::to_string(line) +
+                        " has " + std::to_string(record.size()) +
+                        " fields, expected " + std::to_string(header.size()));
+    }
+    ValueVector row(schema.arity());
+    for (size_t i = 0; i < record.size(); ++i) {
+      size_t attribute_index = column_to_attribute[i];
+      DataType type = schema.attributes()[attribute_index].type;
+      Value value;
+      if (record[i].quoted) {
+        if (type == DataType::kString) {
+          value = Value::Text(record[i].text);
+        } else {
+          DBRE_ASSIGN_OR_RETURN(value, Value::Parse(record[i].text, type));
+        }
+      } else {
+        DBRE_ASSIGN_OR_RETURN(value, Value::Parse(record[i].text, type));
+      }
+      row[attribute_index] = std::move(value);
+    }
+    DBRE_RETURN_IF_ERROR(table->Insert(std::move(row)));
+    ++loaded;
+  }
+  return loaded;
+}
+
+Result<size_t> LoadCsvFile(const std::string& path, Table* table) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LoadCsvText(buffer.str(), table);
+}
+
+std::string WriteCsvText(const Table& table) {
+  std::string out;
+  const RelationSchema& schema = table.schema();
+  for (size_t i = 0; i < schema.arity(); ++i) {
+    if (i > 0) out += ',';
+    out += QuoteField(schema.attributes()[i].name);
+  }
+  out += '\n';
+  for (const ValueVector& row : table.rows()) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      if (row[i].is_null()) {
+        out += "NULL";
+      } else if (row[i].is_text()) {
+        // Quote empty strings so they round-trip distinctly from NULL.
+        const std::string& text = row[i].as_text();
+        out += text.empty() ? "\"\"" : QuoteField(text);
+      } else {
+        out += row[i].ToString();
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return IoError("cannot open " + path + " for writing");
+  out << WriteCsvText(table);
+  if (!out) return IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+Result<size_t> ExportDatabaseCsv(const Database& database,
+                                 const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return IoError("cannot create directory " + directory + ": " +
+                   ec.message());
+  }
+  size_t written = 0;
+  for (const std::string& relation : database.RelationNames()) {
+    DBRE_ASSIGN_OR_RETURN(const Table* table, database.GetTable(relation));
+    DBRE_RETURN_IF_ERROR(
+        WriteCsvFile(*table, directory + "/" + relation + ".csv"));
+    ++written;
+  }
+  return written;
+}
+
+Result<size_t> ImportDatabaseCsv(const std::string& directory,
+                                 Database* database) {
+  if (database == nullptr) return InvalidArgumentError("database is null");
+  size_t loaded = 0;
+  for (const std::string& relation : database->RelationNames()) {
+    std::string path = directory + "/" + relation + ".csv";
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec) || ec) continue;
+    DBRE_ASSIGN_OR_RETURN(Table * table,
+                          database->GetMutableTable(relation));
+    DBRE_ASSIGN_OR_RETURN(size_t rows, LoadCsvFile(path, table));
+    (void)rows;
+    ++loaded;
+  }
+  return loaded;
+}
+
+}  // namespace dbre

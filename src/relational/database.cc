@@ -1,0 +1,120 @@
+#include "relational/database.h"
+
+namespace dbre {
+
+Database Database::Clone() const {
+  Database copy;
+  copy.tables_ = tables_;
+  return copy;
+}
+
+Status Database::CreateRelation(RelationSchema schema) {
+  if (schema.name().empty()) {
+    return InvalidArgumentError("relation name must not be empty");
+  }
+  if (HasRelation(schema.name())) {
+    return AlreadyExistsError("relation already exists: " + schema.name());
+  }
+  std::string name = schema.name();
+  tables_.emplace(std::move(name), Table(std::move(schema)));
+  return Status::Ok();
+}
+
+Status Database::AddTable(Table table) {
+  if (table.schema().name().empty()) {
+    return InvalidArgumentError("relation name must not be empty");
+  }
+  if (HasRelation(table.schema().name())) {
+    return AlreadyExistsError("relation already exists: " +
+                              table.schema().name());
+  }
+  std::string name = table.schema().name();
+  tables_.emplace(std::move(name), std::move(table));
+  return Status::Ok();
+}
+
+Status Database::DropRelation(std::string_view name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return NotFoundError("no relation " + std::string(name));
+  }
+  tables_.erase(it);
+  return Status::Ok();
+}
+
+bool Database::HasRelation(std::string_view name) const {
+  return tables_.find(name) != tables_.end();
+}
+
+Result<const Table*> Database::GetTable(std::string_view name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return NotFoundError("no relation " + std::string(name));
+  }
+  return &it->second;
+}
+
+Result<Table*> Database::GetMutableTable(std::string_view name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return NotFoundError("no relation " + std::string(name));
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+std::vector<QualifiedAttributes> Database::KeySet() const {
+  std::vector<QualifiedAttributes> keys;
+  for (const auto& [name, table] : tables_) {
+    for (const AttributeSet& unique : table.schema().unique_constraints()) {
+      keys.push_back(QualifiedAttributes{name, unique});
+    }
+  }
+  return keys;
+}
+
+std::vector<QualifiedAttributes> Database::NotNullSet() const {
+  std::vector<QualifiedAttributes> not_null;
+  for (const auto& [name, table] : tables_) {
+    for (const std::string& attribute :
+         table.schema().NotNullAttributes()) {
+      not_null.push_back(
+          QualifiedAttributes{name, AttributeSet::Single(attribute)});
+    }
+  }
+  return not_null;
+}
+
+bool Database::IsDeclaredKey(std::string_view relation,
+                             const AttributeSet& attributes) const {
+  auto it = tables_.find(relation);
+  if (it == tables_.end()) return false;
+  return it->second.schema().IsKey(attributes);
+}
+
+Status Database::VerifyDeclaredConstraints() const {
+  for (const auto& [name, table] : tables_) {
+    DBRE_RETURN_IF_ERROR(table.VerifyUniqueConstraints());
+    DBRE_RETURN_IF_ERROR(table.VerifyNotNullConstraints());
+  }
+  return Status::Ok();
+}
+
+std::string Database::DescribeSchema() const {
+  std::string out;
+  for (const auto& [name, table] : tables_) {
+    out += table.schema().ToString();
+    out += "  [";
+    out += std::to_string(table.num_rows());
+    out += " tuples]\n";
+  }
+  return out;
+}
+
+}  // namespace dbre

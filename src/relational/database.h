@@ -1,0 +1,77 @@
+// A relational database (R, E, ∅): a catalog of relations with extensions
+// and only the dictionary-level constraints (unique / not null) declared.
+//
+// §4 of the paper derives two sets from the dictionary:
+//   K = { R.X : X declared unique }
+//   N = { R.a : a declared not null } ∪ { R.a ∈ R.X : R.X ∈ K }
+// Database::KeySet and Database::NotNullSet compute exactly those.
+#ifndef DBRE_RELATIONAL_DATABASE_H_
+#define DBRE_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/attribute_set.h"
+#include "relational/table.h"
+
+namespace dbre {
+
+class Database {
+ public:
+  Database() = default;
+
+  // Databases own large extensions; keep them move-only to prevent
+  // accidental deep copies. Use Clone() for an explicit copy.
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  Database Clone() const;
+
+  // Adds an empty table for `schema`; fails on duplicate relation names.
+  Status CreateRelation(RelationSchema schema);
+
+  // Adds a fully built table (schema + rows).
+  Status AddTable(Table table);
+
+  Status DropRelation(std::string_view name);
+
+  bool HasRelation(std::string_view name) const;
+
+  Result<const Table*> GetTable(std::string_view name) const;
+  Result<Table*> GetMutableTable(std::string_view name);
+
+  // Relation names in sorted order.
+  std::vector<std::string> RelationNames() const;
+
+  size_t NumRelations() const { return tables_.size(); }
+
+  // The paper's K: every unique-declared attribute set, qualified.
+  std::vector<QualifiedAttributes> KeySet() const;
+
+  // The paper's N: not-null attributes (declared or key-implied), as
+  // singleton qualified sets, i.e. elements R.a.
+  std::vector<QualifiedAttributes> NotNullSet() const;
+
+  // True if `attributes` is a declared key of relation `relation`.
+  bool IsDeclaredKey(std::string_view relation,
+                     const AttributeSet& attributes) const;
+
+  // Verifies unique and not-null declarations of every relation against its
+  // extension.
+  Status VerifyDeclaredConstraints() const;
+
+  // Multi-line catalog dump for diagnostics.
+  std::string DescribeSchema() const;
+
+ private:
+  std::map<std::string, Table, std::less<>> tables_;
+};
+
+}  // namespace dbre
+
+#endif  // DBRE_RELATIONAL_DATABASE_H_

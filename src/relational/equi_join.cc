@@ -1,0 +1,115 @@
+#include "relational/equi_join.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/string_util.h"
+
+namespace dbre {
+
+EquiJoin EquiJoin::Single(std::string left_relation,
+                          std::string left_attribute,
+                          std::string right_relation,
+                          std::string right_attribute) {
+  EquiJoin join;
+  join.left_relation = std::move(left_relation);
+  join.left_attributes.push_back(std::move(left_attribute));
+  join.right_relation = std::move(right_relation);
+  join.right_attributes.push_back(std::move(right_attribute));
+  return join;
+}
+
+AttributeSet EquiJoin::LeftAttributeSet() const {
+  return AttributeSet(left_attributes);
+}
+
+AttributeSet EquiJoin::RightAttributeSet() const {
+  return AttributeSet(right_attributes);
+}
+
+EquiJoin EquiJoin::Canonicalize() const {
+  EquiJoin out = *this;
+  // Sort the pairs.
+  std::vector<std::pair<std::string, std::string>> pairs;
+  pairs.reserve(out.left_attributes.size());
+  for (size_t i = 0; i < out.left_attributes.size(); ++i) {
+    pairs.emplace_back(out.left_attributes[i], out.right_attributes[i]);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  out.left_attributes.clear();
+  out.right_attributes.clear();
+  for (auto& [l, r] : pairs) {
+    out.left_attributes.push_back(std::move(l));
+    out.right_attributes.push_back(std::move(r));
+  }
+  // Put the lexicographically smaller side on the left.
+  auto left_key = std::tie(out.left_relation, out.left_attributes);
+  auto right_key = std::tie(out.right_relation, out.right_attributes);
+  if (right_key < left_key) return out.Flipped();
+  return out;
+}
+
+EquiJoin EquiJoin::Flipped() const {
+  EquiJoin out;
+  out.left_relation = right_relation;
+  out.left_attributes = right_attributes;
+  out.right_relation = left_relation;
+  out.right_attributes = left_attributes;
+  return out;
+}
+
+Status EquiJoin::Validate() const {
+  if (left_relation.empty() || right_relation.empty()) {
+    return InvalidArgumentError("equi-join with empty relation name");
+  }
+  if (left_attributes.empty()) {
+    return InvalidArgumentError("equi-join with no attributes: " +
+                                ToString());
+  }
+  if (left_attributes.size() != right_attributes.size()) {
+    return InvalidArgumentError("equi-join attribute lists differ in size: " +
+                                ToString());
+  }
+  for (size_t i = 0; i < left_attributes.size(); ++i) {
+    if (left_attributes[i].empty() || right_attributes[i].empty()) {
+      return InvalidArgumentError("equi-join with empty attribute name: " +
+                                  ToString());
+    }
+    if (left_relation == right_relation &&
+        left_attributes[i] == right_attributes[i]) {
+      return InvalidArgumentError(
+          "equi-join pairs an attribute with itself: " + ToString());
+    }
+  }
+  return Status::Ok();
+}
+
+std::string EquiJoin::ToString() const {
+  std::string out = left_relation + "[" + Join(left_attributes, ", ") +
+                    "] |><| " + right_relation + "[" +
+                    Join(right_attributes, ", ") + "]";
+  return out;
+}
+
+bool operator<(const EquiJoin& a, const EquiJoin& b) {
+  return std::tie(a.left_relation, a.left_attributes, a.right_relation,
+                  a.right_attributes) <
+         std::tie(b.left_relation, b.left_attributes, b.right_relation,
+                  b.right_attributes);
+}
+
+std::ostream& operator<<(std::ostream& os, const EquiJoin& join) {
+  return os << join.ToString();
+}
+
+std::vector<EquiJoin> CanonicalJoinSet(const std::vector<EquiJoin>& joins) {
+  std::vector<EquiJoin> out;
+  out.reserve(joins.size());
+  for (const EquiJoin& join : joins) out.push_back(join.Canonicalize());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace dbre

@@ -1,0 +1,71 @@
+// Equi-join specifications — the elements of the paper's set Q.
+//
+// An equi-join R_k[A_k] ⋈ R_l[A_l] pairs attributes positionally:
+// left_attributes[i] joins with right_attributes[i]. The pairing matters for
+// multi-attribute joins, so attributes are kept as parallel vectors rather
+// than as sets; `Canonicalize` produces a normal form (pairs sorted, smaller
+// side first) used to deduplicate Q.
+#ifndef DBRE_RELATIONAL_EQUI_JOIN_H_
+#define DBRE_RELATIONAL_EQUI_JOIN_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/attribute_set.h"
+
+namespace dbre {
+
+struct EquiJoin {
+  std::string left_relation;
+  std::vector<std::string> left_attributes;
+  std::string right_relation;
+  std::vector<std::string> right_attributes;
+
+  // Convenience constructor for the common single-attribute case.
+  static EquiJoin Single(std::string left_relation, std::string left_attribute,
+                         std::string right_relation,
+                         std::string right_attribute);
+
+  size_t arity() const { return left_attributes.size(); }
+
+  // Both sides' attributes as sets (loses pairing; for display and
+  // LHS-style analyses).
+  AttributeSet LeftAttributeSet() const;
+  AttributeSet RightAttributeSet() const;
+
+  // Returns an equivalent join in normal form: attribute pairs sorted by
+  // (left name, right name), then sides swapped if the right side compares
+  // lexicographically smaller than the left. Joins describing the same
+  // condition canonicalize identically.
+  EquiJoin Canonicalize() const;
+
+  // Swaps the two sides (the join itself is symmetric).
+  EquiJoin Flipped() const;
+
+  // Validates shape: non-empty, equal-length attribute lists, non-empty
+  // names, and no self-join of an attribute with itself.
+  Status Validate() const;
+
+  // "R[a, b] |><| S[x, y]".
+  std::string ToString() const;
+
+  friend bool operator==(const EquiJoin& a, const EquiJoin& b) {
+    return a.left_relation == b.left_relation &&
+           a.left_attributes == b.left_attributes &&
+           a.right_relation == b.right_relation &&
+           a.right_attributes == b.right_attributes;
+  }
+  friend bool operator<(const EquiJoin& a, const EquiJoin& b);
+};
+
+std::ostream& operator<<(std::ostream& os, const EquiJoin& join);
+
+// Deduplicates a workload: canonicalizes every join, removes duplicates,
+// and returns them sorted.
+std::vector<EquiJoin> CanonicalJoinSet(const std::vector<EquiJoin>& joins);
+
+}  // namespace dbre
+
+#endif  // DBRE_RELATIONAL_EQUI_JOIN_H_

@@ -1,0 +1,129 @@
+#include "relational/table.h"
+
+#include <algorithm>
+
+namespace dbre {
+namespace {
+
+bool HasNull(const ValueVector& row) {
+  return std::any_of(row.begin(), row.end(),
+                     [](const Value& v) { return v.is_null(); });
+}
+
+}  // namespace
+
+Status Table::Insert(ValueVector row) {
+  if (row.size() != schema_.arity()) {
+    return InvalidArgumentError(
+        "arity mismatch inserting into " + schema_.name() + ": got " +
+        std::to_string(row.size()) + ", want " +
+        std::to_string(schema_.arity()));
+  }
+  const AttributeSet not_null = schema_.NotNullAttributes();
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Attribute& attribute = schema_.attributes()[i];
+    if (!row[i].MatchesType(attribute.type)) {
+      return InvalidArgumentError("type mismatch for " + schema_.name() +
+                                  "." + attribute.name + ": value " +
+                                  row[i].ToString());
+    }
+    if (row[i].is_null() && not_null.Contains(attribute.name)) {
+      return InvalidArgumentError("NULL in not-null attribute " +
+                                  schema_.name() + "." + attribute.name);
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::Ok();
+}
+
+Status Table::DropAttribute(std::string_view name) {
+  DBRE_ASSIGN_OR_RETURN(size_t index, schema_.AttributeIndex(name));
+  DBRE_RETURN_IF_ERROR(schema_.RemoveAttribute(name));
+  for (ValueVector& row : rows_) {
+    row.erase(row.begin() + static_cast<ptrdiff_t>(index));
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<size_t>> Table::ProjectionIndexes(
+    const AttributeSet& attributes) const {
+  if (attributes.empty()) {
+    return InvalidArgumentError("projection on empty attribute set");
+  }
+  std::vector<size_t> indexes;
+  indexes.reserve(attributes.size());
+  for (const std::string& name : attributes) {
+    DBRE_ASSIGN_OR_RETURN(size_t index, schema_.AttributeIndex(name));
+    indexes.push_back(index);
+  }
+  return indexes;
+}
+
+ValueVector Table::ProjectRow(const ValueVector& row,
+                              const std::vector<size_t>& indexes) {
+  ValueVector out;
+  out.reserve(indexes.size());
+  for (size_t index : indexes) out.push_back(row[index]);
+  return out;
+}
+
+Result<ValueVectorSet> Table::DistinctProjection(
+    const AttributeSet& attributes) const {
+  DBRE_ASSIGN_OR_RETURN(std::vector<size_t> indexes,
+                        ProjectionIndexes(attributes));
+  ValueVectorSet distinct;
+  distinct.reserve(rows_.size());
+  for (const ValueVector& row : rows_) {
+    ValueVector projected = ProjectRow(row, indexes);
+    if (HasNull(projected)) continue;
+    distinct.insert(std::move(projected));
+  }
+  return distinct;
+}
+
+Result<size_t> Table::DistinctCount(const AttributeSet& attributes) const {
+  DBRE_ASSIGN_OR_RETURN(ValueVectorSet distinct,
+                        DistinctProjection(attributes));
+  return distinct.size();
+}
+
+Status Table::VerifyUniqueConstraints() const {
+  for (const AttributeSet& unique : schema_.unique_constraints()) {
+    DBRE_ASSIGN_OR_RETURN(std::vector<size_t> indexes,
+                          ProjectionIndexes(unique));
+    ValueVectorSet seen;
+    seen.reserve(rows_.size());
+    for (const ValueVector& row : rows_) {
+      ValueVector projected = ProjectRow(row, indexes);
+      if (HasNull(projected)) continue;
+      if (!seen.insert(std::move(projected)).second) {
+        return FailedPreconditionError("unique constraint " +
+                                       schema_.name() + "." +
+                                       unique.ToString() + " is violated");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status Table::VerifyNotNullConstraints() const {
+  const AttributeSet not_null = schema_.NotNullAttributes();
+  if (not_null.empty()) return Status::Ok();
+  std::vector<size_t> indexes;
+  for (const std::string& name : not_null) {
+    DBRE_ASSIGN_OR_RETURN(size_t index, schema_.AttributeIndex(name));
+    indexes.push_back(index);
+  }
+  for (const ValueVector& row : rows_) {
+    for (size_t index : indexes) {
+      if (row[index].is_null()) {
+        return FailedPreconditionError(
+            "not-null attribute " + schema_.name() + "." +
+            schema_.attributes()[index].name + " contains NULL");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dbre

@@ -1,0 +1,81 @@
+// An in-memory table: a relation schema plus its extension (set of tuples).
+//
+// Provides the primitive the paper's algorithms are built on — the ‖·‖
+// operator (`select count distinct X from R`) — along with projections and
+// constraint verification. Following SQL `count(distinct ...)` semantics,
+// tuples containing NULL in any projected attribute are skipped by the
+// distinct-counting operations.
+#ifndef DBRE_RELATIONAL_TABLE_H_
+#define DBRE_RELATIONAL_TABLE_H_
+
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/attribute_set.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace dbre {
+
+// A set of projected rows, usable for inclusion / intersection tests.
+using ValueVectorSet = std::unordered_set<ValueVector, ValueVectorHash>;
+
+class Table {
+ public:
+  Table() = default;
+  explicit Table(RelationSchema schema) : schema_(std::move(schema)) {}
+
+  const RelationSchema& schema() const { return schema_; }
+  RelationSchema& mutable_schema() { return schema_; }
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<ValueVector>& rows() const { return rows_; }
+  const ValueVector& row(size_t i) const { return rows_[i]; }
+
+  // Appends a tuple after validating arity, value types and not-null
+  // declarations. Unique declarations are NOT checked here (that would make
+  // bulk loads quadratic); use VerifyUniqueConstraints after loading.
+  Status Insert(ValueVector row);
+
+  // Appends without validation; for generators that construct rows known to
+  // be well-formed.
+  void InsertUnchecked(ValueVector row) { rows_.push_back(std::move(row)); }
+
+  void Clear() { rows_.clear(); }
+
+  // Removes an attribute from the schema and its column from every row
+  // (used by Restruct when dependent attributes migrate to a new relation).
+  Status DropAttribute(std::string_view name);
+
+  // Column indexes for `attributes`, in the set's (sorted) order.
+  Result<std::vector<size_t>> ProjectionIndexes(
+      const AttributeSet& attributes) const;
+
+  // The projected sub-row of `row` following `indexes`.
+  static ValueVector ProjectRow(const ValueVector& row,
+                                const std::vector<size_t>& indexes);
+
+  // Distinct projection r[X] excluding sub-rows containing NULL.
+  Result<ValueVectorSet> DistinctProjection(
+      const AttributeSet& attributes) const;
+
+  // ‖r[X]‖ — the number of distinct non-NULL sub-rows on `attributes`.
+  Result<size_t> DistinctCount(const AttributeSet& attributes) const;
+
+  // Verifies every declared unique constraint against the extension. NULLs
+  // are excluded from the uniqueness check (SQL UNIQUE semantics).
+  Status VerifyUniqueConstraints() const;
+
+  // Verifies declared not-null attributes against the extension.
+  Status VerifyNotNullConstraints() const;
+
+ private:
+  RelationSchema schema_;
+  std::vector<ValueVector> rows_;
+};
+
+}  // namespace dbre
+
+#endif  // DBRE_RELATIONAL_TABLE_H_

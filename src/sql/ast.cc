@@ -1,0 +1,118 @@
+#include "sql/ast.h"
+
+namespace dbre::sql {
+
+std::string Operand::ToString() const {
+  switch (kind) {
+    case Kind::kColumn:
+      return column.ToString();
+    case Kind::kInteger:
+    case Kind::kDecimal:
+      return literal;
+    case Kind::kString:
+      return "'" + literal + "'";
+    case Kind::kHostVariable:
+      return ":" + literal;
+    case Kind::kNull:
+      return "NULL";
+  }
+  return "?";
+}
+
+const char* ComparisonOpName(ComparisonOp op) {
+  switch (op) {
+    case ComparisonOp::kEq: return "=";
+    case ComparisonOp::kNe: return "<>";
+    case ComparisonOp::kLt: return "<";
+    case ComparisonOp::kLe: return "<=";
+    case ComparisonOp::kGt: return ">";
+    case ComparisonOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+std::string Expression::ToString() const {
+  switch (kind) {
+    case Kind::kComparison:
+      return lhs.ToString() + " " + ComparisonOpName(op) + " " +
+             rhs.ToString();
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string sep = kind == Kind::kAnd ? " AND " : " OR ";
+      std::string out = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += sep;
+        out += children[i]->ToString();
+      }
+      out += ")";
+      return out;
+    }
+    case Kind::kNot:
+      return "NOT (" + (children.empty() ? "" : children[0]->ToString()) +
+             ")";
+    case Kind::kInSubquery: {
+      std::string out;
+      if (in_columns.size() > 1) out += "(";
+      for (size_t i = 0; i < in_columns.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += in_columns[i].ToString();
+      }
+      if (in_columns.size() > 1) out += ")";
+      out += negated ? " NOT IN (" : " IN (";
+      out += subquery ? subquery->ToString() : "";
+      out += ")";
+      return out;
+    }
+    case Kind::kExists:
+      return std::string(negated ? "NOT " : "") + "EXISTS (" +
+             (subquery ? subquery->ToString() : "") + ")";
+    case Kind::kIsNull:
+      return lhs.ToString() + (negated ? " IS NOT NULL" : " IS NULL");
+    case Kind::kBetween:
+      return lhs.ToString() + " BETWEEN ... AND ...";
+    case Kind::kLike:
+      return lhs.ToString() + (negated ? " NOT LIKE " : " LIKE ") +
+             rhs.ToString();
+  }
+  return "?";
+}
+
+std::string SelectItem::ToString() const {
+  if (star) return count ? "COUNT(*)" : "*";
+  std::string inner = column.ToString();
+  if (count) {
+    return std::string("COUNT(") + (distinct ? "DISTINCT " : "") + inner +
+           ")";
+  }
+  return inner;
+}
+
+std::string SelectStatement::ToString() const {
+  std::string out = "SELECT ";
+  if (select_distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < select_list.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += select_list[i].ToString();
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += from[i].ToString();
+  }
+  for (const auto& condition : join_conditions) {
+    out += " ON " + condition->ToString();
+  }
+  if (where != nullptr) out += " WHERE " + where->ToString();
+  if (set_op != SetOp::kNone && set_rhs != nullptr) {
+    switch (set_op) {
+      case SetOp::kIntersect: out += " INTERSECT "; break;
+      case SetOp::kUnion: out += " UNION "; break;
+      case SetOp::kMinus: out += " MINUS "; break;
+      case SetOp::kNone: break;
+    }
+    out += set_rhs->ToString();
+  }
+  return out;
+}
+
+}  // namespace dbre::sql

@@ -1,0 +1,118 @@
+// AST for the legacy SQL query subset.
+//
+// Rich enough to represent the equi-join idioms of §4: flat multi-table
+// SELECTs with conjunctive WHERE clauses, explicit JOIN ... ON, nested IN /
+// EXISTS subqueries (possibly correlated), and INTERSECT between SELECTs.
+#ifndef DBRE_SQL_AST_H_
+#define DBRE_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dbre::sql {
+
+// A possibly-qualified column reference: `emp`, `Department.emp`, `d.emp`.
+struct ColumnRef {
+  std::string qualifier;  // table name or alias; empty if unqualified
+  std::string column;
+
+  std::string ToString() const {
+    return qualifier.empty() ? column : qualifier + "." + column;
+  }
+  friend bool operator==(const ColumnRef& a, const ColumnRef& b) {
+    return a.qualifier == b.qualifier && a.column == b.column;
+  }
+};
+
+// A scalar operand in a comparison.
+struct Operand {
+  enum class Kind { kColumn, kInteger, kDecimal, kString, kHostVariable, kNull };
+  Kind kind = Kind::kNull;
+  ColumnRef column;     // kColumn
+  std::string literal;  // literal text / host variable name
+
+  static Operand Column(ColumnRef ref) {
+    Operand op;
+    op.kind = Kind::kColumn;
+    op.column = std::move(ref);
+    return op;
+  }
+  std::string ToString() const;
+};
+
+enum class ComparisonOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* ComparisonOpName(ComparisonOp op);
+
+struct SelectStatement;
+
+// Boolean expression tree over comparisons and subquery predicates.
+struct Expression {
+  enum class Kind {
+    kComparison,   // lhs <op> rhs
+    kAnd,          // children
+    kOr,           // children
+    kNot,          // children[0]
+    kInSubquery,   // columns IN (subquery); NOT IN when negated
+    kExists,       // EXISTS (subquery); NOT EXISTS when negated
+    kIsNull,       // operand IS [NOT] NULL
+    kBetween,      // operand BETWEEN low AND high (kept opaque)
+    kLike,         // operand LIKE pattern (kept opaque)
+  };
+
+  Kind kind = Kind::kAnd;
+  // kComparison / kIsNull / kBetween / kLike:
+  ComparisonOp op = ComparisonOp::kEq;
+  Operand lhs;
+  Operand rhs;
+  bool negated = false;
+  // kAnd / kOr / kNot:
+  std::vector<std::unique_ptr<Expression>> children;
+  // kInSubquery: the columns on the left of IN (one, or a parenthesized
+  // list); kInSubquery / kExists: the subquery.
+  std::vector<ColumnRef> in_columns;
+  std::unique_ptr<SelectStatement> subquery;
+
+  std::string ToString() const;
+};
+
+// An entry in the FROM clause.
+struct TableRef {
+  std::string table;
+  std::string alias;  // empty if none
+
+  std::string ToString() const {
+    return alias.empty() ? table : table + " " + alias;
+  }
+};
+
+// An item of the select list: a column, or '*' (column.column == "*").
+struct SelectItem {
+  bool star = false;
+  bool count = false;     // COUNT(...) wrapper
+  bool distinct = false;  // COUNT(DISTINCT ...)
+  ColumnRef column;
+
+  std::string ToString() const;
+};
+
+struct SelectStatement {
+  std::vector<SelectItem> select_list;
+  bool select_distinct = false;
+  std::vector<TableRef> from;
+  // ON conditions of explicit JOIN syntax, folded as expressions.
+  std::vector<std::unique_ptr<Expression>> join_conditions;
+  std::unique_ptr<Expression> where;  // may be null
+  // INTERSECT / MINUS / UNION chaining: pairwise with the next statement.
+  enum class SetOp { kNone, kIntersect, kUnion, kMinus };
+  SetOp set_op = SetOp::kNone;
+  std::unique_ptr<SelectStatement> set_rhs;
+
+  std::string ToString() const;
+};
+
+}  // namespace dbre::sql
+
+#endif  // DBRE_SQL_AST_H_

@@ -1,0 +1,289 @@
+#include "sql/ddl.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+#include "sql/token.h"
+
+namespace dbre::sql {
+namespace {
+
+class DdlParser {
+ public:
+  DdlParser(std::vector<Token> tokens, Database* database)
+      : tokens_(std::move(tokens)), database_(database) {}
+
+  Result<DdlStats> Run() {
+    DdlStats stats;
+    while (!Check(TokenType::kEnd)) {
+      if (Match(TokenType::kSemicolon)) continue;
+      if (CheckKeyword("CREATE")) {
+        DBRE_RETURN_IF_ERROR(ParseCreateTable());
+        ++stats.tables_created;
+      } else if (CheckKeyword("INSERT")) {
+        DBRE_ASSIGN_OR_RETURN(size_t rows, ParseInsert());
+        stats.rows_inserted += rows;
+      } else {
+        return ErrorHere("expected CREATE TABLE or INSERT");
+      }
+    }
+    return stats;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t index = pos_ + ahead;
+    if (index >= tokens_.size()) index = tokens_.size() - 1;
+    return tokens_[index];
+  }
+  bool Check(TokenType type) const { return Peek().type == type; }
+  bool CheckKeyword(std::string_view keyword) const {
+    return Peek().type == TokenType::kKeyword && Peek().text == keyword;
+  }
+  bool Match(TokenType type) {
+    if (!Check(type)) return false;
+    ++pos_;
+    return true;
+  }
+  bool MatchKeyword(std::string_view keyword) {
+    if (!CheckKeyword(keyword)) return false;
+    ++pos_;
+    return true;
+  }
+  Status ErrorHere(std::string_view message) const {
+    return dbre::ParseError(std::string(message) + " at line " +
+                            std::to_string(Peek().line) + " near " +
+                            Peek().ToString());
+  }
+  Status Expect(TokenType type) {
+    if (Match(type)) return Status::Ok();
+    return ErrorHere(std::string("expected ") + TokenTypeName(type));
+  }
+  Status ExpectKeyword(std::string_view keyword) {
+    if (MatchKeyword(keyword)) return Status::Ok();
+    return ErrorHere("expected " + std::string(keyword));
+  }
+  Result<std::string> ExpectIdentifier() {
+    if (!Check(TokenType::kIdentifier)) {
+      return ErrorHere("expected identifier");
+    }
+    std::string text = Peek().text;
+    ++pos_;
+    return text;
+  }
+
+  // TYPE [( n [, m] )] → DataType; the optional scale decides NUMBER/
+  // DECIMAL between int64 and double.
+  Result<DataType> ParseType() {
+    DBRE_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+    std::string upper = ToUpper(name);
+    bool has_scale = false;
+    if (Match(TokenType::kLeftParen)) {
+      if (!Check(TokenType::kInteger)) {
+        return ErrorHere("expected precision in type");
+      }
+      ++pos_;
+      if (Match(TokenType::kComma)) {
+        if (!Check(TokenType::kInteger)) {
+          return ErrorHere("expected scale in type");
+        }
+        has_scale = Peek().text != "0";
+        ++pos_;
+      }
+      DBRE_RETURN_IF_ERROR(Expect(TokenType::kRightParen));
+    }
+    if (upper == "INT" || upper == "INTEGER" || upper == "SMALLINT" ||
+        upper == "BIGINT" || upper == "INT64") {
+      return DataType::kInt64;
+    }
+    if (upper == "NUMBER" || upper == "NUMERIC" || upper == "DECIMAL") {
+      return has_scale ? DataType::kDouble : DataType::kInt64;
+    }
+    if (upper == "DOUBLE" || upper == "REAL" || upper == "FLOAT") {
+      return DataType::kDouble;
+    }
+    if (upper == "BOOLEAN" || upper == "BOOL") return DataType::kBool;
+    if (upper == "CHAR" || upper == "VARCHAR" || upper == "VARCHAR2" ||
+        upper == "TEXT" || upper == "STRING" || upper == "DATE") {
+      return DataType::kString;
+    }
+    return ErrorHere("unknown type " + name);
+  }
+
+  Result<AttributeSet> ParseColumnNameList() {
+    DBRE_RETURN_IF_ERROR(Expect(TokenType::kLeftParen));
+    AttributeSet columns;
+    while (true) {
+      DBRE_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+      columns.Insert(std::move(name));
+      if (!Match(TokenType::kComma)) break;
+    }
+    DBRE_RETURN_IF_ERROR(Expect(TokenType::kRightParen));
+    return columns;
+  }
+
+  Status ParseCreateTable() {
+    DBRE_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    DBRE_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    DBRE_ASSIGN_OR_RETURN(std::string table_name, ExpectIdentifier());
+    RelationSchema schema(table_name);
+    std::vector<AttributeSet> uniques;
+    AttributeSet primary_key;
+    DBRE_RETURN_IF_ERROR(Expect(TokenType::kLeftParen));
+    while (true) {
+      if (MatchKeyword("UNIQUE")) {
+        DBRE_ASSIGN_OR_RETURN(AttributeSet columns, ParseColumnNameList());
+        uniques.push_back(std::move(columns));
+      } else if (MatchKeyword("PRIMARY")) {
+        DBRE_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+        DBRE_ASSIGN_OR_RETURN(AttributeSet columns, ParseColumnNameList());
+        if (!primary_key.empty()) {
+          return ErrorHere("multiple PRIMARY KEY clauses");
+        }
+        primary_key = std::move(columns);
+      } else {
+        DBRE_ASSIGN_OR_RETURN(std::string column_name, ExpectIdentifier());
+        DBRE_ASSIGN_OR_RETURN(DataType type, ParseType());
+        bool not_null = false;
+        while (true) {
+          if (MatchKeyword("NOT")) {
+            DBRE_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+            not_null = true;
+            continue;
+          }
+          if (MatchKeyword("UNIQUE")) {
+            uniques.push_back(AttributeSet::Single(column_name));
+            continue;
+          }
+          if (MatchKeyword("PRIMARY")) {
+            DBRE_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+            if (!primary_key.empty()) {
+              return ErrorHere("multiple PRIMARY KEY clauses");
+            }
+            primary_key = AttributeSet::Single(column_name);
+            continue;
+          }
+          break;
+        }
+        DBRE_RETURN_IF_ERROR(
+            schema.AddAttribute(std::move(column_name), type, not_null));
+      }
+      if (!Match(TokenType::kComma)) break;
+    }
+    DBRE_RETURN_IF_ERROR(Expect(TokenType::kRightParen));
+    Match(TokenType::kSemicolon);
+    if (!primary_key.empty()) {
+      DBRE_RETURN_IF_ERROR(schema.DeclareUnique(std::move(primary_key)));
+    }
+    for (AttributeSet& unique : uniques) {
+      DBRE_RETURN_IF_ERROR(schema.DeclareUnique(std::move(unique)));
+    }
+    return database_->CreateRelation(std::move(schema));
+  }
+
+  Result<Value> ParseLiteral(DataType type) {
+    const Token& token = Peek();
+    switch (token.type) {
+      case TokenType::kInteger:
+      case TokenType::kDecimal: {
+        DBRE_ASSIGN_OR_RETURN(Value value, Value::Parse(token.text, type));
+        ++pos_;
+        return value;
+      }
+      case TokenType::kString: {
+        Value value = type == DataType::kString
+                          ? Value::Text(token.text)
+                          : Value();
+        if (type != DataType::kString) {
+          DBRE_ASSIGN_OR_RETURN(value, Value::Parse(token.text, type));
+        }
+        ++pos_;
+        return value;
+      }
+      case TokenType::kKeyword:
+        if (token.text == "NULL") {
+          ++pos_;
+          return Value::Null();
+        }
+        break;
+      case TokenType::kIdentifier:
+        // Unquoted TRUE/FALSE for booleans.
+        if (type == DataType::kBool) {
+          DBRE_ASSIGN_OR_RETURN(Value value, Value::Parse(token.text, type));
+          ++pos_;
+          return value;
+        }
+        break;
+      default:
+        break;
+    }
+    return ErrorHere("expected literal");
+  }
+
+  Result<size_t> ParseInsert() {
+    DBRE_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+    DBRE_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    DBRE_ASSIGN_OR_RETURN(std::string table_name, ExpectIdentifier());
+    DBRE_ASSIGN_OR_RETURN(Table * table,
+                          database_->GetMutableTable(table_name));
+    const RelationSchema& schema = table->schema();
+
+    // Optional explicit column list.
+    std::vector<size_t> column_indexes;
+    if (Check(TokenType::kLeftParen)) {
+      ++pos_;
+      while (true) {
+        DBRE_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+        DBRE_ASSIGN_OR_RETURN(size_t index, schema.AttributeIndex(name));
+        column_indexes.push_back(index);
+        if (!Match(TokenType::kComma)) break;
+      }
+      DBRE_RETURN_IF_ERROR(Expect(TokenType::kRightParen));
+    } else {
+      for (size_t i = 0; i < schema.arity(); ++i) column_indexes.push_back(i);
+    }
+
+    DBRE_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    size_t inserted = 0;
+    while (true) {
+      DBRE_RETURN_IF_ERROR(Expect(TokenType::kLeftParen));
+      ValueVector row(schema.arity());  // defaults to NULLs
+      size_t position = 0;
+      while (true) {
+        if (position >= column_indexes.size()) {
+          return ErrorHere("too many values in INSERT row");
+        }
+        size_t column = column_indexes[position];
+        DBRE_ASSIGN_OR_RETURN(Value value,
+                              ParseLiteral(schema.attributes()[column].type));
+        row[column] = std::move(value);
+        ++position;
+        if (!Match(TokenType::kComma)) break;
+      }
+      if (position != column_indexes.size()) {
+        return ErrorHere("too few values in INSERT row");
+      }
+      DBRE_RETURN_IF_ERROR(Expect(TokenType::kRightParen));
+      DBRE_RETURN_IF_ERROR(table->Insert(std::move(row)));
+      ++inserted;
+      if (!Match(TokenType::kComma)) break;
+    }
+    Match(TokenType::kSemicolon);
+    return inserted;
+  }
+
+  std::vector<Token> tokens_;
+  Database* database_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<DdlStats> ExecuteDdlScript(std::string_view sql, Database* database) {
+  if (database == nullptr) return InvalidArgumentError("database is null");
+  DBRE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  DdlParser parser(std::move(tokens), database);
+  return parser.Run();
+}
+
+}  // namespace dbre::sql

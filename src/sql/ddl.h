@@ -1,0 +1,40 @@
+// Data-dictionary DDL: CREATE TABLE and INSERT for the legacy subset.
+//
+// §4 assumes the available constraints are exactly what old dictionaries
+// record: `unique` and `not null`. The supported forms are:
+//
+//   CREATE TABLE name (
+//     col TYPE [NOT NULL] [UNIQUE] [PRIMARY KEY],
+//     ...,
+//     UNIQUE (a, b, ...),
+//     PRIMARY KEY (a, b, ...)
+//   );
+//   INSERT INTO name [(cols)] VALUES (v, ...) [, (v, ...)]* ;
+//
+// Types map onto the engine's four runtime types: INT/INTEGER/SMALLINT/
+// NUMBER(p) → int64; NUMBER(p,s)/DECIMAL/FLOAT/REAL/DOUBLE → double;
+// CHAR/VARCHAR/TEXT/STRING/DATE → string; BOOLEAN → bool. PRIMARY KEY is
+// recorded as a unique declaration (placed first, so it becomes the
+// relation's key per RelationSchema::PrimaryKey).
+#ifndef DBRE_SQL_DDL_H_
+#define DBRE_SQL_DDL_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "relational/database.h"
+
+namespace dbre::sql {
+
+struct DdlStats {
+  size_t tables_created = 0;
+  size_t rows_inserted = 0;
+};
+
+// Executes a ';'-separated script of CREATE TABLE / INSERT statements
+// against `database`. Stops at the first error.
+Result<DdlStats> ExecuteDdlScript(std::string_view sql, Database* database);
+
+}  // namespace dbre::sql
+
+#endif  // DBRE_SQL_DDL_H_

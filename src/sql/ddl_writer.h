@@ -1,0 +1,34 @@
+// Rendering a catalog back to dictionary DDL.
+//
+// Produces CREATE TABLE statements (types, NOT NULL, PRIMARY KEY for the
+// first unique declaration, UNIQUE for the rest) that round-trip through
+// ExecuteDdlScript, and optionally INSERT statements for the extension.
+// Used to export a restructured schema as a migration script.
+#ifndef DBRE_SQL_DDL_WRITER_H_
+#define DBRE_SQL_DDL_WRITER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "relational/database.h"
+
+namespace dbre::sql {
+
+struct DdlWriterOptions {
+  bool include_inserts = false;  // also emit the extension
+  size_t insert_batch_size = 50; // rows per INSERT statement
+};
+
+// One CREATE TABLE statement for `schema`.
+std::string WriteCreateTable(const RelationSchema& schema);
+
+// INSERT statements for `table`'s rows (empty string for empty tables).
+std::string WriteInserts(const Table& table, size_t batch_size = 50);
+
+// The whole catalog (alphabetical), with extensions if requested.
+std::string WriteDdl(const Database& database,
+                     const DdlWriterOptions& options = {});
+
+}  // namespace dbre::sql
+
+#endif  // DBRE_SQL_DDL_WRITER_H_

@@ -1,0 +1,318 @@
+#include "sql/extractor.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <tuple>
+
+#include "sql/parser.h"
+
+namespace dbre::sql {
+
+ExtractionStats& ExtractionStats::operator+=(const ExtractionStats& other) {
+  statements += other.statements;
+  equalities_seen += other.equalities_seen;
+  unresolved_columns += other.unresolved_columns;
+  self_pair_skipped += other.self_pair_skipped;
+  joins_extracted += other.joins_extracted;
+  return *this;
+}
+
+namespace {
+
+// A resolved column: which FROM entry (relation instance) it belongs to.
+struct ResolvedColumn {
+  size_t scope_depth = 0;   // index into the scope stack
+  size_t from_index = 0;    // index into that scope's FROM list
+  std::string table;        // real table name
+  std::string column;
+};
+
+// Identity of a relation *instance* (distinguishes self-join aliases).
+using InstanceKey = std::pair<size_t, size_t>;  // (scope_depth, from_index)
+
+class Extractor {
+ public:
+  Extractor(const ExtractionOptions& options, ExtractionStats* stats,
+            std::vector<EquiJoin>* out)
+      : options_(options), stats_(stats), out_(out) {}
+
+  void WalkStatement(const SelectStatement& statement) {
+    ++stats_->statements;
+    scopes_.push_back(&statement.from);
+    // Joins from this statement's predicates accumulate per instance pair,
+    // then fuse into multi-attribute equi-joins.
+    std::map<std::pair<InstanceKey, InstanceKey>,
+             std::pair<std::vector<std::string>, std::vector<std::string>>>
+        pair_groups;
+
+    for (const auto& condition : statement.join_conditions) {
+      WalkExpression(*condition, &pair_groups);
+    }
+    if (statement.where != nullptr) {
+      WalkExpression(*statement.where, &pair_groups);
+    }
+    EmitGroups(pair_groups);
+
+    if (statement.set_rhs != nullptr) {
+      if (statement.set_op == SelectStatement::SetOp::kIntersect) {
+        EmitIntersectJoin(statement, *statement.set_rhs);
+      }
+      WalkStatement(*statement.set_rhs);
+    }
+    scopes_.pop_back();
+  }
+
+ private:
+  void WalkExpression(
+      const Expression& expr,
+      std::map<std::pair<InstanceKey, InstanceKey>,
+               std::pair<std::vector<std::string>, std::vector<std::string>>>*
+          pair_groups) {
+    switch (expr.kind) {
+      case Expression::Kind::kComparison:
+        if (expr.op == ComparisonOp::kEq &&
+            expr.lhs.kind == Operand::Kind::kColumn &&
+            expr.rhs.kind == Operand::Kind::kColumn) {
+          ++stats_->equalities_seen;
+          RecordEquality(expr.lhs.column, expr.rhs.column, pair_groups);
+        }
+        return;
+      case Expression::Kind::kAnd:
+      case Expression::Kind::kOr:
+      case Expression::Kind::kNot:
+        for (const auto& child : expr.children) {
+          WalkExpression(*child, pair_groups);
+        }
+        return;
+      case Expression::Kind::kInSubquery:
+        HandleInSubquery(expr);
+        return;
+      case Expression::Kind::kExists:
+        if (expr.subquery != nullptr) WalkStatement(*expr.subquery);
+        return;
+      case Expression::Kind::kIsNull:
+      case Expression::Kind::kBetween:
+      case Expression::Kind::kLike:
+        return;
+    }
+  }
+
+  void HandleInSubquery(const Expression& expr) {
+    if (expr.subquery == nullptr) return;
+    // Pair left columns with the subquery's select list positionally.
+    const SelectStatement& sub = *expr.subquery;
+    bool pairable = sub.select_list.size() == expr.in_columns.size() &&
+                    std::all_of(sub.select_list.begin(),
+                                sub.select_list.end(),
+                                [](const SelectItem& item) {
+                                  return !item.star && !item.count;
+                                });
+    if (pairable) {
+      // Resolve outer columns in the current scope, inner columns in the
+      // subquery's scope.
+      std::vector<std::optional<ResolvedColumn>> outer;
+      outer.reserve(expr.in_columns.size());
+      for (const ColumnRef& ref : expr.in_columns) {
+        outer.push_back(Resolve(ref));
+      }
+      scopes_.push_back(&sub.from);
+      std::map<std::pair<InstanceKey, InstanceKey>,
+               std::pair<std::vector<std::string>, std::vector<std::string>>>
+          groups;
+      for (size_t i = 0; i < expr.in_columns.size(); ++i) {
+        std::optional<ResolvedColumn> inner =
+            Resolve(sub.select_list[i].column);
+        if (!outer[i].has_value() || !inner.has_value()) {
+          ++stats_->unresolved_columns;
+          continue;
+        }
+        AddPair(*outer[i], *inner, &groups);
+      }
+      EmitGroups(groups);
+      scopes_.pop_back();
+    }
+    // Recurse for joins inside the subquery itself (correlated or not).
+    WalkStatement(sub);
+  }
+
+  void EmitIntersectJoin(const SelectStatement& left,
+                         const SelectStatement& right) {
+    if (left.select_list.size() != right.select_list.size()) return;
+    auto concrete = [](const SelectItem& item) {
+      return !item.star && !item.count;
+    };
+    if (!std::all_of(left.select_list.begin(), left.select_list.end(),
+                     concrete) ||
+        !std::all_of(right.select_list.begin(), right.select_list.end(),
+                     concrete)) {
+      return;
+    }
+    std::map<std::pair<InstanceKey, InstanceKey>,
+             std::pair<std::vector<std::string>, std::vector<std::string>>>
+        groups;
+    // Left side resolves in the current (already pushed) scope; right side
+    // in its own.
+    std::vector<std::optional<ResolvedColumn>> lhs;
+    for (const SelectItem& item : left.select_list) {
+      lhs.push_back(Resolve(item.column));
+    }
+    scopes_.push_back(&right.from);
+    for (size_t i = 0; i < right.select_list.size(); ++i) {
+      std::optional<ResolvedColumn> rhs = Resolve(right.select_list[i].column);
+      if (!lhs[i].has_value() || !rhs.has_value()) {
+        ++stats_->unresolved_columns;
+        continue;
+      }
+      AddPair(*lhs[i], *rhs, &groups);
+    }
+    scopes_.pop_back();
+    EmitGroups(groups);
+  }
+
+  void RecordEquality(
+      const ColumnRef& left, const ColumnRef& right,
+      std::map<std::pair<InstanceKey, InstanceKey>,
+               std::pair<std::vector<std::string>, std::vector<std::string>>>*
+          pair_groups) {
+    std::optional<ResolvedColumn> lhs = Resolve(left);
+    std::optional<ResolvedColumn> rhs = Resolve(right);
+    if (!lhs.has_value() || !rhs.has_value()) {
+      ++stats_->unresolved_columns;
+      return;
+    }
+    AddPair(*lhs, *rhs, pair_groups);
+  }
+
+  void AddPair(
+      const ResolvedColumn& lhs, const ResolvedColumn& rhs,
+      std::map<std::pair<InstanceKey, InstanceKey>,
+               std::pair<std::vector<std::string>, std::vector<std::string>>>*
+          pair_groups) {
+    InstanceKey lhs_key{lhs.scope_depth, lhs.from_index};
+    InstanceKey rhs_key{rhs.scope_depth, rhs.from_index};
+    if (lhs_key == rhs_key) {
+      // A condition within one relation instance (e.g. r.a = r.b) is a
+      // restriction, not a navigation step.
+      ++stats_->self_pair_skipped;
+      return;
+    }
+    const ResolvedColumn* a = &lhs;
+    const ResolvedColumn* b = &rhs;
+    if (rhs_key < lhs_key) {
+      std::swap(a, b);
+      std::swap(lhs_key, rhs_key);
+    }
+    auto& group = (*pair_groups)[{lhs_key, rhs_key}];
+    group.first.push_back(a->column);
+    group.second.push_back(b->column);
+    // Table names ride along via a side map.
+    instance_tables_[lhs_key] = a->table;
+    instance_tables_[rhs_key] = b->table;
+  }
+
+  void EmitGroups(
+      const std::map<
+          std::pair<InstanceKey, InstanceKey>,
+          std::pair<std::vector<std::string>, std::vector<std::string>>>&
+          pair_groups) {
+    for (const auto& [keys, columns] : pair_groups) {
+      EquiJoin join;
+      join.left_relation = instance_tables_.at(keys.first);
+      join.left_attributes = columns.first;
+      join.right_relation = instance_tables_.at(keys.second);
+      join.right_attributes = columns.second;
+      if (!join.Validate().ok()) {
+        ++stats_->self_pair_skipped;
+        continue;
+      }
+      out_->push_back(std::move(join));
+      ++stats_->joins_extracted;
+    }
+  }
+
+  // Resolves a column reference against the scope stack, innermost first.
+  std::optional<ResolvedColumn> Resolve(const ColumnRef& ref) const {
+    if (ref.column.empty() || ref.column == "*") return std::nullopt;
+    for (size_t depth = scopes_.size(); depth-- > 0;) {
+      const std::vector<TableRef>& from = *scopes_[depth];
+      if (!ref.qualifier.empty()) {
+        for (size_t i = 0; i < from.size(); ++i) {
+          const TableRef& table_ref = from[i];
+          bool matches = table_ref.alias.empty()
+                             ? table_ref.table == ref.qualifier
+                             : table_ref.alias == ref.qualifier;
+          // A bare table name also matches when an alias exists, as several
+          // legacy dialects allow it only without alias; be strict: alias
+          // shadows the table name.
+          if (matches) {
+            return ResolvedColumn{depth, i, table_ref.table, ref.column};
+          }
+        }
+        continue;  // try outer scope
+      }
+      // Unqualified: unique FROM entry, or unique catalog match.
+      if (from.size() == 1) {
+        return ResolvedColumn{depth, 0, from[0].table, ref.column};
+      }
+      if (options_.catalog != nullptr) {
+        std::optional<ResolvedColumn> found;
+        bool ambiguous = false;
+        for (size_t i = 0; i < from.size(); ++i) {
+          auto table = options_.catalog->GetTable(from[i].table);
+          if (!table.ok()) continue;
+          if ((*table.value()).schema().HasAttribute(ref.column)) {
+            if (found.has_value()) {
+              ambiguous = true;
+              break;
+            }
+            found = ResolvedColumn{depth, i, from[i].table, ref.column};
+          }
+        }
+        if (found.has_value() && !ambiguous) return found;
+        if (ambiguous) return std::nullopt;
+      }
+    }
+    return std::nullopt;
+  }
+
+  const ExtractionOptions& options_;
+  ExtractionStats* stats_;
+  std::vector<EquiJoin>* out_;
+  std::vector<const std::vector<TableRef>*> scopes_;
+  mutable std::map<InstanceKey, std::string> instance_tables_;
+};
+
+}  // namespace
+
+std::vector<EquiJoin> ExtractEquiJoins(const SelectStatement& statement,
+                                       const ExtractionOptions& options,
+                                       ExtractionStats* stats) {
+  ExtractionStats local_stats;
+  ExtractionStats* s = stats != nullptr ? stats : &local_stats;
+  std::vector<EquiJoin> joins;
+  Extractor extractor(options, s, &joins);
+  extractor.WalkStatement(statement);
+  return joins;
+}
+
+Result<std::vector<EquiJoin>> ExtractEquiJoinsFromScript(
+    std::string_view sql, const ExtractionOptions& options,
+    ExtractionStats* stats, std::vector<Status>* errors) {
+  ExtractionStats local_stats;
+  ExtractionStats* s = stats != nullptr ? stats : &local_stats;
+  *s = ExtractionStats{};
+  DBRE_ASSIGN_OR_RETURN(auto statements, ParseScript(sql, errors));
+  std::vector<EquiJoin> joins;
+  for (const auto& statement : statements) {
+    ExtractionStats statement_stats;
+    std::vector<EquiJoin> found =
+        ExtractEquiJoins(*statement, options, &statement_stats);
+    *s += statement_stats;
+    joins.insert(joins.end(), std::make_move_iterator(found.begin()),
+                 std::make_move_iterator(found.end()));
+  }
+  return CanonicalJoinSet(joins);
+}
+
+}  // namespace dbre::sql

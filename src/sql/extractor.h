@@ -1,0 +1,66 @@
+// Equi-join extraction from parsed SQL — building the paper's set Q.
+//
+// §4 notes that "an equi-join can be performed in different ways, with
+// nested or unnested queries, with a where clause or with an intersect
+// operator". This extractor recognizes:
+//   * column = column conjuncts in WHERE clauses and JOIN ... ON conditions
+//     (equalities anywhere in the boolean tree are harvested: even under OR
+//     or NOT, an equality between attributes of two relations witnesses a
+//     navigation path the programmer relies on);
+//   * R.a IN (SELECT b FROM S ...) and multi-column (a, b) IN (SELECT ...);
+//   * correlated [NOT] EXISTS subqueries (outer aliases stay visible);
+//   * SELECT ... INTERSECT SELECT ... (select lists pair positionally).
+// Multiple equalities between the same pair of relation instances in one
+// statement fuse into a single multi-attribute equi-join, as in §4's
+// illustration.
+//
+// Unqualified columns are resolved against the FROM scope; with a catalog
+// (Database) they are resolved by attribute membership, innermost scope
+// first. Unresolvable references are counted and skipped, never fatal.
+#ifndef DBRE_SQL_EXTRACTOR_H_
+#define DBRE_SQL_EXTRACTOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/database.h"
+#include "relational/equi_join.h"
+#include "sql/ast.h"
+
+namespace dbre::sql {
+
+struct ExtractionOptions {
+  // Optional data dictionary used to resolve unqualified column references
+  // by attribute membership.
+  const Database* catalog = nullptr;
+};
+
+struct ExtractionStats {
+  size_t statements = 0;            // statements walked (incl. subqueries)
+  size_t equalities_seen = 0;       // column=column equalities encountered
+  size_t unresolved_columns = 0;    // references that could not be resolved
+  size_t self_pair_skipped = 0;     // R.a = R.a on the same instance/attr
+  size_t joins_extracted = 0;       // joins before canonical dedup
+
+  ExtractionStats& operator+=(const ExtractionStats& other);
+};
+
+// Extracts equi-joins from one parsed statement (including its subqueries
+// and set-operation branches).
+std::vector<EquiJoin> ExtractEquiJoins(const SelectStatement& statement,
+                                       const ExtractionOptions& options = {},
+                                       ExtractionStats* stats = nullptr);
+
+// Parses `sql` as a script and extracts from every statement; parse errors
+// are recovered per statement (collected in `errors` when non-null). The
+// result is canonicalized and deduplicated — it is the set Q.
+Result<std::vector<EquiJoin>> ExtractEquiJoinsFromScript(
+    std::string_view sql, const ExtractionOptions& options = {},
+    ExtractionStats* stats = nullptr,
+    std::vector<Status>* errors = nullptr);
+
+}  // namespace dbre::sql
+
+#endif  // DBRE_SQL_EXTRACTOR_H_

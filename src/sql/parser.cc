@@ -1,0 +1,499 @@
+#include "sql/parser.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace dbre::sql {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<SelectStatement>> ParseStatement() {
+    DBRE_ASSIGN_OR_RETURN(std::unique_ptr<SelectStatement> stmt,
+                          ParseSelectCore());
+    // Set-operation chaining.
+    SelectStatement* tail = stmt.get();
+    while (true) {
+      SelectStatement::SetOp op = SelectStatement::SetOp::kNone;
+      if (MatchKeyword("INTERSECT")) {
+        op = SelectStatement::SetOp::kIntersect;
+      } else if (MatchKeyword("UNION")) {
+        MatchKeyword("ALL");
+        op = SelectStatement::SetOp::kUnion;
+      } else if (MatchKeyword("MINUS")) {
+        op = SelectStatement::SetOp::kMinus;
+      } else {
+        break;
+      }
+      DBRE_ASSIGN_OR_RETURN(std::unique_ptr<SelectStatement> rhs,
+                            ParseSelectCore());
+      tail->set_op = op;
+      tail->set_rhs = std::move(rhs);
+      tail = tail->set_rhs.get();
+    }
+    Match(TokenType::kSemicolon);
+    if (!Check(TokenType::kEnd)) {
+      return ErrorHere("trailing input after statement");
+    }
+    return stmt;
+  }
+
+  // Parses one statement, stopping after its optional ';' without requiring
+  // end of input (for scripts).
+  Result<std::unique_ptr<SelectStatement>> ParseStatementInScript() {
+    DBRE_ASSIGN_OR_RETURN(std::unique_ptr<SelectStatement> stmt,
+                          ParseSelectCore());
+    SelectStatement* tail = stmt.get();
+    while (true) {
+      SelectStatement::SetOp op = SelectStatement::SetOp::kNone;
+      if (MatchKeyword("INTERSECT")) {
+        op = SelectStatement::SetOp::kIntersect;
+      } else if (MatchKeyword("UNION")) {
+        MatchKeyword("ALL");
+        op = SelectStatement::SetOp::kUnion;
+      } else if (MatchKeyword("MINUS")) {
+        op = SelectStatement::SetOp::kMinus;
+      } else {
+        break;
+      }
+      DBRE_ASSIGN_OR_RETURN(std::unique_ptr<SelectStatement> rhs,
+                            ParseSelectCore());
+      tail->set_op = op;
+      tail->set_rhs = std::move(rhs);
+      tail = tail->set_rhs.get();
+    }
+    Match(TokenType::kSemicolon);
+    return stmt;
+  }
+
+  bool AtEnd() const { return Check(TokenType::kEnd); }
+
+  // Skips tokens until just past the next top-level ';' (error recovery).
+  void SkipToNextStatement() {
+    int depth = 0;
+    while (!Check(TokenType::kEnd)) {
+      if (Check(TokenType::kLeftParen)) ++depth;
+      if (Check(TokenType::kRightParen) && depth > 0) --depth;
+      bool was_semicolon = Check(TokenType::kSemicolon) && depth == 0;
+      ++pos_;
+      if (was_semicolon) break;
+    }
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t index = pos_ + ahead;
+    if (index >= tokens_.size()) index = tokens_.size() - 1;
+    return tokens_[index];
+  }
+
+  bool Check(TokenType type) const { return Peek().type == type; }
+
+  bool CheckKeyword(std::string_view keyword, size_t ahead = 0) const {
+    const Token& token = Peek(ahead);
+    return token.type == TokenType::kKeyword && token.text == keyword;
+  }
+
+  bool Match(TokenType type) {
+    if (!Check(type)) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool MatchKeyword(std::string_view keyword) {
+    if (!CheckKeyword(keyword)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status ErrorHere(std::string_view message) const {
+    const Token& token = Peek();
+    return dbre::ParseError(std::string(message) + " at line " +
+                            std::to_string(token.line) + " near " +
+                            token.ToString());
+  }
+
+  Status ExpectKeyword(std::string_view keyword) {
+    if (MatchKeyword(keyword)) return Status::Ok();
+    return ErrorHere("expected " + std::string(keyword));
+  }
+
+  Status Expect(TokenType type) {
+    if (Match(type)) return Status::Ok();
+    return ErrorHere(std::string("expected ") + TokenTypeName(type));
+  }
+
+  Result<ColumnRef> ParseColumnRef() {
+    if (!Check(TokenType::kIdentifier)) {
+      return ErrorHere("expected column reference");
+    }
+    ColumnRef ref;
+    ref.column = Peek().text;
+    ++pos_;
+    if (Match(TokenType::kDot)) {
+      if (!Check(TokenType::kIdentifier) && !Check(TokenType::kStar)) {
+        return ErrorHere("expected column after '.'");
+      }
+      ref.qualifier = std::move(ref.column);
+      if (Match(TokenType::kStar)) {
+        ref.column = "*";
+      } else {
+        ref.column = Peek().text;
+        ++pos_;
+      }
+    }
+    return ref;
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    if (Match(TokenType::kStar)) {
+      item.star = true;
+      return item;
+    }
+    if (MatchKeyword("COUNT")) {
+      item.count = true;
+      DBRE_RETURN_IF_ERROR(Expect(TokenType::kLeftParen));
+      if (Match(TokenType::kStar)) {
+        item.star = true;
+      } else {
+        if (MatchKeyword("DISTINCT")) item.distinct = true;
+        DBRE_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+      }
+      DBRE_RETURN_IF_ERROR(Expect(TokenType::kRightParen));
+      return item;
+    }
+    DBRE_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+    if (item.column.column == "*") item.star = true;
+    return item;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    if (!Check(TokenType::kIdentifier)) {
+      return ErrorHere("expected table name");
+    }
+    TableRef ref;
+    ref.table = Peek().text;
+    ++pos_;
+    if (MatchKeyword("AS")) {
+      if (!Check(TokenType::kIdentifier)) {
+        return ErrorHere("expected alias after AS");
+      }
+      ref.alias = Peek().text;
+      ++pos_;
+    } else if (Check(TokenType::kIdentifier)) {
+      ref.alias = Peek().text;
+      ++pos_;
+    }
+    return ref;
+  }
+
+  Result<Operand> ParseOperand() {
+    const Token& token = Peek();
+    Operand op;
+    switch (token.type) {
+      case TokenType::kIdentifier: {
+        DBRE_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef());
+        return Operand::Column(std::move(ref));
+      }
+      case TokenType::kInteger:
+        op.kind = Operand::Kind::kInteger;
+        op.literal = token.text;
+        ++pos_;
+        return op;
+      case TokenType::kDecimal:
+        op.kind = Operand::Kind::kDecimal;
+        op.literal = token.text;
+        ++pos_;
+        return op;
+      case TokenType::kString:
+        op.kind = Operand::Kind::kString;
+        op.literal = token.text;
+        ++pos_;
+        return op;
+      case TokenType::kHostVariable:
+        op.kind = Operand::Kind::kHostVariable;
+        op.literal = token.text;
+        ++pos_;
+        return op;
+      case TokenType::kKeyword:
+        if (token.text == "NULL") {
+          op.kind = Operand::Kind::kNull;
+          ++pos_;
+          return op;
+        }
+        break;
+      default:
+        break;
+    }
+    return ErrorHere("expected operand");
+  }
+
+  Result<ComparisonOp> ParseComparisonOp() {
+    if (Match(TokenType::kEquals)) return ComparisonOp::kEq;
+    if (Match(TokenType::kNotEquals)) return ComparisonOp::kNe;
+    if (Match(TokenType::kLess)) return ComparisonOp::kLt;
+    if (Match(TokenType::kLessEquals)) return ComparisonOp::kLe;
+    if (Match(TokenType::kGreater)) return ComparisonOp::kGt;
+    if (Match(TokenType::kGreaterEquals)) return ComparisonOp::kGe;
+    return ErrorHere("expected comparison operator");
+  }
+
+  // predicate after an already-parsed first operand.
+  Result<std::unique_ptr<Expression>> ParsePredicateWithOperand(Operand lhs) {
+    auto expr = std::make_unique<Expression>();
+    bool negated = MatchKeyword("NOT");
+    if (MatchKeyword("IN")) {
+      if (lhs.kind != Operand::Kind::kColumn) {
+        return ErrorHere("IN requires a column on the left");
+      }
+      expr->kind = Expression::Kind::kInSubquery;
+      expr->negated = negated;
+      expr->in_columns.push_back(lhs.column);
+      DBRE_RETURN_IF_ERROR(Expect(TokenType::kLeftParen));
+      if (!CheckKeyword("SELECT")) {
+        return ErrorHere("only IN (SELECT ...) is supported");
+      }
+      DBRE_ASSIGN_OR_RETURN(expr->subquery, ParseSelectCore());
+      DBRE_RETURN_IF_ERROR(Expect(TokenType::kRightParen));
+      return expr;
+    }
+    if (MatchKeyword("BETWEEN")) {
+      expr->kind = Expression::Kind::kBetween;
+      expr->negated = negated;
+      expr->lhs = std::move(lhs);
+      DBRE_ASSIGN_OR_RETURN(Operand low, ParseOperand());
+      (void)low;
+      DBRE_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      DBRE_ASSIGN_OR_RETURN(Operand high, ParseOperand());
+      (void)high;
+      return expr;
+    }
+    if (MatchKeyword("LIKE")) {
+      expr->kind = Expression::Kind::kLike;
+      expr->negated = negated;
+      expr->lhs = std::move(lhs);
+      DBRE_ASSIGN_OR_RETURN(expr->rhs, ParseOperand());
+      return expr;
+    }
+    if (negated) return ErrorHere("expected IN/BETWEEN/LIKE after NOT");
+    if (MatchKeyword("IS")) {
+      expr->kind = Expression::Kind::kIsNull;
+      expr->negated = MatchKeyword("NOT");
+      DBRE_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+      expr->lhs = std::move(lhs);
+      return expr;
+    }
+    expr->kind = Expression::Kind::kComparison;
+    DBRE_ASSIGN_OR_RETURN(expr->op, ParseComparisonOp());
+    expr->lhs = std::move(lhs);
+    DBRE_ASSIGN_OR_RETURN(expr->rhs, ParseOperand());
+    return expr;
+  }
+
+  Result<std::unique_ptr<Expression>> ParseUnary() {
+    if (MatchKeyword("NOT")) {
+      // NOT EXISTS (...) folds into the exists node.
+      if (CheckKeyword("EXISTS")) {
+        DBRE_ASSIGN_OR_RETURN(std::unique_ptr<Expression> exists,
+                              ParseUnary());
+        exists->negated = !exists->negated;
+        return exists;
+      }
+      auto expr = std::make_unique<Expression>();
+      expr->kind = Expression::Kind::kNot;
+      DBRE_ASSIGN_OR_RETURN(std::unique_ptr<Expression> child, ParseUnary());
+      expr->children.push_back(std::move(child));
+      return expr;
+    }
+    if (MatchKeyword("EXISTS")) {
+      auto expr = std::make_unique<Expression>();
+      expr->kind = Expression::Kind::kExists;
+      DBRE_RETURN_IF_ERROR(Expect(TokenType::kLeftParen));
+      if (!CheckKeyword("SELECT")) {
+        return ErrorHere("expected SELECT after EXISTS(");
+      }
+      DBRE_ASSIGN_OR_RETURN(expr->subquery, ParseSelectCore());
+      DBRE_RETURN_IF_ERROR(Expect(TokenType::kRightParen));
+      return expr;
+    }
+    if (Check(TokenType::kLeftParen)) {
+      // Either a parenthesized boolean expression or a column tuple for a
+      // multi-column IN: (a, b) IN (SELECT ...).
+      if (IsColumnTupleAhead()) {
+        ++pos_;  // consume '('
+        auto expr = std::make_unique<Expression>();
+        expr->kind = Expression::Kind::kInSubquery;
+        while (true) {
+          DBRE_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef());
+          expr->in_columns.push_back(std::move(ref));
+          if (!Match(TokenType::kComma)) break;
+        }
+        DBRE_RETURN_IF_ERROR(Expect(TokenType::kRightParen));
+        expr->negated = MatchKeyword("NOT");
+        DBRE_RETURN_IF_ERROR(ExpectKeyword("IN"));
+        DBRE_RETURN_IF_ERROR(Expect(TokenType::kLeftParen));
+        if (!CheckKeyword("SELECT")) {
+          return ErrorHere("only IN (SELECT ...) is supported");
+        }
+        DBRE_ASSIGN_OR_RETURN(expr->subquery, ParseSelectCore());
+        DBRE_RETURN_IF_ERROR(Expect(TokenType::kRightParen));
+        return expr;
+      }
+      ++pos_;  // consume '('
+      DBRE_ASSIGN_OR_RETURN(std::unique_ptr<Expression> inner, ParseExpr());
+      DBRE_RETURN_IF_ERROR(Expect(TokenType::kRightParen));
+      return inner;
+    }
+    DBRE_ASSIGN_OR_RETURN(Operand lhs, ParseOperand());
+    return ParsePredicateWithOperand(std::move(lhs));
+  }
+
+  // Lookahead check for "( col [, col]* ) [NOT] IN".
+  bool IsColumnTupleAhead() const {
+    size_t ahead = 1;  // past '('
+    int commas = 0;
+    while (true) {
+      const Token& token = Peek(ahead);
+      if (token.type != TokenType::kIdentifier) return false;
+      ++ahead;
+      if (Peek(ahead).type == TokenType::kDot) {
+        ahead += 2;  // .column
+      }
+      if (Peek(ahead).type == TokenType::kComma) {
+        ++commas;
+        ++ahead;
+        continue;
+      }
+      break;
+    }
+    if (Peek(ahead).type != TokenType::kRightParen) return false;
+    ++ahead;
+    if (Peek(ahead).type == TokenType::kKeyword &&
+        Peek(ahead).text == "NOT") {
+      ++ahead;
+    }
+    return commas > 0 && Peek(ahead).type == TokenType::kKeyword &&
+           Peek(ahead).text == "IN";
+  }
+
+  Result<std::unique_ptr<Expression>> ParseAnd() {
+    DBRE_ASSIGN_OR_RETURN(std::unique_ptr<Expression> first, ParseUnary());
+    if (!CheckKeyword("AND")) return first;
+    auto expr = std::make_unique<Expression>();
+    expr->kind = Expression::Kind::kAnd;
+    expr->children.push_back(std::move(first));
+    while (MatchKeyword("AND")) {
+      DBRE_ASSIGN_OR_RETURN(std::unique_ptr<Expression> next, ParseUnary());
+      expr->children.push_back(std::move(next));
+    }
+    return expr;
+  }
+
+  Result<std::unique_ptr<Expression>> ParseExpr() {
+    DBRE_ASSIGN_OR_RETURN(std::unique_ptr<Expression> first, ParseAnd());
+    if (!CheckKeyword("OR")) return first;
+    auto expr = std::make_unique<Expression>();
+    expr->kind = Expression::Kind::kOr;
+    expr->children.push_back(std::move(first));
+    while (MatchKeyword("OR")) {
+      DBRE_ASSIGN_OR_RETURN(std::unique_ptr<Expression> next, ParseAnd());
+      expr->children.push_back(std::move(next));
+    }
+    return expr;
+  }
+
+  Result<std::unique_ptr<SelectStatement>> ParseSelectCore() {
+    DBRE_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    auto stmt = std::make_unique<SelectStatement>();
+    if (MatchKeyword("DISTINCT")) stmt->select_distinct = true;
+    while (true) {
+      DBRE_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      stmt->select_list.push_back(std::move(item));
+      if (!Match(TokenType::kComma)) break;
+    }
+    DBRE_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DBRE_ASSIGN_OR_RETURN(TableRef first, ParseTableRef());
+    stmt->from.push_back(std::move(first));
+    while (true) {
+      if (Match(TokenType::kComma)) {
+        DBRE_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+        stmt->from.push_back(std::move(ref));
+        continue;
+      }
+      bool inner = CheckKeyword("INNER");
+      if (inner || CheckKeyword("JOIN")) {
+        if (inner) ++pos_;
+        DBRE_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        DBRE_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+        stmt->from.push_back(std::move(ref));
+        DBRE_RETURN_IF_ERROR(ExpectKeyword("ON"));
+        DBRE_ASSIGN_OR_RETURN(std::unique_ptr<Expression> condition,
+                              ParseExpr());
+        stmt->join_conditions.push_back(std::move(condition));
+        continue;
+      }
+      break;
+    }
+    if (MatchKeyword("WHERE")) {
+      DBRE_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    if (MatchKeyword("GROUP")) {
+      DBRE_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      DBRE_RETURN_IF_ERROR(SkipColumnList());
+      if (MatchKeyword("HAVING")) {
+        DBRE_ASSIGN_OR_RETURN(std::unique_ptr<Expression> having,
+                              ParseExpr());
+        (void)having;  // carries no navigation info
+      }
+    }
+    if (MatchKeyword("ORDER")) {
+      DBRE_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      DBRE_RETURN_IF_ERROR(SkipColumnList());
+    }
+    return stmt;
+  }
+
+  Status SkipColumnList() {
+    while (true) {
+      DBRE_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef());
+      (void)ref;
+      MatchKeyword("ASC") || MatchKeyword("DESC");
+      if (!Match(TokenType::kComma)) break;
+    }
+    return Status::Ok();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SelectStatement>> ParseSelect(std::string_view sql) {
+  DBRE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Result<std::vector<std::unique_ptr<SelectStatement>>> ParseScript(
+    std::string_view sql, std::vector<Status>* errors) {
+  DBRE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  std::vector<std::unique_ptr<SelectStatement>> statements;
+  while (!parser.AtEnd()) {
+    auto result = parser.ParseStatementInScript();
+    if (result.ok()) {
+      statements.push_back(std::move(result).value());
+    } else {
+      if (errors != nullptr) errors->push_back(result.status());
+      parser.SkipToNextStatement();
+    }
+  }
+  return statements;
+}
+
+}  // namespace dbre::sql

@@ -1,0 +1,44 @@
+// Recursive-descent parser for the legacy SQL query subset.
+//
+// Grammar (informal):
+//   statement   := select [(INTERSECT | UNION [ALL] | MINUS) select]*
+//   select      := SELECT [DISTINCT] select_list FROM from_list
+//                  [WHERE expr] [GROUP BY cols] [ORDER BY cols [ASC|DESC]]
+//   select_list := '*' | item (',' item)*          item := COUNT(...) | col
+//   from_list   := table_ref ([INNER] JOIN table_ref ON expr | ',' table_ref)*
+//   expr        := and_expr (OR and_expr)*
+//   and_expr    := unary (AND unary)*
+//   unary       := NOT unary | '(' expr ')' | predicate
+//   predicate   := operand cmp operand | cols [NOT] IN '(' statement ')'
+//                | [NOT] EXISTS '(' statement ')' | operand IS [NOT] NULL
+//                | operand [NOT] BETWEEN operand AND operand
+//                | operand [NOT] LIKE operand
+//
+// GROUP BY / ORDER BY clauses are parsed and discarded (they carry no
+// navigation information).
+#ifndef DBRE_SQL_PARSER_H_
+#define DBRE_SQL_PARSER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/token.h"
+
+namespace dbre::sql {
+
+// Parses a single statement (a trailing ';' is allowed).
+Result<std::unique_ptr<SelectStatement>> ParseSelect(std::string_view sql);
+
+// Parses a ';'-separated script of SELECT statements, skipping statements
+// that are not SELECTs (e.g. UPDATE/DELETE text is rejected per statement,
+// not per script). Returns parsed selects; `errors` (optional) collects
+// per-statement parse failures.
+Result<std::vector<std::unique_ptr<SelectStatement>>> ParseScript(
+    std::string_view sql, std::vector<Status>* errors = nullptr);
+
+}  // namespace dbre::sql
+
+#endif  // DBRE_SQL_PARSER_H_

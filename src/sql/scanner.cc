@@ -1,0 +1,263 @@
+#include "sql/scanner.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "sql/parser.h"
+
+namespace dbre::sql {
+namespace {
+
+size_t CountLines(std::string_view text, size_t end) {
+  size_t lines = 1;
+  for (size_t i = 0; i < end && i < text.size(); ++i) {
+    if (text[i] == '\n') ++lines;
+  }
+  return lines;
+}
+
+// Case-insensitive search for `needle` in `haystack` starting at `from`.
+size_t FindIgnoreCase(std::string_view haystack, std::string_view needle,
+                      size_t from) {
+  if (needle.empty() || haystack.size() < needle.size()) {
+    return std::string_view::npos;
+  }
+  for (size_t i = from; i + needle.size() <= haystack.size(); ++i) {
+    if (EqualsIgnoreCase(haystack.substr(i, needle.size()), needle)) {
+      return i;
+    }
+  }
+  return std::string_view::npos;
+}
+
+// True if position `pos` is at a word boundary on both sides of a match of
+// length `len`.
+bool IsWordBounded(std::string_view text, size_t pos, size_t len) {
+  auto is_word = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+  if (pos > 0 && is_word(text[pos - 1])) return false;
+  if (pos + len < text.size() && is_word(text[pos + len])) return false;
+  return true;
+}
+
+// Extracts EXEC SQL ... ; / END-EXEC blocks.
+void ScanExecSqlBlocks(std::string_view source,
+                       std::vector<EmbeddedStatement>* out) {
+  size_t pos = 0;
+  while (true) {
+    size_t start = FindIgnoreCase(source, "EXEC SQL", pos);
+    if (start == std::string_view::npos) break;
+    if (!IsWordBounded(source, start, 8)) {
+      pos = start + 8;
+      continue;
+    }
+    size_t body_start = start + 8;
+    // Terminator: ';' or END-EXEC, whichever comes first.
+    size_t semicolon = source.find(';', body_start);
+    size_t end_exec = FindIgnoreCase(source, "END-EXEC", body_start);
+    size_t body_end;
+    size_t next;
+    if (semicolon == std::string_view::npos &&
+        end_exec == std::string_view::npos) {
+      body_end = source.size();
+      next = source.size();
+    } else if (end_exec == std::string_view::npos ||
+               (semicolon != std::string_view::npos &&
+                semicolon < end_exec)) {
+      body_end = semicolon;
+      next = semicolon + 1;
+    } else {
+      body_end = end_exec;
+      next = end_exec + 8;
+    }
+    std::string_view body =
+        TrimWhitespace(source.substr(body_start, body_end - body_start));
+    if (!body.empty()) {
+      out->push_back(EmbeddedStatement{std::string(body),
+                                       CountLines(source, start)});
+    }
+    pos = next;
+  }
+}
+
+// Extracts double-quoted string literals that look like SELECT statements
+// (call-level interface style). Handles \" escapes and adjacent-literal
+// concatenation ("SELECT ..." " FROM ...").
+void ScanStringLiteralQueries(std::string_view source,
+                              std::vector<EmbeddedStatement>* out) {
+  size_t i = 0;
+  while (i < source.size()) {
+    if (source[i] != '"') {
+      ++i;
+      continue;
+    }
+    size_t literal_start = i;
+    std::string text;
+    // Consume a run of adjacent string literals separated by whitespace.
+    while (i < source.size() && source[i] == '"') {
+      ++i;  // opening quote
+      while (i < source.size() && source[i] != '"') {
+        if (source[i] == '\\' && i + 1 < source.size()) {
+          text += source[i + 1];
+          i += 2;
+          continue;
+        }
+        text += source[i];
+        ++i;
+      }
+      if (i < source.size()) ++i;  // closing quote
+      size_t lookahead = i;
+      while (lookahead < source.size() &&
+             std::isspace(static_cast<unsigned char>(source[lookahead]))) {
+        ++lookahead;
+      }
+      if (lookahead < source.size() && source[lookahead] == '"') {
+        i = lookahead;
+        continue;
+      }
+      break;
+    }
+    std::string_view trimmed = TrimWhitespace(text);
+    if (trimmed.size() >= 6 &&
+        EqualsIgnoreCase(trimmed.substr(0, 6), "SELECT")) {
+      out->push_back(EmbeddedStatement{std::string(trimmed),
+                                       CountLines(source, literal_start)});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<EmbeddedStatement> ScanProgramText(std::string_view source) {
+  std::vector<EmbeddedStatement> statements;
+  ScanExecSqlBlocks(source, &statements);
+  ScanStringLiteralQueries(source, &statements);
+  return statements;
+}
+
+Result<std::vector<EmbeddedStatement>> ScanProgramFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string source = buffer.str();
+
+  if (EndsWith(ToLower(path), ".sql")) {
+    // Whole file is a SQL script: report it as one embedded statement per
+    // ';'-separated statement, letting the parser do the splitting later.
+    std::vector<EmbeddedStatement> statements;
+    statements.push_back(EmbeddedStatement{std::move(source), 1});
+    return statements;
+  }
+  return ScanProgramText(source);
+}
+
+namespace {
+
+// Collects the raw (already canonicalized-per-script, but not deduplicated
+// across statements) joins of a statement corpus.
+Result<std::vector<EquiJoin>> CollectJoins(
+    const std::vector<EmbeddedStatement>& statements,
+    const ExtractionOptions& options, ExtractionStats* stats,
+    std::vector<Status>* errors) {
+  ExtractionStats local_stats;
+  ExtractionStats* s = stats != nullptr ? stats : &local_stats;
+  std::vector<EquiJoin> joins;
+  for (const EmbeddedStatement& statement : statements) {
+    ExtractionStats piece_stats;
+    auto result = ExtractEquiJoinsFromScript(statement.text, options,
+                                             &piece_stats, errors);
+    if (!result.ok()) {
+      if (errors != nullptr) errors->push_back(result.status());
+      continue;
+    }
+    *s += piece_stats;
+    for (EquiJoin& join : *result) joins.push_back(std::move(join));
+  }
+  return joins;
+}
+
+Result<std::vector<EquiJoin>> BuildFromStatements(
+    const std::vector<EmbeddedStatement>& statements,
+    const ExtractionOptions& options, ExtractionStats* stats,
+    std::vector<Status>* errors) {
+  DBRE_ASSIGN_OR_RETURN(std::vector<EquiJoin> joins,
+                        CollectJoins(statements, options, stats, errors));
+  return CanonicalJoinSet(joins);
+}
+
+std::vector<EmbeddedStatement> StatementsFromSources(
+    const std::vector<std::pair<std::string, std::string>>& sources) {
+  std::vector<EmbeddedStatement> statements;
+  for (const auto& [name, content] : sources) {
+    std::vector<EmbeddedStatement> found;
+    if (EndsWith(ToLower(name), ".sql")) {
+      found.push_back(EmbeddedStatement{content, 1});
+    } else {
+      found = ScanProgramText(content);
+    }
+    for (EmbeddedStatement& statement : found) {
+      statements.push_back(std::move(statement));
+    }
+  }
+  return statements;
+}
+
+}  // namespace
+
+Result<std::vector<EquiJoin>> BuildQueryJoinSet(
+    const std::vector<std::string>& paths, const ExtractionOptions& options,
+    ExtractionStats* stats, std::vector<Status>* errors) {
+  if (stats != nullptr) *stats = ExtractionStats{};
+  std::vector<EmbeddedStatement> statements;
+  for (const std::string& path : paths) {
+    DBRE_ASSIGN_OR_RETURN(std::vector<EmbeddedStatement> found,
+                          ScanProgramFile(path));
+    for (EmbeddedStatement& statement : found) {
+      statements.push_back(std::move(statement));
+    }
+  }
+  return BuildFromStatements(statements, options, stats, errors);
+}
+
+Result<std::vector<EquiJoin>> BuildQueryJoinSetFromSources(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const ExtractionOptions& options, ExtractionStats* stats,
+    std::vector<Status>* errors) {
+  if (stats != nullptr) *stats = ExtractionStats{};
+  return BuildFromStatements(StatementsFromSources(sources), options, stats,
+                             errors);
+}
+
+Result<std::vector<WeightedJoin>> BuildWeightedJoinSetFromSources(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const ExtractionOptions& options, ExtractionStats* stats,
+    std::vector<Status>* errors) {
+  if (stats != nullptr) *stats = ExtractionStats{};
+  DBRE_ASSIGN_OR_RETURN(
+      std::vector<EquiJoin> joins,
+      CollectJoins(StatementsFromSources(sources), options, stats, errors));
+  std::map<EquiJoin, size_t> counts;
+  for (const EquiJoin& join : joins) ++counts[join.Canonicalize()];
+  std::vector<WeightedJoin> weighted;
+  weighted.reserve(counts.size());
+  for (auto& [join, occurrences] : counts) {
+    weighted.push_back(WeightedJoin{join, occurrences});
+  }
+  std::sort(weighted.begin(), weighted.end(),
+            [](const WeightedJoin& a, const WeightedJoin& b) {
+              if (a.occurrences != b.occurrences) {
+                return a.occurrences > b.occurrences;
+              }
+              return a.join < b.join;
+            });
+  return weighted;
+}
+
+}  // namespace dbre::sql

@@ -1,0 +1,73 @@
+// Scanning application-program sources for embedded SQL.
+//
+// Legacy applications embed their data-manipulation statements in host
+// language code. This scanner recognizes the two dominant conventions:
+//   * embedded SQL blocks:   EXEC SQL <statement> ;   (C / COBOL style,
+//     END-EXEC also accepted as the terminator);
+//   * string-literal queries: host code containing a double-quoted string
+//     whose content starts with SELECT (call-level interfaces).
+// Plain .sql files are treated as ';'-separated scripts.
+//
+// The output of a scan is the raw statement texts; feeding them through
+// the extractor yields the paper's set Q.
+#ifndef DBRE_SQL_SCANNER_H_
+#define DBRE_SQL_SCANNER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/database.h"
+#include "relational/equi_join.h"
+#include "sql/extractor.h"
+
+namespace dbre::sql {
+
+// One statement found in a program source.
+struct EmbeddedStatement {
+  std::string text;
+  size_t line = 1;  // 1-based line of the statement start
+};
+
+// Extracts embedded statements from host-language source text.
+std::vector<EmbeddedStatement> ScanProgramText(std::string_view source);
+
+// Reads `path`; `.sql` files are split on ';', anything else is scanned as
+// host-language source.
+Result<std::vector<EmbeddedStatement>> ScanProgramFile(
+    const std::string& path);
+
+// Full front end: scan every file, parse every statement, extract and
+// canonicalize the equi-joins — the set Q of §4.
+Result<std::vector<EquiJoin>> BuildQueryJoinSet(
+    const std::vector<std::string>& paths,
+    const ExtractionOptions& options = {}, ExtractionStats* stats = nullptr,
+    std::vector<Status>* errors = nullptr);
+
+// Same, over in-memory sources (name, content) — used by tests and the
+// synthetic workload generator.
+Result<std::vector<EquiJoin>> BuildQueryJoinSetFromSources(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const ExtractionOptions& options = {}, ExtractionStats* stats = nullptr,
+    std::vector<Status>* errors = nullptr);
+
+// A join with its occurrence count across the corpus — how often the
+// programs actually walk that navigation path. Useful to prioritize
+// expert attention (frequently-used links first).
+struct WeightedJoin {
+  EquiJoin join;  // canonical form
+  size_t occurrences = 0;
+};
+
+// Like BuildQueryJoinSetFromSources, but keeps per-join occurrence counts
+// (each extraction of the same canonical join in any statement counts).
+// Sorted by descending occurrences, then join order.
+Result<std::vector<WeightedJoin>> BuildWeightedJoinSetFromSources(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const ExtractionOptions& options = {}, ExtractionStats* stats = nullptr,
+    std::vector<Status>* errors = nullptr);
+
+}  // namespace dbre::sql
+
+#endif  // DBRE_SQL_SCANNER_H_

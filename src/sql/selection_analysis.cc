@@ -1,0 +1,244 @@
+#include "sql/selection_analysis.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/string_util.h"
+#include "sql/parser.h"
+#include "sql/scanner.h"
+
+namespace dbre::sql {
+
+std::string DiscriminatorCandidate::ToString() const {
+  std::string out = relation + "." + attribute + " in {" +
+                    Join(constants, ", ") + "} (" +
+                    std::to_string(statements) + " statements";
+  if (value_coverage >= 0.0) {
+    out += ", covers " + std::to_string(static_cast<int>(
+                             value_coverage * 100.0 + 0.5)) +
+           "% of values";
+  }
+  out += ")";
+  return out;
+}
+
+namespace {
+
+// (relation, attribute) → set of constant texts seen in this statement.
+using StatementFindings = std::map<std::pair<std::string, std::string>,
+                                   std::set<std::string>>;
+
+class SelectionWalker {
+ public:
+  SelectionWalker(const ExtractionOptions& resolution,
+                  StatementFindings* findings)
+      : resolution_(resolution), findings_(findings) {}
+
+  void WalkStatement(const SelectStatement& statement) {
+    scopes_.push_back(&statement.from);
+    for (const auto& condition : statement.join_conditions) {
+      WalkExpression(*condition);
+    }
+    if (statement.where != nullptr) WalkExpression(*statement.where);
+    if (statement.set_rhs != nullptr) WalkStatement(*statement.set_rhs);
+    scopes_.pop_back();
+  }
+
+ private:
+  void WalkExpression(const Expression& expr) {
+    switch (expr.kind) {
+      case Expression::Kind::kComparison:
+        if (expr.op == ComparisonOp::kEq) {
+          TryRecord(expr.lhs, expr.rhs);
+          TryRecord(expr.rhs, expr.lhs);
+        }
+        return;
+      case Expression::Kind::kAnd:
+      case Expression::Kind::kOr:
+      case Expression::Kind::kNot:
+        for (const auto& child : expr.children) WalkExpression(*child);
+        return;
+      case Expression::Kind::kInSubquery:
+      case Expression::Kind::kExists:
+        if (expr.subquery != nullptr) WalkStatement(*expr.subquery);
+        return;
+      default:
+        return;
+    }
+  }
+
+  void TryRecord(const Operand& column_side, const Operand& literal_side) {
+    if (column_side.kind != Operand::Kind::kColumn) return;
+    bool literal = literal_side.kind == Operand::Kind::kString ||
+                   literal_side.kind == Operand::Kind::kInteger ||
+                   literal_side.kind == Operand::Kind::kDecimal;
+    if (!literal) return;
+    std::optional<std::pair<std::string, std::string>> resolved =
+        Resolve(column_side.column);
+    if (!resolved.has_value()) return;
+    (*findings_)[*resolved].insert(literal_side.literal);
+  }
+
+  // Minimal resolution mirroring the extractor's rules.
+  std::optional<std::pair<std::string, std::string>> Resolve(
+      const ColumnRef& ref) const {
+    for (size_t depth = scopes_.size(); depth-- > 0;) {
+      const std::vector<TableRef>& from = *scopes_[depth];
+      if (!ref.qualifier.empty()) {
+        for (const TableRef& table_ref : from) {
+          const std::string& name = table_ref.alias.empty()
+                                        ? table_ref.table
+                                        : table_ref.alias;
+          if (name == ref.qualifier) {
+            return std::make_pair(table_ref.table, ref.column);
+          }
+        }
+        continue;
+      }
+      if (from.size() == 1) {
+        return std::make_pair(from[0].table, ref.column);
+      }
+      if (resolution_.catalog != nullptr) {
+        std::optional<std::pair<std::string, std::string>> found;
+        bool ambiguous = false;
+        for (const TableRef& table_ref : from) {
+          auto table = resolution_.catalog->GetTable(table_ref.table);
+          if (!table.ok()) continue;
+          if ((*table.value()).schema().HasAttribute(ref.column)) {
+            if (found.has_value()) {
+              ambiguous = true;
+              break;
+            }
+            found = std::make_pair(table_ref.table, ref.column);
+          }
+        }
+        if (found.has_value() && !ambiguous) return found;
+        if (ambiguous) return std::nullopt;
+      }
+    }
+    return std::nullopt;
+  }
+
+  const ExtractionOptions& resolution_;
+  StatementFindings* findings_;
+  std::vector<const std::vector<TableRef>*> scopes_;
+};
+
+// Fraction of the stored non-NULL values of relation.attribute that equal
+// one of `constants` (parsed at the column's type).
+Result<double> ComputeCoverage(const Database& catalog,
+                               const std::string& relation,
+                               const std::string& attribute,
+                               const std::vector<std::string>& constants) {
+  DBRE_ASSIGN_OR_RETURN(const Table* table, catalog.GetTable(relation));
+  DBRE_ASSIGN_OR_RETURN(DataType type,
+                        table->schema().AttributeType(attribute));
+  std::set<Value> values;
+  for (const std::string& constant : constants) {
+    auto parsed = Value::Parse(constant, type);
+    if (parsed.ok()) values.insert(std::move(parsed).value());
+  }
+  DBRE_ASSIGN_OR_RETURN(size_t index,
+                        table->schema().AttributeIndex(attribute));
+  size_t total = 0, covered = 0;
+  for (const ValueVector& row : table->rows()) {
+    if (row[index].is_null()) continue;
+    ++total;
+    if (values.contains(row[index])) ++covered;
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(covered) / static_cast<double>(total);
+}
+
+}  // namespace
+
+void CollectConstantSelections(
+    const SelectStatement& statement, const ExtractionOptions& resolution,
+    std::vector<DiscriminatorCandidate>* accumulator) {
+  StatementFindings findings;
+  SelectionWalker walker(resolution, &findings);
+  walker.WalkStatement(statement);
+  for (const auto& [key, constants] : findings) {
+    DiscriminatorCandidate candidate;
+    candidate.relation = key.first;
+    candidate.attribute = key.second;
+    candidate.constants.assign(constants.begin(), constants.end());
+    candidate.statements = 1;
+    accumulator->push_back(std::move(candidate));
+  }
+}
+
+Result<std::vector<DiscriminatorCandidate>> AnalyzeSelections(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const SelectionAnalysisOptions& options) {
+  ExtractionOptions resolution;
+  resolution.catalog = options.catalog;
+
+  // Gather per-statement findings across the corpus.
+  std::vector<DiscriminatorCandidate> raw;
+  for (const auto& [name, content] : sources) {
+    std::vector<EmbeddedStatement> statements;
+    if (EndsWith(ToLower(name), ".sql")) {
+      statements.push_back(EmbeddedStatement{content, 1});
+    } else {
+      statements = ScanProgramText(content);
+    }
+    for (const EmbeddedStatement& embedded : statements) {
+      std::vector<Status> errors;
+      auto parsed = ParseScript(embedded.text, &errors);
+      if (!parsed.ok()) continue;
+      for (const auto& statement : *parsed) {
+        CollectConstantSelections(*statement, resolution, &raw);
+      }
+    }
+  }
+
+  // Merge by attribute.
+  std::map<std::pair<std::string, std::string>, DiscriminatorCandidate>
+      merged;
+  for (DiscriminatorCandidate& candidate : raw) {
+    auto key = std::make_pair(candidate.relation, candidate.attribute);
+    auto it = merged.find(key);
+    if (it == merged.end()) {
+      merged.emplace(key, std::move(candidate));
+      continue;
+    }
+    DiscriminatorCandidate& existing = it->second;
+    existing.statements += candidate.statements;
+    std::vector<std::string> combined = existing.constants;
+    combined.insert(combined.end(), candidate.constants.begin(),
+                    candidate.constants.end());
+    std::sort(combined.begin(), combined.end());
+    combined.erase(std::unique(combined.begin(), combined.end()),
+                   combined.end());
+    existing.constants = std::move(combined);
+  }
+
+  // Filter and score.
+  std::vector<DiscriminatorCandidate> result;
+  for (auto& [key, candidate] : merged) {
+    if (candidate.constants.size() < options.min_constants) continue;
+    if (candidate.constants.size() > options.max_constants) continue;
+    if (options.catalog != nullptr) {
+      auto coverage =
+          ComputeCoverage(*options.catalog, candidate.relation,
+                          candidate.attribute, candidate.constants);
+      if (coverage.ok()) candidate.value_coverage = *coverage;
+    }
+    result.push_back(std::move(candidate));
+  }
+  std::sort(result.begin(), result.end(),
+            [](const DiscriminatorCandidate& a,
+               const DiscriminatorCandidate& b) {
+              if (a.statements != b.statements) {
+                return a.statements > b.statements;
+              }
+              return std::tie(a.relation, a.attribute) <
+                     std::tie(b.relation, b.attribute);
+            });
+  return result;
+}
+
+}  // namespace dbre::sql

@@ -1,0 +1,72 @@
+// Selection-predicate analysis — the paper's closing perspective.
+//
+// §8 suggests treating "the application programs of legacy systems ... as
+// oracles that help to discover the relevant information in the data
+// mines". Equi-joins give inter-object links (§6); this module harvests
+// the other recurring predicate family, *selections on constants*
+// (`WHERE type = 'M'`), which witnesses value-based specialization: an
+// attribute repeatedly compared against a small set of literals across the
+// program corpus is a candidate subtype discriminator (cf. the cognitive
+// patterns of Signore et al., the paper's ref [22]).
+//
+// The analysis reports, per (relation, attribute): the distinct constants
+// the programs compare it with, how many statements do so, and — when the
+// extension is available — what fraction of the stored values those
+// constants cover. High coverage by few constants = strong discriminator
+// evidence.
+#ifndef DBRE_SQL_SELECTION_ANALYSIS_H_
+#define DBRE_SQL_SELECTION_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/database.h"
+#include "sql/ast.h"
+#include "sql/extractor.h"
+
+namespace dbre::sql {
+
+struct DiscriminatorCandidate {
+  std::string relation;
+  std::string attribute;
+  // Distinct literal texts the programs compare the attribute with,
+  // sorted. (Rendered as in the source: strings unquoted, numbers as
+  // written.)
+  std::vector<std::string> constants;
+  size_t statements = 0;  // statements containing such a comparison
+  // Fraction of the relation's stored (non-NULL) values covered by the
+  // constants; -1 when no extension was supplied.
+  double value_coverage = -1.0;
+
+  std::string ToString() const;
+};
+
+struct SelectionAnalysisOptions {
+  // Only report attributes compared with at most this many distinct
+  // constants (discriminators have small domains).
+  size_t max_constants = 8;
+  // Require at least this many distinct constants (a single constant is a
+  // filter, not a partition).
+  size_t min_constants = 2;
+  const Database* catalog = nullptr;  // for resolution and coverage
+};
+
+// Harvests constant-equality selections from one parsed statement into
+// `accumulator` keyed by "relation.attribute" (exposed for streaming over
+// corpora); use AnalyzeSelections for the end-to-end path.
+void CollectConstantSelections(
+    const SelectStatement& statement, const ExtractionOptions& resolution,
+    std::vector<DiscriminatorCandidate>* accumulator);
+
+// Scans `sources` (name, content — same shapes as the scanner accepts),
+// merges per-attribute evidence, filters by the options, computes coverage
+// against the catalog's extension, and returns candidates sorted by
+// descending statement count.
+Result<std::vector<DiscriminatorCandidate>> AnalyzeSelections(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const SelectionAnalysisOptions& options = {});
+
+}  // namespace dbre::sql
+
+#endif  // DBRE_SQL_SELECTION_ANALYSIS_H_

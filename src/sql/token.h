@@ -1,0 +1,59 @@
+// Lexer for the legacy SQL subset found in application programs.
+//
+// Handles identifiers (bare or "quoted"), keywords (case-insensitive),
+// integer/decimal/string literals, host variables (:name, as found in
+// embedded SQL), punctuation and comparison operators, plus SQL comments
+// (-- to end of line and /* ... */).
+#ifndef DBRE_SQL_TOKEN_H_
+#define DBRE_SQL_TOKEN_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbre::sql {
+
+enum class TokenType {
+  kIdentifier,    // person, "Person"
+  kKeyword,       // SELECT, FROM, ... (text is uppercased)
+  kInteger,       // 42
+  kDecimal,       // 3.14
+  kString,        // 'text' (text is unescaped)
+  kHostVariable,  // :emp_no
+  kComma,
+  kDot,
+  kLeftParen,
+  kRightParen,
+  kEquals,        // =
+  kNotEquals,     // <> or !=
+  kLess,
+  kLessEquals,
+  kGreater,
+  kGreaterEquals,
+  kStar,          // *
+  kSemicolon,
+  kEnd,           // end of input
+};
+
+const char* TokenTypeName(TokenType type);
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // identifier/keyword/literal payload
+  size_t line = 1;    // 1-based position for diagnostics
+  size_t column = 1;
+
+  std::string ToString() const;
+};
+
+// True if `word` (any case) is one of the recognized SQL keywords.
+bool IsKeyword(std::string_view word);
+
+// Tokenizes `sql`; the result always ends with a kEnd token.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace dbre::sql
+
+#endif  // DBRE_SQL_TOKEN_H_

@@ -1,0 +1,87 @@
+// Synthetic denormalized databases with known ground truth.
+//
+// The paper evaluates on a hand-built example; to measure scaling (P1–P5)
+// and recovery quality (R1) we need arbitrarily sized inputs whose true
+// dependencies are known. The generator forward-engineers a conceptual
+// design and then denormalizes it, recording everything the DBRE method is
+// supposed to rediscover:
+//
+//   * `num_entities` base entities E_0..E_{n-1}; each E_i (i > 0)
+//     references a random earlier entity through a foreign-key attribute
+//     (kept as a plain non-key column — old dictionaries declare no FKs).
+//     Ground truth: R_i[fk] ≪ E_j[id] (key-based INDs).
+//   * `num_merged` additional entities are denormalized away: each merged
+//     entity M gets a *host* relation (gaining M's identifier and payload
+//     columns — ground-truth FD  host: m_id → payload) and a *referrer*
+//     relation (gaining just the identifier column). The identifier values
+//     of the host are a subset of the referrer's, so host[m_id] ≪
+//     referrer[m_id] is the ground-truth non-key IND whose analysis
+//     reveals the FD — exactly the paper's Department/HEmployee pattern.
+//     Hosts with zero payload attributes produce pure hidden objects.
+//   * the application workload: one equi-join per link, emitted both as
+//     structured EquiJoins and as embedded-SQL program sources (rotating
+//     through WHERE joins, JOIN..ON, IN subqueries and INTERSECT so the
+//     front end is exercised end to end), subsampled by `query_coverage`.
+//   * optional corruption: `orphan_rate` > 0 plants foreign-key values
+//     missing from the referenced relation, turning clean INDs into NEIs.
+//
+// Everything is driven by a seeded PRNG — same spec, same database.
+#ifndef DBRE_WORKLOAD_GENERATOR_H_
+#define DBRE_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "deps/fd.h"
+#include "deps/ind.h"
+#include "relational/attribute_set.h"
+#include "relational/database.h"
+#include "relational/equi_join.h"
+
+namespace dbre::workload {
+
+struct SyntheticSpec {
+  size_t num_entities = 5;        // base entities (≥ 2)
+  // The first num_composite_keys entities carry two-part keys (hi, lo);
+  // links to them become multi-attribute joins and INDs, exercising the
+  // positional-pairing paths end to end.
+  size_t num_composite_keys = 0;
+  size_t num_merged = 2;          // denormalized (merged-away) entities
+  size_t payload_per_entity = 2;  // non-key attributes per base entity
+  size_t payload_per_merged = 2;  // payload columns a merged entity carries
+  size_t rows_per_entity = 500;   // tuples per base relation
+  double query_coverage = 1.0;    // fraction of links with a query
+  double orphan_rate = 0.0;       // fraction of FK values made dangling
+  uint64_t seed = 42;
+
+  // Emit program sources (embedded SQL) in addition to structured joins.
+  bool emit_program_sources = true;
+
+  // Obfuscate link-attribute names: foreign-key columns become fk<i> and
+  // the two sides of a merged identifier get unrelated names. Query-guided
+  // discovery is unaffected (programs reference whatever names exist);
+  // name-matching heuristics lose their signal. Used by experiment A5.
+  bool obfuscate_names = false;
+};
+
+struct SyntheticDatabase {
+  Database database;
+  std::vector<EquiJoin> queries;  // the covered links, canonicalized
+  std::vector<std::pair<std::string, std::string>> program_sources;
+
+  // Ground truth to score recovery against.
+  std::vector<InclusionDependency> true_inds;      // all links (clean form)
+  std::vector<FunctionalDependency> true_fds;      // merged-entity FDs
+  std::vector<QualifiedAttributes> true_identifiers;  // non-key identifiers
+                                                       // (FD LHS + hidden)
+};
+
+// Generates a database per `spec`.
+Result<SyntheticDatabase> GenerateSynthetic(const SyntheticSpec& spec);
+
+}  // namespace dbre::workload
+
+#endif  // DBRE_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,187 @@
+#include "workload/library_example.h"
+
+#include <string>
+
+namespace dbre::workload {
+namespace {
+
+Status AddLibrarySchemas(Database* database) {
+  {
+    RelationSchema members("Members");
+    DBRE_RETURN_IF_ERROR(members.AddAttribute("id", DataType::kInt64));
+    DBRE_RETURN_IF_ERROR(members.AddAttribute("name", DataType::kString));
+    DBRE_RETURN_IF_ERROR(members.AddAttribute("status", DataType::kString));
+    DBRE_RETURN_IF_ERROR(members.DeclareUnique({"id"}));
+    DBRE_RETURN_IF_ERROR(database->CreateRelation(std::move(members)));
+  }
+  {
+    RelationSchema cardholders("Cardholders");
+    DBRE_RETURN_IF_ERROR(cardholders.AddAttribute("id", DataType::kInt64));
+    DBRE_RETURN_IF_ERROR(cardholders.AddAttribute("card_no",
+                                                  DataType::kString,
+                                                  /*not_null=*/true));
+    DBRE_RETURN_IF_ERROR(cardholders.DeclareUnique({"id"}));
+    DBRE_RETURN_IF_ERROR(database->CreateRelation(std::move(cardholders)));
+  }
+  {
+    RelationSchema books("Books");
+    DBRE_RETURN_IF_ERROR(books.AddAttribute("isbn", DataType::kString));
+    DBRE_RETURN_IF_ERROR(books.AddAttribute("title", DataType::kString));
+    DBRE_RETURN_IF_ERROR(books.AddAttribute("branch", DataType::kString));
+    DBRE_RETURN_IF_ERROR(
+        books.AddAttribute("branch_city", DataType::kString));
+    DBRE_RETURN_IF_ERROR(books.DeclareUnique({"isbn"}));
+    DBRE_RETURN_IF_ERROR(database->CreateRelation(std::move(books)));
+  }
+  {
+    RelationSchema staff("Staff");
+    DBRE_RETURN_IF_ERROR(staff.AddAttribute("emp", DataType::kInt64));
+    DBRE_RETURN_IF_ERROR(staff.AddAttribute("branch", DataType::kString));
+    DBRE_RETURN_IF_ERROR(staff.AddAttribute("role", DataType::kString));
+    DBRE_RETURN_IF_ERROR(staff.DeclareUnique({"emp"}));
+    DBRE_RETURN_IF_ERROR(database->CreateRelation(std::move(staff)));
+  }
+  {
+    RelationSchema loans("Loans");
+    DBRE_RETURN_IF_ERROR(loans.AddAttribute("loan", DataType::kInt64));
+    DBRE_RETURN_IF_ERROR(loans.AddAttribute("member", DataType::kInt64));
+    DBRE_RETURN_IF_ERROR(loans.AddAttribute("isbn", DataType::kString));
+    DBRE_RETURN_IF_ERROR(loans.AddAttribute("due", DataType::kString));
+    DBRE_RETURN_IF_ERROR(loans.DeclareUnique({"loan"}));
+    DBRE_RETURN_IF_ERROR(database->CreateRelation(std::move(loans)));
+  }
+  return Status::Ok();
+}
+
+Status PopulateLibraryData(Database* database) {
+  // Members and Cardholders share the id domain 1..200 exactly — the
+  // cyclic-IND case. status takes two values (the discriminator).
+  {
+    DBRE_ASSIGN_OR_RETURN(Table * members,
+                          database->GetMutableTable("Members"));
+    DBRE_ASSIGN_OR_RETURN(Table * cardholders,
+                          database->GetMutableTable("Cardholders"));
+    for (int64_t id = 1; id <= 200; ++id) {
+      DBRE_RETURN_IF_ERROR(members->Insert(
+          {Value::Int(id), Value::Text("m" + std::to_string(id)),
+           Value::Text(id % 5 == 0 ? "barred" : "active")}));
+      DBRE_RETURN_IF_ERROR(cardholders->Insert(
+          {Value::Int(id), Value::Text("C" + std::to_string(id))}));
+    }
+  }
+  // Books: 150 titles over branches B0..B7; branch determines branch_city
+  // EXCEPT for one corrupted tuple (isbn I42) — the extension violates the
+  // FD the expert will enforce.
+  {
+    DBRE_ASSIGN_OR_RETURN(Table * books, database->GetMutableTable("Books"));
+    for (int64_t i = 1; i <= 150; ++i) {
+      int64_t branch = i % 8;
+      std::string city = i == 42 ? "mispunched"
+                                 : "city" + std::to_string(branch % 4);
+      DBRE_RETURN_IF_ERROR(books->Insert(
+          {Value::Text("I" + std::to_string(i)),
+           Value::Text("t" + std::to_string(i)),
+           Value::Text("B" + std::to_string(branch)), Value::Text(city)}));
+    }
+  }
+  // Staff: 30 employees over branches B0..B9 (a superset of the books'
+  // branches, so Books[branch] ≪ Staff[branch] holds cleanly).
+  {
+    DBRE_ASSIGN_OR_RETURN(Table * staff, database->GetMutableTable("Staff"));
+    for (int64_t e = 1; e <= 30; ++e) {
+      DBRE_RETURN_IF_ERROR(staff->Insert(
+          {Value::Int(e), Value::Text("B" + std::to_string(e % 10)),
+           Value::Text("r" + std::to_string(e % 3))}));
+    }
+  }
+  // Loans: 395 clean loans covering members 1..150 and isbns I1..I120,
+  // plus 5 orphaned member references (900..904) — the dirty foreign key
+  // that becomes an NEI. The multipliers are coprime with the cycle
+  // lengths so no accidental FDs arise (e.g. member ↛ due needs two loans
+  // of one member with different due values).
+  {
+    DBRE_ASSIGN_OR_RETURN(Table * loans, database->GetMutableTable("Loans"));
+    for (int64_t loan = 1; loan <= 395; ++loan) {
+      DBRE_RETURN_IF_ERROR(loans->Insert(
+          {Value::Int(loan), Value::Int(1 + (loan * 7) % 150),
+           Value::Text("I" + std::to_string(1 + (loan * 11) % 120)),
+           Value::Text("d" + std::to_string(loan % 7))}));
+    }
+    for (int64_t k = 0; k < 5; ++k) {
+      DBRE_RETURN_IF_ERROR(loans->Insert(
+          {Value::Int(396 + k), Value::Int(900 + k),
+           Value::Text("I" + std::to_string(1 + k)),
+           Value::Text("d" + std::to_string(k))}));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Database> BuildLibraryDatabase() {
+  Database database;
+  DBRE_RETURN_IF_ERROR(AddLibrarySchemas(&database));
+  DBRE_RETURN_IF_ERROR(PopulateLibraryData(&database));
+  return database;
+}
+
+std::vector<std::pair<std::string, std::string>> LibraryProgramSources() {
+  std::vector<std::pair<std::string, std::string>> sources;
+  sources.emplace_back("loans.pc", R"(
+void overdue_list(void) {
+  EXEC SQL SELECT m.name, l.due
+           FROM Loans l, Members m
+           WHERE l.member = m.id AND l.due = :today;
+}
+void loaned_titles(void) {
+  EXEC SQL SELECT b.title FROM Loans l JOIN Books b ON l.isbn = b.isbn;
+}
+)");
+  sources.emplace_back("membership.sql", R"(
+-- members who do hold a card (the sets coincide, in fact)
+SELECT id FROM Members
+INTERSECT
+SELECT id FROM Cardholders;
+
+-- the status codes the counter application cares about
+SELECT name FROM Members WHERE status = 'active';
+SELECT name FROM Members WHERE status = 'barred';
+)");
+  sources.emplace_back("catalog.pc", R"(
+void staffed_branches(void) {
+  EXEC SQL SELECT title FROM Books
+           WHERE branch IN (SELECT branch FROM Staff);
+}
+)");
+  return sources;
+}
+
+std::vector<EquiJoin> LibraryJoinSet() {
+  std::vector<EquiJoin> joins;
+  joins.push_back(EquiJoin::Single("Loans", "member", "Members", "id"));
+  joins.push_back(EquiJoin::Single("Loans", "isbn", "Books", "isbn"));
+  joins.push_back(EquiJoin::Single("Members", "id", "Cardholders", "id"));
+  joins.push_back(EquiJoin::Single("Books", "branch", "Staff", "branch"));
+  return CanonicalJoinSet(joins);
+}
+
+std::unique_ptr<ScriptedOracle> LibraryOracle() {
+  auto oracle = std::make_unique<ScriptedOracle>();
+  // The orphaned member references make Loans-Members an NEI; the expert
+  // disregards the extension and asserts the inclusion (§6.1 case (vi)).
+  oracle->ScriptNei(
+      EquiJoin::Single("Loans", "member", "Members", "id")
+          .Canonicalize()
+          .ToString(),
+      NeiDecision{NeiAction::kForceLeftInRight, ""});
+  // The corrupted Books tuple breaks branch → branch_city; the expert
+  // enforces it anyway (§6.2.2 case (ii)).
+  oracle->ScriptEnforceFd("Books: {branch} -> {branch_city}", true);
+  // Names for the restructured relations.
+  oracle->ScriptFdRelationName("Books: {branch} -> {branch_city}",
+                               "Branch");
+  return oracle;
+}
+
+}  // namespace dbre::workload

@@ -1,0 +1,58 @@
+// A second fully-worked legacy database: the municipal library.
+//
+// Where the paper's HR example exercises the happy paths (clean
+// inclusions, one NEI conceptualization, hidden objects), this scenario is
+// engineered to hit the *other* expert-decision branches in one coherent
+// session:
+//   * a dirty foreign key (Loans.member has orphans) → NEI resolved by
+//     FORCING the inclusion (§6.1 case (vi));
+//   * a corrupted denormalized attribute (one Loans row contradicts
+//     branch → branch_city) → the expert ENFORCES the failed FD
+//     (§6.2.2 case (ii));
+//   * two relations over the same identifier domain (Members / Cardholders
+//     with equal id sets) → cyclic INDs → mutual is-a, collapsible by the
+//     is-a cycle merge;
+//   * a status attribute compared against a small constant set in the
+//     programs → a discriminator candidate for the selection analysis.
+//
+// Ground truth for assertions is exposed alongside the builders.
+#ifndef DBRE_WORKLOAD_LIBRARY_EXAMPLE_H_
+#define DBRE_WORKLOAD_LIBRARY_EXAMPLE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/oracle.h"
+#include "relational/database.h"
+#include "relational/equi_join.h"
+
+namespace dbre::workload {
+
+// Schema:
+//   Members(id*, name, status)                 key {id}
+//   Cardholders(id*, card_no°)                 key {id}; same id domain
+//   Books(isbn*, title, branch, branch_city)   key {isbn}; branch → city
+//                                              (with 1 corrupted row)
+//   Loans(loan*, member, isbn, due)            key {loan}; member has 5
+//                                              orphan values
+Result<Database> BuildLibraryDatabase();
+
+// Application programs: joins Loans-Members, Loans-Books,
+// Members-Cardholders (INTERSECT idiom), Books self-branch navigation via
+// a second reference, plus status selections ('active'/'barred').
+std::vector<std::pair<std::string, std::string>> LibraryProgramSources();
+
+// The equi-join set the programs yield (canonicalized).
+std::vector<EquiJoin> LibraryJoinSet();
+
+// The expert session: forces Loans[member] ≪ Members[id] despite the
+// orphans, enforces Books: branch → branch_city despite the corrupted
+// row, declines all hidden objects except Books.{branch}.
+std::unique_ptr<ScriptedOracle> LibraryOracle();
+
+}  // namespace dbre::workload
+
+#endif  // DBRE_WORKLOAD_LIBRARY_EXAMPLE_H_

@@ -1,0 +1,68 @@
+#include "workload/metrics.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace dbre::workload {
+namespace {
+
+template <typename T>
+PrecisionRecall CompareSets(std::set<T> recovered, std::set<T> truth) {
+  PrecisionRecall pr;
+  for (const T& item : recovered) {
+    if (truth.contains(item)) {
+      ++pr.true_positives;
+    } else {
+      ++pr.false_positives;
+    }
+  }
+  for (const T& item : truth) {
+    if (!recovered.contains(item)) ++pr.false_negatives;
+  }
+  return pr;
+}
+
+std::set<FunctionalDependency> SplitToSingletons(
+    const std::vector<FunctionalDependency>& fds) {
+  std::set<FunctionalDependency> out;
+  for (const FunctionalDependency& fd : fds) {
+    for (const std::string& attribute : fd.rhs) {
+      out.insert(FunctionalDependency(fd.relation, fd.lhs,
+                                      AttributeSet::Single(attribute)));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PrecisionRecall::ToString() const {
+  std::ostringstream os;
+  os << "P=" << Precision() << " R=" << Recall() << " F1=" << F1() << " (tp="
+     << true_positives << " fp=" << false_positives << " fn="
+     << false_negatives << ")";
+  return os.str();
+}
+
+PrecisionRecall CompareInds(const std::vector<InclusionDependency>& recovered,
+                            const std::vector<InclusionDependency>& truth) {
+  return CompareSets(
+      std::set<InclusionDependency>(recovered.begin(), recovered.end()),
+      std::set<InclusionDependency>(truth.begin(), truth.end()));
+}
+
+PrecisionRecall CompareFds(const std::vector<FunctionalDependency>& recovered,
+                           const std::vector<FunctionalDependency>& truth) {
+  return CompareSets(SplitToSingletons(recovered), SplitToSingletons(truth));
+}
+
+PrecisionRecall CompareQualified(
+    const std::vector<QualifiedAttributes>& recovered,
+    const std::vector<QualifiedAttributes>& truth) {
+  return CompareSets(
+      std::set<QualifiedAttributes>(recovered.begin(), recovered.end()),
+      std::set<QualifiedAttributes>(truth.begin(), truth.end()));
+}
+
+}  // namespace dbre::workload

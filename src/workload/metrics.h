@@ -1,0 +1,51 @@
+// Recovery-quality metrics: how much of the ground truth did the method
+// rediscover (experiment R1)?
+#ifndef DBRE_WORKLOAD_METRICS_H_
+#define DBRE_WORKLOAD_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "deps/fd.h"
+#include "deps/ind.h"
+#include "relational/attribute_set.h"
+
+namespace dbre::workload {
+
+struct PrecisionRecall {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+
+  double Precision() const {
+    size_t denom = true_positives + false_positives;
+    return denom == 0 ? 1.0 : static_cast<double>(true_positives) / denom;
+  }
+  double Recall() const {
+    size_t denom = true_positives + false_negatives;
+    return denom == 0 ? 1.0 : static_cast<double>(true_positives) / denom;
+  }
+  double F1() const {
+    double p = Precision(), r = Recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+  std::string ToString() const;
+};
+
+// Set comparison on exact IND equality.
+PrecisionRecall CompareInds(const std::vector<InclusionDependency>& recovered,
+                            const std::vector<InclusionDependency>& truth);
+
+// FDs are compared after splitting to singleton right-hand sides, so
+// R: a → bc counts as recovering both R: a → b and R: a → c.
+PrecisionRecall CompareFds(const std::vector<FunctionalDependency>& recovered,
+                           const std::vector<FunctionalDependency>& truth);
+
+// Qualified attribute sets (identifiers / hidden objects).
+PrecisionRecall CompareQualified(
+    const std::vector<QualifiedAttributes>& recovered,
+    const std::vector<QualifiedAttributes>& truth);
+
+}  // namespace dbre::workload
+
+#endif  // DBRE_WORKLOAD_METRICS_H_

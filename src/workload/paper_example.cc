@@ -1,0 +1,243 @@
+#include "workload/paper_example.h"
+
+#include <string>
+
+namespace dbre::workload {
+namespace {
+
+Status AddPaperSchemas(Database* database) {
+  {
+    RelationSchema person("Person");
+    DBRE_RETURN_IF_ERROR(person.AddAttribute("id", DataType::kInt64));
+    DBRE_RETURN_IF_ERROR(person.AddAttribute("name", DataType::kString));
+    DBRE_RETURN_IF_ERROR(person.AddAttribute("street", DataType::kString));
+    DBRE_RETURN_IF_ERROR(person.AddAttribute("number", DataType::kInt64));
+    DBRE_RETURN_IF_ERROR(person.AddAttribute("zip-code", DataType::kString));
+    DBRE_RETURN_IF_ERROR(person.AddAttribute("state", DataType::kString));
+    DBRE_RETURN_IF_ERROR(person.DeclareUnique({"id"}));
+    DBRE_RETURN_IF_ERROR(database->CreateRelation(std::move(person)));
+  }
+  {
+    RelationSchema hemployee("HEmployee");
+    DBRE_RETURN_IF_ERROR(hemployee.AddAttribute("no", DataType::kInt64));
+    DBRE_RETURN_IF_ERROR(hemployee.AddAttribute("date", DataType::kString));
+    DBRE_RETURN_IF_ERROR(
+        hemployee.AddAttribute("salary", DataType::kDouble));
+    DBRE_RETURN_IF_ERROR(hemployee.DeclareUnique({"no", "date"}));
+    DBRE_RETURN_IF_ERROR(database->CreateRelation(std::move(hemployee)));
+  }
+  {
+    RelationSchema department("Department");
+    DBRE_RETURN_IF_ERROR(department.AddAttribute("dep", DataType::kString));
+    DBRE_RETURN_IF_ERROR(department.AddAttribute("emp", DataType::kInt64));
+    DBRE_RETURN_IF_ERROR(
+        department.AddAttribute("skill", DataType::kString));
+    DBRE_RETURN_IF_ERROR(department.AddAttribute("location",
+                                                 DataType::kString,
+                                                 /*not_null=*/true));
+    DBRE_RETURN_IF_ERROR(department.AddAttribute("proj", DataType::kString));
+    DBRE_RETURN_IF_ERROR(department.DeclareUnique({"dep"}));
+    DBRE_RETURN_IF_ERROR(database->CreateRelation(std::move(department)));
+  }
+  {
+    RelationSchema assignment("Assignment");
+    DBRE_RETURN_IF_ERROR(assignment.AddAttribute("emp", DataType::kInt64));
+    DBRE_RETURN_IF_ERROR(assignment.AddAttribute("dep", DataType::kString));
+    DBRE_RETURN_IF_ERROR(assignment.AddAttribute("proj", DataType::kString));
+    DBRE_RETURN_IF_ERROR(assignment.AddAttribute("date", DataType::kString));
+    DBRE_RETURN_IF_ERROR(
+        assignment.AddAttribute("project-name", DataType::kString));
+    DBRE_RETURN_IF_ERROR(assignment.DeclareUnique({"emp", "dep", "proj"}));
+    DBRE_RETURN_IF_ERROR(database->CreateRelation(std::move(assignment)));
+  }
+  return Status::Ok();
+}
+
+Status PopulatePaperData(Database* database) {
+  // Person: 2200 tuples, ids 1..2200. zip-code determines state (the FD
+  // the method must NOT elicit — nobody joins on zip-code).
+  {
+    DBRE_ASSIGN_OR_RETURN(Table * person,
+                          database->GetMutableTable("Person"));
+    for (int64_t id = 1; id <= 2200; ++id) {
+      int64_t zip = id % 50;
+      DBRE_RETURN_IF_ERROR(person->Insert(
+          {Value::Int(id), Value::Text("name_" + std::to_string(id)),
+           Value::Text("street_" + std::to_string(id % 40)),
+           Value::Int(id % 100), Value::Text("Z" + std::to_string(zip)),
+           Value::Text("S" + std::to_string(zip % 7))}));
+    }
+  }
+  // HEmployee: numbers 1..1550 ⊆ Person ids. Every third employee has a
+  // second historized tuple with a different salary, so no ↛ salary —
+  // the Employee object stays hidden behind the key {no, date}.
+  {
+    DBRE_ASSIGN_OR_RETURN(Table * hemployee,
+                          database->GetMutableTable("HEmployee"));
+    for (int64_t no = 1; no <= 1550; ++no) {
+      DBRE_RETURN_IF_ERROR(hemployee->Insert(
+          {Value::Int(no), Value::Text("2020-01-01"),
+           Value::Real(1000.0 + static_cast<double>(no % 500))}));
+      if (no % 3 == 0) {
+        DBRE_RETURN_IF_ERROR(hemployee->Insert(
+            {Value::Int(no), Value::Text("2021-06-15"),
+             Value::Real(1100.0 + static_cast<double>(no % 500))}));
+      }
+    }
+  }
+  // Department: 35 tuples. 30 dep values shared with Assignment ("D1".."D30")
+  // plus 5 private ones ("X1".."X5") → the NEI of §6.1. Managers (emp)
+  // repeat across departments, are drawn from HEmployee numbers, and every
+  // seventh department has no manager (NULL emp — which is why `location`
+  // gets pruned from emp's candidate RHS). skill and proj are functions of
+  // emp (emp → skill, proj holds); proj = P(emp mod 6) collides across
+  // managers, so proj ↛ emp and proj ↛ skill.
+  {
+    DBRE_ASSIGN_OR_RETURN(Table * department,
+                          database->GetMutableTable("Department"));
+    for (int64_t i = 1; i <= 35; ++i) {
+      std::string dep =
+          i <= 30 ? "D" + std::to_string(i) : "X" + std::to_string(i - 30);
+      Value emp = Value::Null();
+      Value skill = Value::Null();
+      Value proj = Value::Null();
+      if (i % 7 != 0) {
+        int64_t manager = 100 + (i % 12);
+        emp = Value::Int(manager);
+        skill = Value::Text("sk" + std::to_string(manager % 4));
+        proj = Value::Text("P" + std::to_string(manager % 6));
+      }
+      DBRE_RETURN_IF_ERROR(department->Insert(
+          {Value::Text(dep), emp, skill,
+           Value::Text("loc_" + std::to_string(i % 9)), proj}));
+    }
+  }
+  // Assignment: two tuples per employee 1..1200. 300 distinct dep values,
+  // 50 distinct proj values; project-name is a function of proj (the FD to
+  // elicit) while emp/dep/proj determine nothing else.
+  {
+    DBRE_ASSIGN_OR_RETURN(Table * assignment,
+                          database->GetMutableTable("Assignment"));
+    auto project_name = [](int64_t proj) {
+      return "project_" + std::to_string(proj);
+    };
+    for (int64_t e = 1; e <= 1200; ++e) {
+      int64_t proj1 = e % 50;
+      DBRE_RETURN_IF_ERROR(assignment->Insert(
+          {Value::Int(e), Value::Text("D" + std::to_string(1 + (e * 7) % 300)),
+           Value::Text("P" + std::to_string(proj1)),
+           Value::Text("d" + std::to_string(e % 9)),
+           Value::Text(project_name(proj1))}));
+      int64_t proj2 = (e + 17) % 50;
+      DBRE_RETURN_IF_ERROR(assignment->Insert(
+          {Value::Int(e),
+           Value::Text("D" + std::to_string(1 + (e * 13) % 300)),
+           Value::Text("P" + std::to_string(proj2)),
+           Value::Text("d" + std::to_string((e + 1) % 9)),
+           Value::Text(project_name(proj2))}));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Database> BuildPaperSchema() {
+  Database database;
+  DBRE_RETURN_IF_ERROR(AddPaperSchemas(&database));
+  return database;
+}
+
+Result<Database> BuildPaperDatabase() {
+  DBRE_ASSIGN_OR_RETURN(Database database, BuildPaperSchema());
+  DBRE_RETURN_IF_ERROR(PopulatePaperData(&database));
+  return database;
+}
+
+std::vector<std::pair<std::string, std::string>> PaperProgramSources() {
+  std::vector<std::pair<std::string, std::string>> sources;
+  // Embedded-SQL payroll program: the HEmployee—Person join, with aliases.
+  sources.emplace_back("payroll.pc", R"(
+/* Monthly payroll listing. */
+int print_payroll(void) {
+  EXEC SQL SELECT p.name, h.salary
+           FROM HEmployee h, Person p
+           WHERE h.no = p.id AND h.date = '2020-01-01';
+  return 0;
+}
+)");
+  // Staffing program: Department—HEmployee twice (flat join and nested IN).
+  sources.emplace_back("staffing.pc", R"(
+void list_managers(void) {
+  EXEC SQL SELECT d.location
+           FROM Department d, HEmployee h
+           WHERE d.emp = h.no;
+}
+void skilled_managers(void) {
+  EXEC SQL SELECT skill FROM Department
+           WHERE emp IN (SELECT no FROM HEmployee
+                         WHERE salary >= :minsal);
+}
+)");
+  // Reporting script: Assignment—HEmployee, explicit JOIN syntax for
+  // Assignment—Department, and the INTERSECT idiom for the proj link.
+  sources.emplace_back("reports.sql", R"(
+-- employees with assignments
+SELECT h.salary
+FROM Assignment a, HEmployee h
+WHERE a.emp = h.no;
+
+-- assigned departments
+SELECT a.date
+FROM Assignment a JOIN Department d ON a.dep = d.dep;
+
+-- projects both assigned and managed
+SELECT proj FROM Department
+INTERSECT
+SELECT proj FROM Assignment;
+)");
+  // Call-level-interface style: the join lives in a C string literal.
+  sources.emplace_back("audit.c", R"(
+static const char *kQuery =
+    "SELECT d.dep FROM Department d, Assignment a "
+    "WHERE d.proj = a.proj";
+)");
+  return sources;
+}
+
+std::vector<EquiJoin> PaperJoinSet() {
+  std::vector<EquiJoin> joins;
+  joins.push_back(EquiJoin::Single("HEmployee", "no", "Person", "id"));
+  joins.push_back(EquiJoin::Single("Department", "emp", "HEmployee", "no"));
+  joins.push_back(EquiJoin::Single("Assignment", "emp", "HEmployee", "no"));
+  joins.push_back(EquiJoin::Single("Assignment", "dep", "Department", "dep"));
+  joins.push_back(
+      EquiJoin::Single("Department", "proj", "Assignment", "proj"));
+  return CanonicalJoinSet(joins);
+}
+
+std::unique_ptr<ScriptedOracle> PaperOracle() {
+  auto oracle = std::make_unique<ScriptedOracle>();
+  // §6.1: conceptualize the departments assigned to both projects and
+  // employees as Ass-Dept.
+  oracle->ScriptNei(
+      EquiJoin::Single("Assignment", "dep", "Department", "dep")
+          .Canonicalize()
+          .ToString(),
+      NeiDecision{NeiAction::kConceptualize, "Ass-Dept"});
+  // §6.2.2: HEmployee.{no} is the hidden Employee object; the expert gives
+  // up Assignment.{emp} and Department.{proj}.
+  oracle->ScriptHiddenObject("HEmployee.{no}", true);
+  oracle->ScriptHiddenObject("Assignment.{emp}", false);
+  oracle->ScriptHiddenObject("Department.{proj}", false);
+  // §7: application-domain names for the materialized relations.
+  oracle->ScriptHiddenRelationName("HEmployee.{no}", "Employee");
+  oracle->ScriptHiddenRelationName("Assignment.{dep}", "Other-Dept");
+  oracle->ScriptFdRelationName("Department: {emp} -> {proj, skill}",
+                               "Manager");
+  oracle->ScriptFdRelationName("Assignment: {proj} -> {project-name}",
+                               "Project");
+  return oracle;
+}
+
+}  // namespace dbre::workload

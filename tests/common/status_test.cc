@@ -1,0 +1,114 @@
+#include "common/status.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace dbre {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = NotFoundError("no relation Foo");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "no relation Foo");
+  EXPECT_EQ(status.ToString(), "not_found: no relation Foo");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(NotFoundError("a"), NotFoundError("a"));
+  EXPECT_FALSE(NotFoundError("a") == NotFoundError("b"));
+  EXPECT_FALSE(NotFoundError("a") == InvalidArgumentError("a"));
+}
+
+TEST(StatusTest, StreamsToOstream) {
+  std::ostringstream os;
+  os << ParseError("bad token");
+  EXPECT_EQ(os.str(), "parse_error: bad token");
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = NotFoundError("missing");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MovesValueOut) {
+  Result<std::string> result = std::string("payload");
+  ASSERT_TRUE(result.ok());
+  std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, ArrowOperatesOnValue) {
+  Result<std::string> result = std::string("abc");
+  EXPECT_EQ(result->size(), 3u);
+}
+
+namespace helpers {
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return InvalidArgumentError("not positive");
+  return x;
+}
+
+Status UsesReturnIfError(int x) {
+  DBRE_RETURN_IF_ERROR(ParsePositive(x).status());
+  return Status::Ok();
+}
+
+Result<int> UsesAssignOrReturn(int x) {
+  DBRE_ASSIGN_OR_RETURN(int value, ParsePositive(x));
+  return value + 1;
+}
+
+}  // namespace helpers
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(helpers::UsesReturnIfError(1).ok());
+  EXPECT_EQ(helpers::UsesReturnIfError(-1).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  auto ok = helpers::UsesAssignOrReturn(2);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 3);
+  EXPECT_EQ(helpers::UsesAssignOrReturn(0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dbre

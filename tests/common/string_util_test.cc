@@ -1,0 +1,57 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace dbre {
+namespace {
+
+TEST(SplitTest, SplitsOnDelimiter) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyPieces) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyPiece) {
+  EXPECT_EQ(Split("", ','), std::vector<std::string>{""});
+}
+
+TEST(SplitAndTrimTest, TrimsAndDropsEmpty) {
+  EXPECT_EQ(SplitAndTrim(" a , , b ", ','),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(TrimWhitespaceTest, TrimsBothEnds) {
+  EXPECT_EQ(TrimWhitespace("  x y  "), "x y");
+  EXPECT_EQ(TrimWhitespace("\t\n"), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(CaseTest, LowerUpper) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("SeLeCt"), "SELECT");
+}
+
+TEST(CaseTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("EXEC SQL", "exec sql"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "ab"));
+}
+
+TEST(AffixTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("SELECT *", "SELECT"));
+  EXPECT_FALSE(StartsWith("SEL", "SELECT"));
+  EXPECT_TRUE(EndsWith("report.sql", ".sql"));
+  EXPECT_FALSE(EndsWith("sql", ".sql"));
+}
+
+}  // namespace
+}  // namespace dbre

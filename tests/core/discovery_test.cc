@@ -1,0 +1,352 @@
+// Unit tests for IND-Discovery, LHS-Discovery and RHS-Discovery on small
+// hand-built databases covering every branch of the §6 algorithms.
+#include <gtest/gtest.h>
+
+#include "core/ind_discovery.h"
+#include "core/lhs_discovery.h"
+#include "core/rhs_discovery.h"
+
+namespace dbre {
+namespace {
+
+// Orders(ord*, cust, item, item_label) and Customers(id*, name):
+//   Orders.cust ⊆ Customers.id; item → item_label holds.
+Database MakeOrdersDatabase(bool with_orphan) {
+  Database db;
+  RelationSchema orders("Orders");
+  EXPECT_TRUE(orders.AddAttribute("ord", DataType::kInt64).ok());
+  EXPECT_TRUE(orders.AddAttribute("cust", DataType::kInt64).ok());
+  EXPECT_TRUE(orders.AddAttribute("item", DataType::kInt64).ok());
+  EXPECT_TRUE(orders.AddAttribute("item_label", DataType::kString).ok());
+  EXPECT_TRUE(orders.DeclareUnique({"ord"}).ok());
+  EXPECT_TRUE(db.CreateRelation(std::move(orders)).ok());
+
+  RelationSchema customers("Customers");
+  EXPECT_TRUE(customers.AddAttribute("id", DataType::kInt64).ok());
+  EXPECT_TRUE(customers.AddAttribute("name", DataType::kString).ok());
+  EXPECT_TRUE(customers.DeclareUnique({"id"}).ok());
+  EXPECT_TRUE(db.CreateRelation(std::move(customers)).ok());
+
+  Table* orders_table = *db.GetMutableTable("Orders");
+  for (int64_t o = 1; o <= 20; ++o) {
+    int64_t cust = 1 + o % 5;
+    int64_t item = o % 4;
+    EXPECT_TRUE(orders_table
+                    ->Insert({Value::Int(o), Value::Int(cust),
+                              Value::Int(item),
+                              Value::Text("item" + std::to_string(item))})
+                    .ok());
+  }
+  if (with_orphan) {
+    EXPECT_TRUE(orders_table
+                    ->Insert({Value::Int(21), Value::Int(99), Value::Int(0),
+                              Value::Text("item0")})
+                    .ok());
+  }
+  Table* customers_table = *db.GetMutableTable("Customers");
+  for (int64_t c = 1; c <= 8; ++c) {
+    EXPECT_TRUE(customers_table
+                    ->Insert({Value::Int(c),
+                              Value::Text("cust" + std::to_string(c))})
+                    .ok());
+  }
+  return db;
+}
+
+EquiJoin CustJoin() {
+  return EquiJoin::Single("Orders", "cust", "Customers", "id");
+}
+
+TEST(IndDiscoveryTest, CleanInclusionElicitsInd) {
+  Database db = MakeOrdersDatabase(/*with_orphan=*/false);
+  DefaultOracle oracle;
+  auto result = DiscoverInds(&db, {CustJoin()}, &oracle);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->inds.size(), 1u);
+  EXPECT_EQ(result->inds[0].ToString(), "Orders[cust] << Customers[id]");
+  ASSERT_EQ(result->outcomes.size(), 1u);
+  EXPECT_EQ(result->outcomes[0].kind, JoinOutcomeKind::kLeftIncluded);
+  EXPECT_EQ(result->extension_queries, 3u);
+  EXPECT_TRUE(result->new_relations.empty());
+}
+
+TEST(IndDiscoveryTest, EqualValueSetsElicitBothDirections) {
+  Database db = MakeOrdersDatabase(false);
+  // Shrink Customers to exactly the referenced ids {2,3,4,5,1} → equal sets.
+  Table* customers = *db.GetMutableTable("Customers");
+  customers->Clear();
+  for (int64_t c = 1; c <= 5; ++c) {
+    ASSERT_TRUE(customers
+                    ->Insert({Value::Int(c),
+                              Value::Text("c" + std::to_string(c))})
+                    .ok());
+  }
+  DefaultOracle oracle;
+  auto result = DiscoverInds(&db, {CustJoin()}, &oracle);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->inds.size(), 2u);
+  EXPECT_EQ(result->outcomes[0].kind, JoinOutcomeKind::kBothIncluded);
+}
+
+TEST(IndDiscoveryTest, EmptyIntersectionElicitsNothing) {
+  Database db = MakeOrdersDatabase(false);
+  Table* customers = *db.GetMutableTable("Customers");
+  customers->Clear();
+  for (int64_t c = 100; c <= 105; ++c) {
+    ASSERT_TRUE(customers
+                    ->Insert({Value::Int(c),
+                              Value::Text("c" + std::to_string(c))})
+                    .ok());
+  }
+  DefaultOracle oracle;
+  auto result = DiscoverInds(&db, {CustJoin()}, &oracle);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->inds.empty());
+  EXPECT_EQ(result->outcomes[0].kind, JoinOutcomeKind::kEmptyIntersection);
+}
+
+TEST(IndDiscoveryTest, NeiIgnoredByDefaultOracle) {
+  Database db = MakeOrdersDatabase(/*with_orphan=*/true);
+  DefaultOracle oracle;
+  auto result = DiscoverInds(&db, {CustJoin()}, &oracle);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->inds.empty());
+  EXPECT_EQ(result->outcomes[0].kind, JoinOutcomeKind::kNeiIgnored);
+}
+
+TEST(IndDiscoveryTest, NeiForcedDirection) {
+  Database db = MakeOrdersDatabase(true);
+  ScriptedOracle oracle;
+  // The script is keyed by the join exactly as DiscoverInds receives it;
+  // "left in right" is relative to that rendering.
+  oracle.ScriptNei(CustJoin().ToString(),
+                   NeiDecision{NeiAction::kForceLeftInRight, ""});
+  auto result = DiscoverInds(&db, {CustJoin()}, &oracle);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->inds.size(), 1u);
+  EXPECT_EQ(result->inds[0].ToString(), "Orders[cust] << Customers[id]");
+  EXPECT_EQ(result->outcomes[0].kind, JoinOutcomeKind::kNeiForced);
+}
+
+TEST(IndDiscoveryTest, NeiConceptualizedCreatesRelation) {
+  Database db = MakeOrdersDatabase(true);
+  ScriptedOracle oracle;
+  oracle.ScriptNei(CustJoin().Canonicalize().ToString(),
+                   NeiDecision{NeiAction::kConceptualize, "ActiveCust"});
+  auto result = DiscoverInds(&db, {CustJoin()}, &oracle);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->new_relations, std::vector<std::string>{"ActiveCust"});
+  ASSERT_TRUE(db.HasRelation("ActiveCust"));
+  const Table& active = **db.GetTable("ActiveCust");
+  EXPECT_EQ(active.num_rows(), 5u);  // ids 1..5 (99 is dangling)
+  EXPECT_TRUE(active.schema().IsKey(AttributeSet{"cust"}));
+  // Both INDs hold by construction.
+  for (const InclusionDependency& ind : result->inds) {
+    EXPECT_TRUE(*Satisfies(db, ind)) << ind.ToString();
+  }
+  EXPECT_EQ(result->inds.size(), 2u);
+}
+
+TEST(IndDiscoveryTest, AutoDerivedIntersectionName) {
+  Database db = MakeOrdersDatabase(true);
+  ScriptedOracle oracle;
+  oracle.ScriptNei(CustJoin().Canonicalize().ToString(),
+                   NeiDecision{NeiAction::kConceptualize, ""});
+  auto result = DiscoverInds(&db, {CustJoin()}, &oracle);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->new_relations.size(), 1u);
+  EXPECT_EQ(result->new_relations[0], "Orders_Customers_cust");
+}
+
+TEST(IndDiscoveryTest, InvalidJoinsSkippedOrFatal) {
+  Database db = MakeOrdersDatabase(false);
+  DefaultOracle oracle;
+  EquiJoin bad = EquiJoin::Single("Orders", "cust", "Nope", "id");
+  auto result = DiscoverInds(&db, {bad, CustJoin()}, &oracle);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcomes[0].kind, JoinOutcomeKind::kError);
+  EXPECT_EQ(result->inds.size(), 1u);
+
+  IndDiscoveryOptions options;
+  options.skip_invalid_joins = false;
+  EXPECT_FALSE(DiscoverInds(&db, {bad}, &oracle, options).ok());
+}
+
+TEST(IndDiscoveryTest, NullArgumentsRejected) {
+  Database db = MakeOrdersDatabase(false);
+  DefaultOracle oracle;
+  EXPECT_FALSE(DiscoverInds(nullptr, {}, &oracle).ok());
+  EXPECT_FALSE(DiscoverInds(&db, {}, nullptr).ok());
+}
+
+TEST(LhsDiscoveryTest, NonKeySidesBecomeCandidates) {
+  Database db = MakeOrdersDatabase(false);
+  std::vector<InclusionDependency> inds = {
+      InclusionDependency::Single("Orders", "cust", "Customers", "id")};
+  LhsDiscoveryResult result = DiscoverLhs(db, {}, inds);
+  ASSERT_EQ(result.lhs.size(), 1u);
+  EXPECT_EQ(result.lhs[0].ToString(), "Orders.{cust}");  // id is a key
+  EXPECT_TRUE(result.hidden.empty());
+}
+
+TEST(LhsDiscoveryTest, SRelationsFeedHiddenSet) {
+  Database db = MakeOrdersDatabase(false);
+  // Pretend "Inter" was conceptualized: Inter[x] << Orders[cust] (non-key
+  // RHS → hidden) and Inter[x] << Customers[id] (key RHS → nothing).
+  RelationSchema inter("Inter");
+  ASSERT_TRUE(inter.AddAttribute("x", DataType::kInt64).ok());
+  ASSERT_TRUE(db.CreateRelation(std::move(inter)).ok());
+  std::vector<InclusionDependency> inds = {
+      InclusionDependency::Single("Inter", "x", "Orders", "cust"),
+      InclusionDependency::Single("Inter", "x", "Customers", "id")};
+  LhsDiscoveryResult result = DiscoverLhs(db, {"Inter"}, inds);
+  EXPECT_TRUE(result.lhs.empty());
+  ASSERT_EQ(result.hidden.size(), 1u);
+  EXPECT_EQ(result.hidden[0].ToString(), "Orders.{cust}");
+}
+
+TEST(LhsDiscoveryTest, DeduplicatesAcrossInds) {
+  Database db = MakeOrdersDatabase(false);
+  std::vector<InclusionDependency> inds = {
+      InclusionDependency::Single("Orders", "cust", "Customers", "id"),
+      InclusionDependency::Single("Orders", "cust", "Customers", "id")};
+  LhsDiscoveryResult result = DiscoverLhs(db, {}, inds);
+  EXPECT_EQ(result.lhs.size(), 1u);
+}
+
+TEST(RhsDiscoveryTest, ElicitsFdWithPrunedCandidates) {
+  Database db = MakeOrdersDatabase(false);
+  DefaultOracle oracle;
+  std::vector<QualifiedAttributes> lhs = {
+      {"Orders", AttributeSet{"item"}}};
+  auto result = DiscoverRhs(db, lhs, {}, &oracle);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->fds.size(), 1u);
+  EXPECT_EQ(result->fds[0].ToString(), "Orders: {item} -> {item_label}");
+  // T excluded ord (the key); item and cust were also checked... cust is
+  // not determined by item (items repeat across customers).
+  ASSERT_EQ(result->outcomes.size(), 1u);
+  EXPECT_EQ(result->outcomes[0].disposition,
+            RhsCandidateOutcome::Disposition::kFdElicited);
+  EXPECT_FALSE(result->outcomes[0].tested.Contains("ord"));
+}
+
+TEST(RhsDiscoveryTest, EmptyRhsAsksHiddenObjectQuestion) {
+  Database db = MakeOrdersDatabase(false);
+  ScriptedOracle oracle;
+  oracle.ScriptHiddenObject("Orders.{cust}", true);
+  std::vector<QualifiedAttributes> lhs = {{"Orders", AttributeSet{"cust"}}};
+  auto result = DiscoverRhs(db, lhs, {}, &oracle);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->fds.empty());
+  ASSERT_EQ(result->hidden.size(), 1u);
+  EXPECT_EQ(result->hidden[0].ToString(), "Orders.{cust}");
+  EXPECT_EQ(result->outcomes[0].disposition,
+            RhsCandidateOutcome::Disposition::kHiddenElicited);
+}
+
+TEST(RhsDiscoveryTest, DeclinedHiddenObjectDropped) {
+  Database db = MakeOrdersDatabase(false);
+  DefaultOracle oracle;  // declines hidden objects
+  std::vector<QualifiedAttributes> lhs = {{"Orders", AttributeSet{"cust"}}};
+  auto result = DiscoverRhs(db, lhs, {}, &oracle);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->hidden.empty());
+  EXPECT_EQ(result->outcomes[0].disposition,
+            RhsCandidateOutcome::Disposition::kDropped);
+}
+
+TEST(RhsDiscoveryTest, HiddenMemberWithFdMovesToF) {
+  Database db = MakeOrdersDatabase(false);
+  DefaultOracle oracle;
+  std::vector<QualifiedAttributes> hidden = {
+      {"Orders", AttributeSet{"item"}}};
+  auto result = DiscoverRhs(db, {}, hidden, &oracle);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->fds.size(), 1u);
+  EXPECT_TRUE(result->hidden.empty());  // moved out of H
+}
+
+TEST(RhsDiscoveryTest, HiddenMemberWithoutFdStays) {
+  Database db = MakeOrdersDatabase(false);
+  DefaultOracle oracle;
+  std::vector<QualifiedAttributes> hidden = {
+      {"Orders", AttributeSet{"cust"}}};
+  auto result = DiscoverRhs(db, {}, hidden, &oracle);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->hidden.size(), 1u);
+  EXPECT_EQ(result->outcomes[0].disposition,
+            RhsCandidateOutcome::Disposition::kHiddenConfirmed);
+}
+
+TEST(RhsDiscoveryTest, ExpertEnforcesFailedFd) {
+  Database db = MakeOrdersDatabase(false);
+  ScriptedOracle oracle;
+  // cust → name does not exist in Orders; enforce cust → item (which fails
+  // in the data).
+  oracle.ScriptEnforceFd("Orders: {cust} -> {item}", true);
+  std::vector<QualifiedAttributes> lhs = {{"Orders", AttributeSet{"cust"}}};
+  auto result = DiscoverRhs(db, lhs, {}, &oracle);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->fds.size(), 1u);
+  EXPECT_EQ(result->fds[0].ToString(), "Orders: {cust} -> {item}");
+}
+
+TEST(RhsDiscoveryTest, ExpertRejectsValidatedFd) {
+  Database db = MakeOrdersDatabase(false);
+  ScriptedOracle oracle;
+  oracle.ScriptValidateFd("Orders: {item} -> {item_label}", false);
+  std::vector<QualifiedAttributes> lhs = {{"Orders", AttributeSet{"item"}}};
+  auto result = DiscoverRhs(db, lhs, {}, &oracle);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->fds.empty());
+  EXPECT_EQ(result->outcomes[0].disposition,
+            RhsCandidateOutcome::Disposition::kFdRejected);
+}
+
+TEST(RhsDiscoveryTest, PruningAblationChecksMore) {
+  Database db = MakeOrdersDatabase(false);
+  DefaultOracle oracle;
+  std::vector<QualifiedAttributes> lhs = {{"Orders", AttributeSet{"item"}}};
+  auto pruned = DiscoverRhs(db, lhs, {}, &oracle);
+  RhsDiscoveryOptions no_pruning;
+  no_pruning.prune_key_attributes = false;
+  no_pruning.prune_not_null_attributes = false;
+  auto unpruned = DiscoverRhs(db, lhs, {}, &oracle, no_pruning);
+  ASSERT_TRUE(pruned.ok() && unpruned.ok());
+  EXPECT_GT(unpruned->fd_checks, pruned->fd_checks);
+  EXPECT_GT(pruned->pruned_attributes, 0u);
+}
+
+TEST(RhsDiscoveryTest, NotNullPruningRule) {
+  // Build a relation where the candidate LHS is nullable and another
+  // attribute is not-null: that attribute must be pruned.
+  Database db;
+  RelationSchema r("R");
+  ASSERT_TRUE(r.AddAttribute("k", DataType::kInt64).ok());
+  ASSERT_TRUE(r.AddAttribute("a", DataType::kInt64).ok());  // nullable
+  ASSERT_TRUE(
+      r.AddAttribute("nn", DataType::kInt64, /*not_null=*/true).ok());
+  ASSERT_TRUE(r.AddAttribute("b", DataType::kInt64).ok());
+  ASSERT_TRUE(r.DeclareUnique({"k"}).ok());
+  ASSERT_TRUE(db.CreateRelation(std::move(r)).ok());
+  Table* table = *db.GetMutableTable("R");
+  for (int64_t i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(table
+                    ->Insert({Value::Int(i), Value::Int(i % 3),
+                              Value::Int(i), Value::Int((i % 3) * 10)})
+                    .ok());
+  }
+  DefaultOracle oracle;
+  std::vector<QualifiedAttributes> lhs = {{"R", AttributeSet{"a"}}};
+  auto result = DiscoverRhs(db, lhs, {}, &oracle);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->outcomes.size(), 1u);
+  // nn pruned (a is nullable), k pruned (key) → only b tested.
+  EXPECT_EQ(result->outcomes[0].tested, AttributeSet{"b"});
+  ASSERT_EQ(result->fds.size(), 1u);
+  EXPECT_EQ(result->fds[0].ToString(), "R: {a} -> {b}");
+}
+
+}  // namespace
+}  // namespace dbre

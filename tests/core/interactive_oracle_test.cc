@@ -1,0 +1,97 @@
+#include "core/interactive_oracle.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace dbre {
+namespace {
+
+EquiJoin Join() { return EquiJoin::Single("R", "a", "S", "b"); }
+
+JoinCounts Counts() {
+  JoinCounts counts;
+  counts.n_left = 10;
+  counts.n_right = 20;
+  counts.n_join = 5;
+  return counts;
+}
+
+FunctionalDependency Fd() {
+  return FunctionalDependency("R", AttributeSet{"a"}, AttributeSet{"b"});
+}
+
+TEST(InteractiveOracleTest, NeiConceptualizeWithName) {
+  std::istringstream in("c\nInter\n");
+  std::ostringstream out;
+  InteractiveOracle oracle(&in, &out);
+  NeiDecision decision = oracle.DecideNonEmptyIntersection(Join(), Counts());
+  EXPECT_EQ(decision.action, NeiAction::kConceptualize);
+  EXPECT_EQ(decision.relation_name, "Inter");
+  // The prompt shows the valuations.
+  EXPECT_NE(out.str().find("||left||  = 10"), std::string::npos);
+  EXPECT_NE(out.str().find("R[a] |><| S[b]"), std::string::npos);
+}
+
+TEST(InteractiveOracleTest, NeiDirections) {
+  {
+    std::istringstream in("l\n");
+    std::ostringstream out;
+    InteractiveOracle oracle(&in, &out);
+    EXPECT_EQ(oracle.DecideNonEmptyIntersection(Join(), Counts()).action,
+              NeiAction::kForceLeftInRight);
+  }
+  {
+    std::istringstream in("r\n");
+    std::ostringstream out;
+    InteractiveOracle oracle(&in, &out);
+    EXPECT_EQ(oracle.DecideNonEmptyIntersection(Join(), Counts()).action,
+              NeiAction::kForceRightInLeft);
+  }
+  {
+    std::istringstream in("i\n");
+    std::ostringstream out;
+    InteractiveOracle oracle(&in, &out);
+    EXPECT_EQ(oracle.DecideNonEmptyIntersection(Join(), Counts()).action,
+              NeiAction::kIgnore);
+  }
+}
+
+TEST(InteractiveOracleTest, NeiEofIgnores) {
+  std::istringstream in("");
+  std::ostringstream out;
+  InteractiveOracle oracle(&in, &out);
+  EXPECT_EQ(oracle.DecideNonEmptyIntersection(Join(), Counts()).action,
+            NeiAction::kIgnore);
+}
+
+TEST(InteractiveOracleTest, YesNoQuestions) {
+  std::istringstream in("y\nn\nYES\nno\n");
+  std::ostringstream out;
+  InteractiveOracle oracle(&in, &out);
+  EXPECT_TRUE(oracle.EnforceFailedFd(Fd()));
+  EXPECT_FALSE(oracle.ValidateFd(Fd()));
+  EXPECT_TRUE(oracle.ConceptualizeHiddenObject({"R", AttributeSet{"a"}}));
+  EXPECT_FALSE(oracle.EnforceFailedFd(Fd()));
+}
+
+TEST(InteractiveOracleTest, UnrecognizedInputUsesDefaults) {
+  std::istringstream in("maybe\nmaybe\nmaybe\n");
+  std::ostringstream out;
+  InteractiveOracle oracle(&in, &out);
+  EXPECT_FALSE(oracle.EnforceFailedFd(Fd()));                // default no
+  EXPECT_TRUE(oracle.ValidateFd(Fd()));                      // default yes
+  EXPECT_FALSE(
+      oracle.ConceptualizeHiddenObject({"R", AttributeSet{"a"}}));
+}
+
+TEST(InteractiveOracleTest, NamingPrompts) {
+  std::istringstream in("Manager\n\n");
+  std::ostringstream out;
+  InteractiveOracle oracle(&in, &out);
+  EXPECT_EQ(oracle.NameRelationForFd(Fd()), "Manager");
+  EXPECT_EQ(oracle.NameHiddenObjectRelation({"R", AttributeSet{"a"}}), "");
+}
+
+}  // namespace
+}  // namespace dbre

@@ -1,0 +1,135 @@
+#include "core/oracle.h"
+
+#include <gtest/gtest.h>
+
+namespace dbre {
+namespace {
+
+EquiJoin Join() { return EquiJoin::Single("R", "a", "S", "b"); }
+
+JoinCounts Counts(size_t left, size_t right, size_t join) {
+  JoinCounts counts;
+  counts.n_left = left;
+  counts.n_right = right;
+  counts.n_join = join;
+  return counts;
+}
+
+FunctionalDependency Fd() {
+  return FunctionalDependency("R", AttributeSet{"a"}, AttributeSet{"b"});
+}
+
+TEST(DefaultOracleTest, ConservativeDefaults) {
+  DefaultOracle oracle;
+  EXPECT_EQ(oracle.DecideNonEmptyIntersection(Join(), Counts(5, 5, 3)).action,
+            NeiAction::kIgnore);
+  EXPECT_FALSE(oracle.EnforceFailedFd(Fd()));
+  EXPECT_TRUE(oracle.ValidateFd(Fd()));
+  EXPECT_FALSE(
+      oracle.ConceptualizeHiddenObject({"R", AttributeSet{"a"}}));
+  EXPECT_EQ(oracle.NameRelationForFd(Fd()), "");
+  EXPECT_EQ(oracle.NameHiddenObjectRelation({"R", AttributeSet{"a"}}), "");
+}
+
+TEST(ScriptedOracleTest, AnswersByKey) {
+  ScriptedOracle oracle;
+  oracle.ScriptNei("R[a] |><| S[b]",
+                   NeiDecision{NeiAction::kConceptualize, "RS"});
+  oracle.ScriptEnforceFd("R: {a} -> {b}", true);
+  oracle.ScriptValidateFd("R: {a} -> {b}", false);
+  oracle.ScriptHiddenObject("R.{a}", true);
+  oracle.ScriptFdRelationName("R: {a} -> {b}", "Thing");
+  oracle.ScriptHiddenRelationName("R.{a}", "Obj");
+
+  NeiDecision decision =
+      oracle.DecideNonEmptyIntersection(Join(), Counts(5, 5, 3));
+  EXPECT_EQ(decision.action, NeiAction::kConceptualize);
+  EXPECT_EQ(decision.relation_name, "RS");
+  EXPECT_TRUE(oracle.EnforceFailedFd(Fd()));
+  EXPECT_FALSE(oracle.ValidateFd(Fd()));
+  EXPECT_TRUE(oracle.ConceptualizeHiddenObject({"R", AttributeSet{"a"}}));
+  EXPECT_EQ(oracle.NameRelationForFd(Fd()), "Thing");
+  EXPECT_EQ(oracle.NameHiddenObjectRelation({"R", AttributeSet{"a"}}),
+            "Obj");
+}
+
+TEST(ScriptedOracleTest, UnscriptedFallsBackToDefaults) {
+  ScriptedOracle oracle;
+  EXPECT_EQ(oracle.DecideNonEmptyIntersection(Join(), Counts(5, 5, 3)).action,
+            NeiAction::kIgnore);
+  EXPECT_TRUE(oracle.ValidateFd(Fd()));
+}
+
+TEST(ScriptedOracleTest, FlippedJoinKeyMatchesWithDirectionSwap) {
+  ScriptedOracle oracle;
+  // Script using the flipped rendering of the join.
+  oracle.ScriptNei("S[b] |><| R[a]",
+                   NeiDecision{NeiAction::kForceLeftInRight, ""});
+  NeiDecision decision =
+      oracle.DecideNonEmptyIntersection(Join(), Counts(5, 5, 3));
+  // Force "S in R" was scripted; relative to R-S order that is
+  // right-in-left.
+  EXPECT_EQ(decision.action, NeiAction::kForceRightInLeft);
+}
+
+TEST(ScriptedOracleTest, CustomFallbackDelegates) {
+  ThresholdOracle::Options options;
+  options.accept_hidden_objects = true;
+  ThresholdOracle fallback(options);
+  ScriptedOracle oracle(&fallback);
+  EXPECT_TRUE(oracle.ConceptualizeHiddenObject({"R", AttributeSet{"a"}}));
+}
+
+TEST(ThresholdOracleTest, ConceptualizesAboveRatio) {
+  ThresholdOracle::Options options;
+  options.nei_conceptualize_ratio = 0.8;
+  ThresholdOracle oracle(options);
+  // 4/5 = 0.8 → conceptualize.
+  EXPECT_EQ(oracle.DecideNonEmptyIntersection(Join(), Counts(5, 100, 4))
+                .action,
+            NeiAction::kConceptualize);
+  // 3/5 = 0.6 → ignore (force ratio default 2.0 disables forcing).
+  EXPECT_EQ(oracle.DecideNonEmptyIntersection(Join(), Counts(5, 100, 3))
+                .action,
+            NeiAction::kIgnore);
+}
+
+TEST(ThresholdOracleTest, ForcesBetweenRatios) {
+  ThresholdOracle::Options options;
+  options.nei_conceptualize_ratio = 0.95;
+  options.nei_force_ratio = 0.5;
+  ThresholdOracle oracle(options);
+  EXPECT_EQ(oracle.DecideNonEmptyIntersection(Join(), Counts(5, 100, 3))
+                .action,
+            NeiAction::kForceLeftInRight);
+  EXPECT_EQ(oracle.DecideNonEmptyIntersection(Join(), Counts(100, 5, 3))
+                .action,
+            NeiAction::kForceRightInLeft);
+}
+
+TEST(ThresholdOracleTest, ZeroSidesIgnored) {
+  ThresholdOracle oracle;
+  EXPECT_EQ(oracle.DecideNonEmptyIntersection(Join(), Counts(0, 10, 0))
+                .action,
+            NeiAction::kIgnore);
+}
+
+TEST(RecordingOracleTest, RecordsAllInteractions) {
+  ScriptedOracle inner;
+  inner.ScriptHiddenObject("R.{a}", true);
+  RecordingOracle oracle(&inner);
+  oracle.DecideNonEmptyIntersection(Join(), Counts(5, 5, 3));
+  oracle.EnforceFailedFd(Fd());
+  oracle.ValidateFd(Fd());
+  oracle.ConceptualizeHiddenObject({"R", AttributeSet{"a"}});
+  oracle.NameRelationForFd(Fd());
+  oracle.NameHiddenObjectRelation({"R", AttributeSet{"a"}});
+  ASSERT_EQ(oracle.InteractionCount(), 6u);
+  EXPECT_EQ(oracle.interactions()[0].kind, "nei");
+  EXPECT_EQ(oracle.interactions()[0].answer, "ignore");
+  EXPECT_EQ(oracle.interactions()[3].kind, "hidden_object");
+  EXPECT_EQ(oracle.interactions()[3].answer, "yes");
+}
+
+}  // namespace
+}  // namespace dbre

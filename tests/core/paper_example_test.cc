@@ -1,0 +1,318 @@
+// End-to-end reproduction of the paper's running example (§5–§7):
+// experiments E1–E9. Every artifact set the paper prints is asserted
+// verbatim.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "eer/dot_export.h"
+#include "sql/scanner.h"
+#include "workload/paper_example.h"
+
+namespace dbre {
+namespace {
+
+using workload::BuildPaperDatabase;
+using workload::PaperJoinSet;
+using workload::PaperOracle;
+using workload::PaperProgramSources;
+
+std::vector<std::string> ToStrings(
+    const std::vector<QualifiedAttributes>& items) {
+  std::vector<std::string> out;
+  for (const QualifiedAttributes& item : items) out.push_back(item.ToString());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> ToStrings(
+    const std::vector<InclusionDependency>& items) {
+  std::vector<std::string> out;
+  for (const InclusionDependency& item : items) out.push_back(item.ToString());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto database = BuildPaperDatabase();
+    ASSERT_TRUE(database.ok()) << database.status();
+    database_ = new Database(std::move(database).value());
+    oracle_ = PaperOracle().release();
+    auto report =
+        RunPipeline(*database_, PaperJoinSet(), oracle_, PipelineOptions{});
+    ASSERT_TRUE(report.ok()) << report.status();
+    report_ = new PipelineReport(std::move(report).value());
+  }
+  static void TearDownTestSuite() {
+    delete report_;
+    delete oracle_;
+    delete database_;
+    report_ = nullptr;
+    oracle_ = nullptr;
+    database_ = nullptr;
+  }
+
+  static Database* database_;
+  static ScriptedOracle* oracle_;
+  static PipelineReport* report_;
+};
+
+Database* PaperExampleTest::database_ = nullptr;
+ScriptedOracle* PaperExampleTest::oracle_ = nullptr;
+PipelineReport* PaperExampleTest::report_ = nullptr;
+
+// E1: the sets K and N of §5.
+TEST_F(PaperExampleTest, KeySetMatchesPaper) {
+  EXPECT_EQ(ToStrings(report_->key_set),
+            (std::vector<std::string>{
+                "Assignment.{dep, emp, proj}", "Department.{dep}",
+                "HEmployee.{date, no}", "Person.{id}"}));
+}
+
+TEST_F(PaperExampleTest, NotNullSetMatchesPaper) {
+  EXPECT_EQ(ToStrings(report_->not_null_set),
+            (std::vector<std::string>{
+                "Assignment.{dep}", "Assignment.{emp}", "Assignment.{proj}",
+                "Department.{dep}", "Department.{location}",
+                "HEmployee.{date}", "HEmployee.{no}", "Person.{id}"}));
+}
+
+// E2: the set Q extracted from the application programs equals the set the
+// paper lists in §5.
+TEST_F(PaperExampleTest, ProgramScanYieldsPaperJoinSet) {
+  sql::ExtractionOptions options;
+  options.catalog = database_;
+  auto joins =
+      sql::BuildQueryJoinSetFromSources(PaperProgramSources(), options);
+  ASSERT_TRUE(joins.ok()) << joins.status();
+  EXPECT_EQ(*joins, PaperJoinSet());
+}
+
+// E3: the valuations of §6.1.
+TEST_F(PaperExampleTest, JoinCountsMatchPaper) {
+  Database db = database_->Clone();
+  auto find_outcome = [&](const std::string& left, const std::string& right) {
+    for (const JoinOutcome& outcome : report_->ind.outcomes) {
+      if (outcome.join.left_relation == left &&
+          outcome.join.right_relation == right) {
+        return outcome;
+      }
+    }
+    ADD_FAILURE() << "no outcome for " << left << "-" << right;
+    return JoinOutcome{};
+  };
+  JoinOutcome person = find_outcome("HEmployee", "Person");
+  EXPECT_EQ(person.counts.n_left, 1550u);   // ‖HEmployee[no]‖
+  EXPECT_EQ(person.counts.n_right, 2200u);  // ‖Person[id]‖
+  EXPECT_EQ(person.counts.n_join, 1550u);
+
+  JoinOutcome nei = find_outcome("Assignment", "Department");
+  EXPECT_EQ(nei.counts.n_left, 300u);   // ‖Assignment[dep]‖
+  EXPECT_EQ(nei.counts.n_right, 35u);   // ‖Department[dep]‖
+  EXPECT_EQ(nei.counts.n_join, 30u);
+  EXPECT_EQ(nei.kind, JoinOutcomeKind::kNeiConceptualized);
+  EXPECT_EQ(nei.detail, "Ass-Dept");
+}
+
+// E4: the final IND set of §6.1 (6 dependencies) and S = {Ass-Dept}.
+TEST_F(PaperExampleTest, IndSetMatchesPaper) {
+  EXPECT_EQ(ToStrings(report_->ind.inds),
+            (std::vector<std::string>{
+                "Ass-Dept[dep] << Assignment[dep]",
+                "Ass-Dept[dep] << Department[dep]",
+                "Assignment[emp] << HEmployee[no]",
+                "Department[emp] << HEmployee[no]",
+                "Department[proj] << Assignment[proj]",
+                "HEmployee[no] << Person[id]"}));
+  EXPECT_EQ(report_->ind.new_relations,
+            std::vector<std::string>{"Ass-Dept"});
+}
+
+// E5: LHS (5 elements) and H = {Assignment.{dep}} of §6.2.1.
+TEST_F(PaperExampleTest, LhsSetMatchesPaper) {
+  EXPECT_EQ(ToStrings(report_->lhs.lhs),
+            (std::vector<std::string>{
+                "Assignment.{emp}", "Assignment.{proj}", "Department.{emp}",
+                "Department.{proj}", "HEmployee.{no}"}));
+  EXPECT_EQ(ToStrings(report_->lhs.hidden),
+            std::vector<std::string>{"Assignment.{dep}"});
+}
+
+// E6: F and the final H of §6.2.2.
+TEST_F(PaperExampleTest, FdsAndHiddenObjectsMatchPaper) {
+  std::vector<std::string> fds;
+  for (const FunctionalDependency& fd : report_->rhs.fds) {
+    fds.push_back(fd.ToString());
+  }
+  std::sort(fds.begin(), fds.end());
+  EXPECT_EQ(fds, (std::vector<std::string>{
+                     "Assignment: {proj} -> {project-name}",
+                     "Department: {emp} -> {proj, skill}"}));
+  EXPECT_EQ(ToStrings(report_->rhs.hidden),
+            (std::vector<std::string>{"Assignment.{dep}",
+                                      "HEmployee.{no}"}));
+}
+
+// E7: the restructured 3NF schema of §7 (9 relations with the paper's
+// keys and attribute layout).
+TEST_F(PaperExampleTest, RestructuredSchemaMatchesPaper) {
+  const Database& db = report_->restruct.database;
+  EXPECT_EQ(db.RelationNames(),
+            (std::vector<std::string>{
+                "Ass-Dept", "Assignment", "Department", "Employee",
+                "HEmployee", "Manager", "Other-Dept", "Person", "Project"}));
+
+  auto attributes = [&](const std::string& relation) {
+    return (*db.GetTable(relation).value()).schema().AttributeNames();
+  };
+  auto key = [&](const std::string& relation) {
+    return (*db.GetTable(relation).value()).schema().PrimaryKey().value();
+  };
+  EXPECT_EQ(attributes("Person"),
+            (AttributeSet{"id", "name", "street", "number", "zip-code",
+                          "state"}));
+  EXPECT_EQ(key("Person"), AttributeSet{"id"});
+  EXPECT_EQ(attributes("HEmployee"), (AttributeSet{"no", "date", "salary"}));
+  EXPECT_EQ(key("HEmployee"), (AttributeSet{"no", "date"}));
+  EXPECT_EQ(attributes("Department"),
+            (AttributeSet{"dep", "emp", "location"}));
+  EXPECT_EQ(key("Department"), AttributeSet{"dep"});
+  EXPECT_EQ(attributes("Assignment"),
+            (AttributeSet{"emp", "dep", "proj", "date"}));
+  EXPECT_EQ(key("Assignment"), (AttributeSet{"emp", "dep", "proj"}));
+  EXPECT_EQ(attributes("Employee"), AttributeSet{"no"});
+  EXPECT_EQ(key("Employee"), AttributeSet{"no"});
+  EXPECT_EQ(attributes("Ass-Dept"), AttributeSet{"dep"});
+  EXPECT_EQ(attributes("Other-Dept"), AttributeSet{"dep"});
+  EXPECT_EQ(attributes("Manager"), (AttributeSet{"emp", "skill", "proj"}));
+  EXPECT_EQ(key("Manager"), AttributeSet{"emp"});
+  EXPECT_EQ(attributes("Project"), (AttributeSet{"proj", "project-name"}));
+  EXPECT_EQ(key("Project"), AttributeSet{"proj"});
+}
+
+// E8: the ten referential integrity constraints of §7.
+TEST_F(PaperExampleTest, RicSetMatchesPaper) {
+  EXPECT_EQ(ToStrings(report_->restruct.rics),
+            (std::vector<std::string>{
+                "Ass-Dept[dep] << Department[dep]",
+                "Ass-Dept[dep] << Other-Dept[dep]",
+                "Assignment[dep] << Other-Dept[dep]",
+                "Assignment[emp] << Employee[no]",
+                "Assignment[proj] << Project[proj]",
+                "Department[emp] << Manager[emp]",
+                "Employee[no] << Person[id]",
+                "HEmployee[no] << Employee[no]",
+                "Manager[emp] << Employee[no]",
+                "Manager[proj] << Project[proj]"}));
+}
+
+// The RICs actually hold in the restructured extension — Restruct
+// materialized consistent data.
+TEST_F(PaperExampleTest, RicsHoldInRestructuredExtension) {
+  for (const InclusionDependency& ric : report_->restruct.rics) {
+    auto holds = Satisfies(report_->restruct.database, ric);
+    ASSERT_TRUE(holds.ok()) << holds.status();
+    EXPECT_TRUE(*holds) << ric.ToString();
+  }
+}
+
+// E9: the EER schema of Figure 1.
+TEST_F(PaperExampleTest, EerSchemaMatchesFigure1) {
+  const eer::EerSchema& eer = report_->eer;
+
+  // Entities: all relations except Assignment (which becomes the ternary
+  // relationship).
+  std::vector<std::string> entity_names;
+  for (const eer::EntityType& entity : eer.entities()) {
+    entity_names.push_back(entity.name);
+  }
+  std::sort(entity_names.begin(), entity_names.end());
+  EXPECT_EQ(entity_names,
+            (std::vector<std::string>{"Ass-Dept", "Department", "Employee",
+                                      "HEmployee", "Manager", "Other-Dept",
+                                      "Person", "Project"}));
+
+  // is-a links: Employee→Person, Manager→Employee, Ass-Dept→Other-Dept,
+  // Ass-Dept→Department.
+  std::vector<std::string> isa;
+  for (const eer::IsALink& link : eer.isa_links()) {
+    isa.push_back(link.ToString());
+  }
+  std::sort(isa.begin(), isa.end());
+  EXPECT_EQ(isa, (std::vector<std::string>{
+                     "Ass-Dept is-a Department", "Ass-Dept is-a Other-Dept",
+                     "Employee is-a Person", "Manager is-a Employee"}));
+
+  // HEmployee is the weak entity.
+  auto hemployee = eer.GetEntity("HEmployee");
+  ASSERT_TRUE(hemployee.ok());
+  EXPECT_TRUE((*hemployee.value()).weak);
+
+  // Assignment: ternary many-to-many among Employee, Other-Dept, Project,
+  // carrying the date attribute.
+  const eer::RelationshipType* assignment = nullptr;
+  for (const eer::RelationshipType& relationship : eer.relationships()) {
+    if (relationship.name == "Assignment") assignment = &relationship;
+  }
+  ASSERT_NE(assignment, nullptr);
+  EXPECT_TRUE(assignment->IsManyToMany());
+  std::vector<std::string> participants;
+  for (const eer::Role& role : assignment->roles) {
+    participants.push_back(role.entity);
+    EXPECT_EQ(role.cardinality, eer::Cardinality::kMany);
+  }
+  std::sort(participants.begin(), participants.end());
+  EXPECT_EQ(participants, (std::vector<std::string>{"Employee", "Other-Dept",
+                                                    "Project"}));
+  EXPECT_EQ(assignment->attributes, AttributeSet{"date"});
+
+  // Department—Manager binary relationship, N:1.
+  bool found_binary = false;
+  for (const eer::RelationshipType& relationship : eer.relationships()) {
+    if (relationship.roles.size() != 2) continue;
+    bool department = false, manager = false;
+    for (const eer::Role& role : relationship.roles) {
+      if (role.entity == "Department") department = true;
+      if (role.entity == "Manager") manager = true;
+    }
+    if (department && manager) found_binary = true;
+  }
+  EXPECT_TRUE(found_binary);
+
+  EXPECT_TRUE(eer.Validate().ok());
+}
+
+// The DOT export renders without error and mentions every construct.
+TEST_F(PaperExampleTest, DotExportContainsAllConstructs) {
+  std::string dot = eer::ToDot(report_->eer);
+  EXPECT_NE(dot.find("\"Person\""), std::string::npos);
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos);  // weak entity
+  EXPECT_NE(dot.find("shape=diamond"), std::string::npos);
+  EXPECT_NE(dot.find("is-a"), std::string::npos);
+}
+
+// The oracle asked exactly the questions the paper narrates.
+TEST_F(PaperExampleTest, OracleInteractionsMatchNarrative) {
+  RecordingOracle recording(oracle_);
+  auto database = BuildPaperDatabase();
+  ASSERT_TRUE(database.ok());
+  auto report = RunPipeline(*database, PaperJoinSet(), &recording);
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  size_t nei = 0, hidden = 0;
+  for (const RecordingOracle::Interaction& interaction :
+       recording.interactions()) {
+    if (interaction.kind == "nei") ++nei;
+    if (interaction.kind == "hidden_object") ++hidden;
+  }
+  EXPECT_EQ(nei, 1u);     // only Assignment[dep] ⋈ Department[dep]
+  EXPECT_EQ(hidden, 3u);  // HEmployee.no, Assignment.emp, Department.proj
+}
+
+}  // namespace
+}  // namespace dbre

@@ -1,0 +1,196 @@
+// Pipeline-level behaviours: the report summary, dictionary-less key
+// inference, and cyclic-IND handling through Translate.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "sql/ddl.h"
+
+namespace dbre {
+namespace {
+
+// Two relations over the same id domain (equal value sets) plus a child.
+Database MakeCyclicDatabase(bool declare_keys) {
+  Database db;
+  for (const char* name : {"Clients", "Accounts"}) {
+    RelationSchema schema(name);
+    EXPECT_TRUE(schema.AddAttribute("id", DataType::kInt64).ok());
+    EXPECT_TRUE(
+        schema.AddAttribute(std::string(name) + "_info", DataType::kString)
+            .ok());
+    if (declare_keys) {
+      EXPECT_TRUE(schema.DeclareUnique({"id"}).ok());
+    }
+    EXPECT_TRUE(db.CreateRelation(std::move(schema)).ok());
+  }
+  for (const char* name : {"Clients", "Accounts"}) {
+    Table* table = *db.GetMutableTable(name);
+    for (int64_t i = 1; i <= 20; ++i) {
+      EXPECT_TRUE(table
+                      ->Insert({Value::Int(i),
+                                Value::Text(std::string(name) + "_" +
+                                            std::to_string(i))})
+                      .ok());
+    }
+  }
+  return db;
+}
+
+TEST(PipelineTest, CyclicIndsGiveMutualIsA) {
+  Database db = MakeCyclicDatabase(/*declare_keys=*/true);
+  DefaultOracle oracle;
+  std::vector<EquiJoin> joins = {
+      EquiJoin::Single("Clients", "id", "Accounts", "id")};
+  auto report = RunPipeline(db, joins, &oracle);
+  ASSERT_TRUE(report.ok()) << report.status();
+  // Equal value sets → both INDs → both is-a directions.
+  EXPECT_EQ(report->ind.inds.size(), 2u);
+  EXPECT_EQ(report->eer.isa_links().size(), 2u);
+}
+
+TEST(PipelineTest, MergeIsACyclesOptionCollapsesThem) {
+  Database db = MakeCyclicDatabase(true);
+  DefaultOracle oracle;
+  std::vector<EquiJoin> joins = {
+      EquiJoin::Single("Clients", "id", "Accounts", "id")};
+  PipelineOptions options;
+  options.translate.merge_isa_cycles = true;
+  auto report = RunPipeline(db, joins, &oracle, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->eer.isa_links().empty());
+  EXPECT_EQ(report->eer.entities().size(), 1u);
+  const eer::EntityType& merged = report->eer.entities()[0];
+  EXPECT_EQ(merged.name, "Accounts");
+  EXPECT_TRUE(merged.attributes.Contains("Clients_info"));
+  EXPECT_TRUE(merged.attributes.Contains("Accounts_info"));
+}
+
+TEST(PipelineTest, InfersMissingKeysFromData) {
+  Database db = MakeCyclicDatabase(/*declare_keys=*/false);
+  DefaultOracle oracle;
+  std::vector<EquiJoin> joins = {
+      EquiJoin::Single("Clients", "id", "Accounts", "id")};
+
+  // Without inference no keys exist, so K is empty and the elicited INDs
+  // target non-key attributes. (RICs can still appear later: with no key
+  // to prune, RHS-Discovery finds id → info and Restruct keys the split
+  // relations it creates.)
+  auto plain = RunPipeline(db, joins, &oracle);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain->key_set.empty());
+  for (const InclusionDependency& ind : plain->ind.inds) {
+    EXPECT_FALSE(IsKeyBased(db, ind)) << ind.ToString();
+  }
+
+  PipelineOptions options;
+  options.infer_missing_keys = true;
+  auto inferred = RunPipeline(db, joins, &oracle, options);
+  ASSERT_TRUE(inferred.ok()) << inferred.status();
+  // Both relations got a mined key — and the join-guided heuristic picked
+  // {id} (also-unique info columns lose to the navigated attribute).
+  ASSERT_EQ(inferred->key_set.size(), 2u);
+  EXPECT_EQ(inferred->key_set[0].attributes, AttributeSet{"id"});
+  EXPECT_EQ(inferred->key_set[1].attributes, AttributeSet{"id"});
+  // The elicited INDs are now key-based: they survive as RICs directly.
+  EXPECT_FALSE(inferred->restruct.rics.empty());
+}
+
+TEST(PipelineTest, InferenceKeepsDeclaredKeys) {
+  Database db = MakeCyclicDatabase(true);
+  DefaultOracle oracle;
+  PipelineOptions options;
+  options.infer_missing_keys = true;
+  auto report = RunPipeline(
+      db, {EquiJoin::Single("Clients", "id", "Accounts", "id")}, &oracle,
+      options);
+  ASSERT_TRUE(report.ok());
+  // Nothing new declared: both relations already had keys.
+  EXPECT_EQ(report->key_set.size(), 2u);
+}
+
+TEST(PipelineTest, SummaryMentionsEveryPhase) {
+  Database db = MakeCyclicDatabase(true);
+  DefaultOracle oracle;
+  auto report = RunPipeline(
+      db, {EquiJoin::Single("Clients", "id", "Accounts", "id")}, &oracle);
+  ASSERT_TRUE(report.ok());
+  std::string summary = report->Summary();
+  for (const char* section :
+       {"== K (keys from the dictionary) ==", "== N (not-null attributes)",
+        "== Q (equi-joins", "== IND (inclusion dependencies)",
+        "== LHS (candidate FD left-hand sides)",
+        "== F (elicited functional dependencies)", "== H (hidden objects)",
+        "== Restructured schema ==", "== RIC (referential integrity",
+        "== EER schema =="}) {
+    EXPECT_NE(summary.find(section), std::string::npos) << section;
+  }
+}
+
+TEST(PipelineTest, IndClosureDerivesTransitiveLinks) {
+  // Three relations over nested id domains; programs only join A-B and
+  // B-C. Closure derives A-C.
+  Database db;
+  for (const char* name : {"A", "B", "C"}) {
+    RelationSchema schema(name);
+    ASSERT_TRUE(schema.AddAttribute("id", DataType::kInt64).ok());
+    ASSERT_TRUE(db.CreateRelation(std::move(schema)).ok());
+  }
+  int64_t limit = 10;
+  for (const char* name : {"A", "B", "C"}) {
+    Table* table = *db.GetMutableTable(name);
+    for (int64_t i = 1; i <= limit; ++i) {
+      ASSERT_TRUE(table->Insert({Value::Int(i)}).ok());
+    }
+    limit += 5;  // A ⊂ B ⊂ C
+  }
+  DefaultOracle oracle;
+  std::vector<EquiJoin> joins = {EquiJoin::Single("A", "id", "B", "id"),
+                                 EquiJoin::Single("B", "id", "C", "id")};
+  auto plain = RunPipeline(db, joins, &oracle);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->ind.inds.size(), 2u);
+
+  PipelineOptions options;
+  options.close_inds = true;
+  auto closed = RunPipeline(db, joins, &oracle, options);
+  ASSERT_TRUE(closed.ok());
+  ASSERT_EQ(closed->ind.inds.size(), 3u);
+  InclusionDependency derived = InclusionDependency::Single("A", "id", "C",
+                                                            "id");
+  EXPECT_NE(std::find(closed->ind.inds.begin(), closed->ind.inds.end(),
+                      derived),
+            closed->ind.inds.end());
+  // The derived IND actually holds (closure is sound on real extensions).
+  EXPECT_TRUE(*Satisfies(db, derived));
+}
+
+TEST(PipelineTest, NullOracleRejected) {
+  Database db = MakeCyclicDatabase(true);
+  EXPECT_FALSE(RunPipeline(db, {}, nullptr).ok());
+}
+
+TEST(PipelineTest, EmptyWorkloadStillRestructures) {
+  Database db = MakeCyclicDatabase(true);
+  DefaultOracle oracle;
+  auto report = RunPipeline(db, {}, &oracle);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ind.inds.empty());
+  EXPECT_TRUE(report->rhs.fds.empty());
+  // The schema survives untouched.
+  EXPECT_EQ(report->restruct.database.NumRelations(), 2u);
+  EXPECT_EQ(report->eer.entities().size(), 2u);
+}
+
+TEST(PipelineTest, TranslateCanBeSkipped) {
+  Database db = MakeCyclicDatabase(true);
+  DefaultOracle oracle;
+  PipelineOptions options;
+  options.run_translate = false;
+  auto report = RunPipeline(
+      db, {EquiJoin::Single("Clients", "id", "Accounts", "id")}, &oracle,
+      options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->eer.entities().empty());
+}
+
+}  // namespace
+}  // namespace dbre

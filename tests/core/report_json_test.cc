@@ -1,0 +1,114 @@
+#include "core/report_json.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/paper_example.h"
+
+namespace dbre {
+namespace {
+
+// Tiny structural JSON validator: bracket balance, quote balance outside
+// strings, and a few required keys. Not a full parser, but catches emitter
+// bugs (unbalanced structures, broken escaping).
+bool LooksLikeValidJson(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip escaped char
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': case '[': ++depth; break;
+      case '}': case ']':
+        --depth;
+        if (depth < 0) return false;
+        break;
+      default: break;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+PipelineReport PaperReport() {
+  auto database = workload::BuildPaperDatabase();
+  EXPECT_TRUE(database.ok());
+  auto oracle = workload::PaperOracle();
+  auto report =
+      RunPipeline(*database, workload::PaperJoinSet(), oracle.get());
+  EXPECT_TRUE(report.ok()) << report.status();
+  return std::move(report).value();
+}
+
+TEST(ReportJsonTest, PaperReportSerializes) {
+  PipelineReport report = PaperReport();
+  std::string json = ReportToJson(report);
+  EXPECT_TRUE(LooksLikeValidJson(json)) << json.substr(0, 400);
+  // Spot-check content.
+  for (const char* expected :
+       {"\"keys\"", "\"inds\"", "\"fds\"", "\"rics\"", "\"eer\"",
+        "\"Ass-Dept\"", "\"Manager\"", "\"project-name\"",
+        "\"nei_conceptualized\"", "\"timings_us\"",
+        "\"hidden object HEmployee.{no}\""}) {
+    EXPECT_NE(json.find(expected), std::string::npos) << expected;
+  }
+}
+
+TEST(ReportJsonTest, CompactModeHasNoNewlines) {
+  PipelineReport report = PaperReport();
+  JsonOptions options;
+  options.pretty = false;
+  std::string json = ReportToJson(report, options);
+  EXPECT_TRUE(LooksLikeValidJson(json));
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  // Compact and pretty agree modulo whitespace (cheap check: lengths of
+  // de-whitespaced forms match).
+  std::string pretty = ReportToJson(report);
+  auto strip = [](const std::string& text) {
+    std::string out;
+    bool in_string = false;
+    for (size_t i = 0; i < text.size(); ++i) {
+      char c = text[i];
+      if (in_string) {
+        out += c;
+        if (c == '\\' && i + 1 < text.size()) out += text[++i];
+        else if (c == '"') in_string = false;
+        continue;
+      }
+      if (c == '"') {
+        in_string = true;
+        out += c;
+        continue;
+      }
+      if (c != ' ' && c != '\n') out += c;
+    }
+    return out;
+  };
+  EXPECT_EQ(strip(json), strip(pretty));
+}
+
+TEST(ReportJsonTest, EscapesHostileStrings) {
+  PipelineReport report;  // empty report, but inject a hostile name
+  report.joins.push_back(
+      EquiJoin::Single("R\"\\\n", "a\tb", "S", "c"));
+  std::string json = ReportToJson(report);
+  EXPECT_TRUE(LooksLikeValidJson(json)) << json;
+  EXPECT_NE(json.find("R\\\"\\\\\\n"), std::string::npos);
+  EXPECT_NE(json.find("a\\tb"), std::string::npos);
+}
+
+TEST(ReportJsonTest, WritesFile) {
+  PipelineReport report;
+  std::string path = ::testing::TempDir() + "/dbre_report.json";
+  EXPECT_TRUE(WriteReportJson(report, path).ok());
+  EXPECT_FALSE(WriteReportJson(report, "/nonexistent/x.json").ok());
+}
+
+}  // namespace
+}  // namespace dbre

@@ -1,0 +1,128 @@
+// Edge cases of Restruct and Translate beyond the happy paths.
+#include <gtest/gtest.h>
+
+#include "core/restruct.h"
+#include "core/translate.h"
+
+namespace dbre {
+namespace {
+
+Database MakeDb() {
+  Database db;
+  RelationSchema sales("Sales");
+  EXPECT_TRUE(sales.AddAttribute("id", DataType::kInt64).ok());
+  EXPECT_TRUE(sales.AddAttribute("a", DataType::kInt64).ok());
+  EXPECT_TRUE(sales.AddAttribute("b", DataType::kInt64).ok());
+  EXPECT_TRUE(sales.AddAttribute("payload", DataType::kString).ok());
+  EXPECT_TRUE(sales.DeclareUnique({"id"}).ok());
+  EXPECT_TRUE(db.CreateRelation(std::move(sales)).ok());
+  Table* table = *db.GetMutableTable("Sales");
+  for (int64_t i = 1; i <= 20; ++i) {
+    int64_t a = i % 3, b = i % 2;
+    EXPECT_TRUE(table
+                    ->Insert({Value::Int(i), Value::Int(a), Value::Int(b),
+                              Value::Text("p" + std::to_string(a * 10 + b))})
+                    .ok());
+  }
+  return db;
+}
+
+TEST(RestructEdgeTest, MissingRelationInHiddenFails) {
+  Database db = MakeDb();
+  DefaultOracle oracle;
+  QualifiedAttributes ghost{"Ghost", AttributeSet{"x"}};
+  EXPECT_FALSE(Restruct(db, {}, {ghost}, {}, &oracle).ok());
+}
+
+TEST(RestructEdgeTest, MissingRelationInFdFails) {
+  Database db = MakeDb();
+  DefaultOracle oracle;
+  FunctionalDependency fd("Ghost", AttributeSet{"x"}, AttributeSet{"y"});
+  EXPECT_FALSE(Restruct(db, {fd}, {}, {}, &oracle).ok());
+}
+
+TEST(RestructEdgeTest, NullOracleRejected) {
+  Database db = MakeDb();
+  EXPECT_FALSE(Restruct(db, {}, {}, {}, nullptr).ok());
+}
+
+TEST(RestructEdgeTest, CompositeLhsFdSplit) {
+  // {a, b} → payload: the new relation gets a two-attribute key.
+  Database db = MakeDb();
+  DefaultOracle oracle;
+  FunctionalDependency fd("Sales", AttributeSet{"a", "b"},
+                          AttributeSet{"payload"});
+  auto result = Restruct(db, {fd}, {}, {}, &oracle);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(result->database.HasRelation("Sales_a_b"));
+  const Table& split = **result->database.GetTable("Sales_a_b");
+  EXPECT_EQ(*split.schema().PrimaryKey(), (AttributeSet{"a", "b"}));
+  EXPECT_EQ(split.num_rows(), 6u);  // 3 × 2 combinations
+  EXPECT_TRUE(split.VerifyUniqueConstraints().ok());
+  ASSERT_EQ(result->rics.size(), 1u);
+  EXPECT_EQ(result->rics[0].ToString(),
+            "Sales[a, b] << Sales_a_b[a, b]");
+  EXPECT_TRUE(*Satisfies(result->database, result->rics[0]));
+}
+
+TEST(RestructEdgeTest, InputDatabaseUntouched) {
+  Database db = MakeDb();
+  DefaultOracle oracle;
+  FunctionalDependency fd("Sales", AttributeSet{"a"},
+                          AttributeSet{"payload"});
+  // a → payload does NOT hold in the data; Restruct splits anyway
+  // (first-wins) — but must not mutate the input.
+  auto result = Restruct(db, {fd}, {}, {}, &oracle);
+  ASSERT_TRUE(result.ok());
+  const Table& original = **db.GetTable("Sales");
+  EXPECT_TRUE(original.schema().HasAttribute("payload"));
+  EXPECT_EQ(original.num_rows(), 20u);
+}
+
+TEST(RestructEdgeTest, HiddenObjectSkipsNullValues) {
+  Database db;
+  RelationSchema r("R");
+  ASSERT_TRUE(r.AddAttribute("k", DataType::kInt64).ok());
+  ASSERT_TRUE(r.AddAttribute("tag", DataType::kInt64).ok());
+  ASSERT_TRUE(r.DeclareUnique({"k"}).ok());
+  ASSERT_TRUE(db.CreateRelation(std::move(r)).ok());
+  Table* table = *db.GetMutableTable("R");
+  ASSERT_TRUE(table->Insert({Value::Int(1), Value::Int(5)}).ok());
+  ASSERT_TRUE(table->Insert({Value::Int(2), Value::Null()}).ok());
+  ASSERT_TRUE(table->Insert({Value::Int(3), Value::Int(5)}).ok());
+  DefaultOracle oracle;
+  QualifiedAttributes hidden{"R", AttributeSet{"tag"}};
+  auto result = Restruct(db, {}, {hidden}, {}, &oracle);
+  ASSERT_TRUE(result.ok());
+  const Table& tags = **result->database.GetTable("R_tag");
+  EXPECT_EQ(tags.num_rows(), 1u);  // only the value 5; NULL excluded
+}
+
+TEST(TranslateEdgeTest, NamesWithoutAttributes) {
+  Database db = MakeDb();
+  DefaultOracle oracle;
+  FunctionalDependency fd("Sales", AttributeSet{"a"},
+                          AttributeSet{"payload"});
+  auto restructured = Restruct(db, {fd}, {}, {}, &oracle);
+  ASSERT_TRUE(restructured.ok());
+  TranslateOptions options;
+  options.include_attributes_in_names = false;
+  auto eer = Translate(*restructured, options);
+  ASSERT_TRUE(eer.ok());
+  ASSERT_EQ(eer->relationships().size(), 1u);
+  EXPECT_EQ(eer->relationships()[0].name, "Sales");
+}
+
+TEST(TranslateEdgeTest, EmptyRestructGivesEntitiesOnly) {
+  Database db = MakeDb();
+  RestructResult restructured;
+  restructured.database = db.Clone();
+  auto eer = Translate(restructured);
+  ASSERT_TRUE(eer.ok());
+  EXPECT_EQ(eer->entities().size(), 1u);
+  EXPECT_TRUE(eer->relationships().empty());
+  EXPECT_TRUE(eer->isa_links().empty());
+}
+
+}  // namespace
+}  // namespace dbre

@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include "core/restruct.h"
+#include "core/translate.h"
+#include "deps/fd_miner.h"
+#include "deps/normal_forms.h"
+
+namespace dbre {
+namespace {
+
+// Sales(id*, prod, prod_name, region): prod → prod_name.
+Database MakeSalesDatabase() {
+  Database db;
+  RelationSchema sales("Sales");
+  EXPECT_TRUE(sales.AddAttribute("id", DataType::kInt64).ok());
+  EXPECT_TRUE(sales.AddAttribute("prod", DataType::kInt64).ok());
+  EXPECT_TRUE(sales.AddAttribute("prod_name", DataType::kString).ok());
+  EXPECT_TRUE(sales.AddAttribute("region", DataType::kString).ok());
+  EXPECT_TRUE(sales.DeclareUnique({"id"}).ok());
+  EXPECT_TRUE(db.CreateRelation(std::move(sales)).ok());
+  Table* table = *db.GetMutableTable("Sales");
+  for (int64_t i = 1; i <= 12; ++i) {
+    int64_t prod = i % 4;
+    EXPECT_TRUE(table
+                    ->Insert({Value::Int(i), Value::Int(prod),
+                              Value::Text("p" + std::to_string(prod)),
+                              Value::Text("r" + std::to_string(i % 3))})
+                    .ok());
+  }
+  return db;
+}
+
+TEST(RestructTest, FdSplitCreatesRelationAndRemovesRhs) {
+  Database db = MakeSalesDatabase();
+  DefaultOracle oracle;
+  FunctionalDependency fd("Sales", AttributeSet{"prod"},
+                          AttributeSet{"prod_name"});
+  auto result = Restruct(db, {fd}, {}, {}, &oracle);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  // New relation Sales_prod(prod*, prod_name) with 4 rows.
+  ASSERT_TRUE(result->database.HasRelation("Sales_prod"));
+  const Table& products = **result->database.GetTable("Sales_prod");
+  EXPECT_EQ(products.num_rows(), 4u);
+  EXPECT_TRUE(products.schema().IsKey(AttributeSet{"prod"}));
+  EXPECT_TRUE(products.VerifyUniqueConstraints().ok());
+
+  // Sales lost prod_name but kept prod.
+  const Table& sales = **result->database.GetTable("Sales");
+  EXPECT_FALSE(sales.schema().HasAttribute("prod_name"));
+  EXPECT_TRUE(sales.schema().HasAttribute("prod"));
+  EXPECT_EQ(sales.num_rows(), 12u);
+
+  // IND Sales[prod] << Sales_prod[prod] added; it is a RIC and holds.
+  ASSERT_EQ(result->rics.size(), 1u);
+  EXPECT_EQ(result->rics[0].ToString(), "Sales[prod] << Sales_prod[prod]");
+  EXPECT_TRUE(*Satisfies(result->database, result->rics[0]));
+  EXPECT_EQ(result->provenance.at("Sales_prod"),
+            "FD Sales: {prod} -> {prod_name}");
+}
+
+TEST(RestructTest, HiddenObjectCreatesKeyedRelation) {
+  Database db = MakeSalesDatabase();
+  DefaultOracle oracle;
+  QualifiedAttributes hidden{"Sales", AttributeSet{"region"}};
+  auto result = Restruct(db, {}, {hidden}, {}, &oracle);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->database.HasRelation("Sales_region"));
+  const Table& regions = **result->database.GetTable("Sales_region");
+  EXPECT_EQ(regions.num_rows(), 3u);
+  EXPECT_TRUE(regions.schema().IsKey(AttributeSet{"region"}));
+  // Sales keeps the attribute.
+  EXPECT_TRUE(
+      (**result->database.GetTable("Sales")).schema().HasAttribute("region"));
+  ASSERT_EQ(result->rics.size(), 1u);
+  EXPECT_EQ(result->rics[0].ToString(),
+            "Sales[region] << Sales_region[region]");
+}
+
+TEST(RestructTest, OracleNamesNewRelations) {
+  Database db = MakeSalesDatabase();
+  ScriptedOracle oracle;
+  oracle.ScriptFdRelationName("Sales: {prod} -> {prod_name}", "Product");
+  FunctionalDependency fd("Sales", AttributeSet{"prod"},
+                          AttributeSet{"prod_name"});
+  auto result = Restruct(db, {fd}, {}, {}, &oracle);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->database.HasRelation("Product"));
+}
+
+TEST(RestructTest, IndRewritingFollowsMovedAttributes) {
+  Database db = MakeSalesDatabase();
+  // Second relation referencing Sales.prod.
+  RelationSchema audit("Audit");
+  ASSERT_TRUE(audit.AddAttribute("prod", DataType::kInt64).ok());
+  ASSERT_TRUE(db.CreateRelation(std::move(audit)).ok());
+  Table* audit_table = *db.GetMutableTable("Audit");
+  ASSERT_TRUE(audit_table->Insert({Value::Int(1)}).ok());
+
+  DefaultOracle oracle;
+  FunctionalDependency fd("Sales", AttributeSet{"prod"},
+                          AttributeSet{"prod_name"});
+  std::vector<InclusionDependency> inds = {
+      InclusionDependency::Single("Audit", "prod", "Sales", "prod")};
+  auto result = Restruct(db, {fd}, {}, inds, &oracle);
+  ASSERT_TRUE(result.ok());
+  // Audit[prod] << Sales[prod] was rewritten to target the new relation.
+  bool found = false;
+  for (const InclusionDependency& ind : result->inds) {
+    if (ind.ToString() == "Audit[prod] << Sales_prod[prod]") found = true;
+    EXPECT_NE(ind.ToString(), "Audit[prod] << Sales[prod]");
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RestructTest, NameCollisionGetsSuffix) {
+  Database db = MakeSalesDatabase();
+  RelationSchema taken("Sales_prod");
+  ASSERT_TRUE(taken.AddAttribute("x", DataType::kInt64).ok());
+  ASSERT_TRUE(db.CreateRelation(std::move(taken)).ok());
+  DefaultOracle oracle;
+  FunctionalDependency fd("Sales", AttributeSet{"prod"},
+                          AttributeSet{"prod_name"});
+  auto result = Restruct(db, {fd}, {}, {}, &oracle);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->database.HasRelation("Sales_prod_2"));
+}
+
+TEST(RestructTest, OverlappingFdsRejected) {
+  Database db = MakeSalesDatabase();
+  DefaultOracle oracle;
+  // Both FDs move prod_name — the second must fail cleanly.
+  FunctionalDependency fd1("Sales", AttributeSet{"prod"},
+                           AttributeSet{"prod_name"});
+  FunctionalDependency fd2("Sales", AttributeSet{"region"},
+                           AttributeSet{"prod_name"});
+  EXPECT_EQ(Restruct(db, {fd1, fd2}, {}, {}, &oracle).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(RestructTest, ResultIs3NF) {
+  // After splitting the FD out, both relations should classify as 3NF
+  // under their mined dependencies.
+  Database db = MakeSalesDatabase();
+  DefaultOracle oracle;
+  FunctionalDependency fd("Sales", AttributeSet{"prod"},
+                          AttributeSet{"prod_name"});
+  auto result = Restruct(db, {fd}, {}, {}, &oracle);
+  ASSERT_TRUE(result.ok());
+  for (const std::string& relation : result->database.RelationNames()) {
+    const Table& table = **result->database.GetTable(relation);
+    auto mined = MineFds(table);
+    ASSERT_TRUE(mined.ok());
+    EXPECT_TRUE(IsIn3NF(table.schema().AttributeNames(), *mined))
+        << relation;
+  }
+}
+
+TEST(TranslateTest, BinaryRelationshipFromNonKeyRic) {
+  Database db = MakeSalesDatabase();
+  DefaultOracle oracle;
+  FunctionalDependency fd("Sales", AttributeSet{"prod"},
+                          AttributeSet{"prod_name"});
+  auto restructured = Restruct(db, {fd}, {}, {}, &oracle);
+  ASSERT_TRUE(restructured.ok());
+  auto eer = Translate(*restructured);
+  ASSERT_TRUE(eer.ok()) << eer.status();
+  EXPECT_TRUE(eer->HasEntity("Sales"));
+  EXPECT_TRUE(eer->HasEntity("Sales_prod"));
+  ASSERT_EQ(eer->relationships().size(), 1u);
+  const eer::RelationshipType& rel = eer->relationships()[0];
+  ASSERT_EQ(rel.roles.size(), 2u);
+  EXPECT_EQ(rel.roles[0].entity, "Sales");
+  EXPECT_EQ(rel.roles[0].cardinality, eer::Cardinality::kMany);
+  EXPECT_EQ(rel.roles[1].entity, "Sales_prod");
+  EXPECT_EQ(rel.roles[1].cardinality, eer::Cardinality::kOne);
+}
+
+TEST(TranslateTest, IsALinkFromKeyRic) {
+  // Sub(id*) << Super(id*): subtype pattern.
+  Database db;
+  for (const char* name : {"Sub", "Super"}) {
+    RelationSchema schema(name);
+    ASSERT_TRUE(schema.AddAttribute("id", DataType::kInt64).ok());
+    ASSERT_TRUE(schema.DeclareUnique({"id"}).ok());
+    ASSERT_TRUE(db.CreateRelation(std::move(schema)).ok());
+  }
+  RestructResult restructured;
+  restructured.database = db.Clone();
+  restructured.rics = {InclusionDependency::Single("Sub", "id", "Super",
+                                                   "id")};
+  auto eer = Translate(restructured);
+  ASSERT_TRUE(eer.ok());
+  ASSERT_EQ(eer->isa_links().size(), 1u);
+  EXPECT_EQ(eer->isa_links()[0].ToString(), "Sub is-a Super");
+}
+
+TEST(TranslateTest, WeakEntityFromPartialKeyRic) {
+  // Hist(id*, ver*) with Hist[id] << Master[id].
+  Database db;
+  RelationSchema hist("Hist");
+  ASSERT_TRUE(hist.AddAttribute("id", DataType::kInt64).ok());
+  ASSERT_TRUE(hist.AddAttribute("ver", DataType::kInt64).ok());
+  ASSERT_TRUE(hist.DeclareUnique({"id", "ver"}).ok());
+  ASSERT_TRUE(db.CreateRelation(std::move(hist)).ok());
+  RelationSchema master("Master");
+  ASSERT_TRUE(master.AddAttribute("id", DataType::kInt64).ok());
+  ASSERT_TRUE(master.DeclareUnique({"id"}).ok());
+  ASSERT_TRUE(db.CreateRelation(std::move(master)).ok());
+
+  RestructResult restructured;
+  restructured.database = db.Clone();
+  restructured.rics = {InclusionDependency::Single("Hist", "id", "Master",
+                                                   "id")};
+  auto eer = Translate(restructured);
+  ASSERT_TRUE(eer.ok());
+  EXPECT_TRUE((*eer->GetEntity("Hist"))->weak);
+  ASSERT_EQ(eer->relationships().size(), 1u);
+  const eer::RelationshipType& identifying = eer->relationships()[0];
+  EXPECT_EQ(identifying.roles[0].entity, "Master");
+  EXPECT_EQ(identifying.roles[0].cardinality, eer::Cardinality::kOne);
+}
+
+TEST(TranslateTest, TernaryRelationshipFromKeyPartition) {
+  Database db;
+  for (const char* name : {"A", "B", "C"}) {
+    RelationSchema schema(name);
+    ASSERT_TRUE(schema.AddAttribute("id", DataType::kInt64).ok());
+    ASSERT_TRUE(schema.DeclareUnique({"id"}).ok());
+    ASSERT_TRUE(db.CreateRelation(std::move(schema)).ok());
+  }
+  RelationSchema link("Link");
+  ASSERT_TRUE(link.AddAttribute("a", DataType::kInt64).ok());
+  ASSERT_TRUE(link.AddAttribute("b", DataType::kInt64).ok());
+  ASSERT_TRUE(link.AddAttribute("c", DataType::kInt64).ok());
+  ASSERT_TRUE(link.AddAttribute("note", DataType::kString).ok());
+  ASSERT_TRUE(link.DeclareUnique({"a", "b", "c"}).ok());
+  ASSERT_TRUE(db.CreateRelation(std::move(link)).ok());
+
+  RestructResult restructured;
+  restructured.database = db.Clone();
+  restructured.rics = {
+      InclusionDependency::Single("Link", "a", "A", "id"),
+      InclusionDependency::Single("Link", "b", "B", "id"),
+      InclusionDependency::Single("Link", "c", "C", "id")};
+  auto eer = Translate(restructured);
+  ASSERT_TRUE(eer.ok()) << eer.status();
+  EXPECT_FALSE(eer->HasEntity("Link"));
+  ASSERT_EQ(eer->relationships().size(), 1u);
+  const eer::RelationshipType& rel = eer->relationships()[0];
+  EXPECT_EQ(rel.name, "Link");
+  EXPECT_EQ(rel.roles.size(), 3u);
+  EXPECT_TRUE(rel.IsManyToMany());
+  EXPECT_EQ(rel.attributes, AttributeSet{"note"});
+}
+
+TEST(TranslateTest, PartialKeyCoverageIsNotAPartition) {
+  // Only 2 of 3 key parts referenced → Link stays an entity (weak).
+  Database db;
+  for (const char* name : {"A", "B"}) {
+    RelationSchema schema(name);
+    ASSERT_TRUE(schema.AddAttribute("id", DataType::kInt64).ok());
+    ASSERT_TRUE(schema.DeclareUnique({"id"}).ok());
+    ASSERT_TRUE(db.CreateRelation(std::move(schema)).ok());
+  }
+  RelationSchema link("Link");
+  ASSERT_TRUE(link.AddAttribute("a", DataType::kInt64).ok());
+  ASSERT_TRUE(link.AddAttribute("b", DataType::kInt64).ok());
+  ASSERT_TRUE(link.AddAttribute("c", DataType::kInt64).ok());
+  ASSERT_TRUE(link.DeclareUnique({"a", "b", "c"}).ok());
+  ASSERT_TRUE(db.CreateRelation(std::move(link)).ok());
+
+  RestructResult restructured;
+  restructured.database = db.Clone();
+  restructured.rics = {InclusionDependency::Single("Link", "a", "A", "id"),
+                       InclusionDependency::Single("Link", "b", "B", "id")};
+  auto eer = Translate(restructured);
+  ASSERT_TRUE(eer.ok());
+  EXPECT_TRUE(eer->HasEntity("Link"));
+  EXPECT_TRUE((*eer->GetEntity("Link"))->weak);
+}
+
+}  // namespace
+}  // namespace dbre

@@ -1,0 +1,137 @@
+#include "deps/fd.h"
+
+#include <gtest/gtest.h>
+
+namespace dbre {
+namespace {
+
+FunctionalDependency Fd(std::initializer_list<std::string> lhs,
+                        std::initializer_list<std::string> rhs) {
+  return FunctionalDependency("R", AttributeSet(lhs), AttributeSet(rhs));
+}
+
+TEST(FdTest, ToStringAndTriviality) {
+  EXPECT_EQ(Fd({"a"}, {"b", "c"}).ToString(), "R: {a} -> {b, c}");
+  EXPECT_TRUE(Fd({"a", "b"}, {"a"}).IsTrivial());
+  EXPECT_FALSE(Fd({"a"}, {"b"}).IsTrivial());
+}
+
+TEST(ClosureTest, ReflexiveAndTransitive) {
+  std::vector<FunctionalDependency> fds = {Fd({"a"}, {"b"}),
+                                           Fd({"b"}, {"c"})};
+  EXPECT_EQ(AttributeClosure(AttributeSet{"a"}, fds),
+            (AttributeSet{"a", "b", "c"}));
+  EXPECT_EQ(AttributeClosure(AttributeSet{"b"}, fds),
+            (AttributeSet{"b", "c"}));
+  EXPECT_EQ(AttributeClosure(AttributeSet{"c"}, fds), AttributeSet{"c"});
+}
+
+TEST(ClosureTest, CompositeLhsNeedsAllAttributes) {
+  std::vector<FunctionalDependency> fds = {Fd({"a", "b"}, {"c"})};
+  EXPECT_EQ(AttributeClosure(AttributeSet{"a"}, fds), AttributeSet{"a"});
+  EXPECT_EQ(AttributeClosure(AttributeSet{"a", "b"}, fds),
+            (AttributeSet{"a", "b", "c"}));
+}
+
+TEST(ClosureTest, EmptyFdSet) {
+  EXPECT_EQ(AttributeClosure(AttributeSet{"a"}, {}), AttributeSet{"a"});
+}
+
+TEST(ImpliesTest, DetectsImpliedFds) {
+  std::vector<FunctionalDependency> fds = {Fd({"a"}, {"b"}),
+                                           Fd({"b"}, {"c"})};
+  EXPECT_TRUE(Implies(fds, AttributeSet{"a"}, AttributeSet{"c"}));
+  EXPECT_FALSE(Implies(fds, AttributeSet{"c"}, AttributeSet{"a"}));
+}
+
+TEST(SuperkeyTest, Superkeys) {
+  AttributeSet all{"a", "b", "c"};
+  std::vector<FunctionalDependency> fds = {Fd({"a"}, {"b", "c"})};
+  EXPECT_TRUE(IsSuperkey(AttributeSet{"a"}, all, fds));
+  EXPECT_TRUE(IsSuperkey(AttributeSet{"a", "b"}, all, fds));
+  EXPECT_FALSE(IsSuperkey(AttributeSet{"b"}, all, fds));
+}
+
+TEST(CandidateKeysTest, SingleKey) {
+  AttributeSet all{"a", "b", "c"};
+  std::vector<FunctionalDependency> fds = {Fd({"a"}, {"b"}),
+                                           Fd({"b"}, {"c"})};
+  EXPECT_EQ(CandidateKeys(all, fds),
+            std::vector<AttributeSet>{AttributeSet{"a"}});
+}
+
+TEST(CandidateKeysTest, MultipleKeys) {
+  // a→b, b→a: both {a,c} and {b,c} are keys of {a,b,c}.
+  AttributeSet all{"a", "b", "c"};
+  std::vector<FunctionalDependency> fds = {Fd({"a"}, {"b"}),
+                                           Fd({"b"}, {"a"})};
+  EXPECT_EQ(CandidateKeys(all, fds),
+            (std::vector<AttributeSet>{AttributeSet{"a", "c"},
+                                       AttributeSet{"b", "c"}}));
+}
+
+TEST(CandidateKeysTest, NoFdsMeansAllAttributes) {
+  AttributeSet all{"a", "b"};
+  EXPECT_EQ(CandidateKeys(all, {}), std::vector<AttributeSet>{all});
+}
+
+TEST(CandidateKeysTest, CyclicKeys) {
+  // Classic: a→b, b→c, c→a — every attribute is a key.
+  AttributeSet all{"a", "b", "c"};
+  std::vector<FunctionalDependency> fds = {
+      Fd({"a"}, {"b"}), Fd({"b"}, {"c"}), Fd({"c"}, {"a"})};
+  EXPECT_EQ(CandidateKeys(all, fds),
+            (std::vector<AttributeSet>{AttributeSet{"a"}, AttributeSet{"b"},
+                                       AttributeSet{"c"}}));
+}
+
+TEST(MinimalCoverTest, SplitsRightHandSides) {
+  auto cover = MinimalCover("R", {Fd({"a"}, {"b", "c"})});
+  ASSERT_EQ(cover.size(), 2u);
+  EXPECT_EQ(cover[0].ToString(), "R: {a} -> {b}");
+  EXPECT_EQ(cover[1].ToString(), "R: {a} -> {c}");
+}
+
+TEST(MinimalCoverTest, RemovesExtraneousLhsAttributes) {
+  // With a→b, the FD ab→c should shrink to a→c iff a→c is implied; here we
+  // give ab→c and a→b: b is extraneous in ab→c only if a→c follows from
+  // {a→b, a(b)→c} — it does (a determines b, then ab→c).
+  auto cover = MinimalCover("R", {Fd({"a"}, {"b"}), Fd({"a", "b"}, {"c"})});
+  bool found_reduced = false;
+  for (const FunctionalDependency& fd : cover) {
+    if (fd.lhs == AttributeSet{"a"} && fd.rhs == AttributeSet{"c"}) {
+      found_reduced = true;
+    }
+    EXPECT_NE(fd.lhs, (AttributeSet{"a", "b"}));
+  }
+  EXPECT_TRUE(found_reduced);
+}
+
+TEST(MinimalCoverTest, RemovesRedundantFds) {
+  auto cover = MinimalCover(
+      "R", {Fd({"a"}, {"b"}), Fd({"b"}, {"c"}), Fd({"a"}, {"c"})});
+  EXPECT_EQ(cover.size(), 2u);  // a→c is implied by transitivity
+}
+
+TEST(MinimalCoverTest, DropsTrivialParts) {
+  auto cover = MinimalCover("R", {Fd({"a"}, {"a", "b"})});
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].rhs, AttributeSet{"b"});
+}
+
+TEST(MinimalCoverTest, CoverIsEquivalentToOriginal) {
+  std::vector<FunctionalDependency> original = {
+      Fd({"a"}, {"b", "c"}), Fd({"b", "c"}, {"d"}), Fd({"a"}, {"d"}),
+      Fd({"d", "a"}, {"e"})};
+  auto cover = MinimalCover("R", original);
+  // Every original FD must follow from the cover and vice versa.
+  for (const FunctionalDependency& fd : original) {
+    EXPECT_TRUE(Implies(cover, fd.lhs, fd.rhs)) << fd.ToString();
+  }
+  for (const FunctionalDependency& fd : cover) {
+    EXPECT_TRUE(Implies(original, fd.lhs, fd.rhs)) << fd.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace dbre

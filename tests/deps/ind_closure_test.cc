@@ -1,0 +1,133 @@
+#include "deps/ind_closure.h"
+
+#include <gtest/gtest.h>
+
+namespace dbre {
+namespace {
+
+InclusionDependency Ind(const std::string& l, const std::string& la,
+                        const std::string& r, const std::string& ra) {
+  return InclusionDependency::Single(l, la, r, ra);
+}
+
+TEST(IndClosureTest, TransitivityChains) {
+  std::vector<InclusionDependency> inds = {Ind("A", "x", "B", "y"),
+                                           Ind("B", "y", "C", "z")};
+  auto closed = TransitiveClosure(inds);
+  EXPECT_EQ(closed.size(), 3u);
+  EXPECT_NE(std::find(closed.begin(), closed.end(), Ind("A", "x", "C", "z")),
+            closed.end());
+}
+
+TEST(IndClosureTest, NoChainWithoutMatchingMiddle) {
+  // B[y] vs B[w]: middles differ, nothing derived.
+  std::vector<InclusionDependency> inds = {Ind("A", "x", "B", "y"),
+                                           Ind("B", "w", "C", "z")};
+  EXPECT_EQ(TransitiveClosure(inds).size(), 2u);
+}
+
+TEST(IndClosureTest, LongChainSaturates) {
+  std::vector<InclusionDependency> inds;
+  for (int i = 0; i < 5; ++i) {
+    inds.push_back(Ind("R" + std::to_string(i), "a",
+                       "R" + std::to_string(i + 1), "a"));
+  }
+  auto closed = TransitiveClosure(inds);
+  // 5 + 4 + 3 + 2 + 1 pairs.
+  EXPECT_EQ(closed.size(), 15u);
+}
+
+TEST(IndClosureTest, CycleDoesNotDeriveTrivial) {
+  std::vector<InclusionDependency> inds = {Ind("A", "x", "B", "y"),
+                                           Ind("B", "y", "A", "x")};
+  auto closed = TransitiveClosure(inds);
+  EXPECT_EQ(closed.size(), 2u);  // A[x] << A[x] suppressed
+}
+
+TEST(IndClosureTest, MultiAttributeMiddleMatchesPositionally) {
+  InclusionDependency first("A", {"x1", "x2"}, "B", {"y1", "y2"});
+  InclusionDependency second("B", {"y1", "y2"}, "C", {"z1", "z2"});
+  InclusionDependency mismatched("B", {"y2", "y1"}, "C", {"z1", "z2"});
+  auto closed = TransitiveClosure({first, second});
+  EXPECT_EQ(closed.size(), 3u);
+  closed = TransitiveClosure({first, mismatched});
+  EXPECT_EQ(closed.size(), 2u);  // order differs → no chain
+}
+
+TEST(IndClosureTest, UnaryProjection) {
+  InclusionDependency multi("A", {"x1", "x2"}, "B", {"y1", "y2"});
+  IndClosureOptions options;
+  options.project = true;
+  auto closed = TransitiveClosure({multi}, options);
+  EXPECT_EQ(closed.size(), 3u);  // original + two unary projections
+  EXPECT_NE(std::find(closed.begin(), closed.end(),
+                      Ind("A", "x1", "B", "y1")),
+            closed.end());
+  EXPECT_NE(std::find(closed.begin(), closed.end(),
+                      Ind("A", "x2", "B", "y2")),
+            closed.end());
+}
+
+TEST(IndClosureTest, FullProjection) {
+  InclusionDependency multi("A", {"x1", "x2", "x3"}, "B",
+                            {"y1", "y2", "y3"});
+  IndClosureOptions options;
+  options.project = true;
+  options.unary_projections_only = false;
+  auto closed = TransitiveClosure({multi}, options);
+  EXPECT_EQ(closed.size(), 7u);  // all non-empty position subsets
+}
+
+TEST(IndClosureTest, SaturationGuard) {
+  // A complete digraph on 20 unary sides would close to 380 INDs; cap it.
+  std::vector<InclusionDependency> inds;
+  for (int i = 0; i < 19; ++i) {
+    inds.push_back(Ind("R" + std::to_string(i), "a",
+                       "R" + std::to_string(i + 1), "a"));
+  }
+  inds.push_back(Ind("R19", "a", "R0", "a"));
+  IndClosureOptions options;
+  options.max_derived = 50;
+  auto closed = TransitiveClosure(inds, options);
+  EXPECT_LE(closed.size(), 50u);
+  EXPECT_GE(closed.size(), 20u);
+}
+
+TEST(FindCyclicSidesTest, NoCycles) {
+  std::vector<InclusionDependency> inds = {Ind("A", "x", "B", "y"),
+                                           Ind("B", "y", "C", "z")};
+  EXPECT_TRUE(FindCyclicSides(inds).empty());
+}
+
+TEST(FindCyclicSidesTest, TwoCycle) {
+  std::vector<InclusionDependency> inds = {Ind("A", "x", "B", "y"),
+                                           Ind("B", "y", "A", "x")};
+  auto cycles = FindCyclicSides(inds);
+  ASSERT_EQ(cycles.size(), 1u);
+  ASSERT_EQ(cycles[0].sides.size(), 2u);
+  EXPECT_EQ(cycles[0].sides[0].first, "A");
+  EXPECT_EQ(cycles[0].sides[1].first, "B");
+}
+
+TEST(FindCyclicSidesTest, LongCycleAndBranch) {
+  std::vector<InclusionDependency> inds = {
+      Ind("A", "x", "B", "y"), Ind("B", "y", "C", "z"),
+      Ind("C", "z", "A", "x"),
+      Ind("D", "w", "A", "x"),  // feeds the cycle, not part of it
+  };
+  auto cycles = FindCyclicSides(inds);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].sides.size(), 3u);
+}
+
+TEST(FindCyclicSidesTest, SameRelationDifferentAttributesAreDistinctNodes) {
+  // A[x] << A[y] << A[x]: a cycle between two sides of one relation.
+  std::vector<InclusionDependency> inds = {Ind("A", "x", "A", "y"),
+                                           Ind("A", "y", "A", "x")};
+  auto cycles = FindCyclicSides(inds);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].sides.size(), 2u);
+}
+
+}  // namespace
+}  // namespace dbre

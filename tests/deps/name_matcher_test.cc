@@ -1,0 +1,122 @@
+#include "deps/name_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/ddl.h"
+#include "workload/generator.h"
+
+namespace dbre {
+namespace {
+
+TEST(NameStemTest, StripsLongestSuffix) {
+  NameMatchOptions options;
+  EXPECT_EQ(NameStem("cust_id", options), "cust");
+  EXPECT_EQ(NameStem("CUST_REF", options), "cust");
+  EXPECT_EQ(NameStem("order_no", options), "order");
+  EXPECT_EQ(NameStem("plain", options), "plain");
+  // Never strips down to nothing.
+  EXPECT_EQ(NameStem("_id", options), "_id");
+}
+
+TEST(NameMatcherTest, FindsAlignedForeignKey) {
+  Database db;
+  ASSERT_TRUE(sql::ExecuteDdlScript(R"(
+CREATE TABLE Customers (cust_id INT PRIMARY KEY, name TEXT);
+CREATE TABLE Orders (ord INT PRIMARY KEY, cust_ref INT);
+INSERT INTO Customers VALUES (1, 'a'), (2, 'b');
+INSERT INTO Orders VALUES (10, 1), (11, 2);
+)",
+                                    &db)
+                  .ok());
+  NameMatchStats stats;
+  auto inds = DiscoverIndsByNaming(db, {}, &stats);
+  ASSERT_TRUE(inds.ok()) << inds.status();
+  ASSERT_EQ(inds->size(), 1u);
+  EXPECT_EQ((*inds)[0].ToString(), "Orders[cust_ref] << Customers[cust_id]");
+  EXPECT_GE(stats.pairs_proposed, 1u);
+}
+
+TEST(NameMatcherTest, VerificationDropsViolatedProposals) {
+  Database db;
+  ASSERT_TRUE(sql::ExecuteDdlScript(R"(
+CREATE TABLE Customers (cust_id INT PRIMARY KEY);
+CREATE TABLE Orders (ord INT PRIMARY KEY, cust_id INT);
+INSERT INTO Customers VALUES (1);
+INSERT INTO Orders VALUES (10, 1), (11, 99);
+)",
+                                    &db)
+                  .ok());
+  auto verified = DiscoverIndsByNaming(db);
+  ASSERT_TRUE(verified.ok());
+  EXPECT_TRUE(verified->empty());  // 99 is dangling
+
+  NameMatchOptions unverified;
+  unverified.verify_against_extension = false;
+  auto raw = DiscoverIndsByNaming(db, unverified);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw->size(), 1u);  // the raw heuristic still proposes it
+}
+
+TEST(NameMatcherTest, TypeCompatibilityRequired) {
+  Database db;
+  ASSERT_TRUE(sql::ExecuteDdlScript(R"(
+CREATE TABLE A (thing_id INT PRIMARY KEY);
+CREATE TABLE B (x INT PRIMARY KEY, thing_id TEXT);
+INSERT INTO A VALUES (1);
+INSERT INTO B VALUES (1, '1');
+)",
+                                    &db)
+                  .ok());
+  auto inds = DiscoverIndsByNaming(db);
+  ASSERT_TRUE(inds.ok());
+  EXPECT_TRUE(inds->empty());
+}
+
+TEST(NameMatcherTest, RecallCollapsesUnderObfuscation) {
+  workload::SyntheticSpec spec;
+  spec.num_entities = 6;
+  spec.num_merged = 3;
+  spec.rows_per_entity = 150;
+  spec.seed = 8;
+
+  // Aligned names: the heuristic finds the FK links (fk column stems match
+  // the referenced key names) and the merged links (identical names).
+  auto aligned = workload::GenerateSynthetic(spec);
+  ASSERT_TRUE(aligned.ok());
+  NameMatchOptions options;
+  options.key_targets_only = false;  // merged links target non-keys
+  auto found_aligned = DiscoverIndsByNaming(aligned->database, options);
+  ASSERT_TRUE(found_aligned.ok());
+  size_t aligned_hits = 0;
+  for (const InclusionDependency& truth : aligned->true_inds) {
+    if (std::find(found_aligned->begin(), found_aligned->end(), truth) !=
+        found_aligned->end()) {
+      ++aligned_hits;
+    }
+  }
+  EXPECT_GT(aligned_hits, 0u);
+
+  // Obfuscated names: ground truth unaffected, heuristic finds none of it.
+  spec.obfuscate_names = true;
+  auto obfuscated = workload::GenerateSynthetic(spec);
+  ASSERT_TRUE(obfuscated.ok());
+  for (const InclusionDependency& truth : obfuscated->true_inds) {
+    EXPECT_TRUE(*Satisfies(obfuscated->database, truth))
+        << truth.ToString();
+  }
+  auto found_obfuscated =
+      DiscoverIndsByNaming(obfuscated->database, options);
+  ASSERT_TRUE(found_obfuscated.ok());
+  size_t obfuscated_hits = 0;
+  for (const InclusionDependency& truth : obfuscated->true_inds) {
+    if (std::find(found_obfuscated->begin(), found_obfuscated->end(),
+                  truth) != found_obfuscated->end()) {
+      ++obfuscated_hits;
+    }
+  }
+  EXPECT_EQ(obfuscated_hits, 0u);
+  EXPECT_GT(aligned_hits, obfuscated_hits);
+}
+
+}  // namespace
+}  // namespace dbre

@@ -1,0 +1,116 @@
+#include "deps/normal_forms.h"
+
+#include <gtest/gtest.h>
+
+namespace dbre {
+namespace {
+
+FunctionalDependency Fd(std::initializer_list<std::string> lhs,
+                        std::initializer_list<std::string> rhs) {
+  return FunctionalDependency("R", AttributeSet(lhs), AttributeSet(rhs));
+}
+
+TEST(NormalFormTest, KeyOnlyRelationIsBcnf) {
+  AttributeSet all{"a", "b"};
+  std::vector<FunctionalDependency> fds = {Fd({"a"}, {"b"})};
+  EXPECT_EQ(ClassifyNormalForm(all, fds), NormalForm::kBCNF);
+}
+
+TEST(NormalFormTest, TransitiveDependencyIs2NF) {
+  // key a; a→b, b→c: transitive → 2NF but not 3NF.
+  AttributeSet all{"a", "b", "c"};
+  std::vector<FunctionalDependency> fds = {Fd({"a"}, {"b"}),
+                                           Fd({"b"}, {"c"})};
+  EXPECT_TRUE(IsIn2NF(all, fds));
+  EXPECT_FALSE(IsIn3NF(all, fds));
+  EXPECT_EQ(ClassifyNormalForm(all, fds), NormalForm::k2NF);
+}
+
+TEST(NormalFormTest, PartialDependencyIs1NF) {
+  // key {a,b}; a→c partial → not 2NF.
+  AttributeSet all{"a", "b", "c"};
+  std::vector<FunctionalDependency> fds = {Fd({"a", "b"}, {"c"}),
+                                           Fd({"a"}, {"c"})};
+  EXPECT_FALSE(IsIn2NF(all, fds));
+  EXPECT_EQ(ClassifyNormalForm(all, fds), NormalForm::k1NF);
+}
+
+TEST(NormalFormTest, PrimeDependentKeeps3NF) {
+  // 3NF-but-not-BCNF classic: key {a,b}, also c→b with c non-superkey but
+  // b prime.
+  AttributeSet all{"a", "b", "c"};
+  std::vector<FunctionalDependency> fds = {Fd({"a", "b"}, {"c"}),
+                                           Fd({"c"}, {"b"})};
+  EXPECT_TRUE(IsIn3NF(all, fds));
+  EXPECT_FALSE(IsInBCNF(all, fds));
+  EXPECT_EQ(ClassifyNormalForm(all, fds), NormalForm::k3NF);
+}
+
+TEST(NormalFormTest, PrimeAttributesUnionOfKeys) {
+  AttributeSet all{"a", "b", "c"};
+  std::vector<FunctionalDependency> fds = {Fd({"a"}, {"b"}),
+                                           Fd({"b"}, {"a"})};
+  // keys {a,c} and {b,c} → prime = {a,b,c}.
+  EXPECT_EQ(PrimeAttributes(all, fds), all);
+}
+
+TEST(NormalFormTest, NoFdsIsBcnf) {
+  AttributeSet all{"a", "b"};
+  EXPECT_EQ(ClassifyNormalForm(all, {}), NormalForm::kBCNF);
+}
+
+TEST(NormalFormTest, NamesAreStable) {
+  EXPECT_STREQ(NormalFormName(NormalForm::k1NF), "1NF");
+  EXPECT_STREQ(NormalFormName(NormalForm::k2NF), "2NF");
+  EXPECT_STREQ(NormalFormName(NormalForm::k3NF), "3NF");
+  EXPECT_STREQ(NormalFormName(NormalForm::kBCNF), "BCNF");
+}
+
+// E10: the paper's §5 annotations. FDs are the design-level dependencies of
+// each relation (key dependencies included).
+TEST(NormalFormTest, PaperExampleAnnotations) {
+  // Person(id, name, street, number, zip-code, state): key id,
+  // zip-code → state. The paper says 2NF.
+  {
+    AttributeSet all{"id", "name", "street", "number", "zip-code", "state"};
+    std::vector<FunctionalDependency> fds = {
+        FunctionalDependency("Person", AttributeSet{"id"},
+                             all.Minus(AttributeSet{"id"})),
+        FunctionalDependency("Person", AttributeSet{"zip-code"},
+                             AttributeSet{"state"})};
+    EXPECT_EQ(ClassifyNormalForm(all, fds), NormalForm::k2NF);
+  }
+  // HEmployee(no, date, salary): key {no, date} → salary. Paper: 3NF (it
+  // is in fact BCNF, which implies 3NF).
+  {
+    AttributeSet all{"no", "date", "salary"};
+    std::vector<FunctionalDependency> fds = {FunctionalDependency(
+        "HEmployee", AttributeSet{"date", "no"}, AttributeSet{"salary"})};
+    EXPECT_TRUE(IsIn3NF(all, fds));
+  }
+  // Department(dep, emp, skill, location, proj): key dep; emp → skill,
+  // proj. Paper: 2NF.
+  {
+    AttributeSet all{"dep", "emp", "skill", "location", "proj"};
+    std::vector<FunctionalDependency> fds = {
+        FunctionalDependency("Department", AttributeSet{"dep"},
+                             all.Minus(AttributeSet{"dep"})),
+        FunctionalDependency("Department", AttributeSet{"emp"},
+                             AttributeSet{"proj", "skill"})};
+    EXPECT_EQ(ClassifyNormalForm(all, fds), NormalForm::k2NF);
+  }
+  // Assignment(emp, dep, proj, date, project-name): key {emp, dep, proj};
+  // proj → project-name (partial). Paper: 1NF.
+  {
+    AttributeSet all{"emp", "dep", "proj", "date", "project-name"};
+    std::vector<FunctionalDependency> fds = {
+        FunctionalDependency("Assignment", AttributeSet{"dep", "emp", "proj"},
+                             AttributeSet{"date", "project-name"}),
+        FunctionalDependency("Assignment", AttributeSet{"proj"},
+                             AttributeSet{"project-name"})};
+    EXPECT_EQ(ClassifyNormalForm(all, fds), NormalForm::k1NF);
+  }
+}
+
+}  // namespace
+}  // namespace dbre

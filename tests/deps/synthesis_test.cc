@@ -1,0 +1,182 @@
+#include "deps/synthesis.h"
+
+#include <gtest/gtest.h>
+
+#include "deps/normal_forms.h"
+
+namespace dbre {
+namespace {
+
+FunctionalDependency Fd(std::initializer_list<std::string> lhs,
+                        std::initializer_list<std::string> rhs) {
+  return FunctionalDependency("", AttributeSet(lhs), AttributeSet(rhs));
+}
+
+std::vector<AttributeSet> Components(
+    const std::vector<DecomposedRelation>& relations) {
+  std::vector<AttributeSet> out;
+  for (const DecomposedRelation& relation : relations) {
+    out.push_back(relation.attributes);
+  }
+  return out;
+}
+
+TEST(LosslessJoinTest, ClassicBinaryCase) {
+  // R(a,b,c) with a→b: {ab, ac} is lossless; {ab, bc} is not.
+  AttributeSet universe{"a", "b", "c"};
+  std::vector<FunctionalDependency> fds = {Fd({"a"}, {"b"})};
+  EXPECT_TRUE(IsLosslessJoin(universe,
+                             {AttributeSet{"a", "b"}, AttributeSet{"a", "c"}},
+                             fds));
+  EXPECT_FALSE(IsLosslessJoin(
+      universe, {AttributeSet{"a", "b"}, AttributeSet{"b", "c"}}, fds));
+}
+
+TEST(LosslessJoinTest, ThreeWayChase) {
+  // Textbook: R(a,b,c,d,e), FDs a→c, b→c, c→d, de→c, ce→a;
+  // decomposition {ad, ab, be, cde, ae} is lossless.
+  AttributeSet universe{"a", "b", "c", "d", "e"};
+  std::vector<FunctionalDependency> fds = {
+      Fd({"a"}, {"c"}), Fd({"b"}, {"c"}), Fd({"c"}, {"d"}),
+      Fd({"d", "e"}, {"c"}), Fd({"c", "e"}, {"a"})};
+  std::vector<AttributeSet> good = {
+      AttributeSet{"a", "d"}, AttributeSet{"a", "b"},
+      AttributeSet{"b", "e"}, AttributeSet{"c", "d", "e"},
+      AttributeSet{"a", "e"}};
+  EXPECT_TRUE(IsLosslessJoin(universe, good, fds));
+  // Removing the component that ties e in breaks it.
+  std::vector<AttributeSet> bad = {AttributeSet{"a", "d"},
+                                   AttributeSet{"a", "b"},
+                                   AttributeSet{"c", "d", "e"}};
+  EXPECT_FALSE(IsLosslessJoin(universe, bad, fds));
+}
+
+TEST(LosslessJoinTest, FullComponentIsAlwaysLossless) {
+  AttributeSet universe{"a", "b"};
+  EXPECT_TRUE(IsLosslessJoin(universe, {universe}, {}));
+  EXPECT_FALSE(IsLosslessJoin(universe, {}, {}));
+}
+
+TEST(ProjectFdsTest, KeepsOnlyComponentFds) {
+  // a→b, b→c: projecting on {a, c} yields a→c (transitively).
+  std::vector<FunctionalDependency> fds = {Fd({"a"}, {"b"}),
+                                           Fd({"b"}, {"c"})};
+  auto projected = ProjectFds(AttributeSet{"a", "c"}, fds);
+  ASSERT_EQ(projected.size(), 1u);
+  EXPECT_EQ(projected[0].ToString(), "{a} -> {c}");
+}
+
+TEST(ProjectFdsTest, MinimalLhsOnly) {
+  std::vector<FunctionalDependency> fds = {Fd({"a"}, {"c"})};
+  auto projected = ProjectFds(AttributeSet{"a", "b", "c"}, fds);
+  // a→c is there; ab→c must not be reported (non-minimal).
+  for (const FunctionalDependency& fd : projected) {
+    EXPECT_FALSE(fd.lhs == (AttributeSet{"a", "b"}) &&
+                 fd.rhs == AttributeSet{"c"});
+  }
+}
+
+TEST(PreservesDependenciesTest, DetectsLoss) {
+  // R(a,b,c), a→b, b→c. {ab, ac} loses b→c; {ab, bc} preserves both.
+  std::vector<FunctionalDependency> fds = {Fd({"a"}, {"b"}),
+                                           Fd({"b"}, {"c"})};
+  EXPECT_FALSE(PreservesDependencies(
+      {AttributeSet{"a", "b"}, AttributeSet{"a", "c"}}, fds));
+  EXPECT_TRUE(PreservesDependencies(
+      {AttributeSet{"a", "b"}, AttributeSet{"b", "c"}}, fds));
+}
+
+TEST(Synthesize3NFTest, TextbookSynthesis) {
+  // a→bc, c→d over {a,b,c,d}: groups {a}→{b,c}, {c}→{d}; a is a key
+  // contained in the first component → no key relation.
+  AttributeSet universe{"a", "b", "c", "d"};
+  std::vector<FunctionalDependency> fds = {Fd({"a"}, {"b", "c"}),
+                                           Fd({"c"}, {"d"})};
+  auto relations = Synthesize3NF("R", universe, fds);
+  ASSERT_EQ(relations.size(), 2u);
+  EXPECT_EQ(relations[0].attributes, (AttributeSet{"a", "b", "c"}));
+  EXPECT_EQ(relations[0].key, AttributeSet{"a"});
+  EXPECT_EQ(relations[1].attributes, (AttributeSet{"c", "d"}));
+}
+
+TEST(Synthesize3NFTest, AddsKeyRelationWhenNeeded) {
+  // a→b, c→d over {a,b,c,d}: key is {a,c}, contained in no group → a key
+  // relation is added.
+  AttributeSet universe{"a", "b", "c", "d"};
+  std::vector<FunctionalDependency> fds = {Fd({"a"}, {"b"}),
+                                           Fd({"c"}, {"d"})};
+  auto relations = Synthesize3NF("R", universe, fds);
+  ASSERT_EQ(relations.size(), 3u);
+  bool key_relation = false;
+  for (const DecomposedRelation& relation : relations) {
+    if (relation.attributes == (AttributeSet{"a", "c"})) key_relation = true;
+  }
+  EXPECT_TRUE(key_relation);
+}
+
+TEST(Synthesize3NFTest, IsolatedAttributesLandInKeyRelation) {
+  // e appears in no FD → every key contains it.
+  AttributeSet universe{"a", "b", "e"};
+  std::vector<FunctionalDependency> fds = {Fd({"a"}, {"b"})};
+  auto relations = Synthesize3NF("R", universe, fds);
+  bool e_homed = false;
+  for (const DecomposedRelation& relation : relations) {
+    if (relation.attributes.Contains("e")) e_homed = true;
+  }
+  EXPECT_TRUE(e_homed);
+}
+
+TEST(Synthesize3NFTest, DropsSubsumedComponents) {
+  // a→b and ab→... after cover reduction only distinct groups remain; a
+  // trivially subsumed group must not appear twice.
+  AttributeSet universe{"a", "b"};
+  std::vector<FunctionalDependency> fds = {Fd({"a"}, {"b"})};
+  auto relations = Synthesize3NF("R", universe, fds);
+  EXPECT_EQ(relations.size(), 1u);
+}
+
+// Property: synthesis output is lossless, dependency-preserving, and every
+// component is in 3NF under the projected FDs.
+class SynthesisPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SynthesisPropertyTest, SynthesisInvariants) {
+  struct Case {
+    AttributeSet universe;
+    std::vector<FunctionalDependency> fds;
+  };
+  std::vector<Case> cases = {
+      {{"a", "b", "c", "d"}, {Fd({"a"}, {"b", "c"}), Fd({"c"}, {"d"})}},
+      {{"a", "b", "c", "d"}, {Fd({"a"}, {"b"}), Fd({"c"}, {"d"})}},
+      {{"a", "b", "c", "d", "e"},
+       {Fd({"a"}, {"c"}), Fd({"b"}, {"c"}), Fd({"c"}, {"d"}),
+        Fd({"d", "e"}, {"c"}), Fd({"c", "e"}, {"a"})}},
+      {{"a", "b", "c"}, {Fd({"a", "b"}, {"c"}), Fd({"c"}, {"b"})}},
+      {{"a", "b", "c"}, {}},
+      {{"emp", "dep", "proj", "skill", "location"},
+       {Fd({"dep"}, {"emp", "location"}), Fd({"emp"}, {"skill", "proj"})}},
+  };
+  const Case& c = cases[static_cast<size_t>(GetParam())];
+  auto relations = Synthesize3NF("R", c.universe, c.fds);
+  ASSERT_FALSE(relations.empty());
+  std::vector<AttributeSet> components = Components(relations);
+
+  // Every attribute is homed.
+  AttributeSet covered;
+  for (const AttributeSet& component : components) {
+    covered = covered.Union(component);
+  }
+  EXPECT_EQ(covered, c.universe);
+
+  EXPECT_TRUE(IsLosslessJoin(c.universe, components, c.fds));
+  EXPECT_TRUE(PreservesDependencies(components, c.fds));
+  for (const AttributeSet& component : components) {
+    auto projected = ProjectFds(component, c.fds);
+    EXPECT_TRUE(IsIn3NF(component, projected)) << component.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, SynthesisPropertyTest,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace dbre

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "eer/dot_export.h"
+#include "eer/model.h"
+
+namespace dbre::eer {
+namespace {
+
+EntityType Entity(const std::string& name) {
+  EntityType entity;
+  entity.name = name;
+  entity.attributes = AttributeSet{"id", "x"};
+  entity.identifier = AttributeSet{"id"};
+  return entity;
+}
+
+RelationshipType Binary(const std::string& name, const std::string& a,
+                        const std::string& b) {
+  RelationshipType relationship;
+  relationship.name = name;
+  relationship.roles.push_back(Role{a, Cardinality::kMany, ""});
+  relationship.roles.push_back(Role{b, Cardinality::kOne, ""});
+  return relationship;
+}
+
+TEST(EerModelTest, AddAndLookupEntities) {
+  EerSchema schema;
+  ASSERT_TRUE(schema.AddEntity(Entity("A")).ok());
+  EXPECT_TRUE(schema.HasEntity("A"));
+  EXPECT_FALSE(schema.HasEntity("B"));
+  EXPECT_EQ(schema.AddEntity(Entity("A")).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(schema.GetEntity("B").status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(schema.AddEntity(EntityType{}).ok());
+}
+
+TEST(EerModelTest, RelationshipValidation) {
+  EerSchema schema;
+  ASSERT_TRUE(schema.AddEntity(Entity("A")).ok());
+  ASSERT_TRUE(schema.AddEntity(Entity("B")).ok());
+  ASSERT_TRUE(schema.AddRelationship(Binary("r", "A", "B")).ok());
+  EXPECT_EQ(schema.AddRelationship(Binary("r", "A", "B")).code(),
+            StatusCode::kAlreadyExists);
+  RelationshipType unary;
+  unary.name = "u";
+  unary.roles.push_back(Role{"A", Cardinality::kMany, ""});
+  EXPECT_EQ(schema.AddRelationship(std::move(unary)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(schema.Validate().ok());
+}
+
+TEST(EerModelTest, RoleNamesDefaultToEntity) {
+  EerSchema schema;
+  ASSERT_TRUE(schema.AddEntity(Entity("A")).ok());
+  ASSERT_TRUE(schema.AddEntity(Entity("B")).ok());
+  ASSERT_TRUE(schema.AddRelationship(Binary("r", "A", "B")).ok());
+  EXPECT_EQ(schema.relationships()[0].roles[0].role_name, "A");
+}
+
+TEST(EerModelTest, IsALinkRules) {
+  EerSchema schema;
+  ASSERT_TRUE(schema.AddEntity(Entity("A")).ok());
+  ASSERT_TRUE(schema.AddEntity(Entity("B")).ok());
+  ASSERT_TRUE(schema.AddIsA(IsALink{"A", "B"}).ok());
+  EXPECT_EQ(schema.AddIsA(IsALink{"A", "B"}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(schema.AddIsA(IsALink{"A", "A"}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(schema.Validate().ok());
+}
+
+TEST(EerModelTest, ValidateCatchesDanglingReferences) {
+  EerSchema schema;
+  ASSERT_TRUE(schema.AddEntity(Entity("A")).ok());
+  ASSERT_TRUE(schema.AddRelationship(Binary("r", "A", "Ghost")).ok());
+  EXPECT_EQ(schema.Validate().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EerModelTest, ValidateCatchesIsolatedWeakEntity) {
+  EerSchema schema;
+  EntityType weak = Entity("W");
+  weak.weak = true;
+  ASSERT_TRUE(schema.AddEntity(std::move(weak)).ok());
+  EXPECT_EQ(schema.Validate().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EerModelTest, ManyToManyDetection) {
+  RelationshipType rel = Binary("r", "A", "B");
+  EXPECT_FALSE(rel.IsManyToMany());
+  rel.roles[1].cardinality = Cardinality::kMany;
+  EXPECT_TRUE(rel.IsManyToMany());
+}
+
+TEST(EerModelTest, ToTextListsEverything) {
+  EerSchema schema;
+  ASSERT_TRUE(schema.AddEntity(Entity("A")).ok());
+  ASSERT_TRUE(schema.AddEntity(Entity("B")).ok());
+  ASSERT_TRUE(schema.AddRelationship(Binary("works", "A", "B")).ok());
+  ASSERT_TRUE(schema.AddIsA(IsALink{"A", "B"}).ok());
+  std::string text = schema.ToText();
+  EXPECT_NE(text.find("entity A"), std::string::npos);
+  EXPECT_NE(text.find("relationship works(A:N, B:1)"), std::string::npos);
+  EXPECT_NE(text.find("A is-a B"), std::string::npos);
+}
+
+TEST(DotExportTest, RendersShapesAndEdges) {
+  EerSchema schema;
+  EntityType weak = Entity("W");
+  weak.weak = true;
+  ASSERT_TRUE(schema.AddEntity(Entity("A")).ok());
+  ASSERT_TRUE(schema.AddEntity(std::move(weak)).ok());
+  ASSERT_TRUE(schema.AddRelationship(Binary("owns", "A", "W")).ok());
+  ASSERT_TRUE(schema.AddIsA(IsALink{"W", "A"}).ok());
+  std::string dot = ToDot(schema);
+  EXPECT_NE(dot.find("graph eer {"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos);
+  EXPECT_NE(dot.find("shape=diamond"), std::string::npos);
+  EXPECT_NE(dot.find("arrowhead=\"veevee\""), std::string::npos);
+  // Identifier attributes are starred in labels.
+  EXPECT_NE(dot.find("id*"), std::string::npos);
+}
+
+TEST(DotExportTest, QuotingHandlesSpecialNames) {
+  EerSchema schema;
+  EntityType entity;
+  entity.name = "Ass-Dept";
+  entity.attributes = AttributeSet{"dep"};
+  ASSERT_TRUE(schema.AddEntity(std::move(entity)).ok());
+  std::string dot = ToDot(schema);
+  EXPECT_NE(dot.find("\"Ass-Dept\""), std::string::npos);
+}
+
+TEST(DotExportTest, WritesFile) {
+  EerSchema schema;
+  ASSERT_TRUE(schema.AddEntity(Entity("A")).ok());
+  std::string path = ::testing::TempDir() + "/dbre_eer_test.dot";
+  EXPECT_TRUE(WriteDotFile(schema, path).ok());
+  EXPECT_FALSE(WriteDotFile(schema, "/nonexistent/dir/x.dot").ok());
+}
+
+}  // namespace
+}  // namespace dbre::eer

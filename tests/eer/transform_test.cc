@@ -1,0 +1,184 @@
+#include "eer/transform.h"
+
+#include <gtest/gtest.h>
+
+namespace dbre::eer {
+namespace {
+
+EntityType Entity(const std::string& name,
+                  std::initializer_list<std::string> attributes) {
+  EntityType entity;
+  entity.name = name;
+  entity.attributes = AttributeSet(attributes);
+  return entity;
+}
+
+TEST(MergeIsACyclesTest, NoCyclesIsNoOp) {
+  EerSchema schema;
+  ASSERT_TRUE(schema.AddEntity(Entity("A", {"x"})).ok());
+  ASSERT_TRUE(schema.AddEntity(Entity("B", {"y"})).ok());
+  ASSERT_TRUE(schema.AddIsA(IsALink{"A", "B"}).ok());
+  auto report = MergeIsACycles(&schema);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->cycles_merged, 0u);
+  EXPECT_EQ(schema.entities().size(), 2u);
+  EXPECT_EQ(schema.isa_links().size(), 1u);
+}
+
+TEST(MergeIsACyclesTest, TwoCycleCollapses) {
+  // A is-a B and B is-a A (equal key value sets): same object.
+  EerSchema schema;
+  ASSERT_TRUE(schema.AddEntity(Entity("B", {"id", "b_attr"})).ok());
+  ASSERT_TRUE(schema.AddEntity(Entity("A", {"id", "a_attr"})).ok());
+  ASSERT_TRUE(schema.AddIsA(IsALink{"A", "B"}).ok());
+  ASSERT_TRUE(schema.AddIsA(IsALink{"B", "A"}).ok());
+  auto report = MergeIsACycles(&schema);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->cycles_merged, 1u);
+  ASSERT_EQ(schema.entities().size(), 1u);
+  const EntityType& merged = schema.entities()[0];
+  EXPECT_EQ(merged.name, "A");  // lexicographically smallest survives
+  EXPECT_EQ(merged.attributes, (AttributeSet{"a_attr", "b_attr", "id"}));
+  EXPECT_TRUE(schema.isa_links().empty());
+  EXPECT_EQ(report->absorbed.at("B"), "A");
+}
+
+TEST(MergeIsACyclesTest, RelationshipRolesRedirected) {
+  EerSchema schema;
+  ASSERT_TRUE(schema.AddEntity(Entity("A", {"id"})).ok());
+  ASSERT_TRUE(schema.AddEntity(Entity("B", {"id"})).ok());
+  ASSERT_TRUE(schema.AddEntity(Entity("C", {"id"})).ok());
+  ASSERT_TRUE(schema.AddIsA(IsALink{"A", "B"}).ok());
+  ASSERT_TRUE(schema.AddIsA(IsALink{"B", "A"}).ok());
+  RelationshipType rel;
+  rel.name = "r";
+  rel.roles.push_back(Role{"B", Cardinality::kMany, ""});
+  rel.roles.push_back(Role{"C", Cardinality::kOne, ""});
+  ASSERT_TRUE(schema.AddRelationship(std::move(rel)).ok());
+
+  auto report = MergeIsACycles(&schema);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(schema.relationships().size(), 1u);
+  EXPECT_EQ(schema.relationships()[0].roles[0].entity, "A");
+  EXPECT_TRUE(schema.Validate().ok());
+}
+
+TEST(MergeIsACyclesTest, ThreeCycleAndExternalLinksSurvive) {
+  EerSchema schema;
+  for (const char* name : {"A", "B", "C", "Outside", "Super"}) {
+    ASSERT_TRUE(schema.AddEntity(Entity(name, {"id"})).ok());
+  }
+  // Cycle A → B → C → A.
+  ASSERT_TRUE(schema.AddIsA(IsALink{"A", "B"}).ok());
+  ASSERT_TRUE(schema.AddIsA(IsALink{"B", "C"}).ok());
+  ASSERT_TRUE(schema.AddIsA(IsALink{"C", "A"}).ok());
+  // External links in and out of the cycle.
+  ASSERT_TRUE(schema.AddIsA(IsALink{"Outside", "B"}).ok());
+  ASSERT_TRUE(schema.AddIsA(IsALink{"C", "Super"}).ok());
+
+  auto report = MergeIsACycles(&schema);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->cycles_merged, 1u);
+  EXPECT_EQ(schema.entities().size(), 3u);  // A, Outside, Super
+  // Remaining is-a: Outside → A, A → Super.
+  ASSERT_EQ(schema.isa_links().size(), 2u);
+  EXPECT_TRUE(schema.Validate().ok());
+}
+
+TEST(MergeIsACyclesTest, TwoIndependentCycles) {
+  EerSchema schema;
+  for (const char* name : {"A", "B", "X", "Y"}) {
+    ASSERT_TRUE(schema.AddEntity(Entity(name, {"id"})).ok());
+  }
+  ASSERT_TRUE(schema.AddIsA(IsALink{"A", "B"}).ok());
+  ASSERT_TRUE(schema.AddIsA(IsALink{"B", "A"}).ok());
+  ASSERT_TRUE(schema.AddIsA(IsALink{"X", "Y"}).ok());
+  ASSERT_TRUE(schema.AddIsA(IsALink{"Y", "X"}).ok());
+  auto report = MergeIsACycles(&schema);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->cycles_merged, 2u);
+  EXPECT_EQ(schema.entities().size(), 2u);
+}
+
+TEST(MergeIsACyclesTest, WeaknessPropagates) {
+  EerSchema schema;
+  EntityType weak = Entity("B", {"id"});
+  weak.weak = true;
+  ASSERT_TRUE(schema.AddEntity(Entity("A", {"id"})).ok());
+  ASSERT_TRUE(schema.AddEntity(Entity("C", {"id"})).ok());
+  ASSERT_TRUE(schema.AddEntity(std::move(weak)).ok());
+  ASSERT_TRUE(schema.AddIsA(IsALink{"A", "B"}).ok());
+  ASSERT_TRUE(schema.AddIsA(IsALink{"B", "A"}).ok());
+  // Keep the weak entity attached so validation passes after the merge.
+  RelationshipType rel;
+  rel.name = "owner";
+  rel.roles.push_back(Role{"B", Cardinality::kMany, ""});
+  rel.roles.push_back(Role{"C", Cardinality::kOne, ""});
+  ASSERT_TRUE(schema.AddRelationship(std::move(rel)).ok());
+
+  auto report = MergeIsACycles(&schema);
+  ASSERT_TRUE(report.ok());
+  auto merged = schema.GetEntity("A");
+  ASSERT_TRUE(merged.ok());
+  EXPECT_TRUE((*merged.value()).weak);
+}
+
+TEST(DiscriminatorSubtypesTest, AddsSubtypesWithIsA) {
+  EerSchema schema;
+  ASSERT_TRUE(schema.AddEntity(Entity("Members", {"id", "status"})).ok());
+  std::vector<SpecializationHint> hints = {
+      {"Members", "status", {"active", "barred"}}};
+  auto report = AddDiscriminatorSubtypes(&schema, hints);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->subtypes_added, 2u);
+  EXPECT_TRUE(schema.HasEntity("Members_active"));
+  EXPECT_TRUE(schema.HasEntity("Members_barred"));
+  ASSERT_EQ(schema.isa_links().size(), 2u);
+  EXPECT_EQ(schema.isa_links()[0].supertype, "Members");
+  EXPECT_TRUE(schema.Validate().ok());
+}
+
+TEST(DiscriminatorSubtypesTest, UnknownEntitySkipped) {
+  EerSchema schema;
+  ASSERT_TRUE(schema.AddEntity(Entity("A", {"x"})).ok());
+  std::vector<SpecializationHint> hints = {{"Ghost", "k", {"v"}}};
+  auto report = AddDiscriminatorSubtypes(&schema, hints);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->subtypes_added, 0u);
+  EXPECT_EQ(schema.entities().size(), 1u);
+}
+
+TEST(DiscriminatorSubtypesTest, Idempotent) {
+  EerSchema schema;
+  ASSERT_TRUE(schema.AddEntity(Entity("A", {"k"})).ok());
+  std::vector<SpecializationHint> hints = {{"A", "k", {"v1", "v2"}}};
+  ASSERT_TRUE(AddDiscriminatorSubtypes(&schema, hints).ok());
+  auto second = AddDiscriminatorSubtypes(&schema, hints);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->subtypes_added, 0u);
+  EXPECT_EQ(schema.entities().size(), 3u);
+}
+
+TEST(DiscriminatorSubtypesTest, NullSchemaRejected) {
+  EXPECT_FALSE(AddDiscriminatorSubtypes(nullptr, {}).ok());
+}
+
+TEST(MergeIsACyclesTest, NullSchemaRejected) {
+  EXPECT_FALSE(MergeIsACycles(nullptr).ok());
+}
+
+TEST(MergeIsACyclesTest, Idempotent) {
+  EerSchema schema;
+  ASSERT_TRUE(schema.AddEntity(Entity("A", {"x"})).ok());
+  ASSERT_TRUE(schema.AddEntity(Entity("B", {"y"})).ok());
+  ASSERT_TRUE(schema.AddIsA(IsALink{"A", "B"}).ok());
+  ASSERT_TRUE(schema.AddIsA(IsALink{"B", "A"}).ok());
+  ASSERT_TRUE(MergeIsACycles(&schema).ok());
+  auto second = MergeIsACycles(&schema);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->cycles_merged, 0u);
+  EXPECT_EQ(schema.entities().size(), 1u);
+}
+
+}  // namespace
+}  // namespace dbre::eer

@@ -1,0 +1,75 @@
+#include "relational/attribute_set.h"
+
+#include <gtest/gtest.h>
+
+namespace dbre {
+namespace {
+
+TEST(AttributeSetTest, NormalizesOnConstruction) {
+  AttributeSet set{"b", "a", "b"};
+  EXPECT_EQ(set.names(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(AttributeSetTest, SingleFactory) {
+  AttributeSet set = AttributeSet::Single("x");
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.Contains("x"));
+}
+
+TEST(AttributeSetTest, ContainsAndSubset) {
+  AttributeSet abc{"a", "b", "c"};
+  EXPECT_TRUE(abc.Contains("b"));
+  EXPECT_FALSE(abc.Contains("d"));
+  EXPECT_TRUE(abc.ContainsAll(AttributeSet{"a", "c"}));
+  EXPECT_TRUE(abc.ContainsAll(AttributeSet{}));
+  EXPECT_FALSE(abc.ContainsAll(AttributeSet{"a", "d"}));
+}
+
+TEST(AttributeSetTest, Intersects) {
+  EXPECT_TRUE((AttributeSet{"a", "b"}).Intersects(AttributeSet{"b", "c"}));
+  EXPECT_FALSE((AttributeSet{"a"}).Intersects(AttributeSet{"b"}));
+  EXPECT_FALSE(AttributeSet{}.Intersects(AttributeSet{"a"}));
+}
+
+TEST(AttributeSetTest, InsertRemoveKeepOrder) {
+  AttributeSet set;
+  set.Insert("c");
+  set.Insert("a");
+  set.Insert("a");  // duplicate ignored
+  EXPECT_EQ(set.names(), (std::vector<std::string>{"a", "c"}));
+  set.Remove("a");
+  EXPECT_EQ(set.names(), std::vector<std::string>{"c"});
+  set.Remove("missing");  // no-op
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(AttributeSetTest, SetAlgebra) {
+  AttributeSet ab{"a", "b"};
+  AttributeSet bc{"b", "c"};
+  EXPECT_EQ(ab.Union(bc), (AttributeSet{"a", "b", "c"}));
+  EXPECT_EQ(ab.Minus(bc), AttributeSet{"a"});
+  EXPECT_EQ(ab.Intersect(bc), AttributeSet{"b"});
+  EXPECT_EQ(ab.Minus(ab), AttributeSet{});
+}
+
+TEST(AttributeSetTest, ToStringSorted) {
+  EXPECT_EQ((AttributeSet{"z", "a"}).ToString(), "{a, z}");
+  EXPECT_EQ(AttributeSet{}.ToString(), "{}");
+}
+
+TEST(AttributeSetTest, ComparisonIsLexicographic) {
+  EXPECT_LT((AttributeSet{"a"}), (AttributeSet{"b"}));
+  EXPECT_LT((AttributeSet{"a"}), (AttributeSet{"a", "b"}));
+}
+
+TEST(QualifiedAttributesTest, ToStringAndOrdering) {
+  QualifiedAttributes qa{"R", AttributeSet{"b", "a"}};
+  EXPECT_EQ(qa.ToString(), "R.{a, b}");
+  QualifiedAttributes qb{"S", AttributeSet{"a"}};
+  EXPECT_LT(qa, qb);
+  EXPECT_EQ(qa, (QualifiedAttributes{"R", AttributeSet{"a", "b"}}));
+}
+
+}  // namespace
+}  // namespace dbre

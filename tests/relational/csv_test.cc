@@ -1,0 +1,167 @@
+#include "relational/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace dbre {
+namespace {
+
+Table MakeTable() {
+  RelationSchema schema("T");
+  EXPECT_TRUE(schema.AddAttribute("id", DataType::kInt64).ok());
+  EXPECT_TRUE(schema.AddAttribute("name", DataType::kString).ok());
+  EXPECT_TRUE(schema.AddAttribute("score", DataType::kDouble).ok());
+  return Table(std::move(schema));
+}
+
+TEST(CsvTest, LoadsSimpleRows) {
+  Table table = MakeTable();
+  auto loaded = LoadCsvText("id,name,score\n1,alice,3.5\n2,bob,4\n", &table);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(*loaded, 2u);
+  EXPECT_EQ(table.row(0)[0], Value::Int(1));
+  EXPECT_EQ(table.row(0)[1], Value::Text("alice"));
+  EXPECT_EQ(table.row(1)[2], Value::Real(4.0));
+}
+
+TEST(CsvTest, HeaderMayReorderColumns) {
+  Table table = MakeTable();
+  auto loaded = LoadCsvText("score,id,name\n1.5,7,x\n", &table);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(table.row(0)[0], Value::Int(7));
+  EXPECT_EQ(table.row(0)[2], Value::Real(1.5));
+}
+
+TEST(CsvTest, EmptyAndNullBecomeNull) {
+  Table table = MakeTable();
+  auto loaded = LoadCsvText("id,name,score\n1,,\n2,NULL,2.0\n", &table);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(table.row(0)[1].is_null());
+  EXPECT_TRUE(table.row(0)[2].is_null());
+  EXPECT_TRUE(table.row(1)[1].is_null());
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasAndQuotes) {
+  Table table = MakeTable();
+  auto loaded =
+      LoadCsvText("id,name,score\n1,\"a,b\",1.0\n2,\"say \"\"hi\"\"\",2.0\n",
+                  &table);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(table.row(0)[1], Value::Text("a,b"));
+  EXPECT_EQ(table.row(1)[1], Value::Text("say \"hi\""));
+}
+
+TEST(CsvTest, QuotedEmptyStringIsNotNull) {
+  Table table = MakeTable();
+  auto loaded = LoadCsvText("id,name,score\n1,\"\",1.0\n", &table);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(table.row(0)[1], Value::Text(""));
+}
+
+TEST(CsvTest, QuotedNewlinesSupported) {
+  Table table = MakeTable();
+  auto loaded = LoadCsvText("id,name,score\n1,\"two\nlines\",1.0\n", &table);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(table.row(0)[1], Value::Text("two\nlines"));
+}
+
+TEST(CsvTest, BlankLinesSkipped) {
+  Table table = MakeTable();
+  auto loaded = LoadCsvText("id,name,score\n\n1,a,1.0\n\n", &table);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, 1u);
+}
+
+TEST(CsvTest, ErrorsAreDescriptive) {
+  Table table = MakeTable();
+  EXPECT_EQ(LoadCsvText("", &table).status().code(), StatusCode::kParseError);
+  EXPECT_EQ(LoadCsvText("id,name\n1,a\n", &table).status().code(),
+            StatusCode::kParseError);  // wrong column count
+  EXPECT_EQ(LoadCsvText("id,name,nope\n1,a,2\n", &table).status().code(),
+            StatusCode::kNotFound);  // unknown column
+  EXPECT_EQ(LoadCsvText("id,id,name\n1,2,a\n", &table).status().code(),
+            StatusCode::kParseError);  // duplicate column
+  EXPECT_EQ(LoadCsvText("id,name,score\n1,a\n", &table).status().code(),
+            StatusCode::kParseError);  // short record
+  EXPECT_EQ(LoadCsvText("id,name,score\nx,a,1.0\n", &table).status().code(),
+            StatusCode::kParseError);  // bad int
+  EXPECT_EQ(LoadCsvText("id,name,score\n1,\"unterminated,1.0\n", &table)
+                .status()
+                .code(),
+            StatusCode::kParseError);
+}
+
+TEST(CsvTest, RoundTripsThroughText) {
+  Table table = MakeTable();
+  ASSERT_TRUE(
+      table.Insert({Value::Int(1), Value::Text("a,b"), Value::Real(2.5)})
+          .ok());
+  ASSERT_TRUE(table.Insert({Value::Int(2), Value::Null(), Value::Null()}).ok());
+  ASSERT_TRUE(table.Insert({Value::Int(3), Value::Text(""), Value::Real(0)})
+                  .ok());
+  std::string csv = WriteCsvText(table);
+
+  Table reloaded = MakeTable();
+  auto loaded = LoadCsvText(csv, &reloaded);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(reloaded.num_rows(), table.num_rows());
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    EXPECT_EQ(reloaded.row(i), table.row(i)) << "row " << i;
+  }
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table table = MakeTable();
+  ASSERT_TRUE(
+      table.Insert({Value::Int(1), Value::Text("x"), Value::Real(1.0)}).ok());
+  std::string path = ::testing::TempDir() + "/dbre_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(table, path).ok());
+  Table reloaded = MakeTable();
+  auto loaded = LoadCsvFile(path, &reloaded);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(reloaded.row(0), table.row(0));
+  EXPECT_EQ(LoadCsvFile("/nonexistent/x.csv", &reloaded).status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(CsvTest, DatabaseExportImportRoundTrip) {
+  Database db;
+  for (const char* name : {"A", "B"}) {
+    RelationSchema schema(name);
+    ASSERT_TRUE(schema.AddAttribute("id", DataType::kInt64).ok());
+    ASSERT_TRUE(schema.AddAttribute("label", DataType::kString).ok());
+    ASSERT_TRUE(db.CreateRelation(std::move(schema)).ok());
+    Table* table = *db.GetMutableTable(name);
+    for (int64_t i = 1; i <= 3; ++i) {
+      ASSERT_TRUE(table
+                      ->Insert({Value::Int(i),
+                                Value::Text(std::string(name) + "_" +
+                                            std::to_string(i))})
+                      .ok());
+    }
+  }
+  std::string directory = ::testing::TempDir() + "/dbre_csv_db";
+  auto written = ExportDatabaseCsv(db, directory);
+  ASSERT_TRUE(written.ok()) << written.status();
+  EXPECT_EQ(*written, 2u);
+
+  // Import into a fresh catalog with the same schemas.
+  Database reloaded;
+  for (const char* name : {"A", "B", "NoFile"}) {
+    RelationSchema schema(name);
+    ASSERT_TRUE(schema.AddAttribute("id", DataType::kInt64).ok());
+    ASSERT_TRUE(schema.AddAttribute("label", DataType::kString).ok());
+    ASSERT_TRUE(reloaded.CreateRelation(std::move(schema)).ok());
+  }
+  auto loaded = ImportDatabaseCsv(directory, &reloaded);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(*loaded, 2u);  // NoFile.csv does not exist → skipped
+  for (const char* name : {"A", "B"}) {
+    EXPECT_EQ((**reloaded.GetTable(name)).rows(),
+              (**db.GetTable(name)).rows());
+  }
+  EXPECT_EQ((**reloaded.GetTable("NoFile")).num_rows(), 0u);
+  EXPECT_FALSE(ImportDatabaseCsv(directory, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace dbre

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "relational/algebra.h"
+#include "relational/database.h"
+
+namespace dbre {
+namespace {
+
+// Two relations: Emp(no*, dep) and Dept(id*, name), Emp.dep ⊆ Dept.id with
+// one dangling value available via AddOrphan.
+class AlgebraTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RelationSchema emp("Emp");
+    ASSERT_TRUE(emp.AddAttribute("no", DataType::kInt64).ok());
+    ASSERT_TRUE(emp.AddAttribute("dep", DataType::kInt64).ok());
+    ASSERT_TRUE(emp.DeclareUnique({"no"}).ok());
+    ASSERT_TRUE(db_.CreateRelation(std::move(emp)).ok());
+
+    RelationSchema dept("Dept");
+    ASSERT_TRUE(dept.AddAttribute("id", DataType::kInt64).ok());
+    ASSERT_TRUE(dept.AddAttribute("name", DataType::kString).ok());
+    ASSERT_TRUE(dept.DeclareUnique({"id"}).ok());
+    ASSERT_TRUE(db_.CreateRelation(std::move(dept)).ok());
+
+    Table* emp_table = *db_.GetMutableTable("Emp");
+    for (int64_t i = 1; i <= 10; ++i) {
+      ASSERT_TRUE(
+          emp_table->Insert({Value::Int(i), Value::Int(1 + i % 3)}).ok());
+    }
+    ASSERT_TRUE(emp_table->Insert({Value::Int(11), Value::Null()}).ok());
+
+    Table* dept_table = *db_.GetMutableTable("Dept");
+    for (int64_t d = 1; d <= 5; ++d) {
+      ASSERT_TRUE(
+          dept_table
+              ->Insert({Value::Int(d), Value::Text("D" + std::to_string(d))})
+              .ok());
+    }
+  }
+
+  void AddOrphan() {
+    Table* emp_table = *db_.GetMutableTable("Emp");
+    ASSERT_TRUE(emp_table->Insert({Value::Int(99), Value::Int(77)}).ok());
+  }
+
+  Database db_;
+};
+
+TEST_F(AlgebraTest, DatabaseCatalogBasics) {
+  EXPECT_TRUE(db_.HasRelation("Emp"));
+  EXPECT_FALSE(db_.HasRelation("Nope"));
+  EXPECT_EQ(db_.RelationNames(), (std::vector<std::string>{"Dept", "Emp"}));
+  EXPECT_EQ(db_.NumRelations(), 2u);
+  EXPECT_EQ(db_.GetTable("Nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(db_.DropRelation("Nope").code(), StatusCode::kNotFound);
+}
+
+TEST_F(AlgebraTest, DuplicateRelationRejected) {
+  RelationSchema dup("Emp");
+  ASSERT_TRUE(dup.AddAttribute("x", DataType::kInt64).ok());
+  EXPECT_EQ(db_.CreateRelation(std::move(dup)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(AlgebraTest, KeySetAndNotNullSet) {
+  auto keys = db_.KeySet();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0].ToString(), "Dept.{id}");
+  EXPECT_EQ(keys[1].ToString(), "Emp.{no}");
+  auto not_null = db_.NotNullSet();
+  ASSERT_EQ(not_null.size(), 2u);  // only the key attributes
+  EXPECT_TRUE(db_.IsDeclaredKey("Emp", AttributeSet{"no"}));
+  EXPECT_FALSE(db_.IsDeclaredKey("Emp", AttributeSet{"dep"}));
+}
+
+TEST_F(AlgebraTest, CloneIsDeep) {
+  Database copy = db_.Clone();
+  Table* emp_table = *copy.GetMutableTable("Emp");
+  ASSERT_TRUE(emp_table->Insert({Value::Int(50), Value::Int(1)}).ok());
+  EXPECT_EQ((*copy.GetTable("Emp"))->num_rows(),
+            (*db_.GetTable("Emp"))->num_rows() + 1);
+}
+
+TEST_F(AlgebraTest, JoinCountsSkipNulls) {
+  EquiJoin join = EquiJoin::Single("Emp", "dep", "Dept", "id");
+  auto counts = ComputeJoinCounts(db_, join);
+  ASSERT_TRUE(counts.ok()) << counts.status();
+  EXPECT_EQ(counts->n_left, 3u);   // dep ∈ {1,2,3}; NULL skipped
+  EXPECT_EQ(counts->n_right, 5u);  // ids 1..5
+  EXPECT_EQ(counts->n_join, 3u);
+  EXPECT_TRUE(counts->LeftIncluded());
+  EXPECT_FALSE(counts->RightIncluded());
+  EXPECT_FALSE(counts->ProperIntersection());
+}
+
+TEST_F(AlgebraTest, JoinCountsSymmetry) {
+  EquiJoin join = EquiJoin::Single("Dept", "id", "Emp", "dep");
+  auto counts = ComputeJoinCounts(db_, join);
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ(counts->n_left, 5u);
+  EXPECT_EQ(counts->n_right, 3u);
+  EXPECT_EQ(counts->n_join, 3u);
+  EXPECT_TRUE(counts->RightIncluded());
+}
+
+TEST_F(AlgebraTest, JoinCountsProperIntersection) {
+  AddOrphan();
+  EquiJoin join = EquiJoin::Single("Emp", "dep", "Dept", "id");
+  auto counts = ComputeJoinCounts(db_, join);
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ(counts->n_left, 4u);  // {1,2,3,77}
+  EXPECT_EQ(counts->n_join, 3u);
+  EXPECT_TRUE(counts->ProperIntersection());
+}
+
+TEST_F(AlgebraTest, JoinCountsValidateInputs) {
+  EXPECT_FALSE(
+      ComputeJoinCounts(db_, EquiJoin::Single("Emp", "dep", "Nope", "id"))
+          .ok());
+  EXPECT_FALSE(
+      ComputeJoinCounts(db_, EquiJoin::Single("Emp", "nope", "Dept", "id"))
+          .ok());
+  EquiJoin self = EquiJoin::Single("Emp", "dep", "Emp", "dep");
+  EXPECT_FALSE(ComputeJoinCounts(db_, self).ok());
+}
+
+TEST_F(AlgebraTest, InclusionHoldsIgnoresNullLhs) {
+  auto holds = InclusionHolds(db_, "Emp", {"dep"}, "Dept", {"id"});
+  ASSERT_TRUE(holds.ok());
+  EXPECT_TRUE(*holds);  // the NULL dep row does not break inclusion
+  AddOrphan();
+  holds = InclusionHolds(db_, "Emp", {"dep"}, "Dept", {"id"});
+  ASSERT_TRUE(holds.ok());
+  EXPECT_FALSE(*holds);
+}
+
+TEST_F(AlgebraTest, IntersectionSizeMatchesJoinCount) {
+  EquiJoin join = EquiJoin::Single("Emp", "dep", "Dept", "id");
+  EXPECT_EQ(*IntersectionSize(db_, join), 3u);
+}
+
+TEST_F(AlgebraTest, FunctionalDependencyHoldsBasics) {
+  const Table& dept = **db_.GetTable("Dept");
+  // id is a key: id → name holds.
+  EXPECT_TRUE(*FunctionalDependencyHolds(dept, AttributeSet{"id"},
+                                         AttributeSet{"name"}));
+  // name → id also holds here (names are distinct).
+  EXPECT_TRUE(*FunctionalDependencyHolds(dept, AttributeSet{"name"},
+                                         AttributeSet{"id"}));
+  const Table& emp = **db_.GetTable("Emp");
+  // dep → no fails (three employees share a dep).
+  EXPECT_FALSE(*FunctionalDependencyHolds(emp, AttributeSet{"dep"},
+                                          AttributeSet{"no"}));
+  // no → dep holds (no is a key).
+  EXPECT_TRUE(*FunctionalDependencyHolds(emp, AttributeSet{"no"},
+                                         AttributeSet{"dep"}));
+  EXPECT_FALSE(
+      FunctionalDependencyHolds(emp, AttributeSet{}, AttributeSet{"no"})
+          .ok());
+}
+
+TEST_F(AlgebraTest, FunctionalDependencyNullLhsSkipped) {
+  // Add two rows with NULL dep and different `no`; FD dep → no is still
+  // judged only on non-NULL groups.
+  Table* emp_table = *db_.GetMutableTable("Emp");
+  ASSERT_TRUE(emp_table->Insert({Value::Int(200), Value::Null()}).ok());
+  const Table& emp = *emp_table;
+  // no → dep unaffected.
+  EXPECT_TRUE(*FunctionalDependencyHolds(emp, AttributeSet{"no"},
+                                         AttributeSet{"dep"}));
+}
+
+TEST_F(AlgebraTest, OrderedProjectionPreservesPairing) {
+  const Table& emp = **db_.GetTable("Emp");
+  auto indexes = OrderedProjectionIndexes(emp, {"dep", "no"});
+  ASSERT_TRUE(indexes.ok());
+  EXPECT_EQ(*indexes, (std::vector<size_t>{1, 0}));
+  auto projection = OrderedDistinctProjection(emp, {"dep", "no"});
+  ASSERT_TRUE(projection.ok());
+  EXPECT_EQ(projection->size(), 10u);  // NULL row excluded
+}
+
+}  // namespace
+}  // namespace dbre

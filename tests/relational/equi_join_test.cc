@@ -1,0 +1,95 @@
+#include "relational/equi_join.h"
+
+#include <gtest/gtest.h>
+
+namespace dbre {
+namespace {
+
+TEST(EquiJoinTest, SingleFactoryAndToString) {
+  EquiJoin join = EquiJoin::Single("R", "a", "S", "b");
+  EXPECT_EQ(join.arity(), 1u);
+  EXPECT_EQ(join.ToString(), "R[a] |><| S[b]");
+}
+
+TEST(EquiJoinTest, ValidateRejectsMalformed) {
+  EXPECT_FALSE(EquiJoin{}.Validate().ok());
+  EquiJoin missing_rel = EquiJoin::Single("", "a", "S", "b");
+  EXPECT_FALSE(missing_rel.Validate().ok());
+  EquiJoin uneven;
+  uneven.left_relation = "R";
+  uneven.right_relation = "S";
+  uneven.left_attributes = {"a", "b"};
+  uneven.right_attributes = {"x"};
+  EXPECT_FALSE(uneven.Validate().ok());
+  EquiJoin self_attr = EquiJoin::Single("R", "a", "R", "a");
+  EXPECT_FALSE(self_attr.Validate().ok());
+  // Self-join on different attributes is legitimate.
+  EquiJoin hierarchy = EquiJoin::Single("Emp", "manager", "Emp", "no");
+  EXPECT_TRUE(hierarchy.Validate().ok());
+}
+
+TEST(EquiJoinTest, FlippedSwapsSides) {
+  EquiJoin join = EquiJoin::Single("R", "a", "S", "b");
+  EquiJoin flipped = join.Flipped();
+  EXPECT_EQ(flipped.left_relation, "S");
+  EXPECT_EQ(flipped.right_attributes, std::vector<std::string>{"a"});
+}
+
+TEST(EquiJoinTest, CanonicalizePutsSmallerSideLeft) {
+  EquiJoin join = EquiJoin::Single("S", "b", "R", "a");
+  EquiJoin canonical = join.Canonicalize();
+  EXPECT_EQ(canonical.left_relation, "R");
+  EXPECT_EQ(canonical.right_relation, "S");
+}
+
+TEST(EquiJoinTest, CanonicalizeSortsAndDeduplicatesPairs) {
+  EquiJoin join;
+  join.left_relation = "R";
+  join.right_relation = "S";
+  join.left_attributes = {"b", "a", "b"};
+  join.right_attributes = {"y", "x", "y"};
+  EquiJoin canonical = join.Canonicalize();
+  EXPECT_EQ(canonical.left_attributes, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(canonical.right_attributes, (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(EquiJoinTest, CanonicalizePreservesPairing) {
+  // R[b,a] = S[x,y]: after sorting pairs, a pairs with y and b with x.
+  EquiJoin join;
+  join.left_relation = "R";
+  join.right_relation = "S";
+  join.left_attributes = {"b", "a"};
+  join.right_attributes = {"x", "y"};
+  EquiJoin canonical = join.Canonicalize();
+  EXPECT_EQ(canonical.left_attributes, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(canonical.right_attributes, (std::vector<std::string>{"y", "x"}));
+}
+
+TEST(EquiJoinTest, SameConditionCanonicalizesIdentically) {
+  EquiJoin a = EquiJoin::Single("R", "a", "S", "b");
+  EquiJoin b = EquiJoin::Single("S", "b", "R", "a");
+  EXPECT_EQ(a.Canonicalize(), b.Canonicalize());
+}
+
+TEST(EquiJoinTest, CanonicalJoinSetDeduplicates) {
+  std::vector<EquiJoin> joins = {
+      EquiJoin::Single("R", "a", "S", "b"),
+      EquiJoin::Single("S", "b", "R", "a"),
+      EquiJoin::Single("R", "a", "T", "c"),
+  };
+  std::vector<EquiJoin> set = CanonicalJoinSet(joins);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(EquiJoinTest, AttributeSetsLosePairingButKeepNames) {
+  EquiJoin join;
+  join.left_relation = "R";
+  join.right_relation = "S";
+  join.left_attributes = {"b", "a"};
+  join.right_attributes = {"x", "y"};
+  EXPECT_EQ(join.LeftAttributeSet(), (AttributeSet{"a", "b"}));
+  EXPECT_EQ(join.RightAttributeSet(), (AttributeSet{"x", "y"}));
+}
+
+}  // namespace
+}  // namespace dbre

@@ -1,0 +1,176 @@
+#include "sql/extractor.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace dbre::sql {
+namespace {
+
+std::vector<EquiJoin> Extract(std::string_view query,
+                              const ExtractionOptions& options = {},
+                              ExtractionStats* stats = nullptr) {
+  auto statement = ParseSelect(query);
+  EXPECT_TRUE(statement.ok()) << statement.status();
+  std::vector<EquiJoin> joins =
+      ExtractEquiJoins(**statement, options, stats);
+  return CanonicalJoinSet(joins);
+}
+
+TEST(ExtractorTest, WhereClauseJoin) {
+  auto joins = Extract("SELECT x FROM R r, S s WHERE r.a = s.b");
+  ASSERT_EQ(joins.size(), 1u);
+  EXPECT_EQ(joins[0].ToString(), "R[a] |><| S[b]");
+}
+
+TEST(ExtractorTest, MultiAttributeJoinFusesConjuncts) {
+  auto joins = Extract(
+      "SELECT x FROM R r, S s WHERE r.a = s.u AND r.b = s.v AND r.c = 1");
+  ASSERT_EQ(joins.size(), 1u);
+  EXPECT_EQ(joins[0].arity(), 2u);
+  EXPECT_EQ(joins[0].ToString(), "R[a, b] |><| S[u, v]");
+}
+
+TEST(ExtractorTest, JoinOnSyntax) {
+  auto joins = Extract("SELECT x FROM R r JOIN S s ON r.a = s.b");
+  ASSERT_EQ(joins.size(), 1u);
+  EXPECT_EQ(joins[0].ToString(), "R[a] |><| S[b]");
+}
+
+TEST(ExtractorTest, ThreeWayJoinProducesTwoPairs) {
+  auto joins = Extract(
+      "SELECT x FROM A a, B b, C c WHERE a.k = b.k AND b.j = c.j");
+  EXPECT_EQ(joins.size(), 2u);
+}
+
+TEST(ExtractorTest, LiteralPredicatesIgnored) {
+  auto joins = Extract(
+      "SELECT x FROM R r, S s WHERE r.a = 1 AND s.b = 'x' AND r.c = :host");
+  EXPECT_TRUE(joins.empty());
+}
+
+TEST(ExtractorTest, EqualitiesUnderOrAndNotAreHarvested) {
+  auto joins = Extract(
+      "SELECT x FROM R r, S s WHERE r.a = s.b OR NOT (r.c = s.d)");
+  EXPECT_EQ(joins.size(), 1u);  // both equalities fuse into one pair group
+  EXPECT_EQ(joins[0].arity(), 2u);
+}
+
+TEST(ExtractorTest, SelfJoinWithAliases) {
+  auto joins = Extract("SELECT x FROM Emp e1, Emp e2 WHERE e1.mgr = e2.no");
+  ASSERT_EQ(joins.size(), 1u);
+  EXPECT_EQ(joins[0].left_relation, "Emp");
+  EXPECT_EQ(joins[0].right_relation, "Emp");
+}
+
+TEST(ExtractorTest, RestrictionWithinOneInstanceSkipped) {
+  ExtractionStats stats;
+  auto joins = Extract("SELECT x FROM R r WHERE r.a = r.b", {}, &stats);
+  EXPECT_TRUE(joins.empty());
+  EXPECT_EQ(stats.self_pair_skipped, 1u);
+}
+
+TEST(ExtractorTest, InSubqueryJoin) {
+  auto joins =
+      Extract("SELECT x FROM R WHERE a IN (SELECT b FROM S WHERE c = 1)");
+  ASSERT_EQ(joins.size(), 1u);
+  EXPECT_EQ(joins[0].ToString(), "R[a] |><| S[b]");
+}
+
+TEST(ExtractorTest, MultiColumnInSubqueryJoin) {
+  auto joins = Extract(
+      "SELECT x FROM R WHERE (a, b) IN (SELECT u, v FROM S)");
+  ASSERT_EQ(joins.size(), 1u);
+  EXPECT_EQ(joins[0].arity(), 2u);
+  EXPECT_EQ(joins[0].ToString(), "R[a, b] |><| S[u, v]");
+}
+
+TEST(ExtractorTest, NestedSubqueryJoinsRecurse) {
+  auto joins = Extract(
+      "SELECT x FROM R WHERE a IN "
+      "(SELECT s.b FROM S s, T t WHERE s.k = t.k)");
+  EXPECT_EQ(joins.size(), 2u);  // R-S via IN, S-T inside
+}
+
+TEST(ExtractorTest, CorrelatedExistsProducesJoin) {
+  auto joins = Extract(
+      "SELECT x FROM R r WHERE EXISTS "
+      "(SELECT y FROM S s WHERE s.b = r.a)");
+  ASSERT_EQ(joins.size(), 1u);
+  EXPECT_EQ(joins[0].ToString(), "R[a] |><| S[b]");
+}
+
+TEST(ExtractorTest, IntersectJoin) {
+  auto joins = Extract(
+      "SELECT proj FROM Department INTERSECT SELECT proj FROM Assignment");
+  ASSERT_EQ(joins.size(), 1u);
+  EXPECT_EQ(joins[0].ToString(), "Assignment[proj] |><| Department[proj]");
+}
+
+TEST(ExtractorTest, MultiColumnIntersectJoin) {
+  auto joins =
+      Extract("SELECT a, b FROM R INTERSECT SELECT u, v FROM S");
+  ASSERT_EQ(joins.size(), 1u);
+  EXPECT_EQ(joins[0].arity(), 2u);
+}
+
+TEST(ExtractorTest, UnionDoesNotJoin) {
+  auto joins = Extract("SELECT a FROM R UNION SELECT b FROM S");
+  EXPECT_TRUE(joins.empty());
+}
+
+TEST(ExtractorTest, UnresolvedUnqualifiedColumnsCounted) {
+  ExtractionStats stats;
+  auto joins = Extract("SELECT x FROM R r, S s WHERE a = b", {}, &stats);
+  EXPECT_TRUE(joins.empty());
+  EXPECT_EQ(stats.unresolved_columns, 1u);
+}
+
+TEST(ExtractorTest, CatalogResolvesUnqualifiedColumns) {
+  Database catalog;
+  RelationSchema r("R");
+  ASSERT_TRUE(r.AddAttribute("a", DataType::kInt64).ok());
+  ASSERT_TRUE(catalog.CreateRelation(std::move(r)).ok());
+  RelationSchema s("S");
+  ASSERT_TRUE(s.AddAttribute("b", DataType::kInt64).ok());
+  ASSERT_TRUE(catalog.CreateRelation(std::move(s)).ok());
+
+  ExtractionOptions options;
+  options.catalog = &catalog;
+  auto joins = Extract("SELECT a FROM R, S WHERE a = b", options);
+  ASSERT_EQ(joins.size(), 1u);
+  EXPECT_EQ(joins[0].ToString(), "R[a] |><| S[b]");
+}
+
+TEST(ExtractorTest, AmbiguousCatalogColumnSkipped) {
+  Database catalog;
+  for (const char* name : {"R", "S"}) {
+    RelationSchema schema(name);
+    ASSERT_TRUE(schema.AddAttribute("a", DataType::kInt64).ok());
+    ASSERT_TRUE(catalog.CreateRelation(std::move(schema)).ok());
+  }
+  ExtractionOptions options;
+  options.catalog = &catalog;
+  ExtractionStats stats;
+  auto joins = Extract("SELECT x FROM R, S WHERE a = a", options, &stats);
+  EXPECT_TRUE(joins.empty());
+}
+
+TEST(ExtractorTest, ScriptExtraction) {
+  auto joins = ExtractEquiJoinsFromScript(
+      "SELECT x FROM R r, S s WHERE r.a = s.b;\n"
+      "SELECT y FROM S s, T t WHERE s.c = t.d;");
+  ASSERT_TRUE(joins.ok());
+  EXPECT_EQ(joins->size(), 2u);
+}
+
+TEST(ExtractorTest, DuplicateJoinsAcrossStatementsDeduplicate) {
+  auto joins = ExtractEquiJoinsFromScript(
+      "SELECT x FROM R r, S s WHERE r.a = s.b;\n"
+      "SELECT y FROM S s, R r WHERE s.b = r.a;");
+  ASSERT_TRUE(joins.ok());
+  EXPECT_EQ(joins->size(), 1u);
+}
+
+}  // namespace
+}  // namespace dbre::sql

@@ -1,0 +1,201 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace dbre::sql {
+namespace {
+
+std::unique_ptr<SelectStatement> MustParse(std::string_view text) {
+  auto statement = ParseSelect(text);
+  EXPECT_TRUE(statement.ok()) << statement.status();
+  return std::move(statement).value();
+}
+
+TEST(ParserTest, MinimalSelect) {
+  auto stmt = MustParse("SELECT a FROM R");
+  ASSERT_EQ(stmt->select_list.size(), 1u);
+  EXPECT_EQ(stmt->select_list[0].column.column, "a");
+  ASSERT_EQ(stmt->from.size(), 1u);
+  EXPECT_EQ(stmt->from[0].table, "R");
+  EXPECT_EQ(stmt->where, nullptr);
+}
+
+TEST(ParserTest, SelectStarAndDistinctAndCount) {
+  auto stmt = MustParse("SELECT * FROM R");
+  EXPECT_TRUE(stmt->select_list[0].star);
+  stmt = MustParse("SELECT DISTINCT a, b FROM R");
+  EXPECT_TRUE(stmt->select_distinct);
+  EXPECT_EQ(stmt->select_list.size(), 2u);
+  stmt = MustParse("SELECT COUNT(DISTINCT a) FROM R");
+  EXPECT_TRUE(stmt->select_list[0].count);
+  EXPECT_TRUE(stmt->select_list[0].distinct);
+  stmt = MustParse("SELECT COUNT(*) FROM R");
+  EXPECT_TRUE(stmt->select_list[0].count);
+  EXPECT_TRUE(stmt->select_list[0].star);
+}
+
+TEST(ParserTest, QualifiedColumnsAndAliases) {
+  auto stmt = MustParse("SELECT r.a, s.b FROM R r, S AS s");
+  EXPECT_EQ(stmt->select_list[0].column.qualifier, "r");
+  EXPECT_EQ(stmt->from[0].alias, "r");
+  EXPECT_EQ(stmt->from[1].table, "S");
+  EXPECT_EQ(stmt->from[1].alias, "s");
+}
+
+TEST(ParserTest, WhereConjunction) {
+  auto stmt =
+      MustParse("SELECT a FROM R, S WHERE R.a = S.b AND R.c = 3 AND S.d = 'x'");
+  ASSERT_NE(stmt->where, nullptr);
+  EXPECT_EQ(stmt->where->kind, Expression::Kind::kAnd);
+  EXPECT_EQ(stmt->where->children.size(), 3u);
+  EXPECT_EQ(stmt->where->children[0]->kind, Expression::Kind::kComparison);
+}
+
+TEST(ParserTest, OrAndParenthesesAndNot) {
+  auto stmt = MustParse(
+      "SELECT a FROM R WHERE (a = 1 OR b = 2) AND NOT (c = 3)");
+  ASSERT_NE(stmt->where, nullptr);
+  EXPECT_EQ(stmt->where->kind, Expression::Kind::kAnd);
+  EXPECT_EQ(stmt->where->children[0]->kind, Expression::Kind::kOr);
+  EXPECT_EQ(stmt->where->children[1]->kind, Expression::Kind::kNot);
+}
+
+TEST(ParserTest, ComparisonOperators) {
+  auto stmt = MustParse(
+      "SELECT a FROM R WHERE a < 1 AND b <= 2 AND c > 3 AND d >= 4 AND "
+      "e <> 5");
+  EXPECT_EQ(stmt->where->children.size(), 5u);
+}
+
+TEST(ParserTest, HostVariablesInPredicates) {
+  auto stmt = MustParse("SELECT a FROM R WHERE a = :emp AND b >= :low");
+  EXPECT_EQ(stmt->where->children[0]->rhs.kind,
+            Operand::Kind::kHostVariable);
+}
+
+TEST(ParserTest, InSubquery) {
+  auto stmt =
+      MustParse("SELECT a FROM R WHERE a IN (SELECT b FROM S WHERE c = 1)");
+  ASSERT_NE(stmt->where, nullptr);
+  EXPECT_EQ(stmt->where->kind, Expression::Kind::kInSubquery);
+  ASSERT_NE(stmt->where->subquery, nullptr);
+  EXPECT_EQ(stmt->where->subquery->from[0].table, "S");
+  EXPECT_FALSE(stmt->where->negated);
+}
+
+TEST(ParserTest, NotInSubquery) {
+  auto stmt = MustParse("SELECT a FROM R WHERE a NOT IN (SELECT b FROM S)");
+  EXPECT_EQ(stmt->where->kind, Expression::Kind::kInSubquery);
+  EXPECT_TRUE(stmt->where->negated);
+}
+
+TEST(ParserTest, MultiColumnInSubquery) {
+  auto stmt = MustParse(
+      "SELECT x FROM R WHERE (a, b) IN (SELECT c, d FROM S)");
+  EXPECT_EQ(stmt->where->kind, Expression::Kind::kInSubquery);
+  EXPECT_EQ(stmt->where->in_columns.size(), 2u);
+}
+
+TEST(ParserTest, ExistsAndNotExists) {
+  auto stmt = MustParse(
+      "SELECT a FROM R WHERE EXISTS (SELECT b FROM S WHERE S.b = R.a)");
+  EXPECT_EQ(stmt->where->kind, Expression::Kind::kExists);
+  EXPECT_FALSE(stmt->where->negated);
+  stmt = MustParse("SELECT a FROM R WHERE NOT EXISTS (SELECT b FROM S)");
+  EXPECT_EQ(stmt->where->kind, Expression::Kind::kExists);
+  EXPECT_TRUE(stmt->where->negated);
+}
+
+TEST(ParserTest, ExplicitJoinSyntax) {
+  auto stmt = MustParse(
+      "SELECT a.x FROM A a JOIN B b ON a.k = b.k INNER JOIN C c ON b.j = "
+      "c.j");
+  EXPECT_EQ(stmt->from.size(), 3u);
+  EXPECT_EQ(stmt->join_conditions.size(), 2u);
+}
+
+TEST(ParserTest, IsNullAndBetweenAndLike) {
+  auto stmt = MustParse(
+      "SELECT a FROM R WHERE a IS NULL AND b IS NOT NULL AND c BETWEEN 1 "
+      "AND 5 AND d LIKE 'x%' AND e NOT LIKE 'y%'");
+  EXPECT_EQ(stmt->where->children.size(), 5u);
+  EXPECT_EQ(stmt->where->children[0]->kind, Expression::Kind::kIsNull);
+  EXPECT_TRUE(stmt->where->children[1]->negated);
+  EXPECT_EQ(stmt->where->children[2]->kind, Expression::Kind::kBetween);
+  EXPECT_EQ(stmt->where->children[3]->kind, Expression::Kind::kLike);
+}
+
+TEST(ParserTest, GroupByHavingOrderByDiscarded) {
+  auto stmt = MustParse(
+      "SELECT a FROM R WHERE a = 1 GROUP BY a, b HAVING a > 2 "
+      "ORDER BY a DESC, b ASC");
+  ASSERT_NE(stmt->where, nullptr);
+  EXPECT_EQ(stmt->where->kind, Expression::Kind::kComparison);
+}
+
+TEST(ParserTest, IntersectChain) {
+  auto stmt = MustParse(
+      "SELECT proj FROM Department INTERSECT SELECT proj FROM Assignment");
+  EXPECT_EQ(stmt->set_op, SelectStatement::SetOp::kIntersect);
+  ASSERT_NE(stmt->set_rhs, nullptr);
+  EXPECT_EQ(stmt->set_rhs->from[0].table, "Assignment");
+}
+
+TEST(ParserTest, UnionAndMinus) {
+  auto stmt = MustParse("SELECT a FROM R UNION ALL SELECT b FROM S");
+  EXPECT_EQ(stmt->set_op, SelectStatement::SetOp::kUnion);
+  stmt = MustParse("SELECT a FROM R MINUS SELECT b FROM S");
+  EXPECT_EQ(stmt->set_op, SelectStatement::SetOp::kMinus);
+}
+
+TEST(ParserTest, TrailingSemicolonAllowed) {
+  EXPECT_TRUE(ParseSelect("SELECT a FROM R;").ok());
+}
+
+TEST(ParserTest, RejectsMalformedStatements) {
+  EXPECT_FALSE(ParseSelect("SELECT FROM R").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a R").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM R WHERE").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM R WHERE a =").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM R 42").ok());
+  // "FROM R extra" is a legal aliased table reference, not an error.
+  EXPECT_TRUE(ParseSelect("SELECT a FROM R extra").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM R WHERE a IN (1, 2)").ok());
+  EXPECT_FALSE(ParseSelect("UPDATE R").ok());
+}
+
+TEST(ParserTest, ScriptParsesMultipleStatements) {
+  auto statements = ParseScript(
+      "SELECT a FROM R; SELECT b FROM S WHERE b = 1;\n-- comment\n"
+      "SELECT c FROM T");
+  ASSERT_TRUE(statements.ok());
+  EXPECT_EQ(statements->size(), 3u);
+}
+
+TEST(ParserTest, ScriptRecoversFromBadStatements) {
+  std::vector<Status> errors;
+  auto statements = ParseScript(
+      "SELECT a FROM R; UPDATE R SELECT nonsense; SELECT b FROM S", &errors);
+  ASSERT_TRUE(statements.ok());
+  EXPECT_EQ(statements->size(), 2u);
+  EXPECT_EQ(errors.size(), 1u);
+}
+
+TEST(ParserTest, ToStringRoundTripReparses) {
+  const char* queries[] = {
+      "SELECT a FROM R",
+      "SELECT a, b FROM R, S WHERE R.a = S.b AND R.c = 1",
+      "SELECT a FROM R WHERE a IN (SELECT b FROM S)",
+      "SELECT proj FROM Department INTERSECT SELECT proj FROM Assignment",
+  };
+  for (const char* query : queries) {
+    auto stmt = MustParse(query);
+    auto reparsed = ParseSelect(stmt->ToString());
+    EXPECT_TRUE(reparsed.ok())
+        << query << " → " << stmt->ToString() << ": " << reparsed.status();
+  }
+}
+
+}  // namespace
+}  // namespace dbre::sql

@@ -1,0 +1,144 @@
+// Robustness sweeps: the front end must never crash and must return
+// Status (not garbage) on arbitrary inputs — legacy program corpora are
+// full of text that only resembles SQL.
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sql/ddl.h"
+#include "sql/extractor.h"
+#include "sql/parser.h"
+#include "sql/scanner.h"
+#include "sql/token.h"
+
+namespace dbre::sql {
+namespace {
+
+// Random strings over a hostile alphabet (quotes, operators, newlines).
+class RandomTextTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomTextTest, TokenizerNeverCrashes) {
+  std::mt19937_64 rng(GetParam());
+  const std::string alphabet =
+      "abcXYZ019 \t\n'\",.()=<>*;:-_/%SELECTFROMWHERE";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    size_t length = rng() % 120;
+    for (size_t i = 0; i < length; ++i) {
+      text += alphabet[rng() % alphabet.size()];
+    }
+    auto tokens = Tokenize(text);  // must not crash; errors are fine
+    if (tokens.ok()) {
+      EXPECT_FALSE(tokens->empty());
+      EXPECT_EQ(tokens->back().type, TokenType::kEnd);
+    }
+  }
+}
+
+TEST_P(RandomTextTest, ParserNeverCrashes) {
+  std::mt19937_64 rng(GetParam());
+  // Random token soup from plausible SQL words.
+  const char* words[] = {"SELECT", "FROM",  "WHERE", "AND", "OR",   "IN",
+                         "EXISTS", "(",     ")",     ",",   "=",    "a",
+                         "b",      "R",     "S",     "'x'", "42",   ".",
+                         "*",      "NOT",   "JOIN",  "ON",  "NULL", "IS",
+                         "INTERSECT", ";",  ":h",    "<",   ">",    "LIKE"};
+    for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    size_t length = rng() % 24;
+    for (size_t i = 0; i < length; ++i) {
+      text += words[rng() % (sizeof(words) / sizeof(words[0]))];
+      text += ' ';
+    }
+    auto statement = ParseSelect(text);  // ok or error, never UB
+    if (statement.ok()) {
+      // Whatever parsed must be re-renderable and re-parseable.
+      auto round = ParseSelect((*statement)->ToString());
+      EXPECT_TRUE(round.ok()) << text << " -> " << (*statement)->ToString();
+    }
+    std::vector<Status> errors;
+    auto script = ParseScript(text, &errors);
+    EXPECT_TRUE(script.ok() || !script.status().message().empty());
+  }
+}
+
+TEST_P(RandomTextTest, ScannerNeverCrashes) {
+  std::mt19937_64 rng(GetParam());
+  const std::string alphabet = "abc \"\\\n;EXEC SQL select from end-";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    size_t length = rng() % 200;
+    for (size_t i = 0; i < length; ++i) {
+      text += alphabet[rng() % alphabet.size()];
+    }
+    auto statements = ScanProgramText(text);
+    for (const EmbeddedStatement& statement : statements) {
+      EXPECT_GE(statement.line, 1u);
+    }
+    // Full front-end over the same garbage.
+    std::vector<Status> errors;
+    auto joins = BuildQueryJoinSetFromSources({{"junk.pc", text}}, {},
+                                              nullptr, &errors);
+    EXPECT_TRUE(joins.ok());
+  }
+}
+
+TEST_P(RandomTextTest, DdlNeverCrashes) {
+  std::mt19937_64 rng(GetParam());
+  const char* words[] = {"CREATE", "TABLE", "T",      "(",       ")",
+                         "INT",    "TEXT",  "UNIQUE", "PRIMARY", "KEY",
+                         "NOT",    "NULL",  ",",      ";",       "INSERT",
+                         "INTO",   "VALUES", "1",     "'x'",     "a"};
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    size_t length = rng() % 20;
+    for (size_t i = 0; i < length; ++i) {
+      text += words[rng() % (sizeof(words) / sizeof(words[0]))];
+      text += ' ';
+    }
+    Database db;
+    auto result = ExecuteDdlScript(text, &db);  // ok or clean error
+    (void)result;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTextTest,
+                         ::testing::Values(7, 77, 777));
+
+TEST(RobustnessTest, DeeplyNestedSubqueries) {
+  // 40 levels of IN-nesting must parse (or fail) without stack issues.
+  std::string query = "SELECT a FROM R WHERE a IN (";
+  for (int i = 0; i < 39; ++i) {
+    query += "SELECT a FROM R WHERE a IN (";
+  }
+  query += "SELECT b FROM S";
+  for (int i = 0; i < 40; ++i) query += ")";
+  auto statement = ParseSelect(query);
+  ASSERT_TRUE(statement.ok()) << statement.status();
+  ExtractionStats stats;
+  auto joins = ExtractEquiJoins(**statement, {}, &stats);
+  EXPECT_EQ(stats.statements, 41u);
+}
+
+TEST(RobustnessTest, VeryLongConjunction) {
+  std::string query = "SELECT x FROM R r, S s WHERE r.a0 = s.b0";
+  for (int i = 1; i < 300; ++i) {
+    query += " AND r.a" + std::to_string(i) + " = s.b" + std::to_string(i);
+  }
+  auto statement = ParseSelect(query);
+  ASSERT_TRUE(statement.ok());
+  auto joins = ExtractEquiJoins(**statement);
+  ASSERT_EQ(joins.size(), 1u);
+  EXPECT_EQ(joins[0].arity(), 300u);
+}
+
+TEST(RobustnessTest, HugeIdentifiers) {
+  std::string name(5000, 'x');
+  auto tokens = Tokenize(name);
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text.size(), 5000u);
+}
+
+}  // namespace
+}  // namespace dbre::sql

@@ -1,0 +1,131 @@
+#include "sql/selection_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/ddl.h"
+
+namespace dbre::sql {
+namespace {
+
+std::vector<std::pair<std::string, std::string>> Corpus() {
+  return {
+      {"hr1.pc", R"(
+void managers(void) {
+  EXEC SQL SELECT name FROM Staff WHERE kind = 'M' AND salary > 0;
+}
+void clerks(void) {
+  EXEC SQL SELECT name FROM Staff WHERE kind = 'C';
+}
+)"},
+      {"hr2.pc", R"(
+void temps(void) {
+  EXEC SQL SELECT s.name FROM Staff s WHERE s.kind = 'T';
+}
+void lyon_only(void) {
+  EXEC SQL SELECT name FROM Staff WHERE city = 'lyon';
+}
+)"},
+  };
+}
+
+TEST(SelectionAnalysisTest, FindsDiscriminatorCandidates) {
+  auto candidates = AnalyzeSelections(Corpus());
+  ASSERT_TRUE(candidates.ok()) << candidates.status();
+  ASSERT_EQ(candidates->size(), 1u);  // city has only one constant
+  const DiscriminatorCandidate& kind = (*candidates)[0];
+  EXPECT_EQ(kind.relation, "Staff");
+  EXPECT_EQ(kind.attribute, "kind");
+  EXPECT_EQ(kind.constants, (std::vector<std::string>{"C", "M", "T"}));
+  EXPECT_EQ(kind.statements, 3u);
+  EXPECT_DOUBLE_EQ(kind.value_coverage, -1.0);  // no catalog given
+}
+
+TEST(SelectionAnalysisTest, MinConstantsFiltersSingletons) {
+  SelectionAnalysisOptions options;
+  options.min_constants = 1;
+  auto candidates = AnalyzeSelections(Corpus(), options);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_EQ(candidates->size(), 2u);  // city now qualifies
+}
+
+TEST(SelectionAnalysisTest, MaxConstantsFiltersWideDomains) {
+  SelectionAnalysisOptions options;
+  options.max_constants = 2;
+  auto candidates = AnalyzeSelections(Corpus(), options);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_TRUE(candidates->empty());  // kind has 3 constants
+}
+
+TEST(SelectionAnalysisTest, CoverageAgainstExtension) {
+  Database db;
+  ASSERT_TRUE(ExecuteDdlScript(R"(
+CREATE TABLE Staff (id INT PRIMARY KEY, name TEXT, kind CHAR(1),
+                    salary FLOAT, city TEXT);
+INSERT INTO Staff VALUES
+  (1, 'a', 'M', 1.0, 'lyon'), (2, 'b', 'C', 1.0, 'paris'),
+  (3, 'c', 'C', 1.0, 'lyon'), (4, 'd', 'T', 1.0, 'paris'),
+  (5, 'e', 'X', 1.0, 'lyon');
+)",
+                               &db)
+                  .ok());
+  SelectionAnalysisOptions options;
+  options.catalog = &db;
+  auto candidates = AnalyzeSelections(Corpus(), options);
+  ASSERT_TRUE(candidates.ok());
+  ASSERT_EQ(candidates->size(), 1u);
+  // 4 of 5 kinds are in {C, M, T}.
+  EXPECT_DOUBLE_EQ((*candidates)[0].value_coverage, 0.8);
+}
+
+TEST(SelectionAnalysisTest, NumericConstants) {
+  std::vector<std::pair<std::string, std::string>> corpus = {
+      {"p.pc", "void f(void) { EXEC SQL SELECT x FROM T WHERE status = 1; }"
+               "void g(void) { EXEC SQL SELECT x FROM T WHERE status = 2; }"
+               "void h(void) { EXEC SQL SELECT x FROM T WHERE 3 = status; }"},
+  };
+  auto candidates = AnalyzeSelections(corpus);
+  ASSERT_TRUE(candidates.ok());
+  ASSERT_EQ(candidates->size(), 1u);
+  EXPECT_EQ((*candidates)[0].constants,
+            (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(SelectionAnalysisTest, SubqueriesAreWalked) {
+  std::vector<std::pair<std::string, std::string>> corpus = {
+      {"q.sql",
+       "SELECT a FROM R WHERE a IN "
+       "(SELECT b FROM S WHERE tag = 'x');"
+       "SELECT a FROM R WHERE a IN "
+       "(SELECT b FROM S WHERE tag = 'y');"},
+  };
+  auto candidates = AnalyzeSelections(corpus);
+  ASSERT_TRUE(candidates.ok());
+  ASSERT_EQ(candidates->size(), 1u);
+  EXPECT_EQ((*candidates)[0].relation, "S");
+  EXPECT_EQ((*candidates)[0].attribute, "tag");
+}
+
+TEST(SelectionAnalysisTest, HostVariablesAreNotConstants) {
+  std::vector<std::pair<std::string, std::string>> corpus = {
+      {"p.pc", "void f(void) { EXEC SQL SELECT x FROM T "
+               "WHERE status = :s AND kind = 'a' AND kind = 'b'; }"},
+  };
+  auto candidates = AnalyzeSelections(corpus);
+  ASSERT_TRUE(candidates.ok());
+  ASSERT_EQ(candidates->size(), 1u);
+  EXPECT_EQ((*candidates)[0].attribute, "kind");
+}
+
+TEST(SelectionAnalysisTest, ToStringIsReadable) {
+  DiscriminatorCandidate candidate;
+  candidate.relation = "Staff";
+  candidate.attribute = "kind";
+  candidate.constants = {"C", "M"};
+  candidate.statements = 4;
+  candidate.value_coverage = 0.75;
+  EXPECT_EQ(candidate.ToString(),
+            "Staff.kind in {C, M} (4 statements, covers 75% of values)");
+}
+
+}  // namespace
+}  // namespace dbre::sql

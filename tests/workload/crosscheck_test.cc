@@ -1,0 +1,100 @@
+// Cross-layer consistency: the algebra primitives the algorithms use must
+// agree with literal SQL evaluation (the paper defines ‖·‖ *as* a SQL
+// query), on both the paper database and random synthetic ones.
+#include <gtest/gtest.h>
+
+#include "relational/algebra.h"
+#include "sql/executor.h"
+#include "workload/generator.h"
+#include "workload/paper_example.h"
+
+namespace dbre::workload {
+namespace {
+
+TEST(CrosscheckTest, PaperValuationsViaSql) {
+  auto db = BuildPaperDatabase();
+  ASSERT_TRUE(db.ok());
+  // ‖HEmployee[no]‖, ‖Person[id]‖ through SQL — the §6.1 numbers.
+  EXPECT_EQ(*sql::CountDistinct(*db, "HEmployee", {"no"}), 1550u);
+  EXPECT_EQ(*sql::CountDistinct(*db, "Person", {"id"}), 2200u);
+  EXPECT_EQ(*sql::CountDistinct(*db, "Assignment", {"dep"}), 300u);
+  EXPECT_EQ(*sql::CountDistinct(*db, "Department", {"dep"}), 35u);
+
+  // The join count itself, as a SQL INTERSECT.
+  auto rs = sql::ExecuteQuery(
+      *db, "SELECT no FROM HEmployee INTERSECT SELECT id FROM Person");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  EXPECT_EQ(rs->NumRows(), 1550u);
+  rs = sql::ExecuteQuery(
+      *db,
+      "SELECT dep FROM Assignment INTERSECT SELECT dep FROM Department");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->NumRows(), 30u);
+}
+
+class JoinCountAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JoinCountAgreementTest, AlgebraAgreesWithSqlOnSyntheticJoins) {
+  SyntheticSpec spec;
+  spec.num_entities = 4;
+  spec.num_merged = 2;
+  spec.rows_per_entity = 150;
+  spec.orphan_rate = 0.1;  // exercise proper intersections too
+  spec.seed = GetParam();
+  auto generated = GenerateSynthetic(spec);
+  ASSERT_TRUE(generated.ok());
+  const Database& db = generated->database;
+
+  for (const EquiJoin& join : generated->queries) {
+    if (join.arity() != 1) continue;  // INTERSECT compares single columns
+    auto counts = ComputeJoinCounts(db, join);
+    ASSERT_TRUE(counts.ok()) << join.ToString();
+    auto left =
+        sql::CountDistinct(db, join.left_relation, join.left_attributes);
+    auto right =
+        sql::CountDistinct(db, join.right_relation, join.right_attributes);
+    ASSERT_TRUE(left.ok() && right.ok());
+    EXPECT_EQ(counts->n_left, *left) << join.ToString();
+    EXPECT_EQ(counts->n_right, *right) << join.ToString();
+
+    std::string intersect = "SELECT " + join.left_attributes[0] + " FROM " +
+                            join.left_relation + " INTERSECT SELECT " +
+                            join.right_attributes[0] + " FROM " +
+                            join.right_relation;
+    auto rs = sql::ExecuteQuery(db, intersect);
+    ASSERT_TRUE(rs.ok()) << intersect << ": " << rs.status();
+    EXPECT_EQ(counts->n_join, rs->NumRows()) << join.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinCountAgreementTest,
+                         ::testing::Values(31, 32, 33));
+
+TEST(CrosscheckTest, InclusionAgreesWithNotExists) {
+  // r[Y] ⊆ s[Z]  ⇔  no row of r has a Y value absent from s[Z].
+  SyntheticSpec spec;
+  spec.num_entities = 3;
+  spec.num_merged = 1;
+  spec.rows_per_entity = 100;
+  spec.orphan_rate = 0.15;
+  spec.seed = 9;
+  auto generated = GenerateSynthetic(spec);
+  ASSERT_TRUE(generated.ok());
+  const Database& db = generated->database;
+  for (const InclusionDependency& ind : generated->true_inds) {
+    if (ind.arity() != 1) continue;
+    auto holds = Satisfies(db, ind);
+    ASSERT_TRUE(holds.ok());
+    std::string violators = "SELECT " + ind.lhs_attributes[0] + " FROM " +
+                            ind.lhs_relation + " WHERE " +
+                            ind.lhs_attributes[0] + " NOT IN (SELECT " +
+                            ind.rhs_attributes[0] + " FROM " +
+                            ind.rhs_relation + ")";
+    auto rs = sql::ExecuteQuery(db, violators);
+    ASSERT_TRUE(rs.ok()) << rs.status();
+    EXPECT_EQ(*holds, rs->NumRows() == 0) << ind.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace dbre::workload

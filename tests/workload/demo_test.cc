@@ -1,0 +1,74 @@
+// Keeps the shipped demo/ dataset working: the exact inputs the README
+// points dbre_cli at must load, scan and reverse-engineer cleanly.
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "relational/csv.h"
+#include "sql/ddl.h"
+#include "sql/scanner.h"
+
+#ifndef DBRE_SOURCE_DIR
+#define DBRE_SOURCE_DIR "."
+#endif
+
+namespace dbre {
+namespace {
+
+std::string DemoPath(const std::string& relative) {
+  return std::string(DBRE_SOURCE_DIR) + "/demo/" + relative;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(DemoDatasetTest, EndToEnd) {
+  Database db;
+  auto ddl = sql::ExecuteDdlScript(ReadFileOrDie(DemoPath("schema.sql")),
+                                   &db);
+  ASSERT_TRUE(ddl.ok()) << ddl.status();
+  EXPECT_EQ(ddl->tables_created, 3u);
+
+  for (const std::string& relation : db.RelationNames()) {
+    auto table = db.GetMutableTable(relation);
+    auto loaded =
+        LoadCsvFile(DemoPath("data/" + relation + ".csv"), *table);
+    ASSERT_TRUE(loaded.ok()) << relation << ": " << loaded.status();
+    EXPECT_GT(*loaded, 0u) << relation;
+  }
+  EXPECT_TRUE(db.VerifyDeclaredConstraints().ok());
+
+  sql::ExtractionOptions extraction;
+  extraction.catalog = &db;
+  auto joins = sql::BuildQueryJoinSet(
+      {DemoPath("programs/orders.pc"), DemoPath("programs/logistics.pc"),
+       DemoPath("programs/reporting.pc")},
+      extraction);
+  ASSERT_TRUE(joins.ok()) << joins.status();
+  EXPECT_EQ(joins->size(), 2u);  // reporting.pc only selects, no joins
+
+  ThresholdOracle::Options options;
+  options.accept_hidden_objects = true;
+  ThresholdOracle oracle(options);
+  auto report = RunPipeline(db, *joins, &oracle);
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  // The demo's planted FD.
+  bool found = false;
+  for (const FunctionalDependency& fd : report->rhs.fds) {
+    if (fd.ToString() == "Orders: {prod} -> {prod_name}") found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_FALSE(report->restruct.rics.empty());
+  EXPECT_TRUE(report->eer.Validate().ok());
+}
+
+}  // namespace
+}  // namespace dbre

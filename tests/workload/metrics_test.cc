@@ -1,0 +1,94 @@
+#include "workload/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace dbre::workload {
+namespace {
+
+TEST(MetricsTest, PerfectRecovery) {
+  std::vector<InclusionDependency> truth = {
+      InclusionDependency::Single("A", "x", "B", "y")};
+  PrecisionRecall pr = CompareInds(truth, truth);
+  EXPECT_DOUBLE_EQ(pr.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(pr.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(pr.F1(), 1.0);
+}
+
+TEST(MetricsTest, EmptySetsArePerfect) {
+  PrecisionRecall pr = CompareInds({}, {});
+  EXPECT_DOUBLE_EQ(pr.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(pr.Recall(), 1.0);
+}
+
+TEST(MetricsTest, FalsePositivesHurtPrecision) {
+  std::vector<InclusionDependency> truth = {
+      InclusionDependency::Single("A", "x", "B", "y")};
+  std::vector<InclusionDependency> recovered = {
+      InclusionDependency::Single("A", "x", "B", "y"),
+      InclusionDependency::Single("C", "z", "B", "y")};
+  PrecisionRecall pr = CompareInds(recovered, truth);
+  EXPECT_DOUBLE_EQ(pr.Precision(), 0.5);
+  EXPECT_DOUBLE_EQ(pr.Recall(), 1.0);
+  EXPECT_EQ(pr.false_positives, 1u);
+}
+
+TEST(MetricsTest, FalseNegativesHurtRecall) {
+  std::vector<InclusionDependency> truth = {
+      InclusionDependency::Single("A", "x", "B", "y"),
+      InclusionDependency::Single("C", "z", "B", "y")};
+  std::vector<InclusionDependency> recovered = {
+      InclusionDependency::Single("A", "x", "B", "y")};
+  PrecisionRecall pr = CompareInds(recovered, truth);
+  EXPECT_DOUBLE_EQ(pr.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(pr.Recall(), 0.5);
+}
+
+TEST(MetricsTest, FdComparisonSplitsRightHandSides) {
+  // Recovered a → bc vs truth {a → b, a → c}: full credit.
+  std::vector<FunctionalDependency> recovered = {FunctionalDependency(
+      "R", AttributeSet{"a"}, AttributeSet{"b", "c"})};
+  std::vector<FunctionalDependency> truth = {
+      FunctionalDependency("R", AttributeSet{"a"}, AttributeSet{"b"}),
+      FunctionalDependency("R", AttributeSet{"a"}, AttributeSet{"c"})};
+  PrecisionRecall pr = CompareFds(recovered, truth);
+  EXPECT_DOUBLE_EQ(pr.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(pr.Recall(), 1.0);
+}
+
+TEST(MetricsTest, PartialFdRecovery) {
+  std::vector<FunctionalDependency> recovered = {
+      FunctionalDependency("R", AttributeSet{"a"}, AttributeSet{"b"})};
+  std::vector<FunctionalDependency> truth = {FunctionalDependency(
+      "R", AttributeSet{"a"}, AttributeSet{"b", "c"})};
+  PrecisionRecall pr = CompareFds(recovered, truth);
+  EXPECT_DOUBLE_EQ(pr.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(pr.Recall(), 0.5);
+}
+
+TEST(MetricsTest, QualifiedComparison) {
+  std::vector<QualifiedAttributes> truth = {
+      {"R", AttributeSet{"a"}}, {"S", AttributeSet{"b"}}};
+  std::vector<QualifiedAttributes> recovered = {{"R", AttributeSet{"a"}}};
+  PrecisionRecall pr = CompareQualified(recovered, truth);
+  EXPECT_EQ(pr.true_positives, 1u);
+  EXPECT_EQ(pr.false_negatives, 1u);
+}
+
+TEST(MetricsTest, F1IsZeroWhenNothingRight) {
+  std::vector<QualifiedAttributes> truth = {{"R", AttributeSet{"a"}}};
+  std::vector<QualifiedAttributes> recovered = {{"S", AttributeSet{"b"}}};
+  PrecisionRecall pr = CompareQualified(recovered, truth);
+  EXPECT_DOUBLE_EQ(pr.F1(), 0.0);
+}
+
+TEST(MetricsTest, ToStringMentionsCounts) {
+  PrecisionRecall pr;
+  pr.true_positives = 3;
+  pr.false_positives = 1;
+  std::string text = pr.ToString();
+  EXPECT_NE(text.find("tp=3"), std::string::npos);
+  EXPECT_NE(text.find("fp=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dbre::workload

@@ -1,0 +1,118 @@
+// End-to-end property tests: on clean synthetic databases with full query
+// coverage, the method recovers exactly the planted dependencies.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "workload/generator.h"
+#include "workload/metrics.h"
+
+namespace dbre::workload {
+namespace {
+
+class SyntheticRecoveryTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SyntheticRecoveryTest, CleanDataFullCoverageRecoversEverything) {
+  SyntheticSpec spec;
+  spec.num_entities = 5;
+  spec.num_merged = 2;
+  spec.rows_per_entity = 300;
+  spec.seed = GetParam();
+  auto generated = GenerateSynthetic(spec);
+  ASSERT_TRUE(generated.ok()) << generated.status();
+
+  ThresholdOracle::Options oracle_options;
+  oracle_options.accept_hidden_objects = true;
+  ThresholdOracle oracle(oracle_options);
+  auto report = RunPipeline(generated->database, generated->queries,
+                            &oracle);
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  // Every planted IND recovered, nothing invented.
+  PrecisionRecall ind_pr = CompareInds(report->ind.inds,
+                                       generated->true_inds);
+  EXPECT_DOUBLE_EQ(ind_pr.Recall(), 1.0) << ind_pr.ToString();
+  EXPECT_DOUBLE_EQ(ind_pr.Precision(), 1.0) << ind_pr.ToString();
+
+  // Every planted FD recovered.
+  PrecisionRecall fd_pr = CompareFds(report->rhs.fds, generated->true_fds);
+  EXPECT_DOUBLE_EQ(fd_pr.Recall(), 1.0) << fd_pr.ToString();
+
+  // Planted identifiers surface either as FD left-hand sides or as hidden
+  // objects.
+  std::vector<QualifiedAttributes> recovered_identifiers = report->rhs.hidden;
+  for (const FunctionalDependency& fd : report->rhs.fds) {
+    recovered_identifiers.push_back(
+        QualifiedAttributes{fd.relation, fd.lhs});
+  }
+  PrecisionRecall id_pr =
+      CompareQualified(recovered_identifiers, generated->true_identifiers);
+  EXPECT_DOUBLE_EQ(id_pr.Recall(), 1.0) << id_pr.ToString();
+
+  // The restructured schema's RICs all hold in the materialized extension.
+  for (const InclusionDependency& ric : report->restruct.rics) {
+    EXPECT_TRUE(*Satisfies(report->restruct.database, ric))
+        << ric.ToString();
+  }
+  // The EER schema is structurally valid.
+  EXPECT_TRUE(report->eer.Validate().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyntheticRecoveryTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 23, 42));
+
+TEST(SyntheticRecoveryTest, PartialCoverageBoundsRecall) {
+  SyntheticSpec spec;
+  spec.num_entities = 10;
+  spec.num_merged = 4;
+  spec.rows_per_entity = 100;
+  spec.query_coverage = 0.5;
+  spec.seed = 99;
+  auto generated = GenerateSynthetic(spec);
+  ASSERT_TRUE(generated.ok());
+  ASSERT_LT(generated->queries.size(), generated->true_inds.size());
+
+  DefaultOracle oracle;
+  auto report = RunPipeline(generated->database, generated->queries,
+                            &oracle);
+  ASSERT_TRUE(report.ok());
+  PrecisionRecall pr = CompareInds(report->ind.inds, generated->true_inds);
+  // Precision stays perfect; recall is capped by coverage.
+  EXPECT_DOUBLE_EQ(pr.Precision(), 1.0);
+  EXPECT_EQ(pr.true_positives, generated->queries.size());
+}
+
+TEST(SyntheticRecoveryTest, CorruptedDataNeedsOracle) {
+  SyntheticSpec spec;
+  spec.num_entities = 4;
+  spec.num_merged = 1;
+  spec.rows_per_entity = 400;
+  spec.orphan_rate = 0.1;
+  spec.seed = 5;
+  auto generated = GenerateSynthetic(spec);
+  ASSERT_TRUE(generated.ok());
+
+  // The conservative oracle ignores NEIs → corrupted links are lost.
+  DefaultOracle conservative;
+  auto strict = RunPipeline(generated->database, generated->queries,
+                            &conservative);
+  ASSERT_TRUE(strict.ok());
+  PrecisionRecall strict_pr =
+      CompareInds(strict->ind.inds, generated->true_inds);
+  EXPECT_LT(strict_pr.Recall(), 1.0);
+
+  // A lenient threshold oracle forces the dirty inclusions back.
+  ThresholdOracle::Options options;
+  options.nei_conceptualize_ratio = 2.0;  // never conceptualize
+  options.nei_force_ratio = 0.5;          // force when ≥ half overlaps
+  ThresholdOracle lenient(options);
+  auto recovered = RunPipeline(generated->database, generated->queries,
+                               &lenient);
+  ASSERT_TRUE(recovered.ok());
+  PrecisionRecall lenient_pr =
+      CompareInds(recovered->ind.inds, generated->true_inds);
+  EXPECT_GT(lenient_pr.Recall(), strict_pr.Recall());
+  EXPECT_DOUBLE_EQ(lenient_pr.Recall(), 1.0);
+}
+
+}  // namespace
+}  // namespace dbre::workload
