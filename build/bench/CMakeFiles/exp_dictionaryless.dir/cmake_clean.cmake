@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_dictionaryless.dir/exp_dictionaryless.cc.o"
+  "CMakeFiles/exp_dictionaryless.dir/exp_dictionaryless.cc.o.d"
+  "exp_dictionaryless"
+  "exp_dictionaryless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_dictionaryless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_library.dir/exp_library.cc.o"
+  "CMakeFiles/exp_library.dir/exp_library.cc.o.d"
+  "exp_library"
+  "exp_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_naming_baseline.dir/exp_naming_baseline.cc.o"
+  "CMakeFiles/exp_naming_baseline.dir/exp_naming_baseline.cc.o.d"
+  "exp_naming_baseline"
+  "exp_naming_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_naming_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_nei_policy.dir/exp_nei_policy.cc.o"
+  "CMakeFiles/exp_nei_policy.dir/exp_nei_policy.cc.o.d"
+  "exp_nei_policy"
+  "exp_nei_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_nei_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_normal_forms.dir/exp_normal_forms.cc.o"
+  "CMakeFiles/exp_normal_forms.dir/exp_normal_forms.cc.o.d"
+  "exp_normal_forms"
+  "exp_normal_forms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_normal_forms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

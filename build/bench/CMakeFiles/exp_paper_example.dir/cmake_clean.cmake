@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_paper_example.dir/exp_paper_example.cc.o"
+  "CMakeFiles/exp_paper_example.dir/exp_paper_example.cc.o.d"
+  "exp_paper_example"
+  "exp_paper_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_paper_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_recovery_quality.dir/exp_recovery_quality.cc.o"
+  "CMakeFiles/exp_recovery_quality.dir/exp_recovery_quality.cc.o.d"
+  "exp_recovery_quality"
+  "exp_recovery_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_recovery_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_synthesis_compare.dir/exp_synthesis_compare.cc.o"
+  "CMakeFiles/exp_synthesis_compare.dir/exp_synthesis_compare.cc.o.d"
+  "exp_synthesis_compare"
+  "exp_synthesis_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_synthesis_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

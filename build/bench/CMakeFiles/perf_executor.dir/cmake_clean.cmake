@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_executor.dir/perf_executor.cc.o"
+  "CMakeFiles/perf_executor.dir/perf_executor.cc.o.d"
+  "perf_executor"
+  "perf_executor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

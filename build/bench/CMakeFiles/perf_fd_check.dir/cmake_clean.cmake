@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_fd_check.dir/perf_fd_check.cc.o"
+  "CMakeFiles/perf_fd_check.dir/perf_fd_check.cc.o.d"
+  "perf_fd_check"
+  "perf_fd_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_fd_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_fd_targeted_vs_mining.dir/perf_fd_targeted_vs_mining.cc.o"
+  "CMakeFiles/perf_fd_targeted_vs_mining.dir/perf_fd_targeted_vs_mining.cc.o.d"
+  "perf_fd_targeted_vs_mining"
+  "perf_fd_targeted_vs_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_fd_targeted_vs_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for perf_fd_targeted_vs_mining.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_guided_vs_exhaustive.dir/perf_guided_vs_exhaustive.cc.o"
+  "CMakeFiles/perf_guided_vs_exhaustive.dir/perf_guided_vs_exhaustive.cc.o.d"
+  "perf_guided_vs_exhaustive"
+  "perf_guided_vs_exhaustive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_guided_vs_exhaustive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

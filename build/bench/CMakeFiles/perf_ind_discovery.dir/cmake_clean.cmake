@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_ind_discovery.dir/perf_ind_discovery.cc.o"
+  "CMakeFiles/perf_ind_discovery.dir/perf_ind_discovery.cc.o.d"
+  "perf_ind_discovery"
+  "perf_ind_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_ind_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_key_miner.dir/perf_key_miner.cc.o"
+  "CMakeFiles/perf_key_miner.dir/perf_key_miner.cc.o.d"
+  "perf_key_miner"
+  "perf_key_miner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_key_miner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

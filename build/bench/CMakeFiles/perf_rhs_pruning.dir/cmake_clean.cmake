@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_rhs_pruning.dir/perf_rhs_pruning.cc.o"
+  "CMakeFiles/perf_rhs_pruning.dir/perf_rhs_pruning.cc.o.d"
+  "perf_rhs_pruning"
+  "perf_rhs_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_rhs_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

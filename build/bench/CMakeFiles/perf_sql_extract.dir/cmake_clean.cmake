@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_sql_extract.dir/perf_sql_extract.cc.o"
+  "CMakeFiles/perf_sql_extract.dir/perf_sql_extract.cc.o.d"
+  "perf_sql_extract"
+  "perf_sql_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_sql_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbre_cli.dir/dbre_cli.cc.o"
+  "CMakeFiles/dbre_cli.dir/dbre_cli.cc.o.d"
+  "dbre_cli"
+  "dbre_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbre_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

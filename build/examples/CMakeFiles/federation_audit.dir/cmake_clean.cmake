@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federation_audit.dir/federation_audit.cc.o"
+  "CMakeFiles/federation_audit.dir/federation_audit.cc.o.d"
+  "federation_audit"
+  "federation_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federation_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

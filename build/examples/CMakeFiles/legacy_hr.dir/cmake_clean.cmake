@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legacy_hr.dir/legacy_hr.cc.o"
+  "CMakeFiles/legacy_hr.dir/legacy_hr.cc.o.d"
+  "legacy_hr"
+  "legacy_hr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacy_hr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

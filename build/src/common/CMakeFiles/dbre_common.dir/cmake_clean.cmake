@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbre_common.dir/status.cc.o"
+  "CMakeFiles/dbre_common.dir/status.cc.o.d"
+  "CMakeFiles/dbre_common.dir/string_util.cc.o"
+  "CMakeFiles/dbre_common.dir/string_util.cc.o.d"
+  "libdbre_common.a"
+  "libdbre_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbre_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

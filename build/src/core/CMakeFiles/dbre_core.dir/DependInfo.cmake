@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ind_discovery.cc" "src/core/CMakeFiles/dbre_core.dir/ind_discovery.cc.o" "gcc" "src/core/CMakeFiles/dbre_core.dir/ind_discovery.cc.o.d"
+  "/root/repo/src/core/interactive_oracle.cc" "src/core/CMakeFiles/dbre_core.dir/interactive_oracle.cc.o" "gcc" "src/core/CMakeFiles/dbre_core.dir/interactive_oracle.cc.o.d"
+  "/root/repo/src/core/lhs_discovery.cc" "src/core/CMakeFiles/dbre_core.dir/lhs_discovery.cc.o" "gcc" "src/core/CMakeFiles/dbre_core.dir/lhs_discovery.cc.o.d"
+  "/root/repo/src/core/navigation_graph.cc" "src/core/CMakeFiles/dbre_core.dir/navigation_graph.cc.o" "gcc" "src/core/CMakeFiles/dbre_core.dir/navigation_graph.cc.o.d"
+  "/root/repo/src/core/oracle.cc" "src/core/CMakeFiles/dbre_core.dir/oracle.cc.o" "gcc" "src/core/CMakeFiles/dbre_core.dir/oracle.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/dbre_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/dbre_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/report_json.cc" "src/core/CMakeFiles/dbre_core.dir/report_json.cc.o" "gcc" "src/core/CMakeFiles/dbre_core.dir/report_json.cc.o.d"
+  "/root/repo/src/core/restruct.cc" "src/core/CMakeFiles/dbre_core.dir/restruct.cc.o" "gcc" "src/core/CMakeFiles/dbre_core.dir/restruct.cc.o.d"
+  "/root/repo/src/core/rhs_discovery.cc" "src/core/CMakeFiles/dbre_core.dir/rhs_discovery.cc.o" "gcc" "src/core/CMakeFiles/dbre_core.dir/rhs_discovery.cc.o.d"
+  "/root/repo/src/core/translate.cc" "src/core/CMakeFiles/dbre_core.dir/translate.cc.o" "gcc" "src/core/CMakeFiles/dbre_core.dir/translate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/deps/CMakeFiles/dbre_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/eer/CMakeFiles/dbre_eer.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/dbre_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/dbre_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbre_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbre_core.dir/ind_discovery.cc.o"
+  "CMakeFiles/dbre_core.dir/ind_discovery.cc.o.d"
+  "CMakeFiles/dbre_core.dir/interactive_oracle.cc.o"
+  "CMakeFiles/dbre_core.dir/interactive_oracle.cc.o.d"
+  "CMakeFiles/dbre_core.dir/lhs_discovery.cc.o"
+  "CMakeFiles/dbre_core.dir/lhs_discovery.cc.o.d"
+  "CMakeFiles/dbre_core.dir/navigation_graph.cc.o"
+  "CMakeFiles/dbre_core.dir/navigation_graph.cc.o.d"
+  "CMakeFiles/dbre_core.dir/oracle.cc.o"
+  "CMakeFiles/dbre_core.dir/oracle.cc.o.d"
+  "CMakeFiles/dbre_core.dir/pipeline.cc.o"
+  "CMakeFiles/dbre_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/dbre_core.dir/report_json.cc.o"
+  "CMakeFiles/dbre_core.dir/report_json.cc.o.d"
+  "CMakeFiles/dbre_core.dir/restruct.cc.o"
+  "CMakeFiles/dbre_core.dir/restruct.cc.o.d"
+  "CMakeFiles/dbre_core.dir/rhs_discovery.cc.o"
+  "CMakeFiles/dbre_core.dir/rhs_discovery.cc.o.d"
+  "CMakeFiles/dbre_core.dir/translate.cc.o"
+  "CMakeFiles/dbre_core.dir/translate.cc.o.d"
+  "libdbre_core.a"
+  "libdbre_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbre_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

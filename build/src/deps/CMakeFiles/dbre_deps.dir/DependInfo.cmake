@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deps/armstrong.cc" "src/deps/CMakeFiles/dbre_deps.dir/armstrong.cc.o" "gcc" "src/deps/CMakeFiles/dbre_deps.dir/armstrong.cc.o.d"
+  "/root/repo/src/deps/fd.cc" "src/deps/CMakeFiles/dbre_deps.dir/fd.cc.o" "gcc" "src/deps/CMakeFiles/dbre_deps.dir/fd.cc.o.d"
+  "/root/repo/src/deps/fd_miner.cc" "src/deps/CMakeFiles/dbre_deps.dir/fd_miner.cc.o" "gcc" "src/deps/CMakeFiles/dbre_deps.dir/fd_miner.cc.o.d"
+  "/root/repo/src/deps/ind.cc" "src/deps/CMakeFiles/dbre_deps.dir/ind.cc.o" "gcc" "src/deps/CMakeFiles/dbre_deps.dir/ind.cc.o.d"
+  "/root/repo/src/deps/ind_closure.cc" "src/deps/CMakeFiles/dbre_deps.dir/ind_closure.cc.o" "gcc" "src/deps/CMakeFiles/dbre_deps.dir/ind_closure.cc.o.d"
+  "/root/repo/src/deps/ind_miner.cc" "src/deps/CMakeFiles/dbre_deps.dir/ind_miner.cc.o" "gcc" "src/deps/CMakeFiles/dbre_deps.dir/ind_miner.cc.o.d"
+  "/root/repo/src/deps/key_miner.cc" "src/deps/CMakeFiles/dbre_deps.dir/key_miner.cc.o" "gcc" "src/deps/CMakeFiles/dbre_deps.dir/key_miner.cc.o.d"
+  "/root/repo/src/deps/name_matcher.cc" "src/deps/CMakeFiles/dbre_deps.dir/name_matcher.cc.o" "gcc" "src/deps/CMakeFiles/dbre_deps.dir/name_matcher.cc.o.d"
+  "/root/repo/src/deps/normal_forms.cc" "src/deps/CMakeFiles/dbre_deps.dir/normal_forms.cc.o" "gcc" "src/deps/CMakeFiles/dbre_deps.dir/normal_forms.cc.o.d"
+  "/root/repo/src/deps/partition.cc" "src/deps/CMakeFiles/dbre_deps.dir/partition.cc.o" "gcc" "src/deps/CMakeFiles/dbre_deps.dir/partition.cc.o.d"
+  "/root/repo/src/deps/synthesis.cc" "src/deps/CMakeFiles/dbre_deps.dir/synthesis.cc.o" "gcc" "src/deps/CMakeFiles/dbre_deps.dir/synthesis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/dbre_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbre_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

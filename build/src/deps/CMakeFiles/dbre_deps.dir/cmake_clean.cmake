@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbre_deps.dir/armstrong.cc.o"
+  "CMakeFiles/dbre_deps.dir/armstrong.cc.o.d"
+  "CMakeFiles/dbre_deps.dir/fd.cc.o"
+  "CMakeFiles/dbre_deps.dir/fd.cc.o.d"
+  "CMakeFiles/dbre_deps.dir/fd_miner.cc.o"
+  "CMakeFiles/dbre_deps.dir/fd_miner.cc.o.d"
+  "CMakeFiles/dbre_deps.dir/ind.cc.o"
+  "CMakeFiles/dbre_deps.dir/ind.cc.o.d"
+  "CMakeFiles/dbre_deps.dir/ind_closure.cc.o"
+  "CMakeFiles/dbre_deps.dir/ind_closure.cc.o.d"
+  "CMakeFiles/dbre_deps.dir/ind_miner.cc.o"
+  "CMakeFiles/dbre_deps.dir/ind_miner.cc.o.d"
+  "CMakeFiles/dbre_deps.dir/key_miner.cc.o"
+  "CMakeFiles/dbre_deps.dir/key_miner.cc.o.d"
+  "CMakeFiles/dbre_deps.dir/name_matcher.cc.o"
+  "CMakeFiles/dbre_deps.dir/name_matcher.cc.o.d"
+  "CMakeFiles/dbre_deps.dir/normal_forms.cc.o"
+  "CMakeFiles/dbre_deps.dir/normal_forms.cc.o.d"
+  "CMakeFiles/dbre_deps.dir/partition.cc.o"
+  "CMakeFiles/dbre_deps.dir/partition.cc.o.d"
+  "CMakeFiles/dbre_deps.dir/synthesis.cc.o"
+  "CMakeFiles/dbre_deps.dir/synthesis.cc.o.d"
+  "libdbre_deps.a"
+  "libdbre_deps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbre_deps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eer/dot_export.cc" "src/eer/CMakeFiles/dbre_eer.dir/dot_export.cc.o" "gcc" "src/eer/CMakeFiles/dbre_eer.dir/dot_export.cc.o.d"
+  "/root/repo/src/eer/model.cc" "src/eer/CMakeFiles/dbre_eer.dir/model.cc.o" "gcc" "src/eer/CMakeFiles/dbre_eer.dir/model.cc.o.d"
+  "/root/repo/src/eer/transform.cc" "src/eer/CMakeFiles/dbre_eer.dir/transform.cc.o" "gcc" "src/eer/CMakeFiles/dbre_eer.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/dbre_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbre_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbre_eer.dir/dot_export.cc.o"
+  "CMakeFiles/dbre_eer.dir/dot_export.cc.o.d"
+  "CMakeFiles/dbre_eer.dir/model.cc.o"
+  "CMakeFiles/dbre_eer.dir/model.cc.o.d"
+  "CMakeFiles/dbre_eer.dir/transform.cc.o"
+  "CMakeFiles/dbre_eer.dir/transform.cc.o.d"
+  "libdbre_eer.a"
+  "libdbre_eer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbre_eer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdbre_eer.a"
+)

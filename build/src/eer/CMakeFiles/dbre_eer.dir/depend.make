@@ -1,0 +1,2 @@
+# Empty dependencies file for dbre_eer.
+# This may be replaced when dependencies are built.

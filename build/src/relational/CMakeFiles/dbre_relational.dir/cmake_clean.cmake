@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbre_relational.dir/algebra.cc.o"
+  "CMakeFiles/dbre_relational.dir/algebra.cc.o.d"
+  "CMakeFiles/dbre_relational.dir/attribute_set.cc.o"
+  "CMakeFiles/dbre_relational.dir/attribute_set.cc.o.d"
+  "CMakeFiles/dbre_relational.dir/csv.cc.o"
+  "CMakeFiles/dbre_relational.dir/csv.cc.o.d"
+  "CMakeFiles/dbre_relational.dir/database.cc.o"
+  "CMakeFiles/dbre_relational.dir/database.cc.o.d"
+  "CMakeFiles/dbre_relational.dir/equi_join.cc.o"
+  "CMakeFiles/dbre_relational.dir/equi_join.cc.o.d"
+  "CMakeFiles/dbre_relational.dir/schema.cc.o"
+  "CMakeFiles/dbre_relational.dir/schema.cc.o.d"
+  "CMakeFiles/dbre_relational.dir/table.cc.o"
+  "CMakeFiles/dbre_relational.dir/table.cc.o.d"
+  "CMakeFiles/dbre_relational.dir/value.cc.o"
+  "CMakeFiles/dbre_relational.dir/value.cc.o.d"
+  "libdbre_relational.a"
+  "libdbre_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbre_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

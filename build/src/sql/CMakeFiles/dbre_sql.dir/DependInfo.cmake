@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/ast.cc" "src/sql/CMakeFiles/dbre_sql.dir/ast.cc.o" "gcc" "src/sql/CMakeFiles/dbre_sql.dir/ast.cc.o.d"
+  "/root/repo/src/sql/ddl.cc" "src/sql/CMakeFiles/dbre_sql.dir/ddl.cc.o" "gcc" "src/sql/CMakeFiles/dbre_sql.dir/ddl.cc.o.d"
+  "/root/repo/src/sql/ddl_writer.cc" "src/sql/CMakeFiles/dbre_sql.dir/ddl_writer.cc.o" "gcc" "src/sql/CMakeFiles/dbre_sql.dir/ddl_writer.cc.o.d"
+  "/root/repo/src/sql/executor.cc" "src/sql/CMakeFiles/dbre_sql.dir/executor.cc.o" "gcc" "src/sql/CMakeFiles/dbre_sql.dir/executor.cc.o.d"
+  "/root/repo/src/sql/extractor.cc" "src/sql/CMakeFiles/dbre_sql.dir/extractor.cc.o" "gcc" "src/sql/CMakeFiles/dbre_sql.dir/extractor.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/sql/CMakeFiles/dbre_sql.dir/parser.cc.o" "gcc" "src/sql/CMakeFiles/dbre_sql.dir/parser.cc.o.d"
+  "/root/repo/src/sql/scanner.cc" "src/sql/CMakeFiles/dbre_sql.dir/scanner.cc.o" "gcc" "src/sql/CMakeFiles/dbre_sql.dir/scanner.cc.o.d"
+  "/root/repo/src/sql/selection_analysis.cc" "src/sql/CMakeFiles/dbre_sql.dir/selection_analysis.cc.o" "gcc" "src/sql/CMakeFiles/dbre_sql.dir/selection_analysis.cc.o.d"
+  "/root/repo/src/sql/token.cc" "src/sql/CMakeFiles/dbre_sql.dir/token.cc.o" "gcc" "src/sql/CMakeFiles/dbre_sql.dir/token.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/dbre_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbre_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

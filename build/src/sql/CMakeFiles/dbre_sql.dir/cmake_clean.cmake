@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbre_sql.dir/ast.cc.o"
+  "CMakeFiles/dbre_sql.dir/ast.cc.o.d"
+  "CMakeFiles/dbre_sql.dir/ddl.cc.o"
+  "CMakeFiles/dbre_sql.dir/ddl.cc.o.d"
+  "CMakeFiles/dbre_sql.dir/ddl_writer.cc.o"
+  "CMakeFiles/dbre_sql.dir/ddl_writer.cc.o.d"
+  "CMakeFiles/dbre_sql.dir/executor.cc.o"
+  "CMakeFiles/dbre_sql.dir/executor.cc.o.d"
+  "CMakeFiles/dbre_sql.dir/extractor.cc.o"
+  "CMakeFiles/dbre_sql.dir/extractor.cc.o.d"
+  "CMakeFiles/dbre_sql.dir/parser.cc.o"
+  "CMakeFiles/dbre_sql.dir/parser.cc.o.d"
+  "CMakeFiles/dbre_sql.dir/scanner.cc.o"
+  "CMakeFiles/dbre_sql.dir/scanner.cc.o.d"
+  "CMakeFiles/dbre_sql.dir/selection_analysis.cc.o"
+  "CMakeFiles/dbre_sql.dir/selection_analysis.cc.o.d"
+  "CMakeFiles/dbre_sql.dir/token.cc.o"
+  "CMakeFiles/dbre_sql.dir/token.cc.o.d"
+  "libdbre_sql.a"
+  "libdbre_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbre_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbre_workload.dir/generator.cc.o"
+  "CMakeFiles/dbre_workload.dir/generator.cc.o.d"
+  "CMakeFiles/dbre_workload.dir/library_example.cc.o"
+  "CMakeFiles/dbre_workload.dir/library_example.cc.o.d"
+  "CMakeFiles/dbre_workload.dir/metrics.cc.o"
+  "CMakeFiles/dbre_workload.dir/metrics.cc.o.d"
+  "CMakeFiles/dbre_workload.dir/paper_example.cc.o"
+  "CMakeFiles/dbre_workload.dir/paper_example.cc.o.d"
+  "libdbre_workload.a"
+  "libdbre_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbre_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

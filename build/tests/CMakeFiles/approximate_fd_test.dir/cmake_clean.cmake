@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approximate_fd_test.dir/core/approximate_fd_test.cc.o"
+  "CMakeFiles/approximate_fd_test.dir/core/approximate_fd_test.cc.o.d"
+  "approximate_fd_test"
+  "approximate_fd_test.pdb"
+  "approximate_fd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approximate_fd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composite_key_test.dir/workload/composite_key_test.cc.o"
+  "CMakeFiles/composite_key_test.dir/workload/composite_key_test.cc.o.d"
+  "composite_key_test"
+  "composite_key_test.pdb"
+  "composite_key_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composite_key_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

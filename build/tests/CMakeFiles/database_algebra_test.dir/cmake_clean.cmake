@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_algebra_test.dir/relational/database_algebra_test.cc.o"
+  "CMakeFiles/database_algebra_test.dir/relational/database_algebra_test.cc.o.d"
+  "database_algebra_test"
+  "database_algebra_test.pdb"
+  "database_algebra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_algebra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

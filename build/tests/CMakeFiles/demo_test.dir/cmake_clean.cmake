@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demo_test.dir/workload/demo_test.cc.o"
+  "CMakeFiles/demo_test.dir/workload/demo_test.cc.o.d"
+  "demo_test"
+  "demo_test.pdb"
+  "demo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

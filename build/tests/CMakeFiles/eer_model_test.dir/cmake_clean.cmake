@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eer_model_test.dir/eer/model_test.cc.o"
+  "CMakeFiles/eer_model_test.dir/eer/model_test.cc.o.d"
+  "eer_model_test"
+  "eer_model_test.pdb"
+  "eer_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eer_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

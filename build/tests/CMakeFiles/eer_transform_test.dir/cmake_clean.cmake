@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eer_transform_test.dir/eer/transform_test.cc.o"
+  "CMakeFiles/eer_transform_test.dir/eer/transform_test.cc.o.d"
+  "eer_transform_test"
+  "eer_transform_test.pdb"
+  "eer_transform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eer_transform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

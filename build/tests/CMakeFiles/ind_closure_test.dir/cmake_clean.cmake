@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ind_closure_test.dir/deps/ind_closure_test.cc.o"
+  "CMakeFiles/ind_closure_test.dir/deps/ind_closure_test.cc.o.d"
+  "ind_closure_test"
+  "ind_closure_test.pdb"
+  "ind_closure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ind_closure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

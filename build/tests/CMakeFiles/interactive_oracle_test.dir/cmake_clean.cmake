@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_oracle_test.dir/core/interactive_oracle_test.cc.o"
+  "CMakeFiles/interactive_oracle_test.dir/core/interactive_oracle_test.cc.o.d"
+  "interactive_oracle_test"
+  "interactive_oracle_test.pdb"
+  "interactive_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

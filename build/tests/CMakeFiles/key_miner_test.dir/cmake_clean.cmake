@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_miner_test.dir/deps/key_miner_test.cc.o"
+  "CMakeFiles/key_miner_test.dir/deps/key_miner_test.cc.o.d"
+  "key_miner_test"
+  "key_miner_test.pdb"
+  "key_miner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_example_test.dir/workload/library_example_test.cc.o"
+  "CMakeFiles/library_example_test.dir/workload/library_example_test.cc.o.d"
+  "library_example_test"
+  "library_example_test.pdb"
+  "library_example_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_example_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/navigation_graph_test.dir/core/navigation_graph_test.cc.o"
+  "CMakeFiles/navigation_graph_test.dir/core/navigation_graph_test.cc.o.d"
+  "navigation_graph_test"
+  "navigation_graph_test.pdb"
+  "navigation_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/navigation_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

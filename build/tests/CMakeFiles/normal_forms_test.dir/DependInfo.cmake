@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/deps/normal_forms_test.cc" "tests/CMakeFiles/normal_forms_test.dir/deps/normal_forms_test.cc.o" "gcc" "tests/CMakeFiles/normal_forms_test.dir/deps/normal_forms_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/dbre_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dbre_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eer/CMakeFiles/dbre_eer.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/dbre_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/deps/CMakeFiles/dbre_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/dbre_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbre_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

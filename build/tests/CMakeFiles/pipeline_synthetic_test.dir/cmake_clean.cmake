@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_synthetic_test.dir/workload/pipeline_synthetic_test.cc.o"
+  "CMakeFiles/pipeline_synthetic_test.dir/workload/pipeline_synthetic_test.cc.o.d"
+  "pipeline_synthetic_test"
+  "pipeline_synthetic_test.pdb"
+  "pipeline_synthetic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_synthetic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

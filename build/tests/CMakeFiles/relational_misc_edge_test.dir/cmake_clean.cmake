@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_misc_edge_test.dir/relational/misc_edge_test.cc.o"
+  "CMakeFiles/relational_misc_edge_test.dir/relational/misc_edge_test.cc.o.d"
+  "relational_misc_edge_test"
+  "relational_misc_edge_test.pdb"
+  "relational_misc_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_misc_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_json_test.dir/core/report_json_test.cc.o"
+  "CMakeFiles/report_json_test.dir/core/report_json_test.cc.o.d"
+  "report_json_test"
+  "report_json_test.pdb"
+  "report_json_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

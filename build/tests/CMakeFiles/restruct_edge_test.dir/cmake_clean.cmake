@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restruct_edge_test.dir/core/restruct_edge_test.cc.o"
+  "CMakeFiles/restruct_edge_test.dir/core/restruct_edge_test.cc.o.d"
+  "restruct_edge_test"
+  "restruct_edge_test.pdb"
+  "restruct_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restruct_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restruct_translate_test.dir/core/restruct_translate_test.cc.o"
+  "CMakeFiles/restruct_translate_test.dir/core/restruct_translate_test.cc.o.d"
+  "restruct_translate_test"
+  "restruct_translate_test.pdb"
+  "restruct_translate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restruct_translate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanner_ddl_test.dir/sql/scanner_ddl_test.cc.o"
+  "CMakeFiles/scanner_ddl_test.dir/sql/scanner_ddl_test.cc.o.d"
+  "scanner_ddl_test"
+  "scanner_ddl_test.pdb"
+  "scanner_ddl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanner_ddl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

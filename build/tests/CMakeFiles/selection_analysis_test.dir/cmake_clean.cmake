@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_analysis_test.dir/sql/selection_analysis_test.cc.o"
+  "CMakeFiles/selection_analysis_test.dir/sql/selection_analysis_test.cc.o.d"
+  "selection_analysis_test"
+  "selection_analysis_test.pdb"
+  "selection_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

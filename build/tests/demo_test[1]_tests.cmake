@@ -1,0 +1,3 @@
+add_test([=[DemoDatasetTest.EndToEnd]=]  /root/repo/build/tests/demo_test [==[--gtest_filter=DemoDatasetTest.EndToEnd]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[DemoDatasetTest.EndToEnd]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  demo_test_TESTS DemoDatasetTest.EndToEnd)
