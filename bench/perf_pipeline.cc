@@ -61,6 +61,34 @@ BENCHMARK(BM_FullPipeline)
     ->Arg(32000)
     ->Unit(benchmark::kMillisecond);
 
+// Thread scaling of the end-to-end method: range(1) worker threads fan out
+// the IND valuations and the candidate FD tests. Outputs are identical for
+// every thread count (see ParallelDiscoveryTest).
+void BM_FullPipelineThreads(benchmark::State& state) {
+  const SyntheticDatabase& db =
+      CachedDatabase(static_cast<size_t>(state.range(0)));
+  dbre::ThresholdOracle::Options options;
+  options.accept_hidden_objects = true;
+  dbre::ThresholdOracle oracle(options);
+  dbre::PipelineOptions pipeline_options;
+  pipeline_options.ind.num_threads = static_cast<size_t>(state.range(1));
+  pipeline_options.rhs.num_threads = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    auto report =
+        dbre::RunPipeline(db.database, db.queries, &oracle, pipeline_options);
+    if (!report.ok()) state.SkipWithError("pipeline failed");
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0) * 6);
+}
+BENCHMARK(BM_FullPipelineThreads)
+    ->Args({8000, 1})
+    ->Args({8000, 4})
+    ->Args({32000, 1})
+    ->Args({32000, 4})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

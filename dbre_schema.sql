@@ -1,0 +1,33 @@
+CREATE TABLE Customers (
+  id INT,
+  name TEXT,
+  city TEXT,
+  PRIMARY KEY (id)
+);
+CREATE TABLE Orders (
+  ord INT,
+  cust INT,
+  prod INT,
+  qty INT,
+  status TEXT,
+  PRIMARY KEY (ord)
+);
+CREATE TABLE Orders_cust (
+  cust INT,
+  PRIMARY KEY (cust)
+);
+CREATE TABLE Orders_prod (
+  prod INT,
+  prod_name TEXT,
+  PRIMARY KEY (prod)
+);
+CREATE TABLE Shipments (
+  ship INT,
+  prod INT,
+  carrier TEXT NOT NULL,
+  PRIMARY KEY (ship)
+);
+CREATE TABLE Shipments_prod (
+  prod INT,
+  PRIMARY KEY (prod)
+);

@@ -1,0 +1,116 @@
+// Minimal open-addressing hash containers over 64-bit keys.
+//
+// The dictionary encoder and the cross-table intersection primitives sit on
+// the hot path of every extension query; a node-based std::unordered_map
+// pays one allocation per distinct key, which dominates their run time. In
+// both places the number of keys is bounded up front (at most one per row,
+// or exactly the dictionary size), so these containers take the expected
+// maximum at construction, size the slot array once to a load factor of at
+// most 2/3, and never rehash or allocate again. Linear probing with
+// Fibonacci (multiply-shift) hashing; no erase.
+#ifndef DBRE_COMMON_FLAT_HASH_H_
+#define DBRE_COMMON_FLAT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dbre {
+
+namespace flat_hash_internal {
+
+constexpr uint64_t kMultiplier = 0x9E3779B97F4A7C15ull;  // 2^64 / φ
+
+// Capacity: smallest power of two with expected/capacity <= 2/3.
+inline int CapacityBits(size_t expected) {
+  int bits = 4;
+  while ((size_t{1} << bits) < expected + expected / 2 + 1) ++bits;
+  return bits;
+}
+
+}  // namespace flat_hash_internal
+
+// key → uint32 value map, fixed capacity, insert-or-find only.
+class FlatMap64 {
+ public:
+  explicit FlatMap64(size_t expected) {
+    int bits = flat_hash_internal::CapacityBits(expected);
+    size_t capacity = size_t{1} << bits;
+    shift_ = 64 - bits;
+    mask_ = capacity - 1;
+    keys_.resize(capacity);
+    values_.resize(capacity);
+    used_.assign(capacity, 0);
+  }
+
+  // The value stored for `key`, storing `fresh` first if the key is new.
+  // The caller detects an insert by comparing the result against `fresh`.
+  uint32_t FindOrInsert(uint64_t key, uint32_t fresh) {
+    size_t i = Start(key);
+    while (used_[i]) {
+      if (keys_[i] == key) return values_[i];
+      i = (i + 1) & mask_;
+    }
+    used_[i] = 1;
+    keys_[i] = key;
+    values_[i] = fresh;
+    return fresh;
+  }
+
+ private:
+  size_t Start(uint64_t key) const {
+    return (key * flat_hash_internal::kMultiplier) >> shift_;
+  }
+
+  int shift_;
+  size_t mask_;
+  std::vector<uint64_t> keys_;
+  std::vector<uint32_t> values_;
+  std::vector<uint8_t> used_;
+};
+
+// Membership-only variant.
+class FlatSet64 {
+ public:
+  explicit FlatSet64(size_t expected) {
+    int bits = flat_hash_internal::CapacityBits(expected);
+    size_t capacity = size_t{1} << bits;
+    shift_ = 64 - bits;
+    mask_ = capacity - 1;
+    keys_.resize(capacity);
+    used_.assign(capacity, 0);
+  }
+
+  void Insert(uint64_t key) {
+    size_t i = Start(key);
+    while (used_[i]) {
+      if (keys_[i] == key) return;
+      i = (i + 1) & mask_;
+    }
+    used_[i] = 1;
+    keys_[i] = key;
+  }
+
+  bool Contains(uint64_t key) const {
+    size_t i = Start(key);
+    while (used_[i]) {
+      if (keys_[i] == key) return true;
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
+ private:
+  size_t Start(uint64_t key) const {
+    return (key * flat_hash_internal::kMultiplier) >> shift_;
+  }
+
+  int shift_;
+  size_t mask_;
+  std::vector<uint64_t> keys_;
+  std::vector<uint8_t> used_;
+};
+
+}  // namespace dbre
+
+#endif  // DBRE_COMMON_FLAT_HASH_H_

@@ -1,0 +1,68 @@
+// A small fixed-size thread pool plus a ParallelFor helper.
+//
+// The discovery algorithms fan out independent extension valuations (one
+// per equi-join, one per candidate FD) and then consume the results in the
+// original input order, so parallel execution never changes an output: the
+// worker writes its result into a caller-provided slot indexed by task id,
+// and the sequential consumer reads the slots in order. Tasks must not
+// throw (the library is exception-free) and must handle their own errors
+// via Status/Result slots.
+#ifndef DBRE_COMMON_THREAD_POOL_H_
+#define DBRE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dbre {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers; 0 means HardwareThreads().
+  explicit ThreadPool(size_t num_threads = 0);
+
+  // Blocks until every submitted task has finished.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues a task; runs on some worker, in no particular order relative
+  // to other tasks.
+  void Submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and all workers are idle.
+  void Wait();
+
+  // std::thread::hardware_concurrency(), never 0.
+  static size_t HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Runs fn(0), ..., fn(n-1) across `num_threads` workers (0 → hardware
+// concurrency) and blocks until all calls return. With n <= 1 or one
+// thread, runs inline on the calling thread. The assignment of indexes to
+// threads is nondeterministic; determinism is the caller's job — write
+// results into slot i and consume the slots in order.
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace dbre
+
+#endif  // DBRE_COMMON_THREAD_POOL_H_

@@ -1,8 +1,10 @@
 #include "core/ind_discovery.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace dbre {
 
@@ -89,12 +91,24 @@ Result<IndDiscoveryResult> DiscoverInds(Database* database,
   if (database == nullptr) return InvalidArgumentError("database is null");
   if (oracle == nullptr) return InvalidArgumentError("oracle is null");
 
+  // Fan the per-join valuations out first: they only read the catalog
+  // (conceptualized relations are added below, but a later join can never
+  // reference one — their names are freshly derived), so each worker
+  // writes its counts into the slot of its join and the classification
+  // loop consumes the slots in input order. Results are byte-identical to
+  // a sequential run for any thread count.
+  std::vector<std::optional<Result<JoinCounts>>> all_counts(joins.size());
+  ParallelFor(joins.size(), options.num_threads, [&](size_t i) {
+    all_counts[i].emplace(ComputeJoinCounts(*database, joins[i]));
+  });
+
   IndDiscoveryResult result;
-  for (const EquiJoin& join : joins) {
+  for (size_t join_index = 0; join_index < joins.size(); ++join_index) {
+    const EquiJoin& join = joins[join_index];
     JoinOutcome outcome;
     outcome.join = join;
 
-    Result<JoinCounts> counts = ComputeJoinCounts(*database, join);
+    const Result<JoinCounts>& counts = *all_counts[join_index];
     if (!counts.ok()) {
       if (!options.skip_invalid_joins) return counts.status();
       outcome.kind = JoinOutcomeKind::kError;

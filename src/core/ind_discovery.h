@@ -61,6 +61,12 @@ struct IndDiscoveryOptions {
   // Skip joins whose relations/attributes are missing from the catalog
   // (recorded as kError outcomes) instead of failing the run.
   bool skip_invalid_joins = true;
+  // Worker threads for the equi-join valuations (the three distinct counts
+  // per join are independent across joins and run against a read-only
+  // catalog). 0 = hardware concurrency, 1 = sequential. The classification
+  // and oracle interaction stay sequential in input order, so results are
+  // identical for every thread count.
+  size_t num_threads = 0;
 };
 
 // Runs IND-Discovery. `database` gains the conceptualized relations of S

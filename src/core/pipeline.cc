@@ -69,6 +69,15 @@ Result<PipelineReport> RunPipeline(const Database& database,
   report.not_null_set = database.NotNullSet();
   report.joins = CanonicalJoinSet(joins);
 
+  // Materialize each input table's (lazy) query-cache handle before
+  // cloning: the working copy then shares it, so encodings and partitions
+  // memoized during this run stay attached to the caller's catalog and are
+  // reused by later runs over the same extension.
+  for (const std::string& relation : database.RelationNames()) {
+    DBRE_ASSIGN_OR_RETURN(const Table* table, database.GetTable(relation));
+    DBRE_RETURN_IF_ERROR(table->query_cache().status());
+  }
+
   // IND-Discovery works on a clone: conceptualized relations join R as S.
   Database working = database.Clone();
 

@@ -1,7 +1,9 @@
 #include "core/rhs_discovery.h"
 
 #include <algorithm>
+#include <optional>
 
+#include "common/thread_pool.h"
 #include "relational/algebra.h"
 
 namespace dbre {
@@ -66,26 +68,42 @@ Result<RhsDiscoveryResult> DiscoverRhs(
     result.pruned_attributes += before - t.size();
     outcome.tested = t;
 
+    // Fan out the extension tests A → b over the workers; each slot holds
+    // the verdict (and, for failures, the g3 error the oracle will want).
+    // The oracle pass below consumes the slots sequentially in attribute
+    // order, so the outcome matches a sequential run exactly.
+    const std::vector<std::string>& tested_names = t.names();
+    struct FdVerdict {
+      Result<bool> holds;
+      std::optional<Result<double>> g3_error;
+      explicit FdVerdict(Result<bool> h) : holds(std::move(h)) {}
+    };
+    std::vector<std::optional<FdVerdict>> verdicts(tested_names.size());
+    ParallelFor(tested_names.size(), options.num_threads, [&](size_t i) {
+      AttributeSet rhs = AttributeSet::Single(tested_names[i]);
+      FdVerdict verdict(FunctionalDependencyHolds(*table, a, rhs));
+      if (verdict.holds.ok() && !*verdict.holds) {
+        verdict.g3_error.emplace(FunctionalDependencyError(*table, a, rhs));
+      }
+      verdicts[i].emplace(std::move(verdict));
+    });
+
     // B accumulates the dependent attributes.
     AttributeSet b;
-    for (const std::string& attribute : t) {
+    for (size_t i = 0; i < tested_names.size(); ++i) {
+      const std::string& attribute = tested_names[i];
+      const FdVerdict& verdict = *verdicts[i];
       ++result.fd_checks;
-      DBRE_ASSIGN_OR_RETURN(
-          bool holds,
-          FunctionalDependencyHolds(*table, a,
-                                    AttributeSet::Single(attribute)));
-      if (holds) {
+      if (!verdict.holds.ok()) return verdict.holds.status();
+      if (*verdict.holds) {
         b.Insert(attribute);
       } else {
         // (ii) — the expert may enforce despite the extension; the g3
         // error tells them how much data contradicts the presumption.
         FunctionalDependency attempted(candidate.relation, a,
                                        AttributeSet::Single(attribute));
-        DBRE_ASSIGN_OR_RETURN(
-            double g3_error,
-            FunctionalDependencyError(*table, a,
-                                      AttributeSet::Single(attribute)));
-        if (oracle->EnforceFailedFd(attempted, g3_error)) {
+        if (!verdict.g3_error->ok()) return verdict.g3_error->status();
+        if (oracle->EnforceFailedFd(attempted, verdict.g3_error->value())) {
           b.Insert(attribute);
         }
       }

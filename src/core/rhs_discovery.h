@@ -33,6 +33,12 @@ namespace dbre {
 struct RhsDiscoveryOptions {
   bool prune_key_attributes = true;      // remove K_i from T
   bool prune_not_null_attributes = true; // remove N ∩ X_i when A ⊄ N
+  // Worker threads for the candidate FD tests of step 2 (A → b for every
+  // b ∈ T is independent and read-only; the g3 error of failing FDs is
+  // precomputed alongside). Oracle interaction stays sequential in
+  // attribute order, so results are identical for every thread count.
+  // 0 = hardware concurrency, 1 = sequential.
+  size_t num_threads = 0;
 };
 
 struct RhsCandidateOutcome {

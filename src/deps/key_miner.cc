@@ -1,33 +1,30 @@
 #include "deps/key_miner.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "relational/query_cache.h"
 #include "relational/value.h"
 
 namespace dbre {
 namespace {
 
 // Distinct-count-based uniqueness honouring SQL NULL semantics: unique iff
-// no two NULL-free projections coincide.
+// no two NULL-free projections coincide, i.e. every NULL-free sub-row is
+// its own partition group.
 Result<bool> CombinationIsUnique(const Table& table,
                                  const std::vector<size_t>& indexes) {
-  ValueVectorSet seen;
-  seen.reserve(table.num_rows());
-  for (const ValueVector& row : table.rows()) {
-    ValueVector projected = Table::ProjectRow(row, indexes);
-    bool has_null = std::any_of(projected.begin(), projected.end(),
-                                [](const Value& v) { return v.is_null(); });
-    if (has_null) continue;
-    if (!seen.insert(std::move(projected)).second) return false;
-  }
-  return true;
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<QueryCache> cache,
+                        table.query_cache());
+  std::shared_ptr<const CodePartition> partition =
+      cache->Partition(indexes, NullPolicy::kSkipNullRows);
+  return partition->num_groups() == partition->included_rows;
 }
 
-bool ColumnHasNull(const Table& table, size_t column) {
-  for (const ValueVector& row : table.rows()) {
-    if (row[column].is_null()) return true;
-  }
-  return false;
+Result<bool> ColumnHasNull(const Table& table, size_t column) {
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<QueryCache> cache,
+                        table.query_cache());
+  return cache->ColumnHasNull(column);
 }
 
 }  // namespace
@@ -43,7 +40,10 @@ Result<std::vector<AttributeSet>> MineCandidateKeys(
   // Candidate columns (optionally NULL-free only), with their indexes.
   std::vector<std::pair<std::string, size_t>> columns;
   for (size_t c = 0; c < schema.arity(); ++c) {
-    if (options.require_not_null && ColumnHasNull(table, c)) continue;
+    if (options.require_not_null) {
+      DBRE_ASSIGN_OR_RETURN(bool has_null, ColumnHasNull(table, c));
+      if (has_null) continue;
+    }
     columns.emplace_back(schema.attributes()[c].name, c);
   }
   std::sort(columns.begin(), columns.end());

@@ -1,9 +1,26 @@
 #include "deps/partition.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
 
+#include "relational/query_cache.h"
+
 namespace dbre {
+namespace {
+
+// Expands a dense code partition (nulls-as-values, matching this file's
+// semantics) into explicit row-index classes.
+std::vector<std::vector<size_t>> ClassesFromCodePartition(
+    const CodePartition& partition) {
+  std::vector<std::vector<size_t>> classes(partition.num_groups());
+  for (size_t i = 0; i < partition.group_of_row.size(); ++i) {
+    classes[partition.group_of_row[i]].push_back(i);
+  }
+  return classes;
+}
+
+}  // namespace
 
 StrippedPartition::StrippedPartition(
     std::vector<std::vector<size_t>> classes, size_t num_rows)
@@ -22,35 +39,24 @@ Result<StrippedPartition> StrippedPartition::ForColumn(const Table& table,
   if (column >= table.schema().arity()) {
     return OutOfRangeError("column index out of range");
   }
-  std::unordered_map<Value, std::vector<size_t>, ValueHash> groups;
-  groups.reserve(table.num_rows());
-  for (size_t i = 0; i < table.num_rows(); ++i) {
-    groups[table.row(i)[column]].push_back(i);
-  }
-  std::vector<std::vector<size_t>> classes;
-  classes.reserve(groups.size());
-  for (auto& [value, members] : groups) {
-    if (members.size() >= 2) classes.push_back(std::move(members));
-  }
-  return StrippedPartition(std::move(classes), table.num_rows());
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<QueryCache> cache,
+                        table.query_cache());
+  std::shared_ptr<const CodePartition> partition =
+      cache->Partition({column}, NullPolicy::kNullAsValue);
+  return StrippedPartition(ClassesFromCodePartition(*partition),
+                           table.num_rows());
 }
 
 Result<StrippedPartition> StrippedPartition::ForAttributes(
     const Table& table, const AttributeSet& attributes) {
   DBRE_ASSIGN_OR_RETURN(std::vector<size_t> indexes,
                         table.ProjectionIndexes(attributes));
-  std::unordered_map<ValueVector, std::vector<size_t>, ValueVectorHash>
-      groups;
-  groups.reserve(table.num_rows());
-  for (size_t i = 0; i < table.num_rows(); ++i) {
-    groups[Table::ProjectRow(table.row(i), indexes)].push_back(i);
-  }
-  std::vector<std::vector<size_t>> classes;
-  classes.reserve(groups.size());
-  for (auto& [key, members] : groups) {
-    if (members.size() >= 2) classes.push_back(std::move(members));
-  }
-  return StrippedPartition(std::move(classes), table.num_rows());
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<QueryCache> cache,
+                        table.query_cache());
+  std::shared_ptr<const CodePartition> partition =
+      cache->Partition(indexes, NullPolicy::kNullAsValue);
+  return StrippedPartition(ClassesFromCodePartition(*partition),
+                           table.num_rows());
 }
 
 StrippedPartition StrippedPartition::Intersect(

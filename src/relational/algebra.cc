@@ -1,7 +1,10 @@
 #include "relational/algebra.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
+
+#include "relational/query_cache.h"
 
 namespace dbre {
 namespace {
@@ -31,6 +34,189 @@ Result<ValueVectorSet> OrderedDistinctProjection(
     const Table& table, const std::vector<std::string>& attributes) {
   DBRE_ASSIGN_OR_RETURN(std::vector<size_t> indexes,
                         OrderedProjectionIndexes(table, attributes));
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<QueryCache> cache,
+                        table.query_cache());
+  return *cache->DistinctProjection(indexes);
+}
+
+Result<JoinCounts> ComputeJoinCounts(const Database& database,
+                                     const EquiJoin& join) {
+  DBRE_RETURN_IF_ERROR(join.Validate());
+  DBRE_ASSIGN_OR_RETURN(const Table* left,
+                        database.GetTable(join.left_relation));
+  DBRE_ASSIGN_OR_RETURN(const Table* right,
+                        database.GetTable(join.right_relation));
+  DBRE_ASSIGN_OR_RETURN(std::vector<size_t> left_indexes,
+                        OrderedProjectionIndexes(*left, join.left_attributes));
+  DBRE_ASSIGN_OR_RETURN(
+      std::vector<size_t> right_indexes,
+      OrderedProjectionIndexes(*right, join.right_attributes));
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<QueryCache> left_cache,
+                        left->query_cache());
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<QueryCache> right_cache,
+                        right->query_cache());
+
+  JoinCounts counts;
+  if (left_indexes.size() == 1) {
+    // Single-attribute joins (the common case): each side's dictionary is
+    // its distinct projection; probe the smaller dictionary against the
+    // larger side's memoized value set.
+    const size_t lc = left_indexes[0];
+    const size_t rc = right_indexes[0];
+    left_cache->EnsureEncoded(left_indexes);
+    right_cache->EnsureEncoded(right_indexes);
+    counts.n_left = left_cache->encoded().dict_size(lc);
+    counts.n_right = right_cache->encoded().dict_size(rc);
+    const bool probe_left = counts.n_left <= counts.n_right;
+    QueryCache& build_cache = probe_left ? *right_cache : *left_cache;
+    const size_t build_column = probe_left ? rc : lc;
+    const EncodedTable& probe_encoded =
+        probe_left ? left_cache->encoded() : right_cache->encoded();
+    const size_t probe_column = probe_left ? lc : rc;
+    const uint32_t probe_size =
+        static_cast<uint32_t>(probe_encoded.dict_size(probe_column));
+    if (probe_encoded.column_typed(probe_column) &&
+        probe_encoded.declared_type(probe_column) == DataType::kInt64) {
+      // Homogeneous int64 on both sides: flat-integer membership.
+      std::shared_ptr<const FlatSet64> build =
+          build_cache.Int64DictionarySet(build_column);
+      if (build != nullptr) {
+        for (uint32_t code = 0; code < probe_size; ++code) {
+          if (build->Contains(static_cast<uint64_t>(
+                  probe_encoded.Decode(probe_column, code).as_int()))) {
+            ++counts.n_join;
+          }
+        }
+        return counts;
+      }
+    }
+    std::shared_ptr<const ValueSet> build =
+        build_cache.DictionarySet(build_column);
+    for (uint32_t code = 0; code < probe_size; ++code) {
+      if (build->contains(probe_encoded.Decode(probe_column, code))) {
+        ++counts.n_join;
+      }
+    }
+    return counts;
+  }
+
+  std::shared_ptr<const ValueVectorSet> left_values =
+      left_cache->DistinctProjection(left_indexes);
+  std::shared_ptr<const ValueVectorSet> right_values =
+      right_cache->DistinctProjection(right_indexes);
+  counts.n_left = left_values->size();
+  counts.n_right = right_values->size();
+  // Probe the smaller set into the larger one.
+  const ValueVectorSet& probe =
+      counts.n_left <= counts.n_right ? *left_values : *right_values;
+  const ValueVectorSet& build =
+      counts.n_left <= counts.n_right ? *right_values : *left_values;
+  for (const ValueVector& row : probe) {
+    if (build.contains(row)) ++counts.n_join;
+  }
+  return counts;
+}
+
+Result<bool> InclusionHolds(const Database& database,
+                            const std::string& lhs_relation,
+                            const std::vector<std::string>& lhs_attributes,
+                            const std::string& rhs_relation,
+                            const std::vector<std::string>& rhs_attributes) {
+  if (lhs_attributes.size() != rhs_attributes.size()) {
+    return InvalidArgumentError(
+        "inclusion test with mismatched attribute arity");
+  }
+  DBRE_ASSIGN_OR_RETURN(const Table* lhs, database.GetTable(lhs_relation));
+  DBRE_ASSIGN_OR_RETURN(const Table* rhs, database.GetTable(rhs_relation));
+  DBRE_ASSIGN_OR_RETURN(std::vector<size_t> rhs_indexes,
+                        OrderedProjectionIndexes(*rhs, rhs_attributes));
+  DBRE_ASSIGN_OR_RETURN(std::vector<size_t> lhs_indexes,
+                        OrderedProjectionIndexes(*lhs, lhs_attributes));
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<QueryCache> rhs_cache,
+                        rhs->query_cache());
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<QueryCache> lhs_cache,
+                        lhs->query_cache());
+  if (lhs_indexes.size() == 1) {
+    // Single attribute: test the lhs dictionary against the rhs one's set.
+    lhs_cache->EnsureEncoded(lhs_indexes);
+    const EncodedTable& lhs_encoded = lhs_cache->encoded();
+    const size_t lc = lhs_indexes[0];
+    const uint32_t lhs_size = static_cast<uint32_t>(lhs_encoded.dict_size(lc));
+    if (lhs_encoded.column_typed(lc) &&
+        lhs_encoded.declared_type(lc) == DataType::kInt64) {
+      std::shared_ptr<const FlatSet64> rhs_ints =
+          rhs_cache->Int64DictionarySet(rhs_indexes[0]);
+      if (rhs_ints != nullptr) {
+        for (uint32_t code = 0; code < lhs_size; ++code) {
+          if (!rhs_ints->Contains(static_cast<uint64_t>(
+                  lhs_encoded.Decode(lc, code).as_int()))) {
+            return false;
+          }
+        }
+        return true;
+      }
+    }
+    std::shared_ptr<const ValueSet> rhs_values =
+        rhs_cache->DictionarySet(rhs_indexes[0]);
+    for (uint32_t code = 0; code < lhs_size; ++code) {
+      if (!rhs_values->contains(lhs_encoded.Decode(lc, code))) {
+        return false;
+      }
+    }
+    return true;
+  }
+  std::shared_ptr<const ValueVectorSet> rhs_values =
+      rhs_cache->DistinctProjection(rhs_indexes);
+  std::shared_ptr<const ValueVectorSet> lhs_values =
+      lhs_cache->DistinctProjection(lhs_indexes);
+  for (const ValueVector& row : *lhs_values) {
+    if (!rhs_values->contains(row)) return false;
+  }
+  return true;
+}
+
+Result<size_t> IntersectionSize(const Database& database,
+                                const EquiJoin& join) {
+  DBRE_ASSIGN_OR_RETURN(JoinCounts counts, ComputeJoinCounts(database, join));
+  return counts.n_join;
+}
+
+Result<bool> FunctionalDependencyHolds(const Table& table,
+                                       const AttributeSet& lhs,
+                                       const AttributeSet& rhs) {
+  if (lhs.empty() || rhs.empty()) {
+    return InvalidArgumentError("FD check with empty side");
+  }
+  DBRE_ASSIGN_OR_RETURN(std::vector<size_t> lhs_indexes,
+                        table.ProjectionIndexes(lhs));
+  DBRE_ASSIGN_OR_RETURN(std::vector<size_t> rhs_indexes,
+                        table.ProjectionIndexes(rhs));
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<QueryCache> cache,
+                        table.query_cache());
+  return cache->FdHolds(lhs_indexes, rhs_indexes);
+}
+
+Result<double> FunctionalDependencyError(const Table& table,
+                                         const AttributeSet& lhs,
+                                         const AttributeSet& rhs) {
+  if (lhs.empty() || rhs.empty()) {
+    return InvalidArgumentError("FD error with empty side");
+  }
+  DBRE_ASSIGN_OR_RETURN(std::vector<size_t> lhs_indexes,
+                        table.ProjectionIndexes(lhs));
+  DBRE_ASSIGN_OR_RETURN(std::vector<size_t> rhs_indexes,
+                        table.ProjectionIndexes(rhs));
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<QueryCache> cache,
+                        table.query_cache());
+  return cache->FdError(lhs_indexes, rhs_indexes);
+}
+
+namespace naive {
+
+Result<ValueVectorSet> OrderedDistinctProjection(
+    const Table& table, const std::vector<std::string>& attributes) {
+  DBRE_ASSIGN_OR_RETURN(std::vector<size_t> indexes,
+                        OrderedProjectionIndexes(table, attributes));
   ValueVectorSet distinct;
   distinct.reserve(table.num_rows());
   for (const ValueVector& row : table.rows()) {
@@ -50,15 +236,14 @@ Result<JoinCounts> ComputeJoinCounts(const Database& database,
                         database.GetTable(join.right_relation));
   DBRE_ASSIGN_OR_RETURN(
       ValueVectorSet left_values,
-      OrderedDistinctProjection(*left, join.left_attributes));
+      naive::OrderedDistinctProjection(*left, join.left_attributes));
   DBRE_ASSIGN_OR_RETURN(
       ValueVectorSet right_values,
-      OrderedDistinctProjection(*right, join.right_attributes));
+      naive::OrderedDistinctProjection(*right, join.right_attributes));
 
   JoinCounts counts;
   counts.n_left = left_values.size();
   counts.n_right = right_values.size();
-  // Probe the smaller set into the larger one.
   const ValueVectorSet& probe =
       left_values.size() <= right_values.size() ? left_values : right_values;
   const ValueVectorSet& build =
@@ -80,8 +265,9 @@ Result<bool> InclusionHolds(const Database& database,
   }
   DBRE_ASSIGN_OR_RETURN(const Table* lhs, database.GetTable(lhs_relation));
   DBRE_ASSIGN_OR_RETURN(const Table* rhs, database.GetTable(rhs_relation));
-  DBRE_ASSIGN_OR_RETURN(ValueVectorSet rhs_values,
-                        OrderedDistinctProjection(*rhs, rhs_attributes));
+  DBRE_ASSIGN_OR_RETURN(
+      ValueVectorSet rhs_values,
+      naive::OrderedDistinctProjection(*rhs, rhs_attributes));
   DBRE_ASSIGN_OR_RETURN(std::vector<size_t> lhs_indexes,
                         OrderedProjectionIndexes(*lhs, lhs_attributes));
   for (const ValueVector& row : lhs->rows()) {
@@ -92,10 +278,26 @@ Result<bool> InclusionHolds(const Database& database,
   return true;
 }
 
-Result<size_t> IntersectionSize(const Database& database,
-                                const EquiJoin& join) {
-  DBRE_ASSIGN_OR_RETURN(JoinCounts counts, ComputeJoinCounts(database, join));
-  return counts.n_join;
+Result<bool> FunctionalDependencyHolds(const Table& table,
+                                       const AttributeSet& lhs,
+                                       const AttributeSet& rhs) {
+  if (lhs.empty() || rhs.empty()) {
+    return InvalidArgumentError("FD check with empty side");
+  }
+  DBRE_ASSIGN_OR_RETURN(std::vector<size_t> lhs_indexes,
+                        table.ProjectionIndexes(lhs));
+  DBRE_ASSIGN_OR_RETURN(std::vector<size_t> rhs_indexes,
+                        table.ProjectionIndexes(rhs));
+  std::unordered_map<ValueVector, ValueVector, ValueVectorHash> witness;
+  witness.reserve(table.num_rows());
+  for (const ValueVector& row : table.rows()) {
+    ValueVector key = Table::ProjectRow(row, lhs_indexes);
+    if (HasNull(key)) continue;
+    ValueVector dependent = Table::ProjectRow(row, rhs_indexes);
+    auto [it, inserted] = witness.try_emplace(std::move(key), dependent);
+    if (!inserted && it->second != dependent) return false;
+  }
+  return true;
 }
 
 Result<double> FunctionalDependencyError(const Table& table,
@@ -131,26 +333,6 @@ Result<double> FunctionalDependencyError(const Table& table,
   return static_cast<double>(total - kept) / static_cast<double>(total);
 }
 
-Result<bool> FunctionalDependencyHolds(const Table& table,
-                                       const AttributeSet& lhs,
-                                       const AttributeSet& rhs) {
-  if (lhs.empty() || rhs.empty()) {
-    return InvalidArgumentError("FD check with empty side");
-  }
-  DBRE_ASSIGN_OR_RETURN(std::vector<size_t> lhs_indexes,
-                        table.ProjectionIndexes(lhs));
-  DBRE_ASSIGN_OR_RETURN(std::vector<size_t> rhs_indexes,
-                        table.ProjectionIndexes(rhs));
-  std::unordered_map<ValueVector, ValueVector, ValueVectorHash> witness;
-  witness.reserve(table.num_rows());
-  for (const ValueVector& row : table.rows()) {
-    ValueVector key = Table::ProjectRow(row, lhs_indexes);
-    if (HasNull(key)) continue;
-    ValueVector dependent = Table::ProjectRow(row, rhs_indexes);
-    auto [it, inserted] = witness.try_emplace(std::move(key), dependent);
-    if (!inserted && it->second != dependent) return false;
-  }
-  return true;
-}
+}  // namespace naive
 
 }  // namespace dbre

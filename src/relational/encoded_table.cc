@@ -1,0 +1,177 @@
+#include "relational/encoded_table.h"
+
+#include <bit>
+#include <cmath>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "common/flat_hash.h"
+#include "relational/table.h"
+
+namespace dbre {
+namespace {
+
+// Builds the dictionary for column `c` with a flat fixed-capacity map over
+// a 64-bit packing of the payload. Returns false (leaving the outputs
+// cleared) on the first cell whose tag does not match, so the caller can
+// fall back to generic Value hashing. `always_fresh` marks values that
+// never compare equal to anything (NaN) and therefore always get a fresh
+// code, matching Value::operator== semantics.
+template <typename MatchesFn, typename KeyFn, typename FreshFn>
+bool PackedEncode(const std::vector<ValueVector>& rows, size_t c,
+                  MatchesFn matches, KeyFn key_of, FreshFn always_fresh,
+                  std::vector<uint32_t>* codes, std::vector<Value>* dictionary,
+                  bool* has_null) {
+  FlatMap64 assigned(rows.size());
+  uint32_t next = 0;
+  for (const ValueVector& row : rows) {
+    const Value& value = row[c];
+    if (value.is_null()) {
+      *has_null = true;
+      codes->push_back(EncodedTable::kNullCode);
+      continue;
+    }
+    if (!matches(value)) {
+      codes->clear();
+      dictionary->clear();
+      *has_null = false;
+      return false;
+    }
+    if (always_fresh(value)) {
+      codes->push_back(next);
+      dictionary->push_back(value);
+      ++next;
+      continue;
+    }
+    uint32_t code = assigned.FindOrInsert(key_of(value), next);
+    if (code == next) {
+      dictionary->push_back(value);
+      ++next;
+    }
+    codes->push_back(code);
+  }
+  return true;
+}
+
+constexpr auto kNeverFresh = [](const Value&) { return false; };
+
+// -0.0 and 0.0 compare equal but have distinct bit patterns; fold them.
+uint64_t DoubleKey(double d) {
+  return std::bit_cast<uint64_t>(d == 0.0 ? 0.0 : d);
+}
+
+}  // namespace
+
+EncodedTable::EncodedTable(
+    std::shared_ptr<const std::vector<ValueVector>> rows,
+    std::vector<DataType> types)
+    : rows_(std::move(rows)), types_(std::move(types)) {
+  columns_.resize(types_.size());
+}
+
+Result<EncodedTable> EncodedTable::Build(const Table& table) {
+  if (table.num_rows() >= kNullCode) {
+    return InternalError("extension too large to encode: " +
+                         table.schema().name());
+  }
+  std::vector<DataType> types;
+  types.reserve(table.schema().arity());
+  for (const Attribute& attribute : table.schema().attributes()) {
+    types.push_back(attribute.type);
+  }
+  EncodedTable encoded(table.shared_rows(), std::move(types));
+  for (size_t c = 0; c < encoded.num_columns(); ++c) encoded.EnsureColumn(c);
+  return encoded;
+}
+
+void EncodedTable::EnsureColumn(size_t c) {
+  Column& column = columns_[c];
+  if (column.ready) return;
+  column.codes.reserve(rows_->size());
+  column.typed = EncodeDeclared(c, &column);
+  if (!column.typed) EncodeGeneric(c, &column);
+  column.ready = true;
+}
+
+bool EncodedTable::EncodeDeclared(size_t c, Column* column) {
+  const std::vector<ValueVector>& rows = *rows_;
+  switch (types_[c]) {
+    case DataType::kInt64:
+      return PackedEncode(
+          rows, c, [](const Value& v) { return v.is_int(); },
+          [](const Value& v) { return static_cast<uint64_t>(v.as_int()); },
+          kNeverFresh, &column->codes, &column->dictionary,
+          &column->has_null);
+    case DataType::kDouble:
+      // NaN never equals anything (Value::operator== included), so every
+      // NaN occurrence is its own dictionary entry, never a map key.
+      return PackedEncode(
+          rows, c, [](const Value& v) { return v.is_real(); },
+          [](const Value& v) { return DoubleKey(v.as_real()); },
+          [](const Value& v) { return std::isnan(v.as_real()); },
+          &column->codes, &column->dictionary, &column->has_null);
+    case DataType::kBool:
+      return PackedEncode(
+          rows, c, [](const Value& v) { return v.is_bool(); },
+          [](const Value& v) { return static_cast<uint64_t>(v.as_bool()); },
+          kNeverFresh, &column->codes, &column->dictionary,
+          &column->has_null);
+    case DataType::kString: {
+      // Keys view into the pinned row storage, which outlives the build.
+      std::unordered_map<std::string_view, uint32_t> assigned;
+      assigned.reserve(rows.size());
+      for (const ValueVector& row : rows) {
+        const Value& value = row[c];
+        if (value.is_null()) {
+          column->has_null = true;
+          column->codes.push_back(kNullCode);
+          continue;
+        }
+        if (!value.is_text()) {
+          column->codes.clear();
+          column->dictionary.clear();
+          column->has_null = false;
+          return false;
+        }
+        auto [it, inserted] =
+            assigned.try_emplace(std::string_view(value.as_text()),
+                                 static_cast<uint32_t>(assigned.size()));
+        if (inserted) column->dictionary.push_back(value);
+        column->codes.push_back(it->second);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void EncodedTable::EncodeGeneric(size_t c, Column* column) {
+  std::unordered_map<Value, uint32_t, ValueHash> assigned;
+  assigned.reserve(rows_->size());
+  for (const ValueVector& row : *rows_) {
+    const Value& value = row[c];
+    if (value.is_null()) {
+      column->has_null = true;
+      column->codes.push_back(kNullCode);
+      continue;
+    }
+    auto [it, inserted] =
+        assigned.try_emplace(value, static_cast<uint32_t>(assigned.size()));
+    if (inserted) column->dictionary.push_back(value);
+    column->codes.push_back(it->second);
+  }
+}
+
+ValueVector EncodedTable::DecodeRow(size_t row,
+                                    const std::vector<size_t>& columns) const {
+  ValueVector out;
+  out.reserve(columns.size());
+  for (size_t c : columns) {
+    uint32_t code = columns_[c].codes[row];
+    out.push_back(code == kNullCode ? Value::Null() : Decode(c, code));
+  }
+  return out;
+}
+
+}  // namespace dbre

@@ -1,0 +1,115 @@
+// Dictionary-encoded columnar image of a Table.
+//
+// Every extension query the elicitation algorithms issue (‖r[X]‖ distinct
+// counts, set intersections, FD checks) boils down to grouping and comparing
+// projected sub-rows. Doing that over heap-allocated `ValueVector`s — a
+// `std::variant` per cell, a `std::vector` per sub-row — dominates the run
+// time. An `EncodedTable` translates each column once into dense `uint32_t`
+// codes (equal values ⇔ equal codes, NULL ⇔ `kNullCode`), after which every
+// query primitive runs over flat integer arrays with no per-row allocation.
+//
+// Columns encode lazily, on first EnsureColumn, so a table whose extension
+// is only ever queried on a few attributes (IND-Discovery touches join
+// columns only) never pays for the rest. The encoder pins the table's
+// shared row storage, so an encoding stays valid even if the originating
+// Table is mutated (it detaches, copy-on-write) or destroyed.
+//
+// Codes are assigned in first-appearance (row) order, so an encoding is a
+// pure function of the extension and re-encoding a cloned table yields
+// byte-identical code columns — the determinism guarantee the parallel
+// discovery paths rely on. The per-column dictionary build dispatches on
+// the declared attribute type (flat int64/double/bool/string_view hash maps)
+// and falls back to generic Value hashing on any tag mismatch.
+//
+// An encoded column is immutable once ready. `Table` builds an EncodedTable
+// lazily inside its QueryCache and drops it on any mutation (see
+// Table::query_cache); nothing here watches for changes.
+#ifndef DBRE_RELATIONAL_ENCODED_TABLE_H_
+#define DBRE_RELATIONAL_ENCODED_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/value.h"
+
+namespace dbre {
+
+class Table;
+
+class EncodedTable {
+ public:
+  // Code reserved for NULL cells; never a dictionary index.
+  static constexpr uint32_t kNullCode = UINT32_MAX;
+
+  // An empty encoding over the given row storage; columns encode on demand.
+  // Precondition: rows->size() < kNullCode (so no dictionary can overflow;
+  // Table::query_cache() checks this once).
+  EncodedTable(std::shared_ptr<const std::vector<ValueVector>> rows,
+               std::vector<DataType> types);
+
+  // Eagerly encodes every column of `table`. Fails only if the extension
+  // holds kNullCode rows or more (not reachable in memory).
+  static Result<EncodedTable> Build(const Table& table);
+
+  size_t num_rows() const { return rows_->size(); }
+  size_t num_columns() const { return columns_.size(); }
+
+  // Encodes column `c` if it is not ready yet. Idempotent, NOT thread-safe:
+  // QueryCache serializes calls under its mutex, and every reader of
+  // codes()/Decode() goes through a locked ensure first.
+  void EnsureColumn(size_t c);
+
+  bool column_ready(size_t c) const { return columns_[c].ready; }
+
+  // The declared attribute type of column `c`.
+  DataType declared_type(size_t c) const { return types_[c]; }
+
+  // Whether every non-NULL cell of `c` matched the declared type, i.e. the
+  // dictionary is homogeneous and typed cross-table comparison is valid.
+  // Requires column_ready(c).
+  bool column_typed(size_t c) const { return columns_[c].typed; }
+
+  // Dense codes of column `c`, one per row. Requires column_ready(c).
+  const std::vector<uint32_t>& codes(size_t c) const {
+    return columns_[c].codes;
+  }
+
+  // Number of distinct non-NULL values in column `c` (codes are
+  // 0..dict_size-1). Requires column_ready(c).
+  size_t dict_size(size_t c) const { return columns_[c].dictionary.size(); }
+
+  bool has_null(size_t c) const { return columns_[c].has_null; }
+
+  // The value a code stands for. Requires column_ready(c).
+  const Value& Decode(size_t c, uint32_t code) const {
+    return columns_[c].dictionary[code];
+  }
+
+  // Materializes the sub-row of `row` projected on `columns` (NULL cells
+  // come back as NULL values). Requires every projected column ready.
+  ValueVector DecodeRow(size_t row, const std::vector<size_t>& columns) const;
+
+ private:
+  struct Column {
+    std::vector<uint32_t> codes;    // per row
+    std::vector<Value> dictionary;  // code → value
+    bool has_null = false;
+    bool ready = false;
+    bool typed = false;  // declared-type encode succeeded
+  };
+
+  // Type-specialized dictionary build; false if a non-NULL cell's tag does
+  // not match the declared type (the generic path then takes over).
+  bool EncodeDeclared(size_t c, Column* column);
+  void EncodeGeneric(size_t c, Column* column);
+
+  std::shared_ptr<const std::vector<ValueVector>> rows_;
+  std::vector<DataType> types_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace dbre
+
+#endif  // DBRE_RELATIONAL_ENCODED_TABLE_H_

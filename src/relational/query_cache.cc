@@ -1,0 +1,227 @@
+#include "relational/query_cache.h"
+
+#include <unordered_map>
+
+namespace dbre {
+namespace {
+
+// Hash/equality over the projected code tuple of a row, reading straight
+// from the column arrays — no per-row key materialization.
+struct RowKeyOps {
+  const EncodedTable* encoded;
+  const std::vector<size_t>* columns;
+
+  size_t operator()(uint32_t row) const {  // hash
+    size_t h = 14695981039346656037ULL;
+    for (size_t c : *columns) {
+      h ^= encoded->codes(c)[row];
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+  bool operator()(uint32_t a, uint32_t b) const {  // equality
+    for (size_t c : *columns) {
+      if (encoded->codes(c)[a] != encoded->codes(c)[b]) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const CodePartition> QueryCache::BuildPartition(
+    const std::vector<size_t>& columns, NullPolicy policy) const {
+  auto partition = std::make_shared<CodePartition>();
+  const size_t num_rows = encoded_.num_rows();
+  partition->group_of_row.assign(num_rows, CodePartition::kSkipped);
+
+  if (columns.size() == 1) {
+    // Single column: codes already are dense group ids; under kNullAsValue
+    // the NULL rows — if any — form one extra group appended after the
+    // dictionary.
+    const std::vector<uint32_t>& codes = encoded_.codes(columns[0]);
+    const uint32_t dict_size =
+        static_cast<uint32_t>(encoded_.dict_size(columns[0]));
+    const bool nulls_group = policy == NullPolicy::kNullAsValue &&
+                             encoded_.has_null(columns[0]);
+    partition->representative.assign(dict_size + (nulls_group ? 1 : 0),
+                                     CodePartition::kSkipped);
+    for (size_t i = 0; i < num_rows; ++i) {
+      uint32_t code = codes[i];
+      if (code == EncodedTable::kNullCode) {
+        if (!nulls_group) continue;
+        code = dict_size;
+      }
+      partition->group_of_row[i] = code;
+      ++partition->included_rows;
+      if (partition->representative[code] == CodePartition::kSkipped) {
+        partition->representative[code] = static_cast<uint32_t>(i);
+      }
+    }
+    return partition;
+  }
+
+  RowKeyOps ops{&encoded_, &columns};
+  std::unordered_map<uint32_t, uint32_t, RowKeyOps, RowKeyOps> groups(
+      /*bucket_count=*/num_rows * 2 + 1, ops, ops);
+  for (size_t i = 0; i < num_rows; ++i) {
+    if (policy == NullPolicy::kSkipNullRows) {
+      bool has_null = false;
+      for (size_t c : columns) {
+        if (encoded_.codes(c)[i] == EncodedTable::kNullCode) {
+          has_null = true;
+          break;
+        }
+      }
+      if (has_null) continue;
+    }
+    auto [it, inserted] = groups.try_emplace(
+        static_cast<uint32_t>(i),
+        static_cast<uint32_t>(partition->representative.size()));
+    if (inserted) partition->representative.push_back(static_cast<uint32_t>(i));
+    partition->group_of_row[i] = it->second;
+    ++partition->included_rows;
+  }
+  return partition;
+}
+
+void QueryCache::EnsureColumnsLocked(const std::vector<size_t>& columns) {
+  for (size_t c : columns) encoded_.EnsureColumn(c);
+}
+
+void QueryCache::EnsureEncoded(const std::vector<size_t>& columns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EnsureColumnsLocked(columns);
+}
+
+bool QueryCache::ColumnHasNull(size_t column) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  encoded_.EnsureColumn(column);
+  return encoded_.has_null(column);
+}
+
+std::shared_ptr<const ValueSet> QueryCache::DictionarySet(size_t column) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = dictionary_sets_.find(column);
+  if (it != dictionary_sets_.end()) return it->second;
+  encoded_.EnsureColumn(column);
+  auto set = std::make_shared<ValueSet>();
+  const uint32_t dict_size = static_cast<uint32_t>(encoded_.dict_size(column));
+  set->reserve(dict_size);
+  for (uint32_t code = 0; code < dict_size; ++code) {
+    set->insert(encoded_.Decode(column, code));
+  }
+  dictionary_sets_.emplace(column, set);
+  return set;
+}
+
+std::shared_ptr<const FlatSet64> QueryCache::Int64DictionarySet(
+    size_t column) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = int64_dictionary_sets_.find(column);
+  if (it != int64_dictionary_sets_.end()) return it->second;
+  encoded_.EnsureColumn(column);
+  if (encoded_.declared_type(column) != DataType::kInt64 ||
+      !encoded_.column_typed(column)) {
+    return nullptr;
+  }
+  const uint32_t dict_size = static_cast<uint32_t>(encoded_.dict_size(column));
+  auto set = std::make_shared<FlatSet64>(dict_size);
+  for (uint32_t code = 0; code < dict_size; ++code) {
+    set->Insert(static_cast<uint64_t>(encoded_.Decode(column, code).as_int()));
+  }
+  int64_dictionary_sets_.emplace(column, set);
+  return set;
+}
+
+std::shared_ptr<const CodePartition> QueryCache::Partition(
+    const std::vector<size_t>& columns, NullPolicy policy) {
+  PartitionKey key(columns, static_cast<int>(policy));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = partitions_.find(key);
+  if (it != partitions_.end()) return it->second;
+  EnsureColumnsLocked(columns);
+  std::shared_ptr<const CodePartition> partition =
+      BuildPartition(columns, policy);
+  partitions_.emplace(std::move(key), partition);
+  return partition;
+}
+
+size_t QueryCache::DistinctCount(const std::vector<size_t>& columns) {
+  if (columns.size() == 1) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    encoded_.EnsureColumn(columns[0]);
+    return encoded_.dict_size(columns[0]);
+  }
+  return Partition(columns, NullPolicy::kSkipNullRows)->num_groups();
+}
+
+std::shared_ptr<const ValueVectorSet> QueryCache::DistinctProjection(
+    const std::vector<size_t>& columns) {
+  std::shared_ptr<const CodePartition> partition =
+      Partition(columns, NullPolicy::kSkipNullRows);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = distinct_sets_.find(columns);
+  if (it != distinct_sets_.end()) return it->second;
+  auto set = std::make_shared<ValueVectorSet>();
+  set->reserve(partition->num_groups());
+  for (uint32_t row : partition->representative) {
+    set->insert(encoded_.DecodeRow(row, columns));
+  }
+  distinct_sets_.emplace(columns, set);
+  return set;
+}
+
+bool QueryCache::FdHolds(const std::vector<size_t>& lhs_columns,
+                         const std::vector<size_t>& rhs_columns) {
+  std::shared_ptr<const CodePartition> lhs =
+      Partition(lhs_columns, NullPolicy::kSkipNullRows);
+  std::shared_ptr<const CodePartition> rhs =
+      Partition(rhs_columns, NullPolicy::kNullAsValue);
+  // X → A holds iff every X-group maps into a single A-group, i.e.
+  // |π_X| == |π_{X∪A}| over the non-NULL-X rows.
+  constexpr uint32_t kUnseen = UINT32_MAX;
+  std::vector<uint32_t> witness(lhs->num_groups(), kUnseen);
+  const size_t num_rows = encoded_.num_rows();
+  for (size_t i = 0; i < num_rows; ++i) {
+    uint32_t g = lhs->group_of_row[i];
+    if (g == CodePartition::kSkipped) continue;
+    uint32_t r = rhs->group_of_row[i];
+    if (witness[g] == kUnseen) {
+      witness[g] = r;
+    } else if (witness[g] != r) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double QueryCache::FdError(const std::vector<size_t>& lhs_columns,
+                           const std::vector<size_t>& rhs_columns) {
+  std::shared_ptr<const CodePartition> lhs =
+      Partition(lhs_columns, NullPolicy::kSkipNullRows);
+  std::shared_ptr<const CodePartition> rhs =
+      Partition(rhs_columns, NullPolicy::kNullAsValue);
+  if (lhs->included_rows == 0) return 0.0;
+  // Count each (X-group, A-group) pair, then keep the plurality A-group of
+  // every X-group.
+  std::unordered_map<uint64_t, size_t> pair_counts;
+  pair_counts.reserve(lhs->included_rows);
+  const size_t num_rows = encoded_.num_rows();
+  for (size_t i = 0; i < num_rows; ++i) {
+    uint32_t g = lhs->group_of_row[i];
+    if (g == CodePartition::kSkipped) continue;
+    ++pair_counts[(static_cast<uint64_t>(g) << 32) | rhs->group_of_row[i]];
+  }
+  std::vector<size_t> best(lhs->num_groups(), 0);
+  for (const auto& [pair, count] : pair_counts) {
+    size_t g = static_cast<size_t>(pair >> 32);
+    if (count > best[g]) best[g] = count;
+  }
+  size_t kept = 0;
+  for (size_t b : best) kept += b;
+  return static_cast<double>(lhs->included_rows - kept) /
+         static_cast<double>(lhs->included_rows);
+}
+
+}  // namespace dbre

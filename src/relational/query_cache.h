@@ -1,0 +1,144 @@
+// Memoized extension-query engine over a dictionary-encoded table.
+//
+// The elicitation pipeline valuates the same handful of projections over and
+// over: IND-Discovery asks ‖r[A]‖ for every attribute list appearing in the
+// workload, RHS-Discovery re-groups by the same LHS for every candidate
+// dependent, and the miners walk overlapping attribute-set lattices. A
+// `QueryCache` owns one immutable `EncodedTable` and memoizes, per
+// `(column list, NULL policy)`:
+//
+//   * `CodePartition` — the grouping of rows by their projected code tuple
+//     (TANE-style π_X, with singletons kept so |π_X| is exact);
+//   * the decoded distinct projection as a `ValueVectorSet` (needed when two
+//     tables' projections must be compared — codes are table-local).
+//
+// FD checks reroute through cached partitions: X → A holds iff refining the
+// cached π_X (NULL-LHS rows skipped) by the cached π_A (NULLs grouped as
+// values) splits no class — one flat O(rows) pass over two uint32 arrays,
+// equivalently |π_X| == |π_{X∪A}|. The g3 error uses the same two arrays.
+//
+// Single-attribute projections — the bulk of what IND-Discovery asks — skip
+// the grouping machinery entirely: the column's dictionary IS the distinct
+// projection, so ‖r[A]‖ is its size and cross-table intersection probes one
+// dictionary against the other's memoized `ValueSet` (see DictionarySet).
+//
+// Thread safety: all entry points may be called concurrently; a single
+// internal mutex guards the memo tables and the lazy column encoder
+// (queries are per-projection, not per-row, so contention is negligible).
+// Reading encoded() directly is safe only for columns passed through a
+// locked ensure first (EnsureEncoded or any query over them). The cache
+// must not outlive a mutation of its source table — `Table::query_cache()`
+// enforces that by dropping the cache on every mutation.
+#ifndef DBRE_RELATIONAL_QUERY_CACHE_H_
+#define DBRE_RELATIONAL_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/flat_hash.h"
+#include "common/status.h"
+#include "relational/encoded_table.h"
+#include "relational/table.h"
+
+namespace dbre {
+
+// How a NULL inside a projected sub-row participates in grouping.
+enum class NullPolicy {
+  kSkipNullRows,  // rows with a NULL in the key are excluded (SQL
+                  // count(distinct ...) / FD-LHS semantics)
+  kNullAsValue,   // NULL is an ordinary group (partition / FD-RHS semantics)
+};
+
+// A set of single values, usable for dictionary inclusion / intersection.
+using ValueSet = std::unordered_set<Value, ValueHash>;
+
+// π_X over code columns. Group ids are dense and a pure function of the
+// extension (multi-column partitions assign them in first-appearance row
+// order; single-column partitions reuse the dictionary codes, with the NULL
+// group — if any — appended last), so re-partitioning an identical
+// extension is deterministic.
+struct CodePartition {
+  static constexpr uint32_t kSkipped = UINT32_MAX;
+
+  std::vector<uint32_t> group_of_row;   // kSkipped for excluded rows
+  std::vector<uint32_t> representative; // group id → first row in the group
+  size_t included_rows = 0;             // rows with a valid group
+
+  size_t num_groups() const { return representative.size(); }
+};
+
+class QueryCache {
+ public:
+  explicit QueryCache(EncodedTable encoded) : encoded_(std::move(encoded)) {}
+
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  // Readable for any column that has gone through a locked ensure (below).
+  const EncodedTable& encoded() const { return encoded_; }
+
+  // Lazily encodes `columns`, after which encoded()'s code arrays and
+  // dictionaries for them may be read directly.
+  void EnsureEncoded(const std::vector<size_t>& columns);
+
+  // Whether column `column` holds any NULL cell.
+  bool ColumnHasNull(size_t column);
+
+  // The distinct non-NULL values of one column as a memoized shared set —
+  // the decoded dictionary. Cross-table single-attribute primitives probe
+  // the smaller side's dictionary against the larger side's set.
+  std::shared_ptr<const ValueSet> DictionarySet(size_t column);
+
+  // Flat-integer variant of DictionarySet for homogeneous int64 columns —
+  // nullptr if `column` is not declared int64 or holds a mismatched tag
+  // (callers then fall back to the Value-based set).
+  std::shared_ptr<const FlatSet64> Int64DictionarySet(size_t column);
+
+  // Memoized π over `columns` (indexes into the schema; order matters only
+  // for decoding, not for grouping — callers pass their query's order).
+  std::shared_ptr<const CodePartition> Partition(
+      const std::vector<size_t>& columns, NullPolicy policy);
+
+  // ‖r[columns]‖ — distinct non-NULL sub-row count. Single columns read
+  // their dictionary size; no partition is built.
+  size_t DistinctCount(const std::vector<size_t>& columns);
+
+  // Decoded distinct projection (NULL-skipping), memoized and shared so the
+  // join primitives probe it without copying.
+  std::shared_ptr<const ValueVectorSet> DistinctProjection(
+      const std::vector<size_t>& columns);
+
+  // Whether lhs → rhs holds: rows with NULL in `lhs_columns` are skipped,
+  // NULLs in `rhs_columns` compare like ordinary values (the semantics of
+  // FunctionalDependencyHolds in algebra.h).
+  bool FdHolds(const std::vector<size_t>& lhs_columns,
+               const std::vector<size_t>& rhs_columns);
+
+  // g3 error of lhs → rhs (see FunctionalDependencyError in algebra.h).
+  double FdError(const std::vector<size_t>& lhs_columns,
+                 const std::vector<size_t>& rhs_columns);
+
+ private:
+  using PartitionKey = std::pair<std::vector<size_t>, int>;
+
+  void EnsureColumnsLocked(const std::vector<size_t>& columns);
+  std::shared_ptr<const CodePartition> BuildPartition(
+      const std::vector<size_t>& columns, NullPolicy policy) const;
+
+  EncodedTable encoded_;  // columns encode lazily under mutex_
+  std::mutex mutex_;
+  std::map<PartitionKey, std::shared_ptr<const CodePartition>> partitions_;
+  std::map<std::vector<size_t>, std::shared_ptr<const ValueVectorSet>>
+      distinct_sets_;
+  std::map<size_t, std::shared_ptr<const ValueSet>> dictionary_sets_;
+  std::map<size_t, std::shared_ptr<const FlatSet64>> int64_dictionary_sets_;
+};
+
+}  // namespace dbre
+
+#endif  // DBRE_RELATIONAL_QUERY_CACHE_H_

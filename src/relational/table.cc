@@ -1,16 +1,37 @@
 #include "relational/table.h"
 
 #include <algorithm>
+#include <mutex>
+
+#include "relational/query_cache.h"
 
 namespace dbre {
 namespace {
 
-bool HasNull(const ValueVector& row) {
-  return std::any_of(row.begin(), row.end(),
-                     [](const Value& v) { return v.is_null(); });
-}
+// Guards lazy cache construction across tables. Builds happen once per
+// table per load, so a single process-wide mutex never contends in practice
+// while keeping Table itself copyable (a per-table mutex would not be).
+std::mutex g_query_cache_mutex;
 
 }  // namespace
+
+Result<std::shared_ptr<QueryCache>> Table::query_cache() const {
+  std::lock_guard<std::mutex> lock(g_query_cache_mutex);
+  if (cache_ == nullptr) {
+    if (num_rows() >= EncodedTable::kNullCode) {
+      return InternalError("extension too large to encode: " +
+                           schema_.name());
+    }
+    std::vector<DataType> types;
+    types.reserve(schema_.arity());
+    for (const Attribute& attribute : schema_.attributes()) {
+      types.push_back(attribute.type);
+    }
+    cache_ = std::make_shared<QueryCache>(
+        EncodedTable(shared_rows(), std::move(types)));
+  }
+  return cache_;
+}
 
 Status Table::Insert(ValueVector row) {
   if (row.size() != schema_.arity()) {
@@ -32,14 +53,16 @@ Status Table::Insert(ValueVector row) {
                                   schema_.name() + "." + attribute.name);
     }
   }
-  rows_.push_back(std::move(row));
+  cache_.reset();
+  mutable_rows().push_back(std::move(row));
   return Status::Ok();
 }
 
 Status Table::DropAttribute(std::string_view name) {
+  cache_.reset();
   DBRE_ASSIGN_OR_RETURN(size_t index, schema_.AttributeIndex(name));
   DBRE_RETURN_IF_ERROR(schema_.RemoveAttribute(name));
-  for (ValueVector& row : rows_) {
+  for (ValueVector& row : mutable_rows()) {
     row.erase(row.begin() + static_cast<ptrdiff_t>(index));
   }
   return Status::Ok();
@@ -71,36 +94,30 @@ Result<ValueVectorSet> Table::DistinctProjection(
     const AttributeSet& attributes) const {
   DBRE_ASSIGN_OR_RETURN(std::vector<size_t> indexes,
                         ProjectionIndexes(attributes));
-  ValueVectorSet distinct;
-  distinct.reserve(rows_.size());
-  for (const ValueVector& row : rows_) {
-    ValueVector projected = ProjectRow(row, indexes);
-    if (HasNull(projected)) continue;
-    distinct.insert(std::move(projected));
-  }
-  return distinct;
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<QueryCache> cache, query_cache());
+  return *cache->DistinctProjection(indexes);
 }
 
 Result<size_t> Table::DistinctCount(const AttributeSet& attributes) const {
-  DBRE_ASSIGN_OR_RETURN(ValueVectorSet distinct,
-                        DistinctProjection(attributes));
-  return distinct.size();
+  DBRE_ASSIGN_OR_RETURN(std::vector<size_t> indexes,
+                        ProjectionIndexes(attributes));
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<QueryCache> cache, query_cache());
+  return cache->DistinctCount(indexes);
 }
 
 Status Table::VerifyUniqueConstraints() const {
   for (const AttributeSet& unique : schema_.unique_constraints()) {
     DBRE_ASSIGN_OR_RETURN(std::vector<size_t> indexes,
                           ProjectionIndexes(unique));
-    ValueVectorSet seen;
-    seen.reserve(rows_.size());
-    for (const ValueVector& row : rows_) {
-      ValueVector projected = ProjectRow(row, indexes);
-      if (HasNull(projected)) continue;
-      if (!seen.insert(std::move(projected)).second) {
-        return FailedPreconditionError("unique constraint " +
-                                       schema_.name() + "." +
-                                       unique.ToString() + " is violated");
-      }
+    DBRE_ASSIGN_OR_RETURN(std::shared_ptr<QueryCache> cache, query_cache());
+    // Unique iff no two NULL-free sub-rows coincide: every included row is
+    // its own partition group.
+    std::shared_ptr<const CodePartition> partition =
+        cache->Partition(indexes, NullPolicy::kSkipNullRows);
+    if (partition->num_groups() != partition->included_rows) {
+      return FailedPreconditionError("unique constraint " + schema_.name() +
+                                     "." + unique.ToString() +
+                                     " is violated");
     }
   }
   return Status::Ok();
@@ -114,7 +131,7 @@ Status Table::VerifyNotNullConstraints() const {
     DBRE_ASSIGN_OR_RETURN(size_t index, schema_.AttributeIndex(name));
     indexes.push_back(index);
   }
-  for (const ValueVector& row : rows_) {
+  for (const ValueVector& row : rows()) {
     for (size_t index : indexes) {
       if (row[index].is_null()) {
         return FailedPreconditionError(

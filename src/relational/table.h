@@ -8,6 +8,7 @@
 #ifndef DBRE_RELATIONAL_TABLE_H_
 #define DBRE_RELATIONAL_TABLE_H_
 
+#include <memory>
 #include <string_view>
 #include <unordered_set>
 #include <vector>
@@ -18,6 +19,8 @@
 #include "relational/value.h"
 
 namespace dbre {
+
+class QueryCache;
 
 // A set of projected rows, usable for inclusion / intersection tests.
 using ValueVectorSet = std::unordered_set<ValueVector, ValueVectorHash>;
@@ -30,9 +33,17 @@ class Table {
   const RelationSchema& schema() const { return schema_; }
   RelationSchema& mutable_schema() { return schema_; }
 
-  size_t num_rows() const { return rows_.size(); }
-  const std::vector<ValueVector>& rows() const { return rows_; }
-  const ValueVector& row(size_t i) const { return rows_[i]; }
+  size_t num_rows() const { return rows_->size(); }
+  const std::vector<ValueVector>& rows() const { return *rows_; }
+  const ValueVector& row(size_t i) const { return (*rows_)[i]; }
+
+  // The shared row storage. Copying a Table shares it (copy-on-write: the
+  // first mutation of either copy detaches that copy), and the query cache
+  // pins it so lazily encoded columns always read the extension they were
+  // built against, even if this Table is destroyed or mutated meanwhile.
+  std::shared_ptr<const std::vector<ValueVector>> shared_rows() const {
+    return rows_;
+  }
 
   // Appends a tuple after validating arity, value types and not-null
   // declarations. Unique declarations are NOT checked here (that would make
@@ -41,9 +52,15 @@ class Table {
 
   // Appends without validation; for generators that construct rows known to
   // be well-formed.
-  void InsertUnchecked(ValueVector row) { rows_.push_back(std::move(row)); }
+  void InsertUnchecked(ValueVector row) {
+    cache_.reset();
+    mutable_rows().push_back(std::move(row));
+  }
 
-  void Clear() { rows_.clear(); }
+  void Clear() {
+    cache_.reset();
+    rows_ = std::make_shared<std::vector<ValueVector>>();
+  }
 
   // Removes an attribute from the schema and its column from every row
   // (used by Restruct when dependent attributes migrate to a new relation).
@@ -71,9 +88,30 @@ class Table {
   // Verifies declared not-null attributes against the extension.
   Status VerifyNotNullConstraints() const;
 
+  // The dictionary-encoded image of this extension plus its memoized query
+  // results (see relational/query_cache.h), built lazily on first use and
+  // dropped by every mutating member. Copying a Table shares the cache (it
+  // is immutable and both copies start with identical rows); a subsequent
+  // mutation of either copy detaches only that copy. Safe to call from
+  // multiple threads concurrently, but not concurrently with a mutation —
+  // the discovery algorithms only mutate between query phases.
+  Result<std::shared_ptr<QueryCache>> query_cache() const;
+
  private:
+  // Copy-on-write access for mutators. Callers must reset cache_ first: a
+  // cache held only by this table then releases its pin on the storage and
+  // the common single-owner case mutates in place with no copy.
+  std::vector<ValueVector>& mutable_rows() {
+    if (rows_.use_count() > 1) {
+      rows_ = std::make_shared<std::vector<ValueVector>>(*rows_);
+    }
+    return *rows_;
+  }
+
   RelationSchema schema_;
-  std::vector<ValueVector> rows_;
+  std::shared_ptr<std::vector<ValueVector>> rows_ =
+      std::make_shared<std::vector<ValueVector>>();
+  mutable std::shared_ptr<QueryCache> cache_;
 };
 
 }  // namespace dbre

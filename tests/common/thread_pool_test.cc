@@ -1,0 +1,69 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dbre {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (size_t threads : {0u, 1u, 2u, 7u}) {
+    const size_t n = 500;
+    std::vector<std::atomic<int>> hits(n);
+    ParallelFor(n, threads,
+                [&hits](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " with " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(ParallelForTest, IndexedSlotsMakeResultsDeterministic) {
+  const size_t n = 64;
+  std::vector<int> first(n), second(n);
+  ParallelFor(n, 4, [&first](size_t i) { first[i] = static_cast<int>(i * i); });
+  ParallelFor(n, 3,
+              [&second](size_t i) { second[i] = static_cast<int>(i * i); });
+  EXPECT_EQ(first, second);
+}
+
+TEST(ParallelForTest, HandlesEmptyAndSingle) {
+  int calls = 0;
+  ParallelFor(0, 4, [&calls](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(1, 4, [&calls](size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace dbre

@@ -1,0 +1,132 @@
+// Determinism of the parallel discovery paths: any thread count must
+// produce byte-identical results to a sequential run, including the full
+// JSON report. These tests are the TSan targets for the -DDBRE_SANITIZE
+// =thread build (they drive concurrent query-cache access end to end).
+#include <gtest/gtest.h>
+
+#include "core/ind_discovery.h"
+#include "core/pipeline.h"
+#include "core/report_json.h"
+#include "core/rhs_discovery.h"
+#include "workload/generator.h"
+
+namespace dbre {
+namespace {
+
+using workload::GenerateSynthetic;
+using workload::SyntheticDatabase;
+using workload::SyntheticSpec;
+
+SyntheticDatabase MakeWorkload(double orphan_rate = 0.0) {
+  SyntheticSpec spec;
+  spec.num_entities = 5;
+  spec.num_merged = 3;
+  spec.num_composite_keys = 1;
+  spec.rows_per_entity = 300;
+  spec.orphan_rate = orphan_rate;
+  spec.emit_program_sources = false;
+  auto generated = GenerateSynthetic(spec);
+  EXPECT_TRUE(generated.ok());
+  return std::move(generated).value();
+}
+
+TEST(ParallelDiscoveryTest, IndDiscoveryMatchesSequential) {
+  const SyntheticDatabase workload = MakeWorkload();
+  IndDiscoveryOptions sequential;
+  sequential.num_threads = 1;
+  DefaultOracle sequential_oracle;
+  Database sequential_db = workload.database.Clone();
+  auto expected = DiscoverInds(&sequential_db, workload.queries,
+                               &sequential_oracle, sequential);
+  ASSERT_TRUE(expected.ok());
+
+  for (size_t threads : {2u, 4u, 8u}) {
+    IndDiscoveryOptions parallel;
+    parallel.num_threads = threads;
+    DefaultOracle oracle;
+    Database db = workload.database.Clone();
+    auto got = DiscoverInds(&db, workload.queries, &oracle, parallel);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->inds, expected->inds) << threads << " threads";
+    EXPECT_EQ(got->new_relations, expected->new_relations);
+    ASSERT_EQ(got->outcomes.size(), expected->outcomes.size());
+    for (size_t i = 0; i < got->outcomes.size(); ++i) {
+      EXPECT_EQ(got->outcomes[i].kind, expected->outcomes[i].kind);
+      EXPECT_EQ(got->outcomes[i].counts.n_join,
+                expected->outcomes[i].counts.n_join);
+    }
+  }
+}
+
+TEST(ParallelDiscoveryTest, IndDiscoveryWithNeisMatchesSequential) {
+  // Orphaned foreign keys force NEI outcomes (oracle decisions) — the
+  // parallel precompute must not disturb their order or classification.
+  const SyntheticDatabase workload = MakeWorkload(/*orphan_rate=*/0.05);
+  auto run = [&](size_t threads) {
+    IndDiscoveryOptions options;
+    options.num_threads = threads;
+    ThresholdOracle::Options oracle_options;
+    ThresholdOracle oracle(oracle_options);
+    Database db = workload.database.Clone();
+    auto result = DiscoverInds(&db, workload.queries, &oracle, options);
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value();
+  };
+  IndDiscoveryResult expected = run(1);
+  IndDiscoveryResult parallel = run(4);
+  EXPECT_EQ(parallel.inds, expected.inds);
+  EXPECT_EQ(parallel.new_relations, expected.new_relations);
+  EXPECT_EQ(parallel.extension_queries, expected.extension_queries);
+}
+
+TEST(ParallelDiscoveryTest, RhsDiscoveryMatchesSequential) {
+  const SyntheticDatabase workload = MakeWorkload();
+  // Identifier candidates: every ground-truth identifier plus a noisy one.
+  std::vector<QualifiedAttributes> lhs = workload.true_identifiers;
+  auto run = [&](size_t threads) {
+    RhsDiscoveryOptions options;
+    options.num_threads = threads;
+    ThresholdOracle::Options oracle_options;
+    oracle_options.accept_hidden_objects = true;
+    ThresholdOracle oracle(oracle_options);
+    auto result =
+        DiscoverRhs(workload.database, lhs, {}, &oracle, options);
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value();
+  };
+  RhsDiscoveryResult expected = run(1);
+  for (size_t threads : {2u, 4u}) {
+    RhsDiscoveryResult got = run(threads);
+    EXPECT_EQ(got.fds, expected.fds) << threads << " threads";
+    EXPECT_EQ(got.hidden, expected.hidden);
+    EXPECT_EQ(got.fd_checks, expected.fd_checks);
+    EXPECT_EQ(got.pruned_attributes, expected.pruned_attributes);
+  }
+}
+
+TEST(ParallelDiscoveryTest, PipelineJsonIsByteIdenticalAcrossRuns) {
+  const SyntheticDatabase workload = MakeWorkload();
+  auto run = [&](size_t threads) {
+    PipelineOptions options;
+    options.ind.num_threads = threads;
+    options.rhs.num_threads = threads;
+    ThresholdOracle::Options oracle_options;
+    oracle_options.accept_hidden_objects = true;
+    ThresholdOracle oracle(oracle_options);
+    auto report = RunPipeline(workload.database, workload.queries, &oracle,
+                              options);
+    EXPECT_TRUE(report.ok());
+    PipelineReport value = std::move(report).value();
+    // Timings vary run to run; zero them so the comparison covers every
+    // semantic field.
+    value.timings = PhaseTimings{};
+    return ReportToJson(value);
+  };
+  const std::string sequential = run(1);
+  EXPECT_EQ(run(4), sequential);
+  EXPECT_EQ(run(4), sequential);  // repeated parallel runs, same bytes
+  EXPECT_EQ(run(8), sequential);
+}
+
+}  // namespace
+}  // namespace dbre
