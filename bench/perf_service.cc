@@ -1,0 +1,261 @@
+// P-service — throughput and question latency of the dbred daemon under
+// concurrent scripted clients.
+//
+// An in-process Server is exposed over real TCP (loopback, ephemeral
+// port); for each concurrency level every client thread drives complete
+// sessions end to end: create, load DDL + CSV, add a join whose non-empty
+// intersection guarantees exactly one oracle question, run with the async
+// oracle, wait for the question, answer it over the wire, wait for
+// completion, fetch the report, close. Two numbers per level:
+//
+//   sessions_per_sec  completed sessions / wall-clock across all clients
+//   question round trip (p50/p99, us)
+//                     wait(for=question) observing a pending question
+//                     through the server acknowledging the answer —
+//                     the latency an expert's UI would feel.
+//
+// Plain chrono harness (google-benchmark fits poorly around multi-thread
+// client fleets); prints a JSON document on stdout. Recorded baseline:
+// BENCH_service.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/json.h"
+#include "service/server.h"
+#include "service/transport.h"
+
+namespace {
+
+using dbre::service::Json;
+using dbre::service::Server;
+using dbre::service::ServerOptions;
+using dbre::service::SocketChannel;
+using dbre::service::TcpConnect;
+using dbre::service::TcpServer;
+
+using Clock = std::chrono::steady_clock;
+
+// R[a] = {1,2}, S[c] = {2,3}: the join is non-empty but neither projection
+// includes the other, so each run suspends on exactly one NEI question.
+constexpr char kDdl[] =
+    "CREATE TABLE R (a INTEGER, b TEXT, UNIQUE(a));\n"
+    "CREATE TABLE S (c INTEGER, d TEXT, UNIQUE(c));";
+constexpr char kCsvR[] = "a,b\n1,x\n2,y\n";
+constexpr char kCsvS[] = "c,d\n2,p\n3,q\n";
+
+[[noreturn]] void Die(const std::string& what) {
+  std::fprintf(stderr, "perf_service: %s\n", what.c_str());
+  std::abort();
+}
+
+class Client {
+ public:
+  explicit Client(uint16_t port) {
+    auto channel = TcpConnect("127.0.0.1", port);
+    if (!channel.ok()) Die(channel.status().ToString());
+    channel_ = std::move(*channel);
+  }
+
+  Json Call(Json request) {
+    request.Set("id", Json::Int(next_id_++));
+    if (!channel_->WriteLine(request.Dump()).ok()) Die("write failed");
+    auto line = channel_->ReadLine();
+    if (!line.ok()) Die("connection lost");
+    auto parsed = Json::Parse(*line);
+    if (!parsed.ok()) Die("bad response: " + *line);
+    return *parsed;
+  }
+
+  Json MustCall(Json request) {
+    Json response = Call(std::move(request));
+    if (!response.GetBool("ok")) Die("error response: " + response.Dump());
+    const Json* result = response.Find("result");
+    return result != nullptr ? *result : Json::MakeObject();
+  }
+
+ private:
+  std::unique_ptr<SocketChannel> channel_;
+  int64_t next_id_ = 1;
+};
+
+Json Command(const char* cmd, const std::string& session = "") {
+  Json request = Json::MakeObject();
+  request.Set("cmd", Json::Str(cmd));
+  if (!session.empty()) request.Set("session", Json::Str(session));
+  return request;
+}
+
+// Drives one session start to finish; appends each question round trip
+// (seconds) to `latencies`.
+void DriveSession(Client* client, std::vector<double>* latencies) {
+  std::string session = client->MustCall(Command("create")).GetString("session");
+
+  Json load_ddl = Command("load_ddl", session);
+  load_ddl.Set("sql", Json::Str(kDdl));
+  client->MustCall(std::move(load_ddl));
+  for (const auto& [relation, csv] :
+       {std::pair<const char*, const char*>{"R", kCsvR}, {"S", kCsvS}}) {
+    Json load_csv = Command("load_csv", session);
+    load_csv.Set("relation", Json::Str(relation));
+    load_csv.Set("csv", Json::Str(csv));
+    client->MustCall(std::move(load_csv));
+  }
+  Json add_joins = Command("add_joins", session);
+  Json joins = Json::MakeArray();
+  Json join = Json::MakeObject();
+  join.Set("left", Json::Str("R"));
+  Json left_attrs = Json::MakeArray();
+  left_attrs.Append(Json::Str("a"));
+  join.Set("left_attrs", std::move(left_attrs));
+  join.Set("right", Json::Str("S"));
+  Json right_attrs = Json::MakeArray();
+  right_attrs.Append(Json::Str("c"));
+  join.Set("right_attrs", std::move(right_attrs));
+  joins.Append(std::move(join));
+  add_joins.Set("joins", std::move(joins));
+  client->MustCall(std::move(add_joins));
+  client->MustCall(Command("run", session));
+
+  while (true) {
+    Json wait = Command("wait", session);
+    wait.Set("for", Json::Str("question"));
+    wait.Set("timeout_ms", Json::Int(5000));
+    Json waited = client->MustCall(std::move(wait));
+    std::string state = waited.GetString("state");
+    if (state == "done" || state == "failed") break;
+    if (waited.GetInt("pending") == 0) continue;
+
+    // The round trip starts the moment the wait reports a question.
+    Clock::time_point asked = Clock::now();
+    Json listed = client->MustCall(Command("questions", session));
+    for (const Json& question : listed.Find("questions")->array()) {
+      Json answer = Command("answer", session);
+      answer.Set("question", Json::Int(question.GetInt("qid")));
+      answer.Set("action", Json::Str("ignore"));
+      Json response = client->Call(std::move(answer));
+      if (response.GetBool("ok")) {
+        latencies->push_back(
+            std::chrono::duration<double>(Clock::now() - asked).count());
+      } else if (response.Find("error")->GetString("code") !=
+                 "failed_precondition") {
+        // Benign race only: the question resolved between the wait and
+        // the answer (e.g. a stale pending count). Anything else is real.
+        Die("error response: " + response.Dump());
+      }
+    }
+  }
+
+  client->MustCall(Command("report", session));
+  client->MustCall(Command("close", session));
+}
+
+struct LevelResult {
+  int clients = 0;
+  int sessions = 0;
+  size_t questions = 0;
+  double wall_s = 0.0;
+  double sessions_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+double Percentile(std::vector<double>* values, double fraction) {
+  if (values->empty()) return 0.0;
+  std::sort(values->begin(), values->end());
+  size_t index = static_cast<size_t>(fraction * (values->size() - 1) + 0.5);
+  return (*values)[std::min(index, values->size() - 1)];
+}
+
+LevelResult RunLevel(uint16_t port, int clients, int sessions_per_client) {
+  std::mutex mutex;
+  std::vector<double> all_latencies;
+  Clock::time_point start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client(port);
+      std::vector<double> latencies;
+      for (int s = 0; s < sessions_per_client; ++s) {
+        DriveSession(&client, &latencies);
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      all_latencies.insert(all_latencies.end(), latencies.begin(),
+                           latencies.end());
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  LevelResult result;
+  result.clients = clients;
+  result.sessions = clients * sessions_per_client;
+  result.questions = all_latencies.size();
+  result.wall_s = std::chrono::duration<double>(Clock::now() - start).count();
+  result.sessions_per_sec = result.sessions / result.wall_s;
+  result.p50_us = Percentile(&all_latencies, 0.50) * 1e6;
+  result.p99_us = Percentile(&all_latencies, 0.99) * 1e6;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int sessions_per_client = 25;
+  if (argc > 1) sessions_per_client = std::atoi(argv[1]);
+
+  ServerOptions options;
+  options.sessions.max_sessions = 128;
+  options.sessions.max_inflight_runs = 64;
+  options.sessions.max_queued_runs = 256;
+  Server server(options);
+  TcpServer tcp(&server);
+  if (!tcp.Start(0).ok()) Die("cannot bind loopback");
+
+  // One warm-up session populates the extension registry so every timed
+  // level measures the steady state (shared row storage, warm caches).
+  {
+    Client warm(tcp.port());
+    std::vector<double> scratch;
+    DriveSession(&warm, &scratch);
+  }
+
+  Json levels = Json::MakeArray();
+  for (int clients : {1, 8, 32}) {
+    LevelResult r = RunLevel(tcp.port(), clients, sessions_per_client);
+    Json level = Json::MakeObject();
+    level.Set("clients", Json::Int(r.clients));
+    level.Set("sessions", Json::Int(r.sessions));
+    level.Set("questions", Json::Int(static_cast<int64_t>(r.questions)));
+    level.Set("wall_s", Json::Number(r.wall_s));
+    level.Set("sessions_per_sec", Json::Number(r.sessions_per_sec));
+    level.Set("question_rtt_p50_us", Json::Number(r.p50_us));
+    level.Set("question_rtt_p99_us", Json::Number(r.p99_us));
+    levels.Append(std::move(level));
+    std::fprintf(stderr,
+                 "clients=%2d  sessions/s=%8.1f  rtt p50=%7.1fus  "
+                 "p99=%7.1fus\n",
+                 r.clients, r.sessions_per_sec, r.p50_us, r.p99_us);
+  }
+  tcp.Stop();
+  server.sessions()->Shutdown();
+
+  Json doc = Json::MakeObject();
+  doc.Set("benchmark", Json::Str("perf_service"));
+  doc.Set("description",
+          Json::Str("dbred daemon over loopback TCP: full scripted "
+                    "sessions (create/load/run/answer one NEI "
+                    "question/report/close) per client; question round "
+                    "trip = wait(for=question) reporting a pending "
+                    "question through answer acknowledgment."));
+  doc.Set("sessions_per_client", Json::Int(sessions_per_client));
+  doc.Set("levels", std::move(levels));
+  std::printf("%s\n", doc.Dump().c_str());
+  return 0;
+}

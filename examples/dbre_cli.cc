@@ -13,11 +13,13 @@
 //                     objects and forces inclusions at >= 50% overlap)
 //   --infer-keys      mine keys for relations without unique declarations
 //   --merge-isa-cycles collapse cyclic is-a structures
-//   --out-prefix P    write P_eer.dot and P_schema.sql (default "dbre")
+//   --out-prefix P    write P_eer.dot and P_schema.sql (default
+//                     "out/dbre"; the directory is created if missing)
 //
 // Exit code 0 on success; the full pipeline report prints to stdout.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -43,7 +45,7 @@ struct CliArgs {
   std::string ddl_path;
   std::string data_dir;
   std::vector<std::string> program_paths;
-  std::string out_prefix = "dbre";
+  std::string out_prefix = "out/dbre";
   std::string export_data_dir;
   bool interactive = false;
   bool infer_keys = false;
@@ -259,7 +261,20 @@ int main(int argc, char** argv) {
     }
   }
 
-  // 6. Artifacts.
+  // 6. Artifacts. Generated files live under an ignored directory (out/
+  // by default), never in the repository root.
+  if (auto slash = args.out_prefix.find_last_of('/');
+      slash != std::string::npos) {
+    std::error_code ec;
+    std::filesystem::create_directories(args.out_prefix.substr(0, slash),
+                                        ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create %s: %s\n",
+                   args.out_prefix.substr(0, slash).c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+  }
   std::string dot_path = args.out_prefix + "_eer.dot";
   if (auto status = dbre::eer::WriteDotFile(report->eer, dot_path);
       !status.ok()) {

@@ -1,0 +1,125 @@
+// dbre_serve — the dbred daemon: many concurrent reverse-engineering
+// sessions multiplexed over newline-delimited JSON.
+//
+//   dbre_serve [--port N] [--stdio] [--timeout-ms MS]
+//              [--max-sessions N] [--max-inflight N] [--max-queued N]
+//
+//   --port N        listen on 127.0.0.1:N (0 = pick an ephemeral port;
+//                   the chosen port prints as the first stdout line)
+//   --stdio         serve exactly one client over stdin/stdout instead
+//                   of TCP (inetd-style; handy for tests and pipes)
+//   --timeout-ms MS answer unanswered expert questions with the default
+//                   oracle after MS milliseconds (default: wait forever)
+//   --max-sessions / --max-inflight / --max-queued
+//                   admission bounds (see docs/SERVICE.md)
+//
+// In TCP mode the daemon runs until a client sends {"cmd":"shutdown"}.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "service/server.h"
+#include "service/transport.h"
+
+namespace {
+
+struct ServeArgs {
+  int port = 7411;
+  bool stdio = false;
+  long timeout_ms = -1;
+  long max_sessions = -1;
+  long max_inflight = -1;
+  long max_queued = -1;
+  bool show_help = false;
+};
+
+bool ParseArgs(int argc, char** argv, ServeArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next_long = [&](const char* name, long* out) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", name);
+        return false;
+      }
+      *out = std::strtol(argv[++i], nullptr, 10);
+      return true;
+    };
+    long value = 0;
+    if (flag == "--port") {
+      if (!next_long("--port", &value)) return false;
+      args->port = static_cast<int>(value);
+    } else if (flag == "--stdio") {
+      args->stdio = true;
+    } else if (flag == "--timeout-ms") {
+      if (!next_long("--timeout-ms", &args->timeout_ms)) return false;
+    } else if (flag == "--max-sessions") {
+      if (!next_long("--max-sessions", &args->max_sessions)) return false;
+    } else if (flag == "--max-inflight") {
+      if (!next_long("--max-inflight", &args->max_inflight)) return false;
+    } else if (flag == "--max-queued") {
+      if (!next_long("--max-queued", &args->max_queued)) return false;
+    } else if (flag == "--help" || flag == "-h") {
+      args->show_help = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrintUsage() {
+  std::printf(
+      "usage: dbre_serve [--port N] [--stdio] [--timeout-ms MS]\n"
+      "                  [--max-sessions N] [--max-inflight N] "
+      "[--max-queued N]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeArgs args;
+  if (!ParseArgs(argc, argv, &args) || args.show_help) {
+    PrintUsage();
+    return args.show_help ? 0 : 2;
+  }
+
+  dbre::service::ServerOptions options;
+  options.sessions.question_timeout_ms = args.timeout_ms;
+  if (args.max_sessions > 0) {
+    options.sessions.max_sessions = static_cast<size_t>(args.max_sessions);
+  }
+  if (args.max_inflight > 0) {
+    options.sessions.max_inflight_runs =
+        static_cast<size_t>(args.max_inflight);
+  }
+  if (args.max_queued > 0) {
+    options.sessions.max_queued_runs = static_cast<size_t>(args.max_queued);
+  }
+  dbre::service::Server server(options);
+
+  if (args.stdio) {
+    dbre::service::StreamChannel channel(&std::cin, &std::cout);
+    size_t handled = dbre::service::ServeChannel(&server, &channel);
+    std::fprintf(stderr, "dbre_serve: handled %zu requests over stdio\n",
+                 handled);
+    server.sessions()->Shutdown();
+    return 0;
+  }
+
+  dbre::service::TcpServer tcp(&server);
+  if (auto status = tcp.Start(static_cast<uint16_t>(args.port));
+      !status.ok()) {
+    std::fprintf(stderr, "dbre_serve: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("%u\n", tcp.port());
+  std::fflush(stdout);
+  std::fprintf(stderr, "dbred listening on 127.0.0.1:%u\n", tcp.port());
+  tcp.WaitUntilShutdown();
+  tcp.Stop();
+  server.sessions()->Shutdown();
+  return 0;
+}

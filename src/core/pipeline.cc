@@ -64,6 +64,16 @@ Result<PipelineReport> RunPipeline(const Database& database,
                                    const PipelineOptions& options) {
   if (oracle == nullptr) return InvalidArgumentError("oracle is null");
 
+  auto cancelled = [&options] {
+    return options.cancel != nullptr &&
+           options.cancel->load(std::memory_order_relaxed);
+  };
+  auto enter_phase = [&options, &cancelled](const char* phase) {
+    if (cancelled()) return false;
+    if (options.on_phase) options.on_phase(phase);
+    return true;
+  };
+
   PipelineReport report;
   report.key_set = database.KeySet();
   report.not_null_set = database.NotNullSet();
@@ -118,6 +128,9 @@ Result<PipelineReport> RunPipeline(const Database& database,
     report.not_null_set = working.NotNullSet();
   }
 
+  const Status kCancelled = FailedPreconditionError("pipeline cancelled");
+
+  if (!enter_phase("ind_discovery")) return kCancelled;
   int64_t t0 = NowUs();
   DBRE_ASSIGN_OR_RETURN(
       report.ind, DiscoverInds(&working, report.joins, oracle, options.ind));
@@ -128,17 +141,20 @@ Result<PipelineReport> RunPipeline(const Database& database,
     report.ind.inds = TransitiveClosure(std::move(report.ind.inds));
   }
 
+  if (!enter_phase("lhs_discovery")) return kCancelled;
   report.lhs = DiscoverLhs(working, report.ind.new_relations,
                            report.ind.inds);
   int64_t t2 = NowUs();
   report.timings.lhs_discovery_us = t2 - t1;
 
+  if (!enter_phase("rhs_discovery")) return kCancelled;
   DBRE_ASSIGN_OR_RETURN(
       report.rhs, DiscoverRhs(working, report.lhs.lhs, report.lhs.hidden,
                               oracle, options.rhs));
   int64_t t3 = NowUs();
   report.timings.rhs_discovery_us = t3 - t2;
 
+  if (!enter_phase("restruct")) return kCancelled;
   DBRE_ASSIGN_OR_RETURN(
       report.restruct, Restruct(working, report.rhs.fds, report.rhs.hidden,
                                 report.ind.inds, oracle));
@@ -146,9 +162,11 @@ Result<PipelineReport> RunPipeline(const Database& database,
   report.timings.restruct_us = t4 - t3;
 
   if (options.run_translate) {
+    if (!enter_phase("translate")) return kCancelled;
     DBRE_ASSIGN_OR_RETURN(report.eer,
                           Translate(report.restruct, options.translate));
   }
+  if (cancelled()) return kCancelled;
   report.timings.translate_us = NowUs() - t4;
   report.working_database = std::move(working);
   return report;

@@ -14,7 +14,9 @@
 #ifndef DBRE_CORE_PIPELINE_H_
 #define DBRE_CORE_PIPELINE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -47,6 +49,15 @@ struct PipelineOptions {
   // that no single query witnesses directly (e.g. programs join A-B and
   // B-C but never A-C).
   bool close_inds = false;
+  // Service hooks (src/service/): a long-running host sets `cancel` to stop
+  // an in-flight run — the pipeline polls it at every phase boundary and
+  // aborts with kFailedPrecondition once it is true (an oracle call already
+  // suspended inside a phase must be released separately, e.g. via
+  // AsyncOracle::CancelAll). `on_phase` fires at each phase start with the
+  // phase name ("ind_discovery", "lhs_discovery", "rhs_discovery",
+  // "restruct", "translate") for progress reporting.
+  const std::atomic<bool>* cancel = nullptr;
+  std::function<void(const char*)> on_phase;
 };
 
 struct PhaseTimings {

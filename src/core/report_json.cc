@@ -317,19 +317,21 @@ std::string ReportToJson(const PipelineReport& report,
   json.EndArray();
   json.EndObject();
 
-  json.Key("timings_us");
-  json.BeginObject();
-  json.Key("ind_discovery");
-  json.Number(report.timings.ind_discovery_us);
-  json.Key("lhs_discovery");
-  json.Number(report.timings.lhs_discovery_us);
-  json.Key("rhs_discovery");
-  json.Number(report.timings.rhs_discovery_us);
-  json.Key("restruct");
-  json.Number(report.timings.restruct_us);
-  json.Key("translate");
-  json.Number(report.timings.translate_us);
-  json.EndObject();
+  if (options.include_timings) {
+    json.Key("timings_us");
+    json.BeginObject();
+    json.Key("ind_discovery");
+    json.Number(report.timings.ind_discovery_us);
+    json.Key("lhs_discovery");
+    json.Number(report.timings.lhs_discovery_us);
+    json.Key("rhs_discovery");
+    json.Number(report.timings.rhs_discovery_us);
+    json.Key("restruct");
+    json.Number(report.timings.restruct_us);
+    json.Key("translate");
+    json.Number(report.timings.translate_us);
+    json.EndObject();
+  }
 
   json.EndObject();
   std::string out = json.Take();

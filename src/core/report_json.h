@@ -32,6 +32,10 @@ namespace dbre {
 
 struct JsonOptions {
   bool pretty = true;  // newlines + two-space indentation
+  // Omit the "timings_us" block — wall-clock varies run to run, so reports
+  // meant to be compared byte for byte (CI re-runs, the dbred service's
+  // scripted-vs-live checks) drop it.
+  bool include_timings = true;
 };
 
 // Serializes `report` to JSON.

@@ -1,0 +1,87 @@
+#include "relational/extension_registry.h"
+
+#include <utility>
+
+#include "relational/query_cache.h"
+
+namespace dbre {
+
+uint64_t ExtensionRegistry::Fingerprint(const Table& table) const {
+  // FNV-1a over the column layout and every cell, order-dependent: the row
+  // order matters for partition group ids, so only identically-ordered
+  // loads may share storage.
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const Attribute& attribute : table.schema().attributes()) {
+    for (char c : attribute.name) mix(static_cast<unsigned char>(c));
+    mix(static_cast<uint64_t>(attribute.type));
+  }
+  mix(table.num_rows());
+  for (const ValueVector& row : table.rows()) {
+    for (const Value& value : row) mix(value.Hash());
+  }
+  return h;
+}
+
+bool ExtensionRegistry::Intern(Table* table) {
+  uint64_t fingerprint = Fingerprint(*table);
+  // Materialize the cache before donating: a copy taken now shares the
+  // cache pointer, so partitions memoized later through either handle are
+  // visible to both.
+  bool cacheable = table->query_cache().ok();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.lookups;
+  auto it = entries_.find(fingerprint);
+  if (it != entries_.end()) {
+    for (const Table& canonical : it->second) {
+      if (table->AdoptSharedExtension(canonical)) {
+        ++stats_.hits;
+        return true;
+      }
+    }
+  }
+  if (!cacheable) return false;
+  while (stats_.entries >= max_entries_ && !insertion_order_.empty()) {
+    uint64_t oldest = insertion_order_.front();
+    insertion_order_.pop_front();
+    auto evict = entries_.find(oldest);
+    if (evict != entries_.end() && !evict->second.empty()) {
+      evict->second.erase(evict->second.begin());
+      if (evict->second.empty()) entries_.erase(evict);
+      --stats_.entries;
+      ++stats_.evictions;
+    }
+  }
+  entries_[fingerprint].push_back(*table);
+  insertion_order_.push_back(fingerprint);
+  ++stats_.entries;
+  return false;
+}
+
+size_t ExtensionRegistry::InternDatabase(Database* database) {
+  size_t hits = 0;
+  for (const std::string& relation : database->RelationNames()) {
+    auto table = database->GetMutableTable(relation);
+    if (!table.ok()) continue;
+    if (Intern(*table)) ++hits;
+  }
+  return hits;
+}
+
+ExtensionRegistry::Stats ExtensionRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void ExtensionRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  insertion_order_.clear();
+  stats_.entries = 0;
+}
+
+}  // namespace dbre

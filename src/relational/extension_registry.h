@@ -1,0 +1,75 @@
+// A process-wide pool of loaded extensions keyed by content.
+//
+// Many dbred sessions reverse-engineer the same legacy database: each one
+// loads the same DDL and the same CSV extensions into its own catalog. The
+// expensive artifacts — the copy-on-write row storage, the dictionary
+// encodings and every memoized partition in the `QueryCache` — depend only
+// on the extension's content, so the registry interns tables by a content
+// fingerprint: the first session to load an extension donates its storage
+// and cache, and every later identical load adopts them via
+// `Table::AdoptSharedExtension` (one shared_ptr swap; the rows just loaded
+// are freed). Partitions computed by any session's pipeline then serve all
+// of them.
+//
+// Thread safe; entries are cheap (a Table copy shares rows and cache) and
+// bounded by `max_entries` with FIFO eviction — eviction only drops the
+// registry's reference, never a live session's.
+#ifndef DBRE_RELATIONAL_EXTENSION_REGISTRY_H_
+#define DBRE_RELATIONAL_EXTENSION_REGISTRY_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/table.h"
+
+namespace dbre {
+
+class ExtensionRegistry {
+ public:
+  struct Stats {
+    uint64_t lookups = 0;
+    uint64_t hits = 0;       // an identical extension was already interned
+    uint64_t entries = 0;    // live canonical extensions
+    uint64_t evictions = 0;
+  };
+
+  explicit ExtensionRegistry(size_t max_entries = 256)
+      : max_entries_(max_entries) {}
+
+  ExtensionRegistry(const ExtensionRegistry&) = delete;
+  ExtensionRegistry& operator=(const ExtensionRegistry&) = delete;
+
+  // Interns `table`'s extension. On a content hit the table adopts the
+  // canonical storage and query cache and this returns true; on a miss the
+  // table's own (cache materialized first) becomes canonical and this
+  // returns false. Tables whose extension cannot be encoded are left
+  // untouched.
+  bool Intern(Table* table);
+
+  // Interns every relation of `database` in name order; returns the number
+  // of hits.
+  size_t InternDatabase(Database* database);
+
+  Stats stats() const;
+
+  void Clear();
+
+ private:
+  uint64_t Fingerprint(const Table& table) const;
+
+  mutable std::mutex mutex_;
+  size_t max_entries_;
+  // fingerprint → canonical tables with that fingerprint (collisions are
+  // resolved by AdoptSharedExtension's exact comparison).
+  std::map<uint64_t, std::vector<Table>> entries_;
+  std::deque<uint64_t> insertion_order_;  // for FIFO eviction
+  Stats stats_;
+};
+
+}  // namespace dbre
+
+#endif  // DBRE_RELATIONAL_EXTENSION_REGISTRY_H_

@@ -33,6 +33,34 @@ Result<std::shared_ptr<QueryCache>> Table::query_cache() const {
   return cache_;
 }
 
+bool Table::AdoptSharedExtension(const Table& other) {
+  if (&other == this) return true;
+  const auto& ours = schema_.attributes();
+  const auto& theirs = other.schema_.attributes();
+  if (ours.size() != theirs.size()) return false;
+  for (size_t i = 0; i < ours.size(); ++i) {
+    if (ours[i].name != theirs[i].name || ours[i].type != theirs[i].type) {
+      return false;
+    }
+  }
+  if (rows_ != other.rows_ && *rows_ != *other.rows_) return false;
+  std::lock_guard<std::mutex> lock(g_query_cache_mutex);
+  rows_ = other.rows_;
+  if (other.cache_ != nullptr) cache_ = other.cache_;
+  return true;
+}
+
+size_t Table::ApproximateBytes() const {
+  size_t bytes = sizeof(ValueVector) * rows_->capacity();
+  for (const ValueVector& row : *rows_) {
+    bytes += sizeof(Value) * row.capacity();
+    for (const Value& value : row) {
+      if (value.is_text()) bytes += value.as_text().capacity();
+    }
+  }
+  return bytes;
+}
+
 Status Table::Insert(ValueVector row) {
   if (row.size() != schema_.arity()) {
     return InvalidArgumentError(

@@ -97,6 +97,20 @@ class Table {
   // the discovery algorithms only mutate between query phases.
   Result<std::shared_ptr<QueryCache>> query_cache() const;
 
+  // Rewires this table to share `other`'s row storage and query cache when
+  // both hold the same extension over the same column layout (equal
+  // attribute names, types and rows, in order). Partitions and dictionaries
+  // memoized through either table then serve both — the service layer uses
+  // this to pool work across sessions that load the same extension (see
+  // relational/extension_registry.h). Returns false, changing nothing, if
+  // the layouts or extensions differ.
+  bool AdoptSharedExtension(const Table& other);
+
+  // Rough heap footprint of the extension (row vectors plus string
+  // payloads; the schema and any query cache are not counted). Used for
+  // per-session memory accounting.
+  size_t ApproximateBytes() const;
+
  private:
   // Copy-on-write access for mutators. Callers must reset cache_ first: a
   // cache held only by this table then releases its pin on the storage and

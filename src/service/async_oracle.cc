@@ -1,0 +1,269 @@
+#include "service/async_oracle.h"
+
+#include <chrono>
+#include <utility>
+
+namespace dbre::service {
+
+const char* PendingQuestionKindName(PendingQuestion::Kind kind) {
+  switch (kind) {
+    case PendingQuestion::Kind::kNei: return "nei";
+    case PendingQuestion::Kind::kEnforceFd: return "enforce_fd";
+    case PendingQuestion::Kind::kValidateFd: return "validate_fd";
+    case PendingQuestion::Kind::kHiddenObject: return "hidden_object";
+    case PendingQuestion::Kind::kNameFd: return "name_fd";
+    case PendingQuestion::Kind::kNameHidden: return "name_hidden";
+  }
+  return "unknown";
+}
+
+AsyncOracle::AsyncOracle() : AsyncOracle(Options{}) {}
+
+AsyncOracle::AsyncOracle(Options options) : options_(options) {}
+
+AsyncOracle::~AsyncOracle() { CancelAll(); }
+
+ExpertOracle* AsyncOracle::Fallback() {
+  return options_.fallback != nullptr ? options_.fallback
+                                      : &default_fallback_;
+}
+
+void AsyncOracle::Notify() {
+  std::function<void()> listener;
+  {
+    std::lock_guard<std::mutex> lock(listener_mutex_);
+    listener = listener_;
+  }
+  if (listener) listener();
+}
+
+void AsyncOracle::SetListener(std::function<void()> listener) {
+  std::lock_guard<std::mutex> lock(listener_mutex_);
+  listener_ = std::move(listener);
+}
+
+std::vector<PendingQuestion> AsyncOracle::Pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<PendingQuestion> questions;
+  questions.reserve(pending_.size());
+  for (const auto& [id, slot] : pending_) questions.push_back(slot.question);
+  return questions;
+}
+
+AsyncOracle::Counters AsyncOracle::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+Status AsyncOracle::Answer(uint64_t id, OracleAnswer answer) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pending_.find(id);
+    if (it == pending_.end()) {
+      if (resolved_ids_.count(id) > 0) {
+        return FailedPreconditionError("question " + std::to_string(id) +
+                                       " was already resolved");
+      }
+      return NotFoundError("no pending question with id " +
+                           std::to_string(id));
+    }
+    it->second.resolved = true;
+    it->second.by_client = true;
+    it->second.answer = std::move(answer);
+    changed_.notify_all();
+  }
+  Notify();
+  return Status::Ok();
+}
+
+Status AsyncOracle::AnswerWith(
+    uint64_t id,
+    const std::function<Result<OracleAnswer>(const PendingQuestion&)>&
+        make) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pending_.find(id);
+    if (it == pending_.end()) {
+      if (resolved_ids_.count(id) > 0) {
+        return FailedPreconditionError("question " + std::to_string(id) +
+                                       " was already resolved");
+      }
+      return NotFoundError("no pending question with id " +
+                           std::to_string(id));
+    }
+    Result<OracleAnswer> answer = make(it->second.question);
+    if (!answer.ok()) return answer.status();
+    it->second.resolved = true;
+    it->second.by_client = true;
+    it->second.answer = std::move(answer).value();
+    changed_.notify_all();
+  }
+  Notify();
+  return Status::Ok();
+}
+
+void AsyncOracle::CancelAll() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cancelled_ = true;
+    changed_.notify_all();
+  }
+  Notify();
+}
+
+bool AsyncOracle::WaitForQuestion(int64_t timeout_ms) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto has_pending = [this] {
+    if (cancelled_) return true;  // don't strand waiters on a dead oracle
+    for (const auto& [id, slot] : pending_) {
+      if (!slot.resolved) return true;
+    }
+    return false;
+  };
+  if (timeout_ms < 0) {
+    changed_.wait(lock, has_pending);
+    return true;
+  }
+  return changed_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                           has_pending);
+}
+
+OracleAnswer AsyncOracle::Ask(PendingQuestion question, bool* use_fallback) {
+  uint64_t id = 0;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (cancelled_) {
+      ++counters_.asked;
+      ++counters_.cancelled;
+      *use_fallback = true;
+      return OracleAnswer{};
+    }
+    id = next_id_++;
+    question.id = id;
+    Slot slot;
+    slot.question = std::move(question);
+    pending_.emplace(id, std::move(slot));
+    ++counters_.asked;
+    changed_.notify_all();
+  }
+  Notify();
+
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(options_.timeout_ms);
+  OracleAnswer answer;
+  bool timed_out = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto resolved = [this, id] {
+      return cancelled_ || pending_.at(id).resolved;
+    };
+    if (options_.timeout_ms < 0) {
+      changed_.wait(lock, resolved);
+    } else if (!changed_.wait_until(lock, deadline, resolved)) {
+      timed_out = true;
+    }
+    Slot slot = std::move(pending_.at(id));
+    pending_.erase(id);
+    resolved_ids_.insert(id);
+    if (slot.resolved && slot.by_client) {
+      ++counters_.answered;
+      *use_fallback = false;
+      answer = std::move(slot.answer);
+    } else {
+      if (timed_out) {
+        ++counters_.timed_out;
+      } else {
+        ++counters_.cancelled;
+      }
+      *use_fallback = true;
+    }
+    changed_.notify_all();
+  }
+  Notify();
+  return answer;
+}
+
+NeiDecision AsyncOracle::DecideNonEmptyIntersection(const EquiJoin& join,
+                                                    const JoinCounts& counts) {
+  PendingQuestion question;
+  question.kind = PendingQuestion::Kind::kNei;
+  question.subject = join.ToString();
+  question.join = join;
+  question.counts = counts;
+  bool use_fallback = false;
+  OracleAnswer answer = Ask(std::move(question), &use_fallback);
+  if (use_fallback) return Fallback()->DecideNonEmptyIntersection(join, counts);
+  return answer.nei;
+}
+
+bool AsyncOracle::EnforceFailedFd(const FunctionalDependency& fd) {
+  PendingQuestion question;
+  question.kind = PendingQuestion::Kind::kEnforceFd;
+  question.subject = fd.ToString();
+  question.fd = fd;
+  bool use_fallback = false;
+  OracleAnswer answer = Ask(std::move(question), &use_fallback);
+  if (use_fallback) return Fallback()->EnforceFailedFd(fd);
+  return answer.yes;
+}
+
+bool AsyncOracle::EnforceFailedFd(const FunctionalDependency& fd,
+                                  double g3_error) {
+  PendingQuestion question;
+  question.kind = PendingQuestion::Kind::kEnforceFd;
+  question.subject = fd.ToString();
+  question.fd = fd;
+  question.g3_error = g3_error;
+  bool use_fallback = false;
+  OracleAnswer answer = Ask(std::move(question), &use_fallback);
+  if (use_fallback) return Fallback()->EnforceFailedFd(fd, g3_error);
+  return answer.yes;
+}
+
+bool AsyncOracle::ValidateFd(const FunctionalDependency& fd) {
+  PendingQuestion question;
+  question.kind = PendingQuestion::Kind::kValidateFd;
+  question.subject = fd.ToString();
+  question.fd = fd;
+  bool use_fallback = false;
+  OracleAnswer answer = Ask(std::move(question), &use_fallback);
+  if (use_fallback) return Fallback()->ValidateFd(fd);
+  return answer.yes;
+}
+
+bool AsyncOracle::ConceptualizeHiddenObject(
+    const QualifiedAttributes& candidate) {
+  PendingQuestion question;
+  question.kind = PendingQuestion::Kind::kHiddenObject;
+  question.subject = candidate.ToString();
+  question.candidate = candidate;
+  bool use_fallback = false;
+  OracleAnswer answer = Ask(std::move(question), &use_fallback);
+  if (use_fallback) return Fallback()->ConceptualizeHiddenObject(candidate);
+  return answer.yes;
+}
+
+std::string AsyncOracle::NameRelationForFd(const FunctionalDependency& fd) {
+  PendingQuestion question;
+  question.kind = PendingQuestion::Kind::kNameFd;
+  question.subject = fd.ToString();
+  question.fd = fd;
+  bool use_fallback = false;
+  OracleAnswer answer = Ask(std::move(question), &use_fallback);
+  if (use_fallback) return Fallback()->NameRelationForFd(fd);
+  return answer.name;
+}
+
+std::string AsyncOracle::NameHiddenObjectRelation(
+    const QualifiedAttributes& source) {
+  PendingQuestion question;
+  question.kind = PendingQuestion::Kind::kNameHidden;
+  question.subject = source.ToString();
+  question.candidate = source;
+  bool use_fallback = false;
+  OracleAnswer answer = Ask(std::move(question), &use_fallback);
+  if (use_fallback) return Fallback()->NameHiddenObjectRelation(source);
+  return answer.name;
+}
+
+}  // namespace dbre::service

@@ -1,0 +1,173 @@
+// The asynchronous expert-oracle bridge between a running pipeline and
+// remote clients.
+//
+// The paper's method is interactive: every `ExpertOracle` call is a point
+// where "an expert user has to validate the presumptions on the elicited
+// dependencies". In the dbred service the pipeline runs on a worker thread;
+// an AsyncOracle turns each decision point into a *pending question*
+// record (id, kind, subject, full context — the join and its three
+// valuations, the failed FD and its g3 error, ...) and suspends that
+// worker until:
+//
+//   * any client answers the question (`Answer`), or
+//   * the configured timeout elapses, or
+//   * the session is cancelled (`CancelAll`),
+//
+// in the latter two cases answering with the configured fallback oracle
+// (`DefaultOracle` unless overridden), exactly as an unattended run would.
+// Questions live in the oracle, not in any connection: a client can
+// disconnect mid-question and a different client (or the same one,
+// reconnected) can answer later, and any number of observers can list the
+// pending set.
+#ifndef DBRE_SERVICE_ASYNC_ORACLE_H_
+#define DBRE_SERVICE_ASYNC_ORACLE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/oracle.h"
+
+namespace dbre::service {
+
+// One suspended decision point. `kind` selects which context fields are
+// meaningful; `subject` is always the textual form used by ScriptedOracle
+// keys, so a client can drive a scripted session over the wire.
+struct PendingQuestion {
+  enum class Kind {
+    kNei,           // DecideNonEmptyIntersection
+    kEnforceFd,     // EnforceFailedFd (g3_error < 0 for the blind overload)
+    kValidateFd,    // ValidateFd
+    kHiddenObject,  // ConceptualizeHiddenObject
+    kNameFd,        // NameRelationForFd
+    kNameHidden,    // NameHiddenObjectRelation
+  };
+
+  uint64_t id = 0;
+  Kind kind = Kind::kNei;
+  std::string subject;
+
+  EquiJoin join;                // kNei
+  JoinCounts counts;            // kNei
+  FunctionalDependency fd;      // kEnforceFd / kValidateFd / kNameFd
+  double g3_error = -1.0;       // kEnforceFd; negative = not quantified
+  QualifiedAttributes candidate;  // kHiddenObject / kNameHidden
+};
+
+const char* PendingQuestionKindName(PendingQuestion::Kind kind);
+
+// A client's answer; which field is read depends on the question's kind.
+struct OracleAnswer {
+  NeiDecision nei;           // kNei
+  bool yes = false;          // kEnforceFd / kValidateFd / kHiddenObject
+  std::string name;          // kNameFd / kNameHidden
+};
+
+class AsyncOracle : public ExpertOracle {
+ public:
+  struct Options {
+    // How long a question may stay unanswered before the fallback oracle
+    // answers it; negative = wait forever.
+    int64_t timeout_ms = -1;
+    // Answers timed-out / cancelled questions; not owned; DefaultOracle
+    // semantics when null.
+    ExpertOracle* fallback = nullptr;
+  };
+
+  // How each asked question eventually resolved.
+  struct Counters {
+    uint64_t asked = 0;
+    uint64_t answered = 0;    // resolved by a client
+    uint64_t timed_out = 0;   // resolved by the fallback after the timeout
+    uint64_t cancelled = 0;   // resolved by the fallback via CancelAll
+  };
+
+  AsyncOracle();
+  explicit AsyncOracle(Options options);
+  ~AsyncOracle() override;
+
+  // Snapshot of the questions currently awaiting an answer, in ask order.
+  std::vector<PendingQuestion> Pending() const;
+
+  Counters counters() const;
+
+  // Resolves question `id` with `answer` and wakes its suspended worker.
+  // kNotFound if the id was never asked; kFailedPrecondition if it was
+  // already resolved.
+  Status Answer(uint64_t id, OracleAnswer answer);
+
+  // Race-free variant for protocol handlers: `make` is invoked under the
+  // oracle lock with the still-pending question (so the answer can be
+  // parsed against its kind) and its result resolves the question; its
+  // error leaves the question pending. Same id errors as Answer.
+  Status AnswerWith(
+      uint64_t id,
+      const std::function<Result<OracleAnswer>(const PendingQuestion&)>&
+          make);
+
+  // Resolves every pending question with the fallback answer and makes all
+  // *future* questions resolve the same way immediately. Used on session
+  // close so a suspended pipeline cannot outlive its session.
+  void CancelAll();
+
+  // Blocks until at least one question is pending (returns true) or
+  // `timeout_ms` elapses (false). timeout_ms < 0 waits forever. Lets a
+  // server thread long-poll instead of busy-polling `Pending`.
+  bool WaitForQuestion(int64_t timeout_ms) const;
+
+  // Fires (unlocked) whenever a question is asked or resolved; used by the
+  // server to wake protocol-level waiters.
+  void SetListener(std::function<void()> listener);
+
+  // ExpertOracle — each call suspends the calling thread as described
+  // above.
+  NeiDecision DecideNonEmptyIntersection(const EquiJoin& join,
+                                         const JoinCounts& counts) override;
+  bool EnforceFailedFd(const FunctionalDependency& fd) override;
+  bool EnforceFailedFd(const FunctionalDependency& fd,
+                       double g3_error) override;
+  bool ValidateFd(const FunctionalDependency& fd) override;
+  bool ConceptualizeHiddenObject(
+      const QualifiedAttributes& candidate) override;
+  std::string NameRelationForFd(const FunctionalDependency& fd) override;
+  std::string NameHiddenObjectRelation(
+      const QualifiedAttributes& source) override;
+
+ private:
+  struct Slot {
+    PendingQuestion question;
+    bool resolved = false;
+    bool by_client = false;
+    OracleAnswer answer;
+  };
+
+  // Publishes `question`, blocks until resolution, and returns the client
+  // answer (use_fallback=false) or signals the caller to consult the
+  // fallback oracle (use_fallback=true).
+  OracleAnswer Ask(PendingQuestion question, bool* use_fallback);
+
+  ExpertOracle* Fallback();
+  void Notify();  // invokes listener_ copy outside the lock
+
+  Options options_;
+  DefaultOracle default_fallback_;
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable changed_;  // asked / resolved / cancelled
+  uint64_t next_id_ = 1;
+  bool cancelled_ = false;
+  std::map<uint64_t, Slot> pending_;  // ordered: ids are ask order
+  std::set<uint64_t> resolved_ids_;
+  Counters counters_;
+  std::function<void()> listener_;
+  std::mutex listener_mutex_;
+};
+
+}  // namespace dbre::service
+
+#endif  // DBRE_SERVICE_ASYNC_ORACLE_H_

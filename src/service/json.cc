@@ -1,0 +1,423 @@
+#include "service/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dbre::service {
+namespace {
+
+// Recursive-descent parser over a bounded string_view.
+class Parser {
+ public:
+  Parser(std::string_view text, size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Result<Json> ParseDocument() {
+    SkipWhitespace();
+    Json value;
+    DBRE_RETURN_IF_ERROR(ParseValue(&value, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return ParseError("trailing characters after JSON value at offset " +
+                        std::to_string(pos_));
+    }
+    return value;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  Status Expect(char c) {
+    if (AtEnd() || Peek() != c) {
+      return ParseError(std::string("expected '") + c + "' at offset " +
+                        std::to_string(pos_));
+    }
+    ++pos_;
+    return Status::Ok();
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Status ParseValue(Json* out, size_t depth) {
+    if (depth > max_depth_) {
+      return ParseError("nesting deeper than " + std::to_string(max_depth_));
+    }
+    SkipWhitespace();
+    if (AtEnd()) return ParseError("unexpected end of input");
+    char c = Peek();
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        DBRE_RETURN_IF_ERROR(ParseString(&s));
+        *out = Json::Str(std::move(s));
+        return Status::Ok();
+      }
+      case 't':
+        if (ConsumeLiteral("true")) {
+          *out = Json::Bool(true);
+          return Status::Ok();
+        }
+        break;
+      case 'f':
+        if (ConsumeLiteral("false")) {
+          *out = Json::Bool(false);
+          return Status::Ok();
+        }
+        break;
+      case 'n':
+        if (ConsumeLiteral("null")) {
+          *out = Json::Null();
+          return Status::Ok();
+        }
+        break;
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber(out);
+        break;
+    }
+    return ParseError(std::string("unexpected character '") + c +
+                      "' at offset " + std::to_string(pos_));
+  }
+
+  Status ParseObject(Json* out, size_t depth) {
+    DBRE_RETURN_IF_ERROR(Expect('{'));
+    *out = Json::MakeObject();
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      DBRE_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      DBRE_RETURN_IF_ERROR(Expect(':'));
+      Json value;
+      DBRE_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->Set(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (AtEnd()) return ParseError("unterminated object");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return Expect('}');
+    }
+  }
+
+  Status ParseArray(Json* out, size_t depth) {
+    DBRE_RETURN_IF_ERROR(Expect('['));
+    *out = Json::MakeArray();
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      return Status::Ok();
+    }
+    while (true) {
+      Json value;
+      DBRE_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->Append(std::move(value));
+      SkipWhitespace();
+      if (AtEnd()) return ParseError("unterminated array");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return Expect(']');
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    DBRE_RETURN_IF_ERROR(Expect('"'));
+    out->clear();
+    while (true) {
+      if (AtEnd()) return ParseError("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return ParseError("raw control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (AtEnd()) return ParseError("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          DBRE_RETURN_IF_ERROR(ParseHex4(&code));
+          // Surrogate pair → one code point.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (!ConsumeLiteral("\\u")) {
+              return ParseError("unpaired high surrogate");
+            }
+            unsigned low = 0;
+            DBRE_RETURN_IF_ERROR(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return ParseError("invalid low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return ParseError("unpaired low surrogate");
+          }
+          AppendUtf8(code, out);
+          break;
+        }
+        default:
+          return ParseError("invalid escape character");
+      }
+    }
+  }
+
+  Status ParseHex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return ParseError("truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return ParseError("invalid hex digit in \\u escape");
+      }
+    }
+    *out = value;
+    return Status::Ok();
+  }
+
+  static void AppendUtf8(unsigned code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Status ParseNumber(Json* out) {
+    size_t start = pos_;
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    // Strict JSON grammar: the integer part is `0` or a nonzero digit
+    // followed by digits — `01` is two tokens, hence an error.
+    size_t int_start = pos_;
+    while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    size_t int_digits = pos_ - int_start;
+    if (int_digits == 0 ||
+        (int_digits > 1 && text_[int_start] == '0')) {
+      return ParseError("malformed number at offset " +
+                        std::to_string(start));
+    }
+    bool integral = true;
+    if (!AtEnd() && Peek() == '.') {
+      integral = false;
+      ++pos_;
+      size_t frac_start = pos_;
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+      if (pos_ == frac_start) {  // `1.` — a fraction needs digits
+        return ParseError("malformed number at offset " +
+                          std::to_string(start));
+      }
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      size_t exp_start = pos_;
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+      if (pos_ == exp_start) {  // `1e` — an exponent needs digits
+        return ParseError("malformed number at offset " +
+                          std::to_string(start));
+      }
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        *out = Json::Int(v);
+        return Status::Ok();
+      }
+      // Out-of-range integer: fall through to double.
+    }
+    errno = 0;
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return ParseError("malformed number '" + token + "'");
+    }
+    *out = Json::Number(d);
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t max_depth_;
+};
+
+void DumpTo(const Json& value, std::string* out) {
+  switch (value.type()) {
+    case Json::Type::kNull:
+      out->append("null");
+      return;
+    case Json::Type::kBool:
+      out->append(value.AsBool() ? "true" : "false");
+      return;
+    case Json::Type::kNumber: {
+      if (value.IsInt()) {
+        out->append(std::to_string(value.AsInt()));
+        return;
+      }
+      double d = value.AsNumber();
+      if (!std::isfinite(d)) {
+        out->append("null");
+        return;
+      }
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.17g", d);
+      out->append(buffer);
+      return;
+    }
+    case Json::Type::kString:
+      out->append(JsonEscape(value.AsString()));
+      return;
+    case Json::Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Json& element : value.array()) {
+        if (!first) out->push_back(',');
+        first = false;
+        DumpTo(element, out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case Json::Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, element] : value.object()) {
+        if (!first) out->push_back(',');
+        first = false;
+        out->append(JsonEscape(key));
+        out->push_back(':');
+        DumpTo(element, out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+const Json* Json::Find(std::string_view key) const {
+  if (!IsObject()) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::string Json::GetString(std::string_view key, std::string fallback) const {
+  const Json* value = Find(key);
+  if (value == nullptr || !value->IsString()) return fallback;
+  return value->AsString();
+}
+
+int64_t Json::GetInt(std::string_view key, int64_t fallback) const {
+  const Json* value = Find(key);
+  if (value == nullptr || !value->IsNumber()) return fallback;
+  return value->AsInt(fallback);
+}
+
+bool Json::GetBool(std::string_view key, bool fallback) const {
+  const Json* value = Find(key);
+  if (value == nullptr || !value->IsBool()) return fallback;
+  return value->AsBool(fallback);
+}
+
+double Json::GetNumber(std::string_view key, double fallback) const {
+  const Json* value = Find(key);
+  if (value == nullptr || !value->IsNumber()) return fallback;
+  return value->AsNumber(fallback);
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(*this, &out);
+  return out;
+}
+
+Result<Json> Json::Parse(std::string_view text, size_t max_depth) {
+  return Parser(text, max_depth).ParseDocument();
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"': out.append("\\\""); break;
+      case '\\': out.append("\\\\"); break;
+      case '\b': out.append("\\b"); break;
+      case '\f': out.append("\\f"); break;
+      case '\n': out.append("\\n"); break;
+      case '\r': out.append("\\r"); break;
+      case '\t': out.append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out.append(buffer);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace dbre::service

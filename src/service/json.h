@@ -1,0 +1,138 @@
+// A minimal JSON value, parser and writer for the dbred wire protocol.
+//
+// The protocol is newline-delimited JSON (one object per line), so the
+// parser is strict, non-recursing beyond a configurable depth, and bounded
+// in input size by the caller (see protocol.h limits). Numbers keep an
+// exact int64 representation when the text is integral so question ids and
+// row counts round-trip without floating-point surprises. Object keys keep
+// insertion order — responses serialize deterministically, which the
+// byte-identical report checks in tests rely on.
+#ifndef DBRE_SERVICE_JSON_H_
+#define DBRE_SERVICE_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbre::service {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  // Vector, not map: preserves insertion order for deterministic output.
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : type_(Type::kNull) {}
+
+  static Json Null() { return Json(); }
+  static Json Bool(bool value) {
+    Json j;
+    j.type_ = Type::kBool;
+    j.bool_ = value;
+    return j;
+  }
+  static Json Int(int64_t value) {
+    Json j;
+    j.type_ = Type::kNumber;
+    j.int_ = value;
+    j.number_ = static_cast<double>(value);
+    j.is_int_ = true;
+    return j;
+  }
+  static Json Number(double value) {
+    Json j;
+    j.type_ = Type::kNumber;
+    j.number_ = value;
+    return j;
+  }
+  static Json Str(std::string value) {
+    Json j;
+    j.type_ = Type::kString;
+    j.string_ = std::move(value);
+    return j;
+  }
+  static Json MakeArray() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json MakeObject() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool IsNull() const { return type_ == Type::kNull; }
+  bool IsBool() const { return type_ == Type::kBool; }
+  bool IsNumber() const { return type_ == Type::kNumber; }
+  bool IsInt() const { return type_ == Type::kNumber && is_int_; }
+  bool IsString() const { return type_ == Type::kString; }
+  bool IsArray() const { return type_ == Type::kArray; }
+  bool IsObject() const { return type_ == Type::kObject; }
+
+  bool AsBool(bool fallback = false) const {
+    return IsBool() ? bool_ : fallback;
+  }
+  int64_t AsInt(int64_t fallback = 0) const {
+    if (!IsNumber()) return fallback;
+    return is_int_ ? int_ : static_cast<int64_t>(number_);
+  }
+  double AsNumber(double fallback = 0.0) const {
+    return IsNumber() ? number_ : fallback;
+  }
+  const std::string& AsString() const { return string_; }
+
+  Array& array() { return array_; }
+  const Array& array() const { return array_; }
+  Object& object() { return object_; }
+  const Object& object() const { return object_; }
+
+  // Object field access; nullptr when absent or not an object.
+  const Json* Find(std::string_view key) const;
+
+  // Typed field helpers with fallbacks (object use only).
+  std::string GetString(std::string_view key,
+                        std::string fallback = "") const;
+  int64_t GetInt(std::string_view key, int64_t fallback = 0) const;
+  bool GetBool(std::string_view key, bool fallback = false) const;
+  double GetNumber(std::string_view key, double fallback = 0.0) const;
+
+  // Appends / sets (no duplicate-key check; protocol code sets each key
+  // once).
+  void Append(Json value) { array_.push_back(std::move(value)); }
+  void Set(std::string key, Json value) {
+    object_.emplace_back(std::move(key), std::move(value));
+  }
+
+  // Compact single-line serialization (no spaces, keys in insertion order,
+  // strings escaped per RFC 8259; non-finite numbers emit null).
+  std::string Dump() const;
+
+  // Strict parse of exactly one JSON value (trailing garbage is an error).
+  // `max_depth` bounds array/object nesting.
+  static Result<Json> Parse(std::string_view text, size_t max_depth = 64);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  bool is_int_ = false;
+  int64_t int_ = 0;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+// Escapes `text` as a JSON string literal, quotes included.
+std::string JsonEscape(std::string_view text);
+
+}  // namespace dbre::service
+
+#endif  // DBRE_SERVICE_JSON_H_

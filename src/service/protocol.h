@@ -1,0 +1,74 @@
+// The dbred wire protocol: newline-delimited JSON requests and responses.
+//
+// Requests:   {"id": <int>, "cmd": "<command>", ...parameters}
+// Responses:  {"id": <int>, "ok": true, "result": {...}}
+//          |  {"id": <int|null>, "ok": false,
+//              "error": {"code": "<status-code-name>", "message": "..."}}
+//
+// One request per line, one response line per request, in order. Error
+// codes are the stable StatusCode names from common/status.h, so clients
+// can branch on "not_found" vs "failed_precondition" without parsing
+// messages. Malformed JSON, oversized lines and unknown commands all
+// produce error *responses* — a protocol slip must never take the daemon
+// down. See docs/SERVICE.md for the full command reference.
+#ifndef DBRE_SERVICE_PROTOCOL_H_
+#define DBRE_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/equi_join.h"
+#include "service/async_oracle.h"
+#include "service/json.h"
+
+namespace dbre::service {
+
+struct ProtocolLimits {
+  size_t max_line_bytes = 8u << 20;  // big enough for a CSV extension chunk
+  size_t max_json_depth = 32;
+};
+
+struct Request {
+  int64_t id = -1;  // echoed in the response; -1 if the client sent none
+  std::string cmd;
+  Json params;  // the whole request object (cmd/id included)
+};
+
+// Parses one request line. Errors: kInvalidArgument (oversized, not an
+// object, missing cmd), kParseError (malformed JSON).
+Result<Request> ParseRequest(const std::string& line,
+                             const ProtocolLimits& limits = {});
+
+// {"id":…,"ok":true,"result":…} on one line (no trailing newline).
+std::string OkResponse(int64_t id, Json result);
+
+// {"id":…,"ok":false,"error":{"code":…,"message":…}}.
+std::string ErrorResponse(int64_t id, const Status& status);
+
+// A pending expert question as wire JSON: id, kind, subject, plus the
+// kind-specific context (the join and its three valuations, the FD and its
+// g3 error, the hidden-object candidate) in both human-readable and
+// structured form, so observers can render it and scripted clients can
+// reconstruct the exact oracle call.
+Json QuestionToJson(const std::string& session_id,
+                    const PendingQuestion& question);
+
+// Parses the answer fields of an `answer` request for `kind`:
+//   nei:            {"action": "conceptualize"|"force_left"|"force_right"
+//                    |"ignore", "name": "..."?}
+//   enforce_fd / validate_fd / hidden_object: {"value": true|false}
+//   name_fd / name_hidden:                    {"name": "..."}
+Result<OracleAnswer> ParseAnswer(PendingQuestion::Kind kind,
+                                 const Json& params);
+
+// Parses a join object {"left": "R", "left_attrs": ["a"...],
+// "right": "S", "right_attrs": ["b"...]} (validated for shape).
+Result<EquiJoin> ParseJoin(const Json& value);
+
+Json JoinToJson(const EquiJoin& join);
+
+}  // namespace dbre::service
+
+#endif  // DBRE_SERVICE_PROTOCOL_H_

@@ -1,0 +1,343 @@
+#include "service/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+namespace dbre::service {
+namespace {
+
+// Wakes every in-flight `wait` whenever any session's state moves. One
+// process-wide rendezvous is enough: waits re-check their own predicate.
+struct WaitHub {
+  std::mutex mutex;
+  std::condition_variable changed;
+
+  void Notify() {
+    { std::lock_guard<std::mutex> lock(mutex); }
+    changed.notify_all();
+  }
+};
+
+WaitHub& Hub() {
+  static WaitHub hub;
+  return hub;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), manager_(options_.sessions) {}
+
+std::string Server::HandleLine(const std::string& line) {
+  auto request = ParseRequest(line, options_.limits);
+  if (!request.ok()) return ErrorResponse(-1, request.status());
+  Result<Json> result = Dispatch(*request);
+  if (!result.ok()) return ErrorResponse(request->id, result.status());
+  return OkResponse(request->id, std::move(result).value());
+}
+
+Result<Json> Server::Dispatch(const Request& request) {
+  const std::string& cmd = request.cmd;
+  if (cmd == "hello") return HandleHello();
+  if (cmd == "create") return HandleCreate(request);
+  if (cmd == "sessions") return HandleSessions();
+  if (cmd == "status") return HandleStatus(request);
+  if (cmd == "load_ddl") return HandleLoadDdl(request);
+  if (cmd == "load_csv") return HandleLoadCsv(request);
+  if (cmd == "add_joins") return HandleAddJoins(request);
+  if (cmd == "run") return HandleRun(request);
+  if (cmd == "wait") return HandleWait(request);
+  if (cmd == "questions") return HandleQuestions(request);
+  if (cmd == "answer") return HandleAnswer(request);
+  if (cmd == "report") return HandleReport(request);
+  if (cmd == "summary" || cmd == "export_ddl" || cmd == "export_eer" ||
+      cmd == "export_navigation") {
+    return HandleExport(request);
+  }
+  if (cmd == "close") return HandleClose(request);
+  if (cmd == "stats") return HandleStats();
+  if (cmd == "shutdown") {
+    shutdown_.store(true, std::memory_order_release);
+    Hub().Notify();
+    Json result = Json::MakeObject();
+    result.Set("bye", Json::Bool(true));
+    return result;
+  }
+  return InvalidArgumentError("unknown command '" + cmd + "'");
+}
+
+Result<std::shared_ptr<Session>> Server::SessionParam(
+    const Request& request) {
+  std::string id = request.params.GetString("session");
+  if (id.empty()) {
+    return InvalidArgumentError("command '" + request.cmd +
+                                "' needs a \"session\" field");
+  }
+  return manager_.Get(id);
+}
+
+Result<Json> Server::HandleHello() {
+  Json result = Json::MakeObject();
+  result.Set("server", Json::Str("dbred"));
+  result.Set("protocol", Json::Int(1));
+  result.Set("sessions",
+             Json::Int(static_cast<int64_t>(manager_.session_count())));
+  return result;
+}
+
+Result<Json> Server::HandleCreate(const Request& request) {
+  DBRE_ASSIGN_OR_RETURN(
+      std::string id,
+      manager_.CreateSession(request.params.GetString("name")));
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<Session> session, manager_.Get(id));
+  session->SetListener([] { Hub().Notify(); });
+  Json result = Json::MakeObject();
+  result.Set("session", Json::Str(id));
+  return result;
+}
+
+Result<Json> Server::HandleSessions() {
+  Json list = Json::MakeArray();
+  for (const auto& session : manager_.Sessions()) {
+    Json entry = Json::MakeObject();
+    entry.Set("session", Json::Str(session->id()));
+    entry.Set("state", Json::Str(Session::StateName(session->state())));
+    entry.Set("pending", Json::Int(static_cast<int64_t>(
+                             session->oracle()->Pending().size())));
+    list.Append(std::move(entry));
+  }
+  Json result = Json::MakeObject();
+  result.Set("sessions", std::move(list));
+  return result;
+}
+
+Result<Json> Server::HandleStatus(const Request& request) {
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                        SessionParam(request));
+  Json result = Json::MakeObject();
+  result.Set("session", Json::Str(session->id()));
+  result.Set("state", Json::Str(Session::StateName(session->state())));
+  result.Set("phase", Json::Str(session->phase()));
+  result.Set("relations",
+             Json::Int(static_cast<int64_t>(session->relation_count())));
+  result.Set("joins",
+             Json::Int(static_cast<int64_t>(session->join_count())));
+  result.Set("pending_questions",
+             Json::Int(static_cast<int64_t>(
+                 session->oracle()->Pending().size())));
+  result.Set("memory_bytes",
+             Json::Int(static_cast<int64_t>(session->memory_bytes())));
+  if (session->state() == Session::State::kFailed) {
+    result.Set("error", Json::Str(session->last_error().ToString()));
+  }
+  return result;
+}
+
+Result<Json> Server::HandleLoadDdl(const Request& request) {
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                        SessionParam(request));
+  const Json* sql = request.params.Find("sql");
+  if (sql == nullptr || !sql->IsString()) {
+    return InvalidArgumentError("load_ddl needs a string \"sql\" field");
+  }
+  size_t relations = 0;
+  size_t rows = 0;
+  DBRE_RETURN_IF_ERROR(session->LoadDdl(sql->AsString(), &relations, &rows));
+  Json result = Json::MakeObject();
+  result.Set("relations", Json::Int(static_cast<int64_t>(relations)));
+  result.Set("rows", Json::Int(static_cast<int64_t>(rows)));
+  return result;
+}
+
+Result<Json> Server::HandleLoadCsv(const Request& request) {
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                        SessionParam(request));
+  std::string relation = request.params.GetString("relation");
+  const Json* csv = request.params.Find("csv");
+  if (relation.empty() || csv == nullptr || !csv->IsString()) {
+    return InvalidArgumentError(
+        "load_csv needs \"relation\" and string \"csv\" fields");
+  }
+  size_t rows = 0;
+  DBRE_RETURN_IF_ERROR(session->LoadCsv(relation, csv->AsString(), &rows));
+  Json result = Json::MakeObject();
+  result.Set("rows", Json::Int(static_cast<int64_t>(rows)));
+  return result;
+}
+
+Result<Json> Server::HandleAddJoins(const Request& request) {
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                        SessionParam(request));
+  const Json* joins = request.params.Find("joins");
+  if (joins == nullptr || !joins->IsArray()) {
+    return InvalidArgumentError("add_joins needs a \"joins\" array");
+  }
+  std::vector<EquiJoin> parsed;
+  parsed.reserve(joins->array().size());
+  for (const Json& value : joins->array()) {
+    DBRE_ASSIGN_OR_RETURN(EquiJoin join, ParseJoin(value));
+    parsed.push_back(std::move(join));
+  }
+  DBRE_RETURN_IF_ERROR(session->AddJoins(parsed));
+  Json result = Json::MakeObject();
+  result.Set("added", Json::Int(static_cast<int64_t>(parsed.size())));
+  result.Set("total", Json::Int(static_cast<int64_t>(session->join_count())));
+  return result;
+}
+
+Result<Json> Server::HandleRun(const Request& request) {
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                        SessionParam(request));
+  Session::RunOptions options;
+  options.infer_keys = request.params.GetBool("infer_keys");
+  options.close_inds = request.params.GetBool("close_inds");
+  options.merge_isa_cycles = request.params.GetBool("merge_isa_cycles");
+  options.oracle = request.params.GetString("oracle", "async");
+  DBRE_RETURN_IF_ERROR(manager_.SubmitRun(session, options));
+  Json result = Json::MakeObject();
+  result.Set("state", Json::Str("running"));
+  return result;
+}
+
+Result<Json> Server::HandleWait(const Request& request) {
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                        SessionParam(request));
+  std::string what = request.params.GetString("for", "question");
+  if (what != "question" && what != "finished") {
+    return InvalidArgumentError(
+        "wait needs \"for\": question or finished");
+  }
+  int64_t timeout_ms = request.params.GetInt("timeout_ms", 10'000);
+  timeout_ms = std::clamp<int64_t>(timeout_ms, 0, options_.max_wait_ms);
+
+  auto terminal = [&session] {
+    Session::State state = session->state();
+    return state == Session::State::kDone ||
+           state == Session::State::kFailed ||
+           state == Session::State::kClosed;
+  };
+  auto ready = [&] {
+    if (shutdown_requested() || terminal()) return true;
+    return what == "question" && !session->oracle()->Pending().empty();
+  };
+
+  WaitHub& hub = Hub();
+  {
+    std::unique_lock<std::mutex> lock(hub.mutex);
+    hub.changed.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                         ready);
+  }
+
+  Json result = Json::MakeObject();
+  result.Set("ready", Json::Bool(ready()));
+  result.Set("state", Json::Str(Session::StateName(session->state())));
+  result.Set("pending", Json::Int(static_cast<int64_t>(
+                            session->oracle()->Pending().size())));
+  return result;
+}
+
+Result<Json> Server::HandleQuestions(const Request& request) {
+  std::vector<std::shared_ptr<Session>> sessions;
+  if (request.params.Find("session") != nullptr) {
+    DBRE_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                          SessionParam(request));
+    sessions.push_back(std::move(session));
+  } else {
+    sessions = manager_.Sessions();
+  }
+  Json list = Json::MakeArray();
+  for (const auto& session : sessions) {
+    for (const PendingQuestion& question : session->oracle()->Pending()) {
+      list.Append(QuestionToJson(session->id(), question));
+    }
+  }
+  Json result = Json::MakeObject();
+  result.Set("questions", std::move(list));
+  return result;
+}
+
+Result<Json> Server::HandleAnswer(const Request& request) {
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                        SessionParam(request));
+  const Json* qid = request.params.Find("question");
+  if (qid == nullptr || !qid->IsInt() || qid->AsInt() < 0) {
+    return InvalidArgumentError(
+        "answer needs an integer \"question\" id");
+  }
+  DBRE_RETURN_IF_ERROR(session->oracle()->AnswerWith(
+      static_cast<uint64_t>(qid->AsInt()),
+      [&request](const PendingQuestion& question) {
+        return ParseAnswer(question.kind, request.params);
+      }));
+  Json result = Json::MakeObject();
+  result.Set("answered", Json::Int(qid->AsInt()));
+  return result;
+}
+
+Result<Json> Server::HandleReport(const Request& request) {
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                        SessionParam(request));
+  bool timings = request.params.GetBool("timings", false);
+  DBRE_ASSIGN_OR_RETURN(std::string report, session->ReportJson(timings));
+  Json result = Json::MakeObject();
+  result.Set("report", Json::Str(std::move(report)));
+  return result;
+}
+
+Result<Json> Server::HandleExport(const Request& request) {
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                        SessionParam(request));
+  Json result = Json::MakeObject();
+  if (request.cmd == "summary") {
+    DBRE_ASSIGN_OR_RETURN(std::string text, session->SummaryText());
+    result.Set("summary", Json::Str(std::move(text)));
+  } else if (request.cmd == "export_ddl") {
+    DBRE_ASSIGN_OR_RETURN(std::string ddl, session->ExportDdl());
+    result.Set("ddl", Json::Str(std::move(ddl)));
+  } else if (request.cmd == "export_eer") {
+    DBRE_ASSIGN_OR_RETURN(std::string dot, session->ExportEerDot());
+    result.Set("dot", Json::Str(std::move(dot)));
+  } else {
+    DBRE_ASSIGN_OR_RETURN(std::string dot, session->ExportNavigationDot());
+    result.Set("dot", Json::Str(std::move(dot)));
+  }
+  return result;
+}
+
+Result<Json> Server::HandleClose(const Request& request) {
+  std::string id = request.params.GetString("session");
+  if (id.empty()) {
+    return InvalidArgumentError("close needs a \"session\" field");
+  }
+  DBRE_RETURN_IF_ERROR(manager_.CloseSession(id));
+  Hub().Notify();
+  Json result = Json::MakeObject();
+  result.Set("closed", Json::Str(id));
+  return result;
+}
+
+Result<Json> Server::HandleStats() {
+  ExtensionRegistry::Stats registry = manager_.registry()->stats();
+  Json cache = Json::MakeObject();
+  cache.Set("lookups", Json::Int(static_cast<int64_t>(registry.lookups)));
+  cache.Set("hits", Json::Int(static_cast<int64_t>(registry.hits)));
+  cache.Set("entries", Json::Int(static_cast<int64_t>(registry.entries)));
+  cache.Set("evictions",
+            Json::Int(static_cast<int64_t>(registry.evictions)));
+  Json result = Json::MakeObject();
+  result.Set("sessions",
+             Json::Int(static_cast<int64_t>(manager_.session_count())));
+  result.Set("inflight_runs",
+             Json::Int(static_cast<int64_t>(manager_.inflight_runs())));
+  result.Set("queued_runs",
+             Json::Int(static_cast<int64_t>(manager_.queued_runs())));
+  result.Set("memory_used_bytes",
+             Json::Int(static_cast<int64_t>(manager_.budget()->used())));
+  result.Set("extension_cache", std::move(cache));
+  return result;
+}
+
+}  // namespace dbre::service

@@ -1,0 +1,83 @@
+// The dbred daemon core: protocol dispatch over a SessionManager.
+//
+// A `Server` is transport-agnostic and connection-agnostic: it maps one
+// request line to one response line, and every bit of state lives in the
+// SessionManager (sessions, questions, reports) — never in the connection.
+// That is what makes sessions survive disconnects: a client that drops
+// mid-question can reconnect (or a different client can take over) and
+// `answer` by session + question id. `HandleLine` is safe to call from any
+// number of connection threads concurrently.
+//
+// Commands (see docs/SERVICE.md): hello, create, sessions, status,
+// load_ddl, load_csv, add_joins, run, wait, questions, answer, report,
+// summary, export_ddl, export_eer, export_navigation, close, stats,
+// shutdown.
+#ifndef DBRE_SERVICE_SERVER_H_
+#define DBRE_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "service/protocol.h"
+#include "service/session_manager.h"
+
+namespace dbre::service {
+
+struct ServerOptions {
+  SessionManagerOptions sessions;
+  ProtocolLimits limits;
+  // Upper bound a `wait` request may block server-side, even if the client
+  // asks for longer (keeps connection threads reclaimable).
+  int64_t max_wait_ms = 30'000;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Handles one request line; always returns exactly one response line
+  // (without trailing newline), errors included.
+  std::string HandleLine(const std::string& line);
+
+  // True once a client issued `shutdown`; transports exit their serve
+  // loops when they see it.
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  SessionManager* sessions() { return &manager_; }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  Result<Json> Dispatch(const Request& request);
+
+  Result<Json> HandleHello();
+  Result<Json> HandleCreate(const Request& request);
+  Result<Json> HandleSessions();
+  Result<Json> HandleStatus(const Request& request);
+  Result<Json> HandleLoadDdl(const Request& request);
+  Result<Json> HandleLoadCsv(const Request& request);
+  Result<Json> HandleAddJoins(const Request& request);
+  Result<Json> HandleRun(const Request& request);
+  Result<Json> HandleWait(const Request& request);
+  Result<Json> HandleQuestions(const Request& request);
+  Result<Json> HandleAnswer(const Request& request);
+  Result<Json> HandleReport(const Request& request);
+  Result<Json> HandleExport(const Request& request);
+  Result<Json> HandleClose(const Request& request);
+  Result<Json> HandleStats();
+
+  Result<std::shared_ptr<Session>> SessionParam(const Request& request);
+
+  ServerOptions options_;
+  SessionManager manager_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace dbre::service
+
+#endif  // DBRE_SERVICE_SERVER_H_

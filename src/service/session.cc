@@ -1,0 +1,306 @@
+#include "service/session.h"
+
+#include <chrono>
+#include <utility>
+
+#include "core/navigation_graph.h"
+#include "core/report_json.h"
+#include "eer/dot_export.h"
+#include "relational/csv.h"
+#include "sql/ddl.h"
+#include "sql/ddl_writer.h"
+
+namespace dbre::service {
+
+Session::Session(std::string id, AsyncOracle::Options oracle_options,
+                 SessionLimits limits, ExtensionRegistry* registry,
+                 std::shared_ptr<MemoryBudget> budget)
+    : id_(std::move(id)),
+      limits_(limits),
+      registry_(registry),
+      budget_(std::move(budget)),
+      oracle_(oracle_options) {}
+
+Session::~Session() { Close(); }
+
+Session::State Session::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+const char* Session::StateName(State state) {
+  switch (state) {
+    case State::kIdle: return "idle";
+    case State::kRunning: return "running";
+    case State::kDone: return "done";
+    case State::kFailed: return "failed";
+    case State::kClosed: return "closed";
+  }
+  return "unknown";
+}
+
+std::string Session::phase() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return phase_;
+}
+
+Status Session::ReserveDelta(size_t old_bytes, size_t new_bytes) {
+  if (new_bytes <= old_bytes) {
+    if (budget_) budget_->Release(old_bytes - new_bytes);
+    bytes_ = new_bytes;
+    return Status::Ok();
+  }
+  size_t delta = new_bytes - old_bytes;
+  if (new_bytes > limits_.max_bytes) {
+    return FailedPreconditionError(
+        "session " + id_ + " memory limit exceeded: " +
+        std::to_string(new_bytes) + " > " +
+        std::to_string(limits_.max_bytes) + " bytes");
+  }
+  if (budget_ && !budget_->Reserve(delta)) {
+    return FailedPreconditionError(
+        "server memory budget exhausted (" +
+        std::to_string(budget_->used()) + " of " +
+        std::to_string(budget_->max_total()) + " bytes in use)");
+  }
+  bytes_ = new_bytes;
+  return Status::Ok();
+}
+
+Status Session::LoadDdl(const std::string& sql, size_t* relations_out,
+                        size_t* rows_out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != State::kIdle) {
+    return FailedPreconditionError("session " + id_ + " is not idle (" +
+                                   StateName(state_) + ")");
+  }
+  DBRE_ASSIGN_OR_RETURN(sql::DdlStats stats,
+                        sql::ExecuteDdlScript(sql, &database_));
+  size_t new_bytes = 0;
+  for (const std::string& relation : database_.RelationNames()) {
+    DBRE_ASSIGN_OR_RETURN(const Table* table,
+                          database_.GetTable(relation));
+    new_bytes += table->ApproximateBytes();
+  }
+  DBRE_RETURN_IF_ERROR(ReserveDelta(bytes_, new_bytes));
+  if (relations_out != nullptr) *relations_out = stats.tables_created;
+  if (rows_out != nullptr) *rows_out = stats.rows_inserted;
+  return Status::Ok();
+}
+
+Status Session::LoadCsv(const std::string& relation,
+                        const std::string& csv_text, size_t* rows_out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != State::kIdle) {
+    return FailedPreconditionError("session " + id_ + " is not idle (" +
+                                   StateName(state_) + ")");
+  }
+  DBRE_ASSIGN_OR_RETURN(Table * table, database_.GetMutableTable(relation));
+  size_t old_table_bytes = table->ApproximateBytes();
+  DBRE_ASSIGN_OR_RETURN(size_t rows, LoadCsvText(csv_text, table));
+  // Intern before accounting: an extension already pooled by another
+  // session costs this one (approximately) nothing new.
+  bool shared = registry_ != nullptr && registry_->Intern(table);
+  size_t new_table_bytes = shared ? 0 : table->ApproximateBytes();
+  DBRE_RETURN_IF_ERROR(
+      ReserveDelta(bytes_, bytes_ - old_table_bytes + new_table_bytes));
+  if (rows_out != nullptr) *rows_out = rows;
+  return Status::Ok();
+}
+
+Status Session::AddJoins(const std::vector<EquiJoin>& joins) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != State::kIdle) {
+    return FailedPreconditionError("session " + id_ + " is not idle (" +
+                                   StateName(state_) + ")");
+  }
+  for (const EquiJoin& join : joins) {
+    DBRE_RETURN_IF_ERROR(join.Validate());
+    if (!database_.HasRelation(join.left_relation)) {
+      return NotFoundError("join references unknown relation " +
+                           join.left_relation);
+    }
+    if (!database_.HasRelation(join.right_relation)) {
+      return NotFoundError("join references unknown relation " +
+                           join.right_relation);
+    }
+  }
+  joins_.insert(joins_.end(), joins.begin(), joins.end());
+  return Status::Ok();
+}
+
+size_t Session::join_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return joins_.size();
+}
+
+size_t Session::relation_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return database_.NumRelations();
+}
+
+size_t Session::memory_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+Status Session::BeginRun(const RunOptions& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != State::kIdle) {
+    return FailedPreconditionError("session " + id_ + " is not idle (" +
+                                   StateName(state_) + ")");
+  }
+  if (database_.NumRelations() == 0) {
+    return FailedPreconditionError("session " + id_ +
+                                   " has no catalog: load_ddl first");
+  }
+  if (options.oracle != "async" && options.oracle != "default" &&
+      options.oracle != "threshold") {
+    return InvalidArgumentError("unknown oracle policy '" + options.oracle +
+                                "' (want async, default or threshold)");
+  }
+  state_ = State::kRunning;
+  phase_.clear();
+  report_.reset();
+  error_ = Status::Ok();
+  return Status::Ok();
+}
+
+void Session::ExecuteRun(const RunOptions& options) {
+  // The catalog is frozen while kRunning (loads are rejected), so reading
+  // database_/joins_ without the session lock is safe here.
+  if (registry_ != nullptr) registry_->InternDatabase(&database_);
+
+  PipelineOptions pipeline_options;
+  pipeline_options.infer_missing_keys = options.infer_keys;
+  pipeline_options.close_inds = options.close_inds;
+  pipeline_options.translate.merge_isa_cycles = options.merge_isa_cycles;
+  pipeline_options.cancel = &cancel_;
+  pipeline_options.on_phase = [this](const char* phase) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    phase_ = phase;
+  };
+
+  DefaultOracle default_oracle;
+  ThresholdOracle::Options threshold_options;
+  threshold_options.nei_conceptualize_ratio = 2.0;
+  threshold_options.nei_force_ratio = 0.5;
+  threshold_options.accept_hidden_objects = true;
+  threshold_options.enforce_fd_max_error = 0.01;
+  ThresholdOracle threshold_oracle(threshold_options);
+  ExpertOracle* oracle = &oracle_;
+  if (options.oracle == "default") oracle = &default_oracle;
+  if (options.oracle == "threshold") oracle = &threshold_oracle;
+
+  auto result = RunPipeline(database_, joins_, oracle, pipeline_options);
+
+  std::function<void()> listener;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    phase_.clear();
+    if (state_ == State::kClosed) {
+      // Closed while running: drop the result, stay closed.
+    } else if (result.ok()) {
+      report_ = std::move(result).value();
+      state_ = State::kDone;
+    } else {
+      error_ = result.status();
+      state_ = State::kFailed;
+    }
+    finished_.notify_all();
+    listener = listener_;
+  }
+  if (listener) listener();
+}
+
+void Session::SetListener(std::function<void()> listener) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    listener_ = listener;
+  }
+  oracle_.SetListener(std::move(listener));
+}
+
+bool Session::WaitFinished(int64_t timeout_ms) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto terminal = [this] {
+    return state_ == State::kDone || state_ == State::kFailed ||
+           state_ == State::kClosed;
+  };
+  if (timeout_ms < 0) {
+    finished_.wait(lock, terminal);
+    return true;
+  }
+  return finished_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                            terminal);
+}
+
+Status Session::last_error() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return error_;
+}
+
+Result<std::string> Session::ReportJson(bool include_timings) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != State::kDone) {
+    return FailedPreconditionError("session " + id_ + " has no report (" +
+                                   StateName(state_) + ")");
+  }
+  JsonOptions options;
+  options.include_timings = include_timings;
+  return ReportToJson(*report_, options);
+}
+
+Result<std::string> Session::ExportDdl() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != State::kDone) {
+    return FailedPreconditionError("session " + id_ + " has no report (" +
+                                   StateName(state_) + ")");
+  }
+  return sql::WriteDdl(report_->restruct.database);
+}
+
+Result<std::string> Session::ExportEerDot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != State::kDone) {
+    return FailedPreconditionError("session " + id_ + " has no report (" +
+                                   StateName(state_) + ")");
+  }
+  return eer::ToDot(report_->eer);
+}
+
+Result<std::string> Session::ExportNavigationDot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != State::kDone) {
+    return FailedPreconditionError("session " + id_ + " has no report (" +
+                                   StateName(state_) + ")");
+  }
+  return NavigationGraphToDot(report_->working_database, report_->ind);
+}
+
+Result<std::string> Session::SummaryText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != State::kDone) {
+    return FailedPreconditionError("session " + id_ + " has no report (" +
+                                   StateName(state_) + ")");
+  }
+  return report_->Summary();
+}
+
+void Session::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;
+    closed_ = true;
+    // A running pipeline keeps its worker until the next phase boundary;
+    // ExecuteRun observes kClosed when it finishes and drops its result.
+    state_ = State::kClosed;
+    if (budget_) budget_->Release(bytes_);
+    bytes_ = 0;
+    finished_.notify_all();
+  }
+  cancel_.store(true, std::memory_order_relaxed);
+  oracle_.CancelAll();
+}
+
+}  // namespace dbre::service

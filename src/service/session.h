@@ -1,0 +1,170 @@
+// One reverse-engineering session inside the dbred service.
+//
+// A session owns a catalog (loaded over the wire as DDL + CSV extensions),
+// a workload Q, and at most one pipeline run at a time. The run executes
+// on a SessionManager worker thread; its oracle is this session's
+// AsyncOracle, so every expert decision suspends the worker until a client
+// answers (or the timeout falls back to conservative defaults). The
+// session object — and with it the pending questions, the catalog and the
+// finished report — lives independently of any client connection: clients
+// may disconnect mid-question, reconnect, and pick the session back up by
+// id.
+//
+// Loaded extensions are interned in the server-wide ExtensionRegistry, so
+// sessions working on the same legacy database share row storage and the
+// memoized QueryCache partitions.
+#ifndef DBRE_SERVICE_SESSION_H_
+#define DBRE_SERVICE_SESSION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/pipeline.h"
+#include "relational/extension_registry.h"
+#include "service/async_oracle.h"
+
+namespace dbre::service {
+
+struct SessionLimits {
+  // Budget for this session's loaded extensions (ApproximateBytes of every
+  // table). Loads that would exceed it fail with kFailedPrecondition.
+  size_t max_bytes = 256u << 20;
+};
+
+// Shared accounting across all sessions of a server.
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(size_t max_total_bytes)
+      : max_total_(max_total_bytes) {}
+
+  bool Reserve(size_t bytes) {
+    size_t used = used_.load(std::memory_order_relaxed);
+    while (true) {
+      if (used + bytes > max_total_) return false;
+      if (used_.compare_exchange_weak(used, used + bytes,
+                                      std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+  void Release(size_t bytes) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+  size_t used() const { return used_.load(std::memory_order_relaxed); }
+  size_t max_total() const { return max_total_; }
+
+ private:
+  std::atomic<size_t> used_{0};
+  size_t max_total_;
+};
+
+class Session {
+ public:
+  enum class State { kIdle, kRunning, kDone, kFailed, kClosed };
+
+  struct RunOptions {
+    bool infer_keys = false;
+    bool close_inds = false;
+    bool merge_isa_cycles = false;
+    // Which expert answers this run: "async" (questions go to clients),
+    // "default" (DefaultOracle), or "threshold" (unattended data-driven
+    // policy, same knobs as dbre_cli's).
+    std::string oracle = "async";
+  };
+
+  Session(std::string id, AsyncOracle::Options oracle_options,
+          SessionLimits limits, ExtensionRegistry* registry,
+          std::shared_ptr<MemoryBudget> budget);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const std::string& id() const { return id_; }
+  State state() const;
+  static const char* StateName(State state);
+
+  // Current pipeline phase name while running ("" otherwise).
+  std::string phase() const;
+
+  // Catalog loading — only while idle (a running pipeline reads the
+  // catalog without locks).
+  Status LoadDdl(const std::string& sql, size_t* relations_out,
+                 size_t* rows_out);
+  Status LoadCsv(const std::string& relation, const std::string& csv_text,
+                 size_t* rows_out);
+  Status AddJoins(const std::vector<EquiJoin>& joins);
+
+  size_t join_count() const;
+  size_t relation_count() const;
+  size_t memory_bytes() const;
+
+  // State transition kIdle → kRunning with validation; the manager then
+  // schedules ExecuteRun on a worker.
+  Status BeginRun(const RunOptions& options);
+
+  // Runs the pipeline synchronously (worker thread). Terminal state kDone
+  // or kFailed; wakes WaitFinished waiters.
+  void ExecuteRun(const RunOptions& options);
+
+  // Blocks until the run reaches a terminal state; false on timeout
+  // (timeout_ms < 0 waits forever).
+  bool WaitFinished(int64_t timeout_ms) const;
+
+  AsyncOracle* oracle() { return &oracle_; }
+  const AsyncOracle* oracle() const { return &oracle_; }
+
+  // Fires (outside all session locks) whenever a question is asked or
+  // resolved, or the run reaches a terminal state — the server's `wait`
+  // command hangs off this.
+  void SetListener(std::function<void()> listener);
+
+  // The failure of the last run (OK unless state() == kFailed).
+  Status last_error() const;
+
+  // Artifact exports; kFailedPrecondition unless state() == kDone.
+  Result<std::string> ReportJson(bool include_timings) const;
+  Result<std::string> ExportDdl() const;
+  Result<std::string> ExportEerDot() const;
+  Result<std::string> ExportNavigationDot() const;
+  Result<std::string> SummaryText() const;
+
+  // Cancels any in-flight run (pending questions resolve with fallback
+  // answers, the pipeline aborts at its next phase boundary) and releases
+  // the session's memory reservation. Idempotent.
+  void Close();
+
+ private:
+  Status ReserveDelta(size_t old_bytes, size_t new_bytes);
+
+  const std::string id_;
+  const SessionLimits limits_;
+  ExtensionRegistry* const registry_;  // not owned; may be null
+  const std::shared_ptr<MemoryBudget> budget_;
+
+  AsyncOracle oracle_;
+  std::atomic<bool> cancel_{false};
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable finished_;
+  State state_ = State::kIdle;
+  std::string phase_;
+  Database database_;
+  std::vector<EquiJoin> joins_;
+  size_t bytes_ = 0;
+  std::optional<PipelineReport> report_;
+  Status error_;
+  bool closed_ = false;
+  std::function<void()> listener_;
+};
+
+}  // namespace dbre::service
+
+#endif  // DBRE_SERVICE_SESSION_H_

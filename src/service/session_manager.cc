@@ -1,0 +1,132 @@
+#include "service/session_manager.h"
+
+#include <utility>
+
+namespace dbre::service {
+
+SessionManager::SessionManager(SessionManagerOptions options)
+    : options_(options),
+      budget_(std::make_shared<MemoryBudget>(options.max_total_bytes)),
+      pool_(std::make_unique<ThreadPool>(
+          options.max_inflight_runs > 0 ? options.max_inflight_runs : 1)) {}
+
+SessionManager::~SessionManager() { Shutdown(); }
+
+Result<std::string> SessionManager::CreateSession(
+    const std::string& name_hint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sessions_.size() >= options_.max_sessions) {
+    return FailedPreconditionError(
+        "session limit reached (" + std::to_string(options_.max_sessions) +
+        " live sessions)");
+  }
+  std::string id = name_hint;
+  if (id.empty() || sessions_.count(id) > 0) {
+    do {
+      id = "s" + std::to_string(next_session_++);
+    } while (sessions_.count(id) > 0);
+  }
+  AsyncOracle::Options oracle_options;
+  oracle_options.timeout_ms = options_.question_timeout_ms;
+  SessionLimits limits;
+  limits.max_bytes = options_.max_session_bytes;
+  sessions_.emplace(id, std::make_shared<Session>(id, oracle_options, limits,
+                                                  &registry_, budget_));
+  return id;
+}
+
+Result<std::shared_ptr<Session>> SessionManager::Get(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return NotFoundError("no session with id '" + id + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::shared_ptr<Session>> SessionManager::Sessions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<Session>> sessions;
+  sessions.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) sessions.push_back(session);
+  return sessions;
+}
+
+size_t SessionManager::session_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+Status SessionManager::SubmitRun(const std::shared_ptr<Session>& session,
+                                 const Session::RunOptions& options) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (inflight_ + queued_ >=
+        options_.max_inflight_runs + options_.max_queued_runs) {
+      return FailedPreconditionError(
+          "run admission rejected: " + std::to_string(inflight_) +
+          " in flight and " + std::to_string(queued_) +
+          " queued (limits " + std::to_string(options_.max_inflight_runs) +
+          "/" + std::to_string(options_.max_queued_runs) + "); retry later");
+    }
+    ++queued_;
+  }
+  Status begun = session->BeginRun(options);
+  if (!begun.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --queued_;
+    return begun;
+  }
+  pool_->Submit([this, session, options] {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --queued_;
+      ++inflight_;
+    }
+    session->ExecuteRun(options);
+    std::lock_guard<std::mutex> lock(mutex_);
+    --inflight_;
+  });
+  return Status::Ok();
+}
+
+Status SessionManager::CloseSession(const std::string& id) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      return NotFoundError("no session with id '" + id + "'");
+    }
+    session = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // Close outside the manager lock: it wakes suspended workers, which may
+  // call back into the manager's counters.
+  session->Close();
+  return Status::Ok();
+}
+
+void SessionManager::Shutdown() {
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, session] : sessions_) sessions.push_back(session);
+    sessions_.clear();
+  }
+  for (const auto& session : sessions) session->Close();
+  if (pool_) pool_->Wait();
+}
+
+size_t SessionManager::inflight_runs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inflight_;
+}
+
+size_t SessionManager::queued_runs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_;
+}
+
+}  // namespace dbre::service

@@ -1,0 +1,92 @@
+// Owns every live session of a dbred server, plus the shared resources
+// they multiplex: the pipeline worker pool, the extension registry and the
+// global memory budget.
+//
+// Admission is bounded on three axes:
+//   * max_sessions     — live session objects;
+//   * max_inflight_runs — pipelines executing on workers (the pool has
+//     exactly this many threads, so a pipeline suspended on an expert
+//     question parks a whole worker, as designed);
+//   * max_queued_runs  — accepted `run` commands waiting for a worker.
+// A `run` beyond inflight+queued capacity is rejected immediately with a
+// structured error instead of growing an unbounded queue — clients retry.
+#ifndef DBRE_SERVICE_SESSION_MANAGER_H_
+#define DBRE_SERVICE_SESSION_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "relational/extension_registry.h"
+#include "service/session.h"
+
+namespace dbre::service {
+
+struct SessionManagerOptions {
+  size_t max_sessions = 64;
+  size_t max_inflight_runs = 4;
+  size_t max_queued_runs = 16;
+  size_t max_session_bytes = 256u << 20;
+  size_t max_total_bytes = 1024u << 20;
+  // Expert-question timeout before the fallback oracle answers; negative =
+  // wait forever.
+  int64_t question_timeout_ms = -1;
+};
+
+class SessionManager {
+ public:
+  explicit SessionManager(SessionManagerOptions options = {});
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  // Creates a session and returns its id ("s1", "s2", ...; `name_hint`
+  // becomes the id if unique and non-empty).
+  Result<std::string> CreateSession(const std::string& name_hint = "");
+
+  Result<std::shared_ptr<Session>> Get(const std::string& id) const;
+
+  std::vector<std::shared_ptr<Session>> Sessions() const;
+
+  size_t session_count() const;
+
+  // Validates, transitions the session to running and schedules its
+  // pipeline on the pool, subject to admission bounds.
+  Status SubmitRun(const std::shared_ptr<Session>& session,
+                   const Session::RunOptions& options);
+
+  // Cancels (if needed) and removes the session. kNotFound if unknown.
+  Status CloseSession(const std::string& id);
+
+  // Closes every session and waits for in-flight runs to drain.
+  void Shutdown();
+
+  ExtensionRegistry* registry() { return &registry_; }
+  MemoryBudget* budget() { return budget_.get(); }
+  const SessionManagerOptions& options() const { return options_; }
+
+  size_t inflight_runs() const;
+  size_t queued_runs() const;
+
+ private:
+  SessionManagerOptions options_;
+  ExtensionRegistry registry_;
+  std::shared_ptr<MemoryBudget> budget_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex mutex_;
+  uint64_t next_session_ = 1;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+  size_t inflight_ = 0;
+  size_t queued_ = 0;
+};
+
+}  // namespace dbre::service
+
+#endif  // DBRE_SERVICE_SESSION_MANAGER_H_

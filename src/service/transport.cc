@@ -1,0 +1,238 @@
+#include "service/transport.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <utility>
+
+namespace dbre::service {
+namespace {
+
+Status ErrnoStatus(const char* what) {
+  return IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+// A write to a closed socket must surface as an error status, not SIGPIPE.
+void IgnoreSigpipeOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] { std::signal(SIGPIPE, SIG_IGN); });
+}
+
+}  // namespace
+
+Result<std::string> StreamChannel::ReadLine() {
+  std::string line;
+  if (!std::getline(*in_, line)) return NotFoundError("eof");
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return line;
+}
+
+Status StreamChannel::WriteLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  (*out_) << line << '\n';
+  out_->flush();
+  if (!out_->good()) return IoError("output stream failed");
+  return Status::Ok();
+}
+
+SocketChannel::~SocketChannel() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::string> SocketChannel::ReadLine() {
+  while (true) {
+    size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      if (!buffer_.empty()) {
+        // Final unterminated line.
+        std::string line = std::move(buffer_);
+        buffer_.clear();
+        return line;
+      }
+      return NotFoundError("eof");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("recv");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Status SocketChannel::WriteLine(const std::string& line) {
+  IgnoreSigpipeOnce();
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  std::string framed = line;
+  framed.push_back('\n');
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+void SocketChannel::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Result<std::unique_ptr<SocketChannel>> TcpConnect(const std::string& host,
+                                                  uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    hostent* resolved = ::gethostbyname(host.c_str());
+    if (resolved == nullptr || resolved->h_addrtype != AF_INET) {
+      ::close(fd);
+      return NotFoundError("cannot resolve host " + host);
+    }
+    std::memcpy(&addr.sin_addr, resolved->h_addr_list[0],
+                sizeof(addr.sin_addr));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = ErrnoStatus("connect");
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::make_unique<SocketChannel>(fd);
+}
+
+size_t ServeChannel(Server* server, LineChannel* channel) {
+  size_t handled = 0;
+  while (!server->shutdown_requested()) {
+    auto line = channel->ReadLine();
+    if (!line.ok()) break;  // EOF or broken transport
+    if (line->empty()) continue;
+    std::string response = server->HandleLine(*line);
+    ++handled;
+    if (!channel->WriteLine(response).ok()) break;
+  }
+  return handled;
+}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start(uint16_t port) {
+  IgnoreSigpipeOnce();
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return ErrnoStatus("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    Status status = ErrnoStatus("bind");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    Status status = ErrnoStatus("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    Status status = ErrnoStatus("getsockname");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  port_ = ntohs(addr.sin_port);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void TcpServer::AcceptLoop() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by Stop()
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto channel = std::make_shared<SocketChannel>(fd);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      channel->ShutdownBoth();
+      return;
+    }
+    connections_.push_back(channel);
+    connection_threads_.emplace_back([this, channel] {
+      ServeChannel(server_, channel.get());
+      if (server_->shutdown_requested()) {
+        std::lock_guard<std::mutex> signal_lock(mutex_);
+        shutdown_cv_.notify_all();
+      }
+    });
+  }
+}
+
+void TcpServer::WaitUntilShutdown() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  shutdown_cv_.wait(lock, [this] {
+    return stopping_ || server_->shutdown_requested();
+  });
+}
+
+void TcpServer::Stop() {
+  std::vector<std::shared_ptr<SocketChannel>> connections;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    connections.swap(connections_);
+    threads.swap(connection_threads_);
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable() &&
+      accept_thread_.get_id() != std::this_thread::get_id()) {
+    accept_thread_.join();
+  }
+  for (const auto& connection : connections) connection->ShutdownBoth();
+  for (std::thread& thread : threads) {
+    if (thread.get_id() == std::this_thread::get_id()) {
+      thread.detach();
+    } else {
+      thread.join();
+    }
+  }
+}
+
+}  // namespace dbre::service

@@ -1,0 +1,122 @@
+// Line transports for the dbred protocol: stdio streams (tests, inetd-
+// style deployment) and TCP sockets (the daemon proper).
+//
+// A `LineChannel` frames the protocol: blocking one-line reads and writes.
+// `ServeChannel` pumps one client connection against a Server until EOF or
+// server shutdown. `TcpServer` owns the listening socket, an accept loop
+// and one thread per connection — all state still lives in the Server, so
+// a dropped connection never takes a session with it.
+#ifndef DBRE_SERVICE_TRANSPORT_H_
+#define DBRE_SERVICE_TRANSPORT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "service/server.h"
+
+namespace dbre::service {
+
+class LineChannel {
+ public:
+  virtual ~LineChannel() = default;
+
+  // Blocks for the next newline-terminated line (returned without the
+  // newline). kNotFound signals clean EOF; kIoError a broken transport.
+  virtual Result<std::string> ReadLine() = 0;
+
+  // Writes `line` plus a newline, atomically with respect to other
+  // WriteLine calls on this channel.
+  virtual Status WriteLine(const std::string& line) = 0;
+};
+
+// Wraps caller-owned streams; the stdio transport is
+// StreamChannel(&std::cin, &std::cout).
+class StreamChannel : public LineChannel {
+ public:
+  StreamChannel(std::istream* in, std::ostream* out) : in_(in), out_(out) {}
+
+  Result<std::string> ReadLine() override;
+  Status WriteLine(const std::string& line) override;
+
+ private:
+  std::istream* in_;
+  std::ostream* out_;
+  std::mutex write_mutex_;
+};
+
+// A connected socket. Takes ownership of the descriptor.
+class SocketChannel : public LineChannel {
+ public:
+  explicit SocketChannel(int fd) : fd_(fd) {}
+  ~SocketChannel() override;
+
+  Result<std::string> ReadLine() override;
+  Status WriteLine(const std::string& line) override;
+
+  // Forces any blocked ReadLine to return (used on server stop).
+  void ShutdownBoth();
+
+ private:
+  int fd_;
+  std::string buffer_;  // bytes read past the last newline
+  std::mutex write_mutex_;
+};
+
+// Connects to host:port (numeric IPv4 or a name resolvable to one).
+Result<std::unique_ptr<SocketChannel>> TcpConnect(const std::string& host,
+                                                  uint16_t port);
+
+// Pumps `channel` against `server`: one response line per request line,
+// until EOF, a write failure, or server shutdown. Returns the number of
+// requests handled.
+size_t ServeChannel(Server* server, LineChannel* channel);
+
+// The accept loop: one thread per connection, each running ServeChannel.
+class TcpServer {
+ public:
+  explicit TcpServer(Server* server) : server_(server) {}
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 = ephemeral; see port() for the result) and
+  // starts accepting.
+  Status Start(uint16_t port);
+
+  uint16_t port() const { return port_; }
+
+  // Closes the listener and every live connection, then joins all threads.
+  // Idempotent; also called by the destructor. Do not call from a
+  // connection thread — use WaitUntilShutdown in the owner instead.
+  void Stop();
+
+  // Blocks the owning thread until some client issues `shutdown` (a
+  // connection thread signals it); the owner then calls Stop.
+  void WaitUntilShutdown();
+
+ private:
+  void AcceptLoop();
+
+  Server* server_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::mutex mutex_;
+  std::condition_variable shutdown_cv_;
+  bool stopping_ = false;
+  std::vector<std::shared_ptr<SocketChannel>> connections_;
+  std::vector<std::thread> connection_threads_;
+};
+
+}  // namespace dbre::service
+
+#endif  // DBRE_SERVICE_TRANSPORT_H_

@@ -85,6 +85,76 @@ TEST(InteractiveOracleTest, UnrecognizedInputUsesDefaults) {
       oracle.ConceptualizeHiddenObject({"R", AttributeSet{"a"}}));
 }
 
+TEST(InteractiveOracleTest, EofMidSessionFallsBackForTheRest) {
+  // The expert answers the first two questions, then the terminal closes
+  // (EOF). Every later question must silently take its safe default
+  // instead of blocking or crashing.
+  std::istringstream in("y\nl\n");
+  std::ostringstream out;
+  InteractiveOracle oracle(&in, &out);
+  EXPECT_TRUE(oracle.EnforceFailedFd(Fd()));  // answered "y"
+  EXPECT_EQ(oracle.DecideNonEmptyIntersection(Join(), Counts()).action,
+            NeiAction::kForceLeftInRight);    // answered "l"
+  // EOF from here on: defaults.
+  EXPECT_FALSE(oracle.EnforceFailedFd(Fd()));
+  EXPECT_FALSE(oracle.EnforceFailedFd(Fd(), 0.25));
+  EXPECT_TRUE(oracle.ValidateFd(Fd()));
+  EXPECT_FALSE(oracle.ConceptualizeHiddenObject({"R", AttributeSet{"a"}}));
+  EXPECT_EQ(oracle.DecideNonEmptyIntersection(Join(), Counts()).action,
+            NeiAction::kIgnore);
+  EXPECT_EQ(oracle.NameRelationForFd(Fd()), "");
+  EXPECT_EQ(oracle.NameHiddenObjectRelation({"R", AttributeSet{"a"}}), "");
+}
+
+TEST(InteractiveOracleTest, UnparseableNeiAnswerIgnoresAndSaysSo) {
+  std::istringstream in("conceptualise please\n");
+  std::ostringstream out;
+  InteractiveOracle oracle(&in, &out);
+  EXPECT_EQ(oracle.DecideNonEmptyIntersection(Join(), Counts()).action,
+            NeiAction::kIgnore);
+  EXPECT_NE(out.str().find("unrecognized"), std::string::npos);
+}
+
+TEST(InteractiveOracleTest, WhitespaceAndCaseAreTolerated) {
+  std::istringstream in("  YES  \n\tNo\n  L \n");
+  std::ostringstream out;
+  InteractiveOracle oracle(&in, &out);
+  EXPECT_TRUE(oracle.EnforceFailedFd(Fd()));
+  EXPECT_FALSE(oracle.ValidateFd(Fd()));
+  EXPECT_EQ(oracle.DecideNonEmptyIntersection(Join(), Counts()).action,
+            NeiAction::kForceLeftInRight);
+}
+
+TEST(InteractiveOracleTest, EnforceFailedFdOverloadsAgreeOnDefaults) {
+  // Both the blind overload and the g3-quantified one must refuse to
+  // enforce on EOF and on unparseable input — a disagreement would make
+  // the pipeline's outcome depend on whether the g3 error was computed.
+  {
+    std::istringstream in("");
+    std::ostringstream out;
+    InteractiveOracle oracle(&in, &out);
+    EXPECT_EQ(oracle.EnforceFailedFd(Fd()),
+              oracle.EnforceFailedFd(Fd(), 0.42));
+  }
+  {
+    std::istringstream in("whatever\nwhatever\n");
+    std::ostringstream out;
+    InteractiveOracle oracle(&in, &out);
+    bool blind = oracle.EnforceFailedFd(Fd());
+    bool quantified = oracle.EnforceFailedFd(Fd(), 0.42);
+    EXPECT_FALSE(blind);
+    EXPECT_EQ(blind, quantified);
+  }
+  // The quantified prompt shows the violation rate.
+  {
+    std::istringstream in("n\n");
+    std::ostringstream out;
+    InteractiveOracle oracle(&in, &out);
+    EXPECT_FALSE(oracle.EnforceFailedFd(Fd(), 0.25));
+    EXPECT_NE(out.str().find("25.000%"), std::string::npos);
+  }
+}
+
 TEST(InteractiveOracleTest, NamingPrompts) {
   std::istringstream in("Manager\n\n");
   std::ostringstream out;

@@ -1,0 +1,204 @@
+#include "service/async_oracle.h"
+
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace dbre::service {
+namespace {
+
+EquiJoin Join() { return EquiJoin::Single("R", "a", "S", "b"); }
+
+JoinCounts Counts() {
+  JoinCounts counts;
+  counts.n_left = 10;
+  counts.n_right = 20;
+  counts.n_join = 5;
+  return counts;
+}
+
+FunctionalDependency Fd() {
+  return FunctionalDependency("R", AttributeSet{"a"}, AttributeSet{"b"});
+}
+
+// Answers the first pending question once it appears.
+void AnswerWhenAsked(AsyncOracle* oracle, OracleAnswer answer) {
+  ASSERT_TRUE(oracle->WaitForQuestion(5000));
+  auto pending = oracle->Pending();
+  ASSERT_EQ(pending.size(), 1u);
+  ASSERT_TRUE(oracle->Answer(pending[0].id, answer).ok());
+}
+
+TEST(AsyncOracleTest, ClientAnswerResumesSuspendedCall) {
+  AsyncOracle oracle;
+  std::thread expert([&oracle] {
+    OracleAnswer answer;
+    answer.nei.action = NeiAction::kConceptualize;
+    answer.nei.relation_name = "Bridge";
+    AnswerWhenAsked(&oracle, answer);
+  });
+  // This call suspends until the expert thread answers.
+  NeiDecision decision =
+      oracle.DecideNonEmptyIntersection(Join(), Counts());
+  expert.join();
+  EXPECT_EQ(decision.action, NeiAction::kConceptualize);
+  EXPECT_EQ(decision.relation_name, "Bridge");
+  AsyncOracle::Counters counters = oracle.counters();
+  EXPECT_EQ(counters.asked, 1u);
+  EXPECT_EQ(counters.answered, 1u);
+  EXPECT_EQ(counters.timed_out, 0u);
+  EXPECT_TRUE(oracle.Pending().empty());
+}
+
+TEST(AsyncOracleTest, QuestionCarriesFullContext) {
+  AsyncOracle oracle;
+  std::thread expert([&oracle] {
+    ASSERT_TRUE(oracle.WaitForQuestion(5000));
+    auto pending = oracle.Pending();
+    ASSERT_EQ(pending.size(), 1u);
+    const PendingQuestion& question = pending[0];
+    EXPECT_EQ(question.kind, PendingQuestion::Kind::kNei);
+    EXPECT_EQ(question.subject, Join().ToString());
+    EXPECT_EQ(question.join.left_relation, "R");
+    EXPECT_EQ(question.counts.n_left, 10u);
+    EXPECT_EQ(question.counts.n_right, 20u);
+    EXPECT_EQ(question.counts.n_join, 5u);
+    OracleAnswer answer;
+    answer.nei.action = NeiAction::kIgnore;
+    ASSERT_TRUE(oracle.Answer(question.id, answer).ok());
+  });
+  oracle.DecideNonEmptyIntersection(Join(), Counts());
+  expert.join();
+}
+
+TEST(AsyncOracleTest, TimeoutFallsBackToDefaultOracle) {
+  AsyncOracle::Options options;
+  options.timeout_ms = 20;
+  AsyncOracle oracle(options);
+  // Nobody answers: after the timeout the DefaultOracle decides (never
+  // enforce a failed FD, always validate a holding one).
+  EXPECT_FALSE(oracle.EnforceFailedFd(Fd()));
+  EXPECT_TRUE(oracle.ValidateFd(Fd()));
+  AsyncOracle::Counters counters = oracle.counters();
+  EXPECT_EQ(counters.asked, 2u);
+  EXPECT_EQ(counters.timed_out, 2u);
+  EXPECT_EQ(counters.answered, 0u);
+}
+
+TEST(AsyncOracleTest, TimeoutUsesConfiguredFallback) {
+  ThresholdOracle::Options policy;
+  policy.enforce_fd_max_error = 0.5;
+  ThresholdOracle threshold(policy);
+  AsyncOracle::Options options;
+  options.timeout_ms = 20;
+  options.fallback = &threshold;
+  AsyncOracle oracle(options);
+  EXPECT_TRUE(oracle.EnforceFailedFd(Fd(), 0.1));   // under the threshold
+  EXPECT_FALSE(oracle.EnforceFailedFd(Fd(), 0.9));  // over it
+}
+
+TEST(AsyncOracleTest, CancelAllReleasesSuspendedCallAndFutureCalls) {
+  AsyncOracle oracle;
+  std::atomic<bool> decided{false};
+  std::thread worker([&oracle, &decided] {
+    // Suspends forever until cancelled; the fallback then says "ignore".
+    NeiDecision decision =
+        oracle.DecideNonEmptyIntersection(Join(), Counts());
+    EXPECT_EQ(decision.action, NeiAction::kIgnore);
+    decided.store(true);
+  });
+  ASSERT_TRUE(oracle.WaitForQuestion(5000));
+  oracle.CancelAll();
+  worker.join();
+  EXPECT_TRUE(decided.load());
+  // Post-cancel calls resolve immediately with the fallback.
+  EXPECT_FALSE(oracle.EnforceFailedFd(Fd()));
+  EXPECT_EQ(oracle.counters().cancelled, 2u);
+}
+
+TEST(AsyncOracleTest, AnswerIdErrors) {
+  AsyncOracle oracle;
+  // Unknown id.
+  Status missing = oracle.Answer(99, OracleAnswer{});
+  EXPECT_EQ(missing.code(), StatusCode::kNotFound);
+
+  std::thread expert([&oracle] {
+    AnswerWhenAsked(&oracle, OracleAnswer{.yes = true});
+  });
+  EXPECT_TRUE(oracle.ValidateFd(Fd()));
+  expert.join();
+  // The id is now resolved: answering again is a precondition failure, not
+  // a not-found (so clients can distinguish a race from a typo).
+  auto pending_before = oracle.Pending();
+  EXPECT_TRUE(pending_before.empty());
+  Status again = oracle.Answer(1, OracleAnswer{.yes = false});
+  EXPECT_EQ(again.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(AsyncOracleTest, AnswerWithParsesUnderLock) {
+  AsyncOracle oracle;
+  std::thread expert([&oracle] {
+    ASSERT_TRUE(oracle.WaitForQuestion(5000));
+    auto pending = oracle.Pending();
+    ASSERT_EQ(pending.size(), 1u);
+    // A make() error leaves the question pending.
+    Status bad = oracle.AnswerWith(
+        pending[0].id, [](const PendingQuestion&) -> Result<OracleAnswer> {
+          return InvalidArgumentError("unparseable");
+        });
+    EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(oracle.Pending().size(), 1u);
+    Status good = oracle.AnswerWith(
+        pending[0].id,
+        [](const PendingQuestion& question) -> Result<OracleAnswer> {
+          EXPECT_EQ(question.kind, PendingQuestion::Kind::kValidateFd);
+          return OracleAnswer{.yes = true};
+        });
+    EXPECT_TRUE(good.ok());
+  });
+  EXPECT_TRUE(oracle.ValidateFd(Fd()));
+  expert.join();
+}
+
+TEST(AsyncOracleTest, WaitForQuestionTimesOutWhenQuiet) {
+  AsyncOracle oracle;
+  EXPECT_FALSE(oracle.WaitForQuestion(10));
+}
+
+TEST(AsyncOracleTest, ListenerFiresOnAskAndResolve) {
+  AsyncOracle oracle;
+  std::atomic<int> fired{0};
+  oracle.SetListener([&fired] { fired.fetch_add(1); });
+  std::thread expert([&oracle] {
+    AnswerWhenAsked(&oracle, OracleAnswer{.yes = true});
+  });
+  oracle.ValidateFd(Fd());
+  expert.join();
+  EXPECT_GE(fired.load(), 2);  // at least ask + resolve
+}
+
+TEST(AsyncOracleTest, NamingQuestionsRoundTrip) {
+  AsyncOracle oracle;
+  std::thread expert([&oracle] {
+    AnswerWhenAsked(&oracle, OracleAnswer{.name = "Manager"});
+  });
+  EXPECT_EQ(oracle.NameRelationForFd(Fd()), "Manager");
+  expert.join();
+
+  std::thread expert2([&oracle] {
+    ASSERT_TRUE(oracle.WaitForQuestion(5000));
+    auto pending = oracle.Pending();
+    ASSERT_EQ(pending.size(), 1u);
+    EXPECT_EQ(pending[0].kind, PendingQuestion::Kind::kNameHidden);
+    EXPECT_EQ(pending[0].candidate.relation, "R");
+    ASSERT_TRUE(
+        oracle.Answer(pending[0].id, OracleAnswer{.name = "Hidden"}).ok());
+  });
+  EXPECT_EQ(oracle.NameHiddenObjectRelation({"R", AttributeSet{"a"}}),
+            "Hidden");
+  expert2.join();
+}
+
+}  // namespace
+}  // namespace dbre::service

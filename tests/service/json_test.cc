@@ -1,0 +1,132 @@
+#include "service/json.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace dbre::service {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(Json::Parse("null")->IsNull());
+  EXPECT_TRUE(Json::Parse("true")->AsBool());
+  EXPECT_FALSE(Json::Parse("false")->AsBool(true));
+  EXPECT_EQ(Json::Parse("42")->AsInt(), 42);
+  EXPECT_EQ(Json::Parse("-7")->AsInt(), -7);
+  EXPECT_DOUBLE_EQ(Json::Parse("2.5")->AsNumber(), 2.5);
+  EXPECT_DOUBLE_EQ(Json::Parse("1e3")->AsNumber(), 1000.0);
+  EXPECT_EQ(Json::Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonTest, IntegersStayExact) {
+  auto big = Json::Parse("9007199254740993");  // 2^53 + 1
+  ASSERT_TRUE(big.ok());
+  EXPECT_TRUE(big->IsInt());
+  EXPECT_EQ(big->AsInt(), 9007199254740993LL);
+  // A fractional number is not an int.
+  EXPECT_FALSE(Json::Parse("2.5")->IsInt());
+  // Round trip through Dump keeps the digits.
+  EXPECT_EQ(big->Dump(), "9007199254740993");
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  auto parsed = Json::Parse(
+      R"({"a":[1,2,{"b":true}],"c":{"d":null},"e":"x"})");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed->IsObject());
+  const Json* a = parsed->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->IsArray());
+  ASSERT_EQ(a->array().size(), 3u);
+  EXPECT_TRUE(a->array()[2].Find("b")->AsBool());
+  EXPECT_TRUE(parsed->Find("c")->Find("d")->IsNull());
+  EXPECT_EQ(parsed->GetString("e"), "x");
+}
+
+TEST(JsonTest, ObjectKeysKeepInsertionOrder) {
+  Json object = Json::MakeObject();
+  object.Set("z", Json::Int(1));
+  object.Set("a", Json::Int(2));
+  object.Set("m", Json::Str("x"));
+  EXPECT_EQ(object.Dump(), R"({"z":1,"a":2,"m":"x"})");
+}
+
+TEST(JsonTest, StringEscapes) {
+  auto parsed = Json::Parse(R"("a\"b\\c\n\tAé")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "a\"b\\c\n\tA\xC3\xA9");
+  // Control characters are escaped on output.
+  EXPECT_EQ(Json::Str("a\nb\x01").Dump(), "\"a\\nb\\u0001\"");
+}
+
+TEST(JsonTest, SurrogatePairs) {
+  auto parsed = Json::Parse(R"("😀")");  // 😀 U+1F600
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "\xF0\x9F\x98\x80");
+  // A lone high surrogate is malformed.
+  EXPECT_FALSE(Json::Parse(R"("\ud83d")").ok());
+}
+
+TEST(JsonTest, MalformedInputsAreErrors) {
+  const char* bad[] = {
+      "",           "{",        "}",           "[1,",      "{\"a\":}",
+      "{\"a\"1}",   "tru",      "nul",         "01",       "1.",
+      "\"unterminated", "{\"a\":1,}",  "[1 2]",    "{'a':1}",
+      "\"bad\\q\"", "1 2",      "{\"a\":1}x",
+  };
+  for (const char* text : bad) {
+    auto parsed = Json::Parse(text);
+    EXPECT_FALSE(parsed.ok()) << "should reject: " << text;
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kParseError) << text;
+    }
+  }
+}
+
+TEST(JsonTest, DepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 50; ++i) deep += "[";
+  for (int i = 0; i < 50; ++i) deep += "]";
+  EXPECT_TRUE(Json::Parse(deep, 64).ok());
+  EXPECT_FALSE(Json::Parse(deep, 32).ok());
+}
+
+TEST(JsonTest, DumpParseRoundTrip) {
+  Json object = Json::MakeObject();
+  object.Set("int", Json::Int(-123));
+  object.Set("num", Json::Number(0.125));
+  object.Set("str", Json::Str("line\nbreak \"quoted\""));
+  object.Set("null", Json::Null());
+  Json array = Json::MakeArray();
+  array.Append(Json::Bool(true));
+  array.Append(Json::Int(7));
+  object.Set("arr", std::move(array));
+
+  auto reparsed = Json::Parse(object.Dump());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->Dump(), object.Dump());
+  EXPECT_EQ(reparsed->GetInt("int"), -123);
+  EXPECT_DOUBLE_EQ(reparsed->GetNumber("num"), 0.125);
+  EXPECT_EQ(reparsed->GetString("str"), "line\nbreak \"quoted\"");
+}
+
+TEST(JsonTest, TypedGettersFallBack) {
+  auto parsed = Json::Parse(R"({"s":"x","i":3,"b":true})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->GetString("missing", "dflt"), "dflt");
+  EXPECT_EQ(parsed->GetInt("missing", 9), 9);
+  EXPECT_TRUE(parsed->GetBool("missing", true));
+  EXPECT_EQ(parsed->GetString("i", "dflt"), "dflt");  // wrong type
+  EXPECT_EQ(parsed->GetInt("s", 9), 9);
+  EXPECT_EQ(parsed->Find("s")->Find("nested"), nullptr);
+}
+
+TEST(JsonTest, NonFiniteNumbersDumpAsNull) {
+  EXPECT_EQ(Json::Number(std::numeric_limits<double>::infinity()).Dump(),
+            "null");
+  EXPECT_EQ(Json::Number(std::numeric_limits<double>::quiet_NaN()).Dump(),
+            "null");
+}
+
+}  // namespace
+}  // namespace dbre::service

@@ -1,0 +1,253 @@
+#include "service/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "service/server.h"
+
+namespace dbre::service {
+namespace {
+
+// -- ParseRequest ---------------------------------------------------------
+
+TEST(ProtocolTest, ParsesWellFormedRequest) {
+  auto request = ParseRequest(R"({"id":7,"cmd":"hello","extra":1})");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->id, 7);
+  EXPECT_EQ(request->cmd, "hello");
+  EXPECT_EQ(request->params.GetInt("extra"), 1);
+}
+
+TEST(ProtocolTest, MissingIdDefaultsToMinusOne) {
+  auto request = ParseRequest(R"({"cmd":"hello"})");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->id, -1);
+}
+
+TEST(ProtocolTest, MalformedJsonIsParseError) {
+  auto request = ParseRequest("{\"cmd\":");
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.status().code(), StatusCode::kParseError);
+}
+
+TEST(ProtocolTest, NonObjectAndMissingCmdAreInvalid) {
+  EXPECT_EQ(ParseRequest("[1,2]").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest(R"({"id":1})").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest(R"({"cmd":42})").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest(R"({"cmd":""})").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolTest, OversizedLineIsRejectedWithoutParsing) {
+  ProtocolLimits limits;
+  limits.max_line_bytes = 64;
+  std::string line = R"({"cmd":"load_csv","csv":")" +
+                     std::string(1000, 'x') + "\"}";
+  auto request = ParseRequest(line, limits);
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(request.status().message().find("exceeds"), std::string::npos);
+}
+
+TEST(ProtocolTest, DepthLimitGuardsNestedBombs) {
+  ProtocolLimits limits;
+  limits.max_json_depth = 4;
+  std::string line = R"({"cmd":"x","a":[[[[[[1]]]]]]})";
+  EXPECT_EQ(ParseRequest(line, limits).status().code(),
+            StatusCode::kParseError);
+}
+
+// -- Responses ------------------------------------------------------------
+
+TEST(ProtocolTest, ResponsesAreSingleLineJson) {
+  Json result = Json::MakeObject();
+  result.Set("x", Json::Int(1));
+  std::string ok = OkResponse(3, std::move(result));
+  EXPECT_EQ(ok, R"({"id":3,"ok":true,"result":{"x":1}})");
+  EXPECT_EQ(ok.find('\n'), std::string::npos);
+
+  std::string error = ErrorResponse(-1, NotFoundError("gone"));
+  EXPECT_EQ(
+      error,
+      R"({"id":null,"ok":false,"error":{"code":"not_found","message":"gone"}})");
+}
+
+// -- Answers --------------------------------------------------------------
+
+TEST(ProtocolTest, ParsesNeiAnswers) {
+  auto conceptualize = ParseAnswer(
+      PendingQuestion::Kind::kNei,
+      *Json::Parse(R"({"action":"conceptualize","name":"Bridge"})"));
+  ASSERT_TRUE(conceptualize.ok());
+  EXPECT_EQ(conceptualize->nei.action, NeiAction::kConceptualize);
+  EXPECT_EQ(conceptualize->nei.relation_name, "Bridge");
+
+  EXPECT_EQ(ParseAnswer(PendingQuestion::Kind::kNei,
+                        *Json::Parse(R"({"action":"force_left"})"))
+                ->nei.action,
+            NeiAction::kForceLeftInRight);
+  EXPECT_EQ(ParseAnswer(PendingQuestion::Kind::kNei,
+                        *Json::Parse(R"({"action":"force_right"})"))
+                ->nei.action,
+            NeiAction::kForceRightInLeft);
+  EXPECT_EQ(ParseAnswer(PendingQuestion::Kind::kNei,
+                        *Json::Parse(R"({"action":"ignore"})"))
+                ->nei.action,
+            NeiAction::kIgnore);
+
+  auto bad = ParseAnswer(PendingQuestion::Kind::kNei,
+                         *Json::Parse(R"({"action":"destroy"})"));
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolTest, ParsesBooleanAndNamingAnswers) {
+  EXPECT_TRUE(ParseAnswer(PendingQuestion::Kind::kEnforceFd,
+                          *Json::Parse(R"({"value":true})"))
+                  ->yes);
+  EXPECT_FALSE(ParseAnswer(PendingQuestion::Kind::kValidateFd,
+                           *Json::Parse(R"({"value":false})"))
+                   ->yes);
+  // Truthy non-booleans are rejected, not coerced.
+  EXPECT_EQ(ParseAnswer(PendingQuestion::Kind::kHiddenObject,
+                        *Json::Parse(R"({"value":1})"))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(ParseAnswer(PendingQuestion::Kind::kNameFd,
+                        *Json::Parse(R"({"name":"Manager"})"))
+                ->name,
+            "Manager");
+  EXPECT_EQ(ParseAnswer(PendingQuestion::Kind::kNameHidden,
+                        *Json::Parse(R"({"nope":1})"))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+// -- Joins ----------------------------------------------------------------
+
+TEST(ProtocolTest, JoinRoundTrip) {
+  EquiJoin join;
+  join.left_relation = "Assignment";
+  join.left_attributes = {"emp", "dep"};
+  join.right_relation = "Department";
+  join.right_attributes = {"emp", "dep"};
+  auto reparsed = ParseJoin(JoinToJson(join));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->ToString(), join.ToString());
+}
+
+TEST(ProtocolTest, RejectsMalformedJoins) {
+  EXPECT_FALSE(ParseJoin(*Json::Parse(R"("R=S")")).ok());
+  // Arity mismatch fails EquiJoin::Validate.
+  EXPECT_FALSE(
+      ParseJoin(*Json::Parse(
+                    R"({"left":"R","left_attrs":["a","b"],)"
+                    R"("right":"S","right_attrs":["c"]})"))
+          .ok());
+  EXPECT_FALSE(ParseJoin(*Json::Parse(
+                             R"({"left":"R","left_attrs":"a",)"
+                             R"("right":"S","right_attrs":["c"]})"))
+                   .ok());
+}
+
+// -- Server-level robustness ---------------------------------------------
+// A protocol slip must produce a structured error response, never a crash
+// or a dropped connection.
+
+class ServerRobustnessTest : public ::testing::Test {
+ protected:
+  Json Handle(const std::string& line) {
+    std::string response = server_.HandleLine(line);
+    auto parsed = Json::Parse(response);
+    EXPECT_TRUE(parsed.ok()) << response;
+    return parsed.ok() ? *parsed : Json::MakeObject();
+  }
+
+  std::string ErrorCode(const Json& response) {
+    const Json* error = response.Find("error");
+    return error != nullptr ? error->GetString("code") : "";
+  }
+
+  Server server_;
+};
+
+TEST_F(ServerRobustnessTest, MalformedJsonYieldsParseError) {
+  Json response = Handle("this is not json");
+  EXPECT_FALSE(response.GetBool("ok", true));
+  EXPECT_EQ(ErrorCode(response), "parse_error");
+  EXPECT_TRUE(response.Find("id")->IsNull());
+}
+
+TEST_F(ServerRobustnessTest, OversizedMessageYieldsInvalidArgument) {
+  Server small(ServerOptions{
+      .limits = ProtocolLimits{.max_line_bytes = 128}});
+  std::string huge =
+      R"({"id":1,"cmd":"load_csv","csv":")" + std::string(4096, 'x') + "\"}";
+  auto response = Json::Parse(small.HandleLine(huge));
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response->GetBool("ok", true));
+  EXPECT_EQ(response->Find("error")->GetString("code"), "invalid_argument");
+}
+
+TEST_F(ServerRobustnessTest, UnknownCommandYieldsInvalidArgument) {
+  Json response = Handle(R"({"id":5,"cmd":"explode"})");
+  EXPECT_FALSE(response.GetBool("ok", true));
+  EXPECT_EQ(ErrorCode(response), "invalid_argument");
+  EXPECT_EQ(response.GetInt("id"), 5);  // id still echoed
+}
+
+TEST_F(ServerRobustnessTest, CommandsOnMissingSessionYieldNotFound) {
+  EXPECT_EQ(ErrorCode(Handle(R"({"cmd":"status","session":"nope"})")),
+            "not_found");
+  EXPECT_EQ(ErrorCode(Handle(R"({"cmd":"answer","session":"nope",)"
+                             R"("question":1,"value":true})")),
+            "not_found");
+}
+
+TEST_F(ServerRobustnessTest, MissingParametersYieldInvalidArgument) {
+  Handle(R"({"cmd":"create"})");
+  EXPECT_EQ(ErrorCode(Handle(R"({"cmd":"status"})")), "invalid_argument");
+  EXPECT_EQ(ErrorCode(Handle(R"({"cmd":"load_ddl","session":"s1"})")),
+            "invalid_argument");
+  EXPECT_EQ(ErrorCode(Handle(R"({"cmd":"load_csv","session":"s1"})")),
+            "invalid_argument");
+  EXPECT_EQ(ErrorCode(Handle(R"({"cmd":"add_joins","session":"s1"})")),
+            "invalid_argument");
+  EXPECT_EQ(
+      ErrorCode(Handle(R"({"cmd":"answer","session":"s1","value":true})")),
+      "invalid_argument");
+  EXPECT_EQ(ErrorCode(Handle(R"({"cmd":"wait","session":"s1",)"
+                             R"("for":"godot"})")),
+            "invalid_argument");
+}
+
+TEST_F(ServerRobustnessTest, AnswerToNeverAskedQuestionYieldsNotFound) {
+  Handle(R"({"cmd":"create"})");
+  Json response = Handle(
+      R"({"cmd":"answer","session":"s1","question":42,"value":true})");
+  EXPECT_EQ(ErrorCode(response), "not_found");
+}
+
+TEST_F(ServerRobustnessTest, ReportBeforeRunYieldsFailedPrecondition) {
+  Handle(R"({"cmd":"create"})");
+  EXPECT_EQ(ErrorCode(Handle(R"({"cmd":"report","session":"s1"})")),
+            "failed_precondition");
+  EXPECT_EQ(ErrorCode(Handle(R"({"cmd":"export_eer","session":"s1"})")),
+            "failed_precondition");
+}
+
+TEST_F(ServerRobustnessTest, ClosedSessionRejectsMutation) {
+  Handle(R"({"cmd":"create"})");
+  Json closed = Handle(R"({"cmd":"close","session":"s1"})");
+  EXPECT_TRUE(closed.GetBool("ok"));
+  Json response = Handle(
+      R"({"cmd":"load_ddl","session":"s1","sql":"CREATE TABLE T (a INTEGER);"})");
+  EXPECT_FALSE(response.GetBool("ok", true));
+}
+
+}  // namespace
+}  // namespace dbre::service

@@ -1,0 +1,395 @@
+// End-to-end tests of the dbred daemon over real transports: many
+// concurrent sessions, each driven by its own scripted client thread, with
+// every final report required to be byte-identical to the same pipeline
+// run in-process with the paper's ScriptedOracle. Also covers the
+// disconnect-mid-question / reconnect-and-answer path that motivates
+// keeping all session state out of connections.
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/report_json.h"
+#include "relational/csv.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/transport.h"
+#include "sql/ddl_writer.h"
+#include "workload/paper_example.h"
+
+namespace dbre::service {
+namespace {
+
+// -- The reference: the paper's session, in-process -----------------------
+
+struct PaperInputs {
+  std::string ddl;
+  std::vector<std::pair<std::string, std::string>> csvs;  // (relation, text)
+};
+
+PaperInputs BuildPaperInputs() {
+  PaperInputs inputs;
+  auto db = workload::BuildPaperDatabase();
+  EXPECT_TRUE(db.ok());
+  inputs.ddl = sql::WriteDdl(*db);
+  for (const std::string& relation : db->RelationNames()) {
+    auto table = db->GetMutableTable(relation);
+    EXPECT_TRUE(table.ok());
+    inputs.csvs.emplace_back(relation, WriteCsvText(**table));
+  }
+  return inputs;
+}
+
+std::string ReferenceReport() {
+  auto db = workload::BuildPaperDatabase();
+  EXPECT_TRUE(db.ok());
+  auto oracle = workload::PaperOracle();
+  auto report = RunPipeline(*db, workload::PaperJoinSet(), oracle.get(),
+                            PipelineOptions{});
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  JsonOptions options;
+  options.include_timings = false;
+  return ReportToJson(*report, options);
+}
+
+// -- A minimal scripted client --------------------------------------------
+
+class Client {
+ public:
+  explicit Client(uint16_t port) {
+    auto channel = TcpConnect("127.0.0.1", port);
+    EXPECT_TRUE(channel.ok()) << channel.status().ToString();
+    channel_ = std::move(*channel);
+  }
+
+  // Sends one request, returns the parsed response (the whole envelope).
+  Json Call(Json request) {
+    request.Set("id", Json::Int(next_id_++));
+    EXPECT_TRUE(channel_->WriteLine(request.Dump()).ok());
+    auto line = channel_->ReadLine();
+    EXPECT_TRUE(line.ok()) << "connection lost";
+    if (!line.ok()) return Json::MakeObject();
+    auto parsed = Json::Parse(*line);
+    EXPECT_TRUE(parsed.ok()) << *line;
+    return parsed.ok() ? *parsed : Json::MakeObject();
+  }
+
+  // Like Call but requires ok=true and returns only the result object.
+  Json MustCall(Json request) {
+    Json response = Call(std::move(request));
+    EXPECT_TRUE(response.GetBool("ok")) << response.Dump();
+    const Json* result = response.Find("result");
+    return result != nullptr ? *result : Json::MakeObject();
+  }
+
+ private:
+  std::unique_ptr<SocketChannel> channel_;
+  int64_t next_id_ = 1;
+};
+
+Json Command(const char* cmd, const std::string& session = "") {
+  Json request = Json::MakeObject();
+  request.Set("cmd", Json::Str(cmd));
+  if (!session.empty()) request.Set("session", Json::Str(session));
+  return request;
+}
+
+std::vector<std::string> Strings(const Json* array) {
+  std::vector<std::string> out;
+  if (array == nullptr) return out;
+  for (const Json& element : array->array()) {
+    out.push_back(element.AsString());
+  }
+  return out;
+}
+
+// Reconstructs the oracle call from the question's structured context and
+// consults `expert` — so a wire client makes exactly the decisions the
+// in-process ScriptedOracle reference made.
+Json AnswerParams(ExpertOracle* expert, const Json& question) {
+  Json params = Json::MakeObject();
+  std::string kind = question.GetString("kind");
+  if (kind == "nei") {
+    auto join = ParseJoin(*question.Find("join"));
+    EXPECT_TRUE(join.ok());
+    const Json* counts_json = question.Find("counts");
+    JoinCounts counts;
+    counts.n_left = static_cast<size_t>(counts_json->GetInt("left"));
+    counts.n_right = static_cast<size_t>(counts_json->GetInt("right"));
+    counts.n_join = static_cast<size_t>(counts_json->GetInt("join"));
+    NeiDecision decision =
+        expert->DecideNonEmptyIntersection(*join, counts);
+    switch (decision.action) {
+      case NeiAction::kConceptualize:
+        params.Set("action", Json::Str("conceptualize"));
+        if (!decision.relation_name.empty()) {
+          params.Set("name", Json::Str(decision.relation_name));
+        }
+        break;
+      case NeiAction::kForceLeftInRight:
+        params.Set("action", Json::Str("force_left"));
+        break;
+      case NeiAction::kForceRightInLeft:
+        params.Set("action", Json::Str("force_right"));
+        break;
+      case NeiAction::kIgnore:
+        params.Set("action", Json::Str("ignore"));
+        break;
+    }
+    return params;
+  }
+  if (kind == "enforce_fd" || kind == "validate_fd" || kind == "name_fd") {
+    const Json* fd_json = question.Find("fd");
+    FunctionalDependency fd(
+        fd_json->GetString("relation"),
+        AttributeSet(Strings(fd_json->Find("lhs"))),
+        AttributeSet(Strings(fd_json->Find("rhs"))));
+    if (kind == "enforce_fd") {
+      const Json* g3 = question.Find("g3_error");
+      bool yes = g3 != nullptr ? expert->EnforceFailedFd(fd, g3->AsNumber())
+                               : expert->EnforceFailedFd(fd);
+      params.Set("value", Json::Bool(yes));
+    } else if (kind == "validate_fd") {
+      params.Set("value", Json::Bool(expert->ValidateFd(fd)));
+    } else {
+      params.Set("name", Json::Str(expert->NameRelationForFd(fd)));
+    }
+    return params;
+  }
+  const Json* candidate_json = question.Find("candidate");
+  QualifiedAttributes candidate{
+      candidate_json->GetString("relation"),
+      AttributeSet(Strings(candidate_json->Find("attributes")))};
+  if (kind == "hidden_object") {
+    params.Set("value",
+               Json::Bool(expert->ConceptualizeHiddenObject(candidate)));
+  } else {
+    EXPECT_EQ(kind, "name_hidden");
+    params.Set("name", Json::Str(expert->NameHiddenObjectRelation(candidate)));
+  }
+  return params;
+}
+
+// Drives one full paper session over TCP and returns its final report.
+// When `drop_mid_question`, the client abandons its first connection while
+// a question is pending and finishes on a fresh one — the session (and the
+// question) must survive.
+std::string DriveSession(uint16_t port, const std::string& name,
+                         const PaperInputs& inputs, bool drop_mid_question) {
+  auto client = std::make_unique<Client>(port);
+  Json create = Command("create");
+  create.Set("name", Json::Str(name));
+  std::string session =
+      client->MustCall(std::move(create)).GetString("session");
+  EXPECT_EQ(session, name);
+
+  Json load_ddl = Command("load_ddl", session);
+  load_ddl.Set("sql", Json::Str(inputs.ddl));
+  client->MustCall(std::move(load_ddl));
+  for (const auto& [relation, csv] : inputs.csvs) {
+    Json load_csv = Command("load_csv", session);
+    load_csv.Set("relation", Json::Str(relation));
+    load_csv.Set("csv", Json::Str(csv));
+    client->MustCall(std::move(load_csv));
+  }
+  Json add_joins = Command("add_joins", session);
+  Json joins = Json::MakeArray();
+  for (const EquiJoin& join : workload::PaperJoinSet()) {
+    joins.Append(JoinToJson(join));
+  }
+  add_joins.Set("joins", std::move(joins));
+  client->MustCall(std::move(add_joins));
+  client->MustCall(Command("run", session));
+
+  auto expert = workload::PaperOracle();
+  bool dropped = false;
+  while (true) {
+    Json wait = Command("wait", session);
+    wait.Set("for", Json::Str("question"));
+    wait.Set("timeout_ms", Json::Int(2000));
+    Json waited = client->MustCall(std::move(wait));
+    std::string state = waited.GetString("state");
+    if (state == "done" || state == "failed") break;
+    if (waited.GetInt("pending") == 0) continue;
+
+    if (drop_mid_question && !dropped) {
+      dropped = true;
+      // Vanish mid-question: no close, no goodbye. The question stays
+      // pending inside the session, not the dead connection.
+      client = std::make_unique<Client>(port);
+    }
+
+    Json listed = client->MustCall(Command("questions", session));
+    for (const Json& question : listed.Find("questions")->array()) {
+      Json answer = Command("answer", session);
+      answer.Set("question", Json::Int(question.GetInt("qid")));
+      Json params = AnswerParams(expert.get(), question);
+      for (auto& [key, value] : params.object()) {
+        answer.Set(key, std::move(value));
+      }
+      Json response = client->Call(std::move(answer));
+      if (!response.GetBool("ok")) {
+        // The only acceptable failure is a benign race: the question
+        // resolved between listing and answering.
+        EXPECT_EQ(response.Find("error")->GetString("code"),
+                  "failed_precondition")
+            << response.Dump();
+      }
+    }
+  }
+
+  Json status = client->MustCall(Command("status", session));
+  EXPECT_EQ(status.GetString("state"), "done") << status.Dump();
+  std::string report =
+      client->MustCall(Command("report", session)).GetString("report");
+  client->MustCall(Command("close", session));
+  return report;
+}
+
+// -- The tests ------------------------------------------------------------
+
+TEST(ServerIntegrationTest, EightConcurrentSessionsMatchScriptedPipeline) {
+  const std::string reference = ReferenceReport();
+  ASSERT_FALSE(reference.empty());
+  const PaperInputs inputs = BuildPaperInputs();
+
+  ServerOptions options;
+  options.sessions.max_inflight_runs = 8;  // all sessions truly concurrent
+  Server server(options);
+  TcpServer tcp(&server);
+  ASSERT_TRUE(tcp.Start(0).ok());
+
+  constexpr int kSessions = 8;
+  std::vector<std::string> reports(kSessions);
+  std::vector<std::thread> clients;
+  clients.reserve(kSessions);
+  for (int i = 0; i < kSessions; ++i) {
+    clients.emplace_back([&, i] {
+      // Client 0 drops its connection mid-question and reconnects.
+      reports[i] = DriveSession(tcp.port(), "paper" + std::to_string(i),
+                                inputs, /*drop_mid_question=*/i == 0);
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+
+  for (int i = 0; i < kSessions; ++i) {
+    EXPECT_EQ(reports[i], reference)
+        << "session " << i << " diverged from the in-process pipeline";
+  }
+
+  // All eight sessions loaded the same extension: the registry interned it.
+  ExtensionRegistry::Stats stats = server.sessions()->registry()->stats();
+  EXPECT_GE(stats.hits, static_cast<uint64_t>((kSessions - 1) *
+                                              inputs.csvs.size()));
+  tcp.Stop();
+  server.sessions()->Shutdown();
+}
+
+TEST(ServerIntegrationTest, ObserverCanAnswerAnotherClientsQuestion) {
+  ServerOptions options;
+  Server server(options);
+  TcpServer tcp(&server);
+  ASSERT_TRUE(tcp.Start(0).ok());
+  const PaperInputs inputs = BuildPaperInputs();
+
+  // Owner sets up the session and starts the run, then only waits.
+  Client owner(tcp.port());
+  std::string session =
+      owner.MustCall(Command("create", "shared")).GetString("session");
+  Json load_ddl = Command("load_ddl", session);
+  load_ddl.Set("sql", Json::Str(inputs.ddl));
+  owner.MustCall(std::move(load_ddl));
+  for (const auto& [relation, csv] : inputs.csvs) {
+    Json load_csv = Command("load_csv", session);
+    load_csv.Set("relation", Json::Str(relation));
+    load_csv.Set("csv", Json::Str(csv));
+    owner.MustCall(std::move(load_csv));
+  }
+  Json add_joins = Command("add_joins", session);
+  Json joins = Json::MakeArray();
+  for (const EquiJoin& join : workload::PaperJoinSet()) {
+    joins.Append(JoinToJson(join));
+  }
+  add_joins.Set("joins", std::move(joins));
+  owner.MustCall(std::move(add_joins));
+  owner.MustCall(Command("run", session));
+
+  // A second client answers every question from its own connection.
+  std::thread expert_thread([&] {
+    Client expert_client(tcp.port());
+    auto expert = workload::PaperOracle();
+    while (true) {
+      Json wait = Command("wait", session);
+      wait.Set("for", Json::Str("question"));
+      wait.Set("timeout_ms", Json::Int(2000));
+      Json waited = expert_client.MustCall(std::move(wait));
+      std::string state = waited.GetString("state");
+      if (state == "done" || state == "failed") break;
+      if (waited.GetInt("pending") == 0) continue;
+      Json listed = expert_client.MustCall(Command("questions", session));
+      for (const Json& question : listed.Find("questions")->array()) {
+        Json answer = Command("answer", session);
+        answer.Set("question", Json::Int(question.GetInt("qid")));
+        Json params = AnswerParams(expert.get(), question);
+        for (auto& [key, value] : params.object()) {
+          answer.Set(key, std::move(value));
+        }
+        expert_client.Call(std::move(answer));
+      }
+    }
+  });
+
+  // The owner just waits for the finished state.
+  while (true) {
+    Json wait = Command("wait", session);
+    wait.Set("for", Json::Str("finished"));
+    wait.Set("timeout_ms", Json::Int(2000));
+    Json waited = owner.MustCall(std::move(wait));
+    std::string state = waited.GetString("state");
+    if (state == "done" || state == "failed") break;
+  }
+  expert_thread.join();
+
+  Json status = owner.MustCall(Command("status", session));
+  EXPECT_EQ(status.GetString("state"), "done") << status.Dump();
+  EXPECT_EQ(owner.MustCall(Command("report", session)).GetString("report"),
+            ReferenceReport());
+  tcp.Stop();
+  server.sessions()->Shutdown();
+}
+
+TEST(ServerIntegrationTest, StdioTransportServesASession) {
+  std::stringstream in;
+  in << R"({"id":1,"cmd":"hello"})" << "\n"
+     << R"({"id":2,"cmd":"create","name":"pipe"})" << "\n"
+     << R"({"id":3,"cmd":"status","session":"pipe"})" << "\n"
+     << R"({"id":4,"cmd":"shutdown"})" << "\n"
+     << R"({"id":5,"cmd":"hello"})" << "\n";  // after shutdown: unserved
+  std::stringstream out;
+  Server server;
+  StreamChannel channel(&in, &out);
+  size_t handled = ServeChannel(&server, &channel);
+  EXPECT_EQ(handled, 4u);  // shutdown stops the pump before request 5
+
+  std::vector<Json> responses;
+  std::string line;
+  while (std::getline(out, line)) {
+    auto parsed = Json::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    responses.push_back(*parsed);
+  }
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_EQ(responses[0].Find("result")->GetString("server"), "dbred");
+  EXPECT_EQ(responses[1].Find("result")->GetString("session"), "pipe");
+  EXPECT_EQ(responses[2].Find("result")->GetString("state"), "idle");
+  EXPECT_TRUE(responses[3].Find("result")->GetBool("bye"));
+  server.sessions()->Shutdown();
+}
+
+}  // namespace
+}  // namespace dbre::service
