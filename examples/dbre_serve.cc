@@ -3,6 +3,7 @@
 //
 //   dbre_serve [--port N] [--stdio] [--timeout-ms MS]
 //              [--max-sessions N] [--max-inflight N] [--max-queued N]
+//              [--data-dir PATH] [--fsync-batch N]
 //
 //   --port N        listen on 127.0.0.1:N (0 = pick an ephemeral port;
 //                   the chosen port prints as the first stdout line)
@@ -12,6 +13,12 @@
 //                   oracle after MS milliseconds (default: wait forever)
 //   --max-sessions / --max-inflight / --max-queued
 //                   admission bounds (see docs/SERVICE.md)
+//   --data-dir PATH durability root: extensions are snapshotted and every
+//                   session is journaled there; on startup, journals found
+//                   under PATH are replayed so crashed or gracefully
+//                   stopped sessions resume (docs/STORAGE.md)
+//   --fsync-batch N fsync the journal every N records (1 = every record,
+//                   0 = never, default 8; expert answers always sync)
 //
 // In TCP mode the daemon runs until a client sends {"cmd":"shutdown"}.
 #include <cstdio>
@@ -32,6 +39,8 @@ struct ServeArgs {
   long max_sessions = -1;
   long max_inflight = -1;
   long max_queued = -1;
+  std::string data_dir;
+  long fsync_batch = -1;
   bool show_help = false;
 };
 
@@ -60,6 +69,14 @@ bool ParseArgs(int argc, char** argv, ServeArgs* args) {
       if (!next_long("--max-inflight", &args->max_inflight)) return false;
     } else if (flag == "--max-queued") {
       if (!next_long("--max-queued", &args->max_queued)) return false;
+    } else if (flag == "--data-dir") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--data-dir requires a value\n");
+        return false;
+      }
+      args->data_dir = argv[++i];
+    } else if (flag == "--fsync-batch") {
+      if (!next_long("--fsync-batch", &args->fsync_batch)) return false;
     } else if (flag == "--help" || flag == "-h") {
       args->show_help = true;
     } else {
@@ -74,7 +91,8 @@ void PrintUsage() {
   std::printf(
       "usage: dbre_serve [--port N] [--stdio] [--timeout-ms MS]\n"
       "                  [--max-sessions N] [--max-inflight N] "
-      "[--max-queued N]\n");
+      "[--max-queued N]\n"
+      "                  [--data-dir PATH] [--fsync-batch N]\n");
 }
 
 }  // namespace
@@ -98,7 +116,28 @@ int main(int argc, char** argv) {
   if (args.max_queued > 0) {
     options.sessions.max_queued_runs = static_cast<size_t>(args.max_queued);
   }
+  options.sessions.data_dir = args.data_dir;
+  if (args.fsync_batch >= 0) {
+    options.sessions.journal.fsync_batch =
+        static_cast<size_t>(args.fsync_batch);
+  }
   dbre::service::Server server(options);
+  if (!args.data_dir.empty()) {
+    if (auto status = server.sessions()->store_status(); !status.ok()) {
+      std::fprintf(stderr, "dbre_serve: cannot open --data-dir: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    const auto& recovery = server.recovery();
+    std::fprintf(stderr,
+                 "dbred data dir %s: %zu session(s) recovered, %zu run(s) "
+                 "resumed, %zu torn record(s) dropped\n",
+                 args.data_dir.c_str(), recovery.sessions_recovered,
+                 recovery.runs_resumed, recovery.records_dropped);
+    for (const std::string& error : recovery.errors) {
+      std::fprintf(stderr, "dbre_serve: recovery: %s\n", error.c_str());
+    }
+  }
 
   if (args.stdio) {
     dbre::service::StreamChannel channel(&std::cin, &std::cout);

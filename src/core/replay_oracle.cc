@@ -1,0 +1,64 @@
+#include "core/replay_oracle.h"
+
+namespace dbre {
+
+NeiDecision ReplayOracle::DecideNonEmptyIntersection(const EquiJoin& join,
+                                                     const JoinCounts& counts) {
+  NeiDecision decision;
+  if (Pop(&nei_, join.ToString(), &decision)) return decision;
+  if (fallback_ != nullptr) {
+    return fallback_->DecideNonEmptyIntersection(join, counts);
+  }
+  return default_oracle_.DecideNonEmptyIntersection(join, counts);
+}
+
+bool ReplayOracle::EnforceFailedFd(const FunctionalDependency& fd) {
+  bool enforce = false;
+  if (Pop(&enforce_, fd.ToString(), &enforce)) return enforce;
+  if (fallback_ != nullptr) return fallback_->EnforceFailedFd(fd);
+  return default_oracle_.EnforceFailedFd(fd);
+}
+
+bool ReplayOracle::EnforceFailedFd(const FunctionalDependency& fd,
+                                   double g3_error) {
+  // Same subject key as the error-blind overload: the journal records the
+  // answer, not which overload produced it.
+  bool enforce = false;
+  if (Pop(&enforce_, fd.ToString(), &enforce)) return enforce;
+  if (fallback_ != nullptr) return fallback_->EnforceFailedFd(fd, g3_error);
+  return default_oracle_.EnforceFailedFd(fd, g3_error);
+}
+
+bool ReplayOracle::ValidateFd(const FunctionalDependency& fd) {
+  bool valid = false;
+  if (Pop(&validate_, fd.ToString(), &valid)) return valid;
+  if (fallback_ != nullptr) return fallback_->ValidateFd(fd);
+  return default_oracle_.ValidateFd(fd);
+}
+
+bool ReplayOracle::ConceptualizeHiddenObject(
+    const QualifiedAttributes& candidate) {
+  bool accept = false;
+  if (Pop(&hidden_, candidate.ToString(), &accept)) return accept;
+  if (fallback_ != nullptr) {
+    return fallback_->ConceptualizeHiddenObject(candidate);
+  }
+  return default_oracle_.ConceptualizeHiddenObject(candidate);
+}
+
+std::string ReplayOracle::NameRelationForFd(const FunctionalDependency& fd) {
+  std::string name;
+  if (Pop(&fd_names_, fd.ToString(), &name)) return name;
+  if (fallback_ != nullptr) return fallback_->NameRelationForFd(fd);
+  return default_oracle_.NameRelationForFd(fd);
+}
+
+std::string ReplayOracle::NameHiddenObjectRelation(
+    const QualifiedAttributes& source) {
+  std::string name;
+  if (Pop(&hidden_names_, source.ToString(), &name)) return name;
+  if (fallback_ != nullptr) return fallback_->NameHiddenObjectRelation(source);
+  return default_oracle_.NameHiddenObjectRelation(source);
+}
+
+}  // namespace dbre

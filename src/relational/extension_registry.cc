@@ -1,33 +1,73 @@
 #include "relational/extension_registry.h"
 
+#include <bit>
 #include <utility>
 
 #include "relational/query_cache.h"
 
 namespace dbre {
+namespace {
 
-uint64_t ExtensionRegistry::Fingerprint(const Table& table) const {
+// Byte-wise FNV-1a accumulator. Value::Hash is not used on purpose: it
+// delegates to std::hash, whose result is implementation-defined, while
+// this fingerprint is persisted in snapshot footers and must stay stable
+// across processes and standard libraries.
+struct Fnv {
+  uint64_t h = 1469598103934665603ull;
+
+  void Byte(unsigned char b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) Byte(static_cast<unsigned char>(v >> (i * 8)));
+  }
+  void Str(const std::string& s) {
+    U64(s.size());
+    for (char c : s) Byte(static_cast<unsigned char>(c));
+  }
+};
+
+}  // namespace
+
+uint64_t ExtensionRegistry::ComputeFingerprint(const Table& table) {
   // FNV-1a over the column layout and every cell, order-dependent: the row
   // order matters for partition group ids, so only identically-ordered
   // loads may share storage.
-  uint64_t h = 1469598103934665603ull;
-  auto mix = [&h](uint64_t v) {
-    h ^= v;
-    h *= 1099511628211ull;
-  };
+  Fnv fnv;
   for (const Attribute& attribute : table.schema().attributes()) {
-    for (char c : attribute.name) mix(static_cast<unsigned char>(c));
-    mix(static_cast<uint64_t>(attribute.type));
+    fnv.Str(attribute.name);
+    fnv.Byte(static_cast<unsigned char>(attribute.type));
   }
-  mix(table.num_rows());
+  fnv.U64(table.num_rows());
   for (const ValueVector& row : table.rows()) {
-    for (const Value& value : row) mix(value.Hash());
+    for (const Value& value : row) {
+      if (value.is_null()) {
+        fnv.Byte(0);
+      } else if (value.is_int()) {
+        fnv.Byte(1);
+        fnv.U64(static_cast<uint64_t>(value.as_int()));
+      } else if (value.is_real()) {
+        fnv.Byte(2);
+        fnv.U64(std::bit_cast<uint64_t>(value.as_real()));
+      } else if (value.is_bool()) {
+        fnv.Byte(3);
+        fnv.Byte(value.as_bool() ? 1 : 0);
+      } else {
+        fnv.Byte(4);
+        fnv.Str(value.as_text());
+      }
+    }
   }
-  return h;
+  return fnv.h;
 }
 
 bool ExtensionRegistry::Intern(Table* table) {
-  uint64_t fingerprint = Fingerprint(*table);
+  return InternPrecomputed(table, ComputeFingerprint(*table));
+}
+
+bool ExtensionRegistry::InternPrecomputed(Table* table,
+                                          uint64_t fingerprint) {
   // Materialize the cache before donating: a copy taken now shares the
   // cache pointer, so partitions memoized later through either handle are
   // visible to both.

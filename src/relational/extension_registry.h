@@ -50,6 +50,22 @@ class ExtensionRegistry {
   // untouched.
   bool Intern(Table* table);
 
+  // Intern with a fingerprint the caller already knows — the snapshot load
+  // path (src/store/) reads it from a checksummed footer instead of
+  // re-hashing every row. The fingerprint is only a bucket key: storage is
+  // shared exclusively after AdoptSharedExtension verified byte equality of
+  // the column layout and every row, so a wrong (or adversarially colliding)
+  // fingerprint can cost a cache miss but never aliases distinct
+  // extensions. Doubles as the forced-collision test hook.
+  bool InternPrecomputed(Table* table, uint64_t fingerprint);
+
+  // The content fingerprint Intern buckets by: FNV-1a over the column
+  // layout (names and declared types) and every cell's type tag and payload
+  // bytes, in row order. Stable across processes and builds — it is stored
+  // in snapshot footers on disk. Two tables may share storage only if their
+  // fingerprints agree AND they compare byte-equal.
+  static uint64_t ComputeFingerprint(const Table& table);
+
   // Interns every relation of `database` in name order; returns the number
   // of hits.
   size_t InternDatabase(Database* database);
@@ -59,8 +75,6 @@ class ExtensionRegistry {
   void Clear();
 
  private:
-  uint64_t Fingerprint(const Table& table) const;
-
   mutable std::mutex mutex_;
   size_t max_entries_;
   // fingerprint → canonical tables with that fingerprint (collisions are

@@ -50,6 +50,24 @@ bool Table::AdoptSharedExtension(const Table& other) {
   return true;
 }
 
+Status Table::AdoptExtension(std::shared_ptr<std::vector<ValueVector>> rows) {
+  if (rows == nullptr) {
+    return InvalidArgumentError("AdoptExtension: null row storage");
+  }
+  for (const ValueVector& row : *rows) {
+    if (row.size() != schema_.arity()) {
+      return InvalidArgumentError(
+          "arity mismatch adopting extension for " + schema_.name() +
+          ": got " + std::to_string(row.size()) + ", want " +
+          std::to_string(schema_.arity()));
+    }
+  }
+  std::lock_guard<std::mutex> lock(g_query_cache_mutex);
+  cache_.reset();
+  rows_ = std::move(rows);
+  return Status::Ok();
+}
+
 size_t Table::ApproximateBytes() const {
   size_t bytes = sizeof(ValueVector) * rows_->capacity();
   for (const ValueVector& row : *rows_) {

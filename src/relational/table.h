@@ -106,6 +106,13 @@ class Table {
   // the layouts or extensions differ.
   bool AdoptSharedExtension(const Table& other);
 
+  // Replaces the extension wholesale with storage the caller built outside
+  // the Insert path — the snapshot loader (src/store/) decodes column pages
+  // straight into a row vector and installs it here in one move. Rows must
+  // match the schema's arity; cell types are trusted (the snapshot format
+  // stores them per column and the loader constructs typed values).
+  Status AdoptExtension(std::shared_ptr<std::vector<ValueVector>> rows);
+
   // Rough heap footprint of the extension (row vectors plus string
   // payloads; the schema and any query cache are not counted). Used for
   // per-session memory accounting.

@@ -46,7 +46,11 @@ std::vector<PendingQuestion> AsyncOracle::Pending() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<PendingQuestion> questions;
   questions.reserve(pending_.size());
-  for (const auto& [id, slot] : pending_) questions.push_back(slot.question);
+  for (const auto& [id, slot] : pending_) {
+    // A resolved slot is no longer awaiting an answer — it only lingers
+    // until its suspended worker wakes up and consumes it.
+    if (!slot.resolved) questions.push_back(slot.question);
+  }
   return questions;
 }
 
@@ -66,6 +70,10 @@ Status AsyncOracle::Answer(uint64_t id, OracleAnswer answer) {
       }
       return NotFoundError("no pending question with id " +
                            std::to_string(id));
+    }
+    if (it->second.resolved) {
+      return FailedPreconditionError("question " + std::to_string(id) +
+                                     " was already resolved");
     }
     it->second.resolved = true;
     it->second.by_client = true;
@@ -90,6 +98,10 @@ Status AsyncOracle::AnswerWith(
       }
       return NotFoundError("no pending question with id " +
                            std::to_string(id));
+    }
+    if (it->second.resolved) {
+      return FailedPreconditionError("question " + std::to_string(id) +
+                                     " was already resolved");
     }
     Result<OracleAnswer> answer = make(it->second.question);
     if (!answer.ok()) return answer.status();

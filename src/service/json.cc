@@ -7,6 +7,9 @@
 namespace dbre::service {
 namespace {
 
+// Longest accepted number literal; see ParseNumber.
+constexpr size_t kMaxNumberChars = 256;
+
 // Recursive-descent parser over a bounded string_view.
 class Parser {
  public:
@@ -269,6 +272,15 @@ class Parser {
                           std::to_string(start));
       }
     }
+    // A syntactically valid literal can still be hostile: thousands of
+    // digits cost strtod time and silently collapse to ±inf. Nothing the
+    // protocol carries needs more than a double's 17 significant digits
+    // plus a 3-digit exponent, so a generous fixed cap is safe.
+    if (pos_ - start > kMaxNumberChars) {
+      return ParseError("number literal longer than " +
+                        std::to_string(kMaxNumberChars) +
+                        " characters at offset " + std::to_string(start));
+    }
     std::string token(text_.substr(start, pos_ - start));
     if (integral) {
       errno = 0;
@@ -285,6 +297,12 @@ class Parser {
     double d = std::strtod(token.c_str(), &end);
     if (end != token.c_str() + token.size()) {
       return ParseError("malformed number '" + token + "'");
+    }
+    // Overflow to ±inf (e.g. `1e999`) is rejected rather than accepted as
+    // a non-finite value Dump() would re-serialize as null. Underflow to
+    // zero stays accepted — it is a rounding, not a lie.
+    if (!std::isfinite(d)) {
+      return ParseError("number '" + token + "' overflows a double");
     }
     *out = Json::Number(d);
     return Status::Ok();

@@ -1,0 +1,234 @@
+#include "service/persist.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "service/protocol.h"
+
+namespace dbre::service {
+
+std::string FingerprintToHex(uint64_t fingerprint) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buf;
+}
+
+Result<uint64_t> ParseFingerprint(const std::string& hex) {
+  if (hex.size() != 16) {
+    return ParseError("fingerprint must be 16 hex digits: '" + hex + "'");
+  }
+  uint64_t value = 0;
+  for (char c : hex) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return ParseError("fingerprint must be 16 hex digits: '" + hex + "'");
+    }
+    value = value << 4 | static_cast<uint64_t>(digit);
+  }
+  return value;
+}
+
+void SessionPersistence::Append(const Json& record) {
+  if (replaying()) return;
+  Status status = journal_->Append(record);
+  if (!status.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (error_.ok()) error_ = status;
+  }
+}
+
+void SessionPersistence::SyncQuietly() {
+  if (replaying()) return;
+  Status status = journal_->Sync();
+  if (!status.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (error_.ok()) error_ = status;
+  }
+}
+
+void SessionPersistence::LogCreate(const std::string& session_id) {
+  Json record = Json::MakeObject();
+  record.Set("t", Json::Str("create"));
+  record.Set("session", Json::Str(session_id));
+  Append(record);
+}
+
+void SessionPersistence::LogDdl(const std::string& sql) {
+  Json record = Json::MakeObject();
+  record.Set("t", Json::Str("ddl"));
+  record.Set("sql", Json::Str(sql));
+  Append(record);
+}
+
+void SessionPersistence::LogExtension(const Table& table,
+                                      const std::string& relation,
+                                      size_t rows) {
+  if (replaying()) return;
+  Result<store::SnapshotInfo> snapshot = store_->PutSnapshot(table);
+  if (!snapshot.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (error_.ok()) error_ = snapshot.status();
+    return;
+  }
+  Json record = Json::MakeObject();
+  record.Set("t", Json::Str("csv"));
+  record.Set("relation", Json::Str(relation));
+  record.Set("fp", Json::Str(FingerprintToHex(snapshot->fingerprint)));
+  record.Set("rows", Json::Int(static_cast<int64_t>(rows)));
+  Append(record);
+}
+
+void SessionPersistence::LogJoins(const std::vector<EquiJoin>& joins) {
+  Json list = Json::MakeArray();
+  for (const EquiJoin& join : joins) list.Append(JoinToJson(join));
+  Json record = Json::MakeObject();
+  record.Set("t", Json::Str("joins"));
+  record.Set("joins", std::move(list));
+  Append(record);
+}
+
+void SessionPersistence::LogRunStart(bool infer_keys, bool close_inds,
+                                     bool merge_isa_cycles,
+                                     const std::string& oracle) {
+  Json record = Json::MakeObject();
+  record.Set("t", Json::Str("run"));
+  record.Set("infer_keys", Json::Bool(infer_keys));
+  record.Set("close_inds", Json::Bool(close_inds));
+  record.Set("merge_isa_cycles", Json::Bool(merge_isa_cycles));
+  record.Set("oracle", Json::Str(oracle));
+  Append(record);
+}
+
+void SessionPersistence::LogPhase(const std::string& phase) {
+  Json record = Json::MakeObject();
+  record.Set("t", Json::Str("phase"));
+  record.Set("phase", Json::Str(phase));
+  Append(record);
+}
+
+void SessionPersistence::LogAnswer(const std::string& kind,
+                                   const std::string& subject, Json answer) {
+  Json record = Json::MakeObject();
+  record.Set("t", Json::Str("answer"));
+  record.Set("kind", Json::Str(kind));
+  record.Set("subject", Json::Str(subject));
+  for (auto& [key, value] : answer.object()) {
+    record.Set(key, std::move(value));
+  }
+  Append(record);
+  // An answer is the product of (possibly hours of) expert attention —
+  // make it durable now, not at the next batch boundary.
+  SyncQuietly();
+}
+
+void SessionPersistence::LogFinished(bool ok, const std::string& error) {
+  Json record = Json::MakeObject();
+  if (ok) {
+    record.Set("t", Json::Str("done"));
+  } else {
+    record.Set("t", Json::Str("failed"));
+    record.Set("error", Json::Str(error));
+  }
+  Append(record);
+  SyncQuietly();
+}
+
+void SessionPersistence::LogClose() {
+  Json record = Json::MakeObject();
+  record.Set("t", Json::Str("close"));
+  Append(record);
+  SyncQuietly();
+}
+
+Status SessionPersistence::Sync() { return journal_->Sync(); }
+
+Status SessionPersistence::last_error() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return error_;
+}
+
+namespace {
+
+const char* NeiActionName(NeiAction action) {
+  switch (action) {
+    case NeiAction::kConceptualize: return "conceptualize";
+    case NeiAction::kForceLeftInRight: return "force_left";
+    case NeiAction::kForceRightInLeft: return "force_right";
+    case NeiAction::kIgnore: return "ignore";
+  }
+  return "ignore";
+}
+
+Json BoolAnswer(bool value) {
+  Json answer = Json::MakeObject();
+  answer.Set("value", Json::Bool(value));
+  return answer;
+}
+
+Json NameAnswer(const std::string& name) {
+  Json answer = Json::MakeObject();
+  answer.Set("name", Json::Str(name));
+  return answer;
+}
+
+}  // namespace
+
+NeiDecision JournalingOracle::DecideNonEmptyIntersection(
+    const EquiJoin& join, const JoinCounts& counts) {
+  NeiDecision decision = wrapped_->DecideNonEmptyIntersection(join, counts);
+  Json answer = Json::MakeObject();
+  answer.Set("action", Json::Str(NeiActionName(decision.action)));
+  if (!decision.relation_name.empty()) {
+    answer.Set("name", Json::Str(decision.relation_name));
+  }
+  persist_->LogAnswer("nei", join.ToString(), std::move(answer));
+  return decision;
+}
+
+bool JournalingOracle::EnforceFailedFd(const FunctionalDependency& fd) {
+  bool enforce = wrapped_->EnforceFailedFd(fd);
+  persist_->LogAnswer("enforce_fd", fd.ToString(), BoolAnswer(enforce));
+  return enforce;
+}
+
+bool JournalingOracle::EnforceFailedFd(const FunctionalDependency& fd,
+                                       double g3_error) {
+  bool enforce = wrapped_->EnforceFailedFd(fd, g3_error);
+  persist_->LogAnswer("enforce_fd", fd.ToString(), BoolAnswer(enforce));
+  return enforce;
+}
+
+bool JournalingOracle::ValidateFd(const FunctionalDependency& fd) {
+  bool valid = wrapped_->ValidateFd(fd);
+  persist_->LogAnswer("validate_fd", fd.ToString(), BoolAnswer(valid));
+  return valid;
+}
+
+bool JournalingOracle::ConceptualizeHiddenObject(
+    const QualifiedAttributes& candidate) {
+  bool accept = wrapped_->ConceptualizeHiddenObject(candidate);
+  persist_->LogAnswer("hidden_object", candidate.ToString(),
+                      BoolAnswer(accept));
+  return accept;
+}
+
+std::string JournalingOracle::NameRelationForFd(
+    const FunctionalDependency& fd) {
+  std::string name = wrapped_->NameRelationForFd(fd);
+  persist_->LogAnswer("name_fd", fd.ToString(), NameAnswer(name));
+  return name;
+}
+
+std::string JournalingOracle::NameHiddenObjectRelation(
+    const QualifiedAttributes& source) {
+  std::string name = wrapped_->NameHiddenObjectRelation(source);
+  persist_->LogAnswer("name_hidden", source.ToString(), NameAnswer(name));
+  return name;
+}
+
+}  // namespace dbre::service

@@ -1,0 +1,137 @@
+// Session persistence: what the journal records of a dbred session mean.
+//
+// A `SessionPersistence` sits between a Session and its `store::Journal`,
+// translating session events into journal records:
+//
+//   {"t":"create","session":id}               session came to life
+//   {"t":"ddl","sql":"..."}                   catalog DDL applied
+//   {"t":"csv","relation":R,"fp":"<hex16>","rows":N}
+//                                             extension loaded; its rows
+//                                             live in the content-addressed
+//                                             snapshot named by fp
+//   {"t":"joins","joins":[...]}               candidate joins registered
+//   {"t":"run","infer_keys":b,...,"oracle":s} pipeline run accepted
+//   {"t":"answer","kind":k,"subject":s,...}   one expert decision resolved
+//   {"t":"phase","phase":p}                   pipeline phase completed
+//   {"t":"done"} / {"t":"failed","error":e}   run reached a terminal state
+//   {"t":"close"}                             clean client-requested close
+//
+// Replaying these records in order (service/session_manager.h,
+// RecoverAll) reconstructs the session byte-for-byte: the catalog reloads
+// from snapshots, the run re-executes, and a ReplayOracle feeds the
+// journaled answers back to the deterministic pipeline.
+//
+// Logging is best-effort by design: a persistence failure (disk full)
+// must not take down a live elicitation session, so errors are sticky and
+// surfaced through `last_error` / the `persist` protocol command rather
+// than thrown into the session's path. During recovery the instance is
+// switched to `replaying` mode, which suppresses all logging — replayed
+// events must not re-append what is already in the journal.
+#ifndef DBRE_SERVICE_PERSIST_H_
+#define DBRE_SERVICE_PERSIST_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/oracle.h"
+#include "relational/equi_join.h"
+#include "relational/table.h"
+#include "service/json.h"
+#include "store/journal.h"
+#include "store/store.h"
+
+namespace dbre::service {
+
+class SessionPersistence {
+ public:
+  SessionPersistence(store::Store* store,
+                     std::unique_ptr<store::Journal> journal)
+      : store_(store), journal_(std::move(journal)) {}
+
+  // While replaying, every Log* call is a no-op (recovery applies events
+  // that are already journaled).
+  void set_replaying(bool replaying) {
+    replaying_.store(replaying, std::memory_order_release);
+  }
+  bool replaying() const {
+    return replaying_.load(std::memory_order_acquire);
+  }
+
+  store::Store* store() { return store_; }
+
+  void LogCreate(const std::string& session_id);
+  void LogDdl(const std::string& sql);
+  // Snapshots the extension (content-addressed, deduplicated) and records
+  // its fingerprint.
+  void LogExtension(const Table& table, const std::string& relation,
+                    size_t rows);
+  void LogJoins(const std::vector<EquiJoin>& joins);
+  void LogRunStart(bool infer_keys, bool close_inds, bool merge_isa_cycles,
+                   const std::string& oracle);
+  void LogPhase(const std::string& phase);
+  // `answer` holds the kind-specific fields (action/name/value), matching
+  // the wire answer format of docs/SERVICE.md.
+  void LogAnswer(const std::string& kind, const std::string& subject,
+                 Json answer);
+  void LogFinished(bool ok, const std::string& error);
+  void LogClose();
+
+  // Forces the journal to disk (the `persist` protocol command).
+  Status Sync();
+
+  // First logging failure since construction, if any. Ok() if healthy.
+  Status last_error() const;
+
+  store::JournalStats stats() const { return journal_->stats(); }
+
+ private:
+  void Append(const Json& record);
+  void SyncQuietly();  // best-effort Sync; failure goes to last_error
+
+  store::Store* const store_;  // not owned
+  std::unique_ptr<store::Journal> journal_;
+  std::atomic<bool> replaying_{false};
+
+  mutable std::mutex mutex_;
+  Status error_;
+};
+
+// ExpertOracle decorator that journals every decision after the wrapped
+// oracle (live AsyncOracle, default or threshold policy) produces it. It
+// wraps the *resolved* answer, so client answers, timeout fallbacks and
+// cancel fallbacks all journal identically — recovery cannot tell them
+// apart, and does not need to.
+class JournalingOracle : public ExpertOracle {
+ public:
+  JournalingOracle(ExpertOracle* wrapped, SessionPersistence* persist)
+      : wrapped_(wrapped), persist_(persist) {}
+
+  NeiDecision DecideNonEmptyIntersection(const EquiJoin& join,
+                                         const JoinCounts& counts) override;
+  bool EnforceFailedFd(const FunctionalDependency& fd) override;
+  bool EnforceFailedFd(const FunctionalDependency& fd,
+                       double g3_error) override;
+  bool ValidateFd(const FunctionalDependency& fd) override;
+  bool ConceptualizeHiddenObject(
+      const QualifiedAttributes& candidate) override;
+  std::string NameRelationForFd(const FunctionalDependency& fd) override;
+  std::string NameHiddenObjectRelation(
+      const QualifiedAttributes& source) override;
+
+ private:
+  ExpertOracle* const wrapped_;        // not owned
+  SessionPersistence* const persist_;  // not owned
+};
+
+// Formats a fingerprint the way journals and snapshot files name it:
+// 16 lowercase hex digits. ParseFingerprint inverts it.
+std::string FingerprintToHex(uint64_t fingerprint);
+Result<uint64_t> ParseFingerprint(const std::string& hex);
+
+}  // namespace dbre::service
+
+#endif  // DBRE_SERVICE_PERSIST_H_

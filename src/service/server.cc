@@ -29,7 +29,16 @@ WaitHub& Hub() {
 }  // namespace
 
 Server::Server(ServerOptions options)
-    : options_(std::move(options)), manager_(options_.sessions) {}
+    : options_(std::move(options)), manager_(options_.sessions) {
+  if (manager_.store() != nullptr) {
+    recovery_ = manager_.RecoverAll();
+    // Recovered sessions need the same listener `create` installs, or
+    // `wait` would sleep through their questions and terminal states.
+    for (const auto& session : manager_.Sessions()) {
+      session->SetListener([] { Hub().Notify(); });
+    }
+  }
+}
 
 std::string Server::HandleLine(const std::string& line) {
   auto request = ParseRequest(line, options_.limits);
@@ -59,6 +68,8 @@ Result<Json> Server::Dispatch(const Request& request) {
   }
   if (cmd == "close") return HandleClose(request);
   if (cmd == "stats") return HandleStats();
+  if (cmd == "persist") return HandlePersist(request);
+  if (cmd == "restore") return HandleRestore(request);
   if (cmd == "shutdown") {
     shutdown_.store(true, std::memory_order_release);
     Hub().Notify();
@@ -337,6 +348,50 @@ Result<Json> Server::HandleStats() {
   result.Set("memory_used_bytes",
              Json::Int(static_cast<int64_t>(manager_.budget()->used())));
   result.Set("extension_cache", std::move(cache));
+  if (manager_.store() != nullptr) {
+    Json store = Json::MakeObject();
+    store.Set("data_dir", Json::Str(manager_.store()->root()));
+    store.Set("sessions_recovered",
+              Json::Int(static_cast<int64_t>(recovery_.sessions_recovered)));
+    store.Set("runs_resumed",
+              Json::Int(static_cast<int64_t>(recovery_.runs_resumed)));
+    store.Set("records_dropped",
+              Json::Int(static_cast<int64_t>(recovery_.records_dropped)));
+    result.Set("store", std::move(store));
+  }
+  return result;
+}
+
+Result<Json> Server::HandlePersist(const Request& request) {
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                        SessionParam(request));
+  SessionPersistence* persist = session->persistence();
+  if (persist == nullptr) {
+    return FailedPreconditionError(
+        "server has no data dir; nothing is persisted");
+  }
+  DBRE_RETURN_IF_ERROR(persist->Sync());
+  DBRE_RETURN_IF_ERROR(persist->last_error());
+  store::JournalStats stats = persist->stats();
+  Json result = Json::MakeObject();
+  result.Set("records", Json::Int(static_cast<int64_t>(stats.records)));
+  result.Set("bytes", Json::Int(static_cast<int64_t>(stats.bytes)));
+  result.Set("segments", Json::Int(static_cast<int64_t>(stats.segments)));
+  result.Set("syncs", Json::Int(static_cast<int64_t>(stats.syncs)));
+  return result;
+}
+
+Result<Json> Server::HandleRestore(const Request& request) {
+  std::string id = request.params.GetString("session");
+  if (id.empty()) {
+    return InvalidArgumentError("restore needs a \"session\" field");
+  }
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                        manager_.RecoverSession(id));
+  session->SetListener([] { Hub().Notify(); });
+  Json result = Json::MakeObject();
+  result.Set("session", Json::Str(id));
+  result.Set("state", Json::Str(Session::StateName(session->state())));
   return result;
 }
 

@@ -11,7 +11,12 @@
 // Commands (see docs/SERVICE.md): hello, create, sessions, status,
 // load_ddl, load_csv, add_joins, run, wait, questions, answer, report,
 // summary, export_ddl, export_eer, export_navigation, close, stats,
-// shutdown.
+// persist, restore, shutdown.
+//
+// With a data dir (`dbre_serve --data-dir`), the constructor replays every
+// journal found on disk before serving: crashed sessions come back with
+// their catalogs re-interned from snapshots and their pipelines re-running
+// against the journaled expert answers (docs/STORAGE.md).
 #ifndef DBRE_SERVICE_SERVER_H_
 #define DBRE_SERVICE_SERVER_H_
 
@@ -52,6 +57,11 @@ class Server {
   SessionManager* sessions() { return &manager_; }
   const ServerOptions& options() const { return options_; }
 
+  // What startup recovery did (empty report without a data dir).
+  const SessionManager::RecoveryReport& recovery() const {
+    return recovery_;
+  }
+
  private:
   Result<Json> Dispatch(const Request& request);
 
@@ -70,11 +80,14 @@ class Server {
   Result<Json> HandleExport(const Request& request);
   Result<Json> HandleClose(const Request& request);
   Result<Json> HandleStats();
+  Result<Json> HandlePersist(const Request& request);
+  Result<Json> HandleRestore(const Request& request);
 
   Result<std::shared_ptr<Session>> SessionParam(const Request& request);
 
   ServerOptions options_;
   SessionManager manager_;
+  SessionManager::RecoveryReport recovery_;
   std::atomic<bool> shutdown_{false};
 };
 

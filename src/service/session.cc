@@ -83,6 +83,7 @@ Status Session::LoadDdl(const std::string& sql, size_t* relations_out,
     new_bytes += table->ApproximateBytes();
   }
   DBRE_RETURN_IF_ERROR(ReserveDelta(bytes_, new_bytes));
+  if (persist_) persist_->LogDdl(sql);
   if (relations_out != nullptr) *relations_out = stats.tables_created;
   if (rows_out != nullptr) *rows_out = stats.rows_inserted;
   return Status::Ok();
@@ -101,6 +102,50 @@ Status Session::LoadCsv(const std::string& relation,
   // Intern before accounting: an extension already pooled by another
   // session costs this one (approximately) nothing new.
   bool shared = registry_ != nullptr && registry_->Intern(table);
+  size_t new_table_bytes = shared ? 0 : table->ApproximateBytes();
+  DBRE_RETURN_IF_ERROR(
+      ReserveDelta(bytes_, bytes_ - old_table_bytes + new_table_bytes));
+  if (persist_) persist_->LogExtension(*table, relation, rows);
+  if (rows_out != nullptr) *rows_out = rows;
+  return Status::Ok();
+}
+
+Status Session::RestoreExtension(const std::string& relation,
+                                 uint64_t fingerprint, size_t* rows_out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != State::kIdle) {
+    return FailedPreconditionError("session " + id_ + " is not idle (" +
+                                   StateName(state_) + ")");
+  }
+  if (!persist_) {
+    return FailedPreconditionError("session " + id_ +
+                                   " has no data dir to restore from");
+  }
+  DBRE_ASSIGN_OR_RETURN(Table * table, database_.GetMutableTable(relation));
+  DBRE_ASSIGN_OR_RETURN(store::LoadedSnapshot snapshot,
+                        persist_->store()->LoadSnapshot(fingerprint));
+  // The catalog's DDL (already replayed) is authoritative for constraints;
+  // the snapshot only has to agree on the column layout.
+  const auto& ours = table->schema().attributes();
+  const auto& theirs = snapshot.schema.attributes();
+  bool layout_matches = ours.size() == theirs.size();
+  for (size_t i = 0; layout_matches && i < ours.size(); ++i) {
+    layout_matches =
+        ours[i].name == theirs[i].name && ours[i].type == theirs[i].type;
+  }
+  if (!layout_matches) {
+    return FailedPreconditionError(
+        "snapshot " + FingerprintToHex(fingerprint) +
+        " does not match the catalog schema of " + relation);
+  }
+  size_t old_table_bytes = table->ApproximateBytes();
+  size_t rows = snapshot.rows->size();
+  DBRE_RETURN_IF_ERROR(table->AdoptExtension(std::move(snapshot.rows)));
+  // The footer fingerprint was written by ComputeFingerprint over these
+  // same rows, so interning can reuse it instead of re-hashing; sharing
+  // still requires byte equality (AdoptSharedExtension).
+  bool shared = registry_ != nullptr &&
+                registry_->InternPrecomputed(table, snapshot.fingerprint);
   size_t new_table_bytes = shared ? 0 : table->ApproximateBytes();
   DBRE_RETURN_IF_ERROR(
       ReserveDelta(bytes_, bytes_ - old_table_bytes + new_table_bytes));
@@ -126,6 +171,7 @@ Status Session::AddJoins(const std::vector<EquiJoin>& joins) {
     }
   }
   joins_.insert(joins_.end(), joins.begin(), joins.end());
+  if (persist_ && !joins.empty()) persist_->LogJoins(joins);
   return Status::Ok();
 }
 
@@ -163,6 +209,12 @@ Status Session::BeginRun(const RunOptions& options) {
   phase_.clear();
   report_.reset();
   error_ = Status::Ok();
+  // A recovery re-run (options.replay set) is already journaled; logging
+  // it again would double the record on the next replay.
+  if (persist_ && !options.replay) {
+    persist_->LogRunStart(options.infer_keys, options.close_inds,
+                          options.merge_isa_cycles, options.oracle);
+  }
   return Status::Ok();
 }
 
@@ -177,8 +229,11 @@ void Session::ExecuteRun(const RunOptions& options) {
   pipeline_options.translate.merge_isa_cycles = options.merge_isa_cycles;
   pipeline_options.cancel = &cancel_;
   pipeline_options.on_phase = [this](const char* phase) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    phase_ = phase;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      phase_ = phase;
+    }
+    if (persist_) persist_->LogPhase(phase);
   };
 
   DefaultOracle default_oracle;
@@ -192,9 +247,25 @@ void Session::ExecuteRun(const RunOptions& options) {
   if (options.oracle == "default") oracle = &default_oracle;
   if (options.oracle == "threshold") oracle = &threshold_oracle;
 
+  // Oracle chain: ReplayOracle(recorded answers) → JournalingOracle →
+  // the live policy. Replayed answers never hit the journaling layer, so
+  // only decisions made *now* (client answers, timeouts) are appended.
+  std::optional<JournalingOracle> journaling;
+  if (persist_ != nullptr) {
+    journaling.emplace(oracle, persist_.get());
+    oracle = &*journaling;
+  }
+  if (options.replay != nullptr) {
+    options.replay->SetFallback(oracle);
+    oracle = options.replay.get();
+  }
+
   auto result = RunPipeline(database_, joins_, oracle, pipeline_options);
 
   std::function<void()> listener;
+  bool finished_ok = false;
+  bool log_finished = false;
+  std::string finished_error;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     phase_.clear();
@@ -203,14 +274,31 @@ void Session::ExecuteRun(const RunOptions& options) {
     } else if (result.ok()) {
       report_ = std::move(result).value();
       state_ = State::kDone;
+      log_finished = true;
+      finished_ok = true;
     } else {
       error_ = result.status();
       state_ = State::kFailed;
+      log_finished = true;
+      finished_error = result.status().ToString();
     }
     finished_.notify_all();
     listener = listener_;
   }
+  if (persist_ && log_finished) {
+    persist_->LogFinished(finished_ok, finished_error);
+  }
   if (listener) listener();
+}
+
+void Session::AttachPersistence(
+    std::shared_ptr<SessionPersistence> persist) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  persist_ = std::move(persist);
+}
+
+void Session::DisarmPersistence() {
+  if (persist_) persist_->set_replaying(true);
 }
 
 void Session::SetListener(std::function<void()> listener) {

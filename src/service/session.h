@@ -27,8 +27,10 @@
 
 #include "common/status.h"
 #include "core/pipeline.h"
+#include "core/replay_oracle.h"
 #include "relational/extension_registry.h"
 #include "service/async_oracle.h"
+#include "service/persist.h"
 
 namespace dbre::service {
 
@@ -77,6 +79,11 @@ class Session {
     // "default" (DefaultOracle), or "threshold" (unattended data-driven
     // policy, same knobs as dbre_cli's).
     std::string oracle = "async";
+    // Recovery only (never set over the wire): journaled answers that
+    // replay ahead of the live oracle, so a resumed run re-asks only the
+    // questions the expert never answered. Also suppresses re-journaling
+    // the run record.
+    std::shared_ptr<ReplayOracle> replay;
   };
 
   Session(std::string id, AsyncOracle::Options oracle_options,
@@ -101,6 +108,14 @@ class Session {
   Status LoadCsv(const std::string& relation, const std::string& csv_text,
                  size_t* rows_out);
   Status AddJoins(const std::vector<EquiJoin>& joins);
+
+  // Recovery-path counterpart of LoadCsv: installs the extension decoded
+  // from the data dir's snapshot with this fingerprint into `relation`
+  // (whose schema must already be loaded via LoadDdl and must match the
+  // snapshot's column layout), then interns it by the snapshot's verified
+  // footer fingerprint — no CSV parse, no row re-hash.
+  Status RestoreExtension(const std::string& relation, uint64_t fingerprint,
+                          size_t* rows_out);
 
   size_t join_count() const;
   size_t relation_count() const;
@@ -129,6 +144,17 @@ class Session {
   // The failure of the last run (OK unless state() == kFailed).
   Status last_error() const;
 
+  // Durability. The persistence object (if any) journals catalog loads,
+  // run starts, expert answers and terminal states; see service/persist.h.
+  // Attach before any load so the journal is complete.
+  void AttachPersistence(std::shared_ptr<SessionPersistence> persist);
+  SessionPersistence* persistence() { return persist_.get(); }
+
+  // Permanently stops journaling (graceful daemon shutdown): the session
+  // should resume from its journal on restart, so neither a close record
+  // nor the cancel-fallback answers of the dying run may be appended.
+  void DisarmPersistence();
+
   // Artifact exports; kFailedPrecondition unless state() == kDone.
   Result<std::string> ReportJson(bool include_timings) const;
   Result<std::string> ExportDdl() const;
@@ -151,6 +177,9 @@ class Session {
 
   AsyncOracle oracle_;
   std::atomic<bool> cancel_{false};
+  // Set once before any load (AttachPersistence) and disarmed at shutdown;
+  // ExecuteRun reads it without the session lock.
+  std::shared_ptr<SessionPersistence> persist_;
 
   mutable std::mutex mutex_;
   mutable std::condition_variable finished_;

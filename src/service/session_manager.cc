@@ -2,15 +2,97 @@
 
 #include <utility>
 
+#include "service/protocol.h"
+
 namespace dbre::service {
+namespace {
+
+// Rebuilds the NeiDecision / boolean / name answer a journal record holds
+// and primes the replay oracle with it. Unknown kinds are skipped — an old
+// daemon must be able to replay a journal written by a newer one.
+void PrimeAnswer(ReplayOracle* oracle, const Json& record) {
+  std::string kind = record.GetString("kind");
+  std::string subject = record.GetString("subject");
+  if (kind == "nei") {
+    NeiDecision decision;
+    std::string action = record.GetString("action", "ignore");
+    if (action == "conceptualize") {
+      decision.action = NeiAction::kConceptualize;
+    } else if (action == "force_left") {
+      decision.action = NeiAction::kForceLeftInRight;
+    } else if (action == "force_right") {
+      decision.action = NeiAction::kForceRightInLeft;
+    } else {
+      decision.action = NeiAction::kIgnore;
+    }
+    decision.relation_name = record.GetString("name");
+    oracle->RecordNei(subject, std::move(decision));
+  } else if (kind == "enforce_fd") {
+    oracle->RecordEnforceFd(subject, record.GetBool("value"));
+  } else if (kind == "validate_fd") {
+    oracle->RecordValidateFd(subject, record.GetBool("value"));
+  } else if (kind == "hidden_object") {
+    oracle->RecordHiddenObject(subject, record.GetBool("value"));
+  } else if (kind == "name_fd") {
+    oracle->RecordFdRelationName(subject, record.GetString("name"));
+  } else if (kind == "name_hidden") {
+    oracle->RecordHiddenRelationName(subject, record.GetString("name"));
+  }
+}
+
+bool HasCloseRecord(const store::JournalReplay& replay) {
+  for (const Json& record : replay.records) {
+    if (record.GetString("t") == "close") return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 SessionManager::SessionManager(SessionManagerOptions options)
-    : options_(options),
-      budget_(std::make_shared<MemoryBudget>(options.max_total_bytes)),
+    : options_(std::move(options)),
+      budget_(std::make_shared<MemoryBudget>(options_.max_total_bytes)),
       pool_(std::make_unique<ThreadPool>(
-          options.max_inflight_runs > 0 ? options.max_inflight_runs : 1)) {}
+          options_.max_inflight_runs > 0 ? options_.max_inflight_runs : 1)) {
+  if (!options_.data_dir.empty()) {
+    store::StoreOptions store_options;
+    store_options.journal = options_.journal;
+    Result<std::unique_ptr<store::Store>> opened =
+        store::Store::Open(options_.data_dir, store_options);
+    if (opened.ok()) {
+      store_ = std::move(opened).value();
+    } else {
+      // Sessions still work, in-memory; the failure is surfaced through
+      // store_status() (dbre_serve refuses to start on it).
+      store_status_ = opened.status();
+    }
+  }
+}
 
 SessionManager::~SessionManager() { Shutdown(); }
+
+Result<std::shared_ptr<Session>> SessionManager::MakeSession(
+    const std::string& id, bool replaying) {
+  std::shared_ptr<SessionPersistence> persist;
+  if (store_ != nullptr) {
+    DBRE_ASSIGN_OR_RETURN(std::unique_ptr<store::Journal> journal,
+                          store_->OpenSessionJournal(id));
+    persist = std::make_shared<SessionPersistence>(store_.get(),
+                                                   std::move(journal));
+    persist->set_replaying(replaying);
+  }
+  AsyncOracle::Options oracle_options;
+  oracle_options.timeout_ms = options_.question_timeout_ms;
+  SessionLimits limits;
+  limits.max_bytes = options_.max_session_bytes;
+  auto session = std::make_shared<Session>(id, oracle_options, limits,
+                                           &registry_, budget_);
+  if (persist != nullptr) {
+    session->AttachPersistence(persist);
+    persist->LogCreate(id);  // no-op while replaying
+  }
+  return session;
+}
 
 Result<std::string> SessionManager::CreateSession(
     const std::string& name_hint) {
@@ -20,18 +102,22 @@ Result<std::string> SessionManager::CreateSession(
         "session limit reached (" + std::to_string(options_.max_sessions) +
         " live sessions)");
   }
+  // An id is taken if a session is live under it OR a journal from a
+  // previous life still exists on disk (creating over it would corrupt
+  // the replayable history; `restore` it or `close` it instead).
+  auto taken = [this](const std::string& id) {
+    return sessions_.count(id) > 0 ||
+           (store_ != nullptr && store_->HasSessionJournal(id));
+  };
   std::string id = name_hint;
-  if (id.empty() || sessions_.count(id) > 0) {
+  if (id.empty() || taken(id)) {
     do {
       id = "s" + std::to_string(next_session_++);
-    } while (sessions_.count(id) > 0);
+    } while (taken(id));
   }
-  AsyncOracle::Options oracle_options;
-  oracle_options.timeout_ms = options_.question_timeout_ms;
-  SessionLimits limits;
-  limits.max_bytes = options_.max_session_bytes;
-  sessions_.emplace(id, std::make_shared<Session>(id, oracle_options, limits,
-                                                  &registry_, budget_));
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                        MakeSession(id, /*replaying=*/false));
+  sessions_.emplace(id, std::move(session));
   return id;
 }
 
@@ -102,9 +188,20 @@ Status SessionManager::CloseSession(const std::string& id) {
     session = std::move(it->second);
     sessions_.erase(it);
   }
+  // Tombstone first (durable even if the directory removal below is cut
+  // short by a crash — recovery sees the close record and GCs), then
+  // disarm so the cancel-fallback answers of a dying run are not
+  // journaled as expert decisions.
+  if (session->persistence() != nullptr) {
+    session->persistence()->LogClose();
+    session->DisarmPersistence();
+  }
   // Close outside the manager lock: it wakes suspended workers, which may
   // call back into the manager's counters.
   session->Close();
+  if (store_ != nullptr && store_->HasSessionJournal(id)) {
+    DBRE_RETURN_IF_ERROR(store_->RemoveSession(id));
+  }
   return Status::Ok();
 }
 
@@ -115,8 +212,142 @@ void SessionManager::Shutdown() {
     for (auto& [id, session] : sessions_) sessions.push_back(session);
     sessions_.clear();
   }
+  for (const auto& session : sessions) session->DisarmPersistence();
   for (const auto& session : sessions) session->Close();
   if (pool_) pool_->Wait();
+}
+
+SessionManager::RecoveryReport SessionManager::RecoverAll() {
+  RecoveryReport report;
+  if (store_ == nullptr) return report;
+  for (const std::string& id : store_->ListSessionIds()) {
+    Result<store::JournalReplay> replay = store_->ReadSessionJournal(id);
+    if (!replay.ok()) {
+      report.errors.push_back(id + ": " + replay.status().ToString());
+      continue;
+    }
+    report.records_dropped += replay->dropped;
+    if (HasCloseRecord(*replay)) {
+      ++report.sessions_closed;
+      Status removed = store_->RemoveSession(id);
+      if (!removed.ok()) {
+        report.errors.push_back(id + ": " + removed.ToString());
+      }
+      continue;
+    }
+    if (replay->records.empty()) {
+      // A journal that never got a single valid record holds nothing to
+      // resume; clear it so the id becomes usable again.
+      store_->RemoveSession(id);
+      continue;
+    }
+    bool resumed_run = false;
+    Result<std::shared_ptr<Session>> recovered =
+        RecoverFromReplay(id, *replay, &resumed_run);
+    if (!recovered.ok()) {
+      report.errors.push_back(id + ": " + recovered.status().ToString());
+      continue;
+    }
+    ++report.sessions_recovered;
+    if (resumed_run) ++report.runs_resumed;
+  }
+  return report;
+}
+
+Result<std::shared_ptr<Session>> SessionManager::RecoverSession(
+    const std::string& id) {
+  if (store_ == nullptr) {
+    return FailedPreconditionError("server has no data dir");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (sessions_.count(id) > 0) {
+      return AlreadyExistsError("session '" + id + "' is live");
+    }
+  }
+  if (!store_->HasSessionJournal(id)) {
+    return NotFoundError("no journal on disk for session '" + id + "'");
+  }
+  DBRE_ASSIGN_OR_RETURN(store::JournalReplay replay,
+                        store_->ReadSessionJournal(id));
+  if (HasCloseRecord(replay) || replay.records.empty()) {
+    return FailedPreconditionError("session '" + id +
+                                   "' has no resumable journal");
+  }
+  bool resumed_run = false;
+  return RecoverFromReplay(id, replay, &resumed_run);
+}
+
+Result<std::shared_ptr<Session>> SessionManager::RecoverFromReplay(
+    const std::string& id, const store::JournalReplay& replay,
+    bool* resumed_run) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (sessions_.size() >= options_.max_sessions) {
+      return FailedPreconditionError(
+          "session limit reached (" + std::to_string(options_.max_sessions) +
+          " live sessions)");
+    }
+    if (sessions_.count(id) > 0) {
+      return AlreadyExistsError("session '" + id + "' is live");
+    }
+  }
+  // Opening the journal re-validates the tail and truncates any torn
+  // suffix, so the records applied below and the file agree.
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                        MakeSession(id, /*replaying=*/true));
+
+  bool has_run = false;
+  Session::RunOptions run_options;
+  auto replay_oracle = std::make_shared<ReplayOracle>();
+  for (const Json& record : replay.records) {
+    std::string type = record.GetString("t");
+    if (type == "ddl") {
+      DBRE_RETURN_IF_ERROR(
+          session->LoadDdl(record.GetString("sql"), nullptr, nullptr));
+    } else if (type == "csv") {
+      DBRE_ASSIGN_OR_RETURN(uint64_t fingerprint,
+                            ParseFingerprint(record.GetString("fp")));
+      DBRE_RETURN_IF_ERROR(session->RestoreExtension(
+          record.GetString("relation"), fingerprint, nullptr));
+    } else if (type == "joins") {
+      const Json* joins = record.Find("joins");
+      if (joins == nullptr || !joins->IsArray()) {
+        return ParseError("journal joins record without a joins array");
+      }
+      std::vector<EquiJoin> parsed;
+      parsed.reserve(joins->array().size());
+      for (const Json& value : joins->array()) {
+        DBRE_ASSIGN_OR_RETURN(EquiJoin join, ParseJoin(value));
+        parsed.push_back(std::move(join));
+      }
+      DBRE_RETURN_IF_ERROR(session->AddJoins(parsed));
+    } else if (type == "run") {
+      has_run = true;
+      run_options.infer_keys = record.GetBool("infer_keys");
+      run_options.close_inds = record.GetBool("close_inds");
+      run_options.merge_isa_cycles = record.GetBool("merge_isa_cycles");
+      run_options.oracle = record.GetString("oracle", "async");
+    } else if (type == "answer") {
+      PrimeAnswer(replay_oracle.get(), record);
+    }
+    // "create", "phase", "done" and "failed" rebuild no state: the re-run
+    // below regenerates phases and the terminal state deterministically.
+  }
+  session->persistence()->set_replaying(false);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!sessions_.emplace(id, session).second) {
+      return AlreadyExistsError("session '" + id + "' is live");
+    }
+  }
+  if (has_run) {
+    run_options.replay = replay_oracle;
+    DBRE_RETURN_IF_ERROR(SubmitRun(session, run_options));
+    *resumed_run = true;
+  }
+  return session;
 }
 
 size_t SessionManager::inflight_runs() const {

@@ -24,6 +24,7 @@
 #include "common/thread_pool.h"
 #include "relational/extension_registry.h"
 #include "service/session.h"
+#include "store/store.h"
 
 namespace dbre::service {
 
@@ -36,6 +37,10 @@ struct SessionManagerOptions {
   // Expert-question timeout before the fallback oracle answers; negative =
   // wait forever.
   int64_t question_timeout_ms = -1;
+  // Durability root (see store/store.h). Empty = fully in-memory: no
+  // snapshots, no journals, no recovery.
+  std::string data_dir;
+  store::JournalOptions journal;
 };
 
 class SessionManager {
@@ -61,24 +66,69 @@ class SessionManager {
   Status SubmitRun(const std::shared_ptr<Session>& session,
                    const Session::RunOptions& options);
 
-  // Cancels (if needed) and removes the session. kNotFound if unknown.
+  // Cancels (if needed) and removes the session. With a data dir, also
+  // writes a close tombstone and deletes the session's journal — a closed
+  // session is gone for good; snapshots stay (shared across sessions).
+  // kNotFound if unknown.
   Status CloseSession(const std::string& id);
 
-  // Closes every session and waits for in-flight runs to drain.
+  // Closes every session and waits for in-flight runs to drain. Journals
+  // are disarmed first, NOT closed out: a graceful daemon shutdown leaves
+  // every session resumable from disk, and the fallback answers the dying
+  // runs resolve with are never journaled as if an expert gave them.
   void Shutdown();
+
+  // What happened during recovery (RecoverAll).
+  struct RecoveryReport {
+    size_t sessions_recovered = 0;
+    size_t runs_resumed = 0;        // pipelines re-submitted with replay
+    size_t sessions_closed = 0;     // clean close tombstone → journal GCed
+    size_t records_dropped = 0;     // torn/corrupt journal lines skipped
+    std::vector<std::string> errors;  // per-session failures, not fatal
+  };
+
+  // Replays every journal under the data dir: re-creates each session,
+  // reloads its catalog from snapshots, and re-submits its run with the
+  // journaled expert answers replaying ahead of the live oracle. A
+  // session whose journal is damaged is reported in `errors` and skipped —
+  // recovery never takes the daemon down. No-op without a data dir.
+  RecoveryReport RecoverAll();
+
+  // Recovers one session by id (the `restore` protocol command). kNotFound
+  // without a journal on disk; kAlreadyExists if the id is live.
+  Result<std::shared_ptr<Session>> RecoverSession(const std::string& id);
 
   ExtensionRegistry* registry() { return &registry_; }
   MemoryBudget* budget() { return budget_.get(); }
   const SessionManagerOptions& options() const { return options_; }
 
+  // The durable store, or null when running in-memory. `store_status`
+  // reports why a requested data dir could not be opened.
+  store::Store* store() { return store_.get(); }
+  Status store_status() const { return store_status_; }
+
   size_t inflight_runs() const;
   size_t queued_runs() const;
 
  private:
+  // Builds the session object plus (with a data dir) its journal and
+  // persistence; `replaying` starts persistence suppressed for recovery.
+  Result<std::shared_ptr<Session>> MakeSession(const std::string& id,
+                                               bool replaying);
+
+  // Applies one journal's records to a fresh session and, if the journal
+  // holds a run record, re-submits the pipeline with the journaled
+  // answers (sets *resumed_run).
+  Result<std::shared_ptr<Session>> RecoverFromReplay(
+      const std::string& id, const store::JournalReplay& replay,
+      bool* resumed_run);
+
   SessionManagerOptions options_;
   ExtensionRegistry registry_;
   std::shared_ptr<MemoryBudget> budget_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<store::Store> store_;
+  Status store_status_;
 
   mutable std::mutex mutex_;
   uint64_t next_session_ = 1;

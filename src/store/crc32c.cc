@@ -1,0 +1,91 @@
+#include "store/crc32c.h"
+
+#include <array>
+#include <cstring>
+
+namespace dbre::store {
+namespace {
+
+constexpr uint32_t kPolynomial = 0x82F63B78u;  // 0x1EDC6F41 reflected
+
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPolynomial : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (size_t k = 1; k < t.size(); ++k) {
+      for (uint32_t i = 0; i < 256; ++i) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFF];
+      }
+    }
+  }
+};
+
+const Tables& LookupTables() {
+  static const Tables tables;
+  return tables;
+}
+
+uint32_t Crc32cSoftware(uint32_t crc, const unsigned char* p, size_t size) {
+  const Tables& tables = LookupTables();
+  // Slicing-by-8: two independent 4-byte table lookups per iteration keep
+  // the dependency chain short enough to saturate the load ports.
+  while (size >= 8) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = tables.t[7][crc & 0xFF] ^ tables.t[6][(crc >> 8) & 0xFF] ^
+          tables.t[5][(crc >> 16) & 0xFF] ^ tables.t[4][crc >> 24] ^
+          tables.t[3][p[4]] ^ tables.t[2][p[5]] ^ tables.t[1][p[6]] ^
+          tables.t[0][p[7]];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = (crc >> 8) ^ tables.t[0][(crc ^ *p++) & 0xFF];
+  }
+  return crc;
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define DBRE_CRC32C_HW 1
+
+__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(
+    uint32_t crc, const unsigned char* p, size_t size) {
+  uint64_t crc64 = crc;
+  while (size >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, sizeof(chunk));
+    crc64 = __builtin_ia32_crc32di(crc64, chunk);
+    p += 8;
+    size -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+  while (size-- > 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+  }
+  return crc;
+}
+
+bool HaveHardwareCrc() { return __builtin_cpu_supports("sse4.2"); }
+#endif
+
+}  // namespace
+
+uint32_t Crc32c(uint32_t crc, const void* data, size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+#ifdef DBRE_CRC32C_HW
+  static const bool hardware = HaveHardwareCrc();
+  if (hardware) return ~Crc32cHardware(crc, p, size);
+#endif
+  return ~Crc32cSoftware(crc, p, size);
+}
+
+}  // namespace dbre::store

@@ -1,0 +1,27 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected) — the checksum
+// guarding snapshot column pages and journal records.
+//
+// Chosen over plain CRC32 for its better error-detection properties on
+// storage workloads (it is what iSCSI, ext4 and leveldb use). Software
+// slice-by-4 implementation; fast enough that journal appends stay
+// write()-bound.
+#ifndef DBRE_STORE_CRC32C_H_
+#define DBRE_STORE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dbre::store {
+
+// Extends `crc` (the running checksum of the bytes seen so far; 0 for a
+// fresh stream) over `size` bytes at `data`.
+uint32_t Crc32c(uint32_t crc, const void* data, size_t size);
+
+inline uint32_t Crc32c(std::string_view data) {
+  return Crc32c(0, data.data(), data.size());
+}
+
+}  // namespace dbre::store
+
+#endif  // DBRE_STORE_CRC32C_H_

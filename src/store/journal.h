@@ -1,0 +1,106 @@
+// Per-session write-ahead journal: checksummed NDJSON with segment
+// rotation and batched fsync.
+//
+// Each record is one line, `{"c":"<crc32c hex>","r":{...}}`, where the
+// checksum covers the compact serialization of the payload object `r`.
+// Records append to numbered segment files (`wal-000001.ndjson`, ...)
+// inside the journal directory; a segment rotates once it exceeds
+// `max_segment_bytes`, keeping any single replay read bounded.
+//
+// Durability: every Append issues its write(2) immediately (a record
+// survives SIGKILL of the process as soon as Append returns), and fsync
+// runs every `fsync_batch` appends — 1 trades throughput for
+// power-loss-safety of every record, 0 leaves flushing to the kernel.
+// Sync() forces one out-of-band.
+//
+// Recovery: Open scans the last segment, validates each line's checksum,
+// and truncates anything after the last valid record — a torn tail from a
+// crashed writer is dropped, never parsed and never fatal. ReadJournal
+// replays all segments in order with the same validation, reporting how
+// many trailing lines it had to drop.
+#ifndef DBRE_STORE_JOURNAL_H_
+#define DBRE_STORE_JOURNAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "service/json.h"
+
+namespace dbre::store {
+
+struct JournalOptions {
+  // Rotate to a fresh segment once the current one exceeds this.
+  size_t max_segment_bytes = 4 << 20;
+  // fsync every N appends; 1 = every append, 0 = never (kernel decides).
+  size_t fsync_batch = 8;
+};
+
+struct JournalStats {
+  uint64_t records = 0;   // appended through this handle
+  uint64_t bytes = 0;     // bytes written through this handle
+  uint64_t segments = 0;  // total segments on disk
+  uint64_t syncs = 0;     // fsyncs issued
+};
+
+class Journal {
+ public:
+  // Opens (creating if needed) the journal in `dir`. If segments already
+  // exist, the tail of the last one is validated and any torn suffix is
+  // truncated away before appending resumes.
+  static Result<std::unique_ptr<Journal>> Open(const std::string& dir,
+                                               JournalOptions options = {});
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+  ~Journal();
+
+  // Appends one record (the payload `r`; the checksum envelope is added
+  // here). Thread-safe. The record is in the kernel when this returns.
+  Status Append(const service::Json& record);
+
+  // Forces an fsync of the current segment regardless of batching.
+  Status Sync();
+
+  JournalStats stats() const;
+  const std::string& dir() const { return dir_; }
+
+ private:
+  Journal(std::string dir, JournalOptions options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  Status RotateLocked();
+
+  const std::string dir_;
+  const JournalOptions options_;
+
+  mutable std::mutex mutex_;
+  int fd_ = -1;
+  uint64_t segment_index_ = 0;  // of the open segment
+  size_t segment_bytes_ = 0;    // size of the open segment
+  size_t unsynced_ = 0;         // appends since the last fsync
+  JournalStats stats_;
+};
+
+// One journal's replayable content.
+struct JournalReplay {
+  std::vector<service::Json> records;  // valid records, in append order
+  size_t dropped = 0;    // lines discarded (bad checksum / torn tail)
+  size_t segments = 0;   // segment files read
+};
+
+// Reads every segment of the journal in `dir`. Validation stops at the
+// first corrupt record; everything after it counts as dropped. A missing
+// directory is an empty replay, not an error.
+Result<JournalReplay> ReadJournal(const std::string& dir);
+
+// The record envelope, exposed for tests: serializes `record` into a
+// checksummed journal line (newline included).
+std::string EncodeJournalLine(const service::Json& record);
+
+}  // namespace dbre::store
+
+#endif  // DBRE_STORE_JOURNAL_H_

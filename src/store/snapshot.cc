@@ -1,0 +1,552 @@
+#include "store/snapshot.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "relational/encoded_table.h"
+#include "relational/extension_registry.h"
+#include "store/crc32c.h"
+
+namespace dbre::store {
+namespace {
+
+constexpr char kMagic[8] = {'D', 'B', 'S', 'N', 'A', 'P', '0', '1'};
+constexpr char kFooterMagic[8] = {'D', 'B', 'S', 'N', 'A', 'P', 'F', 'T'};
+constexpr size_t kFooterSize = 8 + 4 + 8;  // fingerprint, crc, magic
+
+// Dictionary value tags; NULL never appears in a dictionary, so tag 0 is
+// reserved (it matches the fingerprint encoding's NULL tag for symmetry).
+constexpr uint8_t kTagInt = 1;
+constexpr uint8_t kTagReal = 2;
+constexpr uint8_t kTagBool = 3;
+constexpr uint8_t kTagString = 4;
+
+// Unaligned little-endian u32 load for the code arrays (the hot loop of
+// LoadSnapshot; bounds are validated once per page, not per cell).
+inline uint32_t LoadU32(const unsigned char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  if constexpr (std::endian::native == std::endian::big) {
+    v = __builtin_bswap32(v);
+  }
+  return v;
+}
+
+inline uint64_t LoadU64(const unsigned char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  if constexpr (std::endian::native == std::endian::big) {
+    v = __builtin_bswap64(v);
+  }
+  return v;
+}
+
+// ---- little-endian buffer building -----------------------------------
+
+struct Writer {
+  std::string out;
+
+  void U8(uint8_t v) { out.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (i * 8)));
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (i * 8)));
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out.append(s);
+  }
+};
+
+// Bounds-checked little-endian reads over a mapped byte range. Every
+// primitive fails (sticky `ok = false`) instead of reading past the end,
+// so a truncated or lying length field surfaces as a parse error.
+struct Reader {
+  const unsigned char* p;
+  size_t size;
+  size_t pos = 0;
+  bool ok = true;
+
+  bool Need(size_t n) {
+    if (!ok || size - pos < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return p[pos++];
+  }
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[pos++]) << (i * 8);
+    return v;
+  }
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[pos++]) << (i * 8);
+    return v;
+  }
+  std::string Str() {
+    uint32_t n = U32();
+    if (!Need(n)) return "";
+    std::string s(reinterpret_cast<const char*>(p + pos), n);
+    pos += n;
+    return s;
+  }
+};
+
+void AppendValue(Writer* w, const Value& value) {
+  if (value.is_int()) {
+    w->U8(kTagInt);
+    w->U64(static_cast<uint64_t>(value.as_int()));
+  } else if (value.is_real()) {
+    w->U8(kTagReal);
+    w->U64(std::bit_cast<uint64_t>(value.as_real()));
+  } else if (value.is_bool()) {
+    w->U8(kTagBool);
+    w->U8(value.as_bool() ? 1 : 0);
+  } else {
+    w->U8(kTagString);
+    w->Str(value.as_text());
+  }
+}
+
+Result<Value> ParseValue(Reader* r) {
+  uint8_t tag = r->U8();
+  switch (tag) {
+    case kTagInt:
+      return Value::Int(static_cast<int64_t>(r->U64()));
+    case kTagReal:
+      return Value::Real(std::bit_cast<double>(r->U64()));
+    case kTagBool:
+      return Value::Boolean(r->U8() != 0);
+    case kTagString:
+      return Value::Text(r->Str());
+    default:
+      return ParseError("snapshot: unknown value tag " + std::to_string(tag));
+  }
+}
+
+// ---- mmap'd read-only file -------------------------------------------
+
+class MappedFile {
+ public:
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  static Result<MappedFile> Open(const std::string& path) {
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      return IoError("open " + path + ": " + std::strerror(errno));
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      int err = errno;
+      ::close(fd);
+      return IoError("fstat " + path + ": " + std::strerror(err));
+    }
+    MappedFile file;
+    file.size_ = static_cast<size_t>(st.st_size);
+    if (file.size_ > 0) {
+      // Modest files are read in one syscall: the loader touches every
+      // byte anyway (checksums), and per-page fault handling — even
+      // MAP_POPULATE's eager kind — costs more than a single page-cache
+      // copy at this size. mmap only pays off once the file is large
+      // enough that the copy itself dominates.
+      constexpr size_t kReadThreshold = 8u << 20;
+      void* map = MAP_FAILED;
+      if (file.size_ > kReadThreshold) {
+        int flags = MAP_PRIVATE;
+#ifdef MAP_POPULATE
+        flags |= MAP_POPULATE;
+#endif
+        map = ::mmap(nullptr, file.size_, PROT_READ, flags, fd, 0);
+      }
+      if (map != MAP_FAILED) {
+        file.map_ = map;
+      } else {
+        // Small file, or mmap failed (exotic filesystems): read it.
+        file.buffer_.resize(file.size_);
+        size_t off = 0;
+        while (off < file.size_) {
+          ssize_t n = ::pread(fd, file.buffer_.data() + off,
+                              file.size_ - off, static_cast<off_t>(off));
+          if (n <= 0) {
+            ::close(fd);
+            return IoError("read " + path + ": " + std::strerror(errno));
+          }
+          off += static_cast<size_t>(n);
+        }
+      }
+    }
+    ::close(fd);
+    return file;
+  }
+
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    std::swap(map_, other.map_);
+    std::swap(size_, other.size_);
+    std::swap(buffer_, other.buffer_);
+    return *this;
+  }
+
+  ~MappedFile() {
+    if (map_ != nullptr) ::munmap(map_, size_);
+  }
+
+  const unsigned char* data() const {
+    if (map_ != nullptr) return static_cast<const unsigned char*>(map_);
+    return reinterpret_cast<const unsigned char*>(buffer_.data());
+  }
+  size_t size() const { return size_; }
+
+ private:
+  MappedFile() = default;
+
+  void* map_ = nullptr;
+  size_t size_ = 0;
+  std::string buffer_;
+};
+
+std::string BuildSchemaBlob(const RelationSchema& schema, uint64_t rows) {
+  Writer w;
+  w.Str(schema.name());
+  w.U32(static_cast<uint32_t>(schema.arity()));
+  for (const Attribute& attribute : schema.attributes()) {
+    w.Str(attribute.name);
+    w.U8(static_cast<uint8_t>(attribute.type));
+    w.U8(attribute.not_null ? 1 : 0);
+  }
+  w.U32(static_cast<uint32_t>(schema.unique_constraints().size()));
+  for (const AttributeSet& unique : schema.unique_constraints()) {
+    w.U32(static_cast<uint32_t>(unique.size()));
+    for (const std::string& name : unique) w.Str(name);
+  }
+  w.U64(rows);
+  w.U32(static_cast<uint32_t>(schema.arity()));
+  return std::move(w.out);
+}
+
+struct ParsedSchema {
+  RelationSchema schema;
+  uint64_t rows = 0;
+  uint32_t columns = 0;
+};
+
+Result<ParsedSchema> ParseSchemaBlob(const unsigned char* data, size_t size) {
+  Reader r{data, size};
+  ParsedSchema out;
+  out.schema.set_name(r.Str());
+  uint32_t arity = r.U32();
+  for (uint32_t i = 0; i < arity && r.ok; ++i) {
+    std::string name = r.Str();
+    uint8_t type = r.U8();
+    bool not_null = r.U8() != 0;
+    if (type > static_cast<uint8_t>(DataType::kString)) {
+      return ParseError("snapshot: unknown attribute type tag " +
+                        std::to_string(type));
+    }
+    DBRE_RETURN_IF_ERROR(out.schema.AddAttribute(
+        std::move(name), static_cast<DataType>(type), not_null));
+  }
+  uint32_t uniques = r.U32();
+  for (uint32_t i = 0; i < uniques && r.ok; ++i) {
+    uint32_t n = r.U32();
+    std::vector<std::string> names;
+    names.reserve(n);
+    for (uint32_t j = 0; j < n && r.ok; ++j) names.push_back(r.Str());
+    if (!r.ok) break;
+    DBRE_RETURN_IF_ERROR(
+        out.schema.DeclareUnique(AttributeSet(std::move(names))));
+  }
+  out.rows = r.U64();
+  out.columns = r.U32();
+  if (!r.ok || r.pos != size) {
+    return ParseError("snapshot: malformed schema blob");
+  }
+  if (out.columns != out.schema.arity()) {
+    return ParseError("snapshot: schema column count mismatch");
+  }
+  return out;
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
+  std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return IoError("open " + tmp + ": " + std::strerror(errno));
+  }
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return IoError("write " + tmp + ": " + std::strerror(err));
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return IoError("fsync " + tmp + ": " + std::strerror(err));
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    int err = errno;
+    ::unlink(tmp.c_str());
+    return IoError("rename " + tmp + ": " + std::strerror(err));
+  }
+  // Make the rename itself durable.
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<SnapshotInfo> WriteSnapshot(const Table& table,
+                                   const std::string& path) {
+  DBRE_ASSIGN_OR_RETURN(EncodedTable encoded, EncodedTable::Build(table));
+  uint64_t fingerprint = ExtensionRegistry::ComputeFingerprint(table);
+
+  Writer file;
+  file.out.append(kMagic, sizeof(kMagic));
+
+  std::string schema_blob = BuildSchemaBlob(table.schema(), table.num_rows());
+  file.U64(schema_blob.size());
+  file.U32(Crc32c(schema_blob));
+  file.out.append(schema_blob);
+
+  for (size_t c = 0; c < encoded.num_columns(); ++c) {
+    Writer page;
+    page.U32(static_cast<uint32_t>(encoded.dict_size(c)));
+    page.U8(encoded.has_null(c) ? 1 : 0);
+    for (uint32_t code = 0; code < encoded.dict_size(c); ++code) {
+      AppendValue(&page, encoded.Decode(c, code));
+    }
+    for (uint32_t code : encoded.codes(c)) page.U32(code);
+    file.U64(page.out.size());
+    file.U32(Crc32c(page.out));
+    file.out.append(page.out);
+  }
+
+  file.U64(fingerprint);
+  unsigned char fp_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    fp_bytes[i] = static_cast<unsigned char>(fingerprint >> (i * 8));
+  }
+  file.U32(Crc32c(0, fp_bytes, sizeof(fp_bytes)));
+  file.out.append(kFooterMagic, sizeof(kFooterMagic));
+
+  DBRE_RETURN_IF_ERROR(WriteFileAtomic(path, file.out));
+
+  SnapshotInfo info;
+  info.fingerprint = fingerprint;
+  info.rows = table.num_rows();
+  info.columns = static_cast<uint32_t>(table.schema().arity());
+  info.relation = table.schema().name();
+  info.file_bytes = file.out.size();
+  return info;
+}
+
+namespace {
+
+// Shared front half of ReadSnapshotInfo and LoadSnapshot: magic, schema
+// section (size + CRC verified), footer (CRC + magic verified).
+struct SnapshotLayout {
+  ParsedSchema schema;
+  size_t pages_begin = 0;  // file offset of the first column page
+  size_t pages_end = 0;    // file offset of the footer
+  uint64_t fingerprint = 0;
+};
+
+Result<SnapshotLayout> ParseLayout(const MappedFile& file,
+                                   const std::string& path) {
+  const unsigned char* data = file.data();
+  size_t size = file.size();
+  if (size < sizeof(kMagic) + 12 + kFooterSize ||
+      std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    return ParseError("snapshot " + path + ": bad magic or truncated header");
+  }
+
+  Reader header{data, size, sizeof(kMagic)};
+  uint64_t schema_size = header.U64();
+  uint32_t schema_crc = header.U32();
+  if (schema_size > size - header.pos - kFooterSize) {
+    return ParseError("snapshot " + path + ": schema blob exceeds file");
+  }
+  if (Crc32c(0, data + header.pos, schema_size) != schema_crc) {
+    return ParseError("snapshot " + path + ": schema checksum mismatch");
+  }
+
+  SnapshotLayout layout;
+  DBRE_ASSIGN_OR_RETURN(layout.schema,
+                        ParseSchemaBlob(data + header.pos, schema_size));
+  layout.pages_begin = header.pos + schema_size;
+  layout.pages_end = size - kFooterSize;
+
+  Reader footer{data, size, layout.pages_end};
+  layout.fingerprint = footer.U64();
+  uint32_t footer_crc = footer.U32();
+  if (Crc32c(0, data + layout.pages_end, 8) != footer_crc ||
+      std::memcmp(data + size - sizeof(kFooterMagic), kFooterMagic,
+                  sizeof(kFooterMagic)) != 0) {
+    return ParseError("snapshot " + path + ": footer checksum mismatch");
+  }
+  return layout;
+}
+
+}  // namespace
+
+Result<SnapshotInfo> ReadSnapshotInfo(const std::string& path) {
+  DBRE_ASSIGN_OR_RETURN(MappedFile file, MappedFile::Open(path));
+  DBRE_ASSIGN_OR_RETURN(SnapshotLayout layout, ParseLayout(file, path));
+  SnapshotInfo info;
+  info.fingerprint = layout.fingerprint;
+  info.rows = layout.schema.rows;
+  info.columns = layout.schema.columns;
+  info.relation = layout.schema.schema.name();
+  info.file_bytes = file.size();
+  return info;
+}
+
+Result<LoadedSnapshot> LoadSnapshot(const std::string& path) {
+  DBRE_ASSIGN_OR_RETURN(MappedFile file, MappedFile::Open(path));
+  DBRE_ASSIGN_OR_RETURN(SnapshotLayout layout, ParseLayout(file, path));
+  const unsigned char* data = file.data();
+  const uint64_t rows = layout.schema.rows;
+  const uint32_t columns = layout.schema.columns;
+  if (rows >= EncodedTable::kNullCode) {
+    return ParseError("snapshot " + path + ": row count overflows encoding");
+  }
+
+  LoadedSnapshot out;
+  out.schema = std::move(layout.schema.schema);
+  out.fingerprint = layout.fingerprint;
+  out.rows = std::make_shared<std::vector<ValueVector>>();
+
+  // Pass 1: verify and parse each column page. Int64 and double
+  // dictionaries have fixed-width entries (tag + 8-byte payload), so they
+  // are validated in place and decoded straight from the mapped bytes
+  // during materialization — no dictionary of Values is ever built for
+  // them (for a unique-key column that dictionary would be as large as
+  // the extension itself). Strings and bools materialize their (small)
+  // dictionaries as before.
+  constexpr size_t kFixedEntry = 9;  // tag byte + 8-byte payload
+  struct ColumnPage {
+    std::vector<Value> dictionary;          // string/bool columns
+    const unsigned char* fixed = nullptr;   // int64/double columns
+    uint8_t fixed_tag = 0;
+    const unsigned char* codes = nullptr;
+    uint32_t dict_size = 0;
+  };
+  std::vector<ColumnPage> pages(columns);
+  size_t pos = layout.pages_begin;
+  for (uint32_t c = 0; c < columns; ++c) {
+    Reader page_header{data, layout.pages_end, pos};
+    uint64_t payload_size = page_header.U64();
+    uint32_t payload_crc = page_header.U32();
+    if (!page_header.ok ||
+        payload_size > layout.pages_end - page_header.pos) {
+      return ParseError("snapshot " + path + ": column page " +
+                        std::to_string(c) + " truncated");
+    }
+    if (Crc32c(0, data + page_header.pos, payload_size) != payload_crc) {
+      return ParseError("snapshot " + path + ": column page " +
+                        std::to_string(c) + " checksum mismatch");
+    }
+
+    Reader payload{data + page_header.pos, payload_size};
+    uint32_t dict_size = payload.U32();
+    payload.U8();  // has_null — recomputed by the in-memory encoder
+    ColumnPage& page = pages[c];
+    page.dict_size = dict_size;
+    DataType type = out.schema.attributes()[c].type;
+    if (type == DataType::kInt64 || type == DataType::kDouble) {
+      uint8_t expected = type == DataType::kInt64 ? kTagInt : kTagReal;
+      if (payload_size - payload.pos < dict_size * kFixedEntry) {
+        return ParseError("snapshot " + path + ": column page " +
+                          std::to_string(c) + " is malformed");
+      }
+      page.fixed = data + page_header.pos + payload.pos;
+      page.fixed_tag = expected;
+      for (uint32_t i = 0; i < dict_size; ++i) {
+        if (page.fixed[i * kFixedEntry] != expected) {
+          return ParseError("snapshot " + path + ": column page " +
+                            std::to_string(c) + " has a mistyped entry");
+        }
+      }
+      payload.pos += dict_size * kFixedEntry;
+    } else {
+      page.dictionary.reserve(dict_size);
+      for (uint32_t i = 0; i < dict_size && payload.ok; ++i) {
+        DBRE_ASSIGN_OR_RETURN(Value value, ParseValue(&payload));
+        page.dictionary.push_back(std::move(value));
+      }
+    }
+    if (!payload.ok || payload_size - payload.pos != rows * 4) {
+      return ParseError("snapshot " + path + ": column page " +
+                        std::to_string(c) + " is malformed");
+    }
+    page.codes = data + page_header.pos + payload.pos;
+    pos = page_header.pos + payload_size;
+  }
+  if (pos != layout.pages_end) {
+    return ParseError("snapshot " + path + ": trailing bytes after pages");
+  }
+
+  // Pass 2: materialize row-major, constructing each cell exactly once.
+  // The per-column code pointers stream sequentially, so this is the
+  // cache-friendly direction; codes are range-checked here, right where
+  // they are consumed.
+  out.rows->reserve(rows);
+  for (uint64_t r = 0; r < rows; ++r) {
+    ValueVector row;
+    row.reserve(columns);
+    for (uint32_t c = 0; c < columns; ++c) {
+      const ColumnPage& page = pages[c];
+      uint32_t code = LoadU32(page.codes + r * 4);
+      if (code == EncodedTable::kNullCode) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      if (code >= page.dict_size) {
+        return ParseError("snapshot " + path + ": column page " +
+                          std::to_string(c) + " has out-of-range code");
+      }
+      if (page.fixed != nullptr) {
+        uint64_t bits = LoadU64(page.fixed + code * kFixedEntry + 1);
+        row.push_back(page.fixed_tag == kTagInt
+                          ? Value::Int(static_cast<int64_t>(bits))
+                          : Value::Real(std::bit_cast<double>(bits)));
+      } else {
+        row.push_back(page.dictionary[code]);
+      }
+    }
+    out.rows->push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace dbre::store

@@ -1,0 +1,156 @@
+#include "store/store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "relational/extension_registry.h"
+
+namespace dbre::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsPlainChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '-';
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string EscapeSessionId(const std::string& id) {
+  std::string out;
+  out.reserve(id.size());
+  for (char c : id) {
+    if (IsPlainChar(c)) {
+      out.push_back(c);
+    } else {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02x",
+                    static_cast<unsigned char>(c));
+      out += buf;
+    }
+  }
+  // An empty id would name the sessions/ directory itself.
+  if (out.empty()) out = "%00";
+  return out;
+}
+
+std::string UnescapeSessionId(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] == '%' && i + 2 < escaped.size()) {
+      int hi = HexDigit(escaped[i + 1]);
+      int lo = HexDigit(escaped[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        char c = static_cast<char>(hi * 16 + lo);
+        if (c != '\0') out.push_back(c);
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(escaped[i]);
+  }
+  return out;
+}
+
+Result<std::unique_ptr<Store>> Store::Open(const std::string& root,
+                                           StoreOptions options) {
+  std::error_code ec;
+  fs::create_directories(root + "/snapshots", ec);
+  if (!ec) fs::create_directories(root + "/sessions", ec);
+  if (ec) return IoError("mkdir " + root + ": " + ec.message());
+  return std::unique_ptr<Store>(new Store(root, options));
+}
+
+std::string Store::SnapshotPath(uint64_t fingerprint) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.snap",
+                static_cast<unsigned long long>(fingerprint));
+  return root_ + "/snapshots/" + name;
+}
+
+Result<SnapshotInfo> Store::PutSnapshot(const Table& table) {
+  uint64_t fingerprint = ExtensionRegistry::ComputeFingerprint(table);
+  std::string path = SnapshotPath(fingerprint);
+  std::error_code ec;
+  if (fs::exists(path, ec)) {
+    // Content-addressed: an existing file with this fingerprint already
+    // holds this extension. Trust but verify the footer.
+    Result<SnapshotInfo> info = ReadSnapshotInfo(path);
+    if (info.ok() && info->fingerprint == fingerprint) return info;
+    // Corrupt or mismatched leftover — rewrite it.
+  }
+  return WriteSnapshot(table, path);
+}
+
+bool Store::HasSnapshot(uint64_t fingerprint) const {
+  std::error_code ec;
+  return fs::exists(SnapshotPath(fingerprint), ec);
+}
+
+Result<LoadedSnapshot> Store::LoadSnapshot(uint64_t fingerprint) const {
+  std::string path = SnapshotPath(fingerprint);
+  std::error_code ec;
+  if (!fs::exists(path, ec)) {
+    return NotFoundError("no snapshot for fingerprint in " + path);
+  }
+  DBRE_ASSIGN_OR_RETURN(LoadedSnapshot snapshot,
+                        dbre::store::LoadSnapshot(path));
+  if (snapshot.fingerprint != fingerprint) {
+    return FailedPreconditionError("snapshot " + path +
+                                   " holds a different fingerprint");
+  }
+  return snapshot;
+}
+
+std::string Store::SessionDir(const std::string& session_id) const {
+  return root_ + "/sessions/" + EscapeSessionId(session_id);
+}
+
+Result<std::unique_ptr<Journal>> Store::OpenSessionJournal(
+    const std::string& session_id) {
+  return Journal::Open(SessionDir(session_id), options_.journal);
+}
+
+Result<JournalReplay> Store::ReadSessionJournal(
+    const std::string& session_id) const {
+  return ReadJournal(SessionDir(session_id));
+}
+
+bool Store::HasSessionJournal(const std::string& session_id) const {
+  std::error_code ec;
+  return fs::exists(SessionDir(session_id), ec);
+}
+
+std::vector<std::string> Store::ListSessionIds() const {
+  std::vector<std::string> ids;
+  std::error_code ec;
+  for (const auto& entry :
+       fs::directory_iterator(root_ + "/sessions", ec)) {
+    if (!entry.is_directory()) continue;
+    ids.push_back(UnescapeSessionId(entry.path().filename().string()));
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Status Store::RemoveSession(const std::string& session_id) {
+  std::error_code ec;
+  fs::remove_all(SessionDir(session_id), ec);
+  if (ec) {
+    return IoError("remove session dir for " + session_id + ": " +
+                   ec.message());
+  }
+  return Status::Ok();
+}
+
+}  // namespace dbre::store

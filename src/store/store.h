@@ -1,0 +1,94 @@
+// The on-disk data directory of a dbred daemon (`dbre_serve --data-dir`).
+//
+// Layout:
+//
+//   <root>/snapshots/<%016x fingerprint>.snap   one per distinct extension
+//   <root>/sessions/<escaped session id>/       one journal dir per session
+//       wal-000001.ndjson ...
+//
+// Snapshots are content-addressed by extension fingerprint, so two
+// sessions loading the same CSV share one snapshot file the same way they
+// share in-memory storage through the ExtensionRegistry. Session ids come
+// from clients (name hints), so they are percent-escaped before becoming
+// path components — a hostile id cannot traverse outside the data dir.
+//
+// The Store itself only manages files; what the journal records *mean* is
+// the service layer's business (src/service/persist.h).
+#ifndef DBRE_STORE_STORE_H_
+#define DBRE_STORE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/table.h"
+#include "store/journal.h"
+#include "store/snapshot.h"
+
+namespace dbre::store {
+
+struct StoreOptions {
+  JournalOptions journal;
+};
+
+class Store {
+ public:
+  // Opens (creating if needed) a data directory.
+  static Result<std::unique_ptr<Store>> Open(const std::string& root,
+                                             StoreOptions options = {});
+
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  const std::string& root() const { return root_; }
+
+  // --- snapshots ------------------------------------------------------
+
+  // Persists `table`'s extension, content-addressed by fingerprint. If a
+  // snapshot with the same fingerprint already exists the write is skipped
+  // (the extension is already durable) and its footer metadata returned.
+  Result<SnapshotInfo> PutSnapshot(const Table& table);
+
+  bool HasSnapshot(uint64_t fingerprint) const;
+  Result<LoadedSnapshot> LoadSnapshot(uint64_t fingerprint) const;
+  std::string SnapshotPath(uint64_t fingerprint) const;
+
+  // --- session journals -----------------------------------------------
+
+  // Opens (creating or recovering) the journal for `session_id`.
+  Result<std::unique_ptr<Journal>> OpenSessionJournal(
+      const std::string& session_id);
+
+  Result<JournalReplay> ReadSessionJournal(const std::string& session_id) const;
+
+  // True if a journal directory exists for `session_id`.
+  bool HasSessionJournal(const std::string& session_id) const;
+
+  // Session ids with a journal on disk, sorted.
+  std::vector<std::string> ListSessionIds() const;
+
+  // Deletes a session's journal directory (after a clean close; snapshots
+  // stay — other sessions may share them).
+  Status RemoveSession(const std::string& session_id);
+
+ private:
+  explicit Store(std::string root, StoreOptions options)
+      : root_(std::move(root)), options_(options) {}
+
+  std::string SessionDir(const std::string& session_id) const;
+
+  const std::string root_;
+  const StoreOptions options_;
+};
+
+// Escapes a client-supplied session id into a safe single path component
+// (percent-escapes everything outside [A-Za-z0-9_-]); UnescapeSessionId
+// inverts it. Exposed for tests.
+std::string EscapeSessionId(const std::string& id);
+std::string UnescapeSessionId(const std::string& escaped);
+
+}  // namespace dbre::store
+
+#endif  // DBRE_STORE_STORE_H_

@@ -123,6 +123,38 @@ TEST(ExtensionRegistryTest, FifoEvictionBoundsEntries) {
   EXPECT_EQ(registry.stats().entries, 0u);
 }
 
+TEST(ExtensionRegistryTest, FingerprintCollisionsDoNotShareStorage) {
+  // InternPrecomputed doubles as the forced-collision hook: register two
+  // tables with different content under the SAME fingerprint. The byte
+  // equality check inside AdoptSharedExtension must refuse the share and
+  // keep both extensions intact.
+  ExtensionRegistry registry;
+  Table first = MakeTable("R", 1, 30);
+  Table impostor = MakeTable("R", 500, 30);  // same shape, other values
+  constexpr uint64_t kColliding = 0xDEADBEEFCAFEF00Dull;
+  EXPECT_FALSE(registry.InternPrecomputed(&first, kColliding));
+  EXPECT_FALSE(registry.InternPrecomputed(&impostor, kColliding));
+  EXPECT_NE(impostor.shared_rows().get(), first.shared_rows().get());
+  EXPECT_EQ(impostor.row(0)[0], Value::Int(500));
+  EXPECT_EQ(first.row(0)[0], Value::Int(1));
+
+  // Both colliding tables stay reachable in the bucket: a genuine twin of
+  // either one still gets shared storage.
+  Table twin = MakeTable("R", 500, 30);
+  EXPECT_TRUE(registry.InternPrecomputed(&twin, kColliding));
+  EXPECT_EQ(twin.shared_rows().get(), impostor.shared_rows().get());
+}
+
+TEST(ExtensionRegistryTest, ComputeFingerprintTracksContent) {
+  Table a = MakeTable("R", 1, 25);
+  Table a_again = MakeTable("R", 1, 25);
+  Table b = MakeTable("R", 2, 25);
+  EXPECT_EQ(ExtensionRegistry::ComputeFingerprint(a),
+            ExtensionRegistry::ComputeFingerprint(a_again));
+  EXPECT_NE(ExtensionRegistry::ComputeFingerprint(a),
+            ExtensionRegistry::ComputeFingerprint(b));
+}
+
 TEST(ExtensionRegistryTest, EmptyTablesIntern) {
   ExtensionRegistry registry;
   Table first = MakeTable("R", 1, 0);

@@ -136,6 +136,26 @@ TEST(AsyncOracleTest, AnswerIdErrors) {
   EXPECT_EQ(again.code(), StatusCode::kFailedPrecondition);
 }
 
+TEST(AsyncOracleTest, AnsweredQuestionVanishesBeforeTheWorkerConsumesIt) {
+  // Between Answer() and the suspended worker waking up, the question is
+  // resolved but still sitting in the internal map. It must already be
+  // invisible to Pending() and un-answerable — otherwise a fast client
+  // polling questions/answer can re-answer (and re-count, and re-journal)
+  // the same decision arbitrarily many times while the worker is starved.
+  AsyncOracle oracle;
+  std::thread worker([&oracle] { EXPECT_TRUE(oracle.ValidateFd(Fd())); });
+  ASSERT_TRUE(oracle.WaitForQuestion(5000));
+  auto pending = oracle.Pending();
+  ASSERT_EQ(pending.size(), 1u);
+  ASSERT_TRUE(oracle.Answer(pending[0].id, OracleAnswer{.yes = true}).ok());
+  // The worker may or may not have woken yet; either way the question is
+  // no longer pending and a second answer is rejected, not absorbed.
+  EXPECT_TRUE(oracle.Pending().empty());
+  Status again = oracle.Answer(pending[0].id, OracleAnswer{.yes = false});
+  EXPECT_EQ(again.code(), StatusCode::kFailedPrecondition);
+  worker.join();
+}
+
 TEST(AsyncOracleTest, AnswerWithParsesUnderLock) {
   AsyncOracle oracle;
   std::thread expert([&oracle] {

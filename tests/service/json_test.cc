@@ -91,6 +91,64 @@ TEST(JsonTest, DepthLimit) {
   EXPECT_FALSE(Json::Parse(deep, 32).ok());
 }
 
+TEST(JsonTest, DepthLimitIsExact) {
+  auto nested = [](int depth) {
+    std::string text(static_cast<size_t>(depth), '[');
+    text.append(static_cast<size_t>(depth), ']');
+    return text;
+  };
+  // The top-level value sits at depth 0, so max_depth 32 admits exactly 33
+  // nested containers; the 34th is a structured error, not a stack dive.
+  EXPECT_TRUE(Json::Parse(nested(33), 32).ok());
+  auto too_deep = Json::Parse(nested(34), 32);
+  ASSERT_FALSE(too_deep.ok());
+  EXPECT_EQ(too_deep.status().code(), StatusCode::kParseError);
+  // Objects count against the same bound as arrays (their values sit one
+  // level below the braces).
+  std::string objects;
+  for (int i = 0; i < 33; ++i) objects += "{\"k\":";
+  objects += "null";
+  for (int i = 0; i < 33; ++i) objects += "}";
+  EXPECT_FALSE(Json::Parse(objects, 32).ok());
+  std::string shallower;
+  for (int i = 0; i < 32; ++i) shallower += "{\"k\":";
+  shallower += "null";
+  for (int i = 0; i < 32; ++i) shallower += "}";
+  EXPECT_TRUE(Json::Parse(shallower, 32).ok());
+}
+
+TEST(JsonTest, OverflowingNumbersAreRejected) {
+  for (const char* text : {"1e999", "-1e999", "1e308999", "123456e999"}) {
+    auto parsed = Json::Parse(text);
+    ASSERT_FALSE(parsed.ok()) << "should reject: " << text;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kParseError) << text;
+  }
+  // Underflow is rounding, not overflow: tiny magnitudes collapse to 0.0.
+  auto tiny = Json::Parse("1e-999");
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_DOUBLE_EQ(tiny->AsNumber(), 0.0);
+  // The extremes of the representable range still parse.
+  EXPECT_TRUE(Json::Parse("1.7976931348623157e308").ok());
+  EXPECT_TRUE(Json::Parse("-1.7976931348623157e308").ok());
+}
+
+TEST(JsonTest, OverlongNumberLiteralsAreRejected) {
+  // 300 digits is syntactically a number but longer than any value the
+  // protocol can represent; the parser caps the token instead of feeding
+  // it to strtod.
+  std::string long_int = "1" + std::string(299, '0');
+  auto parsed = Json::Parse(long_int);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+  // Same cap for a long fraction — and for a number nested in an object.
+  std::string long_frac = "0." + std::string(300, '1');
+  EXPECT_FALSE(Json::Parse(long_frac).ok());
+  EXPECT_FALSE(Json::Parse("{\"n\":" + long_int + "}").ok());
+  // A 255-character literal is still fine.
+  std::string max_ok = "0." + std::string(253, '1');
+  EXPECT_TRUE(Json::Parse(max_ok).ok());
+}
+
 TEST(JsonTest, DumpParseRoundTrip) {
   Json object = Json::MakeObject();
   object.Set("int", Json::Int(-123));

@@ -1,0 +1,238 @@
+// The crash-recovery acceptance test: a real dbre_serve process is
+// SIGKILLed mid-session — no destructors, no flushes beyond what the
+// journal's own write/fsync discipline guarantees — and restarted over the
+// same --data-dir. The restarted daemon must resume the run and finish
+// with a report byte-identical to an uninterrupted session.
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "paper_session_util.h"
+#include "service/server.h"
+#include "workload/paper_example.h"
+
+namespace dbre::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Owns a forked dbre_serve. The destructor SIGKILLs anything still
+// running so a failed assertion cannot leak a daemon (which would also
+// wedge ctest: the daemon holds the test's captured-output pipe open).
+struct ServeProcess {
+  pid_t pid = -1;
+  uint16_t port = 0;
+
+  ServeProcess() = default;
+  ServeProcess(ServeProcess&& other) noexcept
+      : pid(other.pid), port(other.port) {
+    other.pid = -1;
+  }
+  ServeProcess& operator=(ServeProcess&& other) noexcept {
+    std::swap(pid, other.pid);
+    std::swap(port, other.port);
+    return *this;
+  }
+  ~ServeProcess() {
+    if (pid > 0) {
+      kill(pid, SIGKILL);
+      waitpid(pid, nullptr, 0);
+    }
+  }
+
+  // SIGKILL + reap, asserting the daemon really died by signal (it had no
+  // chance to flush or run destructors).
+  void KillHard() {
+    ASSERT_GT(pid, 0);
+    ASSERT_EQ(kill(pid, SIGKILL), 0);
+    int wstatus = 0;
+    ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+    pid = -1;
+    ASSERT_TRUE(WIFSIGNALED(wstatus));
+    EXPECT_EQ(WTERMSIG(wstatus), SIGKILL);
+  }
+
+  // Reaps a daemon expected to exit on its own (after `shutdown`).
+  void WaitExit() {
+    if (pid <= 0) return;
+    EXPECT_EQ(waitpid(pid, nullptr, 0), pid);
+    pid = -1;
+  }
+};
+
+// Spawns dbre_serve on an ephemeral port and reads the chosen port from
+// its first stdout line. The child's stderr goes to /dev/null so the
+// daemon never holds the gtest output pipe open past the test.
+ServeProcess StartServe(const std::string& data_dir) {
+  ServeProcess process;
+  int out_pipe[2];
+  if (pipe(out_pipe) != 0) {
+    ADD_FAILURE() << "pipe() failed";
+    return process;
+  }
+  pid_t pid = fork();
+  if (pid < 0) {
+    ADD_FAILURE() << "fork() failed";
+    return process;
+  }
+  if (pid == 0) {
+    dup2(out_pipe[1], STDOUT_FILENO);
+    close(out_pipe[0]);
+    close(out_pipe[1]);
+    int devnull = open("/dev/null", O_WRONLY);
+    if (devnull >= 0) dup2(devnull, STDERR_FILENO);
+    execl(DBRE_SERVE_BINARY, "dbre_serve", "--port", "0", "--data-dir",
+          data_dir.c_str(), "--fsync-batch", "1",
+          static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+  close(out_pipe[1]);
+  process.pid = pid;
+  FILE* out = fdopen(out_pipe[0], "r");
+  char line[64] = {0};
+  if (out == nullptr || fgets(line, sizeof(line), out) == nullptr) {
+    ADD_FAILURE() << "dbre_serve printed no port";
+    if (out != nullptr) fclose(out);
+    return process;
+  }
+  fclose(out);  // the daemon writes nothing else to stdout
+  process.port = static_cast<uint16_t>(std::strtoul(line, nullptr, 10));
+  EXPECT_GT(process.port, 0) << "line: " << line;
+  return process;
+}
+
+size_t CountPaperQuestions(const PaperInputs& inputs) {
+  Server server;
+  LineClient client(&server);
+  Json create = Command("create");
+  create.Set("name", Json::Str("count"));
+  client.MustCall(std::move(create));
+  StartPaperRun(client, "count", inputs);
+  auto expert = workload::PaperOracle();
+  bool done = false;
+  size_t total = AnswerPaperQuestions(client, "count", expert.get(),
+                                      SIZE_MAX, &done);
+  EXPECT_TRUE(done);
+  server.sessions()->Shutdown();
+  return total;
+}
+
+TEST(KillRestartTest, SigkilledDaemonResumesAndMatchesReference) {
+  const std::string reference = ReferenceReport();
+  const PaperInputs inputs = BuildPaperInputs();
+  const size_t total = CountPaperQuestions(inputs);
+  ASSERT_GE(total, 2u);
+  const size_t half = total / 2;
+
+  fs::path data_dir =
+      fs::temp_directory_path() /
+      ("dbre_kill_restart_" +
+       std::to_string(::testing::UnitTest::GetInstance()->random_seed()));
+  fs::remove_all(data_dir);
+
+  // Phase 1: drive the session over TCP, answer half the questions, and
+  // SIGKILL the daemon while the run is suspended on the next one.
+  // AnswerPaperQuestions only returns once the pipeline has consumed (and
+  // therefore journaled) every answer it gave, so the kill point is
+  // after-answer-k-durable, before-answer-k+1.
+  ServeProcess first = StartServe(data_dir.string());
+  ASSERT_GT(first.port, 0);
+  {
+    Client client(first.port);
+    Json create = Command("create");
+    create.Set("name", Json::Str("paper"));
+    EXPECT_EQ(client.MustCall(std::move(create)).GetString("session"),
+              "paper");
+    StartPaperRun(client, "paper", inputs);
+    auto expert = workload::PaperOracle();
+    bool done = false;
+    size_t answered = AnswerPaperQuestions(client, "paper", expert.get(),
+                                           half, &done);
+    ASSERT_FALSE(done);
+    ASSERT_EQ(answered, half);
+  }
+  first.KillHard();
+
+  // Phase 2: restart over the same data dir. The daemon replays the
+  // journal before accepting connections; the session resumes and asks
+  // only the questions the expert never answered.
+  ServeProcess second = StartServe(data_dir.string());
+  ASSERT_GT(second.port, 0);
+  {
+    Client client(second.port);
+    auto expert = workload::PaperOracle();
+    bool done = false;
+    size_t answered = AnswerPaperQuestions(client, "paper", expert.get(),
+                                           SIZE_MAX, &done);
+    ASSERT_TRUE(done);
+    EXPECT_EQ(answered, total - half);
+
+    Json status = client.MustCall(Command("status", "paper"));
+    EXPECT_EQ(status.GetString("state"), "done") << status.Dump();
+    EXPECT_EQ(
+        client.MustCall(Command("report", "paper")).GetString("report"),
+        reference)
+        << "resumed report diverged from the uninterrupted run";
+
+    client.MustCall(Command("shutdown"));
+  }
+  second.WaitExit();
+  fs::remove_all(data_dir);
+}
+
+TEST(KillRestartTest, RestartAfterKillDuringLoadRecoversTheCatalog) {
+  const PaperInputs inputs = BuildPaperInputs();
+  fs::path data_dir =
+      fs::temp_directory_path() /
+      ("dbre_kill_load_" +
+       std::to_string(::testing::UnitTest::GetInstance()->random_seed()));
+  fs::remove_all(data_dir);
+
+  ServeProcess first = StartServe(data_dir.string());
+  ASSERT_GT(first.port, 0);
+  int64_t relations = 0;
+  {
+    Client client(first.port);
+    Json create = Command("create");
+    create.Set("name", Json::Str("loading"));
+    client.MustCall(std::move(create));
+    Json load_ddl = Command("load_ddl", "loading");
+    load_ddl.Set("sql", Json::Str(inputs.ddl));
+    client.MustCall(std::move(load_ddl));
+    for (const auto& [relation, csv] : inputs.csvs) {
+      Json load_csv = Command("load_csv", "loading");
+      load_csv.Set("relation", Json::Str(relation));
+      load_csv.Set("csv", Json::Str(csv));
+      client.MustCall(std::move(load_csv));
+    }
+    Json status = client.MustCall(Command("status", "loading"));
+    relations = status.GetInt("relations");
+    ASSERT_GT(relations, 0);
+  }
+  // Kill between load and run: no run record, so recovery restores an
+  // idle session with the full catalog.
+  first.KillHard();
+
+  ServeProcess second = StartServe(data_dir.string());
+  ASSERT_GT(second.port, 0);
+  {
+    Client client(second.port);
+    Json status = client.MustCall(Command("status", "loading"));
+    EXPECT_EQ(status.GetString("state"), "idle");
+    EXPECT_EQ(status.GetInt("relations"), relations);
+    client.MustCall(Command("shutdown"));
+  }
+  second.WaitExit();
+  fs::remove_all(data_dir);
+}
+
+}  // namespace
+}  // namespace dbre::service

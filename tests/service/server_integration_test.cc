@@ -13,167 +13,13 @@
 
 #include <gtest/gtest.h>
 
-#include "core/pipeline.h"
-#include "core/report_json.h"
-#include "relational/csv.h"
-#include "service/protocol.h"
+#include "paper_session_util.h"
 #include "service/server.h"
 #include "service/transport.h"
-#include "sql/ddl_writer.h"
 #include "workload/paper_example.h"
 
 namespace dbre::service {
 namespace {
-
-// -- The reference: the paper's session, in-process -----------------------
-
-struct PaperInputs {
-  std::string ddl;
-  std::vector<std::pair<std::string, std::string>> csvs;  // (relation, text)
-};
-
-PaperInputs BuildPaperInputs() {
-  PaperInputs inputs;
-  auto db = workload::BuildPaperDatabase();
-  EXPECT_TRUE(db.ok());
-  inputs.ddl = sql::WriteDdl(*db);
-  for (const std::string& relation : db->RelationNames()) {
-    auto table = db->GetMutableTable(relation);
-    EXPECT_TRUE(table.ok());
-    inputs.csvs.emplace_back(relation, WriteCsvText(**table));
-  }
-  return inputs;
-}
-
-std::string ReferenceReport() {
-  auto db = workload::BuildPaperDatabase();
-  EXPECT_TRUE(db.ok());
-  auto oracle = workload::PaperOracle();
-  auto report = RunPipeline(*db, workload::PaperJoinSet(), oracle.get(),
-                            PipelineOptions{});
-  EXPECT_TRUE(report.ok()) << report.status().ToString();
-  JsonOptions options;
-  options.include_timings = false;
-  return ReportToJson(*report, options);
-}
-
-// -- A minimal scripted client --------------------------------------------
-
-class Client {
- public:
-  explicit Client(uint16_t port) {
-    auto channel = TcpConnect("127.0.0.1", port);
-    EXPECT_TRUE(channel.ok()) << channel.status().ToString();
-    channel_ = std::move(*channel);
-  }
-
-  // Sends one request, returns the parsed response (the whole envelope).
-  Json Call(Json request) {
-    request.Set("id", Json::Int(next_id_++));
-    EXPECT_TRUE(channel_->WriteLine(request.Dump()).ok());
-    auto line = channel_->ReadLine();
-    EXPECT_TRUE(line.ok()) << "connection lost";
-    if (!line.ok()) return Json::MakeObject();
-    auto parsed = Json::Parse(*line);
-    EXPECT_TRUE(parsed.ok()) << *line;
-    return parsed.ok() ? *parsed : Json::MakeObject();
-  }
-
-  // Like Call but requires ok=true and returns only the result object.
-  Json MustCall(Json request) {
-    Json response = Call(std::move(request));
-    EXPECT_TRUE(response.GetBool("ok")) << response.Dump();
-    const Json* result = response.Find("result");
-    return result != nullptr ? *result : Json::MakeObject();
-  }
-
- private:
-  std::unique_ptr<SocketChannel> channel_;
-  int64_t next_id_ = 1;
-};
-
-Json Command(const char* cmd, const std::string& session = "") {
-  Json request = Json::MakeObject();
-  request.Set("cmd", Json::Str(cmd));
-  if (!session.empty()) request.Set("session", Json::Str(session));
-  return request;
-}
-
-std::vector<std::string> Strings(const Json* array) {
-  std::vector<std::string> out;
-  if (array == nullptr) return out;
-  for (const Json& element : array->array()) {
-    out.push_back(element.AsString());
-  }
-  return out;
-}
-
-// Reconstructs the oracle call from the question's structured context and
-// consults `expert` — so a wire client makes exactly the decisions the
-// in-process ScriptedOracle reference made.
-Json AnswerParams(ExpertOracle* expert, const Json& question) {
-  Json params = Json::MakeObject();
-  std::string kind = question.GetString("kind");
-  if (kind == "nei") {
-    auto join = ParseJoin(*question.Find("join"));
-    EXPECT_TRUE(join.ok());
-    const Json* counts_json = question.Find("counts");
-    JoinCounts counts;
-    counts.n_left = static_cast<size_t>(counts_json->GetInt("left"));
-    counts.n_right = static_cast<size_t>(counts_json->GetInt("right"));
-    counts.n_join = static_cast<size_t>(counts_json->GetInt("join"));
-    NeiDecision decision =
-        expert->DecideNonEmptyIntersection(*join, counts);
-    switch (decision.action) {
-      case NeiAction::kConceptualize:
-        params.Set("action", Json::Str("conceptualize"));
-        if (!decision.relation_name.empty()) {
-          params.Set("name", Json::Str(decision.relation_name));
-        }
-        break;
-      case NeiAction::kForceLeftInRight:
-        params.Set("action", Json::Str("force_left"));
-        break;
-      case NeiAction::kForceRightInLeft:
-        params.Set("action", Json::Str("force_right"));
-        break;
-      case NeiAction::kIgnore:
-        params.Set("action", Json::Str("ignore"));
-        break;
-    }
-    return params;
-  }
-  if (kind == "enforce_fd" || kind == "validate_fd" || kind == "name_fd") {
-    const Json* fd_json = question.Find("fd");
-    FunctionalDependency fd(
-        fd_json->GetString("relation"),
-        AttributeSet(Strings(fd_json->Find("lhs"))),
-        AttributeSet(Strings(fd_json->Find("rhs"))));
-    if (kind == "enforce_fd") {
-      const Json* g3 = question.Find("g3_error");
-      bool yes = g3 != nullptr ? expert->EnforceFailedFd(fd, g3->AsNumber())
-                               : expert->EnforceFailedFd(fd);
-      params.Set("value", Json::Bool(yes));
-    } else if (kind == "validate_fd") {
-      params.Set("value", Json::Bool(expert->ValidateFd(fd)));
-    } else {
-      params.Set("name", Json::Str(expert->NameRelationForFd(fd)));
-    }
-    return params;
-  }
-  const Json* candidate_json = question.Find("candidate");
-  QualifiedAttributes candidate{
-      candidate_json->GetString("relation"),
-      AttributeSet(Strings(candidate_json->Find("attributes")))};
-  if (kind == "hidden_object") {
-    params.Set("value",
-               Json::Bool(expert->ConceptualizeHiddenObject(candidate)));
-  } else {
-    EXPECT_EQ(kind, "name_hidden");
-    params.Set("name", Json::Str(expert->NameHiddenObjectRelation(candidate)));
-  }
-  return params;
-}
 
 // Drives one full paper session over TCP and returns its final report.
 // When `drop_mid_question`, the client abandons its first connection while

@@ -1,0 +1,235 @@
+#include "store/journal.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/json.h"
+
+namespace dbre::store {
+namespace {
+
+namespace fs = std::filesystem;
+using service::Json;
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("dbre_journal_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Dir() const { return dir_.string(); }
+
+  std::vector<fs::path> Segments() const {
+    std::vector<fs::path> segments;
+    if (!fs::exists(dir_)) return segments;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      segments.push_back(entry.path());
+    }
+    std::sort(segments.begin(), segments.end());
+    return segments;
+  }
+
+  fs::path dir_;
+};
+
+Json Record(int n) {
+  Json record = Json::MakeObject();
+  record.Set("t", Json::Str("test"));
+  record.Set("n", Json::Int(n));
+  return record;
+}
+
+TEST_F(JournalTest, AppendedRecordsReplayInOrder) {
+  {
+    auto journal = Journal::Open(Dir());
+    ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE((*journal)->Append(Record(i)).ok());
+    }
+    EXPECT_EQ((*journal)->stats().records, 20u);
+  }
+  auto replay = ReadJournal(Dir());
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->dropped, 0u);
+  ASSERT_EQ(replay->records.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(replay->records[static_cast<size_t>(i)].GetInt("n"), i);
+  }
+}
+
+TEST_F(JournalTest, MissingDirectoryIsAnEmptyReplay) {
+  auto replay = ReadJournal(Dir());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->records.empty());
+  EXPECT_EQ(replay->segments, 0u);
+}
+
+TEST_F(JournalTest, SegmentsRotateAtTheConfiguredSize) {
+  JournalOptions options;
+  options.max_segment_bytes = 256;  // tiny: force several rotations
+  auto journal = Journal::Open(Dir(), options);
+  ASSERT_TRUE(journal.ok());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE((*journal)->Append(Record(i)).ok());
+  }
+  EXPECT_GT(Segments().size(), 2u);
+  for (const fs::path& segment : Segments()) {
+    EXPECT_LE(fs::file_size(segment), 256u + 64u);  // one record of slack
+  }
+
+  auto replay = ReadJournal(Dir());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->records.size(), 40u);
+  EXPECT_EQ(replay->segments, Segments().size());
+  EXPECT_EQ(replay->records.back().GetInt("n"), 39);
+}
+
+TEST_F(JournalTest, ReopenResumesAppendingWhereItStopped) {
+  {
+    auto journal = Journal::Open(Dir());
+    ASSERT_TRUE(journal.ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE((*journal)->Append(Record(i)).ok());
+    }
+  }
+  {
+    auto journal = Journal::Open(Dir());
+    ASSERT_TRUE(journal.ok());
+    for (int i = 5; i < 10; ++i) {
+      ASSERT_TRUE((*journal)->Append(Record(i)).ok());
+    }
+  }
+  auto replay = ReadJournal(Dir());
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->records.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(replay->records[static_cast<size_t>(i)].GetInt("n"), i);
+  }
+}
+
+TEST_F(JournalTest, TornTailIsDroppedOnReadAndTruncatedOnOpen) {
+  {
+    auto journal = Journal::Open(Dir());
+    ASSERT_TRUE(journal.ok());
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE((*journal)->Append(Record(i)).ok());
+    }
+  }
+  // Simulate a crash mid-write: append half of a valid record line.
+  std::string torn = EncodeJournalLine(Record(8));
+  torn.resize(torn.size() / 2);
+  auto segments = Segments();
+  ASSERT_EQ(segments.size(), 1u);
+  {
+    std::ofstream out(segments[0], std::ios::binary | std::ios::app);
+    out << torn;
+  }
+
+  auto replay = ReadJournal(Dir());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->records.size(), 8u);
+  EXPECT_EQ(replay->dropped, 1u);
+
+  // Re-opening truncates the torn bytes, and appending after that yields a
+  // fully clean journal again.
+  size_t torn_size = fs::file_size(segments[0]);
+  {
+    auto journal = Journal::Open(Dir());
+    ASSERT_TRUE(journal.ok());
+    EXPECT_LT(fs::file_size(segments[0]), torn_size);
+    ASSERT_TRUE((*journal)->Append(Record(8)).ok());
+  }
+  replay = ReadJournal(Dir());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->dropped, 0u);
+  ASSERT_EQ(replay->records.size(), 9u);
+  EXPECT_EQ(replay->records.back().GetInt("n"), 8);
+}
+
+TEST_F(JournalTest, BitFlippedRecordInvalidatesItselfAndTheTail) {
+  {
+    auto journal = Journal::Open(Dir());
+    ASSERT_TRUE(journal.ok());
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE((*journal)->Append(Record(i)).ok());
+    }
+  }
+  auto segments = Segments();
+  ASSERT_EQ(segments.size(), 1u);
+  // Corrupt record 3 (not the last): its checksum fails, and everything
+  // after it is untrusted — a journal is only valid up to its first tear.
+  std::string bytes;
+  {
+    std::ifstream in(segments[0], std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  size_t line = 0, offset = 0;
+  for (size_t i = 0; i < bytes.size() && offset == 0; ++i) {
+    if (line == 3 && bytes[i] == '3') offset = i;  // record 3's "n":3 digit
+    if (bytes[i] == '\n') ++line;
+  }
+  ASSERT_GT(offset, 0u);
+  bytes[offset] = '4';  // still valid JSON — only the checksum disagrees
+  {
+    std::ofstream out(segments[0], std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  auto replay = ReadJournal(Dir());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->records.size(), 3u);  // records 0..2 survive
+  EXPECT_EQ(replay->dropped, 3u);         // 3 (corrupt), 4, 5
+}
+
+TEST_F(JournalTest, EncodeJournalLineChecksumCoversThePayload) {
+  std::string line = EncodeJournalLine(Record(7));
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  auto parsed = Json::Parse(line.substr(0, line.size() - 1));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->GetString("c").size(), 8u);  // %08x
+  ASSERT_NE(parsed->Find("r"), nullptr);
+  EXPECT_EQ(parsed->Find("r")->GetInt("n"), 7);
+}
+
+TEST_F(JournalTest, SyncBatchingCountsSyncs) {
+  JournalOptions every;
+  every.fsync_batch = 1;
+  {
+    auto journal = Journal::Open(Dir() + "_every", every);
+    ASSERT_TRUE(journal.ok());
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE((*journal)->Append(Record(i)).ok());
+    }
+    EXPECT_GE((*journal)->stats().syncs, 4u);
+  }
+  JournalOptions never;
+  never.fsync_batch = 0;
+  {
+    auto journal = Journal::Open(Dir() + "_never", never);
+    ASSERT_TRUE(journal.ok());
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE((*journal)->Append(Record(i)).ok());
+    }
+    EXPECT_EQ((*journal)->stats().syncs, 0u);
+    ASSERT_TRUE((*journal)->Sync().ok());  // explicit sync still works
+    EXPECT_EQ((*journal)->stats().syncs, 1u);
+  }
+  fs::remove_all(Dir() + "_every");
+  fs::remove_all(Dir() + "_never");
+}
+
+}  // namespace
+}  // namespace dbre::store

@@ -1,0 +1,147 @@
+#include "store/store.h"
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "relational/extension_registry.h"
+#include "relational/table.h"
+
+namespace dbre::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("dbre_store_test_" +
+             std::to_string(
+                 ::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name());
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  fs::path root_;
+};
+
+Table SmallTable(const std::string& name, int first) {
+  RelationSchema schema(name);
+  EXPECT_TRUE(schema.AddAttribute("id", DataType::kInt64).ok());
+  EXPECT_TRUE(schema.AddAttribute("label", DataType::kString).ok());
+  Table table(schema);
+  for (int i = 0; i < 10; ++i) {
+    table.InsertUnchecked(
+        {Value::Int(first + i), Value::Text("v" + std::to_string(i))});
+  }
+  return table;
+}
+
+TEST(SessionIdEscapingTest, RoundTripsHostileIds) {
+  const std::string ids[] = {
+      "plain",  "with space", "../../../etc/passwd", "a/b\\c",
+      "%41",    "",           "dots..and..%",        "日本語",
+  };
+  for (const std::string& id : ids) {
+    std::string escaped = EscapeSessionId(id);
+    EXPECT_EQ(UnescapeSessionId(escaped), id) << "id: " << id;
+    // The escaped form is a single safe path component.
+    EXPECT_EQ(escaped.find('/'), std::string::npos);
+    EXPECT_EQ(escaped.find('\\'), std::string::npos);
+    EXPECT_EQ(escaped.find(".."), std::string::npos);
+    EXPECT_FALSE(escaped.empty());
+  }
+  EXPECT_EQ(EscapeSessionId("safe_name-1"), "safe_name-1");
+}
+
+TEST_F(StoreTest, SnapshotsAreContentAddressedAndShared) {
+  auto store = Store::Open(root_.string());
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  Table table = SmallTable("R", 1);
+  auto first = (*store)->PutSnapshot(table);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE((*store)->HasSnapshot(first->fingerprint));
+
+  // Same content again: no second file, same fingerprint.
+  Table twin = SmallTable("R", 1);
+  auto second = (*store)->PutSnapshot(twin);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->fingerprint, first->fingerprint);
+  size_t snapshot_files = 0;
+  for (const auto& entry :
+       fs::directory_iterator(root_ / "snapshots")) {
+    (void)entry;
+    ++snapshot_files;
+  }
+  EXPECT_EQ(snapshot_files, 1u);
+
+  auto loaded = (*store)->LoadSnapshot(first->fingerprint);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->rows->size(), 10u);
+  EXPECT_EQ(loaded->fingerprint, first->fingerprint);
+
+  EXPECT_FALSE((*store)->LoadSnapshot(first->fingerprint + 1).ok());
+}
+
+TEST_F(StoreTest, SessionJournalLifecycle) {
+  auto store = Store::Open(root_.string());
+  ASSERT_TRUE(store.ok());
+  EXPECT_FALSE((*store)->HasSessionJournal("alpha"));
+  EXPECT_TRUE((*store)->ListSessionIds().empty());
+
+  {
+    auto journal = (*store)->OpenSessionJournal("alpha");
+    ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+    service::Json record = service::Json::MakeObject();
+    record.Set("t", service::Json::Str("create"));
+    ASSERT_TRUE((*journal)->Append(record).ok());
+  }
+  {
+    auto journal = (*store)->OpenSessionJournal("beta/../evil");
+    ASSERT_TRUE(journal.ok());
+  }
+  EXPECT_TRUE((*store)->HasSessionJournal("alpha"));
+  EXPECT_TRUE((*store)->HasSessionJournal("beta/../evil"));
+  // The hostile id stayed inside the sessions dir, escaped.
+  EXPECT_FALSE(fs::exists(root_ / "evil"));
+
+  auto ids = (*store)->ListSessionIds();
+  ASSERT_EQ(ids.size(), 2u);  // sorted, unescaped
+  EXPECT_EQ(ids[0], "alpha");
+  EXPECT_EQ(ids[1], "beta/../evil");
+
+  auto replay = (*store)->ReadSessionJournal("alpha");
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->records.size(), 1u);
+
+  ASSERT_TRUE((*store)->RemoveSession("alpha").ok());
+  EXPECT_FALSE((*store)->HasSessionJournal("alpha"));
+  ASSERT_TRUE((*store)->RemoveSession("beta/../evil").ok());
+  EXPECT_TRUE((*store)->ListSessionIds().empty());
+}
+
+TEST_F(StoreTest, ReopeningAnExistingRootKeepsData) {
+  uint64_t fingerprint = 0;
+  {
+    auto store = Store::Open(root_.string());
+    ASSERT_TRUE(store.ok());
+    auto info = (*store)->PutSnapshot(SmallTable("R", 7));
+    ASSERT_TRUE(info.ok());
+    fingerprint = info->fingerprint;
+  }
+  auto reopened = Store::Open(root_.string());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE((*reopened)->HasSnapshot(fingerprint));
+  auto loaded = (*reopened)->LoadSnapshot(fingerprint);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows->size(), 10u);
+}
+
+}  // namespace
+}  // namespace dbre::store
