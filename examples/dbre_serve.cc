@@ -3,7 +3,7 @@
 //
 //   dbre_serve [--port N] [--stdio] [--timeout-ms MS]
 //              [--max-sessions N] [--max-inflight N] [--max-queued N]
-//              [--data-dir PATH] [--fsync-batch N]
+//              [--data-dir PATH] [--fsync-batch N] [--slow-op-ms MS]
 //
 //   --port N        listen on 127.0.0.1:N (0 = pick an ephemeral port;
 //                   the chosen port prints as the first stdout line)
@@ -19,6 +19,10 @@
 //                   stopped sessions resume (docs/STORAGE.md)
 //   --fsync-batch N fsync the journal every N records (1 = every record,
 //                   0 = never, default 8; expert answers always sync)
+//   --slow-op-ms MS log any instrumented operation (pipeline phase, expert
+//                   wait, journal fsync, snapshot write/load) taking at
+//                   least MS milliseconds; the log is reported by `stats`
+//                   (default: disabled — see docs/OBSERVABILITY.md)
 //
 // In TCP mode the daemon runs until a client sends {"cmd":"shutdown"}.
 #include <cstdio>
@@ -41,6 +45,7 @@ struct ServeArgs {
   long max_queued = -1;
   std::string data_dir;
   long fsync_batch = -1;
+  long slow_op_ms = 0;
   bool show_help = false;
 };
 
@@ -77,6 +82,8 @@ bool ParseArgs(int argc, char** argv, ServeArgs* args) {
       args->data_dir = argv[++i];
     } else if (flag == "--fsync-batch") {
       if (!next_long("--fsync-batch", &args->fsync_batch)) return false;
+    } else if (flag == "--slow-op-ms") {
+      if (!next_long("--slow-op-ms", &args->slow_op_ms)) return false;
     } else if (flag == "--help" || flag == "-h") {
       args->show_help = true;
     } else {
@@ -92,7 +99,8 @@ void PrintUsage() {
       "usage: dbre_serve [--port N] [--stdio] [--timeout-ms MS]\n"
       "                  [--max-sessions N] [--max-inflight N] "
       "[--max-queued N]\n"
-      "                  [--data-dir PATH] [--fsync-batch N]\n");
+      "                  [--data-dir PATH] [--fsync-batch N] "
+      "[--slow-op-ms MS]\n");
 }
 
 }  // namespace
@@ -121,6 +129,7 @@ int main(int argc, char** argv) {
     options.sessions.journal.fsync_batch =
         static_cast<size_t>(args.fsync_batch);
   }
+  if (args.slow_op_ms > 0) options.slow_op_ms = args.slow_op_ms;
   dbre::service::Server server(options);
   if (!args.data_dir.empty()) {
     if (auto status = server.sessions()->store_status(); !status.ok()) {

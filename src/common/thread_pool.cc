@@ -1,12 +1,23 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
 
 namespace dbre {
 
 size_t ThreadPool::HardwareThreads() {
   unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Leaked on purpose: worker threads may outlive main()'s static teardown
+  // (e.g. a detached server loop), and joining at exit from a static
+  // destructor is a deadlock risk on some platforms.
+  static ThreadPool* pool = new ThreadPool(HardwareThreads());
+  return *pool;
 }
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -57,26 +68,98 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ParallelFor(size_t n, size_t num_threads,
+namespace {
+
+// State shared between the calling thread and its helper tasks. Held by
+// shared_ptr so a helper that the pool schedules after the caller already
+// returned (possible when the caller drained every index itself) touches
+// only memory that is still alive; such a late helper sees next >= n and
+// never invokes fn.
+struct ParallelForState {
+  std::function<void(size_t)> fn;
+  size_t n = 0;
+  std::atomic<size_t> next{0};
+  std::atomic<bool> abort{false};
+  std::mutex mutex;
+  std::condition_variable drained;
+  size_t started = 0;   // helper tasks that began running
+  size_t finished = 0;  // helper tasks that finished draining
+  std::exception_ptr error;
+
+  // Claims indexes from the shared counter until they run out; load
+  // imbalance between items self-corrects. The first exception aborts
+  // further claims and is stashed for the caller to rethrow.
+  void Drain() {
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      if (abort.load(std::memory_order_relaxed)) break;
+      try {
+        fn(i);
+      } catch (...) {
+        abort.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, size_t n, size_t num_threads,
                  const std::function<void(size_t)>& fn) {
-  if (num_threads == 0) num_threads = ThreadPool::HardwareThreads();
+  if (num_threads == 0) {
+    num_threads =
+        pool != nullptr ? pool->num_threads() : ThreadPool::HardwareThreads();
+  }
   if (n <= 1 || num_threads <= 1) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
   if (num_threads > n) num_threads = n;
-  ThreadPool pool(num_threads);
-  // One puller task per worker; each drains a shared atomic index so load
-  // imbalance between items self-corrects.
-  auto next = std::make_shared<std::atomic<size_t>>(0);
-  for (size_t t = 0; t < num_threads; ++t) {
-    pool.Submit([next, n, &fn] {
-      for (size_t i = next->fetch_add(1); i < n; i = next->fetch_add(1)) {
-        fn(i);
+  if (pool == nullptr) pool = &ThreadPool::Shared();
+
+  auto state = std::make_shared<ParallelForState>();
+  state->fn = fn;
+  state->n = n;
+  // num_threads - 1 helpers: the calling thread is always the last worker,
+  // which guarantees progress even when the pool is saturated (including
+  // by an enclosing ParallelFor running on one of its workers).
+  for (size_t t = 0; t + 1 < num_threads; ++t) {
+    pool->Submit([state] {
+      {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        ++state->started;
       }
+      state->Drain();
+      {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        ++state->finished;
+      }
+      state->drained.notify_all();
     });
   }
-  pool.Wait();
+  state->Drain();
+  // Wait for started helpers only. A helper still queued cannot hold an
+  // index (the counter is exhausted by now), so skipping it cannot lose
+  // work or an exception; waiting for it could deadlock a nested call on
+  // a saturated pool.
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->drained.wait(lock,
+                        [&] { return state->started == state->finished; });
+    // Move, don't copy: a helper scheduled after we return drops the last
+    // reference to `state` from a pool thread, and it must not be the one
+    // releasing the exception object the caller is about to inspect.
+    error = std::move(state->error);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t)>& fn) {
+  ParallelFor(nullptr, n, num_threads, fn);
 }
 
 }  // namespace dbre

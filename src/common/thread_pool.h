@@ -4,9 +4,11 @@
 // per equi-join, one per candidate FD) and then consume the results in the
 // original input order, so parallel execution never changes an output: the
 // worker writes its result into a caller-provided slot indexed by task id,
-// and the sequential consumer reads the slots in order. Tasks must not
-// throw (the library is exception-free) and must handle their own errors
-// via Status/Result slots.
+// and the sequential consumer reads the slots in order. Tasks submitted
+// directly to a ThreadPool must not throw (an escaped exception terminates
+// the worker thread); ParallelFor bodies may throw — the first exception
+// is captured, remaining iterations are skipped, and it rethrows on the
+// calling thread once every started worker has drained.
 #ifndef DBRE_COMMON_THREAD_POOL_H_
 #define DBRE_COMMON_THREAD_POOL_H_
 
@@ -43,6 +45,12 @@ class ThreadPool {
   // std::thread::hardware_concurrency(), never 0.
   static size_t HardwareThreads();
 
+  // A lazily created process-wide pool with HardwareThreads() workers.
+  // ParallelFor calls without a caller-supplied pool run here, so repeated
+  // parallel sections reuse warm threads instead of spawning and joining a
+  // fresh pool per call.
+  static ThreadPool& Shared();
+
  private:
   void WorkerLoop();
 
@@ -60,7 +68,20 @@ class ThreadPool {
 // thread, runs inline on the calling thread. The assignment of indexes to
 // threads is nondeterministic; determinism is the caller's job — write
 // results into slot i and consume the slots in order.
+//
+// The calling thread always participates as one of the workers (helpers
+// run on ThreadPool::Shared()), so a saturated — or nested — parallel
+// section still makes progress instead of deadlocking. If any fn call
+// throws, the first exception is rethrown here after in-flight iterations
+// finish; iterations not yet started are skipped.
 void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t)>& fn);
+
+// Same, with helper tasks submitted to a caller-supplied pool instead of
+// the shared one (`pool == nullptr` falls back to ThreadPool::Shared()).
+// Safe to call concurrently and reentrantly on the same pool: each call
+// waits only for its own started helpers, never for the pool to go idle.
+void ParallelFor(ThreadPool* pool, size_t n, size_t num_threads,
                  const std::function<void(size_t)>& fn);
 
 }  // namespace dbre

@@ -1,18 +1,20 @@
 #include "core/pipeline.h"
 
-#include <chrono>
 #include <tuple>
 
 #include "deps/ind_closure.h"
 #include "deps/key_miner.h"
+#include "obs/metrics.h"
 
 namespace dbre {
 namespace {
 
-int64_t NowUs() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+// One latency series per phase, registered on first use; the registry
+// returns the same stable cell for every run.
+obs::Histogram* PhaseHistogram(const char* phase) {
+  return obs::Registry::Default().GetHistogram(
+      "dbre_pipeline_phase_us", {{"phase", phase}},
+      "Wall-clock time of each pipeline phase in microseconds");
 }
 
 }  // namespace
@@ -129,45 +131,76 @@ Result<PipelineReport> RunPipeline(const Database& database,
   }
 
   const Status kCancelled = FailedPreconditionError("pipeline cancelled");
+  obs::Registry& registry = obs::Registry::Default();
+  obs::SlowOpLog* slow_ops = registry.slow_ops();
+  registry
+      .GetCounter("dbre_pipeline_runs_total", {},
+                  "Pipeline runs started (successful or not)")
+      ->Add(1);
 
   if (!enter_phase("ind_discovery")) return kCancelled;
-  int64_t t0 = NowUs();
-  DBRE_ASSIGN_OR_RETURN(
-      report.ind, DiscoverInds(&working, report.joins, oracle, options.ind));
-  int64_t t1 = NowUs();
-  report.timings.ind_discovery_us = t1 - t0;
+  {
+    obs::TraceSpan span("pipeline:ind_discovery", options.trace,
+                        PhaseHistogram("ind_discovery"), slow_ops);
+    DBRE_ASSIGN_OR_RETURN(
+        report.ind, DiscoverInds(&working, report.joins, oracle, options.ind));
+    report.timings.ind_discovery_us = span.Finish();
+  }
+  registry
+      .GetCounter("dbre_ind_extension_queries_total", {},
+                  "Extension queries issued by IND-Discovery")
+      ->Add(report.ind.extension_queries);
 
   if (options.close_inds) {
     report.ind.inds = TransitiveClosure(std::move(report.ind.inds));
   }
 
   if (!enter_phase("lhs_discovery")) return kCancelled;
-  report.lhs = DiscoverLhs(working, report.ind.new_relations,
-                           report.ind.inds);
-  int64_t t2 = NowUs();
-  report.timings.lhs_discovery_us = t2 - t1;
+  {
+    obs::TraceSpan span("pipeline:lhs_discovery", options.trace,
+                        PhaseHistogram("lhs_discovery"), slow_ops);
+    report.lhs = DiscoverLhs(working, report.ind.new_relations,
+                             report.ind.inds);
+    report.timings.lhs_discovery_us = span.Finish();
+  }
 
   if (!enter_phase("rhs_discovery")) return kCancelled;
-  DBRE_ASSIGN_OR_RETURN(
-      report.rhs, DiscoverRhs(working, report.lhs.lhs, report.lhs.hidden,
-                              oracle, options.rhs));
-  int64_t t3 = NowUs();
-  report.timings.rhs_discovery_us = t3 - t2;
+  {
+    obs::TraceSpan span("pipeline:rhs_discovery", options.trace,
+                        PhaseHistogram("rhs_discovery"), slow_ops);
+    DBRE_ASSIGN_OR_RETURN(
+        report.rhs, DiscoverRhs(working, report.lhs.lhs, report.lhs.hidden,
+                                oracle, options.rhs));
+    report.timings.rhs_discovery_us = span.Finish();
+  }
+  registry
+      .GetCounter("dbre_rhs_fd_tests_total", {},
+                  "Candidate FDs tested against the extension")
+      ->Add(report.rhs.fd_checks);
 
   if (!enter_phase("restruct")) return kCancelled;
-  DBRE_ASSIGN_OR_RETURN(
-      report.restruct, Restruct(working, report.rhs.fds, report.rhs.hidden,
-                                report.ind.inds, oracle));
-  int64_t t4 = NowUs();
-  report.timings.restruct_us = t4 - t3;
+  {
+    obs::TraceSpan span("pipeline:restruct", options.trace,
+                        PhaseHistogram("restruct"), slow_ops);
+    DBRE_ASSIGN_OR_RETURN(
+        report.restruct, Restruct(working, report.rhs.fds, report.rhs.hidden,
+                                  report.ind.inds, oracle));
+    report.timings.restruct_us = span.Finish();
+  }
 
   if (options.run_translate) {
     if (!enter_phase("translate")) return kCancelled;
+    obs::TraceSpan span("pipeline:translate", options.trace,
+                        PhaseHistogram("translate"), slow_ops);
     DBRE_ASSIGN_OR_RETURN(report.eer,
                           Translate(report.restruct, options.translate));
+    report.timings.translate_us = span.Finish();
   }
   if (cancelled()) return kCancelled;
-  report.timings.translate_us = NowUs() - t4;
+  registry
+      .GetCounter("dbre_pipeline_runs_completed_total", {},
+                  "Pipeline runs that produced a report")
+      ->Add(1);
   report.working_database = std::move(working);
   return report;
 }

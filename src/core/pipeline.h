@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/trace.h"
 #include "core/ind_discovery.h"
 #include "core/lhs_discovery.h"
 #include "core/oracle.h"
@@ -58,6 +59,11 @@ struct PipelineOptions {
   // "restruct", "translate") for progress reporting.
   const std::atomic<bool>* cancel = nullptr;
   std::function<void(const char*)> on_phase;
+  // Observability (src/obs/): when set, every phase records a completed
+  // span here in addition to the process-wide phase histograms and the
+  // slow-op log in obs::Registry::Default(). A service session passes its
+  // per-session ring so `trace` can show where a run spent its time.
+  obs::TraceRing* trace = nullptr;
 };
 
 struct PhaseTimings {

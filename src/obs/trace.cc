@@ -1,0 +1,42 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+namespace dbre::obs {
+
+void TraceRing::Record(SpanRecord span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.push_back(std::move(span));
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<SpanRecord> TraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<SpanRecord>(ring_.begin(), ring_.end());
+}
+
+int64_t TraceSpan::Finish() {
+  if (finished_) return duration_us_;
+  finished_ = true;
+  duration_us_ = MonotonicUs() - start_mono_us_;
+  if (histogram_ != nullptr) {
+    histogram_->Observe(static_cast<uint64_t>(duration_us_));
+  }
+  if (ring_ != nullptr) {
+    SpanRecord record;
+    record.name = name_;
+    record.detail = detail_;
+    record.start_unix_us = start_unix_us_;
+    record.duration_us = duration_us_;
+    ring_->Record(std::move(record));
+  }
+  if (slow_ops_ != nullptr) {
+    slow_ops_->MaybeRecord(name_, duration_us_, detail_);
+  }
+  return duration_us_;
+}
+
+}  // namespace dbre::obs

@@ -1,0 +1,93 @@
+// RAII trace spans and the per-session span ring buffer.
+//
+// A `TraceSpan` times one operation (a pipeline phase, a snapshot load, an
+// expert wait) and on completion fans the measured duration out to up to
+// three sinks, each optional:
+//   * a `TraceRing` — the bounded per-session history a client can read
+//     back over the wire to see where a run spent its time;
+//   * a `Histogram` — the aggregate latency distribution for `metrics`;
+//   * a `SlowOpLog` — the process-wide record of operations that crossed
+//     the --slow-op-ms threshold.
+// Spans are cheap when every sink is null (two clock reads), so call
+// sites instrument unconditionally.
+#ifndef DBRE_OBS_TRACE_H_
+#define DBRE_OBS_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dbre::obs {
+
+// One completed span.
+struct SpanRecord {
+  std::string name;
+  std::string detail;
+  int64_t start_unix_us = 0;  // wall clock at span start
+  int64_t duration_us = 0;
+};
+
+// Bounded FIFO of completed spans; thread safe. When full, the oldest
+// span drops and `dropped` counts it.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity = 128) : capacity_(capacity) {}
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  void Record(SpanRecord span);
+  std::vector<SpanRecord> Snapshot() const;  // oldest first
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  const size_t capacity_;
+  std::atomic<uint64_t> dropped_{0};
+  mutable std::mutex mutex_;
+  std::deque<SpanRecord> ring_;
+};
+
+// Times the scope between construction and Finish() (or destruction).
+class TraceSpan {
+ public:
+  TraceSpan(std::string name, TraceRing* ring = nullptr,
+            Histogram* histogram = nullptr, SlowOpLog* slow_ops = nullptr)
+      : name_(std::move(name)),
+        ring_(ring),
+        histogram_(histogram),
+        slow_ops_(slow_ops),
+        start_unix_us_(WallClockUs()),
+        start_mono_us_(MonotonicUs()) {}
+
+  ~TraceSpan() { Finish(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  // Free-form context attached to the ring record and slow-op entry.
+  void set_detail(std::string detail) { detail_ = std::move(detail); }
+
+  // Stops the clock and feeds every sink; idempotent. Returns the span
+  // duration in microseconds.
+  int64_t Finish();
+
+ private:
+  const std::string name_;
+  std::string detail_;
+  TraceRing* const ring_;
+  Histogram* const histogram_;
+  SlowOpLog* const slow_ops_;
+  const int64_t start_unix_us_;
+  const int64_t start_mono_us_;
+  bool finished_ = false;
+  int64_t duration_us_ = 0;
+};
+
+}  // namespace dbre::obs
+
+#endif  // DBRE_OBS_TRACE_H_

@@ -19,8 +19,11 @@ struct CsvField {
 
 // Parses one CSV record starting at `*pos`; advances `*pos` past the record
 // terminator. Handles quoted fields with embedded commas/newlines.
-Result<std::vector<CsvField>> ParseRecord(std::string_view text,
-                                          size_t* pos) {
+// `*lines_consumed` is incremented once per physical line break consumed —
+// including breaks embedded in quoted fields — so callers can report real
+// file line numbers even when records span multiple lines.
+Result<std::vector<CsvField>> ParseRecord(std::string_view text, size_t* pos,
+                                          size_t* lines_consumed) {
   std::vector<CsvField> fields;
   CsvField current;
   bool in_quotes = false;
@@ -37,6 +40,10 @@ Result<std::vector<CsvField>> ParseRecord(std::string_view text,
           in_quotes = false;
         }
       } else {
+        if (c == '\n' ||
+            (c == '\r' && (i + 1 >= text.size() || text[i + 1] != '\n'))) {
+          ++*lines_consumed;
+        }
         current.text += c;
       }
       continue;
@@ -57,6 +64,7 @@ Result<std::vector<CsvField>> ParseRecord(std::string_view text,
       // Consume \r\n or lone terminator.
       if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
       ++i;
+      ++*lines_consumed;
       break;
     }
     current.text += c;
@@ -78,8 +86,7 @@ bool NeedsQuoting(std::string_view text) {
   return text.find_first_of(",\"\n\r") != std::string_view::npos;
 }
 
-std::string QuoteField(std::string_view text) {
-  if (!NeedsQuoting(text)) return std::string(text);
+std::string QuoteFieldAlways(std::string_view text) {
   std::string out = "\"";
   for (char c : text) {
     if (c == '"') out += '"';
@@ -89,14 +96,33 @@ std::string QuoteField(std::string_view text) {
   return out;
 }
 
+std::string QuoteField(std::string_view text) {
+  if (!NeedsQuoting(text)) return std::string(text);
+  return QuoteFieldAlways(text);
+}
+
+// True if `text` written unquoted reads back verbatim. The reader trims
+// unquoted fields and maps empty/"NULL" text to SQL NULL, so empty
+// strings, NULL lookalikes and fields with surrounding whitespace must be
+// quoted to survive the round trip.
+bool UnquotedTextRoundTrips(std::string_view text) {
+  if (text.empty()) return false;
+  if (TrimWhitespace(text).size() != text.size()) return false;
+  if (EqualsIgnoreCase(text, "null")) return false;
+  return true;
+}
+
 }  // namespace
 
 Result<size_t> LoadCsvText(std::string_view csv_text, Table* table) {
   if (table == nullptr) return InvalidArgumentError("table is null");
   const RelationSchema& schema = table->schema();
   size_t pos = 0;
+  size_t line = 1;  // physical line the next record starts on
+  size_t consumed = 0;
   DBRE_ASSIGN_OR_RETURN(std::vector<CsvField> header,
-                        ParseRecord(csv_text, &pos));
+                        ParseRecord(csv_text, &pos, &consumed));
+  line += consumed;
   if (header.empty()) return ParseError("CSV input has no header");
   if (header.size() != schema.arity()) {
     return ParseError("CSV header has " + std::to_string(header.size()) +
@@ -116,14 +142,15 @@ Result<size_t> LoadCsvText(std::string_view csv_text, Table* table) {
   }
 
   size_t loaded = 0;
-  size_t line = 1;
   while (pos < csv_text.size()) {
-    ++line;
+    size_t record_line = line;
+    consumed = 0;
     DBRE_ASSIGN_OR_RETURN(std::vector<CsvField> record,
-                          ParseRecord(csv_text, &pos));
+                          ParseRecord(csv_text, &pos, &consumed));
+    line += consumed;
     if (record.empty()) continue;  // blank line
     if (record.size() != header.size()) {
-      return ParseError("CSV record at line " + std::to_string(line) +
+      return ParseError("CSV record at line " + std::to_string(record_line) +
                         " has " + std::to_string(record.size()) +
                         " fields, expected " + std::to_string(header.size()));
     }
@@ -133,10 +160,16 @@ Result<size_t> LoadCsvText(std::string_view csv_text, Table* table) {
       DataType type = schema.attributes()[attribute_index].type;
       Value value;
       if (record[i].quoted) {
+        // Quoted fields are never NULL: string fields are taken verbatim
+        // (a quoted empty string is "" rather than NULL), and typed fields
+        // must parse — a quoted "NULL" in an int64 column is an error, not
+        // a silent NULL.
         if (type == DataType::kString) {
           value = Value::Text(record[i].text);
         } else {
-          DBRE_ASSIGN_OR_RETURN(value, Value::Parse(record[i].text, type));
+          DBRE_ASSIGN_OR_RETURN(
+              value, Value::Parse(record[i].text, type,
+                                  Value::NullHandling::kNeverNull));
         }
       } else {
         DBRE_ASSIGN_OR_RETURN(value, Value::Parse(record[i].text, type));
@@ -171,9 +204,15 @@ std::string WriteCsvText(const Table& table) {
       if (row[i].is_null()) {
         out += "NULL";
       } else if (row[i].is_text()) {
-        // Quote empty strings so they round-trip distinctly from NULL.
+        // Quote anything the reader would not read back verbatim:
+        // delimiters, empty strings, NULL lookalikes ("null",
+        // whitespace-only) and surrounding whitespace.
         const std::string& text = row[i].as_text();
-        out += text.empty() ? "\"\"" : QuoteField(text);
+        if (NeedsQuoting(text) || !UnquotedTextRoundTrips(text)) {
+          out += QuoteFieldAlways(text);
+        } else {
+          out += text;
+        }
       } else {
         out += row[i].ToString();
       }

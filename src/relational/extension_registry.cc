@@ -3,10 +3,35 @@
 #include <bit>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "relational/query_cache.h"
 
 namespace dbre {
 namespace {
+
+// Process-wide mirrors of the per-registry Stats, so `metrics` shows
+// intern traffic without walking every registry instance.
+struct InternCounters {
+  obs::Counter* lookups;
+  obs::Counter* hits;
+  obs::Counter* evictions;
+};
+
+const InternCounters& RegistryCounters() {
+  static const InternCounters counters = [] {
+    obs::Registry& registry = obs::Registry::Default();
+    return InternCounters{
+        registry.GetCounter("dbre_extension_intern_lookups_total", {},
+                            "Extension-registry intern attempts"),
+        registry.GetCounter(
+            "dbre_extension_intern_hits_total", {},
+            "Intern attempts that adopted an existing shared extension"),
+        registry.GetCounter("dbre_extension_intern_evictions_total", {},
+                            "Canonical extensions evicted by capacity"),
+    };
+  }();
+  return counters;
+}
 
 // Byte-wise FNV-1a accumulator. Value::Hash is not used on purpose: it
 // delegates to std::hash, whose result is implementation-defined, while
@@ -75,11 +100,13 @@ bool ExtensionRegistry::InternPrecomputed(Table* table,
 
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.lookups;
+  RegistryCounters().lookups->Add(1);
   auto it = entries_.find(fingerprint);
   if (it != entries_.end()) {
     for (const Table& canonical : it->second) {
       if (table->AdoptSharedExtension(canonical)) {
         ++stats_.hits;
+        RegistryCounters().hits->Add(1);
         return true;
       }
     }
@@ -94,6 +121,7 @@ bool ExtensionRegistry::InternPrecomputed(Table* table,
       if (evict->second.empty()) entries_.erase(evict);
       --stats_.entries;
       ++stats_.evictions;
+      RegistryCounters().evictions->Add(1);
     }
   }
   entries_[fingerprint].push_back(*table);

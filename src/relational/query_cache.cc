@@ -2,8 +2,29 @@
 
 #include <unordered_map>
 
+#include "obs/metrics.h"
+
 namespace dbre {
 namespace {
+
+// Hit/miss counter pair for one memoized result kind. Call sites hold the
+// pair in a function-local static so the hot path is two relaxed atomics,
+// no registry lookup.
+struct HitMiss {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  void Count(bool hit) const { (hit ? hits : misses)->Add(1); }
+};
+
+HitMiss CacheCounters(const char* kind) {
+  obs::Registry& registry = obs::Registry::Default();
+  return {registry.GetCounter(
+              "dbre_query_cache_hits_total", {{"kind", kind}},
+              "Query-cache lookups served from a memoized result"),
+          registry.GetCounter(
+              "dbre_query_cache_misses_total", {{"kind", kind}},
+              "Query-cache lookups that had to build their result")};
+}
 
 // Hash/equality over the projected code tuple of a row, reading straight
 // from the column arrays — no per-row key materialization.
@@ -101,8 +122,10 @@ bool QueryCache::ColumnHasNull(size_t column) {
 }
 
 std::shared_ptr<const ValueSet> QueryCache::DictionarySet(size_t column) {
+  static const HitMiss counters = CacheCounters("dictionary_set");
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = dictionary_sets_.find(column);
+  counters.Count(it != dictionary_sets_.end());
   if (it != dictionary_sets_.end()) return it->second;
   encoded_.EnsureColumn(column);
   auto set = std::make_shared<ValueSet>();
@@ -117,8 +140,10 @@ std::shared_ptr<const ValueSet> QueryCache::DictionarySet(size_t column) {
 
 std::shared_ptr<const FlatSet64> QueryCache::Int64DictionarySet(
     size_t column) {
+  static const HitMiss counters = CacheCounters("int64_dictionary_set");
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = int64_dictionary_sets_.find(column);
+  counters.Count(it != int64_dictionary_sets_.end());
   if (it != int64_dictionary_sets_.end()) return it->second;
   encoded_.EnsureColumn(column);
   if (encoded_.declared_type(column) != DataType::kInt64 ||
@@ -136,9 +161,11 @@ std::shared_ptr<const FlatSet64> QueryCache::Int64DictionarySet(
 
 std::shared_ptr<const CodePartition> QueryCache::Partition(
     const std::vector<size_t>& columns, NullPolicy policy) {
+  static const HitMiss counters = CacheCounters("partition");
   PartitionKey key(columns, static_cast<int>(policy));
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = partitions_.find(key);
+  counters.Count(it != partitions_.end());
   if (it != partitions_.end()) return it->second;
   EnsureColumnsLocked(columns);
   std::shared_ptr<const CodePartition> partition =
@@ -158,10 +185,12 @@ size_t QueryCache::DistinctCount(const std::vector<size_t>& columns) {
 
 std::shared_ptr<const ValueVectorSet> QueryCache::DistinctProjection(
     const std::vector<size_t>& columns) {
+  static const HitMiss counters = CacheCounters("distinct_projection");
   std::shared_ptr<const CodePartition> partition =
       Partition(columns, NullPolicy::kSkipNullRows);
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = distinct_sets_.find(columns);
+  counters.Count(it != distinct_sets_.end());
   if (it != distinct_sets_.end()) return it->second;
   auto set = std::make_shared<ValueVectorSet>();
   set->reserve(partition->num_groups());

@@ -65,9 +65,11 @@ std::string Value::ToString() const {
   return as_text();
 }
 
-Result<Value> Value::Parse(std::string_view text, DataType type) {
+Result<Value> Value::Parse(std::string_view text, DataType type,
+                           NullHandling nulls) {
   std::string_view trimmed = TrimWhitespace(text);
-  if (trimmed.empty() || EqualsIgnoreCase(trimmed, "null")) {
+  if (nulls == NullHandling::kLenient &&
+      (trimmed.empty() || EqualsIgnoreCase(trimmed, "null"))) {
     return Value::Null();
   }
   switch (type) {

@@ -62,9 +62,21 @@ class Value {
   // Renders the value for display; NULL renders as "NULL", strings verbatim.
   std::string ToString() const;
 
-  // Parses `text` as a value of declared type `type`. The literal "NULL"
-  // (case-insensitive) or an empty string parses as the NULL value.
-  static Result<Value> Parse(std::string_view text, DataType type);
+  // Controls how Parse treats NULL-lookalike text.
+  enum class NullHandling {
+    // The literal "NULL" (case-insensitive) or whitespace-only text parses
+    // as the NULL value.
+    kLenient,
+    // Text always parses as a typed value or fails; callers that already
+    // know the field is non-NULL (e.g. a quoted CSV field) use this so
+    // "NULL" round-trips as data rather than collapsing to SQL NULL.
+    kNeverNull,
+  };
+
+  // Parses `text` (trimmed of surrounding whitespace) as a value of
+  // declared type `type`.
+  static Result<Value> Parse(std::string_view text, DataType type,
+                             NullHandling nulls = NullHandling::kLenient);
 
   // NULL-first total order across type tags; used for container keys, not
   // SQL comparison semantics.

@@ -3,7 +3,28 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace dbre::service {
+namespace {
+
+// Final disposition of every question: answered by a client, timed out to
+// the fallback, or cancelled (session closed / oracle shut down).
+obs::Counter* QuestionCounter(const char* outcome) {
+  return obs::Registry::Default().GetCounter(
+      "dbre_oracle_questions_total", {{"outcome", outcome}},
+      "Expert-oracle questions by final outcome");
+}
+
+obs::Histogram* WaitHistogram() {
+  static obs::Histogram* histogram = obs::Registry::Default().GetHistogram(
+      "dbre_oracle_wait_us", {},
+      "Time a pipeline worker spent suspended awaiting an expert answer");
+  return histogram;
+}
+
+}  // namespace
 
 const char* PendingQuestionKindName(PendingQuestion::Kind kind) {
   switch (kind) {
@@ -141,12 +162,17 @@ bool AsyncOracle::WaitForQuestion(int64_t timeout_ms) const {
 }
 
 OracleAnswer AsyncOracle::Ask(PendingQuestion question, bool* use_fallback) {
+  static obs::Counter* answered_count = QuestionCounter("answered");
+  static obs::Counter* timed_out_count = QuestionCounter("timed_out");
+  static obs::Counter* cancelled_count = QuestionCounter("cancelled");
   uint64_t id = 0;
+  std::string subject = question.subject;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (cancelled_) {
       ++counters_.asked;
       ++counters_.cancelled;
+      cancelled_count->Add(1);
       *use_fallback = true;
       return OracleAnswer{};
     }
@@ -159,6 +185,12 @@ OracleAnswer AsyncOracle::Ask(PendingQuestion question, bool* use_fallback) {
     changed_.notify_all();
   }
   Notify();
+
+  // The span covers the suspended wait only, not question publication; a
+  // long wait lands in the slow-op log with the question subject attached.
+  obs::TraceSpan wait_span("oracle:wait", nullptr, WaitHistogram(),
+                           obs::Registry::Default().slow_ops());
+  wait_span.set_detail(std::move(subject));
 
   auto deadline = std::chrono::steady_clock::now() +
                   std::chrono::milliseconds(options_.timeout_ms);
@@ -179,18 +211,22 @@ OracleAnswer AsyncOracle::Ask(PendingQuestion question, bool* use_fallback) {
     resolved_ids_.insert(id);
     if (slot.resolved && slot.by_client) {
       ++counters_.answered;
+      answered_count->Add(1);
       *use_fallback = false;
       answer = std::move(slot.answer);
     } else {
       if (timed_out) {
         ++counters_.timed_out;
+        timed_out_count->Add(1);
       } else {
         ++counters_.cancelled;
+        cancelled_count->Add(1);
       }
       *use_fallback = true;
     }
     changed_.notify_all();
   }
+  wait_span.Finish();
   Notify();
   return answer;
 }

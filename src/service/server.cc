@@ -6,6 +6,8 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace dbre::service {
 namespace {
 
@@ -30,6 +32,10 @@ WaitHub& Hub() {
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)), manager_(options_.sessions) {
+  if (options_.slow_op_ms > 0) {
+    obs::Registry::Default().slow_ops()->set_threshold_us(
+        options_.slow_op_ms * 1000);
+  }
   if (manager_.store() != nullptr) {
     recovery_ = manager_.RecoverAll();
     // Recovered sessions need the same listener `create` installs, or
@@ -68,6 +74,8 @@ Result<Json> Server::Dispatch(const Request& request) {
   }
   if (cmd == "close") return HandleClose(request);
   if (cmd == "stats") return HandleStats();
+  if (cmd == "metrics") return HandleMetrics();
+  if (cmd == "trace") return HandleTrace(request);
   if (cmd == "persist") return HandlePersist(request);
   if (cmd == "restore") return HandleRestore(request);
   if (cmd == "shutdown") {
@@ -348,6 +356,25 @@ Result<Json> Server::HandleStats() {
   result.Set("memory_used_bytes",
              Json::Int(static_cast<int64_t>(manager_.budget()->used())));
   result.Set("extension_cache", std::move(cache));
+  const obs::SlowOpLog* slow = obs::Registry::Default().slow_ops();
+  Json obs_block = Json::MakeObject();
+  obs_block.Set("slow_op_threshold_ms",
+                Json::Int(slow->threshold_us() > 0
+                              ? slow->threshold_us() / 1000
+                              : 0));
+  obs_block.Set("slow_ops_total",
+                Json::Int(static_cast<int64_t>(slow->total())));
+  Json slow_list = Json::MakeArray();
+  for (const obs::SlowOp& op : slow->Snapshot()) {
+    Json entry = Json::MakeObject();
+    entry.Set("op", Json::Str(op.op));
+    if (!op.detail.empty()) entry.Set("detail", Json::Str(op.detail));
+    entry.Set("duration_us", Json::Int(op.duration_us));
+    entry.Set("at_unix_us", Json::Int(op.at_unix_us));
+    slow_list.Append(std::move(entry));
+  }
+  obs_block.Set("slow_ops", std::move(slow_list));
+  result.Set("obs", std::move(obs_block));
   if (manager_.store() != nullptr) {
     Json store = Json::MakeObject();
     store.Set("data_dir", Json::Str(manager_.store()->root()));
@@ -359,6 +386,33 @@ Result<Json> Server::HandleStats() {
               Json::Int(static_cast<int64_t>(recovery_.records_dropped)));
     result.Set("store", std::move(store));
   }
+  return result;
+}
+
+Result<Json> Server::HandleMetrics() {
+  Json result = Json::MakeObject();
+  result.Set("metrics",
+             Json::Str(obs::Registry::Default().RenderPrometheus()));
+  return result;
+}
+
+Result<Json> Server::HandleTrace(const Request& request) {
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                        SessionParam(request));
+  const obs::TraceRing& ring = session->trace();
+  Json spans = Json::MakeArray();
+  for (const obs::SpanRecord& span : ring.Snapshot()) {
+    Json entry = Json::MakeObject();
+    entry.Set("name", Json::Str(span.name));
+    if (!span.detail.empty()) entry.Set("detail", Json::Str(span.detail));
+    entry.Set("start_unix_us", Json::Int(span.start_unix_us));
+    entry.Set("duration_us", Json::Int(span.duration_us));
+    spans.Append(std::move(entry));
+  }
+  Json result = Json::MakeObject();
+  result.Set("session", Json::Str(session->id()));
+  result.Set("spans", std::move(spans));
+  result.Set("dropped", Json::Int(static_cast<int64_t>(ring.dropped())));
   return result;
 }
 

@@ -11,7 +11,7 @@
 // Commands (see docs/SERVICE.md): hello, create, sessions, status,
 // load_ddl, load_csv, add_joins, run, wait, questions, answer, report,
 // summary, export_ddl, export_eer, export_navigation, close, stats,
-// persist, restore, shutdown.
+// metrics, trace, persist, restore, shutdown.
 //
 // With a data dir (`dbre_serve --data-dir`), the constructor replays every
 // journal found on disk before serving: crashed sessions come back with
@@ -35,6 +35,11 @@ struct ServerOptions {
   // Upper bound a `wait` request may block server-side, even if the client
   // asks for longer (keeps connection threads reclaimable).
   int64_t max_wait_ms = 30'000;
+  // When > 0, arms the process-wide slow-op log: any instrumented
+  // operation (pipeline phase, expert wait, journal fsync, snapshot
+  // write/load) at least this many milliseconds long is retained and
+  // reported by `stats`. 0 leaves the log disabled.
+  int64_t slow_op_ms = 0;
 };
 
 class Server {
@@ -80,6 +85,8 @@ class Server {
   Result<Json> HandleExport(const Request& request);
   Result<Json> HandleClose(const Request& request);
   Result<Json> HandleStats();
+  Result<Json> HandleMetrics();
+  Result<Json> HandleTrace(const Request& request);
   Result<Json> HandlePersist(const Request& request);
   Result<Json> HandleRestore(const Request& request);
 

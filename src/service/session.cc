@@ -228,6 +228,7 @@ void Session::ExecuteRun(const RunOptions& options) {
   pipeline_options.close_inds = options.close_inds;
   pipeline_options.translate.merge_isa_cycles = options.merge_isa_cycles;
   pipeline_options.cancel = &cancel_;
+  pipeline_options.trace = &trace_;
   pipeline_options.on_phase = [this](const char* phase) {
     {
       std::lock_guard<std::mutex> lock(mutex_);

@@ -28,6 +28,7 @@
 #include "common/status.h"
 #include "core/pipeline.h"
 #include "core/replay_oracle.h"
+#include "obs/trace.h"
 #include "relational/extension_registry.h"
 #include "service/async_oracle.h"
 #include "service/persist.h"
@@ -136,6 +137,10 @@ class Session {
   AsyncOracle* oracle() { return &oracle_; }
   const AsyncOracle* oracle() const { return &oracle_; }
 
+  // Completed pipeline-phase spans of this session's runs, oldest first
+  // (bounded; see obs/trace.h). Backs the server's `trace` command.
+  const obs::TraceRing& trace() const { return trace_; }
+
   // Fires (outside all session locks) whenever a question is asked or
   // resolved, or the run reaches a terminal state — the server's `wait`
   // command hangs off this.
@@ -176,6 +181,7 @@ class Session {
   const std::shared_ptr<MemoryBudget> budget_;
 
   AsyncOracle oracle_;
+  obs::TraceRing trace_;
   std::atomic<bool> cancel_{false};
   // Set once before any load (AttachPersistence) and disarmed at shutdown;
   // ExecuteRun reads it without the session lock.

@@ -2,10 +2,43 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
 #include "service/protocol.h"
 
 namespace dbre::service {
 namespace {
+
+// Admission and occupancy metrics for the run scheduler. One struct so
+// SubmitRun touches a single cached static.
+struct SchedulerMetrics {
+  obs::Counter* sessions_created;
+  obs::Counter* sessions_closed;
+  obs::Counter* admission_rejects;
+  obs::Gauge* live_sessions;
+  obs::Gauge* queued_runs;
+  obs::Gauge* inflight_runs;
+};
+
+const SchedulerMetrics& Metrics() {
+  static const SchedulerMetrics metrics = [] {
+    obs::Registry& registry = obs::Registry::Default();
+    return SchedulerMetrics{
+        registry.GetCounter("dbre_sessions_created_total", {},
+                            "Sessions created (including recovered)"),
+        registry.GetCounter("dbre_sessions_closed_total", {},
+                            "Sessions closed"),
+        registry.GetCounter(
+            "dbre_run_admission_rejects_total", {},
+            "Run submissions rejected by the inflight+queued limit"),
+        registry.GetGauge("dbre_live_sessions", {}, "Sessions currently live"),
+        registry.GetGauge("dbre_queued_runs", {},
+                          "Runs admitted but not yet executing"),
+        registry.GetGauge("dbre_inflight_runs", {},
+                          "Runs currently executing"),
+    };
+  }();
+  return metrics;
+}
 
 // Rebuilds the NeiDecision / boolean / name answer a journal record holds
 // and primes the replay oracle with it. Unknown kinds are skipped — an old
@@ -118,6 +151,8 @@ Result<std::string> SessionManager::CreateSession(
   DBRE_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
                         MakeSession(id, /*replaying=*/false));
   sessions_.emplace(id, std::move(session));
+  Metrics().sessions_created->Add(1);
+  Metrics().live_sessions->Add(1);
   return id;
 }
 
@@ -150,6 +185,7 @@ Status SessionManager::SubmitRun(const std::shared_ptr<Session>& session,
     std::lock_guard<std::mutex> lock(mutex_);
     if (inflight_ + queued_ >=
         options_.max_inflight_runs + options_.max_queued_runs) {
+      Metrics().admission_rejects->Add(1);
       return FailedPreconditionError(
           "run admission rejected: " + std::to_string(inflight_) +
           " in flight and " + std::to_string(queued_) +
@@ -157,11 +193,13 @@ Status SessionManager::SubmitRun(const std::shared_ptr<Session>& session,
           "/" + std::to_string(options_.max_queued_runs) + "); retry later");
     }
     ++queued_;
+    Metrics().queued_runs->Add(1);
   }
   Status begun = session->BeginRun(options);
   if (!begun.ok()) {
     std::lock_guard<std::mutex> lock(mutex_);
     --queued_;
+    Metrics().queued_runs->Add(-1);
     return begun;
   }
   pool_->Submit([this, session, options] {
@@ -169,10 +207,13 @@ Status SessionManager::SubmitRun(const std::shared_ptr<Session>& session,
       std::lock_guard<std::mutex> lock(mutex_);
       --queued_;
       ++inflight_;
+      Metrics().queued_runs->Add(-1);
+      Metrics().inflight_runs->Add(1);
     }
     session->ExecuteRun(options);
     std::lock_guard<std::mutex> lock(mutex_);
     --inflight_;
+    Metrics().inflight_runs->Add(-1);
   });
   return Status::Ok();
 }
@@ -187,6 +228,8 @@ Status SessionManager::CloseSession(const std::string& id) {
     }
     session = std::move(it->second);
     sessions_.erase(it);
+    Metrics().sessions_closed->Add(1);
+    Metrics().live_sessions->Add(-1);
   }
   // Tombstone first (durable even if the directory removal below is cut
   // short by a crash — recovery sees the close record and GCs), then
@@ -211,6 +254,8 @@ void SessionManager::Shutdown() {
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto& [id, session] : sessions_) sessions.push_back(session);
     sessions_.clear();
+    Metrics().sessions_closed->Add(static_cast<uint64_t>(sessions.size()));
+    Metrics().live_sessions->Add(-static_cast<int64_t>(sessions.size()));
   }
   for (const auto& session : sessions) session->DisarmPersistence();
   for (const auto& session : sessions) session->Close();
@@ -341,6 +386,8 @@ Result<std::shared_ptr<Session>> SessionManager::RecoverFromReplay(
     if (!sessions_.emplace(id, session).second) {
       return AlreadyExistsError("session '" + id + "' is live");
     }
+    Metrics().sessions_created->Add(1);
+    Metrics().live_sessions->Add(1);
   }
   if (has_run) {
     run_options.replay = replay_oracle;

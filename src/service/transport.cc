@@ -216,10 +216,9 @@ void TcpServer::Stop() {
     connections.swap(connections_);
     threads.swap(connection_threads_);
   }
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (int fd = listen_fd_.exchange(-1); fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
   if (accept_thread_.joinable() &&
       accept_thread_.get_id() != std::this_thread::get_id()) {

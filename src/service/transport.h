@@ -9,6 +9,7 @@
 #ifndef DBRE_SERVICE_TRANSPORT_H_
 #define DBRE_SERVICE_TRANSPORT_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <istream>
@@ -107,7 +108,9 @@ class TcpServer {
   void AcceptLoop();
 
   Server* server_;
-  int listen_fd_ = -1;
+  // Atomic: Stop() invalidates it from another thread while AcceptLoop()
+  // is between accept() calls.
+  std::atomic<int> listen_fd_{-1};
   uint16_t port_ = 0;
   std::thread accept_thread_;
   std::mutex mutex_;

@@ -13,10 +13,51 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/crc32c.h"
 
 namespace dbre::store {
 namespace {
+
+struct JournalMetrics {
+  obs::Counter* appends;
+  obs::Counter* bytes;
+  obs::Counter* torn_tails;
+  obs::Counter* replay_dropped;
+  obs::Histogram* fsync_us;
+};
+
+const JournalMetrics& Metrics() {
+  static const JournalMetrics metrics = [] {
+    obs::Registry& registry = obs::Registry::Default();
+    return JournalMetrics{
+        registry.GetCounter("dbre_journal_appends_total", {},
+                            "Journal records appended"),
+        registry.GetCounter("dbre_journal_bytes_total", {},
+                            "Bytes written to journal segments"),
+        registry.GetCounter(
+            "dbre_journal_torn_tails_total", {},
+            "Torn segment tails truncated when reopening a journal"),
+        registry.GetCounter(
+            "dbre_journal_replay_dropped_total", {},
+            "Invalid or torn records dropped during journal replay"),
+        registry.GetHistogram("dbre_journal_fsync_us", {},
+                              "Journal fsync latency (batched appends and "
+                              "explicit syncs)"),
+    };
+  }();
+  return metrics;
+}
+
+// Fsyncs `fd`, timing the call into the fsync histogram and — when it
+// crosses the threshold — the slow-op log with the journal dir attached.
+int TimedFsync(int fd, const std::string& dir) {
+  obs::TraceSpan span("journal:fsync", nullptr, Metrics().fsync_us,
+                      obs::Registry::Default().slow_ops());
+  span.set_detail(dir);
+  return ::fsync(fd);
+}
 
 namespace fs = std::filesystem;
 using service::Json;
@@ -138,6 +179,7 @@ Result<std::unique_ptr<Journal>> Journal::Open(const std::string& dir,
   int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
   if (fd < 0) return IoError("open " + path + ": " + std::strerror(errno));
   if (valid_end != content.size()) {
+    Metrics().torn_tails->Add(1);
     if (::ftruncate(fd, static_cast<off_t>(valid_end)) != 0) {
       int err = errno;
       ::close(fd);
@@ -199,8 +241,10 @@ Status Journal::Append(const Json& record) {
   segment_bytes_ += line.size();
   ++stats_.records;
   stats_.bytes += line.size();
+  Metrics().appends->Add(1);
+  Metrics().bytes->Add(line.size());
   if (options_.fsync_batch > 0 && ++unsynced_ >= options_.fsync_batch) {
-    if (::fsync(fd_) != 0) {
+    if (TimedFsync(fd_, dir_) != 0) {
       return IoError("journal fsync in " + dir_ + ": " +
                      std::strerror(errno));
     }
@@ -213,7 +257,7 @@ Status Journal::Append(const Json& record) {
 Status Journal::Sync() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (fd_ < 0) return FailedPreconditionError("journal is not open");
-  if (::fsync(fd_) != 0) {
+  if (TimedFsync(fd_, dir_) != 0) {
     return IoError("journal fsync in " + dir_ + ": " + std::strerror(errno));
   }
   unsynced_ = 0;
@@ -249,6 +293,7 @@ Result<JournalReplay> ReadJournal(const std::string& dir) {
     ScanSegment(content, &replay.records, &replay.dropped);
     if (replay.dropped != before) corrupt = true;
   }
+  if (replay.dropped > 0) Metrics().replay_dropped->Add(replay.dropped);
   return replay;
 }
 

@@ -10,12 +10,38 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/encoded_table.h"
 #include "relational/extension_registry.h"
 #include "store/crc32c.h"
 
 namespace dbre::store {
 namespace {
+
+struct SnapshotMetrics {
+  obs::Counter* bytes_written;
+  obs::Counter* bytes_read;
+  obs::Histogram* write_us;
+  obs::Histogram* load_us;
+};
+
+const SnapshotMetrics& Metrics() {
+  static const SnapshotMetrics metrics = [] {
+    obs::Registry& registry = obs::Registry::Default();
+    return SnapshotMetrics{
+        registry.GetCounter("dbre_snapshot_bytes_written_total", {},
+                            "Bytes written to snapshot files"),
+        registry.GetCounter("dbre_snapshot_bytes_read_total", {},
+                            "Bytes read (mapped) from snapshot files"),
+        registry.GetHistogram("dbre_snapshot_write_us", {},
+                              "Snapshot encode+write+fsync latency"),
+        registry.GetHistogram("dbre_snapshot_load_us", {},
+                              "Snapshot verify+materialize latency"),
+    };
+  }();
+  return metrics;
+}
 
 constexpr char kMagic[8] = {'D', 'B', 'S', 'N', 'A', 'P', '0', '1'};
 constexpr char kFooterMagic[8] = {'D', 'B', 'S', 'N', 'A', 'P', 'F', 'T'};
@@ -327,6 +353,9 @@ Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
 
 Result<SnapshotInfo> WriteSnapshot(const Table& table,
                                    const std::string& path) {
+  obs::TraceSpan span("snapshot:write", nullptr, Metrics().write_us,
+                      obs::Registry::Default().slow_ops());
+  span.set_detail(path);
   DBRE_ASSIGN_OR_RETURN(EncodedTable encoded, EncodedTable::Build(table));
   uint64_t fingerprint = ExtensionRegistry::ComputeFingerprint(table);
 
@@ -360,6 +389,7 @@ Result<SnapshotInfo> WriteSnapshot(const Table& table,
   file.out.append(kFooterMagic, sizeof(kFooterMagic));
 
   DBRE_RETURN_IF_ERROR(WriteFileAtomic(path, file.out));
+  Metrics().bytes_written->Add(file.out.size());
 
   SnapshotInfo info;
   info.fingerprint = fingerprint;
@@ -432,7 +462,11 @@ Result<SnapshotInfo> ReadSnapshotInfo(const std::string& path) {
 }
 
 Result<LoadedSnapshot> LoadSnapshot(const std::string& path) {
+  obs::TraceSpan span("snapshot:load", nullptr, Metrics().load_us,
+                      obs::Registry::Default().slow_ops());
+  span.set_detail(path);
   DBRE_ASSIGN_OR_RETURN(MappedFile file, MappedFile::Open(path));
+  Metrics().bytes_read->Add(file.size());
   DBRE_ASSIGN_OR_RETURN(SnapshotLayout layout, ParseLayout(file, path));
   const unsigned char* data = file.data();
   const uint64_t rows = layout.schema.rows;

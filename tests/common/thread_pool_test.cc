@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -63,6 +64,77 @@ TEST(ParallelForTest, HandlesEmptyAndSingle) {
   EXPECT_EQ(calls, 0);
   ParallelFor(1, 4, [&calls](size_t) { ++calls; });
   EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, RethrowsFirstBodyException) {
+  const size_t n = 256;
+  std::atomic<int> calls{0};
+  try {
+    ParallelFor(n, 4, [&calls](size_t i) {
+      calls.fetch_add(1);
+      if (i == 17) throw std::runtime_error("body failed at 17");
+    });
+    FAIL() << "ParallelFor swallowed the exception";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "body failed at 17");
+  }
+  // The throwing iteration aborts the sweep early: not every index ran.
+  EXPECT_LE(calls.load(), static_cast<int>(n));
+  EXPECT_GE(calls.load(), 1);
+}
+
+TEST(ParallelForTest, ExceptionOnSingleThreadPropagates) {
+  EXPECT_THROW(
+      ParallelFor(8, 1, [](size_t) { throw std::logic_error("inline"); }),
+      std::logic_error);
+}
+
+TEST(ParallelForTest, PoolIsReusableAcrossCalls) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(200);
+  for (int round = 0; round < 4; ++round) {
+    ParallelFor(&pool, hits.size(), 0,
+                [&hits](size_t i) { hits[i].fetch_add(1); });
+  }
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 4) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, PoolSurvivesThrowingSweep) {
+  ThreadPool pool(2);
+  EXPECT_THROW(ParallelFor(&pool, 64, 0,
+                           [](size_t i) {
+                             if (i == 3) throw std::runtime_error("boom");
+                           }),
+               std::runtime_error);
+  // The same pool still runs a clean sweep afterwards.
+  std::atomic<int> calls{0};
+  ParallelFor(&pool, 64, 0, [&calls](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 64);
+}
+
+TEST(ParallelForTest, SharedPoolIsStable) {
+  ThreadPool& first = ThreadPool::Shared();
+  ThreadPool& second = ThreadPool::Shared();
+  EXPECT_EQ(&first, &second);
+  EXPECT_GE(first.num_threads(), 1u);
+}
+
+TEST(ParallelForTest, NestedCallsComplete) {
+  // The caller participates in the sweep, so inner ParallelFor calls make
+  // progress even when every shared-pool worker is busy with outer bodies.
+  const size_t outer = 8;
+  const size_t inner = 32;
+  std::vector<std::atomic<int>> hits(outer * inner);
+  ParallelFor(outer, 4, [&hits, inner](size_t o) {
+    ParallelFor(inner, 4, [&hits, inner, o](size_t i) {
+      hits[o * inner + i].fetch_add(1);
+    });
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,234 @@
+// Unit coverage for the observability subsystem: metric cells, Prometheus
+// rendering, the slow-op log, trace spans, and the guarantee that pipeline
+// counters agree with the pipeline's own report.
+#include "obs/metrics.h"
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "obs/trace.h"
+#include "workload/paper_example.h"
+
+namespace dbre::obs {
+namespace {
+
+TEST(ObsMetricsTest, CounterAndGaugeCellsAreStable) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("dbre_test_total", {}, "help");
+  counter->Add();
+  counter->Add(4);
+  EXPECT_EQ(counter->value(), 5u);
+  // Same (name, labels) yields the same cell; different labels a new one.
+  EXPECT_EQ(registry.GetCounter("dbre_test_total"), counter);
+  Counter* labeled =
+      registry.GetCounter("dbre_test_total", {{"kind", "other"}});
+  EXPECT_NE(labeled, counter);
+  EXPECT_EQ(labeled->value(), 0u);
+
+  Gauge* gauge = registry.GetGauge("dbre_test_level");
+  gauge->Set(7);
+  gauge->Add(-3);
+  EXPECT_EQ(gauge->value(), 4);
+  EXPECT_EQ(registry.GetGauge("dbre_test_level"), gauge);
+}
+
+TEST(ObsMetricsTest, HistogramBucketsByLog2) {
+  EXPECT_EQ(Histogram::BucketOf(0), 0u);
+  EXPECT_EQ(Histogram::BucketOf(1), 1u);
+  EXPECT_EQ(Histogram::BucketOf(2), 2u);
+  EXPECT_EQ(Histogram::BucketOf(3), 2u);
+  EXPECT_EQ(Histogram::BucketOf(4), 3u);
+  EXPECT_EQ(Histogram::BucketOf(1023), 10u);
+  EXPECT_EQ(Histogram::BucketOf(1024), 11u);
+  // Values past the last bucket boundary land in the final bucket.
+  EXPECT_EQ(Histogram::BucketOf(~uint64_t{0}), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 7u);
+
+  Histogram histogram;
+  for (uint64_t v : {0u, 1u, 3u, 100u, 100u}) histogram.Observe(v);
+  EXPECT_EQ(histogram.count(), 5u);
+  EXPECT_EQ(histogram.sum(), 204u);
+  EXPECT_EQ(histogram.bucket(0), 1u);   // 0
+  EXPECT_EQ(histogram.bucket(1), 1u);   // 1
+  EXPECT_EQ(histogram.bucket(2), 1u);   // 3
+  EXPECT_EQ(histogram.bucket(7), 2u);   // 100 twice: [64, 128)
+  // The rank truncates: 0.5 * 5 observations targets rank 2 (value 1).
+  EXPECT_EQ(histogram.ApproxQuantile(0.5), 1u);
+  EXPECT_EQ(histogram.ApproxQuantile(1.0), 127u);
+}
+
+TEST(ObsMetricsTest, ObserveIsThreadSafe) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("dbre_threads_total");
+  Histogram* histogram = registry.GetHistogram("dbre_threads_us");
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 10'000; ++i) {
+        counter->Add();
+        histogram->Observe(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(counter->value(), 80'000u);
+  EXPECT_EQ(histogram->count(), 80'000u);
+}
+
+TEST(ObsMetricsTest, RenderPrometheusFormat) {
+  Registry registry;
+  registry.GetCounter("dbre_runs_total", {{"phase", "ind"}}, "Run count")
+      ->Add(3);
+  registry.GetGauge("dbre_live", {}, "Live things")->Set(2);
+  Histogram* histogram =
+      registry.GetHistogram("dbre_wait_us", {}, "Wait time");
+  histogram->Observe(0);
+  histogram->Observe(5);
+
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# HELP dbre_runs_total Run count\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE dbre_runs_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dbre_runs_total{phase=\"ind\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE dbre_live gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("dbre_live 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dbre_wait_us histogram\n"), std::string::npos);
+  // Buckets are cumulative: the le="7" bucket includes both observations.
+  EXPECT_NE(text.find("dbre_wait_us_bucket{le=\"0\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dbre_wait_us_bucket{le=\"7\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dbre_wait_us_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dbre_wait_us_sum 5\n"), std::string::npos);
+  EXPECT_NE(text.find("dbre_wait_us_count 2\n"), std::string::npos);
+}
+
+TEST(ObsMetricsTest, SlowOpLogRespectsThresholdAndCapacity) {
+  SlowOpLog log(/*capacity=*/2);
+  // Disabled by default: nothing records.
+  EXPECT_FALSE(log.MaybeRecord("op", 1'000'000));
+  EXPECT_EQ(log.total(), 0u);
+
+  log.set_threshold_us(500);
+  EXPECT_FALSE(log.MaybeRecord("fast", 499));
+  EXPECT_TRUE(log.MaybeRecord("slow_a", 500, "first"));
+  EXPECT_TRUE(log.MaybeRecord("slow_b", 900));
+  EXPECT_TRUE(log.MaybeRecord("slow_c", 700));
+  EXPECT_EQ(log.total(), 3u);
+
+  // Capacity 2 keeps only the most recent two, oldest first.
+  std::vector<SlowOp> ops = log.Snapshot();
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0].op, "slow_b");
+  EXPECT_EQ(ops[1].op, "slow_c");
+  EXPECT_EQ(ops[1].duration_us, 700);
+  EXPECT_GT(ops[1].at_unix_us, 0);
+}
+
+TEST(ObsMetricsTest, TraceRingBoundsHistoryAndCountsDrops) {
+  TraceRing ring(/*capacity=*/3);
+  for (int i = 0; i < 5; ++i) {
+    ring.Record({"span_" + std::to_string(i), "", 0, i});
+  }
+  std::vector<SpanRecord> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "span_2");
+  EXPECT_EQ(spans[2].name, "span_4");
+  EXPECT_EQ(ring.dropped(), 2u);
+}
+
+TEST(ObsMetricsTest, TraceSpanFansOutToEverySink) {
+  TraceRing ring(8);
+  Histogram histogram;
+  SlowOpLog slow_ops;
+  slow_ops.set_threshold_us(1);  // everything measurable is "slow"
+
+  int64_t duration = 0;
+  {
+    TraceSpan span("unit:op", &ring, &histogram, &slow_ops);
+    span.set_detail("ctx");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    duration = span.Finish();
+    // Finish is idempotent: the destructor must not double-record.
+  }
+  EXPECT_GE(duration, 1'000);
+
+  std::vector<SpanRecord> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "unit:op");
+  EXPECT_EQ(spans[0].detail, "ctx");
+  EXPECT_EQ(spans[0].duration_us, duration);
+  EXPECT_EQ(histogram.count(), 1u);
+  EXPECT_EQ(histogram.sum(), static_cast<uint64_t>(duration));
+  ASSERT_EQ(slow_ops.Snapshot().size(), 1u);
+  EXPECT_EQ(slow_ops.Snapshot()[0].op, "unit:op");
+}
+
+TEST(ObsMetricsTest, NullSinkSpanIsHarmless) {
+  TraceSpan span("noop");
+  EXPECT_GE(span.Finish(), 0);
+  EXPECT_EQ(span.Finish(), span.Finish());  // idempotent, same duration
+}
+
+// The contract the `metrics` command relies on: counters incremented inside
+// RunPipeline agree exactly with the pipeline's own report.
+TEST(ObsMetricsTest, PipelineCountersMatchReport) {
+  auto db = workload::BuildPaperDatabase();
+  ASSERT_TRUE(db.ok()) << db.status();
+
+  Registry& registry = Registry::Default();
+  Counter* fd_tests = registry.GetCounter("dbre_rhs_fd_tests_total");
+  Counter* ext_queries =
+      registry.GetCounter("dbre_ind_extension_queries_total");
+  Counter* runs = registry.GetCounter("dbre_pipeline_runs_total");
+  Counter* completed =
+      registry.GetCounter("dbre_pipeline_runs_completed_total");
+  const uint64_t fd_before = fd_tests->value();
+  const uint64_t ext_before = ext_queries->value();
+  const uint64_t runs_before = runs->value();
+  const uint64_t completed_before = completed->value();
+
+  auto oracle = workload::PaperOracle();
+  TraceRing trace(64);
+  PipelineOptions options;
+  options.trace = &trace;
+  auto report =
+      RunPipeline(*db, workload::PaperJoinSet(), oracle.get(), options);
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  EXPECT_EQ(fd_tests->value() - fd_before, report->rhs.fd_checks);
+  EXPECT_EQ(ext_queries->value() - ext_before,
+            report->ind.extension_queries);
+  EXPECT_EQ(runs->value() - runs_before, 1u);
+  EXPECT_EQ(completed->value() - completed_before, 1u);
+  EXPECT_GT(report->rhs.fd_checks, 0u);
+
+  // Every phase left a span in the caller-supplied ring, and the span
+  // durations are the report timings.
+  std::vector<SpanRecord> spans = trace.Snapshot();
+  ASSERT_EQ(spans.size(), 5u);
+  EXPECT_EQ(spans[0].name, "pipeline:ind_discovery");
+  EXPECT_EQ(spans[1].name, "pipeline:lhs_discovery");
+  EXPECT_EQ(spans[2].name, "pipeline:rhs_discovery");
+  EXPECT_EQ(spans[3].name, "pipeline:restruct");
+  EXPECT_EQ(spans[4].name, "pipeline:translate");
+  EXPECT_EQ(spans[2].duration_us, report->timings.rhs_discovery_us);
+
+  // Phase histograms in the default registry saw the run too.
+  Histogram* rhs_histogram = registry.GetHistogram(
+      "dbre_pipeline_phase_us", {{"phase", "rhs_discovery"}});
+  EXPECT_GE(rhs_histogram->count(), 1u);
+}
+
+}  // namespace
+}  // namespace dbre::obs

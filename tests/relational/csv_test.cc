@@ -109,6 +109,101 @@ TEST(CsvTest, RoundTripsThroughText) {
   }
 }
 
+// Text that merely looks like NULL must come back as the same text, and
+// real NULLs must come back as NULL — the writer quotes every
+// NULL-lookalike so the reader can tell them apart.
+TEST(CsvTest, NullLookalikeTextRoundTrips) {
+  Table table = MakeTable();
+  const char* lookalikes[] = {"NULL", "null", "Null", "nUlL", " ",
+                              "   ",  "\t",   " null ", "  x  "};
+  int64_t id = 0;
+  for (const char* text : lookalikes) {
+    ASSERT_TRUE(
+        table.Insert({Value::Int(++id), Value::Text(text), Value::Real(1.0)})
+            .ok());
+  }
+  ASSERT_TRUE(
+      table.Insert({Value::Int(++id), Value::Null(), Value::Null()}).ok());
+  ASSERT_TRUE(
+      table.Insert({Value::Int(++id), Value::Text(""), Value::Real(0)}).ok());
+
+  std::string csv = WriteCsvText(table);
+  Table reloaded = MakeTable();
+  auto loaded = LoadCsvText(csv, &reloaded);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(reloaded.num_rows(), table.num_rows());
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    EXPECT_EQ(reloaded.row(i), table.row(i)) << "row " << i;
+  }
+}
+
+// Double round trip: write ∘ load ∘ write must be a fixed point for every
+// hazard class (delimiters, quotes, newlines, NULL lookalikes, whitespace).
+TEST(CsvTest, WriteLoadWriteIsIdempotent) {
+  Table table = MakeTable();
+  const char* texts[] = {"plain", "a,b", "say \"hi\"", "two\nlines",
+                         "NULL",  " ",   "", " padded "};
+  int64_t id = 0;
+  for (const char* text : texts) {
+    ASSERT_TRUE(
+        table.Insert({Value::Int(++id), Value::Text(text), Value::Real(1.0)})
+            .ok());
+  }
+  std::string first = WriteCsvText(table);
+  Table reloaded = MakeTable();
+  ASSERT_TRUE(LoadCsvText(first, &reloaded).ok());
+  EXPECT_EQ(WriteCsvText(reloaded), first);
+}
+
+// A quoted field is explicit data, never NULL: in a string column it is
+// taken verbatim, in a typed column a quoted "NULL" is a parse error
+// rather than a silent NULL.
+TEST(CsvTest, QuotedFieldsNeverParseAsNull) {
+  Table table = MakeTable();
+  auto loaded =
+      LoadCsvText("id,name,score\n1,\"NULL\",1.0\n2,\" \",2.0\n", &table);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(table.row(0)[1], Value::Text("NULL"));
+  EXPECT_EQ(table.row(1)[1], Value::Text(" "));
+
+  Table bad = MakeTable();
+  EXPECT_EQ(
+      LoadCsvText("id,name,score\n\"NULL\",a,1.0\n", &bad).status().code(),
+      StatusCode::kParseError);
+}
+
+// Unquoted fields keep the lenient convention: empty or NULL (any case)
+// means SQL NULL.
+TEST(CsvTest, UnquotedNullStaysNull) {
+  Table table = MakeTable();
+  auto loaded = LoadCsvText("id,name,score\n1,nUlL,\n", &table);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(table.row(0)[1].is_null());
+  EXPECT_TRUE(table.row(0)[2].is_null());
+}
+
+// Error messages must count physical lines, not records — a quoted field
+// with embedded newlines shifts everything after it.
+TEST(CsvTest, ErrorLineNumbersCountEmbeddedNewlines) {
+  Table table = MakeTable();
+  // Header = line 1; record 1 spans lines 2-4 ("a\nb\nc"); the bad record
+  // (3 fields expected, 2 given) starts on line 5.
+  auto loaded = LoadCsvText(
+      "id,name,score\n1,\"a\nb\nc\",1.0\n2,oops\n", &table);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("line 5"), std::string::npos)
+      << loaded.status();
+}
+
+TEST(CsvTest, ErrorLineNumbersWithoutQuotedNewlines) {
+  Table table = MakeTable();
+  auto loaded = LoadCsvText("id,name,score\n1,a,1.0\n\n2,b\n", &table);
+  ASSERT_FALSE(loaded.ok());
+  // Header line 1, good record line 2, blank line 3, bad record line 4.
+  EXPECT_NE(loaded.status().ToString().find("line 4"), std::string::npos)
+      << loaded.status();
+}
+
 TEST(CsvTest, FileRoundTrip) {
   Table table = MakeTable();
   ASSERT_TRUE(

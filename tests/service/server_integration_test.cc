@@ -4,6 +4,9 @@
 // run in-process with the paper's ScriptedOracle. Also covers the
 // disconnect-mid-question / reconnect-and-answer path that motivates
 // keeping all session state out of connections.
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -207,6 +210,108 @@ TEST(ServerIntegrationTest, ObserverCanAnswerAnotherClientsQuestion) {
             ReferenceReport());
   tcp.Stop();
   server.sessions()->Shutdown();
+}
+
+// Value of the sample line for `series` (labels included) in a Prometheus
+// text page, or -1 when absent. The leading newline skips # HELP lines.
+int64_t MetricValue(const std::string& text, const std::string& series) {
+  std::string needle = "\n" + series + " ";
+  size_t pos = text.find(needle);
+  if (pos == std::string::npos) return -1;
+  return std::strtoll(text.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+// The `metrics` command against a live daemon must cover every
+// instrumented layer — core (pipeline), relational (caches), service
+// (sessions + oracle), store (journal + snapshot) — after one durable
+// paper session ran to completion.
+TEST(ServerIntegrationTest, MetricsCommandCoversEveryLayer) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("dbre_obs_integration_" +
+       std::to_string(
+           ::testing::UnitTest::GetInstance()->random_seed()));
+  fs::remove_all(dir);
+
+  ServerOptions options;
+  options.sessions.data_dir = dir.string();
+  options.sessions.journal.fsync_batch = 1;
+  options.slow_op_ms = 1;  // arm the slow-op log
+  Server server(options);
+  TcpServer tcp(&server);
+  ASSERT_TRUE(tcp.Start(0).ok());
+
+  Client client(tcp.port());
+  const PaperInputs inputs = BuildPaperInputs();
+  Json create = Command("create");
+  create.Set("name", Json::Str("obs"));
+  ASSERT_EQ(client.MustCall(std::move(create)).GetString("session"), "obs");
+  StartPaperRun(client, "obs", inputs);
+  auto expert = workload::PaperOracle();
+  bool done = false;
+  AnswerPaperQuestions(client, "obs", expert.get(), SIZE_MAX, &done);
+  ASSERT_TRUE(done);
+
+  // `trace` exposes the session's per-phase spans.
+  Json trace = client.MustCall(Command("trace", "obs"));
+  EXPECT_EQ(trace.GetString("session"), "obs");
+  std::vector<std::string> span_names;
+  for (const Json& span : trace.Find("spans")->array()) {
+    span_names.push_back(span.GetString("name"));
+  }
+  for (const char* phase :
+       {"pipeline:ind_discovery", "pipeline:lhs_discovery",
+        "pipeline:rhs_discovery", "pipeline:restruct",
+        "pipeline:translate"}) {
+    EXPECT_NE(std::find(span_names.begin(), span_names.end(), phase),
+              span_names.end())
+        << "missing span " << phase;
+  }
+
+  // `metrics` renders the process-wide registry; every layer reports.
+  std::string page =
+      client.MustCall(Command("metrics")).GetString("metrics");
+  // Core: pipeline counters and the per-phase latency histogram.
+  EXPECT_GT(MetricValue(page, "dbre_pipeline_runs_completed_total"), 0);
+  EXPECT_GT(MetricValue(page, "dbre_rhs_fd_tests_total"), 0);
+  EXPECT_GT(MetricValue(page, "dbre_ind_extension_queries_total"), 0);
+  EXPECT_NE(page.find("# TYPE dbre_pipeline_phase_us histogram"),
+            std::string::npos);
+  EXPECT_NE(page.find("dbre_pipeline_phase_us_count{phase=\"rhs_discovery\"}"),
+            std::string::npos);
+  // Relational: extension-intern and query-cache counters.
+  EXPECT_GT(MetricValue(page, "dbre_extension_intern_lookups_total"), 0);
+  EXPECT_NE(page.find("dbre_query_cache_hits_total{kind="),
+            std::string::npos);
+  // Service: session lifecycle, scheduler gauges, oracle outcomes.
+  EXPECT_GT(MetricValue(page, "dbre_sessions_created_total"), 0);
+  EXPECT_GT(
+      MetricValue(page, "dbre_oracle_questions_total{outcome=\"answered\"}"),
+      0);
+  EXPECT_NE(page.find("# TYPE dbre_live_sessions gauge"),
+            std::string::npos);
+  EXPECT_NE(page.find("# TYPE dbre_inflight_runs gauge"),
+            std::string::npos);
+  // Store: journal writes with fsync latency, snapshot bytes.
+  EXPECT_GT(MetricValue(page, "dbre_journal_appends_total"), 0);
+  EXPECT_GT(MetricValue(page, "dbre_journal_bytes_total"), 0);
+  EXPECT_NE(page.find("# TYPE dbre_journal_fsync_us histogram"),
+            std::string::npos);
+  EXPECT_GT(MetricValue(page, "dbre_snapshot_bytes_written_total"), 0);
+
+  // `stats` carries the armed slow-op log state.
+  Json stats = client.MustCall(Command("stats"));
+  const Json* obs = stats.Find("obs");
+  ASSERT_NE(obs, nullptr) << stats.Dump();
+  EXPECT_EQ(obs->GetInt("slow_op_threshold_ms"), 1);
+  ASSERT_NE(obs->Find("slow_ops"), nullptr);
+  EXPECT_EQ(obs->Find("slow_ops")->array().size() <= 64, true);
+
+  client.MustCall(Command("close", "obs"));
+  tcp.Stop();
+  server.sessions()->Shutdown();
+  fs::remove_all(dir);
 }
 
 TEST(ServerIntegrationTest, StdioTransportServesASession) {
