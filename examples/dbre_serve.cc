@@ -4,6 +4,7 @@
 //   dbre_serve [--port N] [--stdio] [--timeout-ms MS]
 //              [--max-sessions N] [--max-inflight N] [--max-queued N]
 //              [--data-dir PATH] [--fsync-batch N] [--slow-op-ms MS]
+//              [--run-deadline-ms MS]
 //
 //   --port N        listen on 127.0.0.1:N (0 = pick an ephemeral port;
 //                   the chosen port prints as the first stdout line)
@@ -19,10 +20,22 @@
 //                   stopped sessions resume (docs/STORAGE.md)
 //   --fsync-batch N fsync the journal every N records (1 = every record,
 //                   0 = never, default 8; expert answers always sync)
+//   --segment-bytes N
+//                   rotate journal segments once they exceed N bytes
+//                   (default 4 MiB; tests use small values to exercise
+//                   rotation)
 //   --slow-op-ms MS log any instrumented operation (pipeline phase, expert
 //                   wait, journal fsync, snapshot write/load) taking at
 //                   least MS milliseconds; the log is reported by `stats`
 //                   (default: disabled — see docs/OBSERVABILITY.md)
+//   --run-deadline-ms MS
+//                   abort any pipeline run that exceeds MS milliseconds of
+//                   wall clock (the session fails with a deadline error;
+//                   default: no deadline — see docs/ROBUSTNESS.md)
+//
+// Fault injection for testing: the DBRE_FAILPOINTS / DBRE_FAILPOINT_SEED
+// environment variables and the `failpoint` command arm named failure
+// sites across the store and service (docs/ROBUSTNESS.md).
 //
 // In TCP mode the daemon runs until a client sends {"cmd":"shutdown"}.
 #include <cstdio>
@@ -45,7 +58,9 @@ struct ServeArgs {
   long max_queued = -1;
   std::string data_dir;
   long fsync_batch = -1;
+  long segment_bytes = 0;
   long slow_op_ms = 0;
+  long run_deadline_ms = 0;
   bool show_help = false;
 };
 
@@ -82,8 +97,14 @@ bool ParseArgs(int argc, char** argv, ServeArgs* args) {
       args->data_dir = argv[++i];
     } else if (flag == "--fsync-batch") {
       if (!next_long("--fsync-batch", &args->fsync_batch)) return false;
+    } else if (flag == "--segment-bytes") {
+      if (!next_long("--segment-bytes", &args->segment_bytes)) return false;
     } else if (flag == "--slow-op-ms") {
       if (!next_long("--slow-op-ms", &args->slow_op_ms)) return false;
+    } else if (flag == "--run-deadline-ms") {
+      if (!next_long("--run-deadline-ms", &args->run_deadline_ms)) {
+        return false;
+      }
     } else if (flag == "--help" || flag == "-h") {
       args->show_help = true;
     } else {
@@ -100,7 +121,8 @@ void PrintUsage() {
       "                  [--max-sessions N] [--max-inflight N] "
       "[--max-queued N]\n"
       "                  [--data-dir PATH] [--fsync-batch N] "
-      "[--slow-op-ms MS]\n");
+      "[--segment-bytes N]\n"
+      "                  [--slow-op-ms MS] [--run-deadline-ms MS]\n");
 }
 
 }  // namespace
@@ -129,7 +151,14 @@ int main(int argc, char** argv) {
     options.sessions.journal.fsync_batch =
         static_cast<size_t>(args.fsync_batch);
   }
+  if (args.segment_bytes > 0) {
+    options.sessions.journal.max_segment_bytes =
+        static_cast<size_t>(args.segment_bytes);
+  }
   if (args.slow_op_ms > 0) options.slow_op_ms = args.slow_op_ms;
+  if (args.run_deadline_ms > 0) {
+    options.sessions.run_deadline_ms = args.run_deadline_ms;
+  }
   dbre::service::Server server(options);
   if (!args.data_dir.empty()) {
     if (auto status = server.sessions()->store_status(); !status.ok()) {

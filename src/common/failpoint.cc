@@ -1,0 +1,221 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+namespace dbre {
+namespace {
+
+// Parses a non-negative integer out of [begin, end); -1 on garbage.
+int64_t ParseNumber(std::string_view text) {
+  if (text.empty() || text.size() > 12) return -1;
+  int64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return -1;
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
+std::string_view Trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+}  // namespace
+
+Failpoints& Failpoints::Instance() {
+  static Failpoints* instance = new Failpoints();  // never destroyed
+  return *instance;
+}
+
+Failpoints::Failpoints() {
+  if (const char* seed = std::getenv("DBRE_FAILPOINT_SEED")) {
+    SetSeed(std::strtoull(seed, nullptr, 10));
+  }
+  if (const char* specs = std::getenv("DBRE_FAILPOINTS")) {
+    Status armed = ArmSpecs(specs);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "DBRE_FAILPOINTS ignored: %s\n",
+                   armed.ToString().c_str());
+    }
+  }
+}
+
+Result<Failpoints::Point> Failpoints::ParseSpec(const std::string& spec) {
+  Point point;
+  point.spec = spec;
+  std::string_view rest = Trim(spec);
+  if (rest.empty()) return InvalidArgumentError("empty failpoint spec");
+
+  // Trailing modifier first: *N, @N, #N, %P.
+  size_t mod = rest.find_last_of("*@#%");
+  if (mod != std::string_view::npos && mod > 0) {
+    int64_t n = ParseNumber(rest.substr(mod + 1));
+    if (n < 0) {
+      return InvalidArgumentError("failpoint spec '" + spec +
+                                  "': bad modifier count");
+    }
+    switch (rest[mod]) {
+      case '*': point.when = When::kFirstN; break;
+      case '@': point.when = When::kEveryN; break;
+      case '#': point.when = When::kOnNth; break;
+      case '%': point.when = When::kProbability; break;
+    }
+    point.param = static_cast<uint64_t>(n);
+    if (point.when == When::kProbability && point.param > 100) {
+      return InvalidArgumentError("failpoint spec '" + spec +
+                                  "': probability over 100");
+    }
+    rest = rest.substr(0, mod);
+  }
+
+  // Optional (arg).
+  int64_t arg = -1;
+  size_t paren = rest.find('(');
+  if (paren != std::string_view::npos) {
+    if (rest.back() != ')') {
+      return InvalidArgumentError("failpoint spec '" + spec +
+                                  "': unclosed argument");
+    }
+    arg = ParseNumber(rest.substr(paren + 1, rest.size() - paren - 2));
+    if (arg < 0) {
+      return InvalidArgumentError("failpoint spec '" + spec +
+                                  "': bad argument");
+    }
+    rest = rest.substr(0, paren);
+  }
+
+  if (rest == "error") {
+    point.action = Action::kError;
+  } else if (rest == "delay") {
+    point.action = Action::kDelay;
+    point.delay_ms = arg < 0 ? 1 : arg;
+  } else if (rest == "torn") {
+    point.action = Action::kTorn;
+    point.torn_bytes = arg < 0 ? 0 : static_cast<size_t>(arg);
+  } else if (rest == "crash") {
+    point.action = Action::kCrash;
+  } else if (rest == "off") {
+    point.action = Action::kOff;
+  } else {
+    return InvalidArgumentError("failpoint spec '" + spec +
+                                "': unknown action '" + std::string(rest) +
+                                "'");
+  }
+  return point;
+}
+
+Status Failpoints::Arm(const std::string& point, const std::string& spec) {
+  DBRE_ASSIGN_OR_RETURN(Point parsed, ParseSpec(spec));
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_[point] = std::move(parsed);
+  armed_.store(points_.size(), std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status Failpoints::ArmSpecs(const std::string& specs) {
+  size_t pos = 0;
+  while (pos <= specs.size()) {
+    size_t semi = specs.find(';', pos);
+    std::string_view entry =
+        Trim(std::string_view(specs).substr(
+            pos, (semi == std::string::npos ? specs.size() : semi) - pos));
+    pos = semi == std::string::npos ? specs.size() + 1 : semi + 1;
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      return InvalidArgumentError("failpoint entry '" + std::string(entry) +
+                                  "' is not point=spec");
+    }
+    DBRE_RETURN_IF_ERROR(Arm(std::string(Trim(entry.substr(0, eq))),
+                             std::string(Trim(entry.substr(eq + 1)))));
+  }
+  return Status::Ok();
+}
+
+bool Failpoints::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool erased = points_.erase(point) > 0;
+  armed_.store(points_.size(), std::memory_order_relaxed);
+  return erased;
+}
+
+void Failpoints::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+  armed_.store(0, std::memory_order_relaxed);
+}
+
+void Failpoints::SetSeed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rng_.seed(seed);
+}
+
+std::vector<Failpoints::PointState> Failpoints::List() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<PointState> out;
+  out.reserve(points_.size());
+  for (const auto& [name, point] : points_) {
+    out.push_back({name, point.spec, point.hits, point.triggers});
+  }
+  return out;
+}
+
+FailpointHit Failpoints::Hit(std::string_view point) {
+  int64_t delay_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = points_.find(point);
+    if (it == points_.end()) return {};
+    Point& p = it->second;
+    ++p.hits;
+    bool fire = false;
+    switch (p.when) {
+      case When::kAlways: fire = true; break;
+      case When::kFirstN: fire = p.hits <= p.param; break;
+      case When::kEveryN: fire = p.param > 0 && p.hits % p.param == 0; break;
+      case When::kOnNth: fire = p.hits == p.param; break;
+      case When::kProbability: fire = rng_() % 100 < p.param; break;
+    }
+    if (!fire || p.action == Action::kOff) return {};
+    ++p.triggers;
+    switch (p.action) {
+      case Action::kError:
+        return {FailpointHit::Action::kError, 0};
+      case Action::kTorn:
+        return {FailpointHit::Action::kTorn, p.torn_bytes};
+      case Action::kCrash:
+        // No destructors, no flushes — indistinguishable from SIGKILL at
+        // this instruction, which is the point.
+        std::_Exit(42);
+      case Action::kDelay:
+        delay_ms = p.delay_ms;
+        break;
+      case Action::kOff:
+        return {};
+    }
+  }
+  // Sleep outside the registry lock so a delayed point stalls only its
+  // own call site.
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return {};
+}
+
+Status FailpointError(std::string_view point) {
+  FailpointHit hit = Failpoints::Check(point);
+  if (hit.action == FailpointHit::Action::kNone) return Status::Ok();
+  return IoError("injected failure (failpoint " + std::string(point) + ")");
+}
+
+}  // namespace dbre

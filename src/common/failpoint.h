@@ -1,0 +1,133 @@
+// Deterministic fault injection: a process-wide registry of named
+// failpoints that code at syscall-shaped edges consults before doing the
+// real work.
+//
+// A failpoint is armed with a spec string:
+//
+//   action[(arg)][modifier]
+//
+//   actions    error          fail the operation (kIoError at the site)
+//              delay(MS)      sleep MS milliseconds, then proceed
+//              torn(BYTES)    write only BYTES bytes, then fail — exercises
+//                             partial-write repair paths (sites without a
+//                             buffer treat it as error)
+//              crash          std::_Exit the process, no destructors — the
+//                             moral equivalent of SIGKILL at this line
+//              off            count hits but never fire
+//   modifiers  *N             fire on the first N hits only
+//              @N             fire on every Nth hit
+//              #N             fire on exactly the Nth hit
+//              %P             fire with probability P percent, drawn from
+//                             the seeded RNG (SetSeed / DBRE_FAILPOINT_SEED)
+//
+// Example specs: "error", "error*2", "crash#5", "delay(50)%10",
+// "torn(7)#1".
+//
+// Arming happens three ways: the DBRE_FAILPOINTS environment variable
+// ("point=spec;point=spec", parsed once at first use), the `failpoint`
+// wire command of the dbred service, or Arm()/ArmSpecs() from tests.
+// DBRE_FAILPOINT_SEED seeds the probability RNG so %P schedules replay
+// exactly.
+//
+// Cost when unarmed: Check() is one relaxed atomic load and a branch —
+// cheap enough to sit on every journal append and socket write. The
+// catalog of points wired through the tree is in docs/ROBUSTNESS.md.
+#ifndef DBRE_COMMON_FAILPOINT_H_
+#define DBRE_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <random>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbre {
+
+// What a triggered failpoint asks the site to do. kNone also covers
+// delay (the sleep already happened inside Check) and armed-but-not-fired.
+struct FailpointHit {
+  enum class Action { kNone, kError, kTorn };
+  Action action = Action::kNone;
+  // For kTorn: how many bytes the site should write before failing.
+  size_t torn_bytes = 0;
+};
+
+class Failpoints {
+ public:
+  // The process-wide instance. First use parses DBRE_FAILPOINTS /
+  // DBRE_FAILPOINT_SEED from the environment.
+  static Failpoints& Instance();
+
+  // The one call sites make. Fast path (nothing armed anywhere): one
+  // relaxed load. kCrash fires inside (std::_Exit), so it never returns
+  // through here.
+  static FailpointHit Check(std::string_view point) {
+    Failpoints& fps = Instance();
+    if (fps.armed_.load(std::memory_order_relaxed) == 0) return {};
+    return fps.Hit(point);
+  }
+
+  // Arms one point. Replaces any existing spec (hit counters reset).
+  Status Arm(const std::string& point, const std::string& spec);
+
+  // Arms a semicolon-separated list of "point=spec" entries.
+  Status ArmSpecs(const std::string& specs);
+
+  // Disarms one point; false if it was not armed.
+  bool Disarm(const std::string& point);
+  void DisarmAll();
+
+  // Seeds the RNG behind %P modifiers (defaults to a fixed seed, so even
+  // unseeded probabilistic schedules replay).
+  void SetSeed(uint64_t seed);
+
+  struct PointState {
+    std::string point;
+    std::string spec;
+    uint64_t hits = 0;      // times a site consulted this point
+    uint64_t triggers = 0;  // times it fired
+  };
+  std::vector<PointState> List() const;
+
+ private:
+  enum class Action { kOff, kError, kDelay, kTorn, kCrash };
+  enum class When { kAlways, kFirstN, kEveryN, kOnNth, kProbability };
+
+  struct Point {
+    Action action = Action::kOff;
+    When when = When::kAlways;
+    uint64_t param = 0;   // N of *N/@N/#N, or P of %P
+    int64_t delay_ms = 0;
+    size_t torn_bytes = 0;
+    std::string spec;
+    uint64_t hits = 0;
+    uint64_t triggers = 0;
+  };
+
+  Failpoints();
+
+  FailpointHit Hit(std::string_view point);
+  static Result<Point> ParseSpec(const std::string& spec);
+
+  // Count of armed points, mirrored out of points_ so Check() can test it
+  // without the mutex.
+  std::atomic<uint64_t> armed_{0};
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Point, std::less<>> points_;
+  std::mt19937_64 rng_{0x5bd1e995};
+};
+
+// Convenience for error-only sites: Ok when `point` does not fire, a
+// kIoError naming the point when it does (torn counts as error here).
+Status FailpointError(std::string_view point);
+
+}  // namespace dbre
+
+#endif  // DBRE_COMMON_FAILPOINT_H_

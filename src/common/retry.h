@@ -1,0 +1,61 @@
+// Bounded retry with exponential backoff for transient I/O.
+//
+// The store's syscall edges (journal append/fsync, snapshot write) wrap
+// their one-shot attempts in RetryWithBackoff: a kIoError is retried up to
+// max_attempts times with doubling sleeps, anything else (bad arguments,
+// precondition violations — and success) returns immediately. The caller's
+// op must be safe to re-run as a whole; repairing partial effects between
+// attempts (e.g. truncating a torn journal line) is the op's job.
+#ifndef DBRE_COMMON_RETRY_H_
+#define DBRE_COMMON_RETRY_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "common/status.h"
+
+namespace dbre {
+
+struct RetryPolicy {
+  // Total attempts, first try included. <= 1 means no retries.
+  int max_attempts = 4;
+  int64_t initial_backoff_ms = 1;
+  int64_t max_backoff_ms = 64;  // doubling is capped here
+  // Called before each re-attempt (never before the first) with the
+  // 1-based number of the attempt that just failed and its status. Cold
+  // path only — a std::function is fine.
+  std::function<void(int attempt, const Status& status)> on_retry;
+};
+
+// Transient = worth retrying. Everything the syscall edges surface as
+// "the disk/socket said no right now" is kIoError; logic errors are not.
+inline bool IsRetryableStatus(const Status& status) {
+  return status.code() == StatusCode::kIoError;
+}
+
+// Runs `op` (any callable returning Status) until it succeeds, fails
+// non-retryably, or exhausts the policy. Returns the last status.
+template <typename Op>
+Status RetryWithBackoff(const RetryPolicy& policy, Op&& op) {
+  const int attempts = std::max(policy.max_attempts, 1);
+  int64_t backoff_ms = policy.initial_backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    Status status = op();
+    if (status.ok() || !IsRetryableStatus(status) || attempt >= attempts) {
+      return status;
+    }
+    if (policy.on_retry) policy.on_retry(attempt, status);
+    if (backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::min(backoff_ms, policy.max_backoff_ms)));
+    }
+    backoff_ms = std::min(backoff_ms * 2, policy.max_backoff_ms);
+  }
+}
+
+}  // namespace dbre
+
+#endif  // DBRE_COMMON_RETRY_H_

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -109,6 +110,10 @@ Status AsyncOracle::AnswerWith(
     uint64_t id,
     const std::function<Result<OracleAnswer>(const PendingQuestion&)>&
         make) {
+  // Injected delivery failure: the question stays pending, exactly as if
+  // the answer had been lost before reaching the oracle — the client can
+  // (must) resend it.
+  DBRE_RETURN_IF_ERROR(FailpointError("oracle.answer"));
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = pending_.find(id);

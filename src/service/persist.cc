@@ -3,9 +3,33 @@
 #include <cstdio>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "service/protocol.h"
 
 namespace dbre::service {
+namespace {
+
+struct PersistMetrics {
+  obs::Gauge* degraded_sessions;
+  obs::Counter* degraded_total;
+};
+
+const PersistMetrics& Metrics() {
+  static const PersistMetrics metrics = [] {
+    obs::Registry& registry = obs::Registry::Default();
+    return PersistMetrics{
+        registry.GetGauge("dbre_degraded_sessions", {},
+                          "Live sessions running without durability after "
+                          "a persistent journal failure"),
+        registry.GetCounter("dbre_degraded_sessions_total", {},
+                            "Sessions that ever entered degraded "
+                            "ephemeral mode"),
+    };
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 std::string FingerprintToHex(uint64_t fingerprint) {
   char buf[24];
@@ -33,22 +57,35 @@ Result<uint64_t> ParseFingerprint(const std::string& hex) {
   return value;
 }
 
-void SessionPersistence::Append(const Json& record) {
-  if (replaying()) return;
-  Status status = journal_->Append(record);
-  if (!status.ok()) {
+SessionPersistence::~SessionPersistence() {
+  if (degraded()) Metrics().degraded_sessions->Add(-1);
+}
+
+void SessionPersistence::EnterDegraded(const Status& status) {
+  {
     std::lock_guard<std::mutex> lock(mutex_);
     if (error_.ok()) error_ = status;
+  }
+  bool expected = false;
+  if (degraded_.compare_exchange_strong(expected, true)) {
+    Metrics().degraded_sessions->Add(1);
+    Metrics().degraded_total->Add(1);
   }
 }
 
+void SessionPersistence::Append(const Json& record) {
+  if (replaying() || degraded()) return;
+  Status status = journal_->Append(record);
+  // The journal already retried with backoff; an error here means the
+  // disk is persistently unhealthy. Degrade instead of failing every
+  // subsequent event against it.
+  if (!status.ok()) EnterDegraded(status);
+}
+
 void SessionPersistence::SyncQuietly() {
-  if (replaying()) return;
+  if (replaying() || degraded()) return;
   Status status = journal_->Sync();
-  if (!status.ok()) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (error_.ok()) error_ = status;
-  }
+  if (!status.ok()) EnterDegraded(status);
 }
 
 void SessionPersistence::LogCreate(const std::string& session_id) {
@@ -68,11 +105,10 @@ void SessionPersistence::LogDdl(const std::string& sql) {
 void SessionPersistence::LogExtension(const Table& table,
                                       const std::string& relation,
                                       size_t rows) {
-  if (replaying()) return;
+  if (replaying() || degraded()) return;
   Result<store::SnapshotInfo> snapshot = store_->PutSnapshot(table);
   if (!snapshot.ok()) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (error_.ok()) error_ = snapshot.status();
+    EnterDegraded(snapshot.status());
     return;
   }
   Json record = Json::MakeObject();
@@ -145,7 +181,15 @@ void SessionPersistence::LogClose() {
   SyncQuietly();
 }
 
-Status SessionPersistence::Sync() { return journal_->Sync(); }
+Status SessionPersistence::Sync() {
+  if (degraded()) {
+    return FailedPreconditionError("journaling degraded: " +
+                                   last_error().message());
+  }
+  Status status = journal_->Sync();
+  if (!status.ok()) EnterDegraded(status);
+  return status;
+}
 
 Status SessionPersistence::last_error() const {
   std::lock_guard<std::mutex> lock(mutex_);

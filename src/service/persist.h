@@ -27,6 +27,15 @@
 // than thrown into the session's path. During recovery the instance is
 // switched to `replaying` mode, which suppresses all logging — replayed
 // events must not re-append what is already in the journal.
+//
+// A journal error that survives the journal's own retries flips the
+// instance into *degraded ephemeral mode*: the session keeps running and
+// answering, but journaling is suspended (no point hammering a failed
+// disk on every event), Sync() reports the condition, and the
+// `dbre_degraded_sessions` gauge counts sessions running without
+// durability. Degraded is one-way for the life of the instance; a restart
+// with a healthy disk recovers whatever made it to the journal before the
+// failure.
 #ifndef DBRE_SERVICE_PERSIST_H_
 #define DBRE_SERVICE_PERSIST_H_
 
@@ -51,6 +60,7 @@ class SessionPersistence {
   SessionPersistence(store::Store* store,
                      std::unique_ptr<store::Journal> journal)
       : store_(store), journal_(std::move(journal)) {}
+  ~SessionPersistence();
 
   // While replaying, every Log* call is a no-op (recovery applies events
   // that are already journaled).
@@ -80,21 +90,31 @@ class SessionPersistence {
   void LogFinished(bool ok, const std::string& error);
   void LogClose();
 
-  // Forces the journal to disk (the `persist` protocol command).
+  // Forces the journal to disk (the `persist` protocol command). In
+  // degraded mode this reports the condition instead of touching the
+  // journal.
   Status Sync();
 
   // First logging failure since construction, if any. Ok() if healthy.
   Status last_error() const;
+
+  // True once a journal error exhausted its retries and logging was
+  // suspended for the life of this instance.
+  bool degraded() const {
+    return degraded_.load(std::memory_order_acquire);
+  }
 
   store::JournalStats stats() const { return journal_->stats(); }
 
  private:
   void Append(const Json& record);
   void SyncQuietly();  // best-effort Sync; failure goes to last_error
+  void EnterDegraded(const Status& status);
 
   store::Store* const store_;  // not owned
   std::unique_ptr<store::Journal> journal_;
   std::atomic<bool> replaying_{false};
+  std::atomic<bool> degraded_{false};
 
   mutable std::mutex mutex_;
   Status error_;

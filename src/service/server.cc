@@ -6,6 +6,7 @@
 #include <mutex>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "obs/metrics.h"
 
 namespace dbre::service {
@@ -78,6 +79,7 @@ Result<Json> Server::Dispatch(const Request& request) {
   if (cmd == "trace") return HandleTrace(request);
   if (cmd == "persist") return HandlePersist(request);
   if (cmd == "restore") return HandleRestore(request);
+  if (cmd == "failpoint") return HandleFailpoint(request);
   if (cmd == "shutdown") {
     shutdown_.store(true, std::memory_order_release);
     Hub().Notify();
@@ -151,6 +153,14 @@ Result<Json> Server::HandleStatus(const Request& request) {
              Json::Int(static_cast<int64_t>(session->memory_bytes())));
   if (session->state() == Session::State::kFailed) {
     result.Set("error", Json::Str(session->last_error().ToString()));
+  }
+  SessionPersistence* persist = session->persistence();
+  if (persist != nullptr) {
+    result.Set("persist", Json::Str(persist->degraded() ? "degraded" : "ok"));
+    if (persist->degraded()) {
+      result.Set("persist_error",
+                 Json::Str(persist->last_error().ToString()));
+    }
   }
   return result;
 }
@@ -384,6 +394,14 @@ Result<Json> Server::HandleStats() {
               Json::Int(static_cast<int64_t>(recovery_.runs_resumed)));
     store.Set("records_dropped",
               Json::Int(static_cast<int64_t>(recovery_.records_dropped)));
+    store.Set("segments_quarantined",
+              Json::Int(static_cast<int64_t>(recovery_.segments_quarantined)));
+    int64_t degraded = 0;
+    for (const auto& session : manager_.Sessions()) {
+      SessionPersistence* persist = session->persistence();
+      if (persist != nullptr && persist->degraded()) ++degraded;
+    }
+    store.Set("degraded_sessions", Json::Int(degraded));
     result.Set("store", std::move(store));
   }
   return result;
@@ -424,14 +442,63 @@ Result<Json> Server::HandlePersist(const Request& request) {
     return FailedPreconditionError(
         "server has no data dir; nothing is persisted");
   }
-  DBRE_RETURN_IF_ERROR(persist->Sync());
-  DBRE_RETURN_IF_ERROR(persist->last_error());
+  Status synced = Status::Ok();
+  if (!persist->degraded()) {
+    synced = persist->Sync();
+    if (synced.ok()) synced = persist->last_error();
+  }
   store::JournalStats stats = persist->stats();
   Json result = Json::MakeObject();
   result.Set("records", Json::Int(static_cast<int64_t>(stats.records)));
   result.Set("bytes", Json::Int(static_cast<int64_t>(stats.bytes)));
   result.Set("segments", Json::Int(static_cast<int64_t>(stats.segments)));
   result.Set("syncs", Json::Int(static_cast<int64_t>(stats.syncs)));
+  result.Set("retries", Json::Int(static_cast<int64_t>(stats.retries)));
+  result.Set("fsync_failures",
+             Json::Int(static_cast<int64_t>(stats.fsync_failures)));
+  if (persist->degraded()) {
+    // Degraded is a reportable state, not a protocol error: the session
+    // is healthy, only its durability is gone.
+    result.Set("degraded", Json::Bool(true));
+    result.Set("error", Json::Str(persist->last_error().ToString()));
+  } else if (!synced.ok()) {
+    return synced;
+  }
+  return result;
+}
+
+Result<Json> Server::HandleFailpoint(const Request& request) {
+  Failpoints& fps = Failpoints::Instance();
+  const Json* seed = request.params.Find("seed");
+  if (seed != nullptr) {
+    if (!seed->IsInt()) {
+      return InvalidArgumentError("failpoint \"seed\" must be an integer");
+    }
+    fps.SetSeed(static_cast<uint64_t>(seed->AsInt()));
+  }
+  std::string clear = request.params.GetString("clear");
+  if (!clear.empty()) {
+    if (clear == "*") {
+      fps.DisarmAll();
+    } else if (!fps.Disarm(clear)) {
+      return NotFoundError("no armed failpoint '" + clear + "'");
+    }
+  }
+  std::string set = request.params.GetString("set");
+  if (!set.empty()) {
+    DBRE_RETURN_IF_ERROR(fps.ArmSpecs(set));
+  }
+  Json list = Json::MakeArray();
+  for (const Failpoints::PointState& point : fps.List()) {
+    Json entry = Json::MakeObject();
+    entry.Set("point", Json::Str(point.point));
+    entry.Set("spec", Json::Str(point.spec));
+    entry.Set("hits", Json::Int(static_cast<int64_t>(point.hits)));
+    entry.Set("triggers", Json::Int(static_cast<int64_t>(point.triggers)));
+    list.Append(std::move(entry));
+  }
+  Json result = Json::MakeObject();
+  result.Set("failpoints", std::move(list));
   return result;
 }
 

@@ -11,7 +11,7 @@
 // Commands (see docs/SERVICE.md): hello, create, sessions, status,
 // load_ddl, load_csv, add_joins, run, wait, questions, answer, report,
 // summary, export_ddl, export_eer, export_navigation, close, stats,
-// metrics, trace, persist, restore, shutdown.
+// metrics, trace, persist, restore, failpoint, shutdown.
 //
 // With a data dir (`dbre_serve --data-dir`), the constructor replays every
 // journal found on disk before serving: crashed sessions come back with
@@ -89,6 +89,7 @@ class Server {
   Result<Json> HandleTrace(const Request& request);
   Result<Json> HandlePersist(const Request& request);
   Result<Json> HandleRestore(const Request& request);
+  Result<Json> HandleFailpoint(const Request& request);
 
   Result<std::shared_ptr<Session>> SessionParam(const Request& request);
 

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "core/navigation_graph.h"
 #include "core/report_json.h"
 #include "eer/dot_export.h"
@@ -45,6 +46,12 @@ std::string Session::phase() const {
 }
 
 Status Session::ReserveDelta(size_t old_bytes, size_t new_bytes) {
+  if (Failpoints::Check("session.reserve").action !=
+      FailpointHit::Action::kNone) {
+    return FailedPreconditionError(
+        "session " + id_ +
+        ": simulated allocation failure (failpoint session.reserve)");
+  }
   if (new_bytes <= old_bytes) {
     if (budget_) budget_->Release(old_bytes - new_bytes);
     bytes_ = new_bytes;
@@ -209,6 +216,13 @@ Status Session::BeginRun(const RunOptions& options) {
   phase_.clear();
   report_.reset();
   error_ = Status::Ok();
+  abort_reason_ = Status::Ok();
+  cancel_.store(false, std::memory_order_relaxed);
+  run_started_us_.store(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count(),
+      std::memory_order_release);
   // A recovery re-run (options.replay set) is already journaled; logging
   // it again would double the record on the next replay.
   if (persist_ && !options.replay) {
@@ -270,6 +284,7 @@ void Session::ExecuteRun(const RunOptions& options) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     phase_.clear();
+    run_started_us_.store(0, std::memory_order_release);
     if (state_ == State::kClosed) {
       // Closed while running: drop the result, stay closed.
     } else if (result.ok()) {
@@ -278,10 +293,12 @@ void Session::ExecuteRun(const RunOptions& options) {
       log_finished = true;
       finished_ok = true;
     } else {
-      error_ = result.status();
+      // A watchdog abort surfaces its reason (e.g. the exceeded
+      // deadline), not the pipeline's generic cancellation status.
+      error_ = abort_reason_.ok() ? result.status() : abort_reason_;
       state_ = State::kFailed;
       log_finished = true;
-      finished_error = result.status().ToString();
+      finished_error = error_.ToString();
     }
     finished_.notify_all();
     listener = listener_;
@@ -390,6 +407,17 @@ void Session::Close() {
   }
   cancel_.store(true, std::memory_order_relaxed);
   oracle_.CancelAll();
+}
+
+bool Session::AbortRun(const Status& reason) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ != State::kRunning || !abort_reason_.ok()) return false;
+    abort_reason_ = reason;
+  }
+  cancel_.store(true, std::memory_order_relaxed);
+  oracle_.CancelAll();
+  return true;
 }
 
 }  // namespace dbre::service

@@ -172,6 +172,20 @@ class Session {
   // the session's memory reservation. Idempotent.
   void Close();
 
+  // Aborts an in-flight run with `reason` (the scheduler watchdog's
+  // deadline enforcement): pending questions resolve with fallbacks, the
+  // pipeline cancels at its next phase boundary, and the session fails
+  // with `reason` instead of a generic cancellation. No-op unless
+  // running; first reason wins. True only on the call that armed the
+  // abort, so callers can count aborts exactly once.
+  bool AbortRun(const Status& reason);
+
+  // Monotonic-clock microseconds when the in-flight run started; 0 while
+  // no run is active. The watchdog compares this against its deadline.
+  int64_t run_started_us() const {
+    return run_started_us_.load(std::memory_order_acquire);
+  }
+
  private:
   Status ReserveDelta(size_t old_bytes, size_t new_bytes);
 
@@ -183,6 +197,7 @@ class Session {
   AsyncOracle oracle_;
   obs::TraceRing trace_;
   std::atomic<bool> cancel_{false};
+  std::atomic<int64_t> run_started_us_{0};
   // Set once before any load (AttachPersistence) and disarmed at shutdown;
   // ExecuteRun reads it without the session lock.
   std::shared_ptr<SessionPersistence> persist_;
@@ -196,6 +211,7 @@ class Session {
   size_t bytes_ = 0;
   std::optional<PipelineReport> report_;
   Status error_;
+  Status abort_reason_;  // set by AbortRun while kRunning
   bool closed_ = false;
   std::function<void()> listener_;
 };

@@ -1,5 +1,7 @@
 #include "service/session_manager.h"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -14,6 +16,7 @@ struct SchedulerMetrics {
   obs::Counter* sessions_created;
   obs::Counter* sessions_closed;
   obs::Counter* admission_rejects;
+  obs::Counter* deadline_aborts;
   obs::Gauge* live_sessions;
   obs::Gauge* queued_runs;
   obs::Gauge* inflight_runs;
@@ -30,6 +33,9 @@ const SchedulerMetrics& Metrics() {
         registry.GetCounter(
             "dbre_run_admission_rejects_total", {},
             "Run submissions rejected by the inflight+queued limit"),
+        registry.GetCounter("dbre_run_deadline_aborts_total", {},
+                            "Runs aborted by the scheduler watchdog for "
+                            "exceeding their deadline"),
         registry.GetGauge("dbre_live_sessions", {}, "Sessions currently live"),
         registry.GetGauge("dbre_queued_runs", {},
                           "Runs admitted but not yet executing"),
@@ -100,9 +106,48 @@ SessionManager::SessionManager(SessionManagerOptions options)
       store_status_ = opened.status();
     }
   }
+  if (options_.run_deadline_ms > 0) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
 }
 
 SessionManager::~SessionManager() { Shutdown(); }
+
+void SessionManager::WatchdogLoop() {
+  const int64_t deadline_ms = options_.run_deadline_ms;
+  // Poll a few times per deadline window so an overdue run is caught
+  // within ~a quarter of its budget past the line.
+  const auto poll = std::chrono::milliseconds(
+      std::clamp<int64_t>(deadline_ms / 4, 10, 250));
+  std::unique_lock<std::mutex> lock(watchdog_mutex_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lock, poll);
+    if (watchdog_stop_) return;
+    lock.unlock();
+    int64_t now_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now().time_since_epoch())
+                         .count();
+    for (const auto& session : Sessions()) {
+      int64_t started_us = session->run_started_us();
+      if (started_us > 0 && now_us - started_us > deadline_ms * 1000 &&
+          session->AbortRun(FailedPreconditionError(
+              "run exceeded the " + std::to_string(deadline_ms) +
+              " ms deadline and was aborted by the scheduler watchdog"))) {
+        Metrics().deadline_aborts->Add(1);
+      }
+    }
+    lock.lock();
+  }
+}
+
+void SessionManager::StopWatchdog() {
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+}
 
 Result<std::shared_ptr<Session>> SessionManager::MakeSession(
     const std::string& id, bool replaying) {
@@ -249,6 +294,9 @@ Status SessionManager::CloseSession(const std::string& id) {
 }
 
 void SessionManager::Shutdown() {
+  // The watchdog goes first so it cannot abort sessions that are merely
+  // draining below.
+  StopWatchdog();
   std::vector<std::shared_ptr<Session>> sessions;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -272,6 +320,19 @@ SessionManager::RecoveryReport SessionManager::RecoverAll() {
       continue;
     }
     report.records_dropped += replay->dropped;
+    // Mid-stream corruption: set the bad piece(s) aside and recover from
+    // the valid prefix. Only a failed quarantine skips the session — a
+    // corrupt segment left in place would replay differently next time.
+    if (replay->corrupt) {
+      size_t moved = 0;
+      Status quarantined = store_->QuarantineJournalCorruption(
+          id, replay->corrupt_segment, replay->corrupt_valid_end, &moved);
+      if (!quarantined.ok()) {
+        report.errors.push_back(id + ": " + quarantined.ToString());
+        continue;
+      }
+      report.segments_quarantined += moved;
+    }
     if (HasCloseRecord(*replay)) {
       ++report.sessions_closed;
       Status removed = store_->RemoveSession(id);
@@ -315,6 +376,10 @@ Result<std::shared_ptr<Session>> SessionManager::RecoverSession(
   }
   DBRE_ASSIGN_OR_RETURN(store::JournalReplay replay,
                         store_->ReadSessionJournal(id));
+  if (replay.corrupt) {
+    DBRE_RETURN_IF_ERROR(store_->QuarantineJournalCorruption(
+        id, replay.corrupt_segment, replay.corrupt_valid_end, nullptr));
+  }
   if (HasCloseRecord(replay) || replay.records.empty()) {
     return FailedPreconditionError("session '" + id +
                                    "' has no resumable journal");

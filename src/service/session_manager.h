@@ -13,11 +13,13 @@
 #ifndef DBRE_SERVICE_SESSION_MANAGER_H_
 #define DBRE_SERVICE_SESSION_MANAGER_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -37,6 +39,10 @@ struct SessionManagerOptions {
   // Expert-question timeout before the fallback oracle answers; negative =
   // wait forever.
   int64_t question_timeout_ms = -1;
+  // Wall-clock budget for one pipeline run. A run past it is aborted by
+  // the scheduler watchdog (the session fails with a deadline error; the
+  // worker frees at the next cancellation point). 0 = no deadline.
+  int64_t run_deadline_ms = 0;
   // Durability root (see store/store.h). Empty = fully in-memory: no
   // snapshots, no journals, no recovery.
   std::string data_dir;
@@ -84,6 +90,7 @@ class SessionManager {
     size_t runs_resumed = 0;        // pipelines re-submitted with replay
     size_t sessions_closed = 0;     // clean close tombstone → journal GCed
     size_t records_dropped = 0;     // torn/corrupt journal lines skipped
+    size_t segments_quarantined = 0;  // corrupt journal pieces set aside
     std::vector<std::string> errors;  // per-session failures, not fatal
   };
 
@@ -123,6 +130,10 @@ class SessionManager {
       const std::string& id, const store::JournalReplay& replay,
       bool* resumed_run);
 
+  // Enforces options_.run_deadline_ms against every running session.
+  void WatchdogLoop();
+  void StopWatchdog();
+
   SessionManagerOptions options_;
   ExtensionRegistry registry_;
   std::shared_ptr<MemoryBudget> budget_;
@@ -135,6 +146,11 @@ class SessionManager {
   std::map<std::string, std::shared_ptr<Session>> sessions_;
   size_t inflight_ = 0;
   size_t queued_ = 0;
+
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::thread watchdog_;  // running only when run_deadline_ms > 0
 };
 
 }  // namespace dbre::service

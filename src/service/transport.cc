@@ -7,13 +7,35 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
+#include <thread>
 #include <utility>
+
+#include "common/failpoint.h"
+#include "obs/metrics.h"
 
 namespace dbre::service {
 namespace {
+
+struct TransportMetrics {
+  obs::Counter* accept_errors;
+};
+
+const TransportMetrics& Metrics() {
+  static const TransportMetrics metrics = [] {
+    obs::Registry& registry = obs::Registry::Default();
+    return TransportMetrics{
+        registry.GetCounter("dbre_accept_errors_total", {},
+                            "Transient accept() failures retried by the "
+                            "listener"),
+    };
+  }();
+  return metrics;
+}
 
 Status ErrnoStatus(const char* what) {
   return IoError(std::string(what) + ": " + std::strerror(errno));
@@ -55,6 +77,7 @@ Result<std::string> SocketChannel::ReadLine() {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       return line;
     }
+    DBRE_RETURN_IF_ERROR(FailpointError("socket.recv"));
     char chunk[4096];
     ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n == 0) {
@@ -79,15 +102,30 @@ Status SocketChannel::WriteLine(const std::string& line) {
   std::lock_guard<std::mutex> lock(write_mutex_);
   std::string framed = line;
   framed.push_back('\n');
+  size_t limit = framed.size();
+  bool injected = false;
+  FailpointHit hit = Failpoints::Check("socket.send");
+  if (hit.action == FailpointHit::Action::kError) {
+    limit = 0;
+    injected = true;
+  } else if (hit.action == FailpointHit::Action::kTorn) {
+    // Simulate the peer vanishing mid-frame: part of the line reaches the
+    // wire, then the send fails.
+    limit = std::min(limit, hit.torn_bytes);
+    injected = true;
+  }
   size_t sent = 0;
-  while (sent < framed.size()) {
-    ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+  while (sent < limit) {
+    ssize_t n = ::send(fd_, framed.data() + sent, limit - sent,
                        MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return ErrnoStatus("send");
     }
     sent += static_cast<size_t>(n);
+  }
+  if (injected) {
+    return IoError("send: injected failure (failpoint socket.send)");
   }
   return Status::Ok();
 }
@@ -174,12 +212,29 @@ Status TcpServer::Start(uint16_t port) {
 }
 
 void TcpServer::AcceptLoop() {
+  // Transient accept() failures — EMFILE/ENFILE when fds run out,
+  // ECONNABORTED when a client gives up in the backlog, ENOMEM under
+  // pressure — must not kill the listener for every future client. Back
+  // off (capped) and keep accepting; only Stop() closing the listener
+  // ends the loop.
+  int64_t backoff_ms = 1;
   while (true) {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // listener closed by Stop()
+    if (fd >= 0 && Failpoints::Check("service.accept").action !=
+                       FailpointHit::Action::kNone) {
+      ::close(fd);
+      fd = -1;
+      errno = ECONNABORTED;
     }
+    if (fd < 0) {
+      if (listen_fd_.load() < 0) return;  // listener closed by Stop()
+      if (errno == EINTR) continue;
+      Metrics().accept_errors->Add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min<int64_t>(backoff_ms * 2, 100);
+      continue;
+    }
+    backoff_ms = 1;
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto channel = std::make_shared<SocketChannel>(fd);

@@ -13,6 +13,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "store/crc32c.h"
@@ -25,6 +26,8 @@ struct JournalMetrics {
   obs::Counter* bytes;
   obs::Counter* torn_tails;
   obs::Counter* replay_dropped;
+  obs::Counter* retries;
+  obs::Counter* fsync_failures;
   obs::Histogram* fsync_us;
 };
 
@@ -42,6 +45,11 @@ const JournalMetrics& Metrics() {
         registry.GetCounter(
             "dbre_journal_replay_dropped_total", {},
             "Invalid or torn records dropped during journal replay"),
+        registry.GetCounter(
+            "dbre_journal_retries_total", {},
+            "Journal write/fsync attempts retried after transient errors"),
+        registry.GetCounter("dbre_journal_fsync_failures_total", {},
+                            "Journal fsync attempts that failed"),
         registry.GetHistogram("dbre_journal_fsync_us", {},
                               "Journal fsync latency (batched appends and "
                               "explicit syncs)"),
@@ -62,29 +70,6 @@ int TimedFsync(int fd, const std::string& dir) {
 namespace fs = std::filesystem;
 using service::Json;
 
-std::string SegmentName(uint64_t index) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "wal-%06llu.ndjson",
-                static_cast<unsigned long long>(index));
-  return buf;
-}
-
-// Sorted segment indexes present in `dir` (lexicographic == numeric for
-// the zero-padded names; parse the number to be safe).
-std::vector<uint64_t> ListSegments(const std::string& dir) {
-  std::vector<uint64_t> indexes;
-  std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(dir, ec)) {
-    std::string name = entry.path().filename().string();
-    unsigned long long index = 0;
-    if (std::sscanf(name.c_str(), "wal-%6llu.ndjson", &index) == 1) {
-      indexes.push_back(index);
-    }
-  }
-  std::sort(indexes.begin(), indexes.end());
-  return indexes;
-}
-
 // Validates one journal line; the decoded payload goes to `*record` on
 // success. A line fails if it is not JSON, lacks the envelope fields, or
 // the checksum of the re-serialized payload disagrees — which catches both
@@ -102,14 +87,20 @@ bool DecodeLine(std::string_view line, Json* record) {
   return true;
 }
 
-// Scans segment content line by line; returns the byte offset just past
-// the last valid record and appends decoded records to `*records` (if
-// non-null). `*dropped` counts invalid/torn lines from the first failure
-// on (validation does not resume after a bad line — order matters for
-// replay).
-size_t ScanSegment(const std::string& content, std::vector<Json>* records,
-                   size_t* dropped) {
-  size_t valid_end = 0;
+// Scans segment content line by line. Replay consumes only the prefix of
+// valid records (order matters; validation never resumes after a bad
+// line), but the scan keeps decoding past the first failure to classify
+// it: a decodable record *after* a bad line means mid-segment corruption,
+// not a torn tail from a crashed writer.
+struct SegmentScan {
+  size_t valid_end = 0;   // byte offset just past the last prefix record
+  size_t dropped = 0;     // lines from the first failure on
+  bool valid_after_bad = false;
+};
+
+SegmentScan ScanSegment(const std::string& content,
+                        std::vector<Json>* records) {
+  SegmentScan scan;
   size_t pos = 0;
   bool failed = false;
   while (pos < content.size()) {
@@ -120,15 +111,18 @@ size_t ScanSegment(const std::string& content, std::vector<Json>* records,
     Json record;
     if (!failed && complete && DecodeLine(line, &record)) {
       if (records != nullptr) records->push_back(std::move(record));
-      valid_end = eol + 1;
+      scan.valid_end = eol + 1;
     } else if (!line.empty() || !complete) {
+      if (failed && complete && DecodeLine(line, &record)) {
+        scan.valid_after_bad = true;
+      }
       failed = true;
-      if (dropped != nullptr) ++*dropped;
+      ++scan.dropped;
     }
     if (!complete) break;
     pos = eol + 1;
   }
-  return valid_end;
+  return scan;
 }
 
 Result<std::string> ReadFileToString(const std::string& path) {
@@ -153,6 +147,41 @@ std::string EncodeJournalLine(const Json& record) {
   return line;
 }
 
+std::string JournalSegmentName(uint64_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%06llu.ndjson",
+                static_cast<unsigned long long>(index));
+  return buf;
+}
+
+// Sorted segment indexes present in `dir` (lexicographic == numeric for
+// the zero-padded names; parse the number to be safe).
+std::vector<uint64_t> ListJournalSegments(const std::string& dir) {
+  std::vector<uint64_t> indexes;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    std::string name = entry.path().filename().string();
+    unsigned long long index = 0;
+    if (std::sscanf(name.c_str(), "wal-%6llu.ndjson", &index) == 1) {
+      indexes.push_back(index);
+    }
+  }
+  std::sort(indexes.begin(), indexes.end());
+  return indexes;
+}
+
+Journal::Journal(std::string dir, JournalOptions options)
+    : dir_(std::move(dir)), options_(options), retry_(options_.retry) {
+  // Count retries once here instead of at every call site. Runs under
+  // mutex_ (every retried op holds it).
+  auto wrapped = retry_.on_retry;
+  retry_.on_retry = [this, wrapped](int attempt, const Status& status) {
+    ++stats_.retries;
+    Metrics().retries->Add(1);
+    if (wrapped) wrapped(attempt, status);
+  };
+}
+
 Result<std::unique_ptr<Journal>> Journal::Open(const std::string& dir,
                                                JournalOptions options) {
   std::error_code ec;
@@ -160,7 +189,7 @@ Result<std::unique_ptr<Journal>> Journal::Open(const std::string& dir,
   if (ec) return IoError("mkdir " + dir + ": " + ec.message());
 
   std::unique_ptr<Journal> journal(new Journal(dir, options));
-  std::vector<uint64_t> segments = ListSegments(dir);
+  std::vector<uint64_t> segments = ListJournalSegments(dir);
   journal->stats_.segments = segments.size();
 
   if (segments.empty()) {
@@ -172,10 +201,11 @@ Result<std::unique_ptr<Journal>> Journal::Open(const std::string& dir,
   // Validate the tail of the last segment and truncate any torn suffix so
   // appends after a crash produce a clean record stream.
   uint64_t last = segments.back();
-  std::string path = dir + "/" + SegmentName(last);
+  std::string path = dir + "/" + JournalSegmentName(last);
   DBRE_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
-  size_t valid_end = ScanSegment(content, nullptr, nullptr);
+  size_t valid_end = ScanSegment(content, nullptr).valid_end;
 
+  DBRE_RETURN_IF_ERROR(FailpointError("journal.open"));
   int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
   if (fd < 0) return IoError("open " + path + ": " + std::strerror(errno));
   if (valid_end != content.size()) {
@@ -197,21 +227,52 @@ Result<std::unique_ptr<Journal>> Journal::Open(const std::string& dir,
   return journal;
 }
 
-Journal::~Journal() {
-  if (fd_ >= 0) {
-    ::fsync(fd_);
-    ::close(fd_);
+Journal::~Journal() { Close(); }
+
+Status Journal::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return Status::Ok();
+  Status synced = FsyncLocked();
+  ::close(fd_);
+  fd_ = -1;
+  return synced;
+}
+
+// Retried fsync of the open segment; every failed attempt counts toward
+// fsync_failures so even a transient-then-recovered disk shows up.
+Status Journal::FsyncLocked() {
+  Status synced = RetryWithBackoff(retry_, [this]() -> Status {
+    Status failure = FailpointError("journal.fsync");
+    if (failure.ok() && TimedFsync(fd_, dir_) != 0) {
+      failure = IoError("journal fsync in " + dir_ + ": " +
+                        std::strerror(errno));
+    }
+    if (!failure.ok()) {
+      ++stats_.fsync_failures;
+      Metrics().fsync_failures->Add(1);
+    }
+    return failure;
+  });
+  if (synced.ok()) {
+    unsynced_ = 0;
+    ++stats_.syncs;
   }
+  return synced;
 }
 
 Status Journal::RotateLocked() {
+  DBRE_RETURN_IF_ERROR(FailpointError("journal.rotate"));
   if (fd_ >= 0) {
-    ::fsync(fd_);
+    // The records of the outgoing segment must be durable before it is
+    // abandoned; a failed fsync keeps the segment open and fails the
+    // rotation (and with it the append that forced it).
+    DBRE_RETURN_IF_ERROR(FsyncLocked());
     ::close(fd_);
     fd_ = -1;
   }
   ++segment_index_;
-  std::string path = dir_ + "/" + SegmentName(segment_index_);
+  std::string path = dir_ + "/" + JournalSegmentName(segment_index_);
+  DBRE_RETURN_IF_ERROR(FailpointError("journal.open"));
   int fd = ::open(path.c_str(),
                   O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
   if (fd < 0) return IoError("open " + path + ": " + std::strerror(errno));
@@ -222,6 +283,36 @@ Status Journal::RotateLocked() {
   return Status::Ok();
 }
 
+// One write attempt of a full line, honoring the journal.append.write
+// failpoint (kError = fail before writing, kTorn = write only a prefix
+// then fail — exactly what a crashed or out-of-space writer leaves).
+Status Journal::WriteLineLocked(const std::string& line) {
+  size_t limit = line.size();
+  bool inject = false;
+  FailpointHit hit = Failpoints::Check("journal.append.write");
+  if (hit.action == FailpointHit::Action::kError) {
+    limit = 0;
+    inject = true;
+  } else if (hit.action == FailpointHit::Action::kTorn) {
+    limit = std::min(limit, hit.torn_bytes);
+    inject = true;
+  }
+  size_t off = 0;
+  while (off < limit) {
+    ssize_t n = ::write(fd_, line.data() + off, limit - off);
+    if (n < 0) {
+      return IoError("journal append in " + dir_ + ": " +
+                     std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (inject) {
+    return IoError("journal append in " + dir_ +
+                   ": injected failure (failpoint journal.append.write)");
+  }
+  return Status::Ok();
+}
+
 Status Journal::Append(const Json& record) {
   std::string line = EncodeJournalLine(record);
   std::lock_guard<std::mutex> lock(mutex_);
@@ -229,14 +320,37 @@ Status Journal::Append(const Json& record) {
   if (segment_bytes_ >= options_.max_segment_bytes) {
     DBRE_RETURN_IF_ERROR(RotateLocked());
   }
-  size_t off = 0;
-  while (off < line.size()) {
-    ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
-    if (n < 0) {
-      return IoError("journal append in " + dir_ + ": " +
-                     std::strerror(errno));
+  // Between attempts the segment is truncated back to its pre-append
+  // length: a partial write must never be left in front of the retry, or
+  // the segment would hold garbage mid-stream. A crash between the torn
+  // write and the repair leaves exactly the torn tail Open() already
+  // knows how to truncate away.
+  const off_t base = static_cast<off_t>(segment_bytes_);
+  bool dirty = false;
+  Status written = RetryWithBackoff(retry_, [&]() -> Status {
+    if (dirty) {
+      DBRE_RETURN_IF_ERROR(FailpointError("journal.append.repair"));
+      if (::ftruncate(fd_, base) != 0) {
+        // Cannot restore the invariant; make the failure non-retryable so
+        // the next attempt does not append after garbage.
+        return FailedPreconditionError(
+            "journal repair truncate in " + dir_ + " failed: " +
+            std::strerror(errno));
+      }
     }
-    off += static_cast<size_t>(n);
+    dirty = true;
+    return WriteLineLocked(line);
+  });
+  if (!written.ok()) {
+    // Best-effort cleanup so a later append (e.g. after the fault clears)
+    // starts from a clean tail; if this fails too, Open() repairs on the
+    // next life.
+    if (::ftruncate(fd_, base) != 0) {
+      return FailedPreconditionError(
+          "journal in " + dir_ + " has an unrepaired torn tail after: " +
+          written.ToString());
+    }
+    return written;
   }
   segment_bytes_ += line.size();
   ++stats_.records;
@@ -244,12 +358,7 @@ Status Journal::Append(const Json& record) {
   Metrics().appends->Add(1);
   Metrics().bytes->Add(line.size());
   if (options_.fsync_batch > 0 && ++unsynced_ >= options_.fsync_batch) {
-    if (TimedFsync(fd_, dir_) != 0) {
-      return IoError("journal fsync in " + dir_ + ": " +
-                     std::strerror(errno));
-    }
-    unsynced_ = 0;
-    ++stats_.syncs;
+    DBRE_RETURN_IF_ERROR(FsyncLocked());
   }
   return Status::Ok();
 }
@@ -257,12 +366,7 @@ Status Journal::Append(const Json& record) {
 Status Journal::Sync() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (fd_ < 0) return FailedPreconditionError("journal is not open");
-  if (TimedFsync(fd_, dir_) != 0) {
-    return IoError("journal fsync in " + dir_ + ": " + std::strerror(errno));
-  }
-  unsynced_ = 0;
-  ++stats_.syncs;
-  return Status::Ok();
+  return FsyncLocked();
 }
 
 JournalStats Journal::stats() const {
@@ -274,13 +378,14 @@ Result<JournalReplay> ReadJournal(const std::string& dir) {
   JournalReplay replay;
   std::error_code ec;
   if (!fs::exists(dir, ec)) return replay;
-  std::vector<uint64_t> segments = ListSegments(dir);
-  bool corrupt = false;
-  for (uint64_t index : segments) {
-    std::string path = dir + "/" + SegmentName(index);
+  std::vector<uint64_t> segments = ListJournalSegments(dir);
+  bool stop_replay = false;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    uint64_t index = segments[i];
+    std::string path = dir + "/" + JournalSegmentName(index);
     DBRE_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
     ++replay.segments;
-    if (corrupt) {
+    if (stop_replay) {
       // Records after a corrupt one must not replay out of order; every
       // line of a later segment counts as dropped.
       size_t lines = 0;
@@ -289,9 +394,20 @@ Result<JournalReplay> ReadJournal(const std::string& dir) {
       replay.dropped += lines;
       continue;
     }
-    size_t before = replay.dropped;
-    ScanSegment(content, &replay.records, &replay.dropped);
-    if (replay.dropped != before) corrupt = true;
+    SegmentScan scan = ScanSegment(content, &replay.records);
+    replay.dropped += scan.dropped;
+    if (scan.dropped > 0) {
+      stop_replay = true;
+      // A torn tail of the *final* segment is the expected wreckage of a
+      // crashed writer and repairs silently on reopen. Anything else —
+      // valid records after the bad line, or a bad line in a non-final
+      // segment — is real corruption; recovery quarantines from here on.
+      if (i + 1 < segments.size() || scan.valid_after_bad) {
+        replay.corrupt = true;
+        replay.corrupt_segment = index;
+        replay.corrupt_valid_end = scan.valid_end;
+      }
+    }
   }
   if (replay.dropped > 0) Metrics().replay_dropped->Add(replay.dropped);
   return replay;

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "service/json.h"
 
@@ -37,13 +38,20 @@ struct JournalOptions {
   size_t max_segment_bytes = 4 << 20;
   // fsync every N appends; 1 = every append, 0 = never (kernel decides).
   size_t fsync_batch = 8;
+  // Transient write/fsync failures are retried under this policy before an
+  // Append or Sync surfaces an error. A partially written line is
+  // truncated away between attempts, so a retried append never leaves
+  // garbage mid-segment.
+  RetryPolicy retry;
 };
 
 struct JournalStats {
-  uint64_t records = 0;   // appended through this handle
-  uint64_t bytes = 0;     // bytes written through this handle
-  uint64_t segments = 0;  // total segments on disk
-  uint64_t syncs = 0;     // fsyncs issued
+  uint64_t records = 0;         // appended through this handle
+  uint64_t bytes = 0;           // bytes written through this handle
+  uint64_t segments = 0;        // total segments on disk
+  uint64_t syncs = 0;           // fsyncs issued
+  uint64_t retries = 0;         // write/fsync attempts that were retried
+  uint64_t fsync_failures = 0;  // fsync attempts that failed
 };
 
 class Journal {
@@ -65,17 +73,24 @@ class Journal {
   // Forces an fsync of the current segment regardless of batching.
   Status Sync();
 
+  // Fsyncs and closes the open segment, propagating the fsync result (the
+  // destructor calls this and swallows the status — close explicitly when
+  // the outcome matters). Idempotent.
+  Status Close();
+
   JournalStats stats() const;
   const std::string& dir() const { return dir_; }
 
  private:
-  Journal(std::string dir, JournalOptions options)
-      : dir_(std::move(dir)), options_(options) {}
+  Journal(std::string dir, JournalOptions options);
 
   Status RotateLocked();
+  Status WriteLineLocked(const std::string& line);
+  Status FsyncLocked();
 
   const std::string dir_;
   const JournalOptions options_;
+  RetryPolicy retry_;  // options_.retry plus the stats-counting hook
 
   mutable std::mutex mutex_;
   int fd_ = -1;
@@ -90,6 +105,14 @@ struct JournalReplay {
   std::vector<service::Json> records;  // valid records, in append order
   size_t dropped = 0;    // lines discarded (bad checksum / torn tail)
   size_t segments = 0;   // segment files read
+
+  // Mid-stream corruption, as opposed to a benign torn tail: a bad record
+  // with valid records after it, or any drop in a non-final segment. The
+  // recovery layer quarantines everything from `corrupt_segment` on and
+  // resumes from the valid prefix (`corrupt_valid_end` bytes of it).
+  bool corrupt = false;
+  uint64_t corrupt_segment = 0;   // segment index of the first bad record
+  size_t corrupt_valid_end = 0;   // bytes of valid prefix in that segment
 };
 
 // Reads every segment of the journal in `dir`. Validation stops at the
@@ -100,6 +123,11 @@ Result<JournalReplay> ReadJournal(const std::string& dir);
 // The record envelope, exposed for tests: serializes `record` into a
 // checksummed journal line (newline included).
 std::string EncodeJournalLine(const service::Json& record);
+
+// Segment naming, exposed for the Store's quarantine flow and for tests:
+// "wal-000001.ndjson" etc., and the sorted indexes present in `dir`.
+std::string JournalSegmentName(uint64_t index);
+std::vector<uint64_t> ListJournalSegments(const std::string& dir);
 
 }  // namespace dbre::store
 

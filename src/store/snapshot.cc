@@ -5,11 +5,14 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <bit>
 #include <cerrno>
 #include <cstring>
 #include <utility>
 
+#include "common/failpoint.h"
+#include "common/retry.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "relational/encoded_table.h"
@@ -22,6 +25,7 @@ namespace {
 struct SnapshotMetrics {
   obs::Counter* bytes_written;
   obs::Counter* bytes_read;
+  obs::Counter* retries;
   obs::Histogram* write_us;
   obs::Histogram* load_us;
 };
@@ -34,6 +38,8 @@ const SnapshotMetrics& Metrics() {
                             "Bytes written to snapshot files"),
         registry.GetCounter("dbre_snapshot_bytes_read_total", {},
                             "Bytes read (mapped) from snapshot files"),
+        registry.GetCounter("dbre_snapshot_retries_total", {},
+                            "Snapshot write attempts retried after an error"),
         registry.GetHistogram("dbre_snapshot_write_us", {},
                               "Snapshot encode+write+fsync latency"),
         registry.GetHistogram("dbre_snapshot_load_us", {},
@@ -173,6 +179,7 @@ class MappedFile {
   MappedFile& operator=(const MappedFile&) = delete;
 
   static Result<MappedFile> Open(const std::string& path) {
+    DBRE_RETURN_IF_ERROR(FailpointError("snapshot.open"));
     int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
     if (fd < 0) {
       return IoError("open " + path + ": " + std::strerror(errno));
@@ -309,15 +316,28 @@ Result<ParsedSchema> ParseSchemaBlob(const unsigned char* data, size_t size) {
   return out;
 }
 
-Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
+// One write-tmp/fsync/rename attempt. The tmp file is recreated from
+// scratch (O_TRUNC), so a failed attempt leaves nothing a retry has to
+// clean up — WriteFileAtomic retries the whole attempt on IO errors.
+Status WriteFileAtomicOnce(const std::string& path, const std::string& bytes) {
   std::string tmp = path + ".tmp";
   int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) {
     return IoError("open " + tmp + ": " + std::strerror(errno));
   }
+  size_t limit = bytes.size();
+  bool injected = false;
+  FailpointHit hit = Failpoints::Check("snapshot.write");
+  if (hit.action == FailpointHit::Action::kError) {
+    limit = 0;
+    injected = true;
+  } else if (hit.action == FailpointHit::Action::kTorn) {
+    limit = std::min(limit, hit.torn_bytes);
+    injected = true;
+  }
   size_t off = 0;
-  while (off < bytes.size()) {
-    ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+  while (off < limit) {
+    ssize_t n = ::write(fd, bytes.data() + off, limit - off);
     if (n < 0) {
       int err = errno;
       ::close(fd);
@@ -326,17 +346,29 @@ Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
     }
     off += static_cast<size_t>(n);
   }
-  if (::fsync(fd) != 0) {
-    int err = errno;
+  if (injected) {
     ::close(fd);
     ::unlink(tmp.c_str());
-    return IoError("fsync " + tmp + ": " + std::strerror(err));
+    return IoError("write " + tmp +
+                   ": injected failure (failpoint snapshot.write)");
+  }
+  Status fsync_status = FailpointError("snapshot.fsync");
+  if (fsync_status.ok() && ::fsync(fd) != 0) {
+    fsync_status = IoError("fsync " + tmp + ": " + std::strerror(errno));
+  }
+  if (!fsync_status.ok()) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return fsync_status;
   }
   ::close(fd);
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    int err = errno;
+  Status rename_status = FailpointError("snapshot.rename");
+  if (rename_status.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    rename_status = IoError("rename " + tmp + ": " + std::strerror(errno));
+  }
+  if (!rename_status.ok()) {
     ::unlink(tmp.c_str());
-    return IoError("rename " + tmp + ": " + std::strerror(err));
+    return rename_status;
   }
   // Make the rename itself durable.
   size_t slash = path.find_last_of('/');
@@ -347,6 +379,13 @@ Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
     ::close(dfd);
   }
   return Status::Ok();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
+  RetryPolicy policy;
+  policy.on_retry = [](int, const Status&) { Metrics().retries->Add(1); };
+  return RetryWithBackoff(
+      policy, [&] { return WriteFileAtomicOnce(path, bytes); });
 }
 
 }  // namespace
@@ -415,6 +454,10 @@ Result<SnapshotLayout> ParseLayout(const MappedFile& file,
                                    const std::string& path) {
   const unsigned char* data = file.data();
   size_t size = file.size();
+  if (Failpoints::Check("snapshot.crc").action != FailpointHit::Action::kNone) {
+    return ParseError("snapshot " + path +
+                      ": injected checksum mismatch (failpoint snapshot.crc)");
+  }
   if (size < sizeof(kMagic) + 12 + kFooterSize ||
       std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
     return ParseError("snapshot " + path + ": bad magic or truncated header");

@@ -3,13 +3,33 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
+#include "obs/metrics.h"
 #include "relational/extension_registry.h"
 
 namespace dbre::store {
 namespace {
 
 namespace fs = std::filesystem;
+
+struct StoreMetrics {
+  obs::Counter* quarantined_snapshots;
+  obs::Counter* quarantined_segments;
+};
+
+const StoreMetrics& Metrics() {
+  static const StoreMetrics metrics = [] {
+    obs::Registry& registry = obs::Registry::Default();
+    return StoreMetrics{
+        registry.GetCounter("dbre_quarantined_snapshots_total", {},
+                            "Corrupt snapshot files moved to quarantine"),
+        registry.GetCounter("dbre_quarantined_segments_total", {},
+                            "Corrupt journal pieces moved to quarantine"),
+    };
+  }();
+  return metrics;
+}
 
 bool IsPlainChar(char c) {
   return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
@@ -103,13 +123,25 @@ Result<LoadedSnapshot> Store::LoadSnapshot(uint64_t fingerprint) const {
   if (!fs::exists(path, ec)) {
     return NotFoundError("no snapshot for fingerprint in " + path);
   }
-  DBRE_ASSIGN_OR_RETURN(LoadedSnapshot snapshot,
-                        dbre::store::LoadSnapshot(path));
-  if (snapshot.fingerprint != fingerprint) {
-    return FailedPreconditionError("snapshot " + path +
-                                   " holds a different fingerprint");
+  Result<LoadedSnapshot> snapshot = dbre::store::LoadSnapshot(path);
+  Status bad;
+  if (!snapshot.ok()) {
+    if (snapshot.status().code() != StatusCode::kParseError) {
+      return snapshot.status();  // e.g. transient open/read error
+    }
+    bad = snapshot.status();
+  } else if (snapshot->fingerprint != fingerprint) {
+    bad = FailedPreconditionError("snapshot " + path +
+                                  " holds a different fingerprint");
+  } else {
+    return snapshot;
   }
-  return snapshot;
+  Result<std::string> moved = QuarantineSnapshot(fingerprint);
+  if (moved.ok()) {
+    return Status(bad.code(), bad.message() + " (quarantined to " + *moved +
+                                  ")");
+  }
+  return bad;
 }
 
 std::string Store::SessionDir(const std::string& session_id) const {
@@ -150,6 +182,82 @@ Status Store::RemoveSession(const std::string& session_id) {
     return IoError("remove session dir for " + session_id + ": " +
                    ec.message());
   }
+  return Status::Ok();
+}
+
+Result<std::string> Store::QuarantineSnapshot(uint64_t fingerprint) const {
+  std::string src = SnapshotPath(fingerprint);
+  std::error_code ec;
+  if (!fs::exists(src, ec)) {
+    return NotFoundError("no snapshot file to quarantine at " + src);
+  }
+  std::string dir = root_ + "/quarantine/snapshots";
+  fs::create_directories(dir, ec);
+  if (ec) return IoError("mkdir " + dir + ": " + ec.message());
+  std::string dest = dir + src.substr(src.find_last_of('/'));
+  fs::rename(src, dest, ec);
+  if (ec) {
+    return IoError("quarantine " + src + ": " + ec.message());
+  }
+  Metrics().quarantined_snapshots->Add(1);
+  return dest;
+}
+
+Status Store::QuarantineJournalCorruption(const std::string& session_id,
+                                          uint64_t corrupt_segment,
+                                          size_t corrupt_valid_end,
+                                          size_t* segments_moved) const {
+  size_t moved = 0;
+  if (segments_moved != nullptr) *segments_moved = 0;
+  std::string sdir = SessionDir(session_id);
+  std::string qdir =
+      root_ + "/quarantine/sessions/" + EscapeSessionId(session_id);
+  std::error_code ec;
+  fs::create_directories(qdir, ec);
+  if (ec) return IoError("mkdir " + qdir + ": " + ec.message());
+
+  // Copy the corrupt suffix of the first bad segment aside, then cut the
+  // live file back to its valid prefix so replay and appends resume from
+  // a clean tail.
+  std::string name = JournalSegmentName(corrupt_segment);
+  std::string seg_path = sdir + "/" + name;
+  std::ifstream in(seg_path, std::ios::binary);
+  if (!in) {
+    return IoError("open " + seg_path + " for quarantine");
+  }
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  if (corrupt_valid_end < content.size()) {
+    std::string suffix_path = qdir + "/" + name + ".corrupt";
+    std::ofstream out(suffix_path, std::ios::binary | std::ios::trunc);
+    out.write(content.data() + corrupt_valid_end,
+              static_cast<std::streamsize>(content.size() - corrupt_valid_end));
+    out.close();
+    if (!out) {
+      return IoError("write " + suffix_path);
+    }
+    fs::resize_file(seg_path, corrupt_valid_end, ec);
+    if (ec) {
+      return IoError("truncate " + seg_path + ": " + ec.message());
+    }
+    ++moved;
+  }
+
+  // Later segments can hold nothing replayable (validation stopped at the
+  // corruption), so they move wholesale.
+  for (uint64_t index : ListJournalSegments(sdir)) {
+    if (index <= corrupt_segment) continue;
+    std::string later = JournalSegmentName(index);
+    fs::rename(sdir + "/" + later, qdir + "/" + later, ec);
+    if (ec) {
+      return IoError("quarantine " + later + " for " + session_id + ": " +
+                     ec.message());
+    }
+    ++moved;
+  }
+  Metrics().quarantined_segments->Add(moved);
+  if (segments_moved != nullptr) *segments_moved = moved;
   return Status::Ok();
 }
 

@@ -5,6 +5,9 @@
 //   <root>/snapshots/<%016x fingerprint>.snap   one per distinct extension
 //   <root>/sessions/<escaped session id>/       one journal dir per session
 //       wal-000001.ndjson ...
+//   <root>/quarantine/                          corrupt files, set aside
+//       snapshots/<%016x>.snap                  failed CRC / wrong footer
+//       sessions/<escaped id>/wal-...ndjson[.corrupt]
 //
 // Snapshots are content-addressed by extension fingerprint, so two
 // sessions loading the same CSV share one snapshot file the same way they
@@ -52,6 +55,11 @@ class Store {
   Result<SnapshotInfo> PutSnapshot(const Table& table);
 
   bool HasSnapshot(uint64_t fingerprint) const;
+
+  // Loads and verifies a snapshot. A snapshot that fails verification
+  // (CRC mismatch, torn file, wrong fingerprint) is moved to quarantine
+  // before the error returns, so the next PutSnapshot of the same
+  // extension rewrites it cleanly instead of tripping over the corpse.
   Result<LoadedSnapshot> LoadSnapshot(uint64_t fingerprint) const;
   std::string SnapshotPath(uint64_t fingerprint) const;
 
@@ -72,6 +80,25 @@ class Store {
   // Deletes a session's journal directory (after a clean close; snapshots
   // stay — other sessions may share them).
   Status RemoveSession(const std::string& session_id);
+
+  // --- quarantine -------------------------------------------------------
+
+  // Moves a corrupt snapshot file into <root>/quarantine/snapshots/.
+  // Returns the quarantined path (NotFound if the file is already gone).
+  Result<std::string> QuarantineSnapshot(uint64_t fingerprint) const;
+
+  // Sets aside the corrupt part of a session journal as reported by
+  // ReadJournal: copies the corrupt suffix of segment `corrupt_segment`
+  // (everything past `corrupt_valid_end` bytes) into
+  // <root>/quarantine/sessions/<id>/ as `<segment>.corrupt`, truncates the
+  // live segment back to its valid prefix, and moves every later segment
+  // wholesale. Replay of the valid prefix stays usable and appending
+  // resumes after it. `*segments_moved` (optional) counts quarantined
+  // pieces.
+  Status QuarantineJournalCorruption(const std::string& session_id,
+                                     uint64_t corrupt_segment,
+                                     size_t corrupt_valid_end,
+                                     size_t* segments_moved = nullptr) const;
 
  private:
   explicit Store(std::string root, StoreOptions options)

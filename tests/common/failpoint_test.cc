@@ -1,0 +1,175 @@
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace dbre {
+namespace {
+
+// Failpoints are process-global; every test starts and ends clean so
+// ordering cannot leak armed points between tests.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Failpoints::Instance().DisarmAll(); }
+  void TearDown() override { Failpoints::Instance().DisarmAll(); }
+};
+
+TEST_F(FailpointTest, UnarmedChecksAreNoops) {
+  FailpointHit hit = Failpoints::Check("store.nonexistent");
+  EXPECT_EQ(hit.action, FailpointHit::Action::kNone);
+  EXPECT_TRUE(FailpointError("store.nonexistent").ok());
+  EXPECT_TRUE(Failpoints::Instance().List().empty());
+}
+
+TEST_F(FailpointTest, ErrorFiresEveryHit) {
+  ASSERT_TRUE(Failpoints::Instance().Arm("p", "error").ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(Failpoints::Check("p").action, FailpointHit::Action::kError);
+  }
+  Status status = FailpointError("p");
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("failpoint p"), std::string::npos);
+}
+
+TEST_F(FailpointTest, ArmedPointDoesNotAffectOtherPoints) {
+  ASSERT_TRUE(Failpoints::Instance().Arm("p", "error").ok());
+  EXPECT_EQ(Failpoints::Check("q").action, FailpointHit::Action::kNone);
+}
+
+TEST_F(FailpointTest, FirstNModifier) {
+  ASSERT_TRUE(Failpoints::Instance().Arm("p", "error*2").ok());
+  EXPECT_EQ(Failpoints::Check("p").action, FailpointHit::Action::kError);
+  EXPECT_EQ(Failpoints::Check("p").action, FailpointHit::Action::kError);
+  EXPECT_EQ(Failpoints::Check("p").action, FailpointHit::Action::kNone);
+  EXPECT_EQ(Failpoints::Check("p").action, FailpointHit::Action::kNone);
+}
+
+TEST_F(FailpointTest, EveryNthModifier) {
+  ASSERT_TRUE(Failpoints::Instance().Arm("p", "error@3").ok());
+  std::vector<bool> fired;
+  for (int i = 0; i < 7; ++i) {
+    fired.push_back(Failpoints::Check("p").action ==
+                    FailpointHit::Action::kError);
+  }
+  EXPECT_EQ(fired, std::vector<bool>(
+                       {false, false, true, false, false, true, false}));
+}
+
+TEST_F(FailpointTest, ExactNthModifier) {
+  ASSERT_TRUE(Failpoints::Instance().Arm("p", "error#3").ok());
+  EXPECT_EQ(Failpoints::Check("p").action, FailpointHit::Action::kNone);
+  EXPECT_EQ(Failpoints::Check("p").action, FailpointHit::Action::kNone);
+  EXPECT_EQ(Failpoints::Check("p").action, FailpointHit::Action::kError);
+  EXPECT_EQ(Failpoints::Check("p").action, FailpointHit::Action::kNone);
+}
+
+TEST_F(FailpointTest, ProbabilityIsDeterministicUnderSeed) {
+  auto draw = [](uint64_t seed) {
+    Failpoints::Instance().DisarmAll();
+    Failpoints::Instance().SetSeed(seed);
+    EXPECT_TRUE(Failpoints::Instance().Arm("p", "error%30").ok());
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(Failpoints::Check("p").action ==
+                      FailpointHit::Action::kError);
+    }
+    return fired;
+  };
+  std::vector<bool> first = draw(7);
+  std::vector<bool> again = draw(7);
+  std::vector<bool> other = draw(8);
+  EXPECT_EQ(first, again);
+  EXPECT_NE(first, other);  // 2^-64-ish flake risk; fine
+  // P=0 never fires, P=100 always fires.
+  Failpoints::Instance().DisarmAll();
+  ASSERT_TRUE(Failpoints::Instance().Arm("never", "error%0").ok());
+  ASSERT_TRUE(Failpoints::Instance().Arm("always", "error%100").ok());
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(Failpoints::Check("never").action, FailpointHit::Action::kNone);
+    EXPECT_EQ(Failpoints::Check("always").action,
+              FailpointHit::Action::kError);
+  }
+}
+
+TEST_F(FailpointTest, TornCarriesByteBudget) {
+  ASSERT_TRUE(Failpoints::Instance().Arm("p", "torn(7)#1").ok());
+  FailpointHit hit = Failpoints::Check("p");
+  EXPECT_EQ(hit.action, FailpointHit::Action::kTorn);
+  EXPECT_EQ(hit.torn_bytes, 7u);
+  EXPECT_EQ(Failpoints::Check("p").action, FailpointHit::Action::kNone);
+}
+
+TEST_F(FailpointTest, DelayProceedsAfterSleeping) {
+  ASSERT_TRUE(Failpoints::Instance().Arm("p", "delay(1)").ok());
+  EXPECT_EQ(Failpoints::Check("p").action, FailpointHit::Action::kNone);
+}
+
+TEST_F(FailpointTest, OffCountsHitsButNeverFires) {
+  ASSERT_TRUE(Failpoints::Instance().Arm("p", "off").ok());
+  EXPECT_EQ(Failpoints::Check("p").action, FailpointHit::Action::kNone);
+  EXPECT_EQ(Failpoints::Check("p").action, FailpointHit::Action::kNone);
+  auto list = Failpoints::Instance().List();
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].point, "p");
+  EXPECT_EQ(list[0].hits, 2u);
+  EXPECT_EQ(list[0].triggers, 0u);
+}
+
+TEST_F(FailpointTest, ListReportsHitsAndTriggers) {
+  ASSERT_TRUE(Failpoints::Instance().Arm("p", "error#2").ok());
+  Failpoints::Check("p");
+  Failpoints::Check("p");
+  Failpoints::Check("p");
+  auto list = Failpoints::Instance().List();
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].spec, "error#2");
+  EXPECT_EQ(list[0].hits, 3u);
+  EXPECT_EQ(list[0].triggers, 1u);
+}
+
+TEST_F(FailpointTest, ArmSpecsParsesSemicolonList) {
+  Status armed = Failpoints::Instance().ArmSpecs(
+      "journal.fsync=error*1; snapshot.write = torn(3)#2 ;;oracle.answer=off");
+  ASSERT_TRUE(armed.ok()) << armed.ToString();
+  auto list = Failpoints::Instance().List();
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(Failpoints::Check("journal.fsync").action,
+            FailpointHit::Action::kError);
+  EXPECT_EQ(Failpoints::Check("journal.fsync").action,
+            FailpointHit::Action::kNone);
+}
+
+TEST_F(FailpointTest, RearmingResetsCounters) {
+  ASSERT_TRUE(Failpoints::Instance().Arm("p", "error*1").ok());
+  EXPECT_EQ(Failpoints::Check("p").action, FailpointHit::Action::kError);
+  EXPECT_EQ(Failpoints::Check("p").action, FailpointHit::Action::kNone);
+  ASSERT_TRUE(Failpoints::Instance().Arm("p", "error*1").ok());
+  EXPECT_EQ(Failpoints::Check("p").action, FailpointHit::Action::kError);
+}
+
+TEST_F(FailpointTest, DisarmRemovesOnePoint) {
+  ASSERT_TRUE(Failpoints::Instance().Arm("p", "error").ok());
+  ASSERT_TRUE(Failpoints::Instance().Arm("q", "error").ok());
+  EXPECT_TRUE(Failpoints::Instance().Disarm("p"));
+  EXPECT_FALSE(Failpoints::Instance().Disarm("p"));
+  EXPECT_EQ(Failpoints::Check("p").action, FailpointHit::Action::kNone);
+  EXPECT_EQ(Failpoints::Check("q").action, FailpointHit::Action::kError);
+}
+
+TEST_F(FailpointTest, BadSpecsAreRejected) {
+  Failpoints& fps = Failpoints::Instance();
+  EXPECT_FALSE(fps.Arm("p", "").ok());
+  EXPECT_FALSE(fps.Arm("p", "explode").ok());
+  EXPECT_FALSE(fps.Arm("p", "error*x").ok());
+  EXPECT_FALSE(fps.Arm("p", "delay(").ok());
+  EXPECT_FALSE(fps.Arm("p", "torn(abc)").ok());
+  EXPECT_FALSE(fps.Arm("p", "error%101").ok());
+  EXPECT_FALSE(fps.ArmSpecs("no-equals-sign").ok());
+  // Nothing half-armed after the failures.
+  EXPECT_EQ(Failpoints::Check("p").action, FailpointHit::Action::kNone);
+}
+
+}  // namespace
+}  // namespace dbre

@@ -1,0 +1,95 @@
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dbre {
+namespace {
+
+RetryPolicy FastPolicy(int attempts) {
+  RetryPolicy policy;
+  policy.max_attempts = attempts;
+  policy.initial_backoff_ms = 0;  // no real sleeping in unit tests
+  policy.max_backoff_ms = 0;
+  return policy;
+}
+
+TEST(RetryTest, SucceedsFirstTry) {
+  int calls = 0;
+  Status status = RetryWithBackoff(FastPolicy(4), [&] {
+    ++calls;
+    return Status::Ok();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, RetriesTransientFailuresUntilSuccess) {
+  int calls = 0;
+  Status status = RetryWithBackoff(FastPolicy(4), [&]() -> Status {
+    if (++calls < 3) return IoError("flaky disk");
+    return Status::Ok();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, GivesUpAfterMaxAttempts) {
+  int calls = 0;
+  Status status = RetryWithBackoff(FastPolicy(3), [&] {
+    ++calls;
+    return IoError("disk is gone");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, NonRetryableErrorReturnsImmediately) {
+  int calls = 0;
+  Status status = RetryWithBackoff(FastPolicy(4), [&] {
+    ++calls;
+    return FailedPreconditionError("not open");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, OnRetrySeesEachFailedAttempt) {
+  std::vector<int> attempts;
+  RetryPolicy policy = FastPolicy(3);
+  policy.on_retry = [&](int attempt, const Status& status) {
+    EXPECT_EQ(status.code(), StatusCode::kIoError);
+    attempts.push_back(attempt);
+  };
+  RetryWithBackoff(policy, [] { return IoError("still broken"); });
+  // The final attempt fails without a retry after it.
+  EXPECT_EQ(attempts, std::vector<int>({1, 2}));
+}
+
+TEST(RetryTest, ZeroOrNegativeAttemptsStillRunOnce) {
+  int calls = 0;
+  Status status = RetryWithBackoff(FastPolicy(0), [&] {
+    ++calls;
+    return IoError("nope");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, BackoffIsBoundedWallClock) {
+  // 1ms initial, capped at 2ms, 4 attempts → at most 1+2+2 = 5ms of sleep.
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_ms = 1;
+  policy.max_backoff_ms = 2;
+  auto start = std::chrono::steady_clock::now();
+  RetryWithBackoff(policy, [] { return IoError("slow fail"); });
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 3);
+  EXPECT_LT(elapsed.count(), 1000);  // generous for loaded CI machines
+}
+
+}  // namespace
+}  // namespace dbre

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "service/json.h"
 
 namespace dbre::store {
@@ -18,6 +19,7 @@ using service::Json;
 class JournalTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    Failpoints::Instance().DisarmAll();
     dir_ = fs::temp_directory_path() /
            ("dbre_journal_test_" +
             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
@@ -26,7 +28,10 @@ class JournalTest : public ::testing::Test {
                       ->name());
     fs::remove_all(dir_);
   }
-  void TearDown() override { fs::remove_all(dir_); }
+  void TearDown() override {
+    Failpoints::Instance().DisarmAll();
+    fs::remove_all(dir_);
+  }
 
   std::string Dir() const { return dir_.string(); }
 
@@ -191,6 +196,133 @@ TEST_F(JournalTest, BitFlippedRecordInvalidatesItselfAndTheTail) {
   ASSERT_TRUE(replay.ok());
   EXPECT_EQ(replay->records.size(), 3u);  // records 0..2 survive
   EXPECT_EQ(replay->dropped, 3u);         // 3 (corrupt), 4, 5
+  // Valid records after a bad one is real corruption, not a torn tail.
+  EXPECT_TRUE(replay->corrupt);
+  EXPECT_EQ(replay->corrupt_segment, 1u);
+  EXPECT_GT(replay->corrupt_valid_end, 0u);
+}
+
+TEST_F(JournalTest, TornTailIsNotClassifiedAsCorrupt) {
+  {
+    auto journal = Journal::Open(Dir());
+    ASSERT_TRUE(journal.ok());
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE((*journal)->Append(Record(i)).ok());
+    }
+  }
+  std::string torn = EncodeJournalLine(Record(4));
+  torn.resize(torn.size() - 3);
+  auto segments = Segments();
+  ASSERT_EQ(segments.size(), 1u);
+  {
+    std::ofstream out(segments[0], std::ios::binary | std::ios::app);
+    out << torn;
+  }
+  auto replay = ReadJournal(Dir());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->dropped, 1u);
+  EXPECT_FALSE(replay->corrupt);  // trailing garbage in the final segment
+}
+
+TEST_F(JournalTest, DropInANonFinalSegmentIsCorrupt) {
+  JournalOptions options;
+  options.max_segment_bytes = 128;  // force several segments
+  {
+    auto journal = Journal::Open(Dir(), options);
+    ASSERT_TRUE(journal.ok());
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE((*journal)->Append(Record(i)).ok());
+    }
+  }
+  auto segments = Segments();
+  ASSERT_GT(segments.size(), 2u);
+  // Chop the tail off the FIRST segment: even with no valid record after
+  // the cut inside that file, a later segment exists, so this cannot be a
+  // benign crash tail.
+  size_t size = fs::file_size(segments[0]);
+  fs::resize_file(segments[0], size - 4);
+
+  auto replay = ReadJournal(Dir());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->corrupt);
+  EXPECT_EQ(replay->corrupt_segment, 1u);
+  EXPECT_GT(replay->dropped, 0u);
+}
+
+TEST_F(JournalTest, InjectedWriteErrorsAreRetriedWithoutGarbage) {
+  Failpoints::Instance().Arm("journal.append.write", "error*2");
+  JournalOptions options;
+  options.retry.initial_backoff_ms = 0;
+  options.retry.max_backoff_ms = 0;
+  auto journal = Journal::Open(Dir(), options);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE((*journal)->Append(Record(0)).ok());
+  EXPECT_GE((*journal)->stats().retries, 2u);
+  ASSERT_TRUE((*journal)->Append(Record(1)).ok());
+
+  auto replay = ReadJournal(Dir());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->dropped, 0u);
+  ASSERT_EQ(replay->records.size(), 2u);
+  EXPECT_EQ(replay->records[1].GetInt("n"), 1);
+}
+
+TEST_F(JournalTest, TornWriteIsRepairedBetweenAttempts) {
+  // First attempt writes only 5 bytes of the line and fails; the retry
+  // must truncate those 5 bytes away before writing the full line, or the
+  // segment would hold mid-stream garbage.
+  Failpoints::Instance().Arm("journal.append.write", "torn(5)*1");
+  JournalOptions options;
+  options.retry.initial_backoff_ms = 0;
+  options.retry.max_backoff_ms = 0;
+  auto journal = Journal::Open(Dir(), options);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE((*journal)->Append(Record(0)).ok());
+
+  auto replay = ReadJournal(Dir());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->dropped, 0u);
+  ASSERT_EQ(replay->records.size(), 1u);
+  EXPECT_FALSE(replay->corrupt);
+}
+
+TEST_F(JournalTest, PersistentWriteFailureSurfacesAfterRetries) {
+  Failpoints::Instance().Arm("journal.append.write", "error");
+  JournalOptions options;
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff_ms = 0;
+  options.retry.max_backoff_ms = 0;
+  auto journal = Journal::Open(Dir(), options);
+  ASSERT_TRUE(journal.ok());
+  Status status = (*journal)->Append(Record(0));
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_GE((*journal)->stats().retries, 2u);
+  Failpoints::Instance().DisarmAll();
+  // The failed append left nothing behind; the journal still works.
+  ASSERT_TRUE((*journal)->Append(Record(1)).ok());
+  auto replay = ReadJournal(Dir());
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->records.size(), 1u);
+  EXPECT_EQ(replay->records[0].GetInt("n"), 1);
+  EXPECT_EQ(replay->dropped, 0u);
+}
+
+TEST_F(JournalTest, FsyncFailuresAreCountedAndPropagated) {
+  JournalOptions options;
+  options.fsync_batch = 1;
+  options.retry.max_attempts = 2;
+  options.retry.initial_backoff_ms = 0;
+  options.retry.max_backoff_ms = 0;
+  auto journal = Journal::Open(Dir(), options);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE((*journal)->Append(Record(0)).ok());
+  Failpoints::Instance().Arm("journal.fsync", "error");
+  Status status = (*journal)->Append(Record(1));
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_GE((*journal)->stats().fsync_failures, 2u);  // both attempts
+  Failpoints::Instance().DisarmAll();
+  // Close propagates a clean fsync now that the disk "recovered".
+  EXPECT_TRUE((*journal)->Close().ok());
 }
 
 TEST_F(JournalTest, EncodeJournalLineChecksumCoversThePayload) {

@@ -1,7 +1,10 @@
 #include "store/store.h"
 
+#include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -124,6 +127,124 @@ TEST_F(StoreTest, SessionJournalLifecycle) {
   EXPECT_FALSE((*store)->HasSessionJournal("alpha"));
   ASSERT_TRUE((*store)->RemoveSession("beta/../evil").ok());
   EXPECT_TRUE((*store)->ListSessionIds().empty());
+}
+
+TEST_F(StoreTest, CorruptSnapshotIsQuarantinedOnLoad) {
+  auto store = Store::Open(root_.string());
+  ASSERT_TRUE(store.ok());
+  auto info = (*store)->PutSnapshot(SmallTable("R", 1));
+  ASSERT_TRUE(info.ok());
+  std::string path = (*store)->SnapshotPath(info->fingerprint);
+
+  // Flip a byte mid-file: the CRC no longer matches.
+  {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(static_cast<std::streamoff>(fs::file_size(path) / 2));
+    char byte = 0;
+    file.read(&byte, 1);
+    file.seekp(-1, std::ios::cur);
+    byte = static_cast<char>(byte ^ 0x40);
+    file.write(&byte, 1);
+  }
+
+  auto loaded = (*store)->LoadSnapshot(info->fingerprint);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("quarantined"), std::string::npos)
+      << loaded.status().ToString();
+
+  // The corpse moved out of the way...
+  EXPECT_FALSE(fs::exists(path));
+  size_t quarantined = 0;
+  for (const auto& entry :
+       fs::directory_iterator(root_ / "quarantine" / "snapshots")) {
+    (void)entry;
+    ++quarantined;
+  }
+  EXPECT_EQ(quarantined, 1u);
+
+  // ...so the same extension persists cleanly again.
+  auto again = (*store)->PutSnapshot(SmallTable("R", 1));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->fingerprint, info->fingerprint);
+  EXPECT_TRUE((*store)->LoadSnapshot(info->fingerprint).ok());
+}
+
+TEST_F(StoreTest, QuarantineSnapshotOfMissingFileIsNotFound) {
+  auto store = Store::Open(root_.string());
+  ASSERT_TRUE(store.ok());
+  auto moved = (*store)->QuarantineSnapshot(0xdeadbeefu);
+  ASSERT_FALSE(moved.ok());
+  EXPECT_EQ(moved.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(StoreTest, QuarantineJournalCorruptionKeepsTheValidPrefix) {
+  StoreOptions options;
+  options.journal.max_segment_bytes = 128;  // force several segments
+  auto store = Store::Open(root_.string(), options);
+  ASSERT_TRUE(store.ok());
+  {
+    auto journal = (*store)->OpenSessionJournal("victim");
+    ASSERT_TRUE(journal.ok());
+    for (int i = 0; i < 20; ++i) {
+      service::Json record = service::Json::MakeObject();
+      record.Set("t", service::Json::Str("test"));
+      record.Set("n", service::Json::Int(i));
+      ASSERT_TRUE((*journal)->Append(record).ok());
+    }
+  }
+
+  // Damage the SECOND segment's tail so replay reports mid-stream
+  // corruption with a valid prefix in that segment.
+  fs::path sessions = root_ / "sessions" / "victim";
+  std::vector<fs::path> segments;
+  for (const auto& entry : fs::directory_iterator(sessions)) {
+    segments.push_back(entry.path());
+  }
+  std::sort(segments.begin(), segments.end());
+  ASSERT_GT(segments.size(), 2u);
+  fs::resize_file(segments[1], fs::file_size(segments[1]) - 4);
+
+  auto replay = (*store)->ReadSessionJournal("victim");
+  ASSERT_TRUE(replay.ok());
+  ASSERT_TRUE(replay->corrupt);
+  size_t valid_before = replay->records.size();
+  ASSERT_GT(valid_before, 0u);
+
+  size_t moved = 0;
+  ASSERT_TRUE((*store)
+                  ->QuarantineJournalCorruption("victim",
+                                                replay->corrupt_segment,
+                                                replay->corrupt_valid_end,
+                                                &moved)
+                  .ok());
+  EXPECT_GT(moved, 0u);
+
+  // The quarantine dir holds the set-aside pieces.
+  size_t quarantined_files = 0;
+  for (const auto& entry : fs::directory_iterator(
+           root_ / "quarantine" / "sessions" / "victim")) {
+    (void)entry;
+    ++quarantined_files;
+  }
+  EXPECT_EQ(quarantined_files, moved);
+
+  // Replay is now clean and keeps exactly the valid prefix; the journal
+  // reopens and appends after it.
+  auto after = (*store)->ReadSessionJournal("victim");
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->corrupt);
+  EXPECT_EQ(after->dropped, 0u);
+  EXPECT_EQ(after->records.size(), valid_before);
+
+  auto reopened = (*store)->OpenSessionJournal("victim");
+  ASSERT_TRUE(reopened.ok());
+  service::Json record = service::Json::MakeObject();
+  record.Set("t", service::Json::Str("resumed"));
+  ASSERT_TRUE((*reopened)->Append(record).ok());
+  auto final_replay = (*store)->ReadSessionJournal("victim");
+  ASSERT_TRUE(final_replay.ok());
+  EXPECT_EQ(final_replay->records.size(), valid_before + 1);
 }
 
 TEST_F(StoreTest, ReopeningAnExistingRootKeepsData) {
