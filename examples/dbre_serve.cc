@@ -30,12 +30,20 @@
 //                   (default: disabled — see docs/OBSERVABILITY.md)
 //   --run-deadline-ms MS
 //                   abort any pipeline run that exceeds MS milliseconds of
-//                   wall clock (the session fails with a deadline error;
-//                   default: no deadline — see docs/ROBUSTNESS.md)
+//                   executing wall clock — the clock starts when the run
+//                   leaves the queue, not at admission (the session fails
+//                   with a deadline error; default: no deadline — see
+//                   docs/ROBUSTNESS.md)
+//   --enable-failpoints
+//                   expose the `failpoint` wire command, which can inject
+//                   errors, delays and crashes into this daemon; off by
+//                   default so production servers cannot be degraded or
+//                   crashed by a client (implied by DBRE_FAILPOINTS)
 //
 // Fault injection for testing: the DBRE_FAILPOINTS / DBRE_FAILPOINT_SEED
-// environment variables and the `failpoint` command arm named failure
-// sites across the store and service (docs/ROBUSTNESS.md).
+// environment variables and the `failpoint` command (gated behind
+// --enable-failpoints) arm named failure sites across the store and
+// service (docs/ROBUSTNESS.md).
 //
 // In TCP mode the daemon runs until a client sends {"cmd":"shutdown"}.
 #include <cstdio>
@@ -61,6 +69,7 @@ struct ServeArgs {
   long segment_bytes = 0;
   long slow_op_ms = 0;
   long run_deadline_ms = 0;
+  bool enable_failpoints = false;
   bool show_help = false;
 };
 
@@ -105,6 +114,8 @@ bool ParseArgs(int argc, char** argv, ServeArgs* args) {
       if (!next_long("--run-deadline-ms", &args->run_deadline_ms)) {
         return false;
       }
+    } else if (flag == "--enable-failpoints") {
+      args->enable_failpoints = true;
     } else if (flag == "--help" || flag == "-h") {
       args->show_help = true;
     } else {
@@ -122,7 +133,8 @@ void PrintUsage() {
       "[--max-queued N]\n"
       "                  [--data-dir PATH] [--fsync-batch N] "
       "[--segment-bytes N]\n"
-      "                  [--slow-op-ms MS] [--run-deadline-ms MS]\n");
+      "                  [--slow-op-ms MS] [--run-deadline-ms MS]\n"
+      "                  [--enable-failpoints]\n");
 }
 
 }  // namespace
@@ -159,6 +171,7 @@ int main(int argc, char** argv) {
   if (args.run_deadline_ms > 0) {
     options.sessions.run_deadline_ms = args.run_deadline_ms;
   }
+  options.enable_failpoints = args.enable_failpoints;
   dbre::service::Server server(options);
   if (!args.data_dir.empty()) {
     if (auto status = server.sessions()->store_status(); !status.ok()) {

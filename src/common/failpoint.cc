@@ -123,6 +123,11 @@ Status Failpoints::Arm(const std::string& point, const std::string& spec) {
 }
 
 Status Failpoints::ArmSpecs(const std::string& specs) {
+  // Parse every entry before arming any: a bad entry must reject the
+  // whole list, never leave a prefix of it armed ("DBRE_FAILPOINTS
+  // ignored" has to mean ignored, and the wire `failpoint` command must
+  // be all-or-nothing).
+  std::vector<std::pair<std::string, Point>> parsed;
   size_t pos = 0;
   while (pos <= specs.size()) {
     size_t semi = specs.find(';', pos);
@@ -136,9 +141,14 @@ Status Failpoints::ArmSpecs(const std::string& specs) {
       return InvalidArgumentError("failpoint entry '" + std::string(entry) +
                                   "' is not point=spec");
     }
-    DBRE_RETURN_IF_ERROR(Arm(std::string(Trim(entry.substr(0, eq))),
-                             std::string(Trim(entry.substr(eq + 1)))));
+    DBRE_ASSIGN_OR_RETURN(
+        Point point, ParseSpec(std::string(Trim(entry.substr(eq + 1)))));
+    parsed.emplace_back(std::string(Trim(entry.substr(0, eq))),
+                        std::move(point));
   }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, point] : parsed) points_[name] = std::move(point);
+  armed_.store(points_.size(), std::memory_order_relaxed);
   return Status::Ok();
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <mutex>
 #include <utility>
 
@@ -33,6 +34,9 @@ WaitHub& Hub() {
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)), manager_(options_.sessions) {
+  if (std::getenv("DBRE_FAILPOINTS") != nullptr) {
+    options_.enable_failpoints = true;
+  }
   if (options_.slow_op_ms > 0) {
     obs::Registry::Default().slow_ops()->set_threshold_us(
         options_.slow_op_ms * 1000);
@@ -468,6 +472,12 @@ Result<Json> Server::HandlePersist(const Request& request) {
 }
 
 Result<Json> Server::HandleFailpoint(const Request& request) {
+  if (!options_.enable_failpoints) {
+    return FailedPreconditionError(
+        "fault injection is disabled on this server; start it with "
+        "--enable-failpoints (or with DBRE_FAILPOINTS set) to use the "
+        "failpoint command");
+  }
   Failpoints& fps = Failpoints::Instance();
   const Json* seed = request.params.Find("seed");
   if (seed != nullptr) {

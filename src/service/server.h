@@ -40,6 +40,13 @@ struct ServerOptions {
   // write/load) at least this many milliseconds long is retained and
   // reported by `stats`. 0 leaves the log disabled.
   int64_t slow_op_ms = 0;
+  // The `failpoint` wire command injects faults — including crash-here
+  // and sticky error injection — so it is off by default: a production
+  // daemon must not be crashable by any client that can reach the port.
+  // Opt in with `dbre_serve --enable-failpoints`; setting DBRE_FAILPOINTS
+  // in the environment also enables it (that operator already opted this
+  // process into fault injection).
+  bool enable_failpoints = false;
 };
 
 class Server {

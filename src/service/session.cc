@@ -218,11 +218,6 @@ Status Session::BeginRun(const RunOptions& options) {
   error_ = Status::Ok();
   abort_reason_ = Status::Ok();
   cancel_.store(false, std::memory_order_relaxed);
-  run_started_us_.store(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count(),
-      std::memory_order_release);
   // A recovery re-run (options.replay set) is already journaled; logging
   // it again would double the record on the next replay.
   if (persist_ && !options.replay) {
@@ -233,6 +228,15 @@ Status Session::BeginRun(const RunOptions& options) {
 }
 
 void Session::ExecuteRun(const RunOptions& options) {
+  // The deadline clock starts here, when the run actually executes — not
+  // in BeginRun at admission. An admitted run may wait in the queue behind
+  // max_inflight; the watchdog must not abort a run that never got a
+  // worker as "exceeding its deadline".
+  run_started_us_.store(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count(),
+      std::memory_order_release);
   // The catalog is frozen while kRunning (loads are rejected), so reading
   // database_/joins_ without the session lock is safe here.
   if (registry_ != nullptr) registry_->InternDatabase(&database_);

@@ -180,8 +180,9 @@ class Session {
   // abort, so callers can count aborts exactly once.
   bool AbortRun(const Status& reason);
 
-  // Monotonic-clock microseconds when the in-flight run started; 0 while
-  // no run is active. The watchdog compares this against its deadline.
+  // Monotonic-clock microseconds when the in-flight run started
+  // *executing* (not when it was admitted — queued runs read 0, so the
+  // watchdog's deadline excludes queue wait). 0 while no run is active.
   int64_t run_started_us() const {
     return run_started_us_.load(std::memory_order_acquire);
   }

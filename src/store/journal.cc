@@ -206,7 +206,11 @@ Result<std::unique_ptr<Journal>> Journal::Open(const std::string& dir,
   size_t valid_end = ScanSegment(content, nullptr).valid_end;
 
   DBRE_RETURN_IF_ERROR(FailpointError("journal.open"));
-  int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  // O_APPEND, matching RotateLocked: every journal fd must place writes at
+  // the real end of file regardless of the offset, or Append's
+  // truncate-and-retry repair would write at a stale offset after its
+  // ftruncate and pad the gap with NUL bytes.
+  int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
   if (fd < 0) return IoError("open " + path + ": " + std::strerror(errno));
   if (valid_end != content.size()) {
     Metrics().torn_tails->Add(1);
@@ -215,11 +219,6 @@ Result<std::unique_ptr<Journal>> Journal::Open(const std::string& dir,
       ::close(fd);
       return IoError("truncate " + path + ": " + std::strerror(err));
     }
-  }
-  if (::lseek(fd, 0, SEEK_END) < 0) {
-    int err = errno;
-    ::close(fd);
-    return IoError("seek " + path + ": " + std::strerror(err));
   }
   journal->fd_ = fd;
   journal->segment_index_ = last;
@@ -322,9 +321,11 @@ Status Journal::Append(const Json& record) {
   }
   // Between attempts the segment is truncated back to its pre-append
   // length: a partial write must never be left in front of the retry, or
-  // the segment would hold garbage mid-stream. A crash between the torn
-  // write and the repair leaves exactly the torn tail Open() already
-  // knows how to truncate away.
+  // the segment would hold garbage mid-stream. The fd is O_APPEND, so the
+  // retried write lands at the truncated end, not at the offset the torn
+  // write advanced to. A crash between the torn write and the repair
+  // leaves exactly the torn tail Open() already knows how to truncate
+  // away.
   const off_t base = static_cast<off_t>(segment_bytes_);
   bool dirty = false;
   Status written = RetryWithBackoff(retry_, [&]() -> Status {

@@ -171,5 +171,16 @@ TEST_F(FailpointTest, BadSpecsAreRejected) {
   EXPECT_EQ(Failpoints::Check("p").action, FailpointHit::Action::kNone);
 }
 
+TEST_F(FailpointTest, ArmSpecsIsAllOrNothing) {
+  // A bad entry rejects the whole list: the valid entries ahead of it
+  // must not stay armed (DBRE_FAILPOINTS logs "ignored" on error, and
+  // the wire command promises atomicity).
+  Failpoints& fps = Failpoints::Instance();
+  EXPECT_FALSE(fps.ArmSpecs("good.point=error;bad.point=explode").ok());
+  EXPECT_TRUE(fps.List().empty());
+  EXPECT_EQ(Failpoints::Check("good.point").action,
+            FailpointHit::Action::kNone);
+}
+
 }  // namespace
 }  // namespace dbre

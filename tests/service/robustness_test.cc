@@ -49,14 +49,30 @@ class RobustnessTest : public ::testing::Test {
     // Keep injected-failure retries fast; the failures are not transient.
     options.sessions.journal.retry.initial_backoff_ms = 0;
     options.sessions.journal.retry.max_backoff_ms = 0;
+    options.enable_failpoints = true;
     return std::make_unique<Server>(options);
   }
 
   fs::path dir_;
 };
 
-TEST_F(RobustnessTest, FailpointCommandArmsListsAndClears) {
+TEST_F(RobustnessTest, FailpointCommandIsDisabledByDefault) {
   Server server;
+  LineClient client(&server);
+  Json response = client.Call(Command("failpoint"));
+  EXPECT_FALSE(response.GetBool("ok")) << response.Dump();
+  const Json* error = response.Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_NE(error->GetString("message").find("--enable-failpoints"),
+            std::string::npos)
+      << response.Dump();
+  server.sessions()->Shutdown();
+}
+
+TEST_F(RobustnessTest, FailpointCommandArmsListsAndClears) {
+  ServerOptions server_options;
+  server_options.enable_failpoints = true;
+  Server server(server_options);
   LineClient client(&server);
 
   Json set = Command("failpoint");
@@ -89,10 +105,15 @@ TEST_F(RobustnessTest, FailpointCommandArmsListsAndClears) {
   ASSERT_NE(points, nullptr);
   EXPECT_TRUE(points->array().empty());
 
-  // A bad spec never half-arms anything.
+  // A bad spec never half-arms anything — not even the valid entries
+  // ahead of the bad one in the list.
   Json bad = Command("failpoint");
-  bad.Set("set", Json::Str("x=explode"));
+  bad.Set("set", Json::Str("valid.prefix=error;x=explode"));
   EXPECT_FALSE(client.Call(std::move(bad)).GetBool("ok"));
+  listed = client.MustCall(Command("failpoint"));
+  points = listed.Find("failpoints");
+  ASSERT_NE(points, nullptr);
+  EXPECT_TRUE(points->array().empty()) << listed.Dump();
 
   server.sessions()->Shutdown();
 }
@@ -176,6 +197,61 @@ TEST_F(RobustnessTest, WatchdogAbortsRunsPastTheDeadline) {
 
   // The session survives its aborted run: it reports state and can close.
   client.MustCall(Command("close", "slow"));
+  server.sessions()->Shutdown();
+}
+
+TEST_F(RobustnessTest, WatchdogSparesRunsWaitingInTheQueue) {
+  // One worker: "hog" takes it and blocks on an unanswered expert
+  // question until the watchdog aborts it; "patient" is admitted
+  // immediately but spends longer than the whole deadline queued behind
+  // the hog. The deadline clock must start when a run begins executing,
+  // not at admission — otherwise the watchdog aborts a run that never
+  // got a worker.
+  ServerOptions options;
+  options.sessions.run_deadline_ms = 1500;
+  options.sessions.max_inflight_runs = 1;
+  options.sessions.max_queued_runs = 4;
+  Server server(options);
+  LineClient client(&server);
+  const PaperInputs inputs = BuildPaperInputs();
+
+  for (const char* name : {"hog", "patient"}) {
+    Json create = Command("create");
+    create.Set("name", Json::Str(name));
+    client.MustCall(std::move(create));
+  }
+  StartPaperRun(client, "hog", inputs);
+
+  Json load_ddl = Command("load_ddl", "patient");
+  load_ddl.Set("sql", Json::Str(inputs.ddl));
+  client.MustCall(std::move(load_ddl));
+  for (const auto& [relation, csv] : inputs.csvs) {
+    Json load_csv = Command("load_csv", "patient");
+    load_csv.Set("relation", Json::Str(relation));
+    load_csv.Set("csv", Json::Str(csv));
+    client.MustCall(std::move(load_csv));
+  }
+  Json run = Command("run", "patient");
+  run.Set("oracle", Json::Str("default"));  // self-answering: never blocks
+  client.MustCall(std::move(run));
+
+  auto state_of = [&](const std::string& id) {
+    return client.MustCall(Command("status", id)).GetString("state");
+  };
+  std::string hog_state;
+  std::string patient_state;
+  for (int i = 0; i < 1500; ++i) {
+    hog_state = state_of("hog");
+    patient_state = state_of("patient");
+    if (hog_state == "failed" &&
+        (patient_state == "done" || patient_state == "failed")) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(hog_state, "failed");  // the hog really did exceed the deadline
+  EXPECT_EQ(patient_state, "done")
+      << client.MustCall(Command("status", "patient")).Dump();
   server.sessions()->Shutdown();
 }
 

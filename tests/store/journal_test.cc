@@ -286,6 +286,44 @@ TEST_F(JournalTest, TornWriteIsRepairedBetweenAttempts) {
   EXPECT_FALSE(replay->corrupt);
 }
 
+TEST_F(JournalTest, TornWriteOnReopenedTailIsRepairedAtTheRightOffset) {
+  // The tail segment reopened by Open() must behave exactly like a
+  // freshly rotated one under the truncate-and-retry repair. Without
+  // O_APPEND on the reopened fd, the torn write advances the file offset
+  // past the truncation point and the retried write lands there, leaving
+  // a NUL-filled gap mid-segment.
+  {
+    auto journal = Journal::Open(Dir());
+    ASSERT_TRUE(journal.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE((*journal)->Append(Record(i)).ok());
+    }
+  }
+  Failpoints::Instance().Arm("journal.append.write", "torn(5)*1");
+  JournalOptions options;
+  options.retry.initial_backoff_ms = 0;
+  options.retry.max_backoff_ms = 0;
+  auto journal = Journal::Open(Dir(), options);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE((*journal)->Append(Record(3)).ok());
+  ASSERT_TRUE((*journal)->Close().ok());
+
+  auto segments = Segments();
+  ASSERT_EQ(segments.size(), 1u);
+  std::ifstream in(segments.front(), std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content.find('\0'), std::string::npos)
+      << "repair left a NUL-filled gap in the segment";
+
+  auto replay = ReadJournal(Dir());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->dropped, 0u);
+  EXPECT_FALSE(replay->corrupt);
+  ASSERT_EQ(replay->records.size(), 4u);
+  EXPECT_EQ(replay->records.back().GetInt("n"), 3);
+}
+
 TEST_F(JournalTest, PersistentWriteFailureSurfacesAfterRetries) {
   Failpoints::Instance().Arm("journal.append.write", "error");
   JournalOptions options;
