@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "relational/algebra.h"
+#include "relational/query_cache.h"
+#include "relational/sketch.h"
 
 namespace dbre {
 namespace {
@@ -14,7 +17,7 @@ struct AttributeColumn {
   std::string attribute;
   DataType type;
   bool is_key_target = false;  // attribute alone is a declared key
-  ValueVectorSet values;       // distinct non-NULL values
+  size_t distinct = 0;         // dictionary size (distinct non-NULL values)
 };
 
 }  // namespace
@@ -26,10 +29,17 @@ Result<std::vector<InclusionDependency>> MineUnaryInds(
   IndMinerStats* s = stats != nullptr ? stats : &local_stats;
   *s = IndMinerStats{};
 
-  // Materialize distinct value sets for every attribute once.
+  // One pass over the catalog: encode every attribute, note its exact
+  // distinct count, and pre-build its column sketch — the O(n²) pair loop
+  // below amortizes the builds, and InclusionHolds' Bloom refute-fast
+  // pre-pass then kills most non-included pairs without touching the
+  // exact dictionary sets.
   std::vector<AttributeColumn> columns;
   for (const std::string& relation : database.RelationNames()) {
     DBRE_ASSIGN_OR_RETURN(const Table* table, database.GetTable(relation));
+    DBRE_ASSIGN_OR_RETURN(std::shared_ptr<QueryCache> cache,
+                          table->query_cache());
+    size_t index = 0;
     for (const Attribute& attribute : table->schema().attributes()) {
       AttributeColumn column;
       column.relation = relation;
@@ -37,16 +47,16 @@ Result<std::vector<InclusionDependency>> MineUnaryInds(
       column.type = attribute.type;
       column.is_key_target =
           table->schema().IsKey(AttributeSet::Single(attribute.name));
-      DBRE_ASSIGN_OR_RETURN(
-          column.values,
-          OrderedDistinctProjection(*table, {attribute.name}));
+      column.distinct = cache->DistinctCount({index});
+      if (SketchesEnabled()) cache->ColumnSketchFor(index);
       columns.push_back(std::move(column));
+      ++index;
     }
   }
 
   std::vector<InclusionDependency> discovered;
   for (const AttributeColumn& lhs : columns) {
-    if (lhs.values.size() < options.min_lhs_distinct) continue;
+    if (lhs.distinct < options.min_lhs_distinct) continue;
     for (const AttributeColumn& rhs : columns) {
       if (&lhs == &rhs) continue;
       if (lhs.type != rhs.type) continue;
@@ -56,11 +66,12 @@ Result<std::vector<InclusionDependency>> MineUnaryInds(
       ++s->pairs_considered;
       if (options.key_targets_only && !rhs.is_key_target) continue;
       // Size pruning: a larger set cannot be included in a smaller one.
-      if (lhs.values.size() > rhs.values.size()) continue;
+      if (lhs.distinct > rhs.distinct) continue;
       ++s->pairs_checked;
-      bool included = std::all_of(
-          lhs.values.begin(), lhs.values.end(),
-          [&](const ValueVector& v) { return rhs.values.contains(v); });
+      DBRE_ASSIGN_OR_RETURN(
+          bool included,
+          InclusionHolds(database, lhs.relation, {lhs.attribute},
+                         rhs.relation, {rhs.attribute}));
       if (included) {
         discovered.push_back(InclusionDependency::Single(
             lhs.relation, lhs.attribute, rhs.relation, rhs.attribute));

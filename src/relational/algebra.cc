@@ -4,7 +4,10 @@
 #include <memory>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "relational/column_batch.h"
 #include "relational/query_cache.h"
+#include "relational/sketch.h"
 
 namespace dbre {
 namespace {
@@ -12,6 +15,104 @@ namespace {
 bool HasNull(const ValueVector& row) {
   return std::any_of(row.begin(), row.end(),
                      [](const Value& v) { return v.is_null(); });
+}
+
+obs::Counter* SketchRefutes(const char* kind) {
+  return obs::Registry::Default().GetCounter(
+      "dbre_sketch_refutes_total", {{"kind", kind}},
+      "Candidates refuted by a provable sketch/count pre-pass");
+}
+
+obs::Counter* SketchFallbacks(const char* kind) {
+  return obs::Registry::Default().GetCounter(
+      "dbre_sketch_fallbacks_total", {{"kind", kind}},
+      "Sketch pre-passes that could not prove and fell back to exact");
+}
+
+// Number of probe-dictionary values present in the build column, exact.
+// Protocol: an optional Bloom pre-pass (only if the build side already
+// carries a sketch — discovery sweeps build them, one-shot joins don't)
+// proves most absent values absent; survivors take the exact membership
+// check, vectorized over the flat int64 dictionary keys when both sides
+// are typed, decoded Values otherwise.
+size_t SingleColumnIntersection(QueryCache& probe_cache, size_t probe_column,
+                                QueryCache& build_cache,
+                                size_t build_column) {
+  std::shared_ptr<const DictionaryKeys> keys =
+      probe_cache.DictKeys(probe_column);
+  const size_t n = keys->hashes.size();
+  if (n == 0) return 0;
+
+  std::vector<uint8_t> hit(n, 1);
+  size_t candidates = n;
+  if (SketchesEnabled()) {
+    std::shared_ptr<const ColumnSketch> sketch =
+        build_cache.MaybeColumnSketch(build_column);
+    if (sketch != nullptr) {
+      candidates =
+          batch::ProbeBloom(sketch->bloom, keys->hashes.data(), n, hit.data());
+      static obs::Counter* const refutes = SketchRefutes("bloom_column");
+      refutes->Add(n - candidates);
+      if (candidates > 0) {
+        static obs::Counter* const fallbacks = SketchFallbacks("column");
+        fallbacks->Add(1);
+      }
+    }
+  }
+  if (candidates == 0) return 0;
+
+  // Exact stage over the Bloom survivors.
+  if (!keys->int64_keys.empty()) {
+    std::shared_ptr<const FlatSet64> build_ints =
+        build_cache.Int64DictionarySet(build_column);
+    if (build_ints != nullptr) {
+      std::vector<uint8_t> present(candidates);
+      if (candidates == n) {
+        return batch::ProbeSet(*build_ints, keys->int64_keys.data(), n,
+                               present.data());
+      }
+      std::vector<uint64_t> survivors;
+      survivors.reserve(candidates);
+      for (size_t i = 0; i < n; ++i) {
+        if (hit[i]) survivors.push_back(keys->int64_keys[i]);
+      }
+      return batch::ProbeSet(*build_ints, survivors.data(), survivors.size(),
+                             present.data());
+    }
+  }
+  std::shared_ptr<const ValueSet> build_set =
+      build_cache.DictionarySet(build_column);
+  const EncodedTable& probe_encoded = probe_cache.encoded();
+  size_t joined = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (hit[i] && build_set->contains(probe_encoded.Decode(
+                      probe_column, static_cast<uint32_t>(i)))) {
+      ++joined;
+    }
+  }
+  return joined;
+}
+
+// Sketch-consistent row hashes of a partition's representatives, built
+// from the per-column value-hash tables (no decoding). Representatives
+// come from NULL-skipping partitions, so no NULL channel is needed.
+std::vector<uint64_t> RepresentativeHashes(
+    QueryCache& cache, const std::vector<size_t>& columns,
+    const CodePartition& partition) {
+  std::vector<std::shared_ptr<const DictionaryKeys>> keys;
+  keys.reserve(columns.size());
+  for (size_t c : columns) keys.push_back(cache.DictKeys(c));
+  const EncodedTable& encoded = cache.encoded();
+  std::vector<uint64_t> hashes(partition.representative.size(), kRowHashSeed);
+  for (size_t k = 0; k < columns.size(); ++k) {
+    const uint32_t* codes = encoded.codes(columns[k]).data();
+    const uint64_t* value_hash = keys[k]->hashes.data();
+    for (size_t g = 0; g < hashes.size(); ++g) {
+      hashes[g] =
+          SketchHashCombine(hashes[g], value_hash[codes[partition.representative[g]]]);
+    }
+  }
+  return hashes;
 }
 
 }  // namespace
@@ -56,11 +157,20 @@ Result<JoinCounts> ComputeJoinCounts(const Database& database,
   DBRE_ASSIGN_OR_RETURN(std::shared_ptr<QueryCache> right_cache,
                         right->query_cache());
 
+  // Re-asked joins (discovery passes revisit the workload's links) hit the
+  // memo; the weak_ptr inside validates the peer cache is still the same
+  // object, so a mutated table can never serve stale counts.
+  JoinCountsValue memo;
+  if (left_cache->LookupJoinCounts(right_cache, left_indexes, right_indexes,
+                                   &memo)) {
+    return JoinCounts{memo.n_left, memo.n_right, memo.n_join};
+  }
+
   JoinCounts counts;
   if (left_indexes.size() == 1) {
     // Single-attribute joins (the common case): each side's dictionary is
     // its distinct projection; probe the smaller dictionary against the
-    // larger side's memoized value set.
+    // larger side, Bloom pre-pass first, exact membership second.
     const size_t lc = left_indexes[0];
     const size_t rc = right_indexes[0];
     left_cache->EnsureEncoded(left_indexes);
@@ -68,52 +178,65 @@ Result<JoinCounts> ComputeJoinCounts(const Database& database,
     counts.n_left = left_cache->encoded().dict_size(lc);
     counts.n_right = right_cache->encoded().dict_size(rc);
     const bool probe_left = counts.n_left <= counts.n_right;
-    QueryCache& build_cache = probe_left ? *right_cache : *left_cache;
-    const size_t build_column = probe_left ? rc : lc;
-    const EncodedTable& probe_encoded =
-        probe_left ? left_cache->encoded() : right_cache->encoded();
-    const size_t probe_column = probe_left ? lc : rc;
-    const uint32_t probe_size =
-        static_cast<uint32_t>(probe_encoded.dict_size(probe_column));
-    if (probe_encoded.column_typed(probe_column) &&
-        probe_encoded.declared_type(probe_column) == DataType::kInt64) {
-      // Homogeneous int64 on both sides: flat-integer membership.
-      std::shared_ptr<const FlatSet64> build =
-          build_cache.Int64DictionarySet(build_column);
-      if (build != nullptr) {
-        for (uint32_t code = 0; code < probe_size; ++code) {
-          if (build->Contains(static_cast<uint64_t>(
-                  probe_encoded.Decode(probe_column, code).as_int()))) {
-            ++counts.n_join;
-          }
-        }
-        return counts;
-      }
-    }
-    std::shared_ptr<const ValueSet> build =
-        build_cache.DictionarySet(build_column);
-    for (uint32_t code = 0; code < probe_size; ++code) {
-      if (build->contains(probe_encoded.Decode(probe_column, code))) {
-        ++counts.n_join;
-      }
-    }
+    counts.n_join = SingleColumnIntersection(
+        probe_left ? *left_cache : *right_cache, probe_left ? lc : rc,
+        probe_left ? *right_cache : *left_cache, probe_left ? rc : lc);
+    left_cache->StoreJoinCounts(
+        right_cache, left_indexes, right_indexes,
+        JoinCountsValue{counts.n_left, counts.n_right, counts.n_join});
     return counts;
   }
 
-  std::shared_ptr<const ValueVectorSet> left_values =
-      left_cache->DistinctProjection(left_indexes);
-  std::shared_ptr<const ValueVectorSet> right_values =
-      right_cache->DistinctProjection(right_indexes);
-  counts.n_left = left_values->size();
-  counts.n_right = right_values->size();
-  // Probe the smaller set into the larger one.
-  const ValueVectorSet& probe =
-      counts.n_left <= counts.n_right ? *left_values : *right_values;
-  const ValueVectorSet& build =
-      counts.n_left <= counts.n_right ? *right_values : *left_values;
-  for (const ValueVector& row : probe) {
-    if (build.contains(row)) ++counts.n_join;
+  // Multi-attribute: the distinct counts come from the memoized partitions;
+  // the intersection probes the smaller side's representatives against the
+  // larger side — through its projection Bloom when the exact distinct set
+  // is not yet materialized (misses are proven absent; only hits decode).
+  std::shared_ptr<const CodePartition> left_part =
+      left_cache->Partition(left_indexes, NullPolicy::kSkipNullRows);
+  std::shared_ptr<const CodePartition> right_part =
+      right_cache->Partition(right_indexes, NullPolicy::kSkipNullRows);
+  counts.n_left = left_part->num_groups();
+  counts.n_right = right_part->num_groups();
+  const bool probe_left = counts.n_left <= counts.n_right;
+  QueryCache& probe_cache = probe_left ? *left_cache : *right_cache;
+  QueryCache& build_cache = probe_left ? *right_cache : *left_cache;
+  const std::vector<size_t>& probe_columns =
+      probe_left ? left_indexes : right_indexes;
+  const std::vector<size_t>& build_columns =
+      probe_left ? right_indexes : left_indexes;
+  const CodePartition& probe_part = probe_left ? *left_part : *right_part;
+
+  std::vector<uint8_t> hit(probe_part.num_groups(), 1);
+  size_t candidates = probe_part.num_groups();
+  if (SketchesEnabled() && candidates > 0 &&
+      !build_cache.HasDistinctProjection(build_columns)) {
+    std::vector<uint64_t> probe_hashes =
+        RepresentativeHashes(probe_cache, probe_columns, probe_part);
+    std::shared_ptr<const ProjectionSketch> sketch =
+        build_cache.ProjectionSketchFor(build_columns);
+    candidates = batch::ProbeBloom(sketch->bloom, probe_hashes.data(),
+                                   probe_hashes.size(), hit.data());
+    static obs::Counter* const refutes = SketchRefutes("bloom_projection");
+    refutes->Add(probe_part.num_groups() - candidates);
+    if (candidates > 0) {
+      static obs::Counter* const fallbacks = SketchFallbacks("projection");
+      fallbacks->Add(1);
+    }
   }
+  if (candidates > 0) {
+    std::shared_ptr<const ValueVectorSet> build_set =
+        build_cache.DistinctProjection(build_columns);
+    const EncodedTable& probe_encoded = probe_cache.encoded();
+    for (size_t g = 0; g < probe_part.num_groups(); ++g) {
+      if (hit[g] && build_set->contains(probe_encoded.DecodeRow(
+                        probe_part.representative[g], probe_columns))) {
+        ++counts.n_join;
+      }
+    }
+  }
+  left_cache->StoreJoinCounts(
+      right_cache, left_indexes, right_indexes,
+      JoinCountsValue{counts.n_left, counts.n_right, counts.n_join});
   return counts;
 }
 
@@ -137,27 +260,51 @@ Result<bool> InclusionHolds(const Database& database,
   DBRE_ASSIGN_OR_RETURN(std::shared_ptr<QueryCache> lhs_cache,
                         lhs->query_cache());
   if (lhs_indexes.size() == 1) {
-    // Single attribute: test the lhs dictionary against the rhs one's set.
-    lhs_cache->EnsureEncoded(lhs_indexes);
-    const EncodedTable& lhs_encoded = lhs_cache->encoded();
+    // Single attribute: r_i[Y] ⊆ r_j[Z] iff every lhs dictionary value is
+    // in the rhs dictionary. Two provable pre-passes run first: a strictly
+    // larger lhs dictionary refutes outright (exact cardinalities), and a
+    // Bloom miss against an already-built rhs column sketch refutes one
+    // value (no false negatives). Survivors take the exact membership scan.
     const size_t lc = lhs_indexes[0];
-    const uint32_t lhs_size = static_cast<uint32_t>(lhs_encoded.dict_size(lc));
-    if (lhs_encoded.column_typed(lc) &&
-        lhs_encoded.declared_type(lc) == DataType::kInt64) {
-      std::shared_ptr<const FlatSet64> rhs_ints =
-          rhs_cache->Int64DictionarySet(rhs_indexes[0]);
-      if (rhs_ints != nullptr) {
-        for (uint32_t code = 0; code < lhs_size; ++code) {
-          if (!rhs_ints->Contains(static_cast<uint64_t>(
-                  lhs_encoded.Decode(lc, code).as_int()))) {
-            return false;
-          }
+    const size_t rc = rhs_indexes[0];
+    lhs_cache->EnsureEncoded(lhs_indexes);
+    rhs_cache->EnsureEncoded(rhs_indexes);
+    const EncodedTable& lhs_encoded = lhs_cache->encoded();
+    const size_t lhs_size = lhs_encoded.dict_size(lc);
+    if (lhs_size == 0) return true;
+    if (SketchesEnabled()) {
+      if (lhs_size > rhs_cache->encoded().dict_size(rc)) {
+        static obs::Counter* const refutes = SketchRefutes("cardinality");
+        refutes->Add(1);
+        return false;
+      }
+      std::shared_ptr<const ColumnSketch> sketch =
+          rhs_cache->MaybeColumnSketch(rc);
+      if (sketch != nullptr) {
+        std::shared_ptr<const DictionaryKeys> keys = lhs_cache->DictKeys(lc);
+        std::vector<uint8_t> hit(lhs_size);
+        const size_t hits = batch::ProbeBloom(
+            sketch->bloom, keys->hashes.data(), lhs_size, hit.data());
+        if (hits < lhs_size) {
+          static obs::Counter* const refutes = SketchRefutes("bloom_column");
+          refutes->Add(1);
+          return false;
         }
-        return true;
+        static obs::Counter* const fallbacks = SketchFallbacks("column");
+        fallbacks->Add(1);
       }
     }
-    std::shared_ptr<const ValueSet> rhs_values =
-        rhs_cache->DictionarySet(rhs_indexes[0]);
+    if (lhs_encoded.column_typed(lc) &&
+        lhs_encoded.declared_type(lc) == DataType::kInt64) {
+      std::shared_ptr<const FlatSet64> rhs_ints = rhs_cache->Int64DictionarySet(rc);
+      if (rhs_ints != nullptr) {
+        std::shared_ptr<const DictionaryKeys> keys = lhs_cache->DictKeys(lc);
+        std::vector<uint8_t> hit(lhs_size);
+        return batch::ProbeSet(*rhs_ints, keys->int64_keys.data(), lhs_size,
+                               hit.data()) == lhs_size;
+      }
+    }
+    std::shared_ptr<const ValueSet> rhs_values = rhs_cache->DictionarySet(rc);
     for (uint32_t code = 0; code < lhs_size; ++code) {
       if (!rhs_values->contains(lhs_encoded.Decode(lc, code))) {
         return false;
@@ -165,12 +312,42 @@ Result<bool> InclusionHolds(const Database& database,
     }
     return true;
   }
+  // Multi-attribute: probe the lhs representatives against the rhs
+  // projection — its Bloom first when the exact set is not materialized
+  // yet (one miss refutes the whole inclusion), decoded rows second.
+  std::shared_ptr<const CodePartition> lhs_part =
+      lhs_cache->Partition(lhs_indexes, NullPolicy::kSkipNullRows);
+  if (lhs_part->num_groups() == 0) return true;
+  if (SketchesEnabled()) {
+    if (lhs_part->num_groups() > rhs_cache->DistinctCount(rhs_indexes)) {
+      static obs::Counter* const refutes = SketchRefutes("cardinality");
+      refutes->Add(1);
+      return false;
+    }
+    if (!rhs_cache->HasDistinctProjection(rhs_indexes)) {
+      std::vector<uint64_t> lhs_hashes =
+          RepresentativeHashes(*lhs_cache, lhs_indexes, *lhs_part);
+      std::shared_ptr<const ProjectionSketch> sketch =
+          rhs_cache->ProjectionSketchFor(rhs_indexes);
+      std::vector<uint8_t> hit(lhs_hashes.size());
+      const size_t hits = batch::ProbeBloom(
+          sketch->bloom, lhs_hashes.data(), lhs_hashes.size(), hit.data());
+      if (hits < lhs_hashes.size()) {
+        static obs::Counter* const refutes = SketchRefutes("bloom_projection");
+        refutes->Add(1);
+        return false;
+      }
+      static obs::Counter* const fallbacks = SketchFallbacks("projection");
+      fallbacks->Add(1);
+    }
+  }
   std::shared_ptr<const ValueVectorSet> rhs_values =
       rhs_cache->DistinctProjection(rhs_indexes);
-  std::shared_ptr<const ValueVectorSet> lhs_values =
-      lhs_cache->DistinctProjection(lhs_indexes);
-  for (const ValueVector& row : *lhs_values) {
-    if (!rhs_values->contains(row)) return false;
+  const EncodedTable& lhs_encoded = lhs_cache->encoded();
+  for (uint32_t rep : lhs_part->representative) {
+    if (!rhs_values->contains(lhs_encoded.DecodeRow(rep, lhs_indexes))) {
+      return false;
+    }
   }
   return true;
 }

@@ -1,9 +1,12 @@
 #include "relational/csv.h"
 
+#include <algorithm>
+#include <cstddef>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <system_error>
+#include <utility>
 
 #include "common/string_util.h"
 
@@ -23,8 +26,10 @@ struct CsvField {
 // including breaks embedded in quoted fields — so callers can report real
 // file line numbers even when records span multiple lines.
 Result<std::vector<CsvField>> ParseRecord(std::string_view text, size_t* pos,
-                                          size_t* lines_consumed) {
+                                          size_t* lines_consumed,
+                                          size_t expected_fields = 0) {
   std::vector<CsvField> fields;
+  fields.reserve(expected_fields);
   CsvField current;
   bool in_quotes = false;
   bool saw_any = false;
@@ -141,12 +146,21 @@ Result<size_t> LoadCsvText(std::string_view csv_text, Table* table) {
     column_to_attribute[i] = index;
   }
 
+  // One reallocation-free append run: every remaining physical line is at
+  // most one record (records can span lines but never share one), so the
+  // newline count bounds the number of inserts.
+  table->Reserve(static_cast<size_t>(
+      std::count(csv_text.begin() + static_cast<ptrdiff_t>(pos),
+                 csv_text.end(), '\n')) +
+                 1);
+
   size_t loaded = 0;
   while (pos < csv_text.size()) {
     size_t record_line = line;
     consumed = 0;
     DBRE_ASSIGN_OR_RETURN(std::vector<CsvField> record,
-                          ParseRecord(csv_text, &pos, &consumed));
+                          ParseRecord(csv_text, &pos, &consumed,
+                                      header.size()));
     line += consumed;
     if (record.empty()) continue;  // blank line
     if (record.size() != header.size()) {
@@ -165,7 +179,7 @@ Result<size_t> LoadCsvText(std::string_view csv_text, Table* table) {
         // must parse — a quoted "NULL" in an int64 column is an error, not
         // a silent NULL.
         if (type == DataType::kString) {
-          value = Value::Text(record[i].text);
+          value = Value::Text(std::move(record[i].text));
         } else {
           DBRE_ASSIGN_OR_RETURN(
               value, Value::Parse(record[i].text, type,
@@ -185,9 +199,14 @@ Result<size_t> LoadCsvText(std::string_view csv_text, Table* table) {
 Result<size_t> LoadCsvFile(const std::string& path, Table* table) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return IoError("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return LoadCsvText(buffer.str(), table);
+  std::string buffer;
+  in.seekg(0, std::ios::end);
+  const std::streampos size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  if (size > 0) buffer.reserve(static_cast<size_t>(size));
+  buffer.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  return LoadCsvText(buffer, table);
 }
 
 std::string WriteCsvText(const Table& table) {

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "obs/metrics.h"
+#include "relational/column_batch.h"
 
 namespace dbre {
 namespace {
@@ -26,26 +27,52 @@ HitMiss CacheCounters(const char* kind) {
               "Query-cache lookups that had to build their result")};
 }
 
-// Hash/equality over the projected code tuple of a row, reading straight
-// from the column arrays — no per-row key materialization.
-struct RowKeyOps {
-  const EncodedTable* encoded;
-  const std::vector<size_t>* columns;
+// Open-addressing group table over precomputed 64-bit row hashes; slot
+// collisions fall back to comparing the projected code tuples. Fixed
+// capacity (at most one group per row), linear probing, no rehash — the
+// multi-column partition builder's replacement for a node-based
+// unordered_map, fed batch-at-a-time with the hashes computed by the
+// vectorized kernels.
+class GroupTable {
+ public:
+  explicit GroupTable(size_t expected) {
+    int bits = flat_hash_internal::CapacityBits(expected);
+    shift_ = 64 - bits;
+    mask_ = (size_t{1} << bits) - 1;
+    slot_row_.assign(size_t{1} << bits, kEmpty);
+    slot_group_.resize(size_t{1} << bits);
+  }
 
-  size_t operator()(uint32_t row) const {  // hash
-    size_t h = 14695981039346656037ULL;
-    for (size_t c : *columns) {
-      h ^= encoded->codes(c)[row];
-      h *= 1099511628211ULL;
-    }
-    return h;
+  void Prefetch(uint64_t hash) const {
+    __builtin_prefetch(slot_row_.data() + Start(hash));
   }
-  bool operator()(uint32_t a, uint32_t b) const {  // equality
-    for (size_t c : *columns) {
-      if (encoded->codes(c)[a] != encoded->codes(c)[b]) return false;
+
+  // Group of the row at `row` (code tuple equal under `same`), inserting
+  // `fresh` if unseen. `same(a, b)` compares two rows' projected codes.
+  template <typename SameRows>
+  uint32_t FindOrInsert(uint64_t hash, uint32_t row, uint32_t fresh,
+                        const SameRows& same) {
+    size_t i = Start(hash);
+    while (slot_row_[i] != kEmpty) {
+      if (same(slot_row_[i], row)) return slot_group_[i];
+      i = (i + 1) & mask_;
     }
-    return true;
+    slot_row_[i] = row;
+    slot_group_[i] = fresh;
+    return fresh;
   }
+
+ private:
+  static constexpr uint32_t kEmpty = UINT32_MAX;
+
+  size_t Start(uint64_t hash) const {
+    return (hash * flat_hash_internal::kMultiplier) >> shift_;
+  }
+
+  int shift_;
+  size_t mask_;
+  std::vector<uint32_t> slot_row_;
+  std::vector<uint32_t> slot_group_;
 };
 
 }  // namespace
@@ -82,26 +109,53 @@ std::shared_ptr<const CodePartition> QueryCache::BuildPartition(
     return partition;
   }
 
-  RowKeyOps ops{&encoded_, &columns};
-  std::unordered_map<uint32_t, uint32_t, RowKeyOps, RowKeyOps> groups(
-      /*bucket_count=*/num_rows * 2 + 1, ops, ops);
-  for (size_t i = 0; i < num_rows; ++i) {
-    if (policy == NullPolicy::kSkipNullRows) {
-      bool has_null = false;
-      for (size_t c : columns) {
-        if (encoded_.codes(c)[i] == EncodedTable::kNullCode) {
-          has_null = true;
-          break;
-        }
-      }
-      if (has_null) continue;
+  // Multi-column: hash each row's code tuple batch-at-a-time (vectorized
+  // kernels over the flat code arrays), then group through an open-
+  // addressing table. Rows insert in row order, so group ids keep the
+  // first-appearance numbering the deterministic paths rely on.
+  std::vector<const uint32_t*> code_arrays;
+  code_arrays.reserve(columns.size());
+  for (size_t c : columns) code_arrays.push_back(encoded_.codes(c).data());
+  const auto same_rows = [&code_arrays](uint32_t a, uint32_t b) {
+    for (const uint32_t* codes : code_arrays) {
+      if (codes[a] != codes[b]) return false;
     }
-    auto [it, inserted] = groups.try_emplace(
-        static_cast<uint32_t>(i),
-        static_cast<uint32_t>(partition->representative.size()));
-    if (inserted) partition->representative.push_back(static_cast<uint32_t>(i));
-    partition->group_of_row[i] = it->second;
-    ++partition->included_rows;
+    return true;
+  };
+
+  GroupTable groups(num_rows);
+  uint64_t hashes[batch::kBatchSize];
+  uint8_t valid[batch::kBatchSize];
+  batch::BatchIterator batches(num_rows);
+  size_t start = 0;
+  size_t count = 0;
+  while (batches.Next(&start, &count)) {
+    for (size_t i = 0; i < count; ++i) hashes[i] = kRowHashSeed;
+    for (size_t i = 0; i < count; ++i) valid[i] = 1;
+    for (const uint32_t* codes : code_arrays) {
+      const uint32_t* c = codes + start;
+      for (size_t i = 0; i < count; ++i) {
+        hashes[i] = SketchHashCombine(hashes[i], c[i]);
+        valid[i] &= c[i] != EncodedTable::kNullCode ? 1 : 0;
+      }
+    }
+    const bool skip_nulls = policy == NullPolicy::kSkipNullRows;
+    for (size_t i = 0; i < count; ++i) {
+      if (skip_nulls && !valid[i]) continue;
+      groups.Prefetch(hashes[i]);
+    }
+    for (size_t i = 0; i < count; ++i) {
+      if (skip_nulls && !valid[i]) continue;
+      const uint32_t row = static_cast<uint32_t>(start + i);
+      const uint32_t fresh =
+          static_cast<uint32_t>(partition->representative.size());
+      const uint32_t group =
+          groups.FindOrInsert(hashes[i], row, fresh, same_rows);
+      if (group == fresh) partition->representative.push_back(row);
+      partition->group_of_row[row] = group;
+      ++partition->included_rows;
+    }
+    batch::AddKernelRows(batch::Kernel::kPartition, count);
   }
   return partition;
 }
@@ -207,20 +261,63 @@ bool QueryCache::FdHolds(const std::vector<size_t>& lhs_columns,
       Partition(lhs_columns, NullPolicy::kSkipNullRows);
   std::shared_ptr<const CodePartition> rhs =
       Partition(rhs_columns, NullPolicy::kNullAsValue);
+  if (SketchesEnabled()) {
+    // Exact distinct-count prunes over the memoized partition sizes; each
+    // one is a proof, so the refinement pass below is skipped, not
+    // approximated. (Gated only so the crosscheck tests can A/B the
+    // routes; results are identical either way.)
+    obs::Registry& registry = obs::Registry::Default();
+    if (lhs->num_groups() == lhs->included_rows) {
+      // Every LHS class is a singleton — nothing can disagree.
+      static obs::Counter* const accepts = registry.GetCounter(
+          "dbre_fd_fast_accepts_total", {{"kind", "unique_lhs"}},
+          "FD checks accepted by exact distinct-count pruning");
+      accepts->Add(1);
+      return true;
+    }
+    if (rhs->num_groups() <= 1) {
+      // A single RHS class can never split an LHS class.
+      static obs::Counter* const accepts = registry.GetCounter(
+          "dbre_fd_fast_accepts_total", {{"kind", "constant_rhs"}},
+          "FD checks accepted by exact distinct-count pruning");
+      accepts->Add(1);
+      return true;
+    }
+    if (lhs->included_rows == encoded_.num_rows() &&
+        rhs->num_groups() > lhs->num_groups()) {
+      // With every row included on the left, π_{X∪A} refines both sides,
+      // so |π_{X∪A}| ≥ |π_A| > |π_X| forces a split somewhere.
+      static obs::Counter* const refutes = registry.GetCounter(
+          "dbre_sketch_refutes_total", {{"kind", "fd_distinct"}},
+          "Candidates refuted by a provable sketch/count pre-pass");
+      refutes->Add(1);
+      return false;
+    }
+  }
   // X → A holds iff every X-group maps into a single A-group, i.e.
   // |π_X| == |π_{X∪A}| over the non-NULL-X rows.
   constexpr uint32_t kUnseen = UINT32_MAX;
   std::vector<uint32_t> witness(lhs->num_groups(), kUnseen);
   const size_t num_rows = encoded_.num_rows();
-  for (size_t i = 0; i < num_rows; ++i) {
-    uint32_t g = lhs->group_of_row[i];
-    if (g == CodePartition::kSkipped) continue;
-    uint32_t r = rhs->group_of_row[i];
-    if (witness[g] == kUnseen) {
-      witness[g] = r;
-    } else if (witness[g] != r) {
-      return false;
+  const uint32_t* lhs_groups = lhs->group_of_row.data();
+  const uint32_t* rhs_groups = rhs->group_of_row.data();
+  batch::BatchIterator batches(num_rows);
+  size_t start = 0;
+  size_t count = 0;
+  while (batches.Next(&start, &count)) {
+    // Per batch: detect a split branch-light, then locate it only if one
+    // exists (the common all-consistent batch takes the flat path).
+    uint32_t split = 0;
+    for (size_t i = start; i < start + count; ++i) {
+      uint32_t g = lhs_groups[i];
+      if (g == CodePartition::kSkipped) continue;
+      uint32_t r = rhs_groups[i];
+      uint32_t& w = witness[g];
+      w = w == kUnseen ? r : w;
+      split |= w ^ r;
     }
+    batch::AddKernelRows(batch::Kernel::kPartition, count);
+    if (split != 0) return false;
   }
   return true;
 }
@@ -232,25 +329,192 @@ double QueryCache::FdError(const std::vector<size_t>& lhs_columns,
   std::shared_ptr<const CodePartition> rhs =
       Partition(rhs_columns, NullPolicy::kNullAsValue);
   if (lhs->included_rows == 0) return 0.0;
-  // Count each (X-group, A-group) pair, then keep the plurality A-group of
+  // Count each (X-group, A-group) pair through a flat map (pair key →
+  // dense index into a count array), then keep the plurality A-group of
   // every X-group.
-  std::unordered_map<uint64_t, size_t> pair_counts;
-  pair_counts.reserve(lhs->included_rows);
   const size_t num_rows = encoded_.num_rows();
+  FlatMap64 pair_index(lhs->included_rows);
+  std::vector<uint32_t> pair_group;
+  std::vector<size_t> pair_count;
+  const uint32_t* lhs_groups = lhs->group_of_row.data();
+  const uint32_t* rhs_groups = rhs->group_of_row.data();
   for (size_t i = 0; i < num_rows; ++i) {
-    uint32_t g = lhs->group_of_row[i];
+    uint32_t g = lhs_groups[i];
     if (g == CodePartition::kSkipped) continue;
-    ++pair_counts[(static_cast<uint64_t>(g) << 32) | rhs->group_of_row[i]];
+    const uint64_t key = (static_cast<uint64_t>(g) << 32) | rhs_groups[i];
+    const uint32_t fresh = static_cast<uint32_t>(pair_count.size());
+    const uint32_t index = pair_index.FindOrInsert(key, fresh);
+    if (index == fresh) {
+      pair_group.push_back(g);
+      pair_count.push_back(0);
+    }
+    ++pair_count[index];
   }
+  batch::AddKernelRows(batch::Kernel::kPartition, num_rows);
   std::vector<size_t> best(lhs->num_groups(), 0);
-  for (const auto& [pair, count] : pair_counts) {
-    size_t g = static_cast<size_t>(pair >> 32);
-    if (count > best[g]) best[g] = count;
+  for (size_t p = 0; p < pair_count.size(); ++p) {
+    if (pair_count[p] > best[pair_group[p]]) best[pair_group[p]] = pair_count[p];
   }
   size_t kept = 0;
   for (size_t b : best) kept += b;
   return static_cast<double>(lhs->included_rows - kept) /
          static_cast<double>(lhs->included_rows);
+}
+
+std::shared_ptr<const DictionaryKeys> QueryCache::DictKeys(size_t column) {
+  static const HitMiss counters = CacheCounters("dict_keys");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = dictionary_keys_.find(column);
+  counters.Count(it != dictionary_keys_.end());
+  if (it != dictionary_keys_.end()) return it->second;
+  encoded_.EnsureColumn(column);
+  auto keys = std::make_shared<DictionaryKeys>();
+  const uint32_t dict_size = static_cast<uint32_t>(encoded_.dict_size(column));
+  keys->hashes.reserve(dict_size);
+  const bool int64_typed = encoded_.column_typed(column) &&
+                           encoded_.declared_type(column) == DataType::kInt64;
+  if (int64_typed) keys->int64_keys.reserve(dict_size);
+  for (uint32_t code = 0; code < dict_size; ++code) {
+    const Value& value = encoded_.Decode(column, code);
+    keys->hashes.push_back(SketchHash(value));
+    if (int64_typed) {
+      keys->int64_keys.push_back(static_cast<uint64_t>(value.as_int()));
+    }
+  }
+  dictionary_keys_.emplace(column, keys);
+  return keys;
+}
+
+std::shared_ptr<const ColumnSketch> QueryCache::ColumnSketchFor(
+    size_t column) {
+  static const HitMiss counters = CacheCounters("column_sketch");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = column_sketches_.find(column);
+    counters.Count(it != column_sketches_.end());
+    if (it != column_sketches_.end()) return it->second;
+  }
+  // Build outside the lock from the (memoized) flat keys, then publish.
+  std::shared_ptr<const DictionaryKeys> keys = DictKeys(column);
+  auto sketch = std::make_shared<ColumnSketch>(keys->hashes.size());
+  for (uint64_t h : keys->hashes) {
+    sketch->bloom.AddHash(h);
+    sketch->hll.AddHash(h);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  return column_sketches_.emplace(column, std::move(sketch)).first->second;
+}
+
+std::shared_ptr<const ColumnSketch> QueryCache::MaybeColumnSketch(
+    size_t column) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = column_sketches_.find(column);
+  return it != column_sketches_.end() ? it->second : nullptr;
+}
+
+std::shared_ptr<const ProjectionSketch> QueryCache::ProjectionSketchFor(
+    const std::vector<size_t>& columns) {
+  static const HitMiss counters = CacheCounters("projection_sketch");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = projection_sketches_.find(columns);
+    counters.Count(it != projection_sketches_.end());
+    if (it != projection_sketches_.end()) return it->second;
+  }
+  // Per-column value-hash tables make the row-hash pass decode-free.
+  std::vector<std::shared_ptr<const DictionaryKeys>> keys;
+  keys.reserve(columns.size());
+  for (size_t c : columns) keys.push_back(DictKeys(c));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = projection_sketches_.find(columns);
+  if (it != projection_sketches_.end()) return it->second;
+  const size_t num_rows = encoded_.num_rows();
+  auto sketch = std::make_shared<ProjectionSketch>(num_rows);
+  std::vector<const uint32_t*> code_arrays;
+  code_arrays.reserve(columns.size());
+  for (size_t c : columns) code_arrays.push_back(encoded_.codes(c).data());
+
+  uint64_t hashes[batch::kBatchSize];
+  uint8_t valid[batch::kBatchSize];
+  batch::BatchIterator batches(num_rows);
+  size_t start = 0;
+  size_t count = 0;
+  while (batches.Next(&start, &count)) {
+    for (size_t i = 0; i < count; ++i) hashes[i] = kRowHashSeed;
+    for (size_t i = 0; i < count; ++i) valid[i] = 1;
+    for (size_t k = 0; k < columns.size(); ++k) {
+      const uint32_t* c = code_arrays[k] + start;
+      const uint64_t* value_hash = keys[k]->hashes.data();
+      for (size_t i = 0; i < count; ++i) {
+        const bool null_cell = c[i] == EncodedTable::kNullCode;
+        hashes[i] =
+            SketchHashCombine(hashes[i], null_cell ? 0 : value_hash[c[i]]);
+        valid[i] &= null_cell ? 0 : 1;
+      }
+    }
+    for (size_t i = 0; i < count; ++i) {
+      if (!valid[i]) continue;
+      sketch->bloom.AddHash(hashes[i]);
+      sketch->hll.AddHash(hashes[i]);
+    }
+    batch::AddKernelRows(batch::Kernel::kPartition, count);
+  }
+  return projection_sketches_.emplace(columns, std::move(sketch))
+      .first->second;
+}
+
+bool QueryCache::HasDistinctProjection(const std::vector<size_t>& columns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return distinct_sets_.find(columns) != distinct_sets_.end();
+}
+
+double QueryCache::EstimateDistinct(const std::vector<size_t>& columns) {
+  if (columns.size() == 1) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    encoded_.EnsureColumn(columns[0]);
+    return static_cast<double>(encoded_.dict_size(columns[0]));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PartitionKey key(columns, static_cast<int>(NullPolicy::kSkipNullRows));
+    auto it = partitions_.find(key);
+    if (it != partitions_.end()) {
+      return static_cast<double>(it->second->num_groups());
+    }
+  }
+  return ProjectionSketchFor(columns)->hll.Estimate();
+}
+
+bool QueryCache::LookupJoinCounts(
+    const std::shared_ptr<const QueryCache>& peer,
+    const std::vector<size_t>& my_columns,
+    const std::vector<size_t>& peer_columns, JoinCountsValue* out) {
+  static const HitMiss counters = CacheCounters("join_counts");
+  std::lock_guard<std::mutex> lock(mutex_);
+  JoinMemoKey key(peer.get(), my_columns, peer_columns);
+  auto it = join_memo_.find(key);
+  if (it != join_memo_.end()) {
+    // Guard against address reuse: the entry is valid only while the peer
+    // cache object it was stored under is still alive at that address.
+    if (it->second.peer.lock().get() == peer.get()) {
+      counters.Count(true);
+      *out = it->second.counts;
+      return true;
+    }
+    join_memo_.erase(it);
+  }
+  counters.Count(false);
+  return false;
+}
+
+void QueryCache::StoreJoinCounts(
+    const std::shared_ptr<const QueryCache>& peer,
+    const std::vector<size_t>& my_columns,
+    const std::vector<size_t>& peer_columns, const JoinCountsValue& counts) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JoinMemoKey key(peer.get(), my_columns, peer_columns);
+  join_memo_[key] = JoinMemoEntry{peer, counts};
 }
 
 }  // namespace dbre

@@ -36,6 +36,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <tuple>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -43,6 +44,7 @@
 #include "common/flat_hash.h"
 #include "common/status.h"
 #include "relational/encoded_table.h"
+#include "relational/sketch.h"
 #include "relational/table.h"
 
 namespace dbre {
@@ -70,6 +72,47 @@ struct CodePartition {
   size_t included_rows = 0;             // rows with a valid group
 
   size_t num_groups() const { return representative.size(); }
+};
+
+// Flat probe keys for one column's dictionary, in code order — what the
+// batched membership kernels consume instead of per-code Value decoding.
+// `hashes` (SketchHash of each dictionary value) are always present and
+// equality-compatible across tables. `int64_keys` additionally carries the
+// raw values when the column is homogeneously int64, making key equality
+// itself exact.
+struct DictionaryKeys {
+  std::vector<uint64_t> hashes;
+  std::vector<uint64_t> int64_keys;  // empty unless typed int64
+};
+
+// Bloom + HLL over one column's distinct values. The Bloom side is built
+// over exactly the dictionary's sketch hashes, so a miss *proves* a value
+// absent from the column; the HLL side estimates are advisory.
+struct ColumnSketch {
+  BloomFilter bloom;
+  HyperLogLog hll;
+  explicit ColumnSketch(size_t expected_keys) : bloom(expected_keys) {}
+};
+
+// The same pair over a multi-column projection's NULL-free sub-rows,
+// hashed with the canonical per-column SketchHash chain (order-sensitive,
+// cross-table comparable).
+struct ProjectionSketch {
+  BloomFilter bloom;
+  HyperLogLog hll;
+  explicit ProjectionSketch(size_t expected_keys) : bloom(expected_keys) {}
+};
+
+// Seed of the multi-column row-hash chain (arbitrary odd constant; both
+// sides of any cross-table comparison must start from it).
+inline constexpr uint64_t kRowHashSeed = 14695981039346656037ull;
+
+// The three exact valuations of one cross-table join, as memoized here
+// (mirrors JoinCounts in algebra.h, which depends on this header).
+struct JoinCountsValue {
+  size_t n_left = 0;
+  size_t n_right = 0;
+  size_t n_join = 0;
 };
 
 class QueryCache {
@@ -115,7 +158,10 @@ class QueryCache {
 
   // Whether lhs → rhs holds: rows with NULL in `lhs_columns` are skipped,
   // NULLs in `rhs_columns` compare like ordinary values (the semantics of
-  // FunctionalDependencyHolds in algebra.h).
+  // FunctionalDependencyHolds in algebra.h). Before the O(rows) refinement
+  // pass, two exact distinct-count prunes run over the memoized partition
+  // sizes: all-singleton LHS ⇒ holds; NULL-free LHS with more RHS than LHS
+  // classes ⇒ fails (each is a proof, never an estimate).
   bool FdHolds(const std::vector<size_t>& lhs_columns,
                const std::vector<size_t>& rhs_columns);
 
@@ -123,8 +169,51 @@ class QueryCache {
   double FdError(const std::vector<size_t>& lhs_columns,
                  const std::vector<size_t>& rhs_columns);
 
+  // Flat dictionary probe keys of one column, memoized and shared.
+  std::shared_ptr<const DictionaryKeys> DictKeys(size_t column);
+
+  // Bloom+HLL over one column's dictionary: ColumnSketchFor builds and
+  // memoizes; MaybeColumnSketch only returns an already-built sketch (a
+  // one-shot probe is cheaper than a sketch build, so callers outside a
+  // discovery sweep never trigger builds).
+  std::shared_ptr<const ColumnSketch> ColumnSketchFor(size_t column);
+  std::shared_ptr<const ColumnSketch> MaybeColumnSketch(size_t column);
+
+  // Bloom+HLL over a projection's NULL-free sub-rows — one flat pass over
+  // the code columns, no decoding, no partition build.
+  std::shared_ptr<const ProjectionSketch> ProjectionSketchFor(
+      const std::vector<size_t>& columns);
+
+  // Whether DistinctProjection(columns) has already been materialized
+  // (used to decide whether a sketch pre-pass is still worth anything).
+  bool HasDistinctProjection(const std::vector<size_t>& columns);
+
+  // ‖r[columns]‖, approximately: exact (dictionary size / memoized
+  // partition) when already known, otherwise a memoized HLL estimate.
+  // Never builds an exact partition; advisory only.
+  double EstimateDistinct(const std::vector<size_t>& columns);
+
+  // Memo for cross-table join counts (keyed by the peer cache's identity
+  // and both ordered column lists). The stored weak_ptr guards against
+  // address reuse after the peer table mutates: a lookup only hits when
+  // the peer's cache object is still the one the entry was stored under.
+  bool LookupJoinCounts(const std::shared_ptr<const QueryCache>& peer,
+                        const std::vector<size_t>& my_columns,
+                        const std::vector<size_t>& peer_columns,
+                        JoinCountsValue* out);
+  void StoreJoinCounts(const std::shared_ptr<const QueryCache>& peer,
+                       const std::vector<size_t>& my_columns,
+                       const std::vector<size_t>& peer_columns,
+                       const JoinCountsValue& counts);
+
  private:
   using PartitionKey = std::pair<std::vector<size_t>, int>;
+  using JoinMemoKey =
+      std::tuple<const void*, std::vector<size_t>, std::vector<size_t>>;
+  struct JoinMemoEntry {
+    std::weak_ptr<const QueryCache> peer;
+    JoinCountsValue counts;
+  };
 
   void EnsureColumnsLocked(const std::vector<size_t>& columns);
   std::shared_ptr<const CodePartition> BuildPartition(
@@ -137,6 +226,11 @@ class QueryCache {
       distinct_sets_;
   std::map<size_t, std::shared_ptr<const ValueSet>> dictionary_sets_;
   std::map<size_t, std::shared_ptr<const FlatSet64>> int64_dictionary_sets_;
+  std::map<size_t, std::shared_ptr<const DictionaryKeys>> dictionary_keys_;
+  std::map<size_t, std::shared_ptr<const ColumnSketch>> column_sketches_;
+  std::map<std::vector<size_t>, std::shared_ptr<const ProjectionSketch>>
+      projection_sketches_;
+  std::map<JoinMemoKey, JoinMemoEntry> join_memo_;
 };
 
 }  // namespace dbre

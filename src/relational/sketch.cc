@@ -1,0 +1,129 @@
+#include "relational/sketch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cmath>
+
+namespace dbre {
+namespace {
+
+std::atomic<bool> g_sketches_enabled{true};
+
+double AlphaM(size_t m) {
+  // Flajolet's bias-correction constants.
+  if (m <= 16) return 0.673;
+  if (m <= 32) return 0.697;
+  if (m <= 64) return 0.709;
+  return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+}
+
+}  // namespace
+
+HyperLogLog::HyperLogLog(int precision)
+    : precision_(std::clamp(precision, 4, 18)),
+      registers_(size_t{1} << precision_, 0) {}
+
+void HyperLogLog::AddHash(uint64_t hash) {
+  const size_t index = hash >> (64 - precision_);
+  // Rank of the first set bit among the remaining 64-p bits, 1-based;
+  // an all-zero remainder ranks 64-p+1.
+  const uint64_t remainder = hash << precision_;
+  const int rank =
+      remainder == 0 ? 64 - precision_ + 1 : std::countl_zero(remainder) + 1;
+  if (registers_[index] < rank) {
+    registers_[index] = static_cast<uint8_t>(rank);
+  }
+}
+
+double HyperLogLog::Estimate() const {
+  const size_t m = registers_.size();
+  double inverse_sum = 0.0;
+  size_t zeros = 0;
+  for (uint8_t r : registers_) {
+    inverse_sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  const double md = static_cast<double>(m);
+  double estimate = AlphaM(m) * md * md / inverse_sum;
+  if (estimate <= 2.5 * md && zeros > 0) {
+    // Linear counting is more accurate while most registers are untouched.
+    estimate = md * std::log(md / static_cast<double>(zeros));
+  }
+  return estimate;
+}
+
+void HyperLogLog::Merge(const HyperLogLog& other) {
+  if (other.registers_.size() != registers_.size()) return;
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+double HyperLogLog::StandardError(int precision) {
+  return 1.04 / std::sqrt(static_cast<double>(
+                    size_t{1} << std::clamp(precision, 4, 18)));
+}
+
+BloomFilter::BloomFilter(size_t expected_keys, double bits_per_key) {
+  const double total_bits =
+      std::max(1.0, static_cast<double>(expected_keys) * bits_per_key);
+  size_t num_blocks = 1;
+  while (num_blocks * kBlockBits < total_bits) num_blocks <<= 1;
+  block_mask_ = num_blocks - 1;
+  blocks_.assign(num_blocks * kWordsPerBlock, 0);
+  num_probes_ = std::clamp(
+      static_cast<int>(std::lround(bits_per_key * 0.6931471805599453)), 1, 8);
+}
+
+BloomFilter::Probe BloomFilter::MakeProbe(uint64_t hash) const {
+  Probe probe{};
+  // Block from the multiplied high bits, probe bits from double hashing —
+  // decorrelated enough that per-block occupancy stays near the average.
+  probe.block = ((hash * 0x9E3779B97F4A7C15ull) >> 17) & block_mask_;
+  const uint64_t h2 = (hash >> 29) | (hash << 35);
+  uint64_t g = hash;
+  for (int i = 0; i < num_probes_; ++i) {
+    const size_t bit = g & (kBlockBits - 1);
+    probe.mask[bit >> 6] |= uint64_t{1} << (bit & 63);
+    g += h2;
+  }
+  return probe;
+}
+
+void BloomFilter::AddHash(uint64_t hash) {
+  const Probe probe = MakeProbe(hash);
+  uint64_t* block = &blocks_[probe.block * kWordsPerBlock];
+  for (size_t w = 0; w < kWordsPerBlock; ++w) block[w] |= probe.mask[w];
+}
+
+void BloomFilter::Prefetch(uint64_t hash) const {
+  const size_t block = ((hash * 0x9E3779B97F4A7C15ull) >> 17) & block_mask_;
+  __builtin_prefetch(&blocks_[block * kWordsPerBlock]);
+}
+
+bool BloomFilter::MayContain(uint64_t hash) const {
+  const Probe probe = MakeProbe(hash);
+  const uint64_t* block = &blocks_[probe.block * kWordsPerBlock];
+  for (size_t w = 0; w < kWordsPerBlock; ++w) {
+    if ((block[w] & probe.mask[w]) != probe.mask[w]) return false;
+  }
+  return true;
+}
+
+bool SketchesEnabled() {
+  return g_sketches_enabled.load(std::memory_order_relaxed);
+}
+
+void SetSketchesEnabled(bool enabled) {
+  g_sketches_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+ScopedSketchGate::ScopedSketchGate(bool enabled)
+    : previous_(SketchesEnabled()) {
+  SetSketchesEnabled(enabled);
+}
+
+ScopedSketchGate::~ScopedSketchGate() { SetSketchesEnabled(previous_); }
+
+}  // namespace dbre

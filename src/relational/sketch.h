@@ -1,0 +1,136 @@
+// Probabilistic summaries of column and projection extensions.
+//
+// The discovery pipeline spends most of its time answering two questions
+// about projected value sets: "how many distinct values?" (‖r[X]‖) and
+// "is this value present on the other side?" (IND containment). Both admit
+// cheap sketched answers that are wrong in only one direction:
+//
+//   * A Bloom filter built over a set S has NO false negatives: if the
+//     filter reports "absent", the value is provably not in S. A miss
+//     therefore *refutes* membership exactly; only hits need the exact
+//     check. IND candidates with any refuted left value are discarded
+//     without ever touching the exact sets.
+//   * A HyperLogLog estimates |S| within ~1.04/√m standard error. It can
+//     never prove anything, so it only steers strategy (which side to
+//     probe, whether a sketch pass is worth building) and feeds the
+//     observability counters; every decision it influences falls back to
+//     the exact path.
+//
+// Sketches hash decoded Values (Value::Hash is equality-compatible across
+// tables; dictionary codes are table-local and useless cross-table),
+// finalized through a 64-bit mixer so HLL register selection and Bloom
+// probe derivation see uniformly distributed bits.
+//
+// `SketchesEnabled()` gates every sketch fast path. Results are identical
+// either way — the crosscheck tests flip the gate to prove it — so the
+// toggle exists for A/B measurement and as a kill switch.
+#ifndef DBRE_RELATIONAL_SKETCH_H_
+#define DBRE_RELATIONAL_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace dbre {
+
+// Finalizing mixer (splitmix64): bijective, so equal inputs stay equal and
+// every output bit depends on every input bit.
+inline uint64_t MixHash64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// The canonical sketch hash of a value: equal Values (possibly living in
+// different tables' dictionaries) always sketch-hash equal.
+inline uint64_t SketchHash(const Value& value) {
+  return MixHash64(static_cast<uint64_t>(value.Hash()));
+}
+
+// Combines per-column sketch hashes into a row hash for multi-attribute
+// projections; order-sensitive (attribute lists are ordered).
+inline uint64_t SketchHashCombine(uint64_t seed, uint64_t h) {
+  return MixHash64(seed * 0x100000001B3ull ^ h);
+}
+
+// HyperLogLog distinct-count estimator (Flajolet et al.), 2^precision
+// 6-bit registers stored one per byte. Deterministic: the estimate is a
+// pure function of the inserted hash multiset.
+class HyperLogLog {
+ public:
+  // precision in [4, 18]; 12 (4096 registers, ~1.6% error) is the default
+  // used by QueryCache.
+  explicit HyperLogLog(int precision = 12);
+
+  void AddHash(uint64_t hash);
+
+  // Bias-corrected estimate with linear counting in the small range.
+  double Estimate() const;
+
+  // Folds `other` (same precision) into this sketch; the result equals the
+  // sketch of the union of the inserted streams.
+  void Merge(const HyperLogLog& other);
+
+  int precision() const { return precision_; }
+  size_t num_registers() const { return registers_.size(); }
+
+  // The theoretical relative standard error 1.04/√(2^precision).
+  static double StandardError(int precision);
+
+ private:
+  int precision_;
+  std::vector<uint8_t> registers_;
+};
+
+// Blocked Bloom filter over 64-bit hashes. Probes stay inside one 64-byte
+// cache line, so a membership test costs one memory access. `bits_per_key`
+// ≈ 10 gives ~1% false positives; false negatives are impossible.
+class BloomFilter {
+ public:
+  explicit BloomFilter(size_t expected_keys, double bits_per_key = 10.0);
+
+  void AddHash(uint64_t hash);
+  bool MayContain(uint64_t hash) const;
+
+  // Prefetches the (single) cache block a MayContain(hash) will touch.
+  void Prefetch(uint64_t hash) const;
+
+  size_t num_bits() const { return blocks_.size() * 64; }
+
+ private:
+  static constexpr size_t kWordsPerBlock = 8;  // 64 bytes
+  static constexpr size_t kBlockBits = kWordsPerBlock * 64;
+
+  // block index + the probe word/bit masks for one hash.
+  struct Probe {
+    size_t block;
+    uint64_t mask[kWordsPerBlock];
+  };
+  Probe MakeProbe(uint64_t hash) const;
+
+  int num_probes_;
+  size_t block_mask_;                 // blocks are a power of two
+  std::vector<uint64_t> blocks_;      // kWordsPerBlock words per block
+};
+
+// Process-wide gate for the sketch pre-passes (default on). Turning it off
+// never changes results, only the route taken to them.
+bool SketchesEnabled();
+void SetSketchesEnabled(bool enabled);
+
+// RAII scope for tests: force the gate, restore on exit.
+class ScopedSketchGate {
+ public:
+  explicit ScopedSketchGate(bool enabled);
+  ~ScopedSketchGate();
+
+ private:
+  bool previous_;
+};
+
+}  // namespace dbre
+
+#endif  // DBRE_RELATIONAL_SKETCH_H_

@@ -57,6 +57,15 @@ class Table {
     mutable_rows().push_back(std::move(row));
   }
 
+  // Pre-sizes the row storage for a bulk load of `additional_rows` further
+  // tuples, so the append loop never reallocates (and re-moves) the row
+  // vector mid-load.
+  void Reserve(size_t additional_rows) {
+    cache_.reset();
+    auto& rows = mutable_rows();
+    rows.reserve(rows.size() + additional_rows);
+  }
+
   void Clear() {
     cache_.reset();
     rows_ = std::make_shared<std::vector<ValueVector>>();

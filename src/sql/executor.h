@@ -7,9 +7,13 @@
 // (correlated) EXISTS subqueries, DISTINCT, COUNT, INTERSECT/UNION/MINUS —
 // with standard SQL three-valued NULL semantics for comparisons.
 //
-// The implementation is a straightforward tuple-at-a-time nested-loop
-// evaluator over the catalog; it exists for fidelity and for tooling (the
-// workbench, tests cross-checking the algebra layer), not for speed.
+// The reference implementation is a tuple-at-a-time nested-loop evaluator
+// over the catalog; it exists for fidelity and for tooling (the workbench,
+// tests cross-checking the algebra layer). Statements whose predicates
+// compile into per-dictionary-code ternary truth tables take a batched
+// columnar fast path over the table's encoded image instead — same
+// results, same errors, observable via dbre_executor_paths_total — and
+// fall back to the reference loop otherwise.
 #ifndef DBRE_SQL_EXECUTOR_H_
 #define DBRE_SQL_EXECUTOR_H_
 
@@ -40,6 +44,9 @@ struct ResultSet {
 struct ExecutorOptions {
   // Safety valve for runaway cross products in tooling contexts; 0 = off.
   size_t max_intermediate_rows = 0;
+  // Forces the tuple-at-a-time reference enumeration. Results are
+  // identical either way; the crosscheck tests flip this to prove it.
+  bool disable_vectorized = false;
 };
 
 // Executes a parsed statement.

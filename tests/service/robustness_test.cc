@@ -407,10 +407,15 @@ TEST_F(RobustnessTest, InjectedAnswerDeliveryFailureLeavesTheQuestionPending) {
   EXPECT_EQ(listed.Find("questions")->array().front().GetInt("qid"),
             question.GetInt("qid"));
 
-  // The retry lands.
+  // The retry lands: the answered question is gone. The resumed pipeline
+  // may already have asked its *next* question by the time the listing
+  // runs, so assert on the qid, not on the list being empty.
   client.MustCall(build_answer());
   listed = client.MustCall(Command("questions", "ask"));
-  EXPECT_TRUE(listed.Find("questions")->array().empty());
+  for (const Json& pending : listed.Find("questions")->array()) {
+    EXPECT_NE(pending.GetInt("qid"), question.GetInt("qid"))
+        << listed.Dump();
+  }
 
   server.sessions()->Shutdown();
 }
