@@ -1,5 +1,6 @@
 // P-store — cost of durability: snapshot write, snapshot load vs CSV
-// ingest, and journal append throughput.
+// ingest, journal append throughput, and paged column-scan throughput
+// through the buffer pool at evicting vs resident budgets.
 //
 // The load comparison is the one the snapshot format exists for: restoring
 // an extension from its columnar snapshot (mmap + checksum + dictionary
@@ -10,11 +11,13 @@
 //
 // Plain chrono harness; prints a JSON document on stdout. Recorded
 // baseline: BENCH_store.json.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +25,9 @@
 #include <malloc.h>
 #endif
 
+#include "pagestore/buffer_pool.h"
+#include "pagestore/paged_snapshot.h"
+#include "relational/column_batch.h"
 #include "relational/csv.h"
 #include "relational/extension_registry.h"
 #include "relational/table.h"
@@ -175,6 +181,49 @@ int main() {
   double journal_synced_s = journal_run(1, kSyncedRecords, &synced_mb);
 
   double snapshot_bytes = static_cast<double>(fs::file_size(snap_path));
+
+  // Paged scan: sweep every column's code stream through a buffer pool at
+  // two budget levels — one forcing constant eviction (the pool's minimum
+  // frame count, smaller than the snapshot) and one where the whole file
+  // is resident after the cold pass. Reported per level: scan time, codes
+  // decoded per second, and the pool's hit rate.
+  const size_t total_codes = kRows * table.schema().arity();
+  auto paged_scan = [&](size_t budget_bytes, Json* out) {
+    auto pool = std::make_shared<dbre::pagestore::BufferPool>(budget_bytes);
+    auto source = dbre::pagestore::OpenSnapshotPaged(snap_path, pool);
+    if (!source.ok()) std::abort();
+    uint64_t sink = 0;
+    auto scan = [&] {
+      for (size_t c = 0; c < (*source)->num_columns(); ++c) {
+        auto cursor = (*source)->Codes(c);
+        for (size_t start = 0; start < kRows;
+             start += dbre::batch::kBatchSize) {
+          size_t count = std::min(dbre::batch::kBatchSize, kRows - start);
+          const uint32_t* codes = cursor->Fetch(start, count);
+          for (size_t i = 0; i < count; ++i) sink += codes[i];
+        }
+      }
+    };
+    scan();  // cold pass: faults every page in (and evicts at tiny budgets)
+    double scan_s = BestOf(kIterations, scan);
+    if (sink == 0) std::abort();  // keep the sweep observable
+    dbre::pagestore::BufferPool::Stats stats = pool->stats();
+    out->Set("budget_bytes", Json::Int(static_cast<int64_t>(
+                                 pool->budget_bytes())));
+    out->Set("frames", Json::Int(static_cast<int64_t>(stats.frames)));
+    out->Set("scan_ms", Json::Number(scan_s * 1e3));
+    out->Set("codes_per_sec",
+             Json::Number(static_cast<double>(total_codes) / scan_s));
+    out->Set("hit_rate",
+             Json::Number(static_cast<double>(stats.hits) /
+                          static_cast<double>(stats.hits + stats.misses)));
+    out->Set("evictions", Json::Int(static_cast<int64_t>(stats.evictions)));
+  };
+  Json paged_evicting = Json::MakeObject();
+  paged_scan(1, &paged_evicting);  // clamps to the minimum frame count
+  Json paged_resident = Json::MakeObject();
+  paged_scan(16u << 20, &paged_resident);
+
   fs::remove_all(dir);
 
   Json doc = Json::MakeObject();
@@ -182,7 +231,9 @@ int main() {
   doc.Set("description",
           Json::Str("durable store layer on a 32k-row mixed-type extension: "
                     "snapshot write/load vs CSV ingest (best of 11), journal "
-                    "append throughput at fsync_batch 8 and 1"));
+                    "append throughput at fsync_batch 8 and 1, paged column "
+                    "scans through the buffer pool at evicting and resident "
+                    "budgets"));
   doc.Set("rows", Json::Int(static_cast<int64_t>(kRows)));
   doc.Set("csv_bytes", Json::Int(static_cast<int64_t>(csv.size())));
   doc.Set("snapshot_bytes", Json::Int(static_cast<int64_t>(snapshot_bytes)));
@@ -203,6 +254,10 @@ int main() {
               Json::Number(static_cast<double>(kSyncedRecords) /
                            journal_synced_s));
   doc.Set("journal", std::move(journal));
+  Json paged = Json::MakeObject();
+  paged.Set("evicting", std::move(paged_evicting));
+  paged.Set("resident", std::move(paged_resident));
+  doc.Set("paged_scan", std::move(paged));
 
   std::printf("%s\n", doc.Dump().c_str());
   return 0;

@@ -18,6 +18,13 @@
 //                   session is journaled there; on startup, journals found
 //                   under PATH are replayed so crashed or gracefully
 //                   stopped sessions resume (docs/STORAGE.md)
+//   --buffer-pool-mb N
+//                   serve extensions page-backed through a shared N-MiB
+//                   buffer pool instead of materializing them: CSV loads
+//                   are snapshotted and adopted paged, so sessions work on
+//                   databases larger than memory. Requires --data-dir; the
+//                   pool budget is reserved from the global memory budget
+//                   (docs/STORAGE.md)
 //   --fsync-batch N fsync the journal every N records (1 = every record,
 //                   0 = never, default 8; expert answers always sync)
 //   --segment-bytes N
@@ -65,6 +72,7 @@ struct ServeArgs {
   long max_inflight = -1;
   long max_queued = -1;
   std::string data_dir;
+  long buffer_pool_mb = 0;
   long fsync_batch = -1;
   long segment_bytes = 0;
   long slow_op_ms = 0;
@@ -104,6 +112,10 @@ bool ParseArgs(int argc, char** argv, ServeArgs* args) {
         return false;
       }
       args->data_dir = argv[++i];
+    } else if (flag == "--buffer-pool-mb") {
+      if (!next_long("--buffer-pool-mb", &args->buffer_pool_mb)) {
+        return false;
+      }
     } else if (flag == "--fsync-batch") {
       if (!next_long("--fsync-batch", &args->fsync_batch)) return false;
     } else if (flag == "--segment-bytes") {
@@ -131,7 +143,8 @@ void PrintUsage() {
       "usage: dbre_serve [--port N] [--stdio] [--timeout-ms MS]\n"
       "                  [--max-sessions N] [--max-inflight N] "
       "[--max-queued N]\n"
-      "                  [--data-dir PATH] [--fsync-batch N] "
+      "                  [--data-dir PATH] [--buffer-pool-mb N]\n"
+      "                  [--fsync-batch N] "
       "[--segment-bytes N]\n"
       "                  [--slow-op-ms MS] [--run-deadline-ms MS]\n"
       "                  [--enable-failpoints]\n");
@@ -159,6 +172,16 @@ int main(int argc, char** argv) {
     options.sessions.max_queued_runs = static_cast<size_t>(args.max_queued);
   }
   options.sessions.data_dir = args.data_dir;
+  if (args.buffer_pool_mb > 0) {
+    if (args.data_dir.empty()) {
+      std::fprintf(stderr,
+                   "dbre_serve: --buffer-pool-mb requires --data-dir "
+                   "(paged extensions live in its snapshots)\n");
+      return 2;
+    }
+    options.sessions.buffer_pool_bytes =
+        static_cast<size_t>(args.buffer_pool_mb) << 20;
+  }
   if (args.fsync_batch >= 0) {
     options.sessions.journal.fsync_batch =
         static_cast<size_t>(args.fsync_batch);

@@ -138,12 +138,12 @@ Result<RestructResult> Restruct(const Database& database,
         std::vector<size_t> all_indexes,
         OrderedProjectionIndexes(*source, attribute_order));
     std::unordered_map<ValueVector, ValueVector, ValueVectorHash> projected;
-    for (const ValueVector& row : source->rows()) {
+    DBRE_RETURN_IF_ERROR(source->ForEachRow([&](const ValueVector& row) {
       ValueVector key = Table::ProjectRow(row, lhs_indexes);
-      if (HasNull(key)) continue;
+      if (HasNull(key)) return;
       projected.try_emplace(std::move(key),
                             Table::ProjectRow(row, all_indexes));
-    }
+    }));
     std::vector<ValueVector> rows;
     rows.reserve(projected.size());
     for (auto& [key, row] : projected) rows.push_back(std::move(row));

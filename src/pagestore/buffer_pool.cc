@@ -1,0 +1,298 @@
+#include "pagestore/buffer_pool.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/retry.h"
+#include "obs/metrics.h"
+#include "store/crc32c.h"
+
+namespace dbre::pagestore {
+namespace {
+
+struct PoolMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* evictions;
+  obs::Counter* pins;
+  obs::Counter* bytes_read;
+  obs::Gauge* resident_bytes;
+  obs::Gauge* pinned_pages;
+  obs::Histogram* read_us;
+};
+
+const PoolMetrics& Metrics() {
+  static const PoolMetrics metrics = [] {
+    obs::Registry& registry = obs::Registry::Default();
+    return PoolMetrics{
+        registry.GetCounter("dbre_pagestore_hits_total", {},
+                            "Buffer pool pins served from a resident page"),
+        registry.GetCounter("dbre_pagestore_misses_total", {},
+                            "Buffer pool pins that read the page from disk"),
+        registry.GetCounter("dbre_pagestore_evictions_total", {},
+                            "Pages evicted from the buffer pool"),
+        registry.GetCounter("dbre_pagestore_pins_total", {},
+                            "Total page pins"),
+        registry.GetCounter("dbre_pagestore_bytes_read_total", {},
+                            "Bytes read from disk into the buffer pool"),
+        registry.GetGauge("dbre_pagestore_resident_bytes", {},
+                          "Bytes currently resident in the buffer pool"),
+        registry.GetGauge("dbre_pagestore_pinned_pages", {},
+                          "Pages currently pinned"),
+        registry.GetHistogram("dbre_pagestore_read_us", {},
+                              "Page read (pread + checksum) latency"),
+    };
+  }();
+  return metrics;
+}
+
+}  // namespace
+
+BufferPool::BufferPool(size_t budget_bytes) : budget_bytes_(budget_bytes) {
+  size_t frames = budget_bytes / kPageSize;
+  if (frames < kMinFrames) frames = kMinFrames;
+  frames_.resize(frames);
+}
+
+BufferPool::~BufferPool() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [id, file] : files_) {
+    if (file.fd >= 0) ::close(file.fd);
+  }
+}
+
+Result<uint32_t> BufferPool::AttachFile(const std::string& path,
+                                        std::vector<uint32_t> page_crcs) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return IoError("open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    return IoError("fstat " + path + ": " + std::strerror(err));
+  }
+  uint64_t size = static_cast<uint64_t>(st.st_size);
+  uint64_t pages = (size + kPageSize - 1) / kPageSize;
+  if (page_crcs.size() != pages) {
+    ::close(fd);
+    return InvalidArgumentError(
+        "buffer pool: " + path + " has " + std::to_string(pages) +
+        " pages but " + std::to_string(page_crcs.size()) + " checksums");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint32_t id = next_file_++;
+  files_[id] = File{fd, size, path, std::move(page_crcs)};
+  return id;
+}
+
+void BufferPool::DetachFile(uint32_t file_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(file_id);
+  if (it == files_.end()) return;
+  if (it->second.fd >= 0) ::close(it->second.fd);
+  files_.erase(it);
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& frame = frames_[i];
+    if (frame.valid && (frame.key >> 32) == file_id && frame.pins == 0) {
+      page_table_.erase(frame.key);
+      resident_bytes_ -= frame.bytes;
+      frame.valid = false;
+      frame.data.clear();
+      frame.data.shrink_to_fit();
+    }
+  }
+  Metrics().resident_bytes->Set(static_cast<int64_t>(resident_bytes_));
+}
+
+Result<size_t> BufferPool::AcquireFrameLocked(uint64_t key) {
+  // One free frame beats evicting; otherwise clock second-chance.
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (!frames_[i].valid && !frames_[i].loading) return i;
+  }
+  for (size_t sweep = 0; sweep < frames_.size() * 2; ++sweep) {
+    size_t i = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % frames_.size();
+    Frame& frame = frames_[i];
+    if (frame.pins > 0 || frame.loading) continue;
+    if (frame.ref) {
+      frame.ref = false;
+      continue;
+    }
+    // Victim. Pages are clean (read-only files), so eviction is a drop;
+    // the failpoint stands in for a writeback failure on this edge.
+    DBRE_RETURN_IF_ERROR(FailpointError("pagestore.evict"));
+    page_table_.erase(frame.key);
+    resident_bytes_ -= frame.bytes;
+    frame.valid = false;
+    ++evictions_;
+    Metrics().evictions->Add(1);
+    (void)key;
+    return i;
+  }
+  return FailedPreconditionError(
+      "buffer pool: all " + std::to_string(frames_.size()) +
+      " frames are pinned");
+}
+
+Result<BufferPool::Page> BufferPool::Pin(uint32_t file_id,
+                                         uint32_t page_index) {
+  uint64_t key = Key(file_id, page_index);
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++pins_;
+  Metrics().pins->Add(1);
+  while (true) {
+    auto it = page_table_.find(key);
+    if (it != page_table_.end()) {
+      Frame& frame = frames_[it->second];
+      if (frame.loading) {
+        // Another thread is reading this page; wait for it.
+        loaded_.wait(lock);
+        continue;
+      }
+      ++hits_;
+      Metrics().hits->Add(1);
+      frame.ref = true;
+      ++frame.pins;
+      Metrics().pinned_pages->Add(1);
+      return Page(this, it->second, frame.data.data(), frame.bytes);
+    }
+    break;
+  }
+
+  auto file_it = files_.find(file_id);
+  if (file_it == files_.end()) {
+    return InvalidArgumentError("buffer pool: unknown file id " +
+                                std::to_string(file_id));
+  }
+  const File& file = file_it->second;
+  uint64_t offset = static_cast<uint64_t>(page_index) * kPageSize;
+  if (offset >= file.size) {
+    return InvalidArgumentError("buffer pool: page " +
+                                std::to_string(page_index) +
+                                " out of range for " + file.path);
+  }
+  size_t bytes = static_cast<size_t>(
+      std::min<uint64_t>(kPageSize, file.size - offset));
+  uint32_t expected_crc = file.page_crcs[page_index];
+  int fd = file.fd;
+  std::string path = file.path;
+
+  DBRE_ASSIGN_OR_RETURN(size_t frame_index, AcquireFrameLocked(key));
+  Frame& frame = frames_[frame_index];
+  frame.key = key;
+  frame.loading = true;
+  frame.valid = false;
+  frame.bytes = bytes;
+  if (frame.data.size() < bytes) frame.data.resize(kPageSize);
+  page_table_[key] = frame_index;
+  ++misses_;
+  Metrics().misses->Add(1);
+
+  // I/O outside the lock; later pinners of this page wait on `loaded_`.
+  lock.unlock();
+  int64_t start_us = obs::MonotonicUs();
+  Status read_status = RetryWithBackoff(RetryPolicy{}, [&]() -> Status {
+    DBRE_RETURN_IF_ERROR(FailpointError("pagestore.page_read"));
+    size_t off = 0;
+    while (off < bytes) {
+      ssize_t n = ::pread(fd, frame.data.data() + off, bytes - off,
+                          static_cast<off_t>(offset + off));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        return IoError("pread " + path + " page " +
+                       std::to_string(page_index) + ": " +
+                       (n < 0 ? std::strerror(errno) : "unexpected EOF"));
+      }
+      off += static_cast<size_t>(n);
+    }
+    return Status::Ok();
+  });
+  if (read_status.ok()) {
+    bool crc_ok =
+        store::Crc32c(0, frame.data.data(), bytes) == expected_crc &&
+        FailpointError("pagestore.page_crc").ok();
+    if (!crc_ok) {
+      read_status = ParseError("page " + std::to_string(page_index) +
+                               " of " + path + ": checksum mismatch");
+    }
+  }
+  Metrics().read_us->Observe(obs::MonotonicUs() - start_us);
+
+  lock.lock();
+  frame.loading = false;
+  if (!read_status.ok()) {
+    page_table_.erase(key);
+    frame.valid = false;
+    loaded_.notify_all();
+    return read_status;
+  }
+  frame.valid = true;
+  frame.ref = true;
+  frame.pins = 1;
+  resident_bytes_ += bytes;
+  Metrics().bytes_read->Add(bytes);
+  Metrics().resident_bytes->Set(static_cast<int64_t>(resident_bytes_));
+  Metrics().pinned_pages->Add(1);
+  loaded_.notify_all();
+  return Page(this, frame_index, frame.data.data(), bytes);
+}
+
+void BufferPool::Unpin(size_t frame) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Frame& f = frames_[frame];
+  if (f.pins > 0) {
+    --f.pins;
+    Metrics().pinned_pages->Add(-1);
+  }
+}
+
+BufferPool::Page& BufferPool::Page::operator=(Page&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    data_ = other.data_;
+    size_ = other.size_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void BufferPool::Page::Reset() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.pins = pins_;
+  stats.resident_bytes = resident_bytes_;
+  stats.budget_bytes = budget_bytes_;
+  stats.frames = frames_.size();
+  stats.attached_files = files_.size();
+  for (const Frame& frame : frames_) {
+    if (frame.valid && frame.pins > 0) ++stats.pinned_pages;
+  }
+  return stats;
+}
+
+}  // namespace dbre::pagestore

@@ -1,0 +1,141 @@
+// A shared buffer pool of fixed-size pages over read-only files.
+//
+// Files (snapshots, spilled key indexes) are attached with the CRC32C of
+// every kPageSize-byte page, computed by whoever streamed the file at open
+// time; every page the pool reads back is re-verified against its CRC, so
+// bit rot between open and use surfaces as kDataLoss instead of silently
+// corrupting a byte-identical report.
+//
+// Eviction is clock second-chance over unpinned frames; the frame count is
+// fixed at budget/kPageSize (min kMinFrames), so the pool's resident bytes
+// never exceed the budget `dbre_serve --buffer-pool-mb` configured.
+// Concurrent pins of the same page coalesce: the first pinner marks the
+// frame loading and reads outside the pool lock, later pinners wait on a
+// condition variable. Transient read errors are retried with backoff
+// (common/retry.h) before surfacing.
+//
+// Failpoints: pagestore.page_read (the pread), pagestore.page_crc (verify),
+// pagestore.evict (the eviction edge).
+#ifndef DBRE_PAGESTORE_BUFFER_POOL_H_
+#define DBRE_PAGESTORE_BUFFER_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbre::pagestore {
+
+inline constexpr size_t kPageSize = 64 * 1024;
+inline constexpr size_t kMinFrames = 8;
+
+class BufferPool {
+ public:
+  explicit BufferPool(size_t budget_bytes);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Registers `path` (opened read-only) with the per-page checksums its
+  // opener computed while streaming it. Returns the pool-local file id
+  // used by Pin. `page_crcs.size()` must equal ceil(file size/kPageSize).
+  Result<uint32_t> AttachFile(const std::string& path,
+                              std::vector<uint32_t> page_crcs);
+
+  // Drops the file: closes its descriptor and frees its unpinned frames.
+  // The caller guarantees no pins into the file remain.
+  void DetachFile(uint32_t file_id);
+
+  // RAII pin on one page's frame. data()/size() expose the page bytes
+  // (the file's last page is short). Movable, not copyable.
+  class Page {
+   public:
+    Page() = default;
+    Page(Page&& other) noexcept { *this = std::move(other); }
+    Page& operator=(Page&& other) noexcept;
+    ~Page() { Reset(); }
+
+    const uint8_t* data() const { return data_; }
+    size_t size() const { return size_; }
+    void Reset();
+
+   private:
+    friend class BufferPool;
+    Page(BufferPool* pool, size_t frame, const uint8_t* data, size_t size)
+        : pool_(pool), frame_(frame), data_(data), size_(size) {}
+
+    BufferPool* pool_ = nullptr;
+    size_t frame_ = 0;
+    const uint8_t* data_ = nullptr;
+    size_t size_ = 0;
+  };
+
+  Result<Page> Pin(uint32_t file_id, uint32_t page_index);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t pins = 0;
+    size_t resident_bytes = 0;
+    size_t pinned_pages = 0;
+    size_t budget_bytes = 0;
+    size_t frames = 0;
+    size_t attached_files = 0;
+  };
+  Stats stats() const;
+
+  size_t budget_bytes() const { return budget_bytes_; }
+
+ private:
+  struct File {
+    int fd = -1;
+    uint64_t size = 0;
+    std::string path;
+    std::vector<uint32_t> page_crcs;
+  };
+
+  struct Frame {
+    uint64_t key = 0;  // file_id << 32 | page_index
+    bool valid = false;
+    bool loading = false;
+    bool ref = false;
+    uint32_t pins = 0;
+    size_t bytes = 0;  // page payload length (last page is short)
+    std::vector<uint8_t> data;
+  };
+
+  static uint64_t Key(uint32_t file_id, uint32_t page_index) {
+    return (static_cast<uint64_t>(file_id) << 32) | page_index;
+  }
+
+  // Picks a frame for `key`: a free frame or a clock victim. Returns
+  // kResourceExhausted when every frame is pinned. Lock held.
+  Result<size_t> AcquireFrameLocked(uint64_t key);
+
+  void Unpin(size_t frame);
+
+  const size_t budget_bytes_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable loaded_;
+  uint32_t next_file_ = 1;
+  std::map<uint32_t, File> files_;
+  std::vector<Frame> frames_;
+  std::map<uint64_t, size_t> page_table_;  // key -> frame index
+  size_t clock_hand_ = 0;
+  size_t resident_bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t pins_ = 0;
+};
+
+}  // namespace dbre::pagestore
+
+#endif  // DBRE_PAGESTORE_BUFFER_POOL_H_

@@ -1,6 +1,8 @@
 #include "relational/algebra.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <unordered_map>
 
@@ -27,6 +29,56 @@ obs::Counter* SketchFallbacks(const char* kind) {
   return obs::Registry::Default().GetCounter(
       "dbre_sketch_fallbacks_total", {{"kind", kind}},
       "Sketch pre-passes that could not prove and fell back to exact");
+}
+
+// Probe loops run after the paged source verified clean at open; a failure
+// here is a real environment fault and the count/bool entry points have no
+// error channel (see the contract in relational/paged_source.h).
+void CheckStream(const Status& status) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "dbre: unrecoverable paged stream failure: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+// The build side's on-disk key index when membership probes should use it:
+// paged column, gate on, index built (or loaded) cleanly. nullptr falls
+// back to materialized sets — results are identical either way.
+std::shared_ptr<const PagedKeyIndex> BuildSideKeyIndex(QueryCache& build_cache,
+                                                       size_t build_column) {
+  const EncodedTable& encoded = build_cache.encoded();
+  if (!encoded.paged() || !PagedIndexEnabled()) return nullptr;
+  Result<std::shared_ptr<const PagedKeyIndex>> index =
+      encoded.paged_source()->KeyIndexFor(encoded.paged_column(build_column));
+  if (!index.ok()) return nullptr;
+  static obs::Counter* const probes = obs::Registry::Default().GetCounter(
+      "dbre_pagestore_index_probe_batches_total", {},
+      "Membership probe batches served by a paged key index");
+  probes->Add(1);
+  return *index;
+}
+
+// Whether `value` appears in the (paged) build column, through its key
+// index. Exact indexes compare raw int64 bit patterns; inexact indexes
+// probe by sketch hash and verify every candidate by decoding.
+bool IndexContains(const EncodedTable& build_encoded, size_t build_column,
+                   const PagedKeyIndex& index, const Value& value) {
+  if (index.exact()) {
+    // An exact index only exists over homogeneously int64 columns, so a
+    // non-int probe value can never match (Value equality is tag-strict).
+    return value.is_int() &&
+           index.ContainsKey(static_cast<uint64_t>(value.as_int()));
+  }
+  bool found = false;
+  CheckStream(index.ForEachCode(
+      SketchHash(value), [&](uint32_t code) {
+        if (build_encoded.DecodeValue(build_column, code) == value) {
+          found = true;
+          return false;
+        }
+        return true;
+      }));
+  return found;
 }
 
 // Number of probe-dictionary values present in the build column, exact.
@@ -61,6 +113,29 @@ size_t SingleColumnIntersection(QueryCache& probe_cache, size_t probe_column,
   }
   if (candidates == 0) return 0;
 
+  // Paged build side: probe the survivors against the on-disk key index
+  // instead of materializing the build dictionary as a set.
+  std::shared_ptr<const PagedKeyIndex> index =
+      BuildSideKeyIndex(build_cache, build_column);
+  if (index != nullptr) {
+    const EncodedTable& build_encoded = build_cache.encoded();
+    size_t joined = 0;
+    if (index->exact() && !keys->int64_keys.empty()) {
+      for (size_t i = 0; i < n; ++i) {
+        if (hit[i] && index->ContainsKey(keys->int64_keys[i])) ++joined;
+      }
+      return joined;
+    }
+    CheckStream(probe_cache.encoded().ForEachDictValue(
+        probe_column, [&](uint32_t code, const Value& value) {
+          if (hit[code] && IndexContains(build_encoded, build_column, *index,
+                                         value)) {
+            ++joined;
+          }
+        }));
+    return joined;
+  }
+
   // Exact stage over the Bloom survivors.
   if (!keys->int64_keys.empty()) {
     std::shared_ptr<const FlatSet64> build_ints =
@@ -82,14 +157,11 @@ size_t SingleColumnIntersection(QueryCache& probe_cache, size_t probe_column,
   }
   std::shared_ptr<const ValueSet> build_set =
       build_cache.DictionarySet(build_column);
-  const EncodedTable& probe_encoded = probe_cache.encoded();
   size_t joined = 0;
-  for (size_t i = 0; i < n; ++i) {
-    if (hit[i] && build_set->contains(probe_encoded.Decode(
-                      probe_column, static_cast<uint32_t>(i)))) {
-      ++joined;
-    }
-  }
+  CheckStream(probe_cache.encoded().ForEachDictValue(
+      probe_column, [&](uint32_t code, const Value& value) {
+        if (hit[code] && build_set->contains(value)) ++joined;
+      }));
   return joined;
 }
 
@@ -105,11 +177,13 @@ std::vector<uint64_t> RepresentativeHashes(
   const EncodedTable& encoded = cache.encoded();
   std::vector<uint64_t> hashes(partition.representative.size(), kRowHashSeed);
   for (size_t k = 0; k < columns.size(); ++k) {
-    const uint32_t* codes = encoded.codes(columns[k]).data();
+    // Multi-column representatives come in increasing row order, so the
+    // reader walks each page once in paged mode.
+    EncodedTable::CodeReader codes = encoded.codes_reader(columns[k]);
     const uint64_t* value_hash = keys[k]->hashes.data();
     for (size_t g = 0; g < hashes.size(); ++g) {
-      hashes[g] =
-          SketchHashCombine(hashes[g], value_hash[codes[partition.representative[g]]]);
+      hashes[g] = SketchHashCombine(
+          hashes[g], value_hash[codes.At(partition.representative[g])]);
     }
   }
   return hashes;
@@ -226,12 +300,13 @@ Result<JoinCounts> ComputeJoinCounts(const Database& database,
   if (candidates > 0) {
     std::shared_ptr<const ValueVectorSet> build_set =
         build_cache.DistinctProjection(build_columns);
-    const EncodedTable& probe_encoded = probe_cache.encoded();
+    EncodedTable::RowReader reader =
+        probe_cache.encoded().row_reader(probe_columns);
+    ValueVector sub_row;
     for (size_t g = 0; g < probe_part.num_groups(); ++g) {
-      if (hit[g] && build_set->contains(probe_encoded.DecodeRow(
-                        probe_part.representative[g], probe_columns))) {
-        ++counts.n_join;
-      }
+      if (!hit[g]) continue;
+      reader.Read(probe_part.representative[g], &sub_row);
+      if (build_set->contains(sub_row)) ++counts.n_join;
     }
   }
   left_cache->StoreJoinCounts(
@@ -294,6 +369,29 @@ Result<bool> InclusionHolds(const Database& database,
         fallbacks->Add(1);
       }
     }
+    // Paged rhs: probe every lhs dictionary value against the on-disk key
+    // index instead of materializing the rhs dictionary as a set.
+    std::shared_ptr<const PagedKeyIndex> index = BuildSideKeyIndex(*rhs_cache, rc);
+    if (index != nullptr) {
+      const EncodedTable& rhs_encoded = rhs_cache->encoded();
+      if (index->exact() && lhs_encoded.column_typed(lc) &&
+          lhs_encoded.declared_type(lc) == DataType::kInt64) {
+        std::shared_ptr<const DictionaryKeys> keys = lhs_cache->DictKeys(lc);
+        for (uint64_t key : keys->int64_keys) {
+          if (!index->ContainsKey(key)) return false;
+        }
+        return true;
+      }
+      bool included = true;
+      CheckStream(lhs_encoded.ForEachDictValue(
+          lc, [&](uint32_t, const Value& value) {
+            if (included &&
+                !IndexContains(rhs_encoded, rc, *index, value)) {
+              included = false;
+            }
+          }));
+      return included;
+    }
     if (lhs_encoded.column_typed(lc) &&
         lhs_encoded.declared_type(lc) == DataType::kInt64) {
       std::shared_ptr<const FlatSet64> rhs_ints = rhs_cache->Int64DictionarySet(rc);
@@ -305,12 +403,20 @@ Result<bool> InclusionHolds(const Database& database,
       }
     }
     std::shared_ptr<const ValueSet> rhs_values = rhs_cache->DictionarySet(rc);
-    for (uint32_t code = 0; code < lhs_size; ++code) {
-      if (!rhs_values->contains(lhs_encoded.Decode(lc, code))) {
-        return false;
+    if (lhs_encoded.dict_resident(lc)) {
+      for (uint32_t code = 0; code < lhs_size; ++code) {
+        if (!rhs_values->contains(lhs_encoded.Decode(lc, code))) {
+          return false;
+        }
       }
+      return true;
     }
-    return true;
+    bool included = true;
+    CheckStream(lhs_encoded.ForEachDictValue(
+        lc, [&](uint32_t, const Value& value) {
+          if (included && !rhs_values->contains(value)) included = false;
+        }));
+    return included;
   }
   // Multi-attribute: probe the lhs representatives against the rhs
   // projection — its Bloom first when the exact set is not materialized
@@ -343,11 +449,12 @@ Result<bool> InclusionHolds(const Database& database,
   }
   std::shared_ptr<const ValueVectorSet> rhs_values =
       rhs_cache->DistinctProjection(rhs_indexes);
-  const EncodedTable& lhs_encoded = lhs_cache->encoded();
+  EncodedTable::RowReader reader =
+      lhs_cache->encoded().row_reader(lhs_indexes);
+  ValueVector sub_row;
   for (uint32_t rep : lhs_part->representative) {
-    if (!rhs_values->contains(lhs_encoded.DecodeRow(rep, lhs_indexes))) {
-      return false;
-    }
+    reader.Read(rep, &sub_row);
+    if (!rhs_values->contains(sub_row)) return false;
   }
   return true;
 }

@@ -217,7 +217,10 @@ std::string WriteCsvText(const Table& table) {
     out += QuoteField(schema.attributes()[i].name);
   }
   out += '\n';
-  for (const ValueVector& row : table.rows()) {
+  // ForEachRow streams paged extensions page-by-page; it only fails when
+  // the extension cannot encode, which cannot happen for a table that was
+  // loadable in the first place.
+  (void)table.ForEachRow([&out](const ValueVector& row) {
     for (size_t i = 0; i < row.size(); ++i) {
       if (i > 0) out += ',';
       if (row[i].is_null()) {
@@ -237,7 +240,7 @@ std::string WriteCsvText(const Table& table) {
       }
     }
     out += '\n';
-  }
+  });
   return out;
 }
 

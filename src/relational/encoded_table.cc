@@ -2,6 +2,8 @@
 
 #include <bit>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
@@ -11,6 +13,16 @@
 
 namespace dbre {
 namespace {
+
+// Paged dictionary reads happen after the source verified clean at open;
+// a failure here is a real environment fault and EnsureColumn/DecodeValue
+// have no error channel (see the contract in relational/paged_source.h).
+[[noreturn]] void DiePagedDict(const Status& status) {
+  std::fprintf(stderr,
+               "dbre: unrecoverable paged dictionary read failure: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
 
 // Builds the dictionary for column `c` with a flat fixed-capacity map over
 // a 64-bit packing of the payload. Returns false (leaving the outputs
@@ -70,6 +82,15 @@ EncodedTable::EncodedTable(
   columns_.resize(types_.size());
 }
 
+EncodedTable::EncodedTable(std::shared_ptr<const PagedSource> source,
+                           std::vector<DataType> types,
+                           std::vector<uint32_t> column_map)
+    : types_(std::move(types)),
+      paged_(std::move(source)),
+      paged_columns_(std::move(column_map)) {
+  columns_.resize(types_.size());
+}
+
 Result<EncodedTable> EncodedTable::Build(const Table& table) {
   if (table.num_rows() >= kNullCode) {
     return InternalError("extension too large to encode: " +
@@ -88,10 +109,72 @@ Result<EncodedTable> EncodedTable::Build(const Table& table) {
 void EncodedTable::EnsureColumn(size_t c) {
   Column& column = columns_[c];
   if (column.ready) return;
+  if (paged_ != nullptr) {
+    uint32_t pc = paged_columns_[c];
+    column.has_null = paged_->has_null(pc);
+    column.typed = paged_->typed(pc);
+    column.dict_count = paged_->dict_size(pc);
+    if (column.dict_count <= kPagedDictMaterializeLimit) {
+      column.dictionary.reserve(column.dict_count);
+      Status status = paged_->ForEachDictValue(
+          pc, [&](uint32_t, const Value& value) {
+            column.dictionary.push_back(value);
+          });
+      if (!status.ok()) DiePagedDict(status);
+    }
+    column.ready = true;
+    return;
+  }
   column.codes.reserve(rows_->size());
   column.typed = EncodeDeclared(c, &column);
   if (!column.typed) EncodeGeneric(c, &column);
+  column.dict_count = static_cast<uint32_t>(column.dictionary.size());
   column.ready = true;
+}
+
+EncodedTable::CodeReader EncodedTable::codes_reader(size_t c) const {
+  if (paged_ != nullptr) {
+    return CodeReader(paged_->Codes(paged_columns_[c]));
+  }
+  return CodeReader(columns_[c].codes.data());
+}
+
+Value EncodedTable::DecodeValue(size_t c, uint32_t code) const {
+  const Column& column = columns_[c];
+  if (code < column.dictionary.size()) return column.dictionary[code];
+  Result<Value> value = paged_->DictValueAt(paged_columns_[c], code);
+  if (!value.ok()) DiePagedDict(value.status());
+  return *std::move(value);
+}
+
+Status EncodedTable::ForEachDictValue(
+    size_t c,
+    const std::function<void(uint32_t code, const Value& value)>& fn) const {
+  const Column& column = columns_[c];
+  if (column.dictionary.size() == column.dict_count) {
+    for (uint32_t code = 0; code < column.dict_count; ++code) {
+      fn(code, column.dictionary[code]);
+    }
+    return Status::Ok();
+  }
+  return paged_->ForEachDictValue(paged_columns_[c], fn);
+}
+
+EncodedTable::RowReader::RowReader(const EncodedTable* encoded,
+                                   std::vector<size_t> columns)
+    : encoded_(encoded), columns_(std::move(columns)) {
+  readers_.reserve(columns_.size());
+  for (size_t c : columns_) readers_.push_back(encoded_->codes_reader(c));
+}
+
+void EncodedTable::RowReader::Read(size_t row, ValueVector* out) {
+  out->clear();
+  for (size_t k = 0; k < columns_.size(); ++k) {
+    uint32_t code = readers_[k].At(row);
+    out->push_back(code == kNullCode
+                       ? Value::Null()
+                       : encoded_->DecodeValue(columns_[k], code));
+  }
 }
 
 bool EncodedTable::EncodeDeclared(size_t c, Column* column) {

@@ -24,6 +24,16 @@
 // An encoded column is immutable once ready. `Table` builds an EncodedTable
 // lazily inside its QueryCache and drops it on any mutation (see
 // Table::query_cache); nothing here watches for changes.
+//
+// Paged mode: an EncodedTable can instead wrap a read-only PagedSource
+// (relational/paged_source.h) whose codes and dictionaries live on disk
+// behind a buffer pool. Snapshot codes were assigned by this encoder in
+// first-appearance order, so the paged code stream and dictionary are
+// byte-identical to what re-encoding the materialized rows would produce —
+// every consumer that migrates to codes_reader()/DecodeValue() computes
+// the same answer in both modes. Small dictionaries (<=
+// kPagedDictMaterializeLimit entries) are materialized at EnsureColumn so
+// hot Decode loops stay in memory; larger ones stream through the pool.
 #ifndef DBRE_RELATIONAL_ENCODED_TABLE_H_
 #define DBRE_RELATIONAL_ENCODED_TABLE_H_
 
@@ -32,6 +42,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "relational/paged_source.h"
 #include "relational/value.h"
 
 namespace dbre {
@@ -43,18 +54,36 @@ class EncodedTable {
   // Code reserved for NULL cells; never a dictionary index.
   static constexpr uint32_t kNullCode = UINT32_MAX;
 
+  // Paged dictionaries up to this many entries are materialized in memory
+  // at EnsureColumn; larger ones stay on disk and stream on demand.
+  static constexpr uint32_t kPagedDictMaterializeLimit = 4096;
+
   // An empty encoding over the given row storage; columns encode on demand.
   // Precondition: rows->size() < kNullCode (so no dictionary can overflow;
   // Table::query_cache() checks this once).
   EncodedTable(std::shared_ptr<const std::vector<ValueVector>> rows,
                std::vector<DataType> types);
 
+  // A paged encoding: logical column `c` reads physical column
+  // `column_map[c]` of `source`. No rows are materialized, ever.
+  EncodedTable(std::shared_ptr<const PagedSource> source,
+               std::vector<DataType> types, std::vector<uint32_t> column_map);
+
   // Eagerly encodes every column of `table`. Fails only if the extension
   // holds kNullCode rows or more (not reachable in memory).
   static Result<EncodedTable> Build(const Table& table);
 
-  size_t num_rows() const { return rows_->size(); }
+  size_t num_rows() const {
+    return paged_ != nullptr ? paged_->num_rows() : rows_->size();
+  }
   size_t num_columns() const { return columns_.size(); }
+
+  bool paged() const { return paged_ != nullptr; }
+  const std::shared_ptr<const PagedSource>& paged_source() const {
+    return paged_;
+  }
+  // Physical source column behind logical column `c` (paged mode only).
+  uint32_t paged_column(size_t c) const { return paged_columns_[c]; }
 
   // Encodes column `c` if it is not ready yet. Idempotent, NOT thread-safe:
   // QueryCache serializes calls under its mutex, and every reader of
@@ -71,30 +100,95 @@ class EncodedTable {
   // Requires column_ready(c).
   bool column_typed(size_t c) const { return columns_[c].typed; }
 
-  // Dense codes of column `c`, one per row. Requires column_ready(c).
+  // Dense codes of column `c`, one per row. Requires column_ready(c) and
+  // !paged() — paged consumers stream through codes_reader() instead.
   const std::vector<uint32_t>& codes(size_t c) const {
     return columns_[c].codes;
   }
 
+  // Mode-agnostic code access. In-memory mode serves pointers straight
+  // into the code vector; paged mode streams pages through a cursor.
+  // Fetch's pointer is valid until the next Fetch/At on the same reader;
+  // `count` must not exceed column_batch.h's kBatchSize.
+  class CodeReader {
+   public:
+    explicit CodeReader(const uint32_t* codes) : codes_(codes) {}
+    explicit CodeReader(std::unique_ptr<PagedCodeCursor> cursor)
+        : cursor_(std::move(cursor)) {}
+
+    const uint32_t* Fetch(size_t start, size_t count) {
+      return codes_ != nullptr ? codes_ + start
+                               : cursor_->Fetch(start, count);
+    }
+    uint32_t At(size_t row) {
+      return codes_ != nullptr ? codes_[row] : cursor_->At(row);
+    }
+
+   private:
+    const uint32_t* codes_ = nullptr;
+    std::unique_ptr<PagedCodeCursor> cursor_;
+  };
+
+  // A reader over column `c`'s codes. Requires column_ready(c).
+  CodeReader codes_reader(size_t c) const;
+
   // Number of distinct non-NULL values in column `c` (codes are
   // 0..dict_size-1). Requires column_ready(c).
-  size_t dict_size(size_t c) const { return columns_[c].dictionary.size(); }
+  size_t dict_size(size_t c) const { return columns_[c].dict_count; }
 
   bool has_null(size_t c) const { return columns_[c].has_null; }
 
-  // The value a code stands for. Requires column_ready(c).
+  // Whether column `c`'s dictionary is materialized in memory (always in
+  // in-memory mode; paged mode only up to kPagedDictMaterializeLimit).
+  bool dict_resident(size_t c) const {
+    return columns_[c].dictionary.size() == columns_[c].dict_count;
+  }
+
+  // The value a code stands for. Requires column_ready(c) and
+  // dict_resident(c).
   const Value& Decode(size_t c, uint32_t code) const {
     return columns_[c].dictionary[code];
   }
 
+  // The value a code stands for, in either mode; non-resident paged
+  // dictionaries read through the buffer pool. Requires column_ready(c).
+  Value DecodeValue(size_t c, uint32_t code) const;
+
+  // Streams column `c`'s dictionary in code order. Requires
+  // column_ready(c).
+  Status ForEachDictValue(
+      size_t c,
+      const std::function<void(uint32_t code, const Value& value)>& fn) const;
+
   // Materializes the sub-row of `row` projected on `columns` (NULL cells
-  // come back as NULL values). Requires every projected column ready.
+  // come back as NULL values). Requires every projected column ready and
+  // !paged(); paged consumers use a RowReader.
   ValueVector DecodeRow(size_t row, const std::vector<size_t>& columns) const;
+
+  // Mode-agnostic row projection: decodes the sub-row of `row` on the
+  // columns fixed at construction. Rows read in increasing order stay
+  // page-local in paged mode.
+  class RowReader {
+   public:
+    RowReader(const EncodedTable* encoded, std::vector<size_t> columns);
+
+    // Overwrites `*out` with the projected sub-row of `row`.
+    void Read(size_t row, ValueVector* out);
+
+   private:
+    const EncodedTable* encoded_;
+    std::vector<size_t> columns_;
+    std::vector<CodeReader> readers_;
+  };
+  RowReader row_reader(std::vector<size_t> columns) const {
+    return RowReader(this, std::move(columns));
+  }
 
  private:
   struct Column {
-    std::vector<uint32_t> codes;    // per row
-    std::vector<Value> dictionary;  // code → value
+    std::vector<uint32_t> codes;    // per row (in-memory mode)
+    std::vector<Value> dictionary;  // code → value, when resident
+    uint32_t dict_count = 0;        // distinct non-NULL values
     bool has_null = false;
     bool ready = false;
     bool typed = false;  // declared-type encode succeeded
@@ -108,6 +202,8 @@ class EncodedTable {
   std::shared_ptr<const std::vector<ValueVector>> rows_;
   std::vector<DataType> types_;
   std::vector<Column> columns_;
+  std::shared_ptr<const PagedSource> paged_;
+  std::vector<uint32_t> paged_columns_;
 };
 
 }  // namespace dbre

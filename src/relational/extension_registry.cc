@@ -1,6 +1,8 @@
 #include "relational/extension_registry.h"
 
+#include <algorithm>
 #include <bit>
+#include <iterator>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -15,6 +17,9 @@ struct InternCounters {
   obs::Counter* lookups;
   obs::Counter* hits;
   obs::Counter* evictions;
+  obs::Counter* releases;
+  obs::Gauge* live_entries;
+  obs::Gauge* resident_bytes;
 };
 
 const InternCounters& RegistryCounters() {
@@ -28,6 +33,15 @@ const InternCounters& RegistryCounters() {
             "Intern attempts that adopted an existing shared extension"),
         registry.GetCounter("dbre_extension_intern_evictions_total", {},
                             "Canonical extensions evicted by capacity"),
+        registry.GetCounter(
+            "dbre_extension_intern_releases_total", {},
+            "Canonical extensions released by Sweep after their last "
+            "referencing session closed"),
+        registry.GetGauge("dbre_extension_registry_live_entries", {},
+                          "Canonical extensions currently interned"),
+        registry.GetGauge(
+            "dbre_extension_registry_resident_bytes", {},
+            "ApproximateBytes of every interned canonical extension"),
     };
   }();
   return counters;
@@ -56,6 +70,13 @@ struct Fnv {
 }  // namespace
 
 uint64_t ExtensionRegistry::ComputeFingerprint(const Table& table) {
+  if (table.is_paged()) {
+    // The snapshot footer already holds this very fingerprint, computed at
+    // write time over the same layout and cells; rescanning the extension
+    // through the buffer pool would defeat the point of paging. The value
+    // is only a hash key — AdoptSharedExtension does the exact comparison.
+    return table.paged_fingerprint();
+  }
   // FNV-1a over the column layout and every cell, order-dependent: the row
   // order matters for partition group ids, so only identically-ordered
   // loads may share storage.
@@ -91,6 +112,27 @@ bool ExtensionRegistry::Intern(Table* table) {
   return InternPrecomputed(table, ComputeFingerprint(*table));
 }
 
+void ExtensionRegistry::AccountInsertLocked(const Table& table) {
+  stats_.resident_bytes += table.ApproximateBytes();
+  ++stats_.entries;
+  RegistryCounters().live_entries->Set(
+      static_cast<int64_t>(stats_.entries));
+  RegistryCounters().resident_bytes->Set(
+      static_cast<int64_t>(stats_.resident_bytes));
+}
+
+void ExtensionRegistry::AccountEraseLocked(const Table& table) {
+  size_t bytes = table.ApproximateBytes();
+  stats_.resident_bytes -= bytes < stats_.resident_bytes
+                               ? bytes
+                               : stats_.resident_bytes;
+  --stats_.entries;
+  RegistryCounters().live_entries->Set(
+      static_cast<int64_t>(stats_.entries));
+  RegistryCounters().resident_bytes->Set(
+      static_cast<int64_t>(stats_.resident_bytes));
+}
+
 bool ExtensionRegistry::InternPrecomputed(Table* table,
                                           uint64_t fingerprint) {
   // Materialize the cache before donating: a copy taken now shares the
@@ -117,17 +159,43 @@ bool ExtensionRegistry::InternPrecomputed(Table* table,
     insertion_order_.pop_front();
     auto evict = entries_.find(oldest);
     if (evict != entries_.end() && !evict->second.empty()) {
+      AccountEraseLocked(evict->second.front());
       evict->second.erase(evict->second.begin());
       if (evict->second.empty()) entries_.erase(evict);
-      --stats_.entries;
       ++stats_.evictions;
       RegistryCounters().evictions->Add(1);
     }
   }
   entries_[fingerprint].push_back(*table);
   insertion_order_.push_back(fingerprint);
-  ++stats_.entries;
+  AccountInsertLocked(entries_[fingerprint].back());
   return false;
+}
+
+size_t ExtensionRegistry::Sweep() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t released = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    std::vector<Table>& tables = it->second;
+    for (auto entry = tables.begin(); entry != tables.end();) {
+      // Entries are only inserted cacheable, so cache_ is never null here;
+      // a use count of one means this registry copy is the last reference.
+      if (entry->cache_ != nullptr && entry->cache_.use_count() == 1) {
+        AccountEraseLocked(*entry);
+        ++stats_.releases;
+        RegistryCounters().releases->Add(1);
+        auto order = std::find(insertion_order_.begin(),
+                               insertion_order_.end(), it->first);
+        if (order != insertion_order_.end()) insertion_order_.erase(order);
+        entry = tables.erase(entry);
+        ++released;
+      } else {
+        ++entry;
+      }
+    }
+    it = tables.empty() ? entries_.erase(it) : std::next(it);
+  }
+  return released;
 }
 
 size_t ExtensionRegistry::InternDatabase(Database* database) {
@@ -150,6 +218,9 @@ void ExtensionRegistry::Clear() {
   entries_.clear();
   insertion_order_.clear();
   stats_.entries = 0;
+  stats_.resident_bytes = 0;
+  RegistryCounters().live_entries->Set(0);
+  RegistryCounters().resident_bytes->Set(0);
 }
 
 }  // namespace dbre

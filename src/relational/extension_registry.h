@@ -35,6 +35,8 @@ class ExtensionRegistry {
     uint64_t hits = 0;       // an identical extension was already interned
     uint64_t entries = 0;    // live canonical extensions
     uint64_t evictions = 0;
+    uint64_t releases = 0;   // entries dropped by Sweep (unreferenced)
+    uint64_t resident_bytes = 0;  // ApproximateBytes of live entries
   };
 
   explicit ExtensionRegistry(size_t max_entries = 256)
@@ -70,11 +72,27 @@ class ExtensionRegistry {
   // of hits.
   size_t InternDatabase(Database* database);
 
+  // Drops every canonical entry no longer referenced by any live table.
+  // The canonical copy's query cache is the sharing token — Intern
+  // materializes it before donating and every adopter holds the same
+  // shared_ptr — so a use count of one means the last referencing session
+  // closed and the storage (rows, dictionaries, memoized partitions,
+  // paged-source handle) can be returned. Called by the session manager
+  // after each session close; returns the number of entries released. The
+  // dbre_extension_registry_{live_entries,resident_bytes} gauges track the
+  // result, proving memory actually comes back.
+  size_t Sweep();
+
   Stats stats() const;
 
   void Clear();
 
  private:
+  // Keeps the resident-bytes counter and the process-wide gauges in step
+  // with entries_. Lock held.
+  void AccountInsertLocked(const Table& table);
+  void AccountEraseLocked(const Table& table);
+
   mutable std::mutex mutex_;
   size_t max_entries_;
   // fingerprint → canonical tables with that fingerprint (collisions are

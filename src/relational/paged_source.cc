@@ -1,0 +1,19 @@
+#include "relational/paged_source.h"
+
+#include <atomic>
+
+namespace dbre {
+
+namespace {
+std::atomic<bool> g_paged_index_enabled{true};
+}  // namespace
+
+bool PagedIndexEnabled() {
+  return g_paged_index_enabled.load(std::memory_order_relaxed);
+}
+
+void SetPagedIndexEnabled(bool enabled) {
+  g_paged_index_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace dbre

@@ -1,5 +1,7 @@
 #include "relational/query_cache.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <unordered_map>
 
 #include "obs/metrics.h"
@@ -7,6 +9,17 @@
 
 namespace dbre {
 namespace {
+
+// Dictionary streams run after the paged source verified clean at open; a
+// failure here is a real environment fault and the memoizing entry points
+// have no error channel (see the contract in relational/paged_source.h).
+void CheckDictStream(const Status& status) {
+  if (status.ok()) return;
+  std::fprintf(stderr,
+               "dbre: unrecoverable paged dictionary stream failure: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
 
 // Hit/miss counter pair for one memoized result kind. Call sites hold the
 // pair in a function-local static so the hot path is two relaxed atomics,
@@ -28,41 +41,44 @@ HitMiss CacheCounters(const char* kind) {
 }
 
 // Open-addressing group table over precomputed 64-bit row hashes; slot
-// collisions fall back to comparing the projected code tuples. Fixed
-// capacity (at most one group per row), linear probing, no rehash — the
-// multi-column partition builder's replacement for a node-based
-// unordered_map, fed batch-at-a-time with the hashes computed by the
-// vectorized kernels.
+// collisions fall back to comparing against the group's representative
+// code tuple. Fixed capacity (at most one group per row), linear probing,
+// no rehash — the multi-column partition builder's replacement for a
+// node-based unordered_map, fed batch-at-a-time with the hashes computed
+// by the vectorized kernels. Storing groups rather than rows keeps probes
+// away from the code columns entirely, so the builder streams pages in
+// paged mode without random re-reads.
 class GroupTable {
  public:
   explicit GroupTable(size_t expected) {
     int bits = flat_hash_internal::CapacityBits(expected);
     shift_ = 64 - bits;
     mask_ = (size_t{1} << bits) - 1;
-    slot_row_.assign(size_t{1} << bits, kEmpty);
-    slot_group_.resize(size_t{1} << bits);
+    slot_group_.assign(size_t{1} << bits, kEmpty);
   }
 
   void Prefetch(uint64_t hash) const {
-    __builtin_prefetch(slot_row_.data() + Start(hash));
+    __builtin_prefetch(slot_group_.data() + Start(hash));
   }
 
-  // Group of the row at `row` (code tuple equal under `same`), inserting
-  // `fresh` if unseen. `same(a, b)` compares two rows' projected codes.
-  template <typename SameRows>
-  uint32_t FindOrInsert(uint64_t hash, uint32_t row, uint32_t fresh,
-                        const SameRows& same) {
+  // Group whose representative codes equal the current row's (per `same`),
+  // inserting `fresh` if unseen. `same(group)` compares the current row's
+  // projected codes against `group`'s representative tuple.
+  template <typename SameGroup>
+  uint32_t FindOrInsert(uint64_t hash, uint32_t fresh,
+                        const SameGroup& same) {
     size_t i = Start(hash);
-    while (slot_row_[i] != kEmpty) {
-      if (same(slot_row_[i], row)) return slot_group_[i];
+    while (slot_group_[i] != kEmpty) {
+      if (same(slot_group_[i])) return slot_group_[i];
       i = (i + 1) & mask_;
     }
-    slot_row_[i] = row;
     slot_group_[i] = fresh;
     return fresh;
   }
 
  private:
+  // Group ids are at most the row count, which Table::query_cache() caps
+  // below kNullCode == UINT32_MAX, so the sentinel never collides.
   static constexpr uint32_t kEmpty = UINT32_MAX;
 
   size_t Start(uint64_t hash) const {
@@ -71,7 +87,6 @@ class GroupTable {
 
   int shift_;
   size_t mask_;
-  std::vector<uint32_t> slot_row_;
   std::vector<uint32_t> slot_group_;
 };
 
@@ -87,38 +102,54 @@ std::shared_ptr<const CodePartition> QueryCache::BuildPartition(
     // Single column: codes already are dense group ids; under kNullAsValue
     // the NULL rows — if any — form one extra group appended after the
     // dictionary.
-    const std::vector<uint32_t>& codes = encoded_.codes(columns[0]);
+    EncodedTable::CodeReader reader = encoded_.codes_reader(columns[0]);
     const uint32_t dict_size =
         static_cast<uint32_t>(encoded_.dict_size(columns[0]));
     const bool nulls_group = policy == NullPolicy::kNullAsValue &&
                              encoded_.has_null(columns[0]);
     partition->representative.assign(dict_size + (nulls_group ? 1 : 0),
                                      CodePartition::kSkipped);
-    for (size_t i = 0; i < num_rows; ++i) {
-      uint32_t code = codes[i];
-      if (code == EncodedTable::kNullCode) {
-        if (!nulls_group) continue;
-        code = dict_size;
-      }
-      partition->group_of_row[i] = code;
-      ++partition->included_rows;
-      if (partition->representative[code] == CodePartition::kSkipped) {
-        partition->representative[code] = static_cast<uint32_t>(i);
+    batch::BatchIterator single_batches(num_rows);
+    size_t start = 0;
+    size_t count = 0;
+    while (single_batches.Next(&start, &count)) {
+      const uint32_t* codes = reader.Fetch(start, count);
+      for (size_t i = 0; i < count; ++i) {
+        uint32_t code = codes[i];
+        if (code == EncodedTable::kNullCode) {
+          if (!nulls_group) continue;
+          code = dict_size;
+        }
+        const size_t row = start + i;
+        partition->group_of_row[row] = code;
+        ++partition->included_rows;
+        if (partition->representative[code] == CodePartition::kSkipped) {
+          partition->representative[code] = static_cast<uint32_t>(row);
+        }
       }
     }
     return partition;
   }
 
   // Multi-column: hash each row's code tuple batch-at-a-time (vectorized
-  // kernels over the flat code arrays), then group through an open-
+  // kernels over the flat code batches), then group through an open-
   // addressing table. Rows insert in row order, so group ids keep the
-  // first-appearance numbering the deterministic paths rely on.
-  std::vector<const uint32_t*> code_arrays;
-  code_arrays.reserve(columns.size());
-  for (size_t c : columns) code_arrays.push_back(encoded_.codes(c).data());
-  const auto same_rows = [&code_arrays](uint32_t a, uint32_t b) {
-    for (const uint32_t* codes : code_arrays) {
-      if (codes[a] != codes[b]) return false;
+  // first-appearance numbering the deterministic paths rely on. Collision
+  // probes compare against `rep_codes` — each group's representative tuple,
+  // captured at insertion — so grouping never re-reads earlier rows and the
+  // code columns stream strictly forward (one pass over each page in paged
+  // mode).
+  const size_t width = columns.size();
+  std::vector<EncodedTable::CodeReader> readers;
+  readers.reserve(width);
+  for (size_t c : columns) readers.push_back(encoded_.codes_reader(c));
+  std::vector<const uint32_t*> batch_codes(width);
+  std::vector<uint32_t> rep_codes;  // width entries per group
+  size_t cur = 0;                   // batch-local index being grouped
+  const auto same_group = [&](uint32_t group) {
+    const uint32_t* rep = rep_codes.data() + size_t{group} * width;
+    for (size_t k = 0; k < width; ++k) {
+      if (rep[k] != batch_codes[k][cur]) return false;
     }
     return true;
   };
@@ -130,10 +161,13 @@ std::shared_ptr<const CodePartition> QueryCache::BuildPartition(
   size_t start = 0;
   size_t count = 0;
   while (batches.Next(&start, &count)) {
+    for (size_t k = 0; k < width; ++k) {
+      batch_codes[k] = readers[k].Fetch(start, count);
+    }
     for (size_t i = 0; i < count; ++i) hashes[i] = kRowHashSeed;
     for (size_t i = 0; i < count; ++i) valid[i] = 1;
-    for (const uint32_t* codes : code_arrays) {
-      const uint32_t* c = codes + start;
+    for (size_t k = 0; k < width; ++k) {
+      const uint32_t* c = batch_codes[k];
       for (size_t i = 0; i < count; ++i) {
         hashes[i] = SketchHashCombine(hashes[i], c[i]);
         valid[i] &= c[i] != EncodedTable::kNullCode ? 1 : 0;
@@ -146,12 +180,17 @@ std::shared_ptr<const CodePartition> QueryCache::BuildPartition(
     }
     for (size_t i = 0; i < count; ++i) {
       if (skip_nulls && !valid[i]) continue;
+      cur = i;
       const uint32_t row = static_cast<uint32_t>(start + i);
       const uint32_t fresh =
           static_cast<uint32_t>(partition->representative.size());
-      const uint32_t group =
-          groups.FindOrInsert(hashes[i], row, fresh, same_rows);
-      if (group == fresh) partition->representative.push_back(row);
+      const uint32_t group = groups.FindOrInsert(hashes[i], fresh, same_group);
+      if (group == fresh) {
+        partition->representative.push_back(row);
+        for (size_t k = 0; k < width; ++k) {
+          rep_codes.push_back(batch_codes[k][i]);
+        }
+      }
       partition->group_of_row[row] = group;
       ++partition->included_rows;
     }
@@ -183,11 +222,9 @@ std::shared_ptr<const ValueSet> QueryCache::DictionarySet(size_t column) {
   if (it != dictionary_sets_.end()) return it->second;
   encoded_.EnsureColumn(column);
   auto set = std::make_shared<ValueSet>();
-  const uint32_t dict_size = static_cast<uint32_t>(encoded_.dict_size(column));
-  set->reserve(dict_size);
-  for (uint32_t code = 0; code < dict_size; ++code) {
-    set->insert(encoded_.Decode(column, code));
-  }
+  set->reserve(encoded_.dict_size(column));
+  CheckDictStream(encoded_.ForEachDictValue(
+      column, [&set](uint32_t, const Value& value) { set->insert(value); }));
   dictionary_sets_.emplace(column, set);
   return set;
 }
@@ -204,11 +241,11 @@ std::shared_ptr<const FlatSet64> QueryCache::Int64DictionarySet(
       !encoded_.column_typed(column)) {
     return nullptr;
   }
-  const uint32_t dict_size = static_cast<uint32_t>(encoded_.dict_size(column));
-  auto set = std::make_shared<FlatSet64>(dict_size);
-  for (uint32_t code = 0; code < dict_size; ++code) {
-    set->Insert(static_cast<uint64_t>(encoded_.Decode(column, code).as_int()));
-  }
+  auto set = std::make_shared<FlatSet64>(encoded_.dict_size(column));
+  CheckDictStream(encoded_.ForEachDictValue(
+      column, [&set](uint32_t, const Value& value) {
+        set->Insert(static_cast<uint64_t>(value.as_int()));
+      }));
   int64_dictionary_sets_.emplace(column, set);
   return set;
 }
@@ -248,8 +285,12 @@ std::shared_ptr<const ValueVectorSet> QueryCache::DistinctProjection(
   if (it != distinct_sets_.end()) return it->second;
   auto set = std::make_shared<ValueVectorSet>();
   set->reserve(partition->num_groups());
+  EncodedTable::RowReader reader =
+      encoded_.row_reader(std::vector<size_t>(columns));
+  ValueVector sub_row;
   for (uint32_t row : partition->representative) {
-    set->insert(encoded_.DecodeRow(row, columns));
+    reader.Read(row, &sub_row);
+    set->insert(std::move(sub_row));
   }
   distinct_sets_.emplace(columns, set);
   return set;
@@ -369,18 +410,18 @@ std::shared_ptr<const DictionaryKeys> QueryCache::DictKeys(size_t column) {
   if (it != dictionary_keys_.end()) return it->second;
   encoded_.EnsureColumn(column);
   auto keys = std::make_shared<DictionaryKeys>();
-  const uint32_t dict_size = static_cast<uint32_t>(encoded_.dict_size(column));
+  const size_t dict_size = encoded_.dict_size(column);
   keys->hashes.reserve(dict_size);
   const bool int64_typed = encoded_.column_typed(column) &&
                            encoded_.declared_type(column) == DataType::kInt64;
   if (int64_typed) keys->int64_keys.reserve(dict_size);
-  for (uint32_t code = 0; code < dict_size; ++code) {
-    const Value& value = encoded_.Decode(column, code);
-    keys->hashes.push_back(SketchHash(value));
-    if (int64_typed) {
-      keys->int64_keys.push_back(static_cast<uint64_t>(value.as_int()));
-    }
-  }
+  CheckDictStream(encoded_.ForEachDictValue(
+      column, [&keys, int64_typed](uint32_t, const Value& value) {
+        keys->hashes.push_back(SketchHash(value));
+        if (int64_typed) {
+          keys->int64_keys.push_back(static_cast<uint64_t>(value.as_int()));
+        }
+      }));
   dictionary_keys_.emplace(column, keys);
   return keys;
 }
@@ -431,9 +472,9 @@ std::shared_ptr<const ProjectionSketch> QueryCache::ProjectionSketchFor(
   if (it != projection_sketches_.end()) return it->second;
   const size_t num_rows = encoded_.num_rows();
   auto sketch = std::make_shared<ProjectionSketch>(num_rows);
-  std::vector<const uint32_t*> code_arrays;
-  code_arrays.reserve(columns.size());
-  for (size_t c : columns) code_arrays.push_back(encoded_.codes(c).data());
+  std::vector<EncodedTable::CodeReader> readers;
+  readers.reserve(columns.size());
+  for (size_t c : columns) readers.push_back(encoded_.codes_reader(c));
 
   uint64_t hashes[batch::kBatchSize];
   uint8_t valid[batch::kBatchSize];
@@ -444,7 +485,7 @@ std::shared_ptr<const ProjectionSketch> QueryCache::ProjectionSketchFor(
     for (size_t i = 0; i < count; ++i) hashes[i] = kRowHashSeed;
     for (size_t i = 0; i < count; ++i) valid[i] = 1;
     for (size_t k = 0; k < columns.size(); ++k) {
-      const uint32_t* c = code_arrays[k] + start;
+      const uint32_t* c = readers[k].Fetch(start, count);
       const uint64_t* value_hash = keys[k]->hashes.data();
       for (size_t i = 0; i < count; ++i) {
         const bool null_cell = c[i] == EncodedTable::kNullCode;

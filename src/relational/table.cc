@@ -1,7 +1,10 @@
 #include "relational/table.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <mutex>
+#include <numeric>
 
 #include "relational/query_cache.h"
 
@@ -14,6 +17,42 @@ namespace {
 std::mutex g_query_cache_mutex;
 
 }  // namespace
+
+void Table::DiePagedAccess(const char* what) {
+  std::fprintf(stderr,
+               "dbre: Table::%s called on a paged extension; row-shaped "
+               "consumers must read through the query cache\n",
+               what);
+  std::abort();
+}
+
+Status Table::AdoptPagedExtension(
+    std::shared_ptr<const PagedSource> source) {
+  if (source == nullptr) {
+    return InvalidArgumentError("AdoptPagedExtension: null source");
+  }
+  if (source->num_columns() != schema_.arity()) {
+    return InvalidArgumentError(
+        "arity mismatch adopting paged extension for " + schema_.name() +
+        ": got " + std::to_string(source->num_columns()) + " columns, want " +
+        std::to_string(schema_.arity()));
+  }
+  for (size_t c = 0; c < schema_.arity(); ++c) {
+    const Attribute& attribute = schema_.attributes()[c];
+    if (source->declared_type(c) != attribute.type) {
+      return InvalidArgumentError("declared type mismatch for " +
+                                  schema_.name() + "." + attribute.name +
+                                  " adopting paged extension");
+    }
+  }
+  std::lock_guard<std::mutex> lock(g_query_cache_mutex);
+  cache_.reset();
+  rows_ = std::make_shared<std::vector<ValueVector>>();
+  paged_ = std::move(source);
+  paged_columns_.resize(schema_.arity());
+  std::iota(paged_columns_.begin(), paged_columns_.end(), 0u);
+  return Status::Ok();
+}
 
 Result<std::shared_ptr<QueryCache>> Table::query_cache() const {
   std::lock_guard<std::mutex> lock(g_query_cache_mutex);
@@ -28,7 +67,9 @@ Result<std::shared_ptr<QueryCache>> Table::query_cache() const {
       types.push_back(attribute.type);
     }
     cache_ = std::make_shared<QueryCache>(
-        EncodedTable(shared_rows(), std::move(types)));
+        paged_ != nullptr
+            ? EncodedTable(paged_, std::move(types), paged_columns_)
+            : EncodedTable(shared_rows(), std::move(types)));
   }
   return cache_;
 }
@@ -42,6 +83,17 @@ bool Table::AdoptSharedExtension(const Table& other) {
     if (ours[i].name != theirs[i].name || ours[i].type != theirs[i].type) {
       return false;
     }
+  }
+  if (paged_ != nullptr || other.paged_ != nullptr) {
+    // Paged extensions share only with the exact same source over the same
+    // column layout (the registry deduplicates sources by fingerprint, so
+    // identical content means identical pointer).
+    if (paged_ != other.paged_ || paged_columns_ != other.paged_columns_) {
+      return false;
+    }
+    std::lock_guard<std::mutex> lock(g_query_cache_mutex);
+    if (other.cache_ != nullptr) cache_ = other.cache_;
+    return true;
   }
   if (rows_ != other.rows_ && *rows_ != *other.rows_) return false;
   std::lock_guard<std::mutex> lock(g_query_cache_mutex);
@@ -64,11 +116,18 @@ Status Table::AdoptExtension(std::shared_ptr<std::vector<ValueVector>> rows) {
   }
   std::lock_guard<std::mutex> lock(g_query_cache_mutex);
   cache_.reset();
+  paged_.reset();
+  paged_columns_.clear();
   rows_ = std::move(rows);
   return Status::Ok();
 }
 
 size_t Table::ApproximateBytes() const {
+  if (paged_ != nullptr) {
+    // The extension lives on disk behind the shared buffer pool, whose
+    // budget the service accounts separately; only the handle is heap.
+    return sizeof(Table) + sizeof(uint32_t) * paged_columns_.capacity();
+  }
   size_t bytes = sizeof(ValueVector) * rows_->capacity();
   for (const ValueVector& row : *rows_) {
     bytes += sizeof(Value) * row.capacity();
@@ -80,6 +139,10 @@ size_t Table::ApproximateBytes() const {
 }
 
 Status Table::Insert(ValueVector row) {
+  if (paged_ != nullptr) {
+    return FailedPreconditionError("relation " + schema_.name() +
+                                   " is paged and read-only");
+  }
   if (row.size() != schema_.arity()) {
     return InvalidArgumentError(
         "arity mismatch inserting into " + schema_.name() + ": got " +
@@ -104,10 +167,38 @@ Status Table::Insert(ValueVector row) {
   return Status::Ok();
 }
 
+Status Table::ForEachRow(
+    const std::function<void(const ValueVector&)>& fn) const {
+  if (paged_ == nullptr) {
+    for (const ValueVector& row : *rows_) fn(row);
+    return Status::Ok();
+  }
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<QueryCache> cache, query_cache());
+  std::vector<size_t> columns(schema_.arity());
+  std::iota(columns.begin(), columns.end(), size_t{0});
+  cache->EnsureEncoded(columns);
+  EncodedTable::RowReader reader =
+      cache->encoded().row_reader(std::move(columns));
+  ValueVector row;
+  const size_t rows = num_rows();
+  for (size_t i = 0; i < rows; ++i) {
+    reader.Read(i, &row);
+    fn(row);
+  }
+  return Status::Ok();
+}
+
 Status Table::DropAttribute(std::string_view name) {
   cache_.reset();
   DBRE_ASSIGN_OR_RETURN(size_t index, schema_.AttributeIndex(name));
   DBRE_RETURN_IF_ERROR(schema_.RemoveAttribute(name));
+  if (paged_ != nullptr) {
+    // Projection only: the on-disk source keeps all its columns and the
+    // column map stops referencing the dropped one.
+    paged_columns_.erase(paged_columns_.begin() +
+                         static_cast<ptrdiff_t>(index));
+    return Status::Ok();
+  }
   for (ValueVector& row : mutable_rows()) {
     row.erase(row.begin() + static_cast<ptrdiff_t>(index));
   }
@@ -176,6 +267,17 @@ Status Table::VerifyNotNullConstraints() const {
   for (const std::string& name : not_null) {
     DBRE_ASSIGN_OR_RETURN(size_t index, schema_.AttributeIndex(name));
     indexes.push_back(index);
+  }
+  if (paged_ != nullptr) {
+    // The snapshot records per-column NULL presence; no scan needed.
+    for (size_t index : indexes) {
+      if (paged_->has_null(paged_columns_[index])) {
+        return FailedPreconditionError(
+            "not-null attribute " + schema_.name() + "." +
+            schema_.attributes()[index].name + " contains NULL");
+      }
+    }
+    return Status::Ok();
   }
   for (const ValueVector& row : rows()) {
     for (size_t index : indexes) {

@@ -8,6 +8,7 @@
 #ifndef DBRE_RELATIONAL_TABLE_H_
 #define DBRE_RELATIONAL_TABLE_H_
 
+#include <functional>
 #include <memory>
 #include <string_view>
 #include <unordered_set>
@@ -15,11 +16,13 @@
 
 #include "common/status.h"
 #include "relational/attribute_set.h"
+#include "relational/paged_source.h"
 #include "relational/schema.h"
 #include "relational/value.h"
 
 namespace dbre {
 
+class ExtensionRegistry;
 class QueryCache;
 
 // A set of projected rows, usable for inclusion / intersection tests.
@@ -33,9 +36,40 @@ class Table {
   const RelationSchema& schema() const { return schema_; }
   RelationSchema& mutable_schema() { return schema_; }
 
-  size_t num_rows() const { return rows_->size(); }
-  const std::vector<ValueVector>& rows() const { return *rows_; }
-  const ValueVector& row(size_t i) const { return (*rows_)[i]; }
+  size_t num_rows() const {
+    return paged_ != nullptr ? paged_->num_rows() : rows_->size();
+  }
+
+  // Materialized row access. A paged table has no materialized rows —
+  // these die loudly rather than silently return an empty extension;
+  // row-shaped consumers go through the query cache's RowReader instead.
+  const std::vector<ValueVector>& rows() const {
+    if (paged_ != nullptr) DiePagedAccess("rows()");
+    return *rows_;
+  }
+  const ValueVector& row(size_t i) const {
+    if (paged_ != nullptr) DiePagedAccess("row()");
+    return (*rows_)[i];
+  }
+
+  // Whether the extension lives on disk behind a buffer pool instead of in
+  // memory. Paged tables are read-only: Insert fails, and row()/rows()
+  // abort (see above).
+  bool is_paged() const { return paged_ != nullptr; }
+  const std::shared_ptr<const PagedSource>& paged_source() const {
+    return paged_;
+  }
+  // Physical source columns behind the schema's attributes, in order.
+  const std::vector<uint32_t>& paged_columns() const {
+    return paged_columns_;
+  }
+  // The content fingerprint of the paged extension (snapshot footer).
+  uint64_t paged_fingerprint() const { return paged_->fingerprint(); }
+
+  // Replaces the extension with a paged source whose physical columns
+  // 0..arity-1 match the schema's attributes in order (declared types must
+  // agree). The table becomes read-only.
+  Status AdoptPagedExtension(std::shared_ptr<const PagedSource> source);
 
   // The shared row storage. Copying a Table shares it (copy-on-write: the
   // first mutation of either copy detaches that copy), and the query cache
@@ -68,8 +102,17 @@ class Table {
 
   void Clear() {
     cache_.reset();
+    paged_.reset();
+    paged_columns_.clear();
     rows_ = std::make_shared<std::vector<ValueVector>>();
   }
+
+  // Streams every row of the extension in row order, in either mode:
+  // materialized rows are visited directly; paged rows decode through the
+  // query cache page-by-page. The row reference is only valid during the
+  // call. Fails only when the extension cannot encode (never for loadable
+  // paged sources).
+  Status ForEachRow(const std::function<void(const ValueVector&)>& fn) const;
 
   // Removes an attribute from the schema and its column from every row
   // (used by Restruct when dependent attributes migrate to a new relation).
@@ -128,10 +171,15 @@ class Table {
   size_t ApproximateBytes() const;
 
  private:
+  friend class ExtensionRegistry;
+
+  [[noreturn]] static void DiePagedAccess(const char* what);
+
   // Copy-on-write access for mutators. Callers must reset cache_ first: a
   // cache held only by this table then releases its pin on the storage and
   // the common single-owner case mutates in place with no copy.
   std::vector<ValueVector>& mutable_rows() {
+    if (paged_ != nullptr) DiePagedAccess("mutable_rows()");
     if (rows_.use_count() > 1) {
       rows_ = std::make_shared<std::vector<ValueVector>>(*rows_);
     }
@@ -141,6 +189,8 @@ class Table {
   RelationSchema schema_;
   std::shared_ptr<std::vector<ValueVector>> rows_ =
       std::make_shared<std::vector<ValueVector>>();
+  std::shared_ptr<const PagedSource> paged_;
+  std::vector<uint32_t> paged_columns_;
   mutable std::shared_ptr<QueryCache> cache_;
 };
 

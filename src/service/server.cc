@@ -360,6 +360,9 @@ Result<Json> Server::HandleStats() {
   cache.Set("entries", Json::Int(static_cast<int64_t>(registry.entries)));
   cache.Set("evictions",
             Json::Int(static_cast<int64_t>(registry.evictions)));
+  cache.Set("releases", Json::Int(static_cast<int64_t>(registry.releases)));
+  cache.Set("resident_bytes",
+            Json::Int(static_cast<int64_t>(registry.resident_bytes)));
   Json result = Json::MakeObject();
   result.Set("sessions",
              Json::Int(static_cast<int64_t>(manager_.session_count())));
@@ -370,6 +373,25 @@ Result<Json> Server::HandleStats() {
   result.Set("memory_used_bytes",
              Json::Int(static_cast<int64_t>(manager_.budget()->used())));
   result.Set("extension_cache", std::move(cache));
+  if (manager_.buffer_pool() != nullptr) {
+    pagestore::BufferPool::Stats pool = manager_.buffer_pool()->stats();
+    Json pagestore = Json::MakeObject();
+    pagestore.Set("budget_bytes",
+                  Json::Int(static_cast<int64_t>(pool.budget_bytes)));
+    pagestore.Set("resident_bytes",
+                  Json::Int(static_cast<int64_t>(pool.resident_bytes)));
+    pagestore.Set("frames", Json::Int(static_cast<int64_t>(pool.frames)));
+    pagestore.Set("attached_files",
+                  Json::Int(static_cast<int64_t>(pool.attached_files)));
+    pagestore.Set("hits", Json::Int(static_cast<int64_t>(pool.hits)));
+    pagestore.Set("misses", Json::Int(static_cast<int64_t>(pool.misses)));
+    pagestore.Set("evictions",
+                  Json::Int(static_cast<int64_t>(pool.evictions)));
+    pagestore.Set("pins", Json::Int(static_cast<int64_t>(pool.pins)));
+    pagestore.Set("pinned_pages",
+                  Json::Int(static_cast<int64_t>(pool.pinned_pages)));
+    result.Set("pagestore", std::move(pagestore));
+  }
   const obs::SlowOpLog* slow = obs::Registry::Default().slow_ops();
   Json obs_block = Json::MakeObject();
   obs_block.Set("slow_op_threshold_ms",

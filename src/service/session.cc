@@ -96,6 +96,25 @@ Status Session::LoadDdl(const std::string& sql, size_t* relations_out,
   return Status::Ok();
 }
 
+void Session::SetPagedOpener(PagedOpener opener) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paged_opener_ = std::move(opener);
+}
+
+void Session::TryAdoptPaged(Table* table) {
+  if (!paged_opener_ || persist_ == nullptr) return;
+  // Snapshot first (content-addressed and deduplicated) so the paged
+  // source has a verified file to open, then swap the materialized rows
+  // for the page-backed source. Every step degrades gracefully: on any
+  // failure the extension simply stays in memory.
+  Result<store::SnapshotInfo> info = persist_->store()->PutSnapshot(*table);
+  if (!info.ok()) return;
+  Result<std::shared_ptr<pagestore::PagedSnapshot>> source =
+      paged_opener_(info->fingerprint);
+  if (!source.ok()) return;
+  (void)table->AdoptPagedExtension(*source);
+}
+
 Status Session::LoadCsv(const std::string& relation,
                         const std::string& csv_text, size_t* rows_out) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -106,6 +125,7 @@ Status Session::LoadCsv(const std::string& relation,
   DBRE_ASSIGN_OR_RETURN(Table * table, database_.GetMutableTable(relation));
   size_t old_table_bytes = table->ApproximateBytes();
   DBRE_ASSIGN_OR_RETURN(size_t rows, LoadCsvText(csv_text, table));
+  TryAdoptPaged(table);
   // Intern before accounting: an extension already pooled by another
   // session costs this one (approximately) nothing new.
   bool shared = registry_ != nullptr && registry_->Intern(table);
@@ -129,6 +149,37 @@ Status Session::RestoreExtension(const std::string& relation,
                                    " has no data dir to restore from");
   }
   DBRE_ASSIGN_OR_RETURN(Table * table, database_.GetMutableTable(relation));
+  if (paged_opener_) {
+    // Open the snapshot page-backed instead of materializing it. Failures
+    // fall through to the whole-file loader — recovery must not depend on
+    // the pool being large enough or the paged open succeeding.
+    Result<std::shared_ptr<pagestore::PagedSnapshot>> source =
+        paged_opener_(fingerprint);
+    if (source.ok()) {
+      const auto& ours = table->schema().attributes();
+      const auto& theirs = (*source)->schema().attributes();
+      bool layout_matches = ours.size() == theirs.size();
+      for (size_t i = 0; layout_matches && i < ours.size(); ++i) {
+        layout_matches = ours[i].name == theirs[i].name &&
+                         ours[i].type == theirs[i].type;
+      }
+      if (!layout_matches) {
+        return FailedPreconditionError(
+            "snapshot " + FingerprintToHex(fingerprint) +
+            " does not match the catalog schema of " + relation);
+      }
+      size_t old_table_bytes = table->ApproximateBytes();
+      size_t rows = (*source)->num_rows();
+      DBRE_RETURN_IF_ERROR(table->AdoptPagedExtension(*source));
+      bool shared = registry_ != nullptr &&
+                    registry_->InternPrecomputed(table, fingerprint);
+      size_t new_table_bytes = shared ? 0 : table->ApproximateBytes();
+      DBRE_RETURN_IF_ERROR(
+          ReserveDelta(bytes_, bytes_ - old_table_bytes + new_table_bytes));
+      if (rows_out != nullptr) *rows_out = rows;
+      return Status::Ok();
+    }
+  }
   DBRE_ASSIGN_OR_RETURN(store::LoadedSnapshot snapshot,
                         persist_->store()->LoadSnapshot(fingerprint));
   // The catalog's DDL (already replayed) is authoritative for constraints;

@@ -29,6 +29,7 @@
 #include "core/pipeline.h"
 #include "core/replay_oracle.h"
 #include "obs/trace.h"
+#include "pagestore/paged_snapshot.h"
 #include "relational/extension_registry.h"
 #include "service/async_oracle.h"
 #include "service/persist.h"
@@ -118,6 +119,16 @@ class Session {
   Status RestoreExtension(const std::string& relation, uint64_t fingerprint,
                           size_t* rows_out);
 
+  // Turns on paged extensions for this session: the opener (backed by the
+  // session manager's shared buffer pool) maps a snapshot fingerprint to a
+  // live paged source. With an opener set, LoadCsv snapshots the parsed
+  // rows and swaps them for the page-backed source, and RestoreExtension
+  // opens the snapshot paged instead of materializing it — either way the
+  // extension's working set is bounded by the pool budget, not its size.
+  using PagedOpener = std::function<
+      Result<std::shared_ptr<pagestore::PagedSnapshot>>(uint64_t)>;
+  void SetPagedOpener(PagedOpener opener);
+
   size_t join_count() const;
   size_t relation_count() const;
   size_t memory_bytes() const;
@@ -190,6 +201,11 @@ class Session {
  private:
   Status ReserveDelta(size_t old_bytes, size_t new_bytes);
 
+  // Snapshots `table`'s freshly-loaded rows and re-adopts them paged.
+  // Degrades gracefully: any failure leaves the materialized extension in
+  // place (correctness never depends on paging). Lock held.
+  void TryAdoptPaged(Table* table);
+
   const std::string id_;
   const SessionLimits limits_;
   ExtensionRegistry* const registry_;  // not owned; may be null
@@ -202,6 +218,7 @@ class Session {
   // Set once before any load (AttachPersistence) and disarmed at shutdown;
   // ExecuteRun reads it without the session lock.
   std::shared_ptr<SessionPersistence> persist_;
+  PagedOpener paged_opener_;  // set once at creation, before any load
 
   mutable std::mutex mutex_;
   mutable std::condition_variable finished_;

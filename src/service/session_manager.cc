@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iterator>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -106,6 +107,27 @@ SessionManager::SessionManager(SessionManagerOptions options)
       store_status_ = opened.status();
     }
   }
+  if (options_.buffer_pool_bytes > 0) {
+    if (store_ == nullptr) {
+      if (store_status_.ok()) {
+        store_status_ = FailedPreconditionError(
+            "buffer_pool_bytes requires a data dir (paged extensions live "
+            "in its snapshots)");
+      }
+    } else if (!budget_->Reserve(options_.buffer_pool_bytes)) {
+      // The pool's frames count against the global memory budget so
+      // admission sees them; a pool bigger than the budget is a
+      // misconfiguration, not something to silently clamp.
+      store_status_ = FailedPreconditionError(
+          "buffer pool budget (" +
+          std::to_string(options_.buffer_pool_bytes) +
+          " bytes) exceeds the total memory budget (" +
+          std::to_string(options_.max_total_bytes) + " bytes)");
+    } else {
+      buffer_pool_ = std::make_shared<pagestore::BufferPool>(
+          options_.buffer_pool_bytes);
+    }
+  }
   if (options_.run_deadline_ms > 0) {
     watchdog_ = std::thread([this] { WatchdogLoop(); });
   }
@@ -169,7 +191,47 @@ Result<std::shared_ptr<Session>> SessionManager::MakeSession(
     session->AttachPersistence(persist);
     persist->LogCreate(id);  // no-op while replaying
   }
+  if (buffer_pool_ != nullptr && persist != nullptr) {
+    session->SetPagedOpener(
+        [this](uint64_t fingerprint) { return PagedSourceFor(fingerprint); });
+  }
   return session;
+}
+
+Result<std::shared_ptr<pagestore::PagedSnapshot>>
+SessionManager::PagedSourceFor(uint64_t fingerprint) {
+  if (buffer_pool_ == nullptr || store_ == nullptr) {
+    return FailedPreconditionError(
+        "paged extensions are off (no buffer pool configured)");
+  }
+  std::lock_guard<std::mutex> lock(paged_mutex_);
+  auto it = paged_sources_.find(fingerprint);
+  if (it != paged_sources_.end()) {
+    if (std::shared_ptr<pagestore::PagedSnapshot> live = it->second.lock()) {
+      return live;
+    }
+    paged_sources_.erase(it);
+  }
+  Result<std::shared_ptr<pagestore::PagedSnapshot>> opened =
+      pagestore::OpenSnapshotPaged(store_->SnapshotPath(fingerprint),
+                                   buffer_pool_);
+  if (!opened.ok()) {
+    // Parity with LoadSnapshot: a snapshot failing verification is set
+    // aside so the next PutSnapshot of the same extension rewrites it
+    // cleanly instead of tripping over the corpse.
+    if (opened.status().code() != StatusCode::kNotFound) {
+      (void)store_->QuarantineSnapshot(fingerprint);
+    }
+    return opened.status();
+  }
+  if ((*opened)->fingerprint() != fingerprint) {
+    (void)store_->QuarantineSnapshot(fingerprint);
+    return ParseError("snapshot " + store_->SnapshotPath(fingerprint) +
+                      ": footer fingerprint does not match its content "
+                      "address");
+  }
+  paged_sources_[fingerprint] = *opened;
+  return opened;
 }
 
 Result<std::string> SessionManager::CreateSession(
@@ -290,6 +352,23 @@ Status SessionManager::CloseSession(const std::string& id) {
   if (store_ != nullptr && store_->HasSessionJournal(id)) {
     DBRE_RETURN_IF_ERROR(store_->RemoveSession(id));
   }
+  // The closed session's catalog is gone; drop any canonical extensions it
+  // was the last holder of (returning their rows / pool pages) and prune
+  // dead paged-source handles. A finished run's task closure may still be
+  // unwinding on a worker with its own reference to the session — give it
+  // a moment so the sweep observes the true final count. Bounded: a
+  // lingering reference only defers the release to the next sweep.
+  for (int i = 0; i < 2000 && session.use_count() > 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  session.reset();
+  registry_.Sweep();
+  {
+    std::lock_guard<std::mutex> paged_lock(paged_mutex_);
+    for (auto it = paged_sources_.begin(); it != paged_sources_.end();) {
+      it = it->second.expired() ? paged_sources_.erase(it) : std::next(it);
+    }
+  }
   return Status::Ok();
 }
 
@@ -308,6 +387,8 @@ void SessionManager::Shutdown() {
   for (const auto& session : sessions) session->DisarmPersistence();
   for (const auto& session : sessions) session->Close();
   if (pool_) pool_->Wait();
+  sessions.clear();
+  registry_.Sweep();
 }
 
 SessionManager::RecoveryReport SessionManager::RecoverAll() {

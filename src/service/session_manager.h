@@ -24,6 +24,8 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "pagestore/buffer_pool.h"
+#include "pagestore/paged_snapshot.h"
 #include "relational/extension_registry.h"
 #include "service/session.h"
 #include "store/store.h"
@@ -47,6 +49,13 @@ struct SessionManagerOptions {
   // snapshots, no journals, no recovery.
   std::string data_dir;
   store::JournalOptions journal;
+  // Byte budget of the shared page buffer pool (`--buffer-pool-mb`).
+  // Non-zero turns on paged extensions: CSV loads are snapshotted, then
+  // adopted page-backed instead of staying materialized, so sessions work
+  // on databases larger than memory. Requires a data dir (the pages live
+  // in its snapshots); the budget is reserved from max_total_bytes up
+  // front so admission accounts for the pool. 0 = off.
+  size_t buffer_pool_bytes = 0;
 };
 
 class SessionManager {
@@ -114,6 +123,17 @@ class SessionManager {
   store::Store* store() { return store_.get(); }
   Status store_status() const { return store_status_; }
 
+  // The shared page buffer pool, or null when paged mode is off.
+  pagestore::BufferPool* buffer_pool() const { return buffer_pool_.get(); }
+
+  // The paged source for the snapshot with this fingerprint, deduplicated
+  // process-wide: sessions loading the same extension share one source
+  // (and through it the pool's pages and any built key indexes). A
+  // snapshot that fails page verification is quarantined exactly as
+  // LoadSnapshot would. kFailedPrecondition when paged mode is off.
+  Result<std::shared_ptr<pagestore::PagedSnapshot>> PagedSourceFor(
+      uint64_t fingerprint);
+
   size_t inflight_runs() const;
   size_t queued_runs() const;
 
@@ -140,6 +160,14 @@ class SessionManager {
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<store::Store> store_;
   Status store_status_;
+  std::shared_ptr<pagestore::BufferPool> buffer_pool_;
+
+  // fingerprint → live paged source. Weak: the sources are owned by the
+  // tables referencing them (via the registry while interned), so a swept
+  // extension's source detaches from the pool on its own.
+  std::mutex paged_mutex_;
+  std::map<uint64_t, std::weak_ptr<pagestore::PagedSnapshot>>
+      paged_sources_;
 
   mutable std::mutex mutex_;
   uint64_t next_session_ = 1;

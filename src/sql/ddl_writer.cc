@@ -74,20 +74,25 @@ std::string WriteInserts(const Table& table, size_t batch_size) {
   if (table.num_rows() == 0) return "";
   if (batch_size == 0) batch_size = 1;
   std::string out;
-  for (size_t start = 0; start < table.num_rows(); start += batch_size) {
-    out += "INSERT INTO " + table.schema().name() + " VALUES";
-    size_t end = std::min(start + batch_size, table.num_rows());
-    for (size_t i = start; i < end; ++i) {
-      out += i == start ? "\n  (" : ",\n  (";
-      const ValueVector& row = table.row(i);
-      for (size_t c = 0; c < row.size(); ++c) {
-        if (c > 0) out += ", ";
-        out += Literal(row[c]);
-      }
-      out += ")";
+  // Stream rows in order (works for both materialized and paged
+  // extensions), opening a new INSERT batch every batch_size rows.
+  size_t index = 0;
+  (void)table.ForEachRow([&](const ValueVector& row) {
+    const size_t offset = index % batch_size;
+    if (offset == 0) {
+      if (index > 0) out += ";\n";
+      out += "INSERT INTO " + table.schema().name() + " VALUES\n  (";
+    } else {
+      out += ",\n  (";
     }
-    out += ";\n";
-  }
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ", ";
+      out += Literal(row[c]);
+    }
+    out += ")";
+    ++index;
+  });
+  out += ";\n";
   return out;
 }
 

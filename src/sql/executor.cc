@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <numeric>
 #include <optional>
 #include <sstream>
 #include <unordered_map>
@@ -38,11 +39,16 @@ Ternary Not(Ternary a) {
   return Ternary::kUnknown;
 }
 
-// One table instance of a FROM clause with its current row.
+// One table instance of a FROM clause with its current row. Paged tables
+// have no materialized rows: the odometer decodes the current row into
+// `paged_row` through the query cache's RowReader instead.
 struct Binding {
   const TableRef* ref = nullptr;
   const Table* table = nullptr;
   const ValueVector* row = nullptr;
+  std::shared_ptr<QueryCache> paged_cache;
+  std::unique_ptr<EncodedTable::RowReader> paged_reader;
+  ValueVector paged_row;
 };
 
 using Frame = std::vector<Binding>;
@@ -545,7 +551,20 @@ class Evaluator {
     for (const TableRef& ref : statement.from) {
       DBRE_ASSIGN_OR_RETURN(const Table* table,
                             database_.GetTable(ref.table));
-      frame.push_back(Binding{&ref, table, nullptr});
+      Binding binding;
+      binding.ref = &ref;
+      binding.table = table;
+      if (table->is_paged()) {
+        DBRE_ASSIGN_OR_RETURN(std::shared_ptr<QueryCache> cache,
+                              table->query_cache());
+        std::vector<size_t> columns(table->schema().arity());
+        std::iota(columns.begin(), columns.end(), size_t{0});
+        cache->EnsureEncoded(columns);
+        binding.paged_reader = std::make_unique<EncodedTable::RowReader>(
+            cache->encoded().row_reader(std::move(columns)));
+        binding.paged_cache = std::move(cache);
+      }
+      frame.push_back(std::move(binding));
     }
     env_.push_back(&frame);
 
@@ -585,7 +604,13 @@ class Evaluator {
       }
       while (!exhausted) {
         for (size_t i = 0; i < frame.size(); ++i) {
-          frame[i].row = &frame[i].table->row(cursor[i]);
+          Binding& binding = frame[i];
+          if (binding.paged_reader != nullptr) {
+            binding.paged_reader->Read(cursor[i], &binding.paged_row);
+            binding.row = &binding.paged_row;
+          } else {
+            binding.row = &binding.table->row(cursor[i]);
+          }
         }
         // Evaluate the ON conditions and the WHERE clause.
         Ternary keep = Ternary::kTrue;
@@ -686,6 +711,11 @@ class Evaluator {
     // compile. Subqueries always evaluate tuple-at-a-time.
     if (env_.size() != 1) return std::nullopt;
     if (frame.empty() || frame.size() > 2) return std::nullopt;
+    // The compiled kernels index flat in-memory code vectors and resident
+    // dictionaries; paged extensions take the (RowReader-backed) odometer.
+    for (const Binding& binding : frame) {
+      if (binding.table->is_paged()) return std::nullopt;
+    }
 
     std::vector<std::shared_ptr<QueryCache>> caches;
     caches.reserve(frame.size());

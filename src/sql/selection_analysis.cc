@@ -143,11 +143,11 @@ Result<double> ComputeCoverage(const Database& catalog,
   DBRE_ASSIGN_OR_RETURN(size_t index,
                         table->schema().AttributeIndex(attribute));
   size_t total = 0, covered = 0;
-  for (const ValueVector& row : table->rows()) {
-    if (row[index].is_null()) continue;
+  DBRE_RETURN_IF_ERROR(table->ForEachRow([&](const ValueVector& row) {
+    if (row[index].is_null()) return;
     ++total;
     if (values.contains(row[index])) ++covered;
-  }
+  }));
   if (total == 0) return 0.0;
   return static_cast<double>(covered) / static_cast<double>(total);
 }

@@ -18,6 +18,7 @@
 #include "relational/encoded_table.h"
 #include "relational/extension_registry.h"
 #include "store/crc32c.h"
+#include "store/snapshot_format.h"
 
 namespace dbre::store {
 namespace {
@@ -49,127 +50,12 @@ const SnapshotMetrics& Metrics() {
   return metrics;
 }
 
-constexpr char kMagic[8] = {'D', 'B', 'S', 'N', 'A', 'P', '0', '1'};
-constexpr char kFooterMagic[8] = {'D', 'B', 'S', 'N', 'A', 'P', 'F', 'T'};
-constexpr size_t kFooterSize = 8 + 4 + 8;  // fingerprint, crc, magic
-
-// Dictionary value tags; NULL never appears in a dictionary, so tag 0 is
-// reserved (it matches the fingerprint encoding's NULL tag for symmetry).
-constexpr uint8_t kTagInt = 1;
-constexpr uint8_t kTagReal = 2;
-constexpr uint8_t kTagBool = 3;
-constexpr uint8_t kTagString = 4;
-
-// Unaligned little-endian u32 load for the code arrays (the hot loop of
-// LoadSnapshot; bounds are validated once per page, not per cell).
-inline uint32_t LoadU32(const unsigned char* p) {
-  uint32_t v;
-  std::memcpy(&v, p, sizeof(v));
-  if constexpr (std::endian::native == std::endian::big) {
-    v = __builtin_bswap32(v);
-  }
-  return v;
-}
-
-inline uint64_t LoadU64(const unsigned char* p) {
-  uint64_t v;
-  std::memcpy(&v, p, sizeof(v));
-  if constexpr (std::endian::native == std::endian::big) {
-    v = __builtin_bswap64(v);
-  }
-  return v;
-}
-
-// ---- little-endian buffer building -----------------------------------
-
-struct Writer {
-  std::string out;
-
-  void U8(uint8_t v) { out.push_back(static_cast<char>(v)); }
-  void U32(uint32_t v) {
-    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (i * 8)));
-  }
-  void U64(uint64_t v) {
-    for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (i * 8)));
-  }
-  void Str(const std::string& s) {
-    U32(static_cast<uint32_t>(s.size()));
-    out.append(s);
-  }
-};
-
-// Bounds-checked little-endian reads over a mapped byte range. Every
-// primitive fails (sticky `ok = false`) instead of reading past the end,
-// so a truncated or lying length field surfaces as a parse error.
-struct Reader {
-  const unsigned char* p;
-  size_t size;
-  size_t pos = 0;
-  bool ok = true;
-
-  bool Need(size_t n) {
-    if (!ok || size - pos < n) {
-      ok = false;
-      return false;
-    }
-    return true;
-  }
-  uint8_t U8() {
-    if (!Need(1)) return 0;
-    return p[pos++];
-  }
-  uint32_t U32() {
-    if (!Need(4)) return 0;
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[pos++]) << (i * 8);
-    return v;
-  }
-  uint64_t U64() {
-    if (!Need(8)) return 0;
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[pos++]) << (i * 8);
-    return v;
-  }
-  std::string Str() {
-    uint32_t n = U32();
-    if (!Need(n)) return "";
-    std::string s(reinterpret_cast<const char*>(p + pos), n);
-    pos += n;
-    return s;
-  }
-};
-
-void AppendValue(Writer* w, const Value& value) {
-  if (value.is_int()) {
-    w->U8(kTagInt);
-    w->U64(static_cast<uint64_t>(value.as_int()));
-  } else if (value.is_real()) {
-    w->U8(kTagReal);
-    w->U64(std::bit_cast<uint64_t>(value.as_real()));
-  } else if (value.is_bool()) {
-    w->U8(kTagBool);
-    w->U8(value.as_bool() ? 1 : 0);
-  } else {
-    w->U8(kTagString);
-    w->Str(value.as_text());
-  }
-}
-
-Result<Value> ParseValue(Reader* r) {
-  uint8_t tag = r->U8();
-  switch (tag) {
-    case kTagInt:
-      return Value::Int(static_cast<int64_t>(r->U64()));
-    case kTagReal:
-      return Value::Real(std::bit_cast<double>(r->U64()));
-    case kTagBool:
-      return Value::Boolean(r->U8() != 0);
-    case kTagString:
-      return Value::Text(r->Str());
-    default:
-      return ParseError("snapshot: unknown value tag " + std::to_string(tag));
-  }
-}
+// Format constants, Writer/Reader and the value/schema codecs now live in
+// store/snapshot_format.h, shared with the page-at-a-time reader in
+// src/pagestore/. Local aliases keep this file reading as before.
+constexpr auto& kMagic = kSnapshotMagic;
+constexpr auto& kFooterMagic = kSnapshotFooterMagic;
+constexpr size_t kFooterSize = kSnapshotFooterSize;
 
 // ---- mmap'd read-only file -------------------------------------------
 
@@ -254,68 +140,6 @@ class MappedFile {
   std::string buffer_;
 };
 
-std::string BuildSchemaBlob(const RelationSchema& schema, uint64_t rows) {
-  Writer w;
-  w.Str(schema.name());
-  w.U32(static_cast<uint32_t>(schema.arity()));
-  for (const Attribute& attribute : schema.attributes()) {
-    w.Str(attribute.name);
-    w.U8(static_cast<uint8_t>(attribute.type));
-    w.U8(attribute.not_null ? 1 : 0);
-  }
-  w.U32(static_cast<uint32_t>(schema.unique_constraints().size()));
-  for (const AttributeSet& unique : schema.unique_constraints()) {
-    w.U32(static_cast<uint32_t>(unique.size()));
-    for (const std::string& name : unique) w.Str(name);
-  }
-  w.U64(rows);
-  w.U32(static_cast<uint32_t>(schema.arity()));
-  return std::move(w.out);
-}
-
-struct ParsedSchema {
-  RelationSchema schema;
-  uint64_t rows = 0;
-  uint32_t columns = 0;
-};
-
-Result<ParsedSchema> ParseSchemaBlob(const unsigned char* data, size_t size) {
-  Reader r{data, size};
-  ParsedSchema out;
-  out.schema.set_name(r.Str());
-  uint32_t arity = r.U32();
-  for (uint32_t i = 0; i < arity && r.ok; ++i) {
-    std::string name = r.Str();
-    uint8_t type = r.U8();
-    bool not_null = r.U8() != 0;
-    if (type > static_cast<uint8_t>(DataType::kString)) {
-      return ParseError("snapshot: unknown attribute type tag " +
-                        std::to_string(type));
-    }
-    DBRE_RETURN_IF_ERROR(out.schema.AddAttribute(
-        std::move(name), static_cast<DataType>(type), not_null));
-  }
-  uint32_t uniques = r.U32();
-  for (uint32_t i = 0; i < uniques && r.ok; ++i) {
-    uint32_t n = r.U32();
-    std::vector<std::string> names;
-    names.reserve(n);
-    for (uint32_t j = 0; j < n && r.ok; ++j) names.push_back(r.Str());
-    if (!r.ok) break;
-    DBRE_RETURN_IF_ERROR(
-        out.schema.DeclareUnique(AttributeSet(std::move(names))));
-  }
-  out.rows = r.U64();
-  out.columns = r.U32();
-  if (!r.ok || r.pos != size) {
-    return ParseError("snapshot: malformed schema blob");
-  }
-  if (out.columns != out.schema.arity()) {
-    return ParseError("snapshot: schema column count mismatch");
-  }
-  return out;
-}
-
 // One write-tmp/fsync/rename attempt. The tmp file is recreated from
 // scratch (O_TRUNC), so a failed attempt leaves nothing a retry has to
 // clean up — WriteFileAtomic retries the whole attempt on IO errors.
@@ -395,6 +219,13 @@ Result<SnapshotInfo> WriteSnapshot(const Table& table,
   obs::TraceSpan span("snapshot:write", nullptr, Metrics().write_us,
                       obs::Registry::Default().slow_ops());
   span.set_detail(path);
+  if (table.is_paged()) {
+    // A paged extension already lives in a snapshot; re-serializing it
+    // would silently write an empty extension (Build reads the
+    // materialized rows, which a paged table does not have).
+    return FailedPreconditionError("relation " + table.schema().name() +
+                                   " is paged; its snapshot already exists");
+  }
   DBRE_ASSIGN_OR_RETURN(EncodedTable encoded, EncodedTable::Build(table));
   uint64_t fingerprint = ExtensionRegistry::ComputeFingerprint(table);
 

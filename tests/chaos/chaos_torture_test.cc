@@ -95,7 +95,7 @@ struct ServeProcess {
 
 // Spawns dbre_serve on an ephemeral port (failpoints, if any, ride in via
 // the environment — fork inherits it) and reads the chosen port.
-ServeProcess StartServe(const std::string& data_dir) {
+ServeProcess StartServe(const std::string& data_dir, bool paged = false) {
   ServeProcess process;
   int out_pipe[2];
   if (pipe(out_pipe) != 0) {
@@ -114,10 +114,18 @@ ServeProcess StartServe(const std::string& data_dir) {
     int devnull = open("/dev/null", O_WRONLY);
     if (devnull >= 0) dup2(devnull, STDERR_FILENO);
     // Tiny segments force constant rotation, so rotate/open failpoints
-    // actually fire within a short session.
-    execl(DBRE_SERVE_BINARY, "dbre_serve", "--port", "0", "--data-dir",
-          data_dir.c_str(), "--fsync-batch", "1", "--segment-bytes", "512",
-          static_cast<char*>(nullptr));
+    // actually fire within a short session. Paged schedules add a small
+    // buffer pool so loads go through snapshot + page-backed adoption.
+    if (paged) {
+      execl(DBRE_SERVE_BINARY, "dbre_serve", "--port", "0", "--data-dir",
+            data_dir.c_str(), "--fsync-batch", "1", "--segment-bytes",
+            "512", "--buffer-pool-mb", "16",
+            static_cast<char*>(nullptr));
+    } else {
+      execl(DBRE_SERVE_BINARY, "dbre_serve", "--port", "0", "--data-dir",
+            data_dir.c_str(), "--fsync-batch", "1", "--segment-bytes",
+            "512", static_cast<char*>(nullptr));
+    }
     _exit(127);  // exec failed
   }
   close(out_pipe[1]);
@@ -182,6 +190,7 @@ struct Schedule {
   std::string spec;            // DBRE_FAILPOINTS value
   bool may_crash = false;      // restarts are expected, not tolerated
   bool expect_degraded = false;  // a persistent fault must trip degraded mode
+  bool paged = false;  // serve extensions page-backed (--buffer-pool-mb)
 };
 
 Schedule BuildSchedule(int seed) {
@@ -191,6 +200,43 @@ Schedule BuildSchedule(int seed) {
     return options[rng() % options.size()];
   };
   Schedule schedule;
+  // Seeds past 20 run against a daemon serving page-backed extensions
+  // through a 16 MiB buffer pool, with the faults aimed at the page-I/O
+  // edges too. The invariant is unchanged: byte-identical reports, with
+  // page-level faults either degrading the load to a materialized
+  // extension or fail-fasting the daemon (post-open page streams abort
+  // rather than serve a short read — restart and recover).
+  if (seed > 20) {
+    schedule.paged = true;
+    switch (rng() % 4) {
+      case 0:  // every adoption fails: loads degrade to materialized
+        schedule.spec = "pagestore.open=error";
+        break;
+      case 1: {  // index spill/reuse faults: probes fall back to sets
+        std::string point =
+            pick({"pagestore.index_write", "pagestore.index_load"});
+        schedule.spec = point + "=error*" + std::to_string(1 + rng() % 3);
+        break;
+      }
+      case 2: {  // crash at a store edge while serving paged extensions
+        // Low ordinals: the paper session only writes a handful of
+        // snapshots, so the crash must land inside that budget to fire.
+        std::string point = pick({"journal.append.write", "snapshot.write",
+                                  "snapshot.rename"});
+        schedule.spec =
+            point + "=crash#" + std::to_string(1 + rng() % 5);
+        schedule.may_crash = true;
+        break;
+      }
+      default: {  // a page read dies mid-stream: fail-fast, recover
+        schedule.spec =
+            "pagestore.page_read=error#" + std::to_string(1 + rng() % 5);
+        schedule.may_crash = true;
+        break;
+      }
+    }
+    return schedule;
+  }
   switch (rng() % 5) {
     case 0: {  // crash at a seeded store edge
       std::string point = pick({"journal.append.write", "journal.fsync",
@@ -352,7 +398,7 @@ TEST_P(ChaosTortureTest, RecoversByteIdenticallyOrDegradesCleanly) {
   ASSERT_EQ(setenv("DBRE_FAILPOINTS", schedule.spec.c_str(), 1), 0);
   ASSERT_EQ(
       setenv("DBRE_FAILPOINT_SEED", std::to_string(seed).c_str(), 1), 0);
-  ServeProcess daemon = StartServe(data_dir.string());
+  ServeProcess daemon = StartServe(data_dir.string(), schedule.paged);
   unsetenv("DBRE_FAILPOINTS");
   unsetenv("DBRE_FAILPOINT_SEED");
   ASSERT_GT(daemon.port, 0);
@@ -380,7 +426,7 @@ TEST_P(ChaosTortureTest, RecoversByteIdenticallyOrDegradesCleanly) {
     }
     ASSERT_LE(++restarts, 4) << "too many restarts for one schedule";
 
-    daemon = StartServe(data_dir.string());
+    daemon = StartServe(data_dir.string(), schedule.paged);
     ASSERT_GT(daemon.port, 0);
     client = ChaosClient{};
     ASSERT_TRUE(client.Connect(daemon.port));
@@ -417,8 +463,10 @@ TEST_P(ChaosTortureTest, RecoversByteIdenticallyOrDegradesCleanly) {
   fs::remove_all(data_dir);
 }
 
+// Seeds 1–20 exercise the journal/snapshot fault families; 21–26 rerun
+// the same harness in paged mode with page-I/O faults in the mix.
 INSTANTIATE_TEST_SUITE_P(Schedules, ChaosTortureTest,
-                         ::testing::Range(1, 21));
+                         ::testing::Range(1, 27));
 
 }  // namespace
 }  // namespace dbre::service

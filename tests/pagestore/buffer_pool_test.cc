@@ -1,0 +1,248 @@
+#include "pagestore/buffer_pool.h"
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "store/crc32c.h"
+
+namespace dbre::pagestore {
+namespace {
+
+namespace fs = std::filesystem;
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("dbre_buffer_pool_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    Failpoints::Instance().DisarmAll();
+    fs::remove_all(dir_);
+  }
+
+  // Writes `pages` pages where byte j of page p is (p * 31 + j) & 0xff,
+  // with the last page short by 100 bytes. Returns (path, page crcs).
+  std::pair<std::string, std::vector<uint32_t>> WriteTestFile(
+      const std::string& name, size_t pages) {
+    std::string path = (dir_ / name).string();
+    std::ofstream out(path, std::ios::binary);
+    std::vector<uint32_t> crcs;
+    for (size_t p = 0; p < pages; ++p) {
+      size_t bytes = p + 1 == pages ? kPageSize - 100 : kPageSize;
+      std::string page(bytes, '\0');
+      for (size_t j = 0; j < bytes; ++j) {
+        page[j] = static_cast<char>((p * 31 + j) & 0xff);
+      }
+      out.write(page.data(), static_cast<std::streamsize>(page.size()));
+      crcs.push_back(store::Crc32c(0, page.data(), page.size()));
+    }
+    out.close();
+    return {path, crcs};
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(BufferPoolTest, PinReadsPageBytesAndCachesThem) {
+  auto [path, crcs] = WriteTestFile("a.bin", 3);
+  BufferPool pool(16 * kPageSize);
+  auto file = pool.AttachFile(path, crcs);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+
+  auto page = pool.Pin(*file, 1);
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  EXPECT_EQ(page->size(), kPageSize);
+  EXPECT_EQ(page->data()[0], static_cast<uint8_t>(31));
+  EXPECT_EQ(page->data()[5], static_cast<uint8_t>(36));
+  page->Reset();
+
+  auto again = pool.Pin(*file, 1);
+  ASSERT_TRUE(again.ok());
+  BufferPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.pins, 2u);
+}
+
+TEST_F(BufferPoolTest, LastShortPageReportsItsRealLength) {
+  auto [path, crcs] = WriteTestFile("short.bin", 2);
+  BufferPool pool(16 * kPageSize);
+  auto file = pool.AttachFile(path, crcs);
+  ASSERT_TRUE(file.ok());
+  auto page = pool.Pin(*file, 1);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->size(), kPageSize - 100);
+}
+
+TEST_F(BufferPoolTest, EvictsUnpinnedPagesUnderATinyBudget) {
+  auto [path, crcs] = WriteTestFile("big.bin", 24);
+  // Budget below kMinFrames pages still yields kMinFrames frames.
+  BufferPool pool(1);
+  auto file = pool.AttachFile(path, crcs);
+  ASSERT_TRUE(file.ok());
+  for (int round = 0; round < 2; ++round) {
+    for (uint32_t p = 0; p < 24; ++p) {
+      auto page = pool.Pin(*file, p);
+      ASSERT_TRUE(page.ok()) << page.status().ToString();
+      EXPECT_EQ(page->data()[1], static_cast<uint8_t>((p * 31 + 1) & 0xff));
+    }
+  }
+  BufferPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.frames, kMinFrames);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.resident_bytes, kMinFrames * kPageSize);
+}
+
+TEST_F(BufferPoolTest, FailsCleanlyWhenEveryFrameIsPinned) {
+  auto [path, crcs] = WriteTestFile("pinned.bin", 12);
+  BufferPool pool(1);  // kMinFrames frames
+  auto file = pool.AttachFile(path, crcs);
+  ASSERT_TRUE(file.ok());
+  std::vector<BufferPool::Page> held;
+  for (uint32_t p = 0; p < kMinFrames; ++p) {
+    auto page = pool.Pin(*file, p);
+    ASSERT_TRUE(page.ok());
+    held.push_back(std::move(*page));
+  }
+  auto overflow = pool.Pin(*file, kMinFrames);
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kFailedPrecondition);
+  held.clear();  // unpin
+  auto after = pool.Pin(*file, kMinFrames);
+  EXPECT_TRUE(after.ok()) << after.status().ToString();
+}
+
+TEST_F(BufferPoolTest, ChecksumMismatchSurfacesAsParseError) {
+  auto [path, crcs] = WriteTestFile("rot.bin", 2);
+  crcs[0] ^= 0xdeadbeef;  // claim a different checksum for page 0
+  BufferPool pool(16 * kPageSize);
+  auto file = pool.AttachFile(path, crcs);
+  ASSERT_TRUE(file.ok());
+  auto page = pool.Pin(*file, 0);
+  ASSERT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), StatusCode::kParseError);
+  EXPECT_NE(page.status().ToString().find("checksum mismatch"),
+            std::string::npos);
+  // Page 1 is unaffected.
+  EXPECT_TRUE(pool.Pin(*file, 1).ok());
+}
+
+TEST_F(BufferPoolTest, WrongChecksumCountIsRejectedAtAttach) {
+  auto [path, crcs] = WriteTestFile("count.bin", 3);
+  crcs.pop_back();
+  BufferPool pool(16 * kPageSize);
+  auto file = pool.AttachFile(path, crcs);
+  ASSERT_FALSE(file.ok());
+  EXPECT_EQ(file.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BufferPoolTest, TransientReadErrorsAreRetriedAway) {
+  auto [path, crcs] = WriteTestFile("retry.bin", 2);
+  BufferPool pool(16 * kPageSize);
+  auto file = pool.AttachFile(path, crcs);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(
+      Failpoints::Instance().Arm("pagestore.page_read", "error*2").ok());
+  auto page = pool.Pin(*file, 0);
+  EXPECT_TRUE(page.ok()) << page.status().ToString();
+}
+
+TEST_F(BufferPoolTest, PersistentReadErrorSurfacesAfterRetries) {
+  auto [path, crcs] = WriteTestFile("dead.bin", 2);
+  BufferPool pool(16 * kPageSize);
+  auto file = pool.AttachFile(path, crcs);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(
+      Failpoints::Instance().Arm("pagestore.page_read", "error").ok());
+  auto page = pool.Pin(*file, 0);
+  ASSERT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), StatusCode::kIoError);
+  Failpoints::Instance().DisarmAll();
+  // The failed load left no poisoned entry behind.
+  EXPECT_TRUE(pool.Pin(*file, 0).ok());
+}
+
+TEST_F(BufferPoolTest, InjectedCrcFaultSurfacesAsParseError) {
+  auto [path, crcs] = WriteTestFile("crcfp.bin", 2);
+  BufferPool pool(16 * kPageSize);
+  auto file = pool.AttachFile(path, crcs);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(
+      Failpoints::Instance().Arm("pagestore.page_crc", "error#1").ok());
+  auto page = pool.Pin(*file, 0);
+  ASSERT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), StatusCode::kParseError);
+  auto again = pool.Pin(*file, 0);
+  EXPECT_TRUE(again.ok()) << again.status().ToString();
+}
+
+TEST_F(BufferPoolTest, EvictionFailpointFiresOnTheEvictionEdge) {
+  auto [path, crcs] = WriteTestFile("evict.bin", 12);
+  BufferPool pool(1);  // kMinFrames frames
+  auto file = pool.AttachFile(path, crcs);
+  ASSERT_TRUE(file.ok());
+  for (uint32_t p = 0; p < kMinFrames; ++p) {
+    ASSERT_TRUE(pool.Pin(*file, p).ok());
+  }
+  ASSERT_TRUE(Failpoints::Instance().Arm("pagestore.evict", "error#1").ok());
+  auto page = pool.Pin(*file, kMinFrames);
+  ASSERT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), StatusCode::kIoError);
+  auto after = pool.Pin(*file, kMinFrames);
+  EXPECT_TRUE(after.ok()) << after.status().ToString();
+}
+
+TEST_F(BufferPoolTest, ConcurrentPinsOfOnePageReadItOnce) {
+  auto [path, crcs] = WriteTestFile("race.bin", 4);
+  BufferPool pool(16 * kPageSize);
+  auto file = pool.AttachFile(path, crcs);
+  ASSERT_TRUE(file.ok());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        auto page = pool.Pin(*file, 2);
+        if (!page.ok() ||
+            page->data()[7] != static_cast<uint8_t>((2 * 31 + 7) & 0xff)) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(pool.stats().misses, 1u);
+}
+
+TEST_F(BufferPoolTest, DetachFreesResidentFrames) {
+  auto [path, crcs] = WriteTestFile("detach.bin", 4);
+  BufferPool pool(16 * kPageSize);
+  auto file = pool.AttachFile(path, crcs);
+  ASSERT_TRUE(file.ok());
+  for (uint32_t p = 0; p < 4; ++p) ASSERT_TRUE(pool.Pin(*file, p).ok());
+  EXPECT_GT(pool.stats().resident_bytes, 0u);
+  pool.DetachFile(*file);
+  EXPECT_EQ(pool.stats().resident_bytes, 0u);
+  EXPECT_EQ(pool.stats().attached_files, 0u);
+  auto gone = pool.Pin(*file, 0);
+  EXPECT_FALSE(gone.ok());
+}
+
+}  // namespace
+}  // namespace dbre::pagestore

@@ -1,0 +1,165 @@
+// The tentpole invariant of the paged storage subsystem: discovery over
+// page-backed extensions produces BYTE-IDENTICAL reports to the in-memory
+// run, for every combination of the sketch and key-index gates, even with
+// a buffer pool far smaller than the extensions it serves. Also checks the
+// row-shaped exporters (CSV, INSERT batches) stream paged extensions
+// losslessly through Table::ForEachRow.
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/report_json.h"
+#include "pagestore/buffer_pool.h"
+#include "pagestore/paged_snapshot.h"
+#include "relational/csv.h"
+#include "relational/paged_source.h"
+#include "relational/sketch.h"
+#include "sql/ddl_writer.h"
+#include "store/snapshot.h"
+#include "test_pool.h"
+#include "workload/generator.h"
+
+namespace dbre {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ASSERT_* cannot be used in a function returning a value; this keeps the
+// failure message and aborts the copy with whatever was built so far.
+#define ASSERT_TRUE_RETURN(cond, message) \
+  if (!(cond)) {                          \
+    ADD_FAILURE() << (message);           \
+    return paged;                         \
+  }
+
+class PagedCrosscheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("dbre_paged_crosscheck_" +
+            std::to_string(
+                ::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  // Snapshots every relation of `database` and re-adopts it page-backed
+  // through `pool`; the returned database holds no materialized rows.
+  Database PagedCopy(const Database& database,
+                     std::shared_ptr<pagestore::BufferPool> pool) {
+    Database paged = database.Clone();
+    for (const std::string& name : paged.RelationNames()) {
+      auto table = paged.GetMutableTable(name);
+      ASSERT_TRUE_RETURN(table.ok(), table.status().ToString());
+      std::string path = (dir_ / (name + ".snap")).string();
+      auto written = store::WriteSnapshot(**table, path);
+      ASSERT_TRUE_RETURN(written.ok(), written.status().ToString());
+      auto source = pagestore::OpenSnapshotPaged(path, pool);
+      ASSERT_TRUE_RETURN(source.ok(), source.status().ToString());
+      auto adopted = (*table)->AdoptPagedExtension(*source);
+      ASSERT_TRUE_RETURN(adopted.ok(), adopted.ToString());
+    }
+    return paged;
+  }
+
+  fs::path dir_;
+};
+
+std::string RunReport(const Database& database,
+                      const std::vector<EquiJoin>& queries) {
+  ThresholdOracle::Options oracle_options;
+  oracle_options.accept_hidden_objects = true;
+  ThresholdOracle oracle(oracle_options);
+  auto report = RunPipeline(database, queries, &oracle);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  if (!report.ok()) return "";
+  JsonOptions options;
+  options.include_timings = false;
+  return ReportToJson(*report, options);
+}
+
+TEST_F(PagedCrosscheckTest, PipelineReportIsByteIdenticalInEveryMode) {
+  workload::SyntheticSpec spec;
+  spec.num_entities = 5;
+  spec.num_merged = 2;
+  spec.rows_per_entity = 500;
+  spec.seed = 7;
+  auto generated = workload::GenerateSynthetic(spec);
+  ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+
+  const std::string baseline =
+      RunReport(generated->database, generated->queries);
+  ASSERT_FALSE(baseline.empty());
+
+  // The default budget of one byte clamps the pool to kMinFrames frames
+  // (512 KiB) — far less than the materialized extensions — so the run
+  // below really streams pages in and out. DBRE_TEST_BUFFER_POOL_MB
+  // re-runs the same invariant at a larger budget (the tiny-pool CI job).
+  auto pool = std::make_shared<pagestore::BufferPool>(TestBufferPoolBytes());
+  Database paged = PagedCopy(generated->database, pool);
+  if (::testing::Test::HasFailure()) return;
+
+  {
+    // Default mode: sketches on, key indexes on.
+    EXPECT_EQ(RunReport(paged, generated->queries), baseline);
+  }
+  {
+    ScopedPagedIndexGate no_index(false);
+    EXPECT_EQ(RunReport(paged, generated->queries), baseline);
+  }
+  {
+    ScopedSketchGate no_sketch(false);
+    EXPECT_EQ(RunReport(paged, generated->queries), baseline);
+  }
+  {
+    ScopedSketchGate no_sketch(false);
+    ScopedPagedIndexGate no_index(false);
+    EXPECT_EQ(RunReport(paged, generated->queries), baseline);
+  }
+
+  // The runs actually went through the pool, and page reads hit the cache.
+  pagestore::BufferPool::Stats stats = pool->stats();
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_LE(stats.resident_bytes, stats.frames * pagestore::kPageSize);
+}
+
+TEST_F(PagedCrosscheckTest, RowExportersStreamPagedExtensionsLosslessly) {
+  workload::SyntheticSpec spec;
+  spec.num_entities = 3;
+  spec.num_merged = 1;
+  spec.rows_per_entity = 400;
+  spec.seed = 21;
+  auto generated = workload::GenerateSynthetic(spec);
+  ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+
+  auto pool = std::make_shared<pagestore::BufferPool>(TestBufferPoolBytes());
+  Database paged = PagedCopy(generated->database, pool);
+  if (::testing::Test::HasFailure()) return;
+
+  for (const std::string& name : generated->database.RelationNames()) {
+    const Table& memory = **generated->database.GetTable(name);
+    const Table& on_disk = **paged.GetTable(name);
+    ASSERT_TRUE(on_disk.is_paged());
+    EXPECT_EQ(WriteCsvText(on_disk), WriteCsvText(memory)) << name;
+    EXPECT_EQ(sql::WriteInserts(on_disk, 50), sql::WriteInserts(memory, 50))
+        << name;
+    EXPECT_EQ(on_disk.VerifyUniqueConstraints().ok(),
+              memory.VerifyUniqueConstraints().ok())
+        << name;
+    EXPECT_EQ(on_disk.VerifyNotNullConstraints().ok(),
+              memory.VerifyNotNullConstraints().ok())
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace dbre

@@ -1,0 +1,25 @@
+// Byte budget for the buffer pools the paged tests construct.
+//
+// By default the budget is one byte, which BufferPool clamps up to its
+// minimum frame count (kMinFrames pages) — far smaller than any test
+// extension, so eviction churns constantly. The tiny-pool CI job sets
+// DBRE_TEST_BUFFER_POOL_MB (e.g. 16) to re-run the same suites at a
+// realistic-but-small budget on every push.
+#ifndef DBRE_TESTS_PAGESTORE_TEST_POOL_H_
+#define DBRE_TESTS_PAGESTORE_TEST_POOL_H_
+
+#include <cstddef>
+#include <cstdlib>
+
+namespace dbre {
+
+inline size_t TestBufferPoolBytes() {
+  const char* env = std::getenv("DBRE_TEST_BUFFER_POOL_MB");
+  if (env == nullptr || *env == '\0') return 1;
+  long mb = std::strtol(env, nullptr, 10);
+  return mb > 0 ? static_cast<size_t>(mb) << 20 : 1;
+}
+
+}  // namespace dbre
+
+#endif  // DBRE_TESTS_PAGESTORE_TEST_POOL_H_

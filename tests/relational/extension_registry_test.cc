@@ -155,6 +155,47 @@ TEST(ExtensionRegistryTest, ComputeFingerprintTracksContent) {
             ExtensionRegistry::ComputeFingerprint(b));
 }
 
+TEST(ExtensionRegistryTest, SweepReleasesUnreferencedEntries) {
+  ExtensionRegistry registry;
+  {
+    Table donor = MakeTable("R", 1, 40);
+    EXPECT_FALSE(registry.Intern(&donor));
+    // The donor is still alive and shares the canonical cache: nothing to
+    // release yet.
+    EXPECT_EQ(registry.Sweep(), 0u);
+    EXPECT_EQ(registry.stats().entries, 1u);
+    EXPECT_GT(registry.stats().resident_bytes, 0u);
+  }
+  // The last referencing table is gone; the sweep returns the memory.
+  EXPECT_EQ(registry.Sweep(), 1u);
+  ExtensionRegistry::Stats stats = registry.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.releases, 1u);
+  EXPECT_EQ(stats.resident_bytes, 0u);
+
+  // The released content re-interns as a fresh miss.
+  Table again = MakeTable("R", 1, 40);
+  EXPECT_FALSE(registry.Intern(&again));
+  EXPECT_EQ(registry.stats().entries, 1u);
+}
+
+TEST(ExtensionRegistryTest, SweepKeepsEntriesReferencedByAdopters) {
+  ExtensionRegistry registry;
+  Table adopter = MakeTable("R", 1, 40);
+  {
+    Table donor = MakeTable("R", 1, 40);
+    registry.Intern(&donor);
+    registry.Intern(&adopter);  // shares the donor's storage
+  }
+  // The donor died, but the adopter still references the canonical cache.
+  EXPECT_EQ(registry.Sweep(), 0u);
+  EXPECT_EQ(registry.stats().entries, 1u);
+
+  // A third identical load still hits.
+  Table third = MakeTable("R", 1, 40);
+  EXPECT_TRUE(registry.Intern(&third));
+}
+
 TEST(ExtensionRegistryTest, EmptyTablesIntern) {
   ExtensionRegistry registry;
   Table first = MakeTable("R", 1, 0);

@@ -314,6 +314,61 @@ TEST(ServerIntegrationTest, MetricsCommandCoversEveryLayer) {
   fs::remove_all(dir);
 }
 
+// A daemon serving page-backed extensions through a shared buffer pool
+// must produce byte-identical reports, surface the pool in `stats` and
+// `metrics`, and give the pool pages back when the last session closes.
+TEST(ServerIntegrationTest, PagedModeIsByteIdenticalAndReleasesOnClose) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("dbre_paged_integration_" +
+       std::to_string(
+           ::testing::UnitTest::GetInstance()->random_seed()));
+  fs::remove_all(dir);
+
+  ServerOptions options;
+  options.sessions.data_dir = dir.string();
+  options.sessions.buffer_pool_bytes = 1;  // clamp to the minimum frames
+  Server server(options);
+  TcpServer tcp(&server);
+  ASSERT_TRUE(tcp.Start(0).ok());
+
+  const PaperInputs inputs = BuildPaperInputs();
+  std::string report = DriveSession(tcp.port(), "paged", inputs,
+                                    /*drop_mid_question=*/false);
+  EXPECT_EQ(report, ReferenceReport())
+      << "paged session diverged from the in-process pipeline";
+
+  Client client(tcp.port());
+  // The `stats` pagestore block proves the run went through the pool.
+  Json stats = client.MustCall(Command("stats"));
+  const Json* pagestore = stats.Find("pagestore");
+  ASSERT_NE(pagestore, nullptr) << stats.Dump();
+  EXPECT_GT(pagestore->GetInt("budget_bytes"), 0);
+  EXPECT_GT(pagestore->GetInt("misses"), 0);
+  EXPECT_GT(pagestore->GetInt("hits"), 0);
+  EXPECT_EQ(pagestore->GetInt("pinned_pages"), 0);
+  // DriveSession already closed its session: the sweep released the
+  // interned extensions and detached their snapshots from the pool.
+  EXPECT_EQ(pagestore->GetInt("attached_files"), 0);
+  const Json* cache = stats.Find("extension_cache");
+  ASSERT_NE(cache, nullptr) << stats.Dump();
+  EXPECT_GE(cache->GetInt("releases"),
+            static_cast<int64_t>(inputs.csvs.size()));
+  EXPECT_EQ(cache->GetInt("resident_bytes"), 0);
+
+  // The pool's counters are on the `metrics` page too.
+  std::string page =
+      client.MustCall(Command("metrics")).GetString("metrics");
+  EXPECT_GT(MetricValue(page, "dbre_pagestore_misses_total"), 0);
+  EXPECT_NE(page.find("# TYPE dbre_pagestore_read_us histogram"),
+            std::string::npos);
+
+  tcp.Stop();
+  server.sessions()->Shutdown();
+  fs::remove_all(dir);
+}
+
 TEST(ServerIntegrationTest, StdioTransportServesASession) {
   std::stringstream in;
   in << R"({"id":1,"cmd":"hello"})" << "\n"

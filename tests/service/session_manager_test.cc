@@ -1,8 +1,11 @@
 #include "service/session_manager.h"
 
+#include <filesystem>
 #include <string>
 
 #include <gtest/gtest.h>
+
+#include "pagestore/buffer_pool.h"
 
 namespace dbre::service {
 namespace {
@@ -140,6 +143,76 @@ TEST(SessionManagerTest, IdenticalExtensionsShareStorageAcrossSessions) {
   // Shared rows are not double-charged against the global budget.
   EXPECT_EQ(manager.budget()->used(), a->memory_bytes());
   EXPECT_EQ(b->memory_bytes(), 0u);
+}
+
+TEST(SessionManagerTest, BufferPoolRequiresADataDir) {
+  SessionManagerOptions options;
+  options.buffer_pool_bytes = 1u << 20;
+  SessionManager manager(options);
+  EXPECT_EQ(manager.store_status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(manager.buffer_pool(), nullptr);
+}
+
+TEST(SessionManagerTest, BufferPoolMustFitTheMemoryBudget) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("dbre_pool_budget_" +
+       std::to_string(::testing::UnitTest::GetInstance()->random_seed()));
+  fs::remove_all(dir);
+  SessionManagerOptions options;
+  options.data_dir = dir.string();
+  options.max_total_bytes = 1u << 20;
+  options.buffer_pool_bytes = 2u << 20;  // larger than the whole budget
+  SessionManager manager(options);
+  EXPECT_EQ(manager.store_status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(manager.buffer_pool(), nullptr);
+  fs::remove_all(dir);
+}
+
+TEST(SessionManagerTest, PagedModeRunsAndReleasesOnClose) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("dbre_paged_manager_" +
+       std::to_string(::testing::UnitTest::GetInstance()->random_seed()));
+  fs::remove_all(dir);
+  SessionManagerOptions options;
+  options.data_dir = dir.string();
+  options.buffer_pool_bytes = 1;  // clamps to the pool's minimum frames
+  SessionManager manager(options);
+  ASSERT_TRUE(manager.store_status().ok());
+  ASSERT_NE(manager.buffer_pool(), nullptr);
+
+  auto session = MakeLoaded(&manager);
+  // Both CSV loads were snapshotted and re-adopted page-backed through
+  // the shared pool.
+  EXPECT_EQ(manager.buffer_pool()->stats().attached_files, 2u);
+
+  // Discovery over the paged extensions completes unattended, streaming
+  // real pages through the pool.
+  Session::RunOptions run;
+  run.oracle = "default";
+  ASSERT_TRUE(manager.SubmitRun(session, run).ok());
+  ASSERT_TRUE(session->WaitFinished(30'000));
+  ASSERT_EQ(session->state(), Session::State::kDone);
+  auto report = session->ReportJson(false);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->find("\"restructured_schema\""), std::string::npos);
+  EXPECT_GT(manager.buffer_pool()->stats().misses, 0u);
+
+  // Closing the only referencing session sweeps the interned extensions
+  // and detaches their snapshots from the pool: the memory comes back.
+  const std::string id = session->id();
+  session.reset();
+  ASSERT_TRUE(manager.CloseSession(id).ok());
+  ExtensionRegistry::Stats registry = manager.registry()->stats();
+  EXPECT_EQ(registry.entries, 0u);
+  EXPECT_GE(registry.releases, 2u);
+  EXPECT_EQ(registry.resident_bytes, 0u);
+  EXPECT_EQ(manager.buffer_pool()->stats().attached_files, 0u);
+  manager.Shutdown();
+  fs::remove_all(dir);
 }
 
 TEST(SessionManagerTest, LoadsRejectedWhileRunning) {
