@@ -3,6 +3,10 @@
 //   dbre_client [--host H] --port N           # REPL: one JSON request per
 //                                             # stdin line, response printed
 //   dbre_client [--host H] --port N demo      # drive the paper's example
+//
+// Connecting retries ECONNREFUSED with capped backoff for --timeout-ms
+// milliseconds (default 5000), so scripting `dbre_serve ... & dbre_client`
+// needs no sleep between the two — the client waits out the daemon's bind.
 //                                             # session end to end, asking
 //                                             # the expert questions on the
 //                                             # terminal
@@ -34,6 +38,7 @@ using dbre::service::Json;
 struct ClientArgs {
   std::string host = "127.0.0.1";
   int port = 7411;
+  long timeout_ms = 5000;
   std::string mode = "repl";
   bool show_help = false;
 };
@@ -45,6 +50,8 @@ bool ParseArgs(int argc, char** argv, ClientArgs* args) {
       args->host = argv[++i];
     } else if (flag == "--port" && i + 1 < argc) {
       args->port = std::atoi(argv[++i]);
+    } else if (flag == "--timeout-ms" && i + 1 < argc) {
+      args->timeout_ms = std::strtol(argv[++i], nullptr, 10);
     } else if (flag == "repl" || flag == "demo") {
       args->mode = flag;
     } else if (flag == "--help" || flag == "-h") {
@@ -253,11 +260,13 @@ int RunRepl(Connection* connection) {
 int main(int argc, char** argv) {
   ClientArgs args;
   if (!ParseArgs(argc, argv, &args) || args.show_help) {
-    std::printf("usage: dbre_client [--host H] [--port N] [repl|demo]\n");
+    std::printf(
+        "usage: dbre_client [--host H] [--port N] [--timeout-ms MS] "
+        "[repl|demo]\n");
     return args.show_help ? 0 : 2;
   }
-  auto channel =
-      dbre::service::TcpConnect(args.host, static_cast<uint16_t>(args.port));
+  auto channel = dbre::service::TcpConnectWithRetry(
+      args.host, static_cast<uint16_t>(args.port), args.timeout_ms);
   if (!channel.ok()) {
     std::fprintf(stderr, "dbre_client: %s\n",
                  channel.status().ToString().c_str());

@@ -1,0 +1,897 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace dbre::cluster {
+namespace {
+
+using service::Json;
+
+struct RouterMetrics {
+  obs::Counter* requests;
+  obs::Counter* forwards;
+  obs::Counter* forward_retries;
+  obs::Counter* migrations;
+  obs::Counter* failovers;
+  obs::Counter* worker_failures;
+  obs::Gauge* live_workers;
+  obs::Histogram* migration_us;
+};
+
+const RouterMetrics& Metrics() {
+  static const RouterMetrics metrics = [] {
+    obs::Registry& registry = obs::Registry::Default();
+    return RouterMetrics{
+        registry.GetCounter("dbre_router_requests_total", {},
+                            "Requests received by the router"),
+        registry.GetCounter("dbre_router_forwards_total", {},
+                            "Requests forwarded to a worker"),
+        registry.GetCounter("dbre_router_forward_retries_total", {},
+                            "Forwards retried after a worker failure"),
+        registry.GetCounter("dbre_router_migrations_total", {},
+                            "Sessions moved by explicit migrate/drain"),
+        registry.GetCounter("dbre_router_failovers_total", {},
+                            "Sessions restored elsewhere after their "
+                            "worker died"),
+        registry.GetCounter("dbre_router_worker_failures_total", {},
+                            "Workers marked dead by probes or forwards"),
+        registry.GetGauge("dbre_router_live_workers", {},
+                          "Workers currently considered alive"),
+        registry.GetHistogram("dbre_router_migration_us", {},
+                              "End-to-end detach+restore migration time"),
+    };
+  }();
+  return metrics;
+}
+
+StatusCode StatusCodeFromName(const std::string& name) {
+  if (name == "ok") return StatusCode::kOk;
+  if (name == "invalid_argument") return StatusCode::kInvalidArgument;
+  if (name == "not_found") return StatusCode::kNotFound;
+  if (name == "already_exists") return StatusCode::kAlreadyExists;
+  if (name == "failed_precondition") return StatusCode::kFailedPrecondition;
+  if (name == "out_of_range") return StatusCode::kOutOfRange;
+  if (name == "parse_error") return StatusCode::kParseError;
+  if (name == "io_error") return StatusCode::kIoError;
+  return StatusCode::kInternal;
+}
+
+// Sets `key` in an object, replacing an existing entry (Json::Set appends
+// blindly; a duplicate key would be ambiguous on the wire).
+void SetField(Json* object, const std::string& key, Json value) {
+  for (auto& [existing, slot] : object->object()) {
+    if (existing == key) {
+      slot = std::move(value);
+      return;
+    }
+  }
+  object->Set(key, std::move(value));
+}
+
+// Responses serialize as {"id":…,"ok":true|false,…}; the "ok" token sits
+// before any payload, so a prefix scan avoids re-parsing a large report
+// just to learn whether the worker succeeded.
+bool ResponseOk(const std::string& response) {
+  size_t pos = response.find("\"ok\":");
+  return pos != std::string::npos &&
+         response.compare(pos + 5, 4, "true") == 0;
+}
+
+// Unwraps a worker's response line: the `result` object on ok, the
+// structured error re-hydrated as a Status otherwise.
+Result<Json> ParseWorkerResponse(const std::string& line) {
+  DBRE_ASSIGN_OR_RETURN(Json response, Json::Parse(line));
+  if (response.GetBool("ok")) {
+    const Json* result = response.Find("result");
+    return result != nullptr ? *result : Json::MakeObject();
+  }
+  const Json* error = response.Find("error");
+  if (error == nullptr) {
+    return InternalError("malformed worker response (no result or error)");
+  }
+  return Status(StatusCodeFromName(error->GetString("code")),
+                error->GetString("message"));
+}
+
+}  // namespace
+
+// Single-flight latch: at most one failover/migration per session at a
+// time; concurrent requests for the same session queue here and re-check
+// the routing table once the first finishes.
+class Router::MigrationGuard {
+ public:
+  MigrationGuard(Router* router, std::string session)
+      : router_(router), session_(std::move(session)) {
+    std::unique_lock<std::mutex> lock(router_->migrate_mutex_);
+    router_->migrate_cv_.wait(lock, [this] {
+      return router_->migrating_.insert(session_).second;
+    });
+  }
+
+  ~MigrationGuard() {
+    {
+      std::lock_guard<std::mutex> lock(router_->migrate_mutex_);
+      router_->migrating_.erase(session_);
+    }
+    router_->migrate_cv_.notify_all();
+  }
+
+ private:
+  Router* router_;
+  std::string session_;
+};
+
+Router::Router(std::vector<RouterWorkerConfig> workers, RouterOptions options)
+    : options_(options),
+      loop_(
+          [this](uint64_t conn_id, const std::string& line) {
+            return Handle(conn_id, line);
+          },
+          options.loop),
+      ring_(options.vnodes_per_node) {
+  for (RouterWorkerConfig& config : workers) {
+    auto worker = std::make_unique<Worker>();
+    worker->config = std::move(config);
+    ring_.AddNode(worker->config.id);
+    workers_.push_back(std::move(worker));
+  }
+  loop_.set_close_handler(
+      [this](uint64_t conn_id) { DropConnection(conn_id); });
+}
+
+Router::~Router() { Stop(); }
+
+Status Router::Start(uint16_t port) {
+  if (workers_.empty()) {
+    return InvalidArgumentError("router needs at least one worker");
+  }
+  DBRE_RETURN_IF_ERROR(loop_.Start(port));
+  Metrics().live_workers->Add(static_cast<int64_t>(workers_.size()));
+  if (options_.health_interval_ms > 0) {
+    health_thread_ = std::thread([this] { HealthLoop(); });
+  }
+  return Status::Ok();
+}
+
+void Router::Stop() {
+  if (stopped_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    health_stop_ = true;
+  }
+  health_cv_.notify_all();
+  if (health_thread_.joinable()) health_thread_.join();
+  loop_.Stop();
+  {
+    std::lock_guard<std::mutex> lock(upstream_mutex_);
+    upstreams_.clear();
+  }
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->control_mutex);
+    worker->control.reset();
+  }
+}
+
+std::string Router::Lookup(const std::string& session) {
+  std::lock_guard<std::mutex> lock(table_mutex_);
+  auto it = table_.find(session);
+  if (it != table_.end()) return it->second;
+  return ring_.OwnerOf(session);
+}
+
+Router::Worker* Router::FindWorker(const std::string& id) {
+  for (const auto& worker : workers_) {
+    if (worker->config.id == id) return worker.get();
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Control channel.
+
+Result<Json> Router::ControlRpc(Worker* worker, Json request) {
+  SetField(&request, "id",
+           Json::Int(control_id_.fetch_add(1, std::memory_order_relaxed)));
+  const std::string line = request.Dump();
+  std::lock_guard<std::mutex> lock(worker->control_mutex);
+  Status last = IoError("control channel unavailable");
+  // Two passes: the first may hold a channel from before a worker restart
+  // (write succeeds into a dead socket, the read fails); the second
+  // reconnects fresh. Connect failures end it — TcpConnectWithRetry
+  // already spent the backoff budget.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (worker->control == nullptr) {
+      Result<std::unique_ptr<service::SocketChannel>> connected =
+          service::TcpConnectWithRetry(worker->config.host,
+                                       worker->config.port,
+                                       options_.connect_deadline_ms,
+                                       options_.control_recv_timeout_ms);
+      if (!connected.ok()) return connected.status();
+      worker->control = std::move(connected).value();
+    }
+    Status sent = worker->control->WriteLine(line);
+    if (!sent.ok()) {
+      worker->control.reset();
+      last = sent;
+      continue;
+    }
+    Result<std::string> response = worker->control->ReadLine();
+    if (!response.ok()) {
+      worker->control.reset();
+      last = response.status().code() == StatusCode::kNotFound
+                 ? IoError("worker " + worker->config.id +
+                           " closed its control channel")
+                 : response.status();
+      continue;
+    }
+    return ParseWorkerResponse(*response);
+  }
+  return last;
+}
+
+void Router::WorkerFailed(Worker* worker) {
+  if (!worker->alive.load(std::memory_order_acquire)) return;
+  // One probe separates a flaky connection from a dead process: the
+  // control RPC reconnects from scratch, so it only fails when the worker
+  // really is unreachable.
+  Json probe = Json::MakeObject();
+  probe.Set("cmd", Json::Str("hello"));
+  if (ControlRpc(worker, std::move(probe)).ok()) return;
+  MarkDead(worker);
+}
+
+void Router::MarkDead(Worker* worker) {
+  if (worker->alive.exchange(false)) {
+    {
+      std::lock_guard<std::mutex> lock(table_mutex_);
+      ring_.RemoveNode(worker->config.id);
+    }
+    Metrics().worker_failures->Add(1);
+    Metrics().live_workers->Add(-1);
+  }
+}
+
+void Router::Revive(Worker* worker) {
+  if (!worker->alive.exchange(true)) {
+    if (worker->in_ring.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(table_mutex_);
+      ring_.AddNode(worker->config.id);
+    }
+    Metrics().live_workers->Add(1);
+  }
+}
+
+void Router::HealthLoop() {
+  std::unique_lock<std::mutex> lock(health_mutex_);
+  while (!health_stop_) {
+    health_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.health_interval_ms));
+    if (health_stop_) return;
+    lock.unlock();
+    for (const auto& worker : workers_) {
+      Json probe = Json::MakeObject();
+      probe.Set("cmd", Json::Str("hello"));
+      probe.Set("protocol", Json::Int(service::kProtocolVersion));
+      bool up = ControlRpc(worker.get(), std::move(probe)).ok();
+      if (up) {
+        Revive(worker.get());
+      } else {
+        MarkDead(worker.get());
+      }
+    }
+    lock.lock();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Routing and forwarding.
+
+Result<Router::Worker*> Router::RouteSession(const std::string& session) {
+  std::string assigned;
+  {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    auto it = table_.find(session);
+    if (it != table_.end()) assigned = it->second;
+  }
+  if (!assigned.empty()) {
+    Worker* worker = FindWorker(assigned);
+    if (worker != nullptr && worker->alive.load(std::memory_order_acquire)) {
+      return worker;
+    }
+    return Failover(session);
+  }
+  std::string owner;
+  {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    owner = ring_.OwnerOf(session);
+  }
+  if (owner.empty()) {
+    return FailedPreconditionError(
+        "no live workers in the ring; cannot route session '" + session +
+        "'");
+  }
+  Worker* worker = FindWorker(owner);
+  if (worker == nullptr) {
+    return InternalError("ring names unknown worker '" + owner + "'");
+  }
+  return worker;
+}
+
+Result<Router::Worker*> Router::Failover(const std::string& session) {
+  MigrationGuard guard(this, session);
+  // Another request may have completed this failover while we queued.
+  {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    auto it = table_.find(session);
+    if (it != table_.end()) {
+      Worker* worker = FindWorker(it->second);
+      if (worker != nullptr &&
+          worker->alive.load(std::memory_order_acquire)) {
+        return worker;
+      }
+    }
+  }
+  std::string target_id;
+  {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    target_id = ring_.OwnerOf(session);
+  }
+  if (target_id.empty()) {
+    return FailedPreconditionError("session '" + session +
+                                   "' lost its worker and no live worker "
+                                   "remains to restore it on");
+  }
+  Worker* target = FindWorker(target_id);
+  if (target == nullptr) {
+    return InternalError("ring names unknown worker '" + target_id + "'");
+  }
+  Json restore = Json::MakeObject();
+  restore.Set("cmd", Json::Str("restore"));
+  restore.Set("session", Json::Str(session));
+  Result<Json> restored = ControlRpc(target, std::move(restore));
+  // AlreadyExists means a previous (partial) failover landed it there —
+  // exactly the state we want.
+  if (!restored.ok() &&
+      restored.status().code() != StatusCode::kAlreadyExists) {
+    return Status(restored.status().code(),
+                  "failover of session '" + session + "' to worker '" +
+                      target_id + "' failed: " +
+                      restored.status().message());
+  }
+  {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    table_[session] = target_id;
+  }
+  Metrics().failovers->Add(1);
+  return target;
+}
+
+Result<std::shared_ptr<service::SocketChannel>> Router::UpstreamFor(
+    uint64_t conn_id, Worker* worker) {
+  {
+    std::lock_guard<std::mutex> lock(upstream_mutex_);
+    auto it = upstreams_.find({conn_id, worker->config.id});
+    if (it != upstreams_.end()) return it->second;
+  }
+  Result<std::unique_ptr<service::SocketChannel>> connected =
+      service::TcpConnectWithRetry(worker->config.host, worker->config.port,
+                                   options_.connect_deadline_ms,
+                                   options_.upstream_recv_timeout_ms);
+  if (!connected.ok()) return connected.status();
+  std::shared_ptr<service::SocketChannel> channel =
+      std::move(connected).value();
+  std::lock_guard<std::mutex> lock(upstream_mutex_);
+  upstreams_[{conn_id, worker->config.id}] = channel;
+  return channel;
+}
+
+void Router::DropUpstream(uint64_t conn_id, Worker* worker) {
+  std::lock_guard<std::mutex> lock(upstream_mutex_);
+  upstreams_.erase({conn_id, worker->config.id});
+}
+
+void Router::DropConnection(uint64_t conn_id) {
+  std::lock_guard<std::mutex> lock(upstream_mutex_);
+  auto it = upstreams_.lower_bound({conn_id, std::string()});
+  while (it != upstreams_.end() && it->first.first == conn_id) {
+    it = upstreams_.erase(it);
+  }
+}
+
+Result<std::string> Router::Forward(uint64_t conn_id,
+                                    const std::string& session,
+                                    const std::string& line) {
+  Metrics().forwards->Add(1);
+  Status last = IoError("no worker reachable for session '" + session + "'");
+  // Two attempts: a failure inside the first (dead worker) triggers
+  // failover in RouteSession, and the retry lands on the session's new
+  // home. More than one retry only delays the error the client must see.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (attempt > 0) Metrics().forward_retries->Add(1);
+    DBRE_ASSIGN_OR_RETURN(Worker * worker, RouteSession(session));
+    Result<std::shared_ptr<service::SocketChannel>> channel =
+        UpstreamFor(conn_id, worker);
+    if (!channel.ok()) {
+      last = channel.status();
+      WorkerFailed(worker);
+      continue;
+    }
+    Status sent = (*channel)->WriteLine(line);
+    if (!sent.ok()) {
+      DropUpstream(conn_id, worker);
+      last = sent;
+      WorkerFailed(worker);
+      continue;
+    }
+    Result<std::string> response = (*channel)->ReadLine();
+    if (!response.ok()) {
+      DropUpstream(conn_id, worker);
+      last = response.status().code() == StatusCode::kNotFound
+                 ? IoError("worker " + worker->config.id +
+                           " closed the connection mid-request")
+                 : response.status();
+      WorkerFailed(worker);
+      continue;
+    }
+    if (ResponseOk(*response)) {
+      // The table records where the session was actually served — it
+      // self-heals after failovers and ring changes.
+      std::lock_guard<std::mutex> lock(table_mutex_);
+      table_[session] = worker->config.id;
+    }
+    return std::move(response).value();
+  }
+  return last;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol surface.
+
+std::string Router::Handle(uint64_t conn_id, const std::string& line) {
+  Result<service::Request> request = service::ParseRequest(line, limits_);
+  if (!request.ok()) return service::ErrorResponse(-1, request.status());
+  Metrics().requests->Add(1);
+  std::string raw;
+  Result<Json> result = Dispatch(conn_id, *request, line, &raw);
+  if (!result.ok()) {
+    return service::ErrorResponse(request->id, result.status());
+  }
+  if (!raw.empty()) return raw;  // forwarded verbatim, ids preserved
+  return service::OkResponse(request->id, std::move(result).value());
+}
+
+Result<Json> Router::Dispatch(uint64_t conn_id,
+                              const service::Request& request,
+                              const std::string& line,
+                              std::string* raw_response) {
+  const std::string& cmd = request.cmd;
+  if (cmd == "hello") return HandleHello(request);
+  if (cmd == "cluster") return HandleCluster();
+  if (cmd == "route") return HandleRoute(request);
+  if (cmd == "migrate") return HandleMigrate(request);
+  if (cmd == "drain") return HandleDrain(request);
+  if (cmd == "stats") return HandleStats();
+  if (cmd == "metrics") return HandleMetrics();
+  if (cmd == "sessions") return AggregateSessions();
+  if (cmd == "questions" && request.params.Find("session") == nullptr) {
+    return AggregateQuestions();
+  }
+  if (cmd == "failpoint") {
+    return FailedPreconditionError(
+        "the router injects no faults; send failpoint to a worker "
+        "directly");
+  }
+  if (cmd == "shutdown") {
+    // Stops the router only: workers are independent processes with their
+    // own lifecycle (and other routers may be using them).
+    loop_.RequestStop();
+    Json result = Json::MakeObject();
+    result.Set("bye", Json::Bool(true));
+    return result;
+  }
+  if (cmd == "create") {
+    DBRE_ASSIGN_OR_RETURN(*raw_response, HandleCreate(conn_id, request));
+    return Json::Null();
+  }
+  std::string session = request.params.GetString("session");
+  if (session.empty()) {
+    return InvalidArgumentError("command '" + cmd +
+                                "' needs a \"session\" field to route by");
+  }
+  // Everything session-scoped forwards verbatim — including commands this
+  // router predates, so workers can grow the protocol without a router
+  // redeploy.
+  DBRE_ASSIGN_OR_RETURN(std::string raw, Forward(conn_id, session, line));
+  if ((cmd == "close" || cmd == "detach") && ResponseOk(raw)) {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    table_.erase(session);
+  }
+  *raw_response = std::move(raw);
+  return Json::Null();
+}
+
+Result<Json> Router::HandleHello(const service::Request& request) {
+  const Json* protocol = request.params.Find("protocol");
+  if (protocol != nullptr) {
+    if (!protocol->IsInt()) {
+      return InvalidArgumentError("hello \"protocol\" must be an integer");
+    }
+    if (protocol->AsInt() != service::kProtocolVersion) {
+      return FailedPreconditionError(
+          "protocol version mismatch: client speaks " +
+          std::to_string(protocol->AsInt()) + ", this router speaks " +
+          std::to_string(service::kProtocolVersion));
+    }
+  }
+  size_t alive = 0;
+  for (const auto& worker : workers_) {
+    if (worker->alive.load(std::memory_order_acquire)) ++alive;
+  }
+  Json result = Json::MakeObject();
+  result.Set("server", Json::Str("dbre-router"));
+  result.Set("protocol", Json::Int(service::kProtocolVersion));
+  result.Set("workers", Json::Int(static_cast<int64_t>(alive)));
+  {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    result.Set("sessions", Json::Int(static_cast<int64_t>(table_.size())));
+  }
+  // A client announcing its session gets the route pre-resolved (and, if
+  // that session's worker died, failed over) in the same round trip.
+  std::string session = request.params.GetString("session");
+  if (!session.empty()) {
+    result.Set("session", Json::Str(session));
+    Result<Worker*> routed = RouteSession(session);
+    if (routed.ok()) {
+      result.Set("worker", Json::Str((*routed)->config.id));
+    }
+  }
+  return result;
+}
+
+Result<Json> Router::HandleRoute(const service::Request& request) {
+  std::string session = request.params.GetString("session");
+  if (session.empty()) {
+    return InvalidArgumentError("route needs a \"session\" field");
+  }
+  DBRE_ASSIGN_OR_RETURN(Worker * worker, RouteSession(session));
+  Json result = Json::MakeObject();
+  result.Set("session", Json::Str(session));
+  result.Set("worker", Json::Str(worker->config.id));
+  return result;
+}
+
+Result<Json> Router::HandleCluster() {
+  Json list = Json::MakeArray();
+  std::unordered_map<std::string, int64_t> per_worker;
+  size_t table_size = 0;
+  {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    table_size = table_.size();
+    for (const auto& [session, worker] : table_) ++per_worker[worker];
+  }
+  for (const auto& worker : workers_) {
+    Json entry = Json::MakeObject();
+    entry.Set("id", Json::Str(worker->config.id));
+    entry.Set("host", Json::Str(worker->config.host));
+    entry.Set("port", Json::Int(worker->config.port));
+    entry.Set("alive",
+              Json::Bool(worker->alive.load(std::memory_order_acquire)));
+    entry.Set("in_ring",
+              Json::Bool(worker->in_ring.load(std::memory_order_acquire)));
+    auto it = per_worker.find(worker->config.id);
+    entry.Set("sessions",
+              Json::Int(it != per_worker.end() ? it->second : 0));
+    list.Append(std::move(entry));
+  }
+  Json result = Json::MakeObject();
+  result.Set("workers", std::move(list));
+  result.Set("sessions", Json::Int(static_cast<int64_t>(table_size)));
+  return result;
+}
+
+Result<Json> Router::HandleMigrate(const service::Request& request) {
+  std::string session = request.params.GetString("session");
+  if (session.empty()) {
+    return InvalidArgumentError("migrate needs a \"session\" field");
+  }
+  return MigrateSession(session, request.params.GetString("to"));
+}
+
+Result<Json> Router::MigrateSession(const std::string& session,
+                                    const std::string& to) {
+  MigrationGuard guard(this, session);
+  std::string source_id;
+  {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    auto it = table_.find(session);
+    if (it != table_.end()) source_id = it->second;
+  }
+  Worker* source = source_id.empty() ? nullptr : FindWorker(source_id);
+  if (source != nullptr && !source->alive.load(std::memory_order_acquire)) {
+    source = nullptr;  // dead source: restore-only, the journal is sealed
+  }
+  std::string target_id = to;
+  if (target_id.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(table_mutex_);
+      target_id = ring_.OwnerOf(session);
+    }
+    if (target_id.empty() || target_id == source_id) {
+      // Hashing put it where it already is (or the ring is empty): pick
+      // the first other live worker so `migrate` always moves.
+      target_id.clear();
+      for (const auto& worker : workers_) {
+        if (worker->config.id != source_id &&
+            worker->alive.load(std::memory_order_acquire)) {
+          target_id = worker->config.id;
+          break;
+        }
+      }
+    }
+  }
+  if (target_id.empty()) {
+    return FailedPreconditionError(
+        "no live worker to migrate session '" + session + "' to");
+  }
+  if (target_id == source_id) {
+    return AlreadyExistsError("session '" + session +
+                              "' is already on worker '" + target_id + "'");
+  }
+  Worker* target = FindWorker(target_id);
+  if (target == nullptr) {
+    return NotFoundError("unknown worker '" + target_id + "'");
+  }
+  if (!target->alive.load(std::memory_order_acquire)) {
+    return FailedPreconditionError("worker '" + target_id + "' is down");
+  }
+
+  int64_t start_us = obs::MonotonicUs();
+  if (source != nullptr) {
+    Json detach = Json::MakeObject();
+    detach.Set("cmd", Json::Str("detach"));
+    detach.Set("session", Json::Str(session));
+    Result<Json> detached = ControlRpc(source, std::move(detach));
+    if (!detached.ok() &&
+        detached.status().code() != StatusCode::kNotFound) {
+      return Status(detached.status().code(),
+                    "detach of session '" + session + "' from worker '" +
+                        source_id + "' failed: " +
+                        detached.status().message());
+    }
+  }
+  Json restore = Json::MakeObject();
+  restore.Set("cmd", Json::Str("restore"));
+  restore.Set("session", Json::Str(session));
+  Result<Json> restored = ControlRpc(target, std::move(restore));
+  if (!restored.ok() &&
+      restored.status().code() != StatusCode::kAlreadyExists) {
+    if (source != nullptr) {
+      // Undo: put the session back where it came from so a failed
+      // migration strands nothing. Best effort — the journal stays on
+      // disk either way.
+      Json undo = Json::MakeObject();
+      undo.Set("cmd", Json::Str("restore"));
+      undo.Set("session", Json::Str(session));
+      (void)ControlRpc(source, std::move(undo));
+    }
+    return Status(restored.status().code(),
+                  "restore of session '" + session + "' on worker '" +
+                      target_id + "' failed: " +
+                      restored.status().message());
+  }
+  int64_t elapsed_us = obs::MonotonicUs() - start_us;
+  {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    table_[session] = target_id;
+  }
+  Metrics().migrations->Add(1);
+  Metrics().migration_us->Observe(static_cast<uint64_t>(elapsed_us));
+  Json result = Json::MakeObject();
+  result.Set("session", Json::Str(session));
+  if (!source_id.empty()) result.Set("from", Json::Str(source_id));
+  result.Set("to", Json::Str(target_id));
+  result.Set("duration_us", Json::Int(elapsed_us));
+  return result;
+}
+
+Result<Json> Router::HandleDrain(const service::Request& request) {
+  std::string worker_id = request.params.GetString("worker");
+  if (worker_id.empty()) {
+    return InvalidArgumentError("drain needs a \"worker\" field");
+  }
+  Worker* worker = FindWorker(worker_id);
+  if (worker == nullptr) {
+    return NotFoundError("unknown worker '" + worker_id + "'");
+  }
+  // Out of the ring first so nothing new lands there while we move its
+  // sessions; in_ring=false keeps the health prober from re-adding it.
+  worker->in_ring.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    ring_.RemoveNode(worker_id);
+  }
+  // The worker's own session list is the source of truth (the table only
+  // knows sessions that passed through this router).
+  Json list_request = Json::MakeObject();
+  list_request.Set("cmd", Json::Str("sessions"));
+  DBRE_ASSIGN_OR_RETURN(Json listed, ControlRpc(worker, list_request));
+  Json migrated = Json::MakeArray();
+  Json errors = Json::MakeArray();
+  const Json* sessions = listed.Find("sessions");
+  if (sessions != nullptr && sessions->IsArray()) {
+    for (const Json& entry : sessions->array()) {
+      std::string session = entry.GetString("session");
+      if (session.empty()) continue;
+      {
+        // Drain moves sessions the table has never seen; seed it so
+        // MigrateSession treats this worker as the source.
+        std::lock_guard<std::mutex> lock(table_mutex_);
+        table_.emplace(session, worker_id);
+      }
+      Result<Json> moved = MigrateSession(session, "");
+      if (moved.ok()) {
+        migrated.Append(Json::Str(session));
+      } else {
+        Json failure = Json::MakeObject();
+        failure.Set("session", Json::Str(session));
+        failure.Set("error", Json::Str(moved.status().ToString()));
+        errors.Append(std::move(failure));
+      }
+    }
+  }
+  Json result = Json::MakeObject();
+  result.Set("drained", Json::Str(worker_id));
+  result.Set("migrated", std::move(migrated));
+  result.Set("errors", std::move(errors));
+  return result;
+}
+
+Result<Json> Router::HandleStats() {
+  size_t alive = 0;
+  for (const auto& worker : workers_) {
+    if (worker->alive.load(std::memory_order_acquire)) ++alive;
+  }
+  Json router = Json::MakeObject();
+  router.Set("workers", Json::Int(static_cast<int64_t>(workers_.size())));
+  router.Set("workers_alive", Json::Int(static_cast<int64_t>(alive)));
+  {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    router.Set("sessions", Json::Int(static_cast<int64_t>(table_.size())));
+  }
+  {
+    std::lock_guard<std::mutex> lock(migrate_mutex_);
+    router.Set("migrating",
+               Json::Int(static_cast<int64_t>(migrating_.size())));
+  }
+  EventLoopStats loop = loop_.stats();
+  Json transport = Json::MakeObject();
+  transport.Set("accepted", Json::Int(static_cast<int64_t>(loop.accepted)));
+  transport.Set("requests", Json::Int(static_cast<int64_t>(loop.requests)));
+  transport.Set("responses",
+                Json::Int(static_cast<int64_t>(loop.responses)));
+  transport.Set("backpressure_pauses",
+                Json::Int(static_cast<int64_t>(loop.backpressure_pauses)));
+  transport.Set("connections",
+                Json::Int(static_cast<int64_t>(loop.connections)));
+  transport.Set("handler_threads",
+                Json::Int(static_cast<int64_t>(loop.handler_threads)));
+  Json result = Json::MakeObject();
+  result.Set("router", std::move(router));
+  result.Set("loop", std::move(transport));
+  return result;
+}
+
+Result<Json> Router::HandleMetrics() {
+  Json result = Json::MakeObject();
+  result.Set("metrics",
+             Json::Str(obs::Registry::Default().RenderPrometheus()));
+  return result;
+}
+
+Result<Json> Router::AggregateSessions() {
+  Json list = Json::MakeArray();
+  for (const auto& worker : workers_) {
+    if (!worker->alive.load(std::memory_order_acquire)) continue;
+    Json request = Json::MakeObject();
+    request.Set("cmd", Json::Str("sessions"));
+    Result<Json> result = ControlRpc(worker.get(), std::move(request));
+    if (!result.ok()) continue;  // a dying worker drops out of the union
+    const Json* sessions = result->Find("sessions");
+    if (sessions == nullptr || !sessions->IsArray()) continue;
+    for (const Json& entry : sessions->array()) {
+      Json tagged = entry;
+      tagged.Set("worker", Json::Str(worker->config.id));
+      list.Append(std::move(tagged));
+    }
+  }
+  Json result = Json::MakeObject();
+  result.Set("sessions", std::move(list));
+  return result;
+}
+
+Result<Json> Router::AggregateQuestions() {
+  Json list = Json::MakeArray();
+  for (const auto& worker : workers_) {
+    if (!worker->alive.load(std::memory_order_acquire)) continue;
+    Json request = Json::MakeObject();
+    request.Set("cmd", Json::Str("questions"));
+    Result<Json> result = ControlRpc(worker.get(), std::move(request));
+    if (!result.ok()) continue;
+    const Json* questions = result->Find("questions");
+    if (questions == nullptr || !questions->IsArray()) continue;
+    for (const Json& entry : questions->array()) {
+      Json tagged = entry;
+      tagged.Set("worker", Json::Str(worker->config.id));
+      list.Append(std::move(tagged));
+    }
+  }
+  Json result = Json::MakeObject();
+  result.Set("questions", std::move(list));
+  return result;
+}
+
+Result<std::string> Router::HandleCreate(uint64_t conn_id,
+                                         const service::Request& request) {
+  std::string name = request.params.GetString("name");
+  if (name.empty()) {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    name = "r" + std::to_string(next_name_++);
+  }
+  // Pin the name so placement is the ring's decision; the worker may still
+  // pick a different id if the name is taken there — the response's actual
+  // id is what the table records.
+  Json rewritten = request.params;
+  SetField(&rewritten, "name", Json::Str(name));
+  const std::string line = rewritten.Dump();
+  Status last = FailedPreconditionError("no live workers in the ring");
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    std::string owner;
+    {
+      std::lock_guard<std::mutex> lock(table_mutex_);
+      owner = ring_.OwnerOf(name);
+    }
+    if (owner.empty()) break;
+    Worker* worker = FindWorker(owner);
+    if (worker == nullptr) {
+      return InternalError("ring names unknown worker '" + owner + "'");
+    }
+    Result<std::shared_ptr<service::SocketChannel>> channel =
+        UpstreamFor(conn_id, worker);
+    if (!channel.ok()) {
+      last = channel.status();
+      WorkerFailed(worker);
+      continue;
+    }
+    Status sent = (*channel)->WriteLine(line);
+    if (!sent.ok()) {
+      DropUpstream(conn_id, worker);
+      last = sent;
+      WorkerFailed(worker);
+      continue;
+    }
+    Result<std::string> response = (*channel)->ReadLine();
+    if (!response.ok()) {
+      DropUpstream(conn_id, worker);
+      last = IoError("worker " + worker->config.id +
+                     " failed during create: " +
+                     response.status().message());
+      WorkerFailed(worker);
+      continue;
+    }
+    if (ResponseOk(*response)) {
+      Result<Json> parsed = ParseWorkerResponse(*response);
+      std::string actual =
+          parsed.ok() ? parsed->GetString("session") : name;
+      if (actual.empty()) actual = name;
+      std::lock_guard<std::mutex> lock(table_mutex_);
+      table_[actual] = worker->config.id;
+    }
+    return std::move(response).value();
+  }
+  return last;
+}
+
+}  // namespace dbre::cluster

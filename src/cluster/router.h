@@ -1,0 +1,184 @@
+// dbre_router: a sharding front process for a fleet of dbre_serve workers.
+//
+// Clients speak the ordinary dbred NDJSON protocol to the router; the
+// router owns *placement*, the workers own sessions. Placement is a
+// consistent-hash ring over worker ids (hash_ring.h) for the default, plus
+// an authoritative routing table session → worker that records where each
+// session actually lives — the table wins, the ring only decides where a
+// session goes when nobody knows it yet. Session-scoped commands forward
+// verbatim (the response bytes come straight from the worker, so a report
+// through the router is byte-identical to one from the worker); `create`
+// is rewritten only to pin the session name the ring hashed.
+//
+// Migration rides the shared --data-dir: `detach` on the source worker
+// seals the session's journal (fsync, ownership released, no close
+// tombstone), `restore` on the target replays it — deterministic replay
+// makes the resumed session byte-identical. The router drives that pair
+// for explicit `migrate`/`drain`, and as *failover* when a worker dies:
+// a dead worker's sessions restore on their new ring owner from the
+// journal the dead process already made durable.
+//
+// Each client connection gets its own upstream socket per worker (an
+// upstream shared across clients would serialize everyone behind one
+// blocking `wait`); a separate per-worker control channel carries the
+// router's own RPCs — health pings, detach/restore, aggregation.
+//
+// Router-added commands: `route` (where does this session live),
+// `cluster` (fleet snapshot), `migrate`, `drain`. `shutdown` stops the
+// router only — workers are independent processes with their own
+// lifecycle. `failpoint` is refused: inject faults on a worker directly.
+#ifndef DBRE_CLUSTER_ROUTER_H_
+#define DBRE_CLUSTER_ROUTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cluster/event_loop.h"
+#include "cluster/hash_ring.h"
+#include "common/status.h"
+#include "service/protocol.h"
+#include "service/transport.h"
+
+namespace dbre::cluster {
+
+struct RouterWorkerConfig {
+  std::string id;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+struct RouterOptions {
+  size_t vnodes_per_node = 64;
+  // Period of the health prober; 0 disables it (failures are then only
+  // detected lazily, when a forward hits the dead socket).
+  int64_t health_interval_ms = 500;
+  // Budget for (re)connecting to a worker, with capped backoff — covers a
+  // worker that is restarting.
+  int64_t connect_deadline_ms = 2'000;
+  // SO_RCVTIMEO on control channels: a hung worker must not wedge the
+  // health prober or a migration forever.
+  int64_t control_recv_timeout_ms = 10'000;
+  // SO_RCVTIMEO on forwarding channels. 0 (default) = none: a forwarded
+  // `wait` legitimately blocks up to the worker's max_wait_ms, and a
+  // SIGKILLed worker's sockets error out on their own.
+  int64_t upstream_recv_timeout_ms = 0;
+  EventLoopOptions loop;
+};
+
+class Router {
+ public:
+  Router(std::vector<RouterWorkerConfig> workers, RouterOptions options = {});
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  Status Start(uint16_t port);
+  uint16_t port() const { return loop_.port(); }
+
+  // Blocks until a client issues `shutdown` (to the router).
+  void WaitUntilShutdown() { loop_.WaitUntilStopRequested(); }
+  void Stop();
+
+  // Where `session` would be served right now (test/introspection hook;
+  // does not trigger failover). "" when unknown to table and ring empty.
+  std::string Lookup(const std::string& session);
+
+ private:
+  struct Worker {
+    RouterWorkerConfig config;
+    std::atomic<bool> alive{true};
+    // Drained workers leave the ring for good; dead ones return on revive.
+    std::atomic<bool> in_ring{true};
+    std::mutex control_mutex;  // serializes control-channel RPCs
+    std::unique_ptr<service::SocketChannel> control;
+  };
+
+  std::string Handle(uint64_t conn_id, const std::string& line);
+  Result<service::Json> Dispatch(uint64_t conn_id,
+                                 const service::Request& request,
+                                 const std::string& line,
+                                 std::string* raw_response);
+
+  // Local commands.
+  Result<service::Json> HandleHello(const service::Request& request);
+  Result<service::Json> HandleRoute(const service::Request& request);
+  Result<service::Json> HandleCluster();
+  Result<service::Json> HandleMigrate(const service::Request& request);
+  Result<service::Json> HandleDrain(const service::Request& request);
+  Result<service::Json> HandleStats();
+  Result<service::Json> HandleMetrics();
+  Result<service::Json> AggregateSessions();
+  Result<service::Json> AggregateQuestions();
+  // Returns the worker's raw response line (ids preserved verbatim).
+  Result<std::string> HandleCreate(uint64_t conn_id,
+                                   const service::Request& request);
+
+  // Forwarding path.
+  Result<std::string> Forward(uint64_t conn_id, const std::string& session,
+                              const std::string& line);
+  Result<Worker*> RouteSession(const std::string& session);
+  Result<Worker*> Failover(const std::string& session);
+  Result<service::Json> MigrateSession(const std::string& session,
+                                       const std::string& to);
+
+  Worker* FindWorker(const std::string& id);
+  Result<std::shared_ptr<service::SocketChannel>> UpstreamFor(
+      uint64_t conn_id, Worker* worker);
+  void DropUpstream(uint64_t conn_id, Worker* worker);
+  void DropConnection(uint64_t conn_id);
+
+  // One request/response on the worker's control channel (reconnects once
+  // on a transport error). Returns the response's `result` object, or the
+  // worker's structured error as a Status.
+  Result<service::Json> ControlRpc(Worker* worker, service::Json request);
+  // A transport-level failure talking to `worker`: probe once; if the
+  // probe also fails, mark it dead and pull it from the ring.
+  void WorkerFailed(Worker* worker);
+  void MarkDead(Worker* worker);
+  void Revive(Worker* worker);
+  void HealthLoop();
+
+  // Single-flight latch per session for failover/migration.
+  class MigrationGuard;
+
+  RouterOptions options_;
+  service::ProtocolLimits limits_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  EventLoopServer loop_;
+  std::atomic<int64_t> control_id_{1};
+
+  std::mutex table_mutex_;  // guards ring_ and table_
+  HashRing ring_;
+  std::unordered_map<std::string, std::string> table_;  // session → worker
+  uint64_t next_name_ = 1;  // for router-generated session names
+
+  std::mutex upstream_mutex_;
+  std::map<std::pair<uint64_t, std::string>,
+           std::shared_ptr<service::SocketChannel>>
+      upstreams_;
+
+  std::mutex migrate_mutex_;
+  std::condition_variable migrate_cv_;
+  std::set<std::string> migrating_;
+
+  std::mutex health_mutex_;
+  std::condition_variable health_cv_;
+  bool health_stop_ = false;
+  std::thread health_thread_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace dbre::cluster
+
+#endif  // DBRE_CLUSTER_ROUTER_H_

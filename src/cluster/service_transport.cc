@@ -1,0 +1,19 @@
+#include "cluster/service_transport.h"
+
+namespace dbre::cluster {
+
+EventLoopTransport::EventLoopTransport(service::Server* server,
+                                       EventLoopOptions options)
+    : server_(server),
+      loop_(
+          [this](uint64_t, const std::string& line) {
+            std::string response = server_->HandleLine(line);
+            // `shutdown` flips the server flag inside HandleLine; surface
+            // it to the loop after the response is produced so the bye
+            // line still reaches the client during graceful Stop.
+            if (server_->shutdown_requested()) loop_.RequestStop();
+            return response;
+          },
+          options) {}
+
+}  // namespace dbre::cluster

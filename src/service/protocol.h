@@ -25,6 +25,12 @@
 
 namespace dbre::service {
 
+// Bumped when the wire surface changes incompatibly. 2 added the `hello`
+// handshake (protocol/session fields), `detach`, and the router commands.
+// A client may send its version in `hello`; a mismatch is rejected with a
+// structured failed_precondition before any session state is touched.
+inline constexpr int64_t kProtocolVersion = 2;
+
 struct ProtocolLimits {
   size_t max_line_bytes = 8u << 20;  // big enough for a CSV extension chunk
   size_t max_json_depth = 32;

@@ -4,18 +4,21 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 #include "common/failpoint.h"
 #include "obs/metrics.h"
 
 namespace dbre::service {
-namespace {
 
-// Wakes every in-flight `wait` whenever any session's state moves. One
-// process-wide rendezvous is enough: waits re-check their own predicate.
-struct WaitHub {
+// One rendezvous per session: `wait` parks here, the session's listener
+// notifies here. Taking the lock before notify_all pairs with the waiter's
+// predicate re-check, so a notification between check and sleep is never
+// lost.
+struct Server::WaitHub {
   std::mutex mutex;
   std::condition_variable changed;
 
@@ -25,12 +28,48 @@ struct WaitHub {
   }
 };
 
-WaitHub& Hub() {
-  static WaitHub hub;
+std::shared_ptr<Server::WaitHub> Server::HubFor(
+    const std::string& session_id) {
+  std::lock_guard<std::mutex> lock(hubs_mutex_);
+  std::shared_ptr<WaitHub>& hub = hubs_[session_id];
+  if (hub == nullptr) hub = std::make_shared<WaitHub>();
   return hub;
 }
 
-}  // namespace
+void Server::NotifyHub(const std::string& session_id) {
+  std::shared_ptr<WaitHub> hub;
+  {
+    std::lock_guard<std::mutex> lock(hubs_mutex_);
+    auto it = hubs_.find(session_id);
+    if (it == hubs_.end()) return;
+    hub = it->second;
+  }
+  hub->Notify();
+}
+
+void Server::DropHub(const std::string& session_id) {
+  std::shared_ptr<WaitHub> hub;
+  {
+    std::lock_guard<std::mutex> lock(hubs_mutex_);
+    auto it = hubs_.find(session_id);
+    if (it == hubs_.end()) return;
+    hub = std::move(it->second);
+    hubs_.erase(it);
+  }
+  // Waiters hold their own shared_ptr; wake them one last time so they
+  // observe the terminal state instead of sleeping out their timeout.
+  hub->Notify();
+}
+
+void Server::NotifyAllHubs() {
+  std::vector<std::shared_ptr<WaitHub>> hubs;
+  {
+    std::lock_guard<std::mutex> lock(hubs_mutex_);
+    hubs.reserve(hubs_.size());
+    for (const auto& [id, hub] : hubs_) hubs.push_back(hub);
+  }
+  for (const auto& hub : hubs) hub->Notify();
+}
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)), manager_(options_.sessions) {
@@ -46,7 +85,7 @@ Server::Server(ServerOptions options)
     // Recovered sessions need the same listener `create` installs, or
     // `wait` would sleep through their questions and terminal states.
     for (const auto& session : manager_.Sessions()) {
-      session->SetListener([] { Hub().Notify(); });
+      session->SetListener([hub = HubFor(session->id())] { hub->Notify(); });
     }
   }
 }
@@ -61,7 +100,7 @@ std::string Server::HandleLine(const std::string& line) {
 
 Result<Json> Server::Dispatch(const Request& request) {
   const std::string& cmd = request.cmd;
-  if (cmd == "hello") return HandleHello();
+  if (cmd == "hello") return HandleHello(request);
   if (cmd == "create") return HandleCreate(request);
   if (cmd == "sessions") return HandleSessions();
   if (cmd == "status") return HandleStatus(request);
@@ -83,10 +122,11 @@ Result<Json> Server::Dispatch(const Request& request) {
   if (cmd == "trace") return HandleTrace(request);
   if (cmd == "persist") return HandlePersist(request);
   if (cmd == "restore") return HandleRestore(request);
+  if (cmd == "detach") return HandleDetach(request);
   if (cmd == "failpoint") return HandleFailpoint(request);
   if (cmd == "shutdown") {
     shutdown_.store(true, std::memory_order_release);
-    Hub().Notify();
+    NotifyAllHubs();
     Json result = Json::MakeObject();
     result.Set("bye", Json::Bool(true));
     return result;
@@ -104,12 +144,34 @@ Result<std::shared_ptr<Session>> Server::SessionParam(
   return manager_.Get(id);
 }
 
-Result<Json> Server::HandleHello() {
+Result<Json> Server::HandleHello(const Request& request) {
+  const Json* protocol = request.params.Find("protocol");
+  if (protocol != nullptr) {
+    if (!protocol->IsInt()) {
+      return InvalidArgumentError("hello \"protocol\" must be an integer");
+    }
+    if (protocol->AsInt() != kProtocolVersion) {
+      return FailedPreconditionError(
+          "protocol version mismatch: client speaks " +
+          std::to_string(protocol->AsInt()) + ", this server speaks " +
+          std::to_string(kProtocolVersion));
+    }
+  }
   Json result = Json::MakeObject();
   result.Set("server", Json::Str("dbred"));
-  result.Set("protocol", Json::Int(1));
+  result.Set("protocol", Json::Int(kProtocolVersion));
+  if (!options_.sessions.worker_id.empty()) {
+    result.Set("worker", Json::Str(options_.sessions.worker_id));
+  }
   result.Set("sessions",
              Json::Int(static_cast<int64_t>(manager_.session_count())));
+  // A client announcing the session it wants (reconnect, router routing)
+  // learns whether that session is live here without a second round trip.
+  std::string session = request.params.GetString("session");
+  if (!session.empty()) {
+    result.Set("session", Json::Str(session));
+    result.Set("session_here", Json::Bool(manager_.Get(session).ok()));
+  }
   return result;
 }
 
@@ -118,7 +180,7 @@ Result<Json> Server::HandleCreate(const Request& request) {
       std::string id,
       manager_.CreateSession(request.params.GetString("name")));
   DBRE_ASSIGN_OR_RETURN(std::shared_ptr<Session> session, manager_.Get(id));
-  session->SetListener([] { Hub().Notify(); });
+  session->SetListener([hub = HubFor(id)] { hub->Notify(); });
   Json result = Json::MakeObject();
   result.Set("session", Json::Str(id));
   return result;
@@ -257,11 +319,11 @@ Result<Json> Server::HandleWait(const Request& request) {
     return what == "question" && !session->oracle()->Pending().empty();
   };
 
-  WaitHub& hub = Hub();
+  std::shared_ptr<WaitHub> hub = HubFor(session->id());
   {
-    std::unique_lock<std::mutex> lock(hub.mutex);
-    hub.changed.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                         ready);
+    std::unique_lock<std::mutex> lock(hub->mutex);
+    hub->changed.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                          ready);
   }
 
   Json result = Json::MakeObject();
@@ -346,7 +408,7 @@ Result<Json> Server::HandleClose(const Request& request) {
     return InvalidArgumentError("close needs a \"session\" field");
   }
   DBRE_RETURN_IF_ERROR(manager_.CloseSession(id));
-  Hub().Notify();
+  DropHub(id);  // wakes remaining waiters, then forgets the rendezvous
   Json result = Json::MakeObject();
   result.Set("closed", Json::Str(id));
   return result;
@@ -541,10 +603,26 @@ Result<Json> Server::HandleRestore(const Request& request) {
   }
   DBRE_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
                         manager_.RecoverSession(id));
-  session->SetListener([] { Hub().Notify(); });
+  session->SetListener([hub = HubFor(id)] { hub->Notify(); });
   Json result = Json::MakeObject();
   result.Set("session", Json::Str(id));
   result.Set("state", Json::Str(Session::StateName(session->state())));
+  return result;
+}
+
+Result<Json> Server::HandleDetach(const Request& request) {
+  std::string id = request.params.GetString("session");
+  if (id.empty()) {
+    return InvalidArgumentError("detach needs a \"session\" field");
+  }
+  DBRE_ASSIGN_OR_RETURN(store::JournalStats stats,
+                        manager_.DetachSession(id));
+  DropHub(id);
+  Json result = Json::MakeObject();
+  result.Set("detached", Json::Str(id));
+  result.Set("journal_records",
+             Json::Int(static_cast<int64_t>(stats.records)));
+  result.Set("journal_bytes", Json::Int(static_cast<int64_t>(stats.bytes)));
   return result;
 }
 

@@ -11,7 +11,7 @@
 // Commands (see docs/SERVICE.md): hello, create, sessions, status,
 // load_ddl, load_csv, add_joins, run, wait, questions, answer, report,
 // summary, export_ddl, export_eer, export_navigation, close, stats,
-// metrics, trace, persist, restore, failpoint, shutdown.
+// metrics, trace, persist, restore, detach, failpoint, shutdown.
 //
 // With a data dir (`dbre_serve --data-dir`), the constructor replays every
 // journal found on disk before serving: crashed sessions come back with
@@ -22,7 +22,9 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "service/protocol.h"
 #include "service/session_manager.h"
@@ -75,9 +77,11 @@ class Server {
   }
 
  private:
+  struct WaitHub;
+
   Result<Json> Dispatch(const Request& request);
 
-  Result<Json> HandleHello();
+  Result<Json> HandleHello(const Request& request);
   Result<Json> HandleCreate(const Request& request);
   Result<Json> HandleSessions();
   Result<Json> HandleStatus(const Request& request);
@@ -96,14 +100,27 @@ class Server {
   Result<Json> HandleTrace(const Request& request);
   Result<Json> HandlePersist(const Request& request);
   Result<Json> HandleRestore(const Request& request);
+  Result<Json> HandleDetach(const Request& request);
   Result<Json> HandleFailpoint(const Request& request);
 
   Result<std::shared_ptr<Session>> SessionParam(const Request& request);
+
+  // Per-session wait rendezvous: a `wait` parks on its own session's hub,
+  // so a state change on one session wakes only that session's waiters —
+  // with 32 clients on a shared global hub every event woke every waiter
+  // (a thundering herd that dominated tail latency under load).
+  std::shared_ptr<WaitHub> HubFor(const std::string& session_id);
+  void NotifyHub(const std::string& session_id);
+  void DropHub(const std::string& session_id);
+  void NotifyAllHubs();
 
   ServerOptions options_;
   SessionManager manager_;
   SessionManager::RecoveryReport recovery_;
   std::atomic<bool> shutdown_{false};
+
+  std::mutex hubs_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<WaitHub>> hubs_;
 };
 
 }  // namespace dbre::service

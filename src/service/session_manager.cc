@@ -16,6 +16,7 @@ namespace {
 struct SchedulerMetrics {
   obs::Counter* sessions_created;
   obs::Counter* sessions_closed;
+  obs::Counter* sessions_detached;
   obs::Counter* admission_rejects;
   obs::Counter* deadline_aborts;
   obs::Gauge* live_sessions;
@@ -31,6 +32,9 @@ const SchedulerMetrics& Metrics() {
                             "Sessions created (including recovered)"),
         registry.GetCounter("dbre_sessions_closed_total", {},
                             "Sessions closed"),
+        registry.GetCounter("dbre_sessions_detached_total", {},
+                            "Sessions detached for migration (journal "
+                            "sealed, no tombstone)"),
         registry.GetCounter(
             "dbre_run_admission_rejects_total", {},
             "Run submissions rejected by the inflight+queued limit"),
@@ -258,6 +262,11 @@ Result<std::string> SessionManager::CreateSession(
   DBRE_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
                         MakeSession(id, /*replaying=*/false));
   sessions_.emplace(id, std::move(session));
+  if (store_ != nullptr && !options_.worker_id.empty()) {
+    // Best effort: a failed stamp costs nothing now and at worst makes
+    // the session look unowned to a sibling's recovery.
+    (void)store_->ClaimSession(id, options_.worker_id);
+  }
   Metrics().sessions_created->Add(1);
   Metrics().live_sessions->Add(1);
   return id;
@@ -395,6 +404,16 @@ SessionManager::RecoveryReport SessionManager::RecoverAll() {
   RecoveryReport report;
   if (store_ == nullptr) return report;
   for (const std::string& id : store_->ListSessionIds()) {
+    if (!options_.worker_id.empty()) {
+      // A session stamped by a different worker is (presumably) live in
+      // that process — adopting it here would run the same journal twice.
+      // Unowned sessions (pre-sharding data, or a released handoff) are
+      // fair game.
+      Result<std::string> owner = store_->SessionOwner(id);
+      if (owner.ok() && !owner->empty() && *owner != options_.worker_id) {
+        continue;
+      }
+    }
     Result<store::JournalReplay> replay = store_->ReadSessionJournal(id);
     if (!replay.ok()) {
       report.errors.push_back(id + ": " + replay.status().ToString());
@@ -435,6 +454,9 @@ SessionManager::RecoveryReport SessionManager::RecoverAll() {
       report.errors.push_back(id + ": " + recovered.status().ToString());
       continue;
     }
+    if (!options_.worker_id.empty()) {
+      (void)store_->ClaimSession(id, options_.worker_id);
+    }
     ++report.sessions_recovered;
     if (resumed_run) ++report.runs_resumed;
   }
@@ -466,7 +488,82 @@ Result<std::shared_ptr<Session>> SessionManager::RecoverSession(
                                    "' has no resumable journal");
   }
   bool resumed_run = false;
-  return RecoverFromReplay(id, replay, &resumed_run);
+  Result<std::shared_ptr<Session>> recovered =
+      RecoverFromReplay(id, replay, &resumed_run);
+  if (recovered.ok() && !options_.worker_id.empty()) {
+    // Takeover: restore transfers ownership even from another worker's
+    // stamp (migration targets restore sessions the source just sealed).
+    (void)store_->ClaimSession(id, options_.worker_id);
+  }
+  return recovered;
+}
+
+Result<store::JournalStats> SessionManager::DetachSession(
+    const std::string& id) {
+  if (store_ == nullptr) {
+    return FailedPreconditionError(
+        "server has no data dir; detach needs a journal to hand off");
+  }
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      return NotFoundError("no session with id '" + id + "'");
+    }
+    session = it->second;
+  }
+  SessionPersistence* persist = session->persistence();
+  if (persist == nullptr) {
+    return FailedPreconditionError("session '" + id +
+                                   "' has no journal to hand off");
+  }
+  if (persist->degraded()) {
+    return FailedPreconditionError(
+        "session '" + id +
+        "' persistence is degraded; its journal is incomplete and a "
+        "restore elsewhere would not resume it faithfully");
+  }
+  // Seal: everything the target will replay must be durably on disk
+  // before this worker forgets the session.
+  Status synced = persist->Sync();
+  if (synced.ok()) synced = persist->last_error();
+  if (!synced.ok()) return synced;
+  store::JournalStats stats = persist->stats();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end() || it->second != session) {
+      return NotFoundError("session '" + id + "' closed during detach");
+    }
+    sessions_.erase(it);
+    Metrics().sessions_detached->Add(1);
+    Metrics().live_sessions->Add(-1);
+  }
+  // No close tombstone — the journal must stay resumable. Disarm before
+  // Close so the cancel-fallback answers of a still-running pipeline are
+  // never journaled as if an expert gave them (the target re-asks those
+  // questions instead).
+  session->DisarmPersistence();
+  session->Close();
+  // Same drain-then-sweep dance as CloseSession: let a finishing run's
+  // task closure release its reference so the sweep frees this session's
+  // share of the extension cache.
+  for (int i = 0; i < 2000 && session.use_count() > 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  session.reset();
+  registry_.Sweep();
+  {
+    std::lock_guard<std::mutex> paged_lock(paged_mutex_);
+    for (auto it = paged_sources_.begin(); it != paged_sources_.end();) {
+      it = it->second.expired() ? paged_sources_.erase(it) : std::next(it);
+    }
+  }
+  if (!options_.worker_id.empty()) {
+    (void)store_->ReleaseSession(id);
+  }
+  return stats;
 }
 
 Result<std::shared_ptr<Session>> SessionManager::RecoverFromReplay(

@@ -49,6 +49,13 @@ struct SessionManagerOptions {
   // snapshots, no journals, no recovery.
   std::string data_dir;
   store::JournalOptions journal;
+  // Identity of this worker process when several share one data dir
+  // behind dbre_router (`dbre_serve --worker-id`). Non-empty: sessions
+  // this worker creates or recovers are stamped with an OWNER file, and
+  // startup recovery skips sessions owned by a *different* worker — they
+  // are live in that process, not orphans to adopt. Empty (the default,
+  // single-worker deployment): no ownership is written or honored.
+  std::string worker_id;
   // Byte budget of the shared page buffer pool (`--buffer-pool-mb`).
   // Non-zero turns on paged extensions: CSV loads are snapshotted, then
   // adopted page-backed instead of staying materialized, so sessions work
@@ -111,8 +118,19 @@ class SessionManager {
   RecoveryReport RecoverAll();
 
   // Recovers one session by id (the `restore` protocol command). kNotFound
-  // without a journal on disk; kAlreadyExists if the id is live.
+  // without a journal on disk; kAlreadyExists if the id is live. With a
+  // worker_id this also *claims* the session — restore is the takeover
+  // half of a migration, so ownership transfers even from another worker.
   Result<std::shared_ptr<Session>> RecoverSession(const std::string& id);
+
+  // The handoff half of a migration (the `detach` protocol command):
+  // seals the session's journal (final fsync), releases this worker's
+  // ownership, and drops the live object WITHOUT a close tombstone — the
+  // journal stays on disk, fully replayable, so RecoverSession on another
+  // worker resumes the session byte-identically. Refuses degraded
+  // sessions (their journal is missing records; a restore would silently
+  // diverge). Returns the sealed journal's stats.
+  Result<store::JournalStats> DetachSession(const std::string& id);
 
   ExtensionRegistry* registry() { return &registry_; }
   MemoryBudget* budget() { return budget_.get(); }

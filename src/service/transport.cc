@@ -160,6 +160,37 @@ Result<std::unique_ptr<SocketChannel>> TcpConnect(const std::string& host,
   return std::make_unique<SocketChannel>(fd);
 }
 
+Result<std::unique_ptr<SocketChannel>> TcpConnectWithRetry(
+    const std::string& host, uint16_t port, int64_t deadline_ms,
+    int64_t recv_timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
+  int64_t backoff_ms = 10;
+  while (true) {
+    Result<std::unique_ptr<SocketChannel>> channel = TcpConnect(host, port);
+    if (channel.ok()) {
+      if (recv_timeout_ms > 0) {
+        timeval tv{};
+        tv.tv_sec = recv_timeout_ms / 1000;
+        tv.tv_usec = (recv_timeout_ms % 1000) * 1000;
+        ::setsockopt((*channel)->fd(), SOL_SOCKET, SO_RCVTIMEO, &tv,
+                     sizeof(tv));
+      }
+      return channel;
+    }
+    // Resolution failures are permanent; refused/unreachable means the
+    // server is (re)starting — those are worth waiting out.
+    if (channel.status().code() == StatusCode::kNotFound) return channel;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status(channel.status().code(),
+                    channel.status().message() + " (gave up after " +
+                        std::to_string(deadline_ms) + " ms of retries)");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min<int64_t>(backoff_ms * 2, 250);
+  }
+}
+
 size_t ServeChannel(Server* server, LineChannel* channel) {
   size_t handled = 0;
   while (!server->shutdown_requested()) {

@@ -65,6 +65,8 @@ class SocketChannel : public LineChannel {
   // Forces any blocked ReadLine to return (used on server stop).
   void ShutdownBoth();
 
+  int fd() const { return fd_; }
+
  private:
   int fd_;
   std::string buffer_;  // bytes read past the last newline
@@ -74,6 +76,17 @@ class SocketChannel : public LineChannel {
 // Connects to host:port (numeric IPv4 or a name resolvable to one).
 Result<std::unique_ptr<SocketChannel>> TcpConnect(const std::string& host,
                                                   uint16_t port);
+
+// TcpConnect with capped-backoff retries (10→250 ms) until `deadline_ms`
+// elapses: a refused or unreachable port usually means the server is still
+// starting (or restarting), so callers that race a daemon's bind — CLI
+// clients, the router reconnecting to a respawned worker — wait it out
+// instead of dying on the first ECONNREFUSED. Unresolvable hostnames fail
+// immediately. `recv_timeout_ms` > 0 arms SO_RCVTIMEO on the socket so a
+// hung peer surfaces as a read error instead of a forever-blocked caller.
+Result<std::unique_ptr<SocketChannel>> TcpConnectWithRetry(
+    const std::string& host, uint16_t port, int64_t deadline_ms,
+    int64_t recv_timeout_ms = 0);
 
 // Pumps `channel` against `server`: one response line per request line,
 // until EOF, a write failure, or server shutdown. Returns the number of

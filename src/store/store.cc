@@ -185,6 +185,45 @@ Status Store::RemoveSession(const std::string& session_id) {
   return Status::Ok();
 }
 
+Result<std::string> Store::SessionOwner(const std::string& session_id) const {
+  std::ifstream in(SessionDir(session_id) + "/OWNER", std::ios::binary);
+  if (!in) return std::string();
+  std::string owner((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  while (!owner.empty() && (owner.back() == '\n' || owner.back() == '\r')) {
+    owner.pop_back();
+  }
+  return owner;
+}
+
+Status Store::ClaimSession(const std::string& session_id,
+                           const std::string& worker_id) {
+  std::string dir = SessionDir(session_id);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return IoError("mkdir " + dir + ": " + ec.message());
+  // Temp + rename so a concurrent reader never sees a half-written owner.
+  std::string tmp = dir + "/OWNER.tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << worker_id << '\n';
+    out.close();
+    if (!out) return IoError("write " + tmp);
+  }
+  fs::rename(tmp, dir + "/OWNER", ec);
+  if (ec) return IoError("rename " + tmp + ": " + ec.message());
+  return Status::Ok();
+}
+
+Status Store::ReleaseSession(const std::string& session_id) {
+  std::error_code ec;
+  fs::remove(SessionDir(session_id) + "/OWNER", ec);
+  if (ec) {
+    return IoError("release session " + session_id + ": " + ec.message());
+  }
+  return Status::Ok();
+}
+
 Result<std::string> Store::QuarantineSnapshot(uint64_t fingerprint) const {
   std::string src = SnapshotPath(fingerprint);
   std::error_code ec;

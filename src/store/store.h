@@ -81,6 +81,21 @@ class Store {
   // stay — other sessions may share them).
   Status RemoveSession(const std::string& session_id);
 
+  // --- worker ownership -------------------------------------------------
+
+  // When several workers share one data dir (dbre_router sharding), each
+  // session dir carries an OWNER file naming the worker serving it, so a
+  // restarting worker recovers only its own sessions instead of everyone
+  // racing to replay every journal. Claim writes atomically (temp +
+  // rename); Release removes the marker (a detached session is up for
+  // grabs); SessionOwner returns "" for an unowned or unknown session.
+  // Daemons started without --worker-id never claim, preserving the
+  // single-worker behavior.
+  Result<std::string> SessionOwner(const std::string& session_id) const;
+  Status ClaimSession(const std::string& session_id,
+                      const std::string& worker_id);
+  Status ReleaseSession(const std::string& session_id);
+
   // --- quarantine -------------------------------------------------------
 
   // Moves a corrupt snapshot file into <root>/quarantine/snapshots/.

@@ -1,0 +1,163 @@
+// Cluster chaos: SIGKILL a real dbre_serve worker while the router is
+// live and a session is mid-flight. The router must mark the worker dead,
+// fail the session over to the survivor by replaying its journal, and the
+// finished session's report must be byte-identical to the uninterrupted
+// reference — the cluster-level version of the kill/restart acceptance
+// test.
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cluster_test_util.h"
+
+namespace dbre::cluster {
+namespace {
+
+namespace fs = std::filesystem;
+
+using service::Client;
+using service::Command;
+using service::Json;
+
+fs::path TempDir(const std::string& stem) {
+  fs::path dir =
+      fs::temp_directory_path() /
+      (stem + "_" +
+       std::to_string(::testing::UnitTest::GetInstance()->random_seed()));
+  fs::remove_all(dir);
+  return dir;
+}
+
+RouterOptions FastFailoverOptions() {
+  RouterOptions options;
+  // Keep probes quick so a dead worker costs milliseconds, not the
+  // default multi-second reconnect budget.
+  options.connect_deadline_ms = 300;
+  options.health_interval_ms = 100;
+  return options;
+}
+
+struct ChaosFixture {
+  fs::path data_dir;
+  ServeProcess workers[2];
+  std::unique_ptr<Router> router;
+
+  explicit ChaosFixture(const std::string& stem) {
+    data_dir = TempDir(stem);
+    workers[0] = StartServeWorker("w1", data_dir.string());
+    workers[1] = StartServeWorker("w2", data_dir.string());
+    router = std::make_unique<Router>(
+        std::vector<RouterWorkerConfig>{
+            {"w1", "127.0.0.1", workers[0].port},
+            {"w2", "127.0.0.1", workers[1].port}},
+        FastFailoverOptions());
+    EXPECT_TRUE(router->Start(0).ok());
+  }
+
+  ~ChaosFixture() {
+    if (router != nullptr) router->Stop();
+    // Kill survivors before removing the data dir they write to.
+    for (ServeProcess& worker : workers) {
+      if (worker.pid > 0) {
+        kill(worker.pid, SIGKILL);
+        waitpid(worker.pid, nullptr, 0);
+        worker.pid = -1;
+      }
+    }
+    fs::remove_all(data_dir);
+  }
+
+  // SIGKILLs the worker currently serving `session`, returning its id.
+  std::string KillOwnerOf(const std::string& session) {
+    std::string owner = router->Lookup(session);
+    EXPECT_FALSE(owner.empty());
+    ServeProcess& victim = owner == "w1" ? workers[0] : workers[1];
+    victim.KillHard();
+    return owner;
+  }
+};
+
+// Seed 1: kill mid-question — the run is suspended on an unanswered
+// expert question when its worker dies.
+TEST(ClusterChaosTest, WorkerKilledMidQuestionFailsOverByteIdentically) {
+  const std::string reference = service::ReferenceReport();
+  const service::PaperInputs inputs = service::BuildPaperInputs();
+  const size_t total = CountPaperQuestions(inputs);
+  ASSERT_GE(total, 2u);
+
+  ChaosFixture fixture("dbre_chaos_midq");
+  Client client(fixture.router->port());
+  Json create = Command("create");
+  create.Set("name", Json::Str("paper"));
+  ASSERT_EQ(client.MustCall(std::move(create)).GetString("session"),
+            "paper");
+  StartPaperRun(client, "paper", inputs);
+  auto expert = workload::PaperOracle();
+  bool done = false;
+  // AnswerPaperQuestions returns only once every answer it gave has been
+  // consumed (and, with --fsync-batch 1, journaled) — so the kill lands
+  // after answer k is durable, while question k+1 is pending.
+  size_t answered = AnswerPaperQuestions(client, "paper", expert.get(),
+                                         total / 2, &done);
+  ASSERT_FALSE(done);
+  ASSERT_EQ(answered, total / 2);
+
+  const std::string victim = fixture.KillOwnerOf("paper");
+
+  // Keep driving through the same router connection: the first forward
+  // hits the dead socket, the router restores the session on the
+  // survivor from its sealed journal, and the retry lands there.
+  answered += AnswerPaperQuestions(client, "paper", expert.get(),
+                                   SIZE_MAX, &done);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(answered, total);
+  EXPECT_NE(fixture.router->Lookup("paper"), victim);
+
+  Json status = client.MustCall(Command("status", "paper"));
+  ASSERT_EQ(status.GetString("state"), "done") << status.Dump();
+  EXPECT_EQ(client.MustCall(Command("report", "paper")).GetString("report"),
+            reference)
+      << "failed-over session diverged from the uninterrupted reference";
+}
+
+// Seed 2: kill mid-run — the pipeline is executing (between `run` and the
+// first answered question) when its worker dies.
+TEST(ClusterChaosTest, WorkerKilledMidRunFailsOverByteIdentically) {
+  const std::string reference = service::ReferenceReport();
+  const service::PaperInputs inputs = service::BuildPaperInputs();
+
+  ChaosFixture fixture("dbre_chaos_midrun");
+  Client client(fixture.router->port());
+  Json create = Command("create");
+  create.Set("name", Json::Str("paper"));
+  ASSERT_EQ(client.MustCall(std::move(create)).GetString("session"),
+            "paper");
+  // StartPaperRun's final `run` is journaled before it returns; killing
+  // here catches the pipeline executing with zero answers given.
+  StartPaperRun(client, "paper", inputs);
+  const std::string victim = fixture.KillOwnerOf("paper");
+
+  auto expert = workload::PaperOracle();
+  bool done = false;
+  AnswerPaperQuestions(client, "paper", expert.get(), SIZE_MAX, &done);
+  ASSERT_TRUE(done);
+  EXPECT_NE(fixture.router->Lookup("paper"), victim);
+
+  Json status = client.MustCall(Command("status", "paper"));
+  ASSERT_EQ(status.GetString("state"), "done") << status.Dump();
+  EXPECT_EQ(client.MustCall(Command("report", "paper")).GetString("report"),
+            reference)
+      << "failed-over session diverged from the uninterrupted reference";
+
+  // The cluster noticed: the victim is marked dead, the survivor alive.
+  Json cluster = client.MustCall(Command("cluster"));
+  for (const Json& worker : cluster.Find("workers")->array()) {
+    EXPECT_EQ(worker.GetBool("alive"), worker.GetString("id") != victim)
+        << cluster.Dump();
+  }
+}
+
+}  // namespace
+}  // namespace dbre::cluster

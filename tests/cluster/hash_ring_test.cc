@@ -1,0 +1,136 @@
+#include "cluster/hash_ring.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dbre::cluster {
+namespace {
+
+std::vector<std::string> Keys(size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) keys.push_back("s" + std::to_string(i));
+  return keys;
+}
+
+TEST(HashRingTest, EmptyRingOwnsNothing) {
+  HashRing ring;
+  EXPECT_EQ(ring.OwnerOf("anything"), "");
+  EXPECT_EQ(ring.node_count(), 0u);
+  EXPECT_FALSE(ring.HasNode("a"));
+}
+
+TEST(HashRingTest, SingleNodeOwnsEverything) {
+  HashRing ring;
+  ring.AddNode("only");
+  for (const std::string& key : Keys(100)) {
+    EXPECT_EQ(ring.OwnerOf(key), "only");
+  }
+}
+
+TEST(HashRingTest, PlacementIsDeterministicAcrossInstances) {
+  // Two independently built rings (insertion order reversed) must agree on
+  // every key — a restarted router re-derives identical placements.
+  HashRing a, b;
+  a.AddNode("w1");
+  a.AddNode("w2");
+  a.AddNode("w3");
+  b.AddNode("w3");
+  b.AddNode("w2");
+  b.AddNode("w1");
+  for (const std::string& key : Keys(500)) {
+    EXPECT_EQ(a.OwnerOf(key), b.OwnerOf(key)) << key;
+  }
+}
+
+TEST(HashRingTest, VirtualNodesSpreadLoad) {
+  HashRing ring(64);
+  ring.AddNode("w1");
+  ring.AddNode("w2");
+  ring.AddNode("w3");
+  ring.AddNode("w4");
+  std::map<std::string, size_t> owned;
+  const size_t kKeys = 4000;
+  for (const std::string& key : Keys(kKeys)) ++owned[ring.OwnerOf(key)];
+  ASSERT_EQ(owned.size(), 4u);
+  for (const auto& [node, count] : owned) {
+    // Perfect balance would be 1000 each; 64 vnodes keeps every node
+    // within a loose band — the property that matters is that no node
+    // is starved or overwhelmed.
+    EXPECT_GT(count, kKeys / 16) << node;
+    EXPECT_LT(count, kKeys / 2) << node;
+  }
+}
+
+TEST(HashRingTest, RemovingANodeMovesOnlyItsKeys) {
+  HashRing ring;
+  ring.AddNode("w1");
+  ring.AddNode("w2");
+  ring.AddNode("w3");
+  std::map<std::string, std::string> before;
+  for (const std::string& key : Keys(1000)) before[key] = ring.OwnerOf(key);
+
+  ring.RemoveNode("w2");
+  EXPECT_FALSE(ring.HasNode("w2"));
+  size_t moved = 0;
+  for (const auto& [key, owner] : before) {
+    std::string now = ring.OwnerOf(key);
+    if (owner == "w2") {
+      EXPECT_NE(now, "w2");
+      ++moved;
+    } else {
+      // Consistent hashing's contract: keys of surviving nodes stay put.
+      EXPECT_EQ(now, owner) << key;
+    }
+  }
+  EXPECT_GT(moved, 0u);
+}
+
+TEST(HashRingTest, ReAddingANodeRestoresItsKeys) {
+  HashRing ring;
+  ring.AddNode("w1");
+  ring.AddNode("w2");
+  std::map<std::string, std::string> before;
+  for (const std::string& key : Keys(500)) before[key] = ring.OwnerOf(key);
+  ring.RemoveNode("w1");
+  ring.AddNode("w1");
+  for (const auto& [key, owner] : before) {
+    EXPECT_EQ(ring.OwnerOf(key), owner) << key;
+  }
+}
+
+TEST(HashRingTest, AddAndRemoveAreIdempotent) {
+  HashRing ring;
+  ring.AddNode("w1");
+  ring.AddNode("w1");
+  EXPECT_EQ(ring.node_count(), 1u);
+  ring.RemoveNode("absent");
+  EXPECT_EQ(ring.node_count(), 1u);
+  ring.RemoveNode("w1");
+  ring.RemoveNode("w1");
+  EXPECT_EQ(ring.node_count(), 0u);
+}
+
+TEST(HashRingTest, NodesListsMembership) {
+  HashRing ring;
+  ring.AddNode("b");
+  ring.AddNode("a");
+  std::vector<std::string> nodes = ring.Nodes();
+  EXPECT_EQ(std::set<std::string>(nodes.begin(), nodes.end()),
+            (std::set<std::string>{"a", "b"}));
+}
+
+TEST(HashRingTest, Fnv1a64MatchesReferenceVectors) {
+  // Published FNV-1a test vectors pin the placement function for good:
+  // any "optimization" that changes these breaks cross-restart placement.
+  EXPECT_EQ(Fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(Fnv1a64("a"), 12638187200555641996ull);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+}  // namespace
+}  // namespace dbre::cluster

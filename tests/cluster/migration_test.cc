@@ -1,0 +1,216 @@
+// Store-backed session migration: detach on the source worker seals the
+// journal, restore on the target replays it, and the resumed session must
+// finish with a report byte-identical to an uninterrupted run.
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cluster_test_util.h"
+
+namespace dbre::cluster {
+namespace {
+
+namespace fs = std::filesystem;
+
+using service::Client;
+using service::Command;
+using service::Json;
+using service::LineClient;
+
+fs::path TempDir(const std::string& stem) {
+  fs::path dir =
+      fs::temp_directory_path() /
+      (stem + "_" +
+       std::to_string(::testing::UnitTest::GetInstance()->random_seed()));
+  fs::remove_all(dir);
+  return dir;
+}
+
+TEST(MigrationTest, DetachRequiresADataDir) {
+  service::Server server;  // no store
+  LineClient client(&server);
+  Json create = Command("create");
+  create.Set("name", Json::Str("volatile"));
+  client.MustCall(std::move(create));
+  Json response = client.Call(Command("detach", "volatile"));
+  EXPECT_FALSE(response.GetBool("ok"));
+  EXPECT_EQ(response.Find("error")->GetString("code"),
+            "failed_precondition");
+  server.sessions()->Shutdown();
+}
+
+TEST(MigrationTest, DetachSealsAndRestoreResumesOnAnotherWorker) {
+  const fs::path data_dir = TempDir("dbre_detach_restore");
+  const service::PaperInputs inputs = service::BuildPaperInputs();
+  InProcessWorker source = StartInProcessWorker("a", data_dir.string());
+  InProcessWorker target = StartInProcessWorker("b", data_dir.string());
+
+  {
+    Client client(source.port());
+    Json create = Command("create");
+    create.Set("name", Json::Str("moving"));
+    client.MustCall(std::move(create));
+    StartPaperRun(client, "moving", inputs);
+    auto expert = workload::PaperOracle();
+    bool done = false;
+    AnswerPaperQuestions(client, "moving", expert.get(), 1, &done);
+    ASSERT_FALSE(done);
+
+    Json detached = client.MustCall(Command("detach", "moving"));
+    EXPECT_EQ(detached.GetString("detached"), "moving");
+    EXPECT_GT(detached.GetInt("journal_records"), 0);
+    // The source no longer serves the session.
+    Json gone = client.Call(Command("status", "moving"));
+    EXPECT_FALSE(gone.GetBool("ok"));
+    EXPECT_EQ(gone.Find("error")->GetString("code"), "not_found");
+  }
+  {
+    Client client(target.port());
+    Json restored = client.MustCall(Command("restore", "moving"));
+    EXPECT_EQ(restored.GetString("session"), "moving");
+    auto expert = workload::PaperOracle();
+    bool done = false;
+    // Replay consumed the already-given answer: the run resumes where it
+    // was suspended, not from the start.
+    AnswerPaperQuestions(client, "moving", expert.get(), SIZE_MAX, &done);
+    ASSERT_TRUE(done);
+    Json status = client.MustCall(Command("status", "moving"));
+    EXPECT_EQ(status.GetString("state"), "done") << status.Dump();
+  }
+  source.Stop();
+  target.Stop();
+  fs::remove_all(data_dir);
+}
+
+TEST(MigrationTest, RecoverySkipsSessionsOwnedByAnotherWorker) {
+  const fs::path data_dir = TempDir("dbre_ownership");
+  {
+    InProcessWorker a = StartInProcessWorker("a", data_dir.string());
+    Client client(a.port());
+    Json create = Command("create");
+    create.Set("name", Json::Str("pinned"));
+    client.MustCall(std::move(create));
+    a.Stop();  // graceful: journal persists, OWNER file still says "a"
+  }
+  // Worker "b" starting over the same data dir must not adopt "a"'s
+  // session — "a" may still be live elsewhere; running the same journal
+  // twice would fork the session.
+  InProcessWorker b = StartInProcessWorker("b", data_dir.string());
+  {
+    Client client(b.port());
+    Json listed = client.MustCall(Command("sessions"));
+    EXPECT_TRUE(listed.Find("sessions")->array().empty())
+        << listed.Dump();
+    // An explicit restore is a deliberate takeover and must work.
+    Json restored = client.MustCall(Command("restore", "pinned"));
+    EXPECT_EQ(restored.GetString("session"), "pinned");
+  }
+  b.Stop();
+  // After the takeover, a restarting "a" leaves the session to "b".
+  InProcessWorker a2 = StartInProcessWorker("a", data_dir.string());
+  {
+    Client client(a2.port());
+    Json listed = client.MustCall(Command("sessions"));
+    EXPECT_TRUE(listed.Find("sessions")->array().empty())
+        << listed.Dump();
+  }
+  a2.Stop();
+  fs::remove_all(data_dir);
+}
+
+TEST(MigrationTest, RouterMigrateMovesALiveSessionByteIdentically) {
+  const std::string reference = service::ReferenceReport();
+  const service::PaperInputs inputs = service::BuildPaperInputs();
+  const size_t total = CountPaperQuestions(inputs);
+  ASSERT_GE(total, 2u);
+  const fs::path data_dir = TempDir("dbre_router_migrate");
+
+  InProcessWorker w1 = StartInProcessWorker("w1", data_dir.string());
+  InProcessWorker w2 = StartInProcessWorker("w2", data_dir.string());
+  Router router({{"w1", "127.0.0.1", w1.port()},
+                 {"w2", "127.0.0.1", w2.port()}});
+  ASSERT_TRUE(router.Start(0).ok());
+  {
+    Client client(router.port());
+    Json create = Command("create");
+    create.Set("name", Json::Str("paper"));
+    client.MustCall(std::move(create));
+    const std::string before = router.Lookup("paper");
+    StartPaperRun(client, "paper", inputs);
+    auto expert = workload::PaperOracle();
+    bool done = false;
+    AnswerPaperQuestions(client, "paper", expert.get(), total / 2, &done);
+    ASSERT_FALSE(done);
+
+    // Migrate mid-question: the suspended run moves worker, replays its
+    // journal there, and re-suspends on the same question.
+    Json migrated = client.MustCall(Command("migrate", "paper"));
+    const std::string after = migrated.GetString("to");
+    EXPECT_NE(after, before);
+    EXPECT_EQ(migrated.GetString("from"), before);
+    EXPECT_GE(migrated.GetInt("duration_us"), 0);
+    EXPECT_EQ(router.Lookup("paper"), after);
+
+    AnswerPaperQuestions(client, "paper", expert.get(), SIZE_MAX, &done);
+    ASSERT_TRUE(done);
+    Json status = client.MustCall(Command("status", "paper"));
+    ASSERT_EQ(status.GetString("state"), "done") << status.Dump();
+    EXPECT_EQ(
+        client.MustCall(Command("report", "paper")).GetString("report"),
+        reference)
+        << "migrated session's report diverged from the reference";
+  }
+  router.Stop();
+  w1.Stop();
+  w2.Stop();
+  fs::remove_all(data_dir);
+}
+
+TEST(MigrationTest, DrainEvacuatesEverySessionOfAWorker) {
+  const fs::path data_dir = TempDir("dbre_drain");
+  InProcessWorker w1 = StartInProcessWorker("w1", data_dir.string());
+  InProcessWorker w2 = StartInProcessWorker("w2", data_dir.string());
+  Router router({{"w1", "127.0.0.1", w1.port()},
+                 {"w2", "127.0.0.1", w2.port()}});
+  ASSERT_TRUE(router.Start(0).ok());
+  {
+    Client client(router.port());
+    for (int i = 0; i < 6; ++i) {
+      Json create = Command("create");
+      create.Set("name", Json::Str("d" + std::to_string(i)));
+      client.MustCall(std::move(create));
+    }
+    Json drain = Json::MakeObject();
+    drain.Set("cmd", Json::Str("drain"));
+    drain.Set("worker", Json::Str("w1"));
+    Json drained = client.MustCall(std::move(drain));
+    EXPECT_EQ(drained.GetString("drained"), "w1");
+    EXPECT_TRUE(drained.Find("errors")->array().empty())
+        << drained.Dump();
+
+    // Everything now lives on w2 — per the router and per the worker.
+    Json cluster = client.MustCall(Command("cluster"));
+    for (const Json& worker : cluster.Find("workers")->array()) {
+      if (worker.GetString("id") == "w1") {
+        EXPECT_FALSE(worker.GetBool("in_ring"));
+        EXPECT_EQ(worker.GetInt("sessions"), 0) << cluster.Dump();
+      }
+    }
+    Client direct(w2.port());
+    Json listed = direct.MustCall(Command("sessions"));
+    EXPECT_EQ(listed.Find("sessions")->array().size(), 6u);
+    // New sessions avoid the drained worker.
+    Json create = Command("create");
+    create.Set("name", Json::Str("after-drain"));
+    client.MustCall(std::move(create));
+    EXPECT_EQ(router.Lookup("after-drain"), "w2");
+  }
+  router.Stop();
+  w1.Stop();
+  w2.Stop();
+  fs::remove_all(data_dir);
+}
+
+}  // namespace
+}  // namespace dbre::cluster

@@ -1,0 +1,196 @@
+// Router over in-process workers: placement, forwarding, the router-local
+// command surface, and the headline property — a full paper session driven
+// through the router produces the byte-identical reference report.
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster_test_util.h"
+
+namespace dbre::cluster {
+namespace {
+
+using service::Client;
+using service::Command;
+using service::Json;
+
+struct Fleet {
+  std::vector<InProcessWorker> workers;
+  std::unique_ptr<Router> router;
+
+  Fleet() = default;
+  Fleet(Fleet&&) = default;
+  Fleet& operator=(Fleet&&) = default;
+
+  ~Fleet() {
+    if (router != nullptr) router->Stop();
+    for (InProcessWorker& worker : workers) worker.Stop();
+  }
+};
+
+Fleet StartFleet(size_t n, const std::string& data_dir = "",
+                 RouterOptions options = {}) {
+  Fleet fleet;
+  std::vector<RouterWorkerConfig> configs;
+  for (size_t i = 0; i < n; ++i) {
+    std::string id = "w" + std::to_string(i + 1);
+    fleet.workers.push_back(StartInProcessWorker(id, data_dir));
+    configs.push_back({id, "127.0.0.1", fleet.workers.back().port()});
+  }
+  fleet.router = std::make_unique<Router>(configs, options);
+  EXPECT_TRUE(fleet.router->Start(0).ok());
+  return fleet;
+}
+
+TEST(RouterTest, HelloDescribesTheCluster) {
+  Fleet fleet = StartFleet(3);
+  Client client(fleet.router->port());
+  Json hello = Command("hello");
+  hello.Set("protocol", Json::Int(service::kProtocolVersion));
+  Json result = client.MustCall(std::move(hello));
+  EXPECT_EQ(result.GetString("server"), "dbre-router");
+  EXPECT_EQ(result.GetInt("protocol"), service::kProtocolVersion);
+  EXPECT_EQ(result.GetInt("workers"), 3);
+}
+
+TEST(RouterTest, HelloRejectsProtocolMismatch) {
+  Fleet fleet = StartFleet(1);
+  Client client(fleet.router->port());
+  Json hello = Command("hello");
+  hello.Set("protocol", Json::Int(999));
+  Json response = client.Call(std::move(hello));
+  EXPECT_FALSE(response.GetBool("ok"));
+  EXPECT_EQ(response.Find("error")->GetString("code"),
+            "failed_precondition");
+}
+
+TEST(RouterTest, CreateRoutesByRingAndRouteAgrees) {
+  Fleet fleet = StartFleet(3);
+  Client client(fleet.router->port());
+  for (int i = 0; i < 8; ++i) {
+    std::string name = "sess" + std::to_string(i);
+    Json create = Command("create");
+    create.Set("name", Json::Str(name));
+    Json created = client.MustCall(std::move(create));
+    EXPECT_EQ(created.GetString("session"), name);
+    Json routed = client.MustCall(Command("route", name));
+    EXPECT_EQ(routed.GetString("worker"), fleet.router->Lookup(name));
+    // The worker the router claims must actually hold the session.
+    Json status = client.MustCall(Command("status", name));
+    EXPECT_EQ(status.GetString("state"), "idle");
+  }
+}
+
+TEST(RouterTest, SessionsAggregateSpansWorkers) {
+  Fleet fleet = StartFleet(3);
+  Client client(fleet.router->port());
+  const int kSessions = 12;
+  for (int i = 0; i < kSessions; ++i) {
+    Json create = Command("create");
+    create.Set("name", Json::Str("agg" + std::to_string(i)));
+    client.MustCall(std::move(create));
+  }
+  Json listed = client.MustCall(Command("sessions"));
+  const Json* sessions = listed.Find("sessions");
+  ASSERT_NE(sessions, nullptr);
+  EXPECT_EQ(sessions->array().size(), static_cast<size_t>(kSessions));
+  std::set<std::string> workers_seen;
+  for (const Json& entry : sessions->array()) {
+    workers_seen.insert(entry.GetString("worker"));
+  }
+  // 12 sessions across a 3-node ring: hashing should touch >1 worker.
+  EXPECT_GT(workers_seen.size(), 1u);
+
+  Json cluster = client.MustCall(Command("cluster"));
+  EXPECT_EQ(cluster.GetInt("sessions"), kSessions);
+  const Json* workers = cluster.Find("workers");
+  ASSERT_NE(workers, nullptr);
+  ASSERT_EQ(workers->array().size(), 3u);
+  for (const Json& worker : workers->array()) {
+    EXPECT_TRUE(worker.GetBool("alive")) << worker.Dump();
+    EXPECT_TRUE(worker.GetBool("in_ring")) << worker.Dump();
+  }
+}
+
+TEST(RouterTest, ForwardedErrorsKeepTheirStructure) {
+  Fleet fleet = StartFleet(2);
+  Client client(fleet.router->port());
+  // Unknown session: the router forwards to the ring owner, whose
+  // structured not_found comes back verbatim.
+  Json response = client.Call(Command("status", "never-created"));
+  EXPECT_FALSE(response.GetBool("ok"));
+  EXPECT_EQ(response.Find("error")->GetString("code"), "not_found");
+  // Unroutable command: no session field to hash on.
+  Json bare = Json::MakeObject();
+  bare.Set("cmd", Json::Str("report"));
+  Json unroutable = client.Call(std::move(bare));
+  EXPECT_FALSE(unroutable.GetBool("ok"));
+  EXPECT_EQ(unroutable.Find("error")->GetString("code"),
+            "invalid_argument");
+}
+
+TEST(RouterTest, FailpointIsRefusedAtTheRouter) {
+  Fleet fleet = StartFleet(1);
+  Client client(fleet.router->port());
+  Json response = client.Call(Command("failpoint"));
+  EXPECT_FALSE(response.GetBool("ok"));
+  EXPECT_EQ(response.Find("error")->GetString("code"),
+            "failed_precondition");
+}
+
+TEST(RouterTest, ShutdownStopsTheRouterNotTheWorkers) {
+  Fleet fleet = StartFleet(2);
+  {
+    Client client(fleet.router->port());
+    Json create = Command("create");
+    create.Set("name", Json::Str("survivor"));
+    client.MustCall(std::move(create));
+    Json bye = client.MustCall(Command("shutdown"));
+    EXPECT_TRUE(bye.GetBool("bye"));
+  }
+  fleet.router->WaitUntilShutdown();
+  fleet.router->Stop();
+  // The workers are untouched: the session is still there, reachable
+  // directly.
+  for (InProcessWorker& worker : fleet.workers) {
+    EXPECT_FALSE(worker.server->shutdown_requested());
+  }
+  bool found = false;
+  for (InProcessWorker& worker : fleet.workers) {
+    Client direct(worker.port());
+    Json listed = direct.MustCall(Command("sessions"));
+    for (const Json& entry : listed.Find("sessions")->array()) {
+      found |= entry.GetString("session") == "survivor";
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RouterTest, PaperSessionThroughRouterMatchesReference) {
+  const std::string reference = service::ReferenceReport();
+  const service::PaperInputs inputs = service::BuildPaperInputs();
+  Fleet fleet = StartFleet(2);
+  Client client(fleet.router->port());
+
+  Json create = Command("create");
+  create.Set("name", Json::Str("paper"));
+  EXPECT_EQ(client.MustCall(std::move(create)).GetString("session"),
+            "paper");
+  StartPaperRun(client, "paper", inputs);
+  auto expert = workload::PaperOracle();
+  bool done = false;
+  AnswerPaperQuestions(client, "paper", expert.get(), SIZE_MAX, &done);
+  ASSERT_TRUE(done);
+  Json status = client.MustCall(Command("status", "paper"));
+  ASSERT_EQ(status.GetString("state"), "done") << status.Dump();
+  // Forwarding is verbatim: the report through the router must be the
+  // byte-identical reference, not a re-serialization.
+  EXPECT_EQ(client.MustCall(Command("report", "paper")).GetString("report"),
+            reference);
+}
+
+}  // namespace
+}  // namespace dbre::cluster

@@ -247,6 +247,57 @@ TEST_F(StoreTest, QuarantineJournalCorruptionKeepsTheValidPrefix) {
   EXPECT_EQ(final_replay->records.size(), valid_before + 1);
 }
 
+TEST_F(StoreTest, OwnershipClaimReleaseRoundTrips) {
+  auto store = Store::Open(root_.string());
+  ASSERT_TRUE(store.ok());
+  // Unknown or unowned session: no owner.
+  auto owner = (*store)->SessionOwner("nobody");
+  ASSERT_TRUE(owner.ok());
+  EXPECT_EQ(*owner, "");
+
+  ASSERT_TRUE((*store)->ClaimSession("s1", "worker-a").ok());
+  owner = (*store)->SessionOwner("s1");
+  ASSERT_TRUE(owner.ok());
+  EXPECT_EQ(*owner, "worker-a");
+
+  // A claim is a takeover: the last writer wins (migration hands a
+  // session from one worker to the next this way).
+  ASSERT_TRUE((*store)->ClaimSession("s1", "worker-b").ok());
+  owner = (*store)->SessionOwner("s1");
+  ASSERT_TRUE(owner.ok());
+  EXPECT_EQ(*owner, "worker-b");
+
+  ASSERT_TRUE((*store)->ReleaseSession("s1").ok());
+  owner = (*store)->SessionOwner("s1");
+  ASSERT_TRUE(owner.ok());
+  EXPECT_EQ(*owner, "");
+  // Releasing an unowned session is a no-op, not an error.
+  EXPECT_TRUE((*store)->ReleaseSession("s1").ok());
+}
+
+TEST_F(StoreTest, OwnershipSurvivesReopenAndLeavesJournalAlone) {
+  {
+    auto store = Store::Open(root_.string());
+    ASSERT_TRUE(store.ok());
+    auto journal = (*store)->OpenSessionJournal("owned");
+    ASSERT_TRUE(journal.ok());
+    service::Json record = service::Json::MakeObject();
+    record.Set("t", service::Json::Str("x"));
+    ASSERT_TRUE((*journal)->Append(record).ok());
+    ASSERT_TRUE((*store)->ClaimSession("owned", "worker-a").ok());
+  }
+  auto reopened = Store::Open(root_.string());
+  ASSERT_TRUE(reopened.ok());
+  auto owner = (*reopened)->SessionOwner("owned");
+  ASSERT_TRUE(owner.ok());
+  EXPECT_EQ(*owner, "worker-a");
+  // The OWNER marker must not be mistaken for a journal segment.
+  auto replay = (*reopened)->ReadSessionJournal("owned");
+  ASSERT_TRUE(replay.ok());
+  EXPECT_FALSE(replay->corrupt);
+  EXPECT_EQ(replay->records.size(), 1u);
+}
+
 TEST_F(StoreTest, ReopeningAnExistingRootKeepsData) {
   uint64_t fingerprint = 0;
   {
