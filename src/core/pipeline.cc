@@ -178,8 +178,8 @@ Result<PipelineReport> RunPipeline(const Database& database,
                   "Candidate FDs tested against the extension")
       ->Add(report.rhs.fd_checks);
 
-  if (!enter_phase("restruct")) return kCancelled;
-  {
+  if (options.run_restruct) {
+    if (!enter_phase("restruct")) return kCancelled;
     obs::TraceSpan span("pipeline:restruct", options.trace,
                         PhaseHistogram("restruct"), slow_ops);
     DBRE_ASSIGN_OR_RETURN(
@@ -188,7 +188,7 @@ Result<PipelineReport> RunPipeline(const Database& database,
     report.timings.restruct_us = span.Finish();
   }
 
-  if (options.run_translate) {
+  if (options.run_restruct && options.run_translate) {
     if (!enter_phase("translate")) return kCancelled;
     obs::TraceSpan span("pipeline:translate", options.trace,
                         PhaseHistogram("translate"), slow_ops);

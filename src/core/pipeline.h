@@ -39,6 +39,12 @@ struct PipelineOptions {
   RhsDiscoveryOptions rhs;
   TranslateOptions translate;
   bool run_translate = true;  // Restruct output alone is sometimes enough
+  // Stop after RHS-Discovery: the report carries the validated INDs, LHSs
+  // and FDs but no restructured schema (implies no translate either). This
+  // is the "re-validate the presumptions" mode the incremental path uses
+  // when only the dependency verdicts are needed — restructuring is O(data)
+  // by nature and would dominate an otherwise memoized rerun.
+  bool run_restruct = true;
   // Dictionary-less mode: when a relation declares no unique constraint at
   // all, mine minimal unique column sets from the extension (see
   // deps/key_miner.h) and declare the first as its key before running the

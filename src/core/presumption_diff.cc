@@ -1,0 +1,76 @@
+#include "core/presumption_diff.h"
+
+#include <algorithm>
+
+namespace dbre {
+namespace {
+
+std::vector<std::string> SortedUniqueStrings(std::vector<std::string> out) {
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+PresumptionDelta DiffCategory(const std::vector<std::string>& before,
+                              const std::vector<std::string>& after) {
+  PresumptionDelta delta;
+  std::set_difference(after.begin(), after.end(), before.begin(),
+                      before.end(), std::back_inserter(delta.added));
+  std::set_difference(before.begin(), before.end(), after.begin(),
+                      after.end(), std::back_inserter(delta.removed));
+  return delta;
+}
+
+void AppendDelta(std::string* out, const char* category,
+                 const PresumptionDelta& delta) {
+  if (delta.empty()) return;
+  *out += category;
+  *out += ":\n";
+  for (const std::string& line : delta.added) {
+    *out += "  + " + line + "\n";
+  }
+  for (const std::string& line : delta.removed) {
+    *out += "  - " + line + "\n";
+  }
+}
+
+}  // namespace
+
+PresumptionSet ExtractPresumptions(const PipelineReport& report) {
+  PresumptionSet set;
+  set.inds.reserve(report.ind.inds.size());
+  for (const InclusionDependency& ind : report.ind.inds) {
+    set.inds.push_back(ind.ToString());
+  }
+  set.fds.reserve(report.rhs.fds.size());
+  for (const FunctionalDependency& fd : report.rhs.fds) {
+    set.fds.push_back(fd.ToString());
+  }
+  set.lhs.reserve(report.lhs.lhs.size());
+  for (const QualifiedAttributes& qa : report.lhs.lhs) {
+    set.lhs.push_back(qa.ToString());
+  }
+  set.inds = SortedUniqueStrings(std::move(set.inds));
+  set.fds = SortedUniqueStrings(std::move(set.fds));
+  set.lhs = SortedUniqueStrings(std::move(set.lhs));
+  return set;
+}
+
+PresumptionDiff DiffPresumptions(const PresumptionSet& before,
+                                 const PresumptionSet& after) {
+  PresumptionDiff diff;
+  diff.inds = DiffCategory(before.inds, after.inds);
+  diff.fds = DiffCategory(before.fds, after.fds);
+  diff.lhs = DiffCategory(before.lhs, after.lhs);
+  return diff;
+}
+
+std::string PresumptionDiff::Summary() const {
+  std::string out;
+  AppendDelta(&out, "inds", inds);
+  AppendDelta(&out, "fds", fds);
+  AppendDelta(&out, "lhs", lhs);
+  return out;
+}
+
+}  // namespace dbre

@@ -1,0 +1,68 @@
+// Presumption extraction and diffing for incremental re-engineering.
+//
+// A pipeline run's "presumptions" are the derived statements the method
+// believes about the legacy database: the inclusion dependencies the
+// equi-join analysis conceptualized, the functional dependencies RHS
+// elicitation confirmed, and the LHS attribute sets. Rendering them as
+// sorted canonical strings gives a stable, order-independent fingerprint of
+// a report — two runs agree exactly when their PresumptionSets are equal.
+//
+// The `watch` wire command (docs/SERVICE.md) streams DiffPresumptions
+// output to subscribed clients after every mutation-triggered re-run, so a
+// watching client sees "+ R[a] << S[b]" / "- T: {x} -> {y}" lines rather
+// than whole reports.
+#ifndef DBRE_CORE_PRESUMPTION_DIFF_H_
+#define DBRE_CORE_PRESUMPTION_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace dbre {
+
+// Canonical (sorted, duplicate-free) string renderings of a report's
+// derived dependency statements.
+struct PresumptionSet {
+  std::vector<std::string> inds;  // "R[a] << S[b]"
+  std::vector<std::string> fds;   // "R: {a} -> {b}"
+  std::vector<std::string> lhs;   // "R{a, b}"
+
+  bool empty() const { return inds.empty() && fds.empty() && lhs.empty(); }
+
+  friend bool operator==(const PresumptionSet& a, const PresumptionSet& b) {
+    return a.inds == b.inds && a.fds == b.fds && a.lhs == b.lhs;
+  }
+  friend bool operator!=(const PresumptionSet& a, const PresumptionSet& b) {
+    return !(a == b);
+  }
+};
+
+PresumptionSet ExtractPresumptions(const PipelineReport& report);
+
+// One category's delta between two presumption sets.
+struct PresumptionDelta {
+  std::vector<std::string> added;    // in `after` but not `before`
+  std::vector<std::string> removed;  // in `before` but not `after`
+
+  bool empty() const { return added.empty() && removed.empty(); }
+};
+
+struct PresumptionDiff {
+  PresumptionDelta inds;
+  PresumptionDelta fds;
+  PresumptionDelta lhs;
+
+  bool empty() const { return inds.empty() && fds.empty() && lhs.empty(); }
+
+  // Human-readable "+ ..." / "- ..." lines grouped by category; empty
+  // string when nothing changed.
+  std::string Summary() const;
+};
+
+PresumptionDiff DiffPresumptions(const PresumptionSet& before,
+                                 const PresumptionSet& after);
+
+}  // namespace dbre
+
+#endif  // DBRE_CORE_PRESUMPTION_DIFF_H_

@@ -132,6 +132,67 @@ void EncodedTable::EnsureColumn(size_t c) {
   column.ready = true;
 }
 
+void EncodedTable::ExtendColumnFrom(const EncodedTable& base, size_t c,
+                                    size_t base_rows) {
+  Column& column = columns_[c];
+  if (column.ready) return;
+  const Column& from = base.columns_[c];
+  column.codes.reserve(rows_->size());
+  column.codes.assign(from.codes.begin(), from.codes.end());
+  column.dictionary = from.dictionary;
+  column.has_null = from.has_null;
+  if (rows_->size() == base_rows) {
+    // Pure in-place update of some other column: no suffix to encode, the
+    // base encoding is this encoding. Skip the dictionary-map seeding —
+    // it is O(dict) in Value hashes and dominates large-extension deltas.
+    column.dict_count = from.dict_count;
+    column.typed = from.typed;
+    column.ready = true;
+    return;
+  }
+  // Seed the generic encoder's map with the base dictionary. Value::Hash
+  // and Value::operator== fold ±0.0 exactly like the typed fast paths, and
+  // NaN dictionary entries never match a lookup (each NaN stays its own
+  // code), so the seeded map is byte-for-byte the state a cold generic
+  // encode reaches after base_rows rows — and cold typed and cold generic
+  // encodes produce identical dictionaries by construction.
+  std::unordered_map<Value, uint32_t, ValueHash> assigned;
+  assigned.reserve(column.dictionary.size() + (rows_->size() - base_rows));
+  for (uint32_t code = 0; code < column.dictionary.size(); ++code) {
+    assigned.try_emplace(column.dictionary[code], code);
+  }
+  bool typed = from.typed;
+  auto matches_declared = [this, c](const Value& v) {
+    switch (types_[c]) {
+      case DataType::kInt64:
+        return v.is_int();
+      case DataType::kDouble:
+        return v.is_real();
+      case DataType::kBool:
+        return v.is_bool();
+      case DataType::kString:
+        return v.is_text();
+    }
+    return false;
+  };
+  for (size_t r = base_rows; r < rows_->size(); ++r) {
+    const Value& value = (*rows_)[r][c];
+    if (value.is_null()) {
+      column.has_null = true;
+      column.codes.push_back(kNullCode);
+      continue;
+    }
+    if (typed && !matches_declared(value)) typed = false;
+    auto [it, inserted] =
+        assigned.try_emplace(value, static_cast<uint32_t>(assigned.size()));
+    if (inserted) column.dictionary.push_back(value);
+    column.codes.push_back(it->second);
+  }
+  column.typed = typed;
+  column.dict_count = static_cast<uint32_t>(column.dictionary.size());
+  column.ready = true;
+}
+
 EncodedTable::CodeReader EncodedTable::codes_reader(size_t c) const {
   if (paged_ != nullptr) {
     return CodeReader(paged_->Codes(paged_columns_[c]));

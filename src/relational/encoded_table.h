@@ -90,6 +90,17 @@ class EncodedTable {
   // codes()/Decode() goes through a locked ensure first.
   void EnsureColumn(size_t c);
 
+  // Encodes column `c` by extending `base`'s ready encoding over this
+  // table's longer row storage: the first `base_rows` codes are copied and
+  // appended rows continue first-appearance code assignment against the
+  // base dictionary. Because codes are a pure function of the extension
+  // prefix, the result is byte-identical to a cold EnsureColumn over the
+  // full extension — the delta path's correctness hinge. Requires
+  // !paged(), !base.paged(), base.column_ready(c), and that this table's
+  // first `base_rows` rows equal base's rows (append-only mutation over
+  // shared storage).
+  void ExtendColumnFrom(const EncodedTable& base, size_t c, size_t base_rows);
+
   bool column_ready(size_t c) const { return columns_[c].ready; }
 
   // The declared attribute type of column `c`.

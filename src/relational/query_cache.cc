@@ -1,5 +1,6 @@
 #include "relational/query_cache.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <unordered_map>
@@ -91,6 +92,78 @@ class GroupTable {
 };
 
 }  // namespace
+
+std::unique_ptr<QueryCache> QueryCache::BuildDelta(
+    QueryCache& base, size_t base_rows,
+    std::shared_ptr<const std::vector<ValueVector>> rows,
+    std::vector<DataType> types,
+    const std::vector<size_t>& updated_columns) {
+  static const HitMiss counters = CacheCounters("delta_build");
+  auto cache = std::make_unique<QueryCache>(
+      EncodedTable(std::move(rows), std::move(types)));
+  const size_t new_rows = cache->encoded_.num_rows();
+  const auto touched = [&updated_columns](size_t c) {
+    return std::binary_search(updated_columns.begin(), updated_columns.end(),
+                              c);
+  };
+  std::lock_guard<std::mutex> lock(base.mutex_);
+  if (base.encoded_.paged() || new_rows < base_rows) {
+    // Nothing reusable: a paged base has no in-memory codes to extend, and
+    // a shrunk extension invalidates row-positional state wholesale. The
+    // fresh cache encodes cold on demand.
+    counters.Count(false);
+    return cache;
+  }
+  counters.Count(true);
+  for (size_t c = 0; c < cache->encoded_.num_columns(); ++c) {
+    if (touched(c) || c >= base.encoded_.num_columns()) continue;
+    if (!base.encoded_.column_ready(c)) continue;
+    cache->encoded_.ExtendColumnFrom(base.encoded_, c, base_rows);
+  }
+  if (new_rows != base_rows) return cache;
+  // Pure in-place update: row count and untouched columns are unchanged,
+  // so every memo keyed only by untouched columns is still exact. (With
+  // appended rows none carry over — partitions are row-positional and the
+  // single-column NULL group id shifts when the dictionary grows.)
+  const auto untouched = [&](const std::vector<size_t>& columns) {
+    for (size_t c : columns) {
+      if (touched(c)) return false;
+    }
+    return true;
+  };
+  for (const auto& [key, value] : base.partitions_) {
+    if (untouched(key.first)) cache->partitions_.emplace(key, value);
+  }
+  for (const auto& [key, value] : base.distinct_sets_) {
+    if (untouched(key)) cache->distinct_sets_.emplace(key, value);
+  }
+  for (const auto& [key, value] : base.dictionary_sets_) {
+    if (!touched(key)) cache->dictionary_sets_.emplace(key, value);
+  }
+  for (const auto& [key, value] : base.int64_dictionary_sets_) {
+    if (!touched(key)) cache->int64_dictionary_sets_.emplace(key, value);
+  }
+  for (const auto& [key, value] : base.dictionary_keys_) {
+    if (!touched(key)) cache->dictionary_keys_.emplace(key, value);
+  }
+  for (const auto& [key, value] : base.column_sketches_) {
+    if (!touched(key)) cache->column_sketches_.emplace(key, value);
+  }
+  for (const auto& [key, value] : base.projection_sketches_) {
+    if (untouched(key)) cache->projection_sketches_.emplace(key, value);
+  }
+  for (const auto& [key, value] : base.fd_verdicts_) {
+    if (untouched(key.first) && untouched(key.second)) {
+      cache->fd_verdicts_.emplace(key, value);
+    }
+  }
+  for (const auto& [key, value] : base.fd_errors_) {
+    if (untouched(key.first) && untouched(key.second)) {
+      cache->fd_errors_.emplace(key, value);
+    }
+  }
+  return cache;
+}
 
 std::shared_ptr<const CodePartition> QueryCache::BuildPartition(
     const std::vector<size_t>& columns, NullPolicy policy) const {
@@ -298,6 +371,22 @@ std::shared_ptr<const ValueVectorSet> QueryCache::DistinctProjection(
 
 bool QueryCache::FdHolds(const std::vector<size_t>& lhs_columns,
                          const std::vector<size_t>& rhs_columns) {
+  static const HitMiss counters = CacheCounters("fd_holds");
+  const FdKey key(lhs_columns, rhs_columns);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = fd_verdicts_.find(key);
+    counters.Count(it != fd_verdicts_.end());
+    if (it != fd_verdicts_.end()) return it->second;
+  }
+  const bool verdict = ComputeFdHolds(lhs_columns, rhs_columns);
+  std::lock_guard<std::mutex> lock(mutex_);
+  fd_verdicts_.emplace(key, verdict);
+  return verdict;
+}
+
+bool QueryCache::ComputeFdHolds(const std::vector<size_t>& lhs_columns,
+                                const std::vector<size_t>& rhs_columns) {
   std::shared_ptr<const CodePartition> lhs =
       Partition(lhs_columns, NullPolicy::kSkipNullRows);
   std::shared_ptr<const CodePartition> rhs =
@@ -365,6 +454,22 @@ bool QueryCache::FdHolds(const std::vector<size_t>& lhs_columns,
 
 double QueryCache::FdError(const std::vector<size_t>& lhs_columns,
                            const std::vector<size_t>& rhs_columns) {
+  static const HitMiss counters = CacheCounters("fd_error");
+  const FdKey key(lhs_columns, rhs_columns);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = fd_errors_.find(key);
+    counters.Count(it != fd_errors_.end());
+    if (it != fd_errors_.end()) return it->second;
+  }
+  const double error = ComputeFdError(lhs_columns, rhs_columns);
+  std::lock_guard<std::mutex> lock(mutex_);
+  fd_errors_.emplace(key, error);
+  return error;
+}
+
+double QueryCache::ComputeFdError(const std::vector<size_t>& lhs_columns,
+                                  const std::vector<size_t>& rhs_columns) {
   std::shared_ptr<const CodePartition> lhs =
       Partition(lhs_columns, NullPolicy::kSkipNullRows);
   std::shared_ptr<const CodePartition> rhs =

@@ -122,6 +122,23 @@ class QueryCache {
   QueryCache(const QueryCache&) = delete;
   QueryCache& operator=(const QueryCache&) = delete;
 
+  // Builds a cache over a mutated extension by reusing `base`'s work
+  // instead of starting cold. `rows` is the mutated storage whose first
+  // `base_rows` rows are byte-identical to base's on every column NOT in
+  // `updated_columns` (sorted schema indexes of in-place updated columns).
+  // Ready base encodings of untouched columns are extended over the
+  // appended suffix (EncodedTable::ExtendColumnFrom); when no rows were
+  // appended, memoized partitions/sets/sketches whose column sets avoid
+  // `updated_columns` carry over as shared pointers. The cross-table join
+  // memo never carries over (its keys are peer cache identities). Every
+  // observable answer of the returned cache is byte-identical to a cold
+  // build over `rows` — the incremental path's correctness hinge, proven
+  // by the table_mutation and incremental suites.
+  static std::unique_ptr<QueryCache> BuildDelta(
+      QueryCache& base, size_t base_rows,
+      std::shared_ptr<const std::vector<ValueVector>> rows,
+      std::vector<DataType> types, const std::vector<size_t>& updated_columns);
+
   // Readable for any column that has gone through a locked ensure (below).
   const EncodedTable& encoded() const { return encoded_; }
 
@@ -208,6 +225,7 @@ class QueryCache {
 
  private:
   using PartitionKey = std::pair<std::vector<size_t>, int>;
+  using FdKey = std::pair<std::vector<size_t>, std::vector<size_t>>;
   using JoinMemoKey =
       std::tuple<const void*, std::vector<size_t>, std::vector<size_t>>;
   struct JoinMemoEntry {
@@ -218,6 +236,10 @@ class QueryCache {
   void EnsureColumnsLocked(const std::vector<size_t>& columns);
   std::shared_ptr<const CodePartition> BuildPartition(
       const std::vector<size_t>& columns, NullPolicy policy) const;
+  bool ComputeFdHolds(const std::vector<size_t>& lhs_columns,
+                      const std::vector<size_t>& rhs_columns);
+  double ComputeFdError(const std::vector<size_t>& lhs_columns,
+                        const std::vector<size_t>& rhs_columns);
 
   EncodedTable encoded_;  // columns encode lazily under mutex_
   std::mutex mutex_;
@@ -231,6 +253,13 @@ class QueryCache {
   std::map<std::vector<size_t>, std::shared_ptr<const ProjectionSketch>>
       projection_sketches_;
   std::map<JoinMemoKey, JoinMemoEntry> join_memo_;
+  // FD verdicts are pure functions of the extension and the two column
+  // lists (sketch gating changes the route, never the answer), so reruns
+  // skip the O(rows) refinement pass entirely. BuildDelta carries an entry
+  // over only when both sides avoid the updated columns — same rule as the
+  // partitions it was derived from.
+  std::map<FdKey, bool> fd_verdicts_;
+  std::map<FdKey, double> fd_errors_;
 };
 
 }  // namespace dbre

@@ -46,7 +46,7 @@ Status Table::AdoptPagedExtension(
     }
   }
   std::lock_guard<std::mutex> lock(g_query_cache_mutex);
-  cache_.reset();
+  NoteStructural();
   rows_ = std::make_shared<std::vector<ValueVector>>();
   paged_ = std::move(source);
   paged_columns_.resize(schema_.arity());
@@ -66,12 +66,137 @@ Result<std::shared_ptr<QueryCache>> Table::query_cache() const {
     for (const Attribute& attribute : schema_.attributes()) {
       types.push_back(attribute.type);
     }
-    cache_ = std::make_shared<QueryCache>(
-        paged_ != nullptr
-            ? EncodedTable(paged_, std::move(types), paged_columns_)
-            : EncodedTable(shared_rows(), std::move(types)));
+    if (paged_ != nullptr) {
+      cache_ = std::make_shared<QueryCache>(
+          EncodedTable(paged_, std::move(types), paged_columns_));
+    } else if (delta_base_ != nullptr && rows_->size() >= delta_base_rows_) {
+      cache_ = QueryCache::BuildDelta(*delta_base_, delta_base_rows_,
+                                      shared_rows(), std::move(types),
+                                      delta_updated_columns_);
+    } else {
+      cache_ = std::make_shared<QueryCache>(
+          EncodedTable(shared_rows(), std::move(types)));
+    }
+    delta_base_.reset();
+    delta_base_rows_ = 0;
+    delta_updated_columns_.clear();
+    delta_pinned_rows_ = nullptr;
   }
   return cache_;
+}
+
+void Table::NoteAppend() {
+  if (delta_base_ == nullptr && cache_ != nullptr && paged_ == nullptr) {
+    delta_base_ = std::move(cache_);
+    delta_base_rows_ = rows_->size();
+    delta_updated_columns_.clear();
+    delta_pinned_rows_ = rows_.get();
+  }
+  cache_.reset();
+}
+
+void Table::NoteUpdate(const std::vector<size_t>& columns) {
+  NoteAppend();
+  if (delta_base_ == nullptr) return;
+  std::vector<size_t> sorted(columns);
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<size_t> merged;
+  merged.reserve(delta_updated_columns_.size() + sorted.size());
+  std::set_union(delta_updated_columns_.begin(), delta_updated_columns_.end(),
+                 sorted.begin(), sorted.end(), std::back_inserter(merged));
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  delta_updated_columns_ = std::move(merged);
+}
+
+void Table::NoteStructural() {
+  cache_.reset();
+  delta_base_.reset();
+  delta_base_rows_ = 0;
+  delta_updated_columns_.clear();
+  delta_pinned_rows_ = nullptr;
+}
+
+void Table::DetachForMutation() {
+  if (paged_ != nullptr) return;  // read-only; EnsureMaterialized detaches
+  NoteAppend();
+  mutable_rows_delta();
+}
+
+Status Table::EnsureMaterialized() {
+  if (paged_ == nullptr) return Status::Ok();
+  auto rows = std::make_shared<std::vector<ValueVector>>();
+  rows->reserve(num_rows());
+  DBRE_RETURN_IF_ERROR(ForEachRow(
+      [&rows](const ValueVector& row) { rows->push_back(row); }));
+  std::lock_guard<std::mutex> lock(g_query_cache_mutex);
+  NoteStructural();
+  paged_.reset();
+  paged_columns_.clear();
+  rows_ = std::move(rows);
+  return Status::Ok();
+}
+
+Result<size_t> Table::UpdateRows(
+    const std::vector<size_t>& columns, const ValueVector& values,
+    const std::function<bool(const ValueVector&)>& predicate) {
+  if (paged_ != nullptr) {
+    return FailedPreconditionError(
+        "relation " + schema_.name() +
+        " is paged and read-only; materialize before mutating");
+  }
+  if (columns.empty() || columns.size() != values.size()) {
+    return InvalidArgumentError("UpdateRows: column/value count mismatch");
+  }
+  const AttributeSet not_null = schema_.NotNullAttributes();
+  for (size_t k = 0; k < columns.size(); ++k) {
+    if (columns[k] >= schema_.arity()) {
+      return InvalidArgumentError("UpdateRows: column index out of range");
+    }
+    const Attribute& attribute = schema_.attributes()[columns[k]];
+    if (!values[k].MatchesType(attribute.type)) {
+      return InvalidArgumentError("type mismatch for " + schema_.name() +
+                                  "." + attribute.name + ": value " +
+                                  values[k].ToString());
+    }
+    if (values[k].is_null() && not_null.Contains(attribute.name)) {
+      return InvalidArgumentError("NULL in not-null attribute " +
+                                  schema_.name() + "." + attribute.name);
+    }
+  }
+  // Match first: a predicate hitting nothing must not detach the shared
+  // storage or invalidate the cache.
+  std::vector<size_t> matched;
+  for (size_t i = 0; i < rows_->size(); ++i) {
+    if (predicate((*rows_)[i])) matched.push_back(i);
+  }
+  if (matched.empty()) return size_t{0};
+  NoteUpdate(columns);
+  auto& rows = mutable_rows_delta();
+  for (size_t i : matched) {
+    for (size_t k = 0; k < columns.size(); ++k) {
+      rows[i][columns[k]] = values[k];
+    }
+  }
+  return matched.size();
+}
+
+Result<size_t> Table::DeleteRows(
+    const std::function<bool(const ValueVector&)>& predicate) {
+  if (paged_ != nullptr) {
+    return FailedPreconditionError(
+        "relation " + schema_.name() +
+        " is paged and read-only; materialize before mutating");
+  }
+  size_t matched = 0;
+  for (const ValueVector& row : *rows_) {
+    if (predicate(row)) ++matched;
+  }
+  if (matched == 0) return size_t{0};
+  NoteStructural();
+  auto& rows = mutable_rows();
+  rows.erase(std::remove_if(rows.begin(), rows.end(), predicate),
+             rows.end());
+  return matched;
 }
 
 bool Table::AdoptSharedExtension(const Table& other) {
@@ -97,6 +222,7 @@ bool Table::AdoptSharedExtension(const Table& other) {
   }
   if (rows_ != other.rows_ && *rows_ != *other.rows_) return false;
   std::lock_guard<std::mutex> lock(g_query_cache_mutex);
+  NoteStructural();
   rows_ = other.rows_;
   if (other.cache_ != nullptr) cache_ = other.cache_;
   return true;
@@ -115,7 +241,7 @@ Status Table::AdoptExtension(std::shared_ptr<std::vector<ValueVector>> rows) {
     }
   }
   std::lock_guard<std::mutex> lock(g_query_cache_mutex);
-  cache_.reset();
+  NoteStructural();
   paged_.reset();
   paged_columns_.clear();
   rows_ = std::move(rows);
@@ -162,8 +288,8 @@ Status Table::Insert(ValueVector row) {
                                   schema_.name() + "." + attribute.name);
     }
   }
-  cache_.reset();
-  mutable_rows().push_back(std::move(row));
+  NoteAppend();
+  mutable_rows_delta().push_back(std::move(row));
   return Status::Ok();
 }
 
@@ -189,7 +315,7 @@ Status Table::ForEachRow(
 }
 
 Status Table::DropAttribute(std::string_view name) {
-  cache_.reset();
+  NoteStructural();
   DBRE_ASSIGN_OR_RETURN(size_t index, schema_.AttributeIndex(name));
   DBRE_RETURN_IF_ERROR(schema_.RemoveAttribute(name));
   if (paged_ != nullptr) {

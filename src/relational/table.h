@@ -87,25 +87,64 @@ class Table {
   // Appends without validation; for generators that construct rows known to
   // be well-formed.
   void InsertUnchecked(ValueVector row) {
-    cache_.reset();
-    mutable_rows().push_back(std::move(row));
+    NoteAppend();
+    mutable_rows_delta().push_back(std::move(row));
   }
 
   // Pre-sizes the row storage for a bulk load of `additional_rows` further
   // tuples, so the append loop never reallocates (and re-moves) the row
   // vector mid-load.
   void Reserve(size_t additional_rows) {
-    cache_.reset();
-    auto& rows = mutable_rows();
+    NoteAppend();
+    auto& rows = mutable_rows_delta();
     rows.reserve(rows.size() + additional_rows);
   }
 
   void Clear() {
-    cache_.reset();
+    NoteStructural();
     paged_.reset();
     paged_columns_.clear();
     rows_ = std::make_shared<std::vector<ValueVector>>();
   }
+
+  // --- Mutation path for live sessions (docs/INCREMENTAL.md) -------------
+
+  // In-place update: assigns values[k] to column columns[k] of every row
+  // satisfying `predicate`. Values are validated against declared types and
+  // not-null declarations up front; a predicate matching nothing leaves the
+  // extension, its cache and any pending delta untouched. Returns the
+  // number of updated rows. Fails failed_precondition on a paged extension
+  // (call EnsureMaterialized first).
+  Result<size_t> UpdateRows(
+      const std::vector<size_t>& columns, const ValueVector& values,
+      const std::function<bool(const ValueVector&)>& predicate);
+
+  // Removes every row satisfying `predicate`; returns how many. Row
+  // removal is a structural change: the cache rebuilds cold (row-positional
+  // state cannot be patched). Fails failed_precondition on a paged
+  // extension.
+  Result<size_t> DeleteRows(
+      const std::function<bool(const ValueVector&)>& predicate);
+
+  // Converts a paged (read-only) extension into materialized rows so it
+  // can be mutated; no-op when already materialized. Mutations never write
+  // through the buffer pool.
+  Status EnsureMaterialized();
+
+  // Detaches this table's extension from every sharing peer — the
+  // ExtensionRegistry's canonical copy or a sibling session adopted via
+  // AdoptSharedExtension — before a mutation: the shared query cache is
+  // demoted to this table's private delta base and the row storage is
+  // copied if anyone else still references it, so a write through this
+  // table can never surface in another session's extension or invalidate
+  // the registry's fingerprint-stamped snapshot. Mutators detach
+  // implicitly; exposed so the service layer can detach up front when it
+  // journals a mutation batch.
+  void DetachForMutation();
+
+  // Whether an incremental cache rebuild against a captured base is
+  // pending (diagnostics and tests).
+  bool has_pending_delta() const { return delta_base_ != nullptr; }
 
   // Streams every row of the extension in row order, in either mode:
   // materialized rows are visited directly; paged rows decode through the
@@ -186,12 +225,51 @@ class Table {
     return *rows_;
   }
 
+  // COW access for delta-tracked mutators (append / in-place update). A
+  // pending delta base necessarily pins the pre-mutation storage; when the
+  // base cache is exclusively ours (no registry canonical copy, no sibling
+  // session — use_count 1) that pin is discounted, so a solo session
+  // mutates in place: the base's ready code columns are immutable copies
+  // and BuildDelta never re-encodes through the base, so growing or
+  // updating the shared vector under it is safe. Any cross-table sharing
+  // still copies.
+  std::vector<ValueVector>& mutable_rows_delta() {
+    if (paged_ != nullptr) DiePagedAccess("mutable_rows()");
+    const long discounted =
+        delta_base_ != nullptr && delta_base_.use_count() == 1 &&
+                delta_pinned_rows_ == rows_.get()
+            ? 1
+            : 0;
+    if (rows_.use_count() > 1 + discounted) {
+      rows_ = std::make_shared<std::vector<ValueVector>>(*rows_);
+    }
+    return *rows_;
+  }
+
+  // Captures the current cache as the pending delta base so the next
+  // query_cache() rebuilds incrementally (QueryCache::BuildDelta) instead
+  // of cold. NoteAppend marks an append-only batch; NoteUpdate additionally
+  // records in-place-updated schema columns; NoteStructural (row removal,
+  // attribute drops, wholesale adoption) discards any pending delta.
+  void NoteAppend();
+  void NoteUpdate(const std::vector<size_t>& columns);
+  void NoteStructural();
+
   RelationSchema schema_;
   std::shared_ptr<std::vector<ValueVector>> rows_ =
       std::make_shared<std::vector<ValueVector>>();
   std::shared_ptr<const PagedSource> paged_;
   std::vector<uint32_t> paged_columns_;
   mutable std::shared_ptr<QueryCache> cache_;
+  // Pending incremental rebuild: the cache as of delta_base_rows_ rows,
+  // with delta_updated_columns_ (sorted, unique) updated in place since.
+  // delta_pinned_rows_ remembers which storage the base was built over, so
+  // mutable_rows_delta only discounts its pin while they still coincide.
+  // Mutable because query_cache() (const) consumes the delta.
+  mutable std::shared_ptr<QueryCache> delta_base_;
+  mutable size_t delta_base_rows_ = 0;
+  mutable std::vector<size_t> delta_updated_columns_;
+  mutable const void* delta_pinned_rows_ = nullptr;
 };
 
 }  // namespace dbre

@@ -128,6 +128,16 @@ void SessionPersistence::LogJoins(const std::vector<EquiJoin>& joins) {
   Append(record);
 }
 
+void SessionPersistence::LogMutation(const std::string& sql) {
+  Json record = Json::MakeObject();
+  record.Set("t", Json::Str("mutate"));
+  record.Set("sql", Json::Str(sql));
+  Append(record);
+  // Like answers: the mutation is already live in memory, so losing the
+  // record would make a replayed catalog diverge from what clients saw.
+  SyncQuietly();
+}
+
 void SessionPersistence::LogRunStart(bool infer_keys, bool close_inds,
                                      bool merge_isa_cycles,
                                      const std::string& oracle) {

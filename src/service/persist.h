@@ -10,6 +10,7 @@
 //                                             live in the content-addressed
 //                                             snapshot named by fp
 //   {"t":"joins","joins":[...]}               candidate joins registered
+//   {"t":"mutate","sql":"..."}                live DML applied to the catalog
 //   {"t":"run","infer_keys":b,...,"oracle":s} pipeline run accepted
 //   {"t":"answer","kind":k,"subject":s,...}   one expert decision resolved
 //   {"t":"phase","phase":p}                   pipeline phase completed
@@ -80,6 +81,11 @@ class SessionPersistence {
   void LogExtension(const Table& table, const std::string& relation,
                     size_t rows);
   void LogJoins(const std::vector<EquiJoin>& joins);
+  // A DML script that was applied to the live catalog ({"t":"mutate"}).
+  // Logged *after* the mutation applies, so a journaled mutation is always
+  // one the catalog actually absorbed (a crash in between replays the
+  // catalog without it — the client never got its OK).
+  void LogMutation(const std::string& sql);
   void LogRunStart(bool infer_keys, bool close_inds, bool merge_isa_cycles,
                    const std::string& oracle);
   void LogPhase(const std::string& phase);

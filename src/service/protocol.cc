@@ -206,4 +206,34 @@ Json JoinToJson(const EquiJoin& join) {
   return object;
 }
 
+void PrimeReplayAnswer(ReplayOracle* oracle, const Json& record) {
+  std::string kind = record.GetString("kind");
+  std::string subject = record.GetString("subject");
+  if (kind == "nei") {
+    NeiDecision decision;
+    std::string action = record.GetString("action", "ignore");
+    if (action == "conceptualize") {
+      decision.action = NeiAction::kConceptualize;
+    } else if (action == "force_left") {
+      decision.action = NeiAction::kForceLeftInRight;
+    } else if (action == "force_right") {
+      decision.action = NeiAction::kForceRightInLeft;
+    } else {
+      decision.action = NeiAction::kIgnore;
+    }
+    decision.relation_name = record.GetString("name");
+    oracle->RecordNei(subject, std::move(decision));
+  } else if (kind == "enforce_fd") {
+    oracle->RecordEnforceFd(subject, record.GetBool("value"));
+  } else if (kind == "validate_fd") {
+    oracle->RecordValidateFd(subject, record.GetBool("value"));
+  } else if (kind == "hidden_object") {
+    oracle->RecordHiddenObject(subject, record.GetBool("value"));
+  } else if (kind == "name_fd") {
+    oracle->RecordFdRelationName(subject, record.GetString("name"));
+  } else if (kind == "name_hidden") {
+    oracle->RecordHiddenRelationName(subject, record.GetString("name"));
+  }
+}
+
 }  // namespace dbre::service

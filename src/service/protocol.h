@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/replay_oracle.h"
 #include "relational/equi_join.h"
 #include "service/async_oracle.h"
 #include "service/json.h"
@@ -30,6 +31,12 @@ namespace dbre::service {
 // A client may send its version in `hello`; a mismatch is rejected with a
 // structured failed_precondition before any session state is touched.
 inline constexpr int64_t kProtocolVersion = 2;
+
+// Advisory minor revision within the major version: additions that old
+// clients can ignore. 2.1 added the `mutate` and `watch` commands (live
+// DML + presumption-change streaming). Never checked for compatibility —
+// `hello` reports it so clients can discover the additions.
+inline constexpr int64_t kProtocolMinorVersion = 1;
 
 struct ProtocolLimits {
   size_t max_line_bytes = 8u << 20;  // big enough for a CSV extension chunk
@@ -74,6 +81,15 @@ Result<OracleAnswer> ParseAnswer(PendingQuestion::Kind kind,
 Result<EquiJoin> ParseJoin(const Json& value);
 
 Json JoinToJson(const EquiJoin& join);
+
+// Primes `oracle` with one journaled answer record ({"kind":k,"subject":s}
+// plus the kind-specific action/value/name fields — the flattened form
+// SessionPersistence::LogAnswer writes). Unknown kinds are skipped so an
+// old daemon can replay a journal a newer one wrote. Used by crash
+// recovery and by the incremental rerun path, which replays a session's
+// own answers so a post-mutation re-validation only re-asks questions the
+// expert never saw.
+void PrimeReplayAnswer(ReplayOracle* oracle, const Json& record);
 
 }  // namespace dbre::service
 

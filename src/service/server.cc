@@ -107,8 +107,10 @@ Result<Json> Server::Dispatch(const Request& request) {
   if (cmd == "load_ddl") return HandleLoadDdl(request);
   if (cmd == "load_csv") return HandleLoadCsv(request);
   if (cmd == "add_joins") return HandleAddJoins(request);
+  if (cmd == "mutate") return HandleMutate(request);
   if (cmd == "run") return HandleRun(request);
   if (cmd == "wait") return HandleWait(request);
+  if (cmd == "watch") return HandleWatch(request);
   if (cmd == "questions") return HandleQuestions(request);
   if (cmd == "answer") return HandleAnswer(request);
   if (cmd == "report") return HandleReport(request);
@@ -160,6 +162,7 @@ Result<Json> Server::HandleHello(const Request& request) {
   Json result = Json::MakeObject();
   result.Set("server", Json::Str("dbred"));
   result.Set("protocol", Json::Int(kProtocolVersion));
+  result.Set("minor", Json::Int(kProtocolMinorVersion));
   if (!options_.sessions.worker_id.empty()) {
     result.Set("worker", Json::Str(options_.sessions.worker_id));
   }
@@ -283,6 +286,36 @@ Result<Json> Server::HandleAddJoins(const Request& request) {
   return result;
 }
 
+Result<Json> Server::HandleMutate(const Request& request) {
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                        SessionParam(request));
+  const Json* sql = request.params.Find("sql");
+  if (sql == nullptr || !sql->IsString()) {
+    return InvalidArgumentError("mutate needs a string \"sql\" field");
+  }
+  sql::DmlStats stats;
+  DBRE_RETURN_IF_ERROR(session->ApplyMutation(sql->AsString(), &stats));
+  Json tables = Json::MakeArray();
+  for (const sql::TableMutation& mutation : stats.tables) {
+    Json entry = Json::MakeObject();
+    entry.Set("table", Json::Str(mutation.table));
+    entry.Set("inserted", Json::Int(static_cast<int64_t>(mutation.inserted)));
+    entry.Set("updated", Json::Int(static_cast<int64_t>(mutation.updated)));
+    entry.Set("deleted", Json::Int(static_cast<int64_t>(mutation.deleted)));
+    entry.Set("structural", Json::Bool(mutation.structural));
+    tables.Append(std::move(entry));
+  }
+  Json result = Json::MakeObject();
+  result.Set("statements", Json::Int(static_cast<int64_t>(stats.statements)));
+  result.Set("inserted",
+             Json::Int(static_cast<int64_t>(stats.rows_inserted)));
+  result.Set("updated", Json::Int(static_cast<int64_t>(stats.rows_updated)));
+  result.Set("deleted", Json::Int(static_cast<int64_t>(stats.rows_deleted)));
+  result.Set("tables", std::move(tables));
+  result.Set("state", Json::Str(Session::StateName(session->state())));
+  return result;
+}
+
 Result<Json> Server::HandleRun(const Request& request) {
   DBRE_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
                         SessionParam(request));
@@ -331,6 +364,54 @@ Result<Json> Server::HandleWait(const Request& request) {
   result.Set("state", Json::Str(Session::StateName(session->state())));
   result.Set("pending", Json::Int(static_cast<int64_t>(
                             session->oracle()->Pending().size())));
+  return result;
+}
+
+Result<Json> Server::HandleWatch(const Request& request) {
+  DBRE_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                        SessionParam(request));
+  uint64_t after_seq = 0;
+  const Json* after = request.params.Find("after_seq");
+  if (after != nullptr) {
+    if (!after->IsInt() || after->AsInt() < 0) {
+      return InvalidArgumentError(
+          "watch \"after_seq\" must be a non-negative integer");
+    }
+    after_seq = static_cast<uint64_t>(after->AsInt());
+  }
+  int64_t timeout_ms = request.params.GetInt("timeout_ms", 10'000);
+  timeout_ms = std::clamp<int64_t>(timeout_ms, 0, options_.max_wait_ms);
+
+  // Long-poll like `wait`: park until an event lands past the client's
+  // cursor. A closed session still drains whatever is buffered, so a
+  // watcher sees the final events instead of hanging out its timeout.
+  auto ready = [&] {
+    if (shutdown_requested()) return true;
+    if (session->state() == Session::State::kClosed) return true;
+    return session->event_seq() > after_seq;
+  };
+  std::shared_ptr<WaitHub> hub = HubFor(session->id());
+  {
+    std::unique_lock<std::mutex> lock(hub->mutex);
+    hub->changed.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                          ready);
+  }
+
+  std::vector<Json> events = session->EventsSince(after_seq);
+  uint64_t next_seq = after_seq;
+  Json list = Json::MakeArray();
+  for (Json& event : events) {
+    uint64_t seq = static_cast<uint64_t>(event.GetInt("seq"));
+    next_seq = std::max(next_seq, seq);
+    list.Append(std::move(event));
+  }
+  // Events older than the ring's capacity are gone; advance the cursor
+  // past the gap so a lagging watcher cannot spin on a hole forever.
+  next_seq = std::max(next_seq, session->event_seq());
+  Json result = Json::MakeObject();
+  result.Set("events", std::move(list));
+  result.Set("next_seq", Json::Int(static_cast<int64_t>(next_seq)));
+  result.Set("state", Json::Str(Session::StateName(session->state())));
   return result;
 }
 

@@ -9,9 +9,10 @@
 // number of connection threads concurrently.
 //
 // Commands (see docs/SERVICE.md): hello, create, sessions, status,
-// load_ddl, load_csv, add_joins, run, wait, questions, answer, report,
-// summary, export_ddl, export_eer, export_navigation, close, stats,
-// metrics, trace, persist, restore, detach, failpoint, shutdown.
+// load_ddl, load_csv, add_joins, mutate, run, wait, watch, questions,
+// answer, report, summary, export_ddl, export_eer, export_navigation,
+// close, stats, metrics, trace, persist, restore, detach, failpoint,
+// shutdown.
 //
 // With a data dir (`dbre_serve --data-dir`), the constructor replays every
 // journal found on disk before serving: crashed sessions come back with
@@ -88,8 +89,10 @@ class Server {
   Result<Json> HandleLoadDdl(const Request& request);
   Result<Json> HandleLoadCsv(const Request& request);
   Result<Json> HandleAddJoins(const Request& request);
+  Result<Json> HandleMutate(const Request& request);
   Result<Json> HandleRun(const Request& request);
   Result<Json> HandleWait(const Request& request);
+  Result<Json> HandleWatch(const Request& request);
   Result<Json> HandleQuestions(const Request& request);
   Result<Json> HandleAnswer(const Request& request);
   Result<Json> HandleReport(const Request& request);

@@ -1,5 +1,6 @@
 #include "service/session.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -8,10 +9,110 @@
 #include "core/report_json.h"
 #include "eer/dot_export.h"
 #include "relational/csv.h"
+#include "service/protocol.h"
 #include "sql/ddl.h"
 #include "sql/ddl_writer.h"
 
 namespace dbre::service {
+namespace {
+
+constexpr size_t kMaxEvents = 256;
+
+const char* NeiActionName(NeiAction action) {
+  switch (action) {
+    case NeiAction::kConceptualize: return "conceptualize";
+    case NeiAction::kForceLeftInRight: return "force_left";
+    case NeiAction::kForceRightInLeft: return "force_right";
+    case NeiAction::kIgnore: return "ignore";
+  }
+  return "ignore";
+}
+
+Json AnswerRecord(const char* kind, const std::string& subject) {
+  Json record = Json::MakeObject();
+  record.Set("kind", Json::Str(kind));
+  record.Set("subject", Json::Str(subject));
+  return record;
+}
+
+// ExpertOracle decorator that appends every freshly-resolved answer to the
+// session's in-memory answer log (the same record shape the journal
+// uses), so the next rerun can replay it. Sits *inside* the replay layer:
+// answers replayed from the log never re-record.
+class RecordingOracle : public ExpertOracle {
+ public:
+  RecordingOracle(ExpertOracle* wrapped, Session* session)
+      : wrapped_(wrapped), session_(session) {}
+
+  NeiDecision DecideNonEmptyIntersection(const EquiJoin& join,
+                                         const JoinCounts& counts) override {
+    NeiDecision decision = wrapped_->DecideNonEmptyIntersection(join, counts);
+    Json record = AnswerRecord("nei", join.ToString());
+    record.Set("action", Json::Str(NeiActionName(decision.action)));
+    if (!decision.relation_name.empty()) {
+      record.Set("name", Json::Str(decision.relation_name));
+    }
+    session_->RecordAnswer(std::move(record));
+    return decision;
+  }
+  bool EnforceFailedFd(const FunctionalDependency& fd) override {
+    bool enforce = wrapped_->EnforceFailedFd(fd);
+    RecordBool("enforce_fd", fd.ToString(), enforce);
+    return enforce;
+  }
+  bool EnforceFailedFd(const FunctionalDependency& fd,
+                       double g3_error) override {
+    bool enforce = wrapped_->EnforceFailedFd(fd, g3_error);
+    RecordBool("enforce_fd", fd.ToString(), enforce);
+    return enforce;
+  }
+  bool ValidateFd(const FunctionalDependency& fd) override {
+    bool valid = wrapped_->ValidateFd(fd);
+    RecordBool("validate_fd", fd.ToString(), valid);
+    return valid;
+  }
+  bool ConceptualizeHiddenObject(
+      const QualifiedAttributes& candidate) override {
+    bool accept = wrapped_->ConceptualizeHiddenObject(candidate);
+    RecordBool("hidden_object", candidate.ToString(), accept);
+    return accept;
+  }
+  std::string NameRelationForFd(const FunctionalDependency& fd) override {
+    std::string name = wrapped_->NameRelationForFd(fd);
+    RecordName("name_fd", fd.ToString(), name);
+    return name;
+  }
+  std::string NameHiddenObjectRelation(
+      const QualifiedAttributes& source) override {
+    std::string name = wrapped_->NameHiddenObjectRelation(source);
+    RecordName("name_hidden", source.ToString(), name);
+    return name;
+  }
+
+ private:
+  void RecordBool(const char* kind, const std::string& subject, bool value) {
+    Json record = AnswerRecord(kind, subject);
+    record.Set("value", Json::Bool(value));
+    session_->RecordAnswer(std::move(record));
+  }
+  void RecordName(const char* kind, const std::string& subject,
+                  const std::string& name) {
+    Json record = AnswerRecord(kind, subject);
+    record.Set("name", Json::Str(name));
+    session_->RecordAnswer(std::move(record));
+  }
+
+  ExpertOracle* const wrapped_;  // not owned
+  Session* const session_;       // not owned
+};
+
+Json StringList(const std::vector<std::string>& values) {
+  Json list = Json::MakeArray();
+  for (const std::string& value : values) list.Append(Json::Str(value));
+  return list;
+}
+
+}  // namespace
 
 Session::Session(std::string id, AsyncOracle::Options oracle_options,
                  SessionLimits limits, ExtensionRegistry* registry,
@@ -248,11 +349,123 @@ size_t Session::memory_bytes() const {
   return bytes_;
 }
 
+std::function<void()> Session::EmitEventLocked(const char* type,
+                                               Json payload) {
+  Json event = Json::MakeObject();
+  event.Set("seq", Json::Int(static_cast<int64_t>(++event_seq_)));
+  event.Set("type", Json::Str(type));
+  for (auto& [key, value] : payload.object()) {
+    event.Set(key, std::move(value));
+  }
+  events_.push_back(std::move(event));
+  while (events_.size() > kMaxEvents) events_.pop_front();
+  return listener_;
+}
+
+std::vector<Json> Session::EventsSince(uint64_t after_seq) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Json> out;
+  for (const Json& event : events_) {
+    if (static_cast<uint64_t>(event.GetInt("seq")) > after_seq) {
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+uint64_t Session::event_seq() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return event_seq_;
+}
+
+void Session::SeedAnswer(Json record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  answers_.push_back(std::move(record));
+}
+
+void Session::RecordAnswer(Json record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  answers_.push_back(std::move(record));
+}
+
+Status Session::ApplyMutation(const std::string& sql,
+                              sql::DmlStats* stats_out) {
+  std::function<void()> listener;
+  Status reserved = Status::Ok();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ != State::kIdle && state_ != State::kDone &&
+        state_ != State::kFailed) {
+      return FailedPreconditionError("session " + id_ +
+                                     " cannot mutate while " +
+                                     StateName(state_));
+    }
+    if (database_.NumRelations() == 0) {
+      return FailedPreconditionError("session " + id_ +
+                                     " has no catalog: load_ddl first");
+    }
+    // Byte accounting snapshot before the script runs: the script names
+    // its target tables only after parsing, and a mutated table that was
+    // interned detaches copy-on-write (its bytes become this session's).
+    std::vector<std::pair<std::string, size_t>> before;
+    for (const std::string& relation : database_.RelationNames()) {
+      Result<const Table*> table = database_.GetTable(relation);
+      if (table.ok()) {
+        before.emplace_back(relation, (*table)->ApproximateBytes());
+      }
+    }
+    DBRE_ASSIGN_OR_RETURN(sql::DmlStats stats,
+                          sql::ExecuteDmlScript(sql, &database_));
+    size_t old_sum = 0;
+    size_t new_sum = 0;
+    for (const auto& [relation, old_bytes] : before) {
+      Result<const Table*> table = database_.GetTable(relation);
+      if (table.ok()) {
+        old_sum += old_bytes;
+        new_sum += (*table)->ApproximateBytes();
+      }
+    }
+    size_t new_bytes = bytes_ + new_sum - std::min(old_sum, bytes_ + new_sum);
+    // The rows are already mutated, so a budget failure here cannot undo
+    // them; journal first regardless — the journal must reflect what the
+    // catalog absorbed — then surface the budget error.
+    if (persist_) persist_->LogMutation(sql);
+    reserved = ReserveDelta(bytes_, new_bytes);
+    Json payload = Json::MakeObject();
+    payload.Set("statements",
+                Json::Int(static_cast<int64_t>(stats.statements)));
+    payload.Set("inserted",
+                Json::Int(static_cast<int64_t>(stats.rows_inserted)));
+    payload.Set("updated",
+                Json::Int(static_cast<int64_t>(stats.rows_updated)));
+    payload.Set("deleted",
+                Json::Int(static_cast<int64_t>(stats.rows_deleted)));
+    Json tables = Json::MakeArray();
+    for (const sql::TableMutation& mutation : stats.tables) {
+      Json entry = Json::MakeObject();
+      entry.Set("table", Json::Str(mutation.table));
+      entry.Set("inserted",
+                Json::Int(static_cast<int64_t>(mutation.inserted)));
+      entry.Set("updated", Json::Int(static_cast<int64_t>(mutation.updated)));
+      entry.Set("deleted", Json::Int(static_cast<int64_t>(mutation.deleted)));
+      entry.Set("structural", Json::Bool(mutation.structural));
+      tables.Append(std::move(entry));
+    }
+    payload.Set("tables", std::move(tables));
+    listener = EmitEventLocked("mutate", std::move(payload));
+    if (stats_out != nullptr) *stats_out = std::move(stats);
+  }
+  if (listener) listener();
+  return reserved;
+}
+
 Status Session::BeginRun(const RunOptions& options) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (state_ != State::kIdle) {
-    return FailedPreconditionError("session " + id_ + " is not idle (" +
-                                   StateName(state_) + ")");
+  if (state_ != State::kIdle && state_ != State::kDone &&
+      state_ != State::kFailed) {
+    return FailedPreconditionError("session " + id_ +
+                                   " cannot start a run while " +
+                                   StateName(state_));
   }
   if (database_.NumRelations() == 0) {
     return FailedPreconditionError("session " + id_ +
@@ -318,16 +531,33 @@ void Session::ExecuteRun(const RunOptions& options) {
   if (options.oracle == "threshold") oracle = &threshold_oracle;
 
   // Oracle chain: ReplayOracle(recorded answers) → JournalingOracle →
-  // the live policy. Replayed answers never hit the journaling layer, so
-  // only decisions made *now* (client answers, timeouts) are appended.
+  // RecordingOracle → the live policy. Replayed answers never hit the
+  // journaling/recording layers, so only decisions made *now* (client
+  // answers, timeouts) are appended — to the journal and to the session's
+  // in-memory answer log alike.
+  RecordingOracle recording(oracle, this);
+  oracle = &recording;
   std::optional<JournalingOracle> journaling;
   if (persist_ != nullptr) {
     journaling.emplace(oracle, persist_.get());
     oracle = &*journaling;
   }
-  if (options.replay != nullptr) {
-    options.replay->SetFallback(oracle);
-    oracle = options.replay.get();
+  std::shared_ptr<ReplayOracle> replay = options.replay;
+  if (replay == nullptr) {
+    // Incremental rerun: replay this session's own answer log so the
+    // re-validation only re-asks what the expert never answered. On a
+    // first run the log is empty and this stays null.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!answers_.empty()) {
+      replay = std::make_shared<ReplayOracle>();
+      for (const Json& record : answers_) {
+        PrimeReplayAnswer(replay.get(), record);
+      }
+    }
+  }
+  if (replay != nullptr) {
+    replay->SetFallback(oracle);
+    oracle = replay.get();
   }
 
   auto result = RunPipeline(database_, joins_, oracle, pipeline_options);
@@ -347,6 +577,28 @@ void Session::ExecuteRun(const RunOptions& options) {
       state_ = State::kDone;
       log_finished = true;
       finished_ok = true;
+      // Watchers get the presumption *delta* against the previous report,
+      // not the whole report — that is the point of the watch stream.
+      PresumptionSet presumptions = ExtractPresumptions(*report_);
+      PresumptionDiff diff =
+          DiffPresumptions(last_presumptions_, presumptions);
+      Json payload = Json::MakeObject();
+      payload.Set("initial", Json::Bool(!has_presumptions_));
+      payload.Set("changed",
+                  Json::Bool(has_presumptions_ && !diff.empty()));
+      payload.Set("inds", Json::Int(static_cast<int64_t>(
+                              presumptions.inds.size())));
+      payload.Set("fds", Json::Int(static_cast<int64_t>(
+                             presumptions.fds.size())));
+      payload.Set("inds_added", StringList(diff.inds.added));
+      payload.Set("inds_removed", StringList(diff.inds.removed));
+      payload.Set("fds_added", StringList(diff.fds.added));
+      payload.Set("fds_removed", StringList(diff.fds.removed));
+      payload.Set("lhs_added", StringList(diff.lhs.added));
+      payload.Set("lhs_removed", StringList(diff.lhs.removed));
+      last_presumptions_ = std::move(presumptions);
+      has_presumptions_ = true;
+      EmitEventLocked("report", std::move(payload));
     } else {
       // A watchdog abort surfaces its reason (e.g. the exceeded
       // deadline), not the pipeline's generic cancellation status.
@@ -354,6 +606,9 @@ void Session::ExecuteRun(const RunOptions& options) {
       state_ = State::kFailed;
       log_finished = true;
       finished_error = error_.ToString();
+      Json payload = Json::MakeObject();
+      payload.Set("error", Json::Str(finished_error));
+      EmitEventLocked("run_failed", std::move(payload));
     }
     finished_.notify_all();
     listener = listener_;

@@ -19,6 +19,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -27,12 +28,14 @@
 
 #include "common/status.h"
 #include "core/pipeline.h"
+#include "core/presumption_diff.h"
 #include "core/replay_oracle.h"
 #include "obs/trace.h"
 #include "pagestore/paged_snapshot.h"
 #include "relational/extension_registry.h"
 #include "service/async_oracle.h"
 #include "service/persist.h"
+#include "sql/dml.h"
 
 namespace dbre::service {
 
@@ -133,8 +136,39 @@ class Session {
   size_t relation_count() const;
   size_t memory_bytes() const;
 
-  // State transition kIdle → kRunning with validation; the manager then
-  // schedules ExecuteRun on a worker.
+  // Live mutation (docs/INCREMENTAL.md): applies a DML script (INSERT /
+  // UPDATE / DELETE, sql/dml.h) to the catalog, journals it, and emits a
+  // "mutate" event to watchers. Allowed while idle, done or failed — a
+  // finished session stays mutable so the expert can evolve the extension
+  // and re-run; the next BeginRun re-validates the presumptions against
+  // the mutated extension (with the already-answered questions replaying
+  // automatically). Tables interned in the ExtensionRegistry detach
+  // copy-on-write before the first row changes; paged tables materialize
+  // first (mutations never write through the buffer pool).
+  Status ApplyMutation(const std::string& sql, sql::DmlStats* stats_out);
+
+  // Event stream backing the `watch` wire command: "mutate" events (one
+  // per applied script) and "report" events (presumption changes after
+  // each finished run). Bounded ring — a slow watcher that falls more
+  // than the capacity behind loses the oldest events (detectable: the
+  // first returned seq jumps). Seqs start at 1 and never repeat.
+  std::vector<Json> EventsSince(uint64_t after_seq) const;
+  uint64_t event_seq() const;
+
+  // Recovery only: seeds the in-memory answer log with a journaled answer
+  // record, so post-recovery mutations + reruns replay the same answers a
+  // live session would have.
+  void SeedAnswer(Json record);
+
+  // Appends a freshly-resolved expert answer (journal record form) to the
+  // in-memory answer log. Called by the recording oracle during a run.
+  void RecordAnswer(Json record);
+
+  // State transition kIdle/kDone/kFailed → kRunning with validation; the
+  // manager then schedules ExecuteRun on a worker. Re-running a finished
+  // session is the incremental path: the catalog (possibly mutated since)
+  // is re-engineered with the session's answer log replaying ahead of the
+  // live oracle, so only new questions reach the expert.
   Status BeginRun(const RunOptions& options);
 
   // Runs the pipeline synchronously (worker thread). Terminal state kDone
@@ -201,6 +235,10 @@ class Session {
  private:
   Status ReserveDelta(size_t old_bytes, size_t new_bytes);
 
+  // Appends an event to the bounded ring (lock held) and returns the
+  // listener to fire after the lock drops.
+  std::function<void()> EmitEventLocked(const char* type, Json payload);
+
   // Snapshots `table`'s freshly-loaded rows and re-adopts them paged.
   // Degrades gracefully: any failure leaves the materialized extension in
   // place (correctness never depends on paging). Lock held.
@@ -232,6 +270,17 @@ class Session {
   Status abort_reason_;  // set by AbortRun while kRunning
   bool closed_ = false;
   std::function<void()> listener_;
+
+  // Incremental re-engineering state. `answers_` is the session's own
+  // answer log (journal record form, FIFO per subject); reruns replay it
+  // so only genuinely new questions reach the expert. `last_presumptions_`
+  // is the previous report's canonical dependency strings, diffed against
+  // each new report for the watch stream.
+  std::vector<Json> answers_;
+  PresumptionSet last_presumptions_;
+  bool has_presumptions_ = false;
+  std::deque<Json> events_;
+  uint64_t event_seq_ = 0;
 };
 
 }  // namespace dbre::service

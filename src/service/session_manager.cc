@@ -51,39 +51,6 @@ const SchedulerMetrics& Metrics() {
   return metrics;
 }
 
-// Rebuilds the NeiDecision / boolean / name answer a journal record holds
-// and primes the replay oracle with it. Unknown kinds are skipped — an old
-// daemon must be able to replay a journal written by a newer one.
-void PrimeAnswer(ReplayOracle* oracle, const Json& record) {
-  std::string kind = record.GetString("kind");
-  std::string subject = record.GetString("subject");
-  if (kind == "nei") {
-    NeiDecision decision;
-    std::string action = record.GetString("action", "ignore");
-    if (action == "conceptualize") {
-      decision.action = NeiAction::kConceptualize;
-    } else if (action == "force_left") {
-      decision.action = NeiAction::kForceLeftInRight;
-    } else if (action == "force_right") {
-      decision.action = NeiAction::kForceRightInLeft;
-    } else {
-      decision.action = NeiAction::kIgnore;
-    }
-    decision.relation_name = record.GetString("name");
-    oracle->RecordNei(subject, std::move(decision));
-  } else if (kind == "enforce_fd") {
-    oracle->RecordEnforceFd(subject, record.GetBool("value"));
-  } else if (kind == "validate_fd") {
-    oracle->RecordValidateFd(subject, record.GetBool("value"));
-  } else if (kind == "hidden_object") {
-    oracle->RecordHiddenObject(subject, record.GetBool("value"));
-  } else if (kind == "name_fd") {
-    oracle->RecordFdRelationName(subject, record.GetString("name"));
-  } else if (kind == "name_hidden") {
-    oracle->RecordHiddenRelationName(subject, record.GetString("name"));
-  }
-}
-
 bool HasCloseRecord(const store::JournalReplay& replay) {
   for (const Json& record : replay.records) {
     if (record.GetString("t") == "close") return true;
@@ -610,6 +577,13 @@ Result<std::shared_ptr<Session>> SessionManager::RecoverFromReplay(
         parsed.push_back(std::move(join));
       }
       DBRE_RETURN_IF_ERROR(session->AddJoins(parsed));
+    } else if (type == "mutate") {
+      // Mutations re-apply in journal order, so the catalog the rerun
+      // below re-engineers is exactly the one live clients last saw.
+      // Persistence is still in replaying mode, so this does not
+      // re-journal the record.
+      DBRE_RETURN_IF_ERROR(
+          session->ApplyMutation(record.GetString("sql"), nullptr));
     } else if (type == "run") {
       has_run = true;
       run_options.infer_keys = record.GetBool("infer_keys");
@@ -617,7 +591,10 @@ Result<std::shared_ptr<Session>> SessionManager::RecoverFromReplay(
       run_options.merge_isa_cycles = record.GetBool("merge_isa_cycles");
       run_options.oracle = record.GetString("oracle", "async");
     } else if (type == "answer") {
-      PrimeAnswer(replay_oracle.get(), record);
+      // FIFO across runs: the single rerun below corresponds to the last
+      // live run, which replayed earlier runs' answers in this same order.
+      PrimeReplayAnswer(replay_oracle.get(), record);
+      session->SeedAnswer(record);
     }
     // "create", "phase", "done" and "failed" rebuild no state: the re-run
     // below regenerates phases and the terminal state deterministically.

@@ -33,9 +33,10 @@ namespace dbre::sql {
 Result<std::unique_ptr<SelectStatement>> ParseSelect(std::string_view sql);
 
 // Parses a ';'-separated script of SELECT statements, skipping statements
-// that are not SELECTs (e.g. UPDATE/DELETE text is rejected per statement,
-// not per script). Returns parsed selects; `errors` (optional) collects
-// per-statement parse failures.
+// that are not SELECTs (UPDATE/DELETE text is rejected per statement, not
+// per script — live-session mutation goes through sql/dml.h instead).
+// Returns parsed selects; `errors` (optional) collects per-statement parse
+// failures.
 Result<std::vector<std::unique_ptr<SelectStatement>>> ParseScript(
     std::string_view sql, std::vector<Status>* errors = nullptr);
 

@@ -9,14 +9,15 @@
 namespace dbre::sql {
 namespace {
 
-// Keywords of the recognized subset (queries, dictionary DDL, inserts).
-constexpr std::array<std::string_view, 36> kKeywords = {
+// Keywords of the recognized subset (queries, dictionary DDL, DML).
+constexpr std::array<std::string_view, 39> kKeywords = {
     "SELECT", "FROM",     "WHERE",  "AND",    "OR",     "NOT",
     "IN",     "EXISTS",   "INTERSECT", "UNION", "ALL",  "DISTINCT",
     "COUNT",  "AS",       "JOIN",   "INNER",  "ON",     "ORDER",
     "BY",     "GROUP",    "HAVING", "CREATE", "TABLE",  "UNIQUE",
     "NULL",   "PRIMARY",  "KEY",    "INSERT", "INTO",   "VALUES",
     "ASC",    "DESC",     "IS",     "BETWEEN", "LIKE",  "MINUS",
+    "UPDATE", "DELETE",   "SET",
 };
 
 bool IsIdentifierStart(char c) {

@@ -468,5 +468,102 @@ TEST_P(ChaosTortureTest, RecoversByteIdenticallyOrDegradesCleanly) {
 INSTANTIATE_TEST_SUITE_P(Schedules, ChaosTortureTest,
                          ::testing::Range(1, 27));
 
+// --- mutation crash-recovery schedules ------------------------------------
+//
+// The live-mutation invariant (docs/INCREMENTAL.md): a daemon SIGKILLed
+// after journaling a mutation batch — before or in the middle of the
+// incremental re-validation — must recover to a report byte-identical to
+// a daemon that survived the whole sequence. Two seeded kill points:
+// odd seeds kill between the journaled mutate records and the rerun, even
+// seeds kill with the rerun already in flight.
+
+constexpr char kMutationScript[] =
+    "UPDATE Department SET location = 'relocated' WHERE emp > 0;"
+    "DELETE FROM Assignment WHERE emp = 17;"
+    "INSERT INTO HEmployee VALUES (9901, '2001-01-01', 1234.5);";
+
+class ChaosMutationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChaosMutationTest, MutationReplayConvergesAfterSigkill) {
+  const int seed = GetParam();
+  if (!SeedEnabled(seed)) {
+    GTEST_SKIP() << "seed " << seed << " filtered by DBRE_CHAOS_SEEDS";
+  }
+  const bool kill_before_rerun = (seed % 2) != 0;
+  SCOPED_TRACE("seed " + std::to_string(seed) +
+               (kill_before_rerun ? " (kill before rerun)"
+                                  : " (kill mid-rerun)"));
+  const PaperInputs inputs = BuildPaperInputs();
+  fs::path base = fs::temp_directory_path() /
+                  ("dbre_chaos_mut_" + std::to_string(seed) + "_" +
+                   std::to_string(::testing::UnitTest::GetInstance()
+                                      ->random_seed()));
+  fs::remove_all(base);
+
+  // Reference: the identical mutate-then-rerun sequence against a daemon
+  // that never dies.
+  std::string reference;
+  {
+    fs::path dir = base / "reference";
+    ServeProcess daemon = StartServe(dir.string());
+    ASSERT_GT(daemon.port, 0);
+    ChaosClient client;
+    ASSERT_TRUE(client.Connect(daemon.port));
+    std::string first;
+    ASSERT_EQ(DrivePaperSession(client, "mut", true, inputs, &first),
+              Drive::kDone);
+    Json result;
+    Json mutate = Command("mutate", "mut");
+    mutate.Set("sql", Json::Str(kMutationScript));
+    ASSERT_TRUE(client.Ok(std::move(mutate), &result));
+    ASSERT_TRUE(client.Ok(Command("run", "mut"), &result));
+    ASSERT_EQ(DrivePaperSession(client, "mut", false, inputs, &reference),
+              Drive::kDone);
+    EXPECT_NE(reference, first) << "mutation script changed nothing";
+    if (client.Ok(Command("shutdown"), &result)) daemon.WaitExit();
+  }
+
+  // Victim: same sequence, SIGKILLed at the seeded point, restarted over
+  // the same data dir with recovery doing all the work.
+  {
+    fs::path dir = base / "victim";
+    ServeProcess daemon = StartServe(dir.string());
+    ASSERT_GT(daemon.port, 0);
+    ChaosClient client;
+    ASSERT_TRUE(client.Connect(daemon.port));
+    std::string first;
+    ASSERT_EQ(DrivePaperSession(client, "mut", true, inputs, &first),
+              Drive::kDone);
+    Json result;
+    Json mutate = Command("mutate", "mut");
+    mutate.Set("sql", Json::Str(kMutationScript));
+    ASSERT_TRUE(client.Ok(std::move(mutate), &result));
+    if (!kill_before_rerun) {
+      ASSERT_TRUE(client.Ok(Command("run", "mut"), &result));
+      // Let the rerun get some answers journaled before the kill lands.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    kill(daemon.pid, SIGKILL);
+    daemon.Reap();
+
+    daemon = StartServe(dir.string());
+    ASSERT_GT(daemon.port, 0);
+    client = ChaosClient{};
+    ASSERT_TRUE(client.Connect(daemon.port));
+    // Recovery re-applies the journaled mutation and re-submits the run;
+    // the driver answers whatever questions the replay did not cover.
+    std::string recovered;
+    ASSERT_EQ(DrivePaperSession(client, "mut", false, inputs, &recovered),
+              Drive::kDone);
+    EXPECT_EQ(recovered, reference)
+        << "post-crash replay diverged from the uninterrupted sequence";
+    if (client.Ok(Command("shutdown"), &result)) daemon.WaitExit();
+  }
+  fs::remove_all(base);
+}
+
+INSTANTIATE_TEST_SUITE_P(MutationSchedules, ChaosMutationTest,
+                         ::testing::Values(101, 102));
+
 }  // namespace
 }  // namespace dbre::service

@@ -192,5 +192,61 @@ TEST(RouterTest, PaperSessionThroughRouterMatchesReference) {
             reference);
 }
 
+// The protocol-2.1 mutation surface forwards like any session-scoped
+// command: `mutate` reaches the owning worker, and a `watch` stream
+// through the router sees the session's mutate and report events in
+// order, with long-poll wakeups intact.
+TEST(RouterTest, WatchStreamRoutesThroughRouter) {
+  const service::PaperInputs inputs = service::BuildPaperInputs();
+  Fleet fleet = StartFleet(2);
+  Client client(fleet.router->port());
+
+  Json create = Command("create");
+  create.Set("name", Json::Str("watched"));
+  client.MustCall(std::move(create));
+  StartPaperRun(client, "watched", inputs);
+  auto expert = workload::PaperOracle();
+  bool done = false;
+  AnswerPaperQuestions(client, "watched", expert.get(), SIZE_MAX, &done);
+  ASSERT_TRUE(done);
+
+  // The finished run left the initial report event in the stream.
+  Json watch = Command("watch", "watched");
+  watch.Set("after_seq", Json::Int(0));
+  Json first = client.MustCall(std::move(watch));
+  const Json* events = first.Find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array().size(), 1u);
+  EXPECT_EQ(events->array()[0].GetString("type"), "report");
+  EXPECT_TRUE(events->array()[0].GetBool("initial"));
+  int64_t cursor = first.GetInt("next_seq");
+
+  // Mutate through the router; the event comes back through the same
+  // forwarded stream.
+  Json mutate = Command("mutate", "watched");
+  mutate.Set("sql",
+             Json::Str("UPDATE Department SET location = 'moved' "
+                       "WHERE emp > 0;"));
+  Json mutated = client.MustCall(std::move(mutate));
+  EXPECT_GT(mutated.GetInt("updated"), 0);
+
+  Json watch2 = Command("watch", "watched");
+  watch2.Set("after_seq", Json::Int(cursor));
+  watch2.Set("timeout_ms", Json::Int(5000));
+  Json second = client.MustCall(std::move(watch2));
+  const Json* events2 = second.Find("events");
+  ASSERT_NE(events2, nullptr);
+  ASSERT_EQ(events2->array().size(), 1u);
+  EXPECT_EQ(events2->array()[0].GetString("type"), "mutate");
+  EXPECT_GT(events2->array()[0].GetInt("updated"), 0);
+
+  // A second client watching the same session through the router reads
+  // the full history from seq 0 — the stream is session state, not
+  // connection state.
+  Client second_client(fleet.router->port());
+  Json replayed = second_client.MustCall(Command("watch", "watched"));
+  ASSERT_EQ(replayed.Find("events")->array().size(), 2u);
+}
+
 }  // namespace
 }  // namespace dbre::cluster

@@ -1,0 +1,285 @@
+// The mutation path of Table (docs/INCREMENTAL.md): UpdateRows/DeleteRows
+// semantics, the incremental query-cache rebuild (QueryCache::BuildDelta)
+// answering byte-identically to a cold build, the copy-on-write detach that
+// keeps registry-interned extensions private to the mutating session, and
+// sketch eviction on mutation.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "relational/extension_registry.h"
+#include "relational/query_cache.h"
+#include "relational/sketch.h"
+#include "relational/table.h"
+
+namespace dbre {
+namespace {
+
+Table MakeTable(const std::string& name, int first_id, int rows) {
+  RelationSchema schema(name);
+  EXPECT_TRUE(schema.AddAttribute("id", DataType::kInt64).ok());
+  EXPECT_TRUE(schema.AddAttribute("label", DataType::kString).ok());
+  Table table(schema);
+  for (int i = 0; i < rows; ++i) {
+    table.InsertUnchecked(
+        {Value::Int(first_id + i), Value::Text("row-" + std::to_string(i))});
+  }
+  return table;
+}
+
+// A table with the same schema holding exactly `rows`, built cold — the
+// reference every incremental answer is compared against.
+Table ColdCopy(const Table& table) {
+  Table cold(table.schema());
+  for (const ValueVector& row : table.rows()) {
+    ValueVector copy = row;
+    cold.InsertUnchecked(std::move(copy));
+  }
+  return cold;
+}
+
+// Asserts that `table`'s (possibly delta-built) cache answers match a cold
+// build over the same rows, for every primitive discovery consumes.
+void ExpectCacheMatchesColdBuild(const Table& table) {
+  Table cold = ColdCopy(table);
+  auto warm = table.query_cache();
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  auto fresh = cold.query_cache();
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+
+  const size_t columns = table.schema().arity();
+  for (size_t c = 0; c < columns; ++c) {
+    EXPECT_EQ((*warm)->DistinctCount({c}), (*fresh)->DistinctCount({c}))
+        << "column " << c;
+    EXPECT_EQ((*warm)->ColumnHasNull(c), (*fresh)->ColumnHasNull(c))
+        << "column " << c;
+    auto warm_set = (*warm)->DictionarySet(c);
+    auto fresh_set = (*fresh)->DictionarySet(c);
+    ASSERT_NE(warm_set, nullptr);
+    ASSERT_NE(fresh_set, nullptr);
+    EXPECT_EQ(*warm_set, *fresh_set) << "column " << c;
+    auto warm_part = (*warm)->Partition({c}, NullPolicy::kSkipNullRows);
+    auto fresh_part = (*fresh)->Partition({c}, NullPolicy::kSkipNullRows);
+    EXPECT_EQ(warm_part->num_groups(), fresh_part->num_groups())
+        << "column " << c;
+  }
+  if (columns >= 2) {
+    EXPECT_EQ((*warm)->DistinctCount({0, 1}), (*fresh)->DistinctCount({0, 1}));
+    EXPECT_EQ((*warm)->FdHolds({0}, {1}), (*fresh)->FdHolds({0}, {1}));
+    EXPECT_EQ((*warm)->FdHolds({1}, {0}), (*fresh)->FdHolds({1}, {0}));
+    EXPECT_EQ((*warm)->FdError({1}, {0}), (*fresh)->FdError({1}, {0}));
+    auto warm_proj = (*warm)->DistinctProjection({0, 1});
+    auto fresh_proj = (*fresh)->DistinctProjection({0, 1});
+    ASSERT_NE(warm_proj, nullptr);
+    ASSERT_NE(fresh_proj, nullptr);
+    EXPECT_EQ(*warm_proj, *fresh_proj);
+  }
+}
+
+TEST(TableMutationTest, AppendDeltaMatchesColdBuild) {
+  Table table = MakeTable("R", 1, 200);
+  // Warm the cache, then append a batch: the next query_cache() goes
+  // through BuildDelta (append-only extension of the encoded image).
+  ASSERT_TRUE(table.query_cache().ok());
+  for (int i = 0; i < 40; ++i) {
+    // Duplicated labels so the appended suffix extends dictionaries both
+    // with fresh and with already-seen codes.
+    table.InsertUnchecked(
+        {Value::Int(1000 + i), Value::Text("row-" + std::to_string(i % 7))});
+  }
+  EXPECT_TRUE(table.has_pending_delta());
+  ExpectCacheMatchesColdBuild(table);
+  EXPECT_FALSE(table.has_pending_delta());
+}
+
+TEST(TableMutationTest, UpdateRowsRewritesMatchingRowsOnly) {
+  Table table = MakeTable("R", 1, 100);
+  ASSERT_TRUE(table.query_cache().ok());
+
+  size_t label_col = 1;
+  auto updated = table.UpdateRows(
+      {label_col}, {Value::Text("flagged")},
+      [](const ValueVector& row) { return row[0].as_int() <= 10; });
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  EXPECT_EQ(*updated, 10u);
+
+  size_t flagged = 0;
+  for (const ValueVector& row : table.rows()) {
+    if (row[1].as_text() == "flagged") ++flagged;
+  }
+  EXPECT_EQ(flagged, 10u);
+  ExpectCacheMatchesColdBuild(table);
+}
+
+TEST(TableMutationTest, UpdateMatchingNothingLeavesCacheShared) {
+  Table table = MakeTable("R", 1, 50);
+  auto before = table.query_cache();
+  ASSERT_TRUE(before.ok());
+
+  auto updated = table.UpdateRows(
+      {1}, {Value::Text("never")},
+      [](const ValueVector& row) { return row[0].as_int() > 1'000'000; });
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(*updated, 0u);
+  EXPECT_FALSE(table.has_pending_delta());
+
+  auto after = table.query_cache();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before->get(), after->get());  // untouched, not rebuilt
+}
+
+TEST(TableMutationTest, DeleteRowsIsStructural) {
+  Table table = MakeTable("R", 1, 120);
+  ASSERT_TRUE(table.query_cache().ok());
+
+  auto deleted = table.DeleteRows(
+      [](const ValueVector& row) { return row[0].as_int() % 3 == 0; });
+  ASSERT_TRUE(deleted.ok()) << deleted.status().ToString();
+  EXPECT_EQ(*deleted, 40u);
+  EXPECT_EQ(table.rows().size(), 80u);
+  for (const ValueVector& row : table.rows()) {
+    EXPECT_NE(row[0].as_int() % 3, 0);
+  }
+  ExpectCacheMatchesColdBuild(table);
+}
+
+TEST(TableMutationTest, UpdateValidatesTypesAndNotNullUpFront) {
+  RelationSchema schema("R");
+  ASSERT_TRUE(schema.AddAttribute("id", DataType::kInt64).ok());
+  ASSERT_TRUE(schema.AddAttribute("name", DataType::kString).ok());
+  ASSERT_TRUE(schema.DeclareNotNull("name").ok());
+  Table table(schema);
+  table.InsertUnchecked({Value::Int(1), Value::Text("a")});
+
+  // NULL into a not-null attribute fails before any row changes.
+  auto bad_null = table.UpdateRows({1}, {Value::Null()},
+                                   [](const ValueVector&) { return true; });
+  EXPECT_FALSE(bad_null.ok());
+  EXPECT_EQ(table.rows()[0][1].as_text(), "a");
+
+  // Type mismatch fails the same way.
+  auto bad_type = table.UpdateRows({0}, {Value::Text("oops")},
+                                   [](const ValueVector&) { return true; });
+  EXPECT_FALSE(bad_type.ok());
+  EXPECT_EQ(table.rows()[0][0].as_int(), 1);
+}
+
+// Satellite regression: two sessions intern the same extension; mutating
+// one must copy-on-write detach, never rewrite the canonical rows the
+// other session still reads.
+TEST(TableMutationTest, MutatingInternedTableDetachesFromRegistry) {
+  ExtensionRegistry registry;
+  Table first = MakeTable("R", 1, 60);
+  EXPECT_FALSE(registry.Intern(&first));  // canonical copy
+
+  Table second = MakeTable("R", 1, 60);
+  EXPECT_TRUE(registry.Intern(&second));  // adopts shared storage
+  const auto* canonical_rows = first.shared_rows().get();
+  ASSERT_EQ(second.shared_rows().get(), canonical_rows);
+
+  auto updated = second.UpdateRows(
+      {1}, {Value::Text("mutated")},
+      [](const ValueVector& row) { return row[0].as_int() == 1; });
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  EXPECT_EQ(*updated, 1u);
+
+  // The mutator got fresh storage; the canonical extension is untouched.
+  EXPECT_NE(second.shared_rows().get(), canonical_rows);
+  EXPECT_EQ(first.shared_rows().get(), canonical_rows);
+  EXPECT_EQ(first.rows()[0][1].as_text(), "row-0");
+  EXPECT_EQ(second.rows()[0][1].as_text(), "mutated");
+
+  // A third session interning the original content still hits the
+  // registry's (unchanged) canonical entry.
+  Table third = MakeTable("R", 1, 60);
+  EXPECT_TRUE(registry.Intern(&third));
+  EXPECT_EQ(third.shared_rows().get(), canonical_rows);
+
+  // And both diverged extensions keep answering correctly.
+  ExpectCacheMatchesColdBuild(first);
+  ExpectCacheMatchesColdBuild(second);
+}
+
+TEST(TableMutationTest, ExplicitDetachForMutationCopiesSharedStorage) {
+  ExtensionRegistry registry;
+  Table first = MakeTable("R", 1, 30);
+  registry.Intern(&first);
+  Table second = MakeTable("R", 1, 30);
+  registry.Intern(&second);
+  ASSERT_EQ(second.shared_rows().get(), first.shared_rows().get());
+
+  second.DetachForMutation();
+  EXPECT_NE(second.shared_rows().get(), first.shared_rows().get());
+  // Content is still equal — detach copies, it does not clear.
+  ASSERT_EQ(second.rows().size(), first.rows().size());
+  EXPECT_EQ(second.rows()[7], first.rows()[7]);
+}
+
+// Satellite regression: mutation must also drop memoized sketches — a
+// stale Bloom/HLL surviving a mutation could steer discovery into wrong
+// prunes. Crosschecked by running the sketch-assisted answers against a
+// cold build after the mutation, with the sketch gate forced on.
+TEST(TableMutationTest, SketchesRebuildAfterMutation) {
+  ScopedSketchGate sketches_on(true);
+  Table table = MakeTable("R", 1, 150);
+  auto cache = table.query_cache();
+  ASSERT_TRUE(cache.ok());
+  auto before_sketch = (*cache)->ColumnSketchFor(0);
+  ASSERT_NE(before_sketch, nullptr);
+  ASSERT_NE((*cache)->ProjectionSketchFor({0, 1}), nullptr);
+
+  // Rewrite ids into a narrow band: the old sketch's cardinality estimate
+  // and membership bits are now wrong for most of the column.
+  auto updated = table.UpdateRows(
+      {0}, {Value::Int(7)},
+      [](const ValueVector& row) { return row[0].as_int() > 10; });
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(*updated, 140u);
+
+  auto after = table.query_cache();
+  ASSERT_TRUE(after.ok());
+  // The memoized sketch did not carry over (updated column).
+  EXPECT_EQ((*after)->MaybeColumnSketch(0), nullptr);
+
+  Table cold = ColdCopy(table);
+  auto cold_cache = cold.query_cache();
+  ASSERT_TRUE(cold_cache.ok());
+  auto warm_sketch = (*after)->ColumnSketchFor(0);
+  auto cold_sketch = (*cold_cache)->ColumnSketchFor(0);
+  ASSERT_NE(warm_sketch, nullptr);
+  ASSERT_NE(cold_sketch, nullptr);
+  // Sketches are deterministic over the same distinct values: identical
+  // estimates prove the rebuild saw the mutated extension.
+  EXPECT_EQ(warm_sketch->hll.Estimate(), cold_sketch->hll.Estimate());
+  EXPECT_EQ((*after)->DistinctCount({0}), (*cold_cache)->DistinctCount({0}));
+  ExpectCacheMatchesColdBuild(table);
+}
+
+// Append-only batches keep sketches only for untouched columns.
+TEST(TableMutationTest, AppendKeepsUntouchedMemosDropsTouchedSketches) {
+  ScopedSketchGate sketches_on(true);
+  Table table = MakeTable("R", 1, 100);
+  auto cache = table.query_cache();
+  ASSERT_TRUE(cache.ok());
+  ASSERT_NE((*cache)->ColumnSketchFor(1), nullptr);
+
+  table.InsertUnchecked({Value::Int(500), Value::Text("brand-new")});
+  auto after = table.query_cache();
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(after->get(), cache->get());
+
+  // Appends extend every column, so per-column sketches must not carry
+  // over stale membership bits.
+  auto sketch = (*after)->MaybeColumnSketch(1);
+  if (sketch != nullptr) {
+    // If an implementation chooses to delta-merge instead of drop, the
+    // merged sketch must see the appended value.
+    EXPECT_TRUE(sketch->bloom.MayContain(SketchHash(Value::Text("brand-new"))));
+  }
+  ExpectCacheMatchesColdBuild(table);
+}
+
+}  // namespace
+}  // namespace dbre
